@@ -1,0 +1,45 @@
+//! **§6 future work** — adding in-link anchor text as a third feature
+//! space ("a richer set of features provided by the hyperlink structure,
+//! e.g., anchor text").
+//!
+//! The paper does not evaluate this; we implement it and measure whether
+//! anchor text helps on top of FC+PC, under both CAFC-C and CAFC-CH.
+
+use cafc::{FeatureConfig, FormPageSpace};
+use cafc_bench::{print_header, print_row, run_cafc_c_avg, run_cafc_ch, Bench};
+
+fn main() {
+    print_header(
+        "§6 extension: FC+PC+anchor-text feature space",
+        "not evaluated in the paper; anchor text should help CAFC-C in particular",
+    );
+    let bench = Bench::paper_scale();
+
+    let plain = FormPageSpace::new(&bench.corpus_anchors, FeatureConfig::combined());
+    let with_anchor = FormPageSpace::new(
+        &bench.corpus_anchors,
+        FeatureConfig::WithAnchors { c1: 1.0, c2: 1.0, c3: 1.0 },
+    );
+
+    let mut results = Vec::new();
+    let c_plain = run_cafc_c_avg(&plain, &bench.labels, 0xA2C);
+    print_row("CAFC-C  FC+PC", &c_plain);
+    results.push(("cafc_c_fc_pc", c_plain));
+    let c_anchor = run_cafc_c_avg(&with_anchor, &bench.labels, 0xA2C);
+    print_row("CAFC-C  FC+PC+anchor", &c_anchor);
+    results.push(("cafc_c_with_anchor", c_anchor));
+
+    let (ch_plain, _) = run_cafc_ch(&bench, &plain, 8, 0xA2C);
+    print_row("CAFC-CH FC+PC", &ch_plain);
+    results.push(("cafc_ch_fc_pc", ch_plain));
+    let (ch_anchor, _) = run_cafc_ch(&bench, &with_anchor, 8, 0xA2C);
+    print_row("CAFC-CH FC+PC+anchor", &ch_anchor);
+    results.push(("cafc_ch_with_anchor", ch_anchor));
+
+    println!(
+        "\nanchor text changes CAFC-C entropy by {:+.3} and CAFC-CH entropy by {:+.3}",
+        c_anchor.entropy - c_plain.entropy,
+        ch_anchor.entropy - ch_plain.entropy
+    );
+    cafc_bench::write_json("exp_anchor_features", &results);
+}

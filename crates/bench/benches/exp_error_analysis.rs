@@ -1,0 +1,90 @@
+//! **§4.2 error analysis** — where do the mistakes live?
+//!
+//! Paper: in the best configuration, 17 of 454 pages were incorrectly
+//! clustered; most confusions fall between Music and Movie (large
+//! vocabulary overlap; some real forms search both); only one of the
+//! misclustered pages was a single-attribute form.
+
+use cafc::FeatureConfig;
+use cafc_bench::{print_header, run_cafc_ch, Bench};
+use cafc_corpus::Domain;
+use cafc_eval::{misclustered, ConfusionMatrix};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ErrorReport {
+    misclustered: usize,
+    total: usize,
+    misclustered_single_attribute: usize,
+    music_movie_confusions: usize,
+    top_confused_pair: (String, String, usize),
+}
+
+fn main() {
+    print_header(
+        "§4.2: error analysis of the best configuration (CAFC-CH, FC+PC)",
+        "17/454 misclustered; Music/Movie dominate; only 1 single-attribute mistake",
+    );
+    let bench = Bench::paper_scale();
+    let space = bench.space(FeatureConfig::combined());
+    let (q, out) = run_cafc_ch(&bench, &space, 8, 0xE44);
+    println!("entropy {:.3}, F {:.3}\n", q.entropy, q.f_measure);
+
+    let clusters = out.outcome.partition.clusters();
+    let matrix = ConfusionMatrix::new(clusters, &bench.labels);
+    println!("{}", matrix.to_table());
+
+    let wrong = misclustered(clusters, &bench.labels);
+    println!("misclustered pages: {} / {}", wrong.len(), bench.labels.len());
+    let wrong_single = wrong
+        .iter()
+        .filter(|&&i| bench.web.form_pages[i].single_attribute)
+        .count();
+    println!(
+        "  of which single-attribute: {wrong_single} ({} single-attribute pages total)",
+        bench.web.form_pages.iter().filter(|r| r.single_attribute).count()
+    );
+
+    // Cross-domain confusion counts between every ordered pair.
+    let classes = matrix.classes().to_vec();
+    let mut pairs: Vec<(Domain, Domain, usize)> = Vec::new();
+    for (ai, &a) in classes.iter().enumerate() {
+        for (bi, &b) in classes.iter().enumerate() {
+            if ai != bi {
+                let n = matrix.confused_into(ai, bi);
+                if n > 0 {
+                    pairs.push((a, b, n));
+                }
+            }
+        }
+    }
+    pairs.sort_by_key(|&(_, _, n)| std::cmp::Reverse(n));
+    println!("\ntop confusions (class -> majority of host cluster):");
+    for &(a, b, n) in pairs.iter().take(6) {
+        println!("  {:>8} -> {:<8} {n}", a.name(), b.name());
+    }
+
+    let music_movie: usize = pairs
+        .iter()
+        .filter(|&&(a, b, _)| {
+            matches!(
+                (a, b),
+                (Domain::Music, Domain::Movie) | (Domain::Movie, Domain::Music)
+            )
+        })
+        .map(|&(_, _, n)| n)
+        .sum();
+    println!("\nMusic<->Movie confusions: {music_movie} of {} total", wrong.len());
+
+    let top = pairs.first().map(|&(a, b, n)| (a.name().to_owned(), b.name().to_owned(), n));
+    cafc_bench::write_json(
+        "exp_error_analysis",
+        &ErrorReport {
+            misclustered: wrong.len(),
+            total: bench.labels.len(),
+            misclustered_single_attribute: wrong_single,
+            music_movie_confusions: music_movie,
+            top_confused_pair: top.unwrap_or(("none".into(), "none".into(), 0)),
+        },
+    );
+}

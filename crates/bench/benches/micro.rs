@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks: throughput of the pipeline stages.
+//!
+//! These are ours (the paper reports no running times); they document the
+//! cost profile of each stage and guard against performance regressions.
+
+use cafc::{
+    cafc_c, select_hub_clusters, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace,
+    KMeansOptions, ModelOptions,
+};
+use cafc_cluster::{hac_from_singletons, HacOptions, Linkage};
+use cafc_corpus::{generate, CorpusConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_parsing(c: &mut Criterion) {
+    let web = generate(&CorpusConfig::small(1));
+    let html = web.graph.html(web.form_pages[0].page).expect("html").to_owned();
+    c.bench_function("html_parse_form_page", |b| {
+        b.iter(|| cafc_html::parse(black_box(&html)))
+    });
+    c.bench_function("form_extraction", |b| {
+        let doc = cafc_html::parse(&html);
+        b.iter(|| cafc_html::extract_forms(black_box(&doc)))
+    });
+    c.bench_function("located_text", |b| {
+        let doc = cafc_html::parse(&html);
+        b.iter(|| cafc_html::located_text(black_box(&doc)))
+    });
+}
+
+fn bench_text(c: &mut Criterion) {
+    c.bench_function("porter_stem_word", |b| {
+        b.iter(|| cafc_text::stem(black_box("relational")))
+    });
+    let text = "Searching for the cheapest international flights and vacation packages \
+                with flexible departure dates from all major airports"
+        .repeat(8);
+    c.bench_function("tokenize_paragraph", |b| b.iter(|| cafc_text::tokenize(black_box(&text))));
+}
+
+fn bench_model(c: &mut Criterion) {
+    let web = generate(&CorpusConfig::small(2));
+    let targets = web.form_page_ids();
+    c.bench_function("build_corpus_80_pages", |b| {
+        b.iter(|| {
+            FormPageCorpus::from_graph(
+                black_box(&web.graph),
+                black_box(&targets),
+                &ModelOptions::default(),
+            )
+        })
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let web = generate(&CorpusConfig::small(3));
+    let targets = web.form_page_ids();
+    let corpus = FormPageCorpus::from_graph(&web.graph, &targets, &ModelOptions::default());
+    let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+
+    c.bench_function("kmeans_80_pages_k8", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| cafc_c(&space, 8, &KMeansOptions::default(), &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("hac_80_pages_k8", |b| {
+        b.iter(|| {
+            hac_from_singletons(
+                &space,
+                &HacOptions { target_clusters: 8, linkage: Linkage::Average },
+            )
+        })
+    });
+    c.bench_function("select_hub_clusters_80_pages", |b| {
+        let config = CafcChConfig::paper_default(8);
+        b.iter(|| select_hub_clusters(&web.graph, &targets, &space, &config))
+    });
+}
+
+criterion_group!(benches, bench_parsing, bench_text, bench_model, bench_clustering);
+criterion_main!(benches);

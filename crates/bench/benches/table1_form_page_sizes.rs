@@ -1,0 +1,44 @@
+//! **Table 1** — Relationship between form and page sizes: the average
+//! number of terms in the page *outside* the form, for different
+//! form-size intervals.
+//!
+//! Paper's rows (partially legible in the source): pages with small forms
+//! are content-rich; [10,50) → 131, [50,100) → 76, [100,200) → 83; forms
+//! with ≥200 terms sit in pages with little other content. This
+//! anticorrelation is the paper's argument for combining FC and PC: "when
+//! FC is not sufficient ... PC has more information that may compensate,
+//! and vice-versa".
+
+use cafc_bench::{print_header, Bench};
+use cafc_corpus::table1;
+
+fn main() {
+    print_header(
+        "Table 1: average page terms outside the form, by form size",
+        "anticorrelation; mid rows ~131 / 76 / 83; >=200-term forms in sparse pages",
+    );
+    let bench = Bench::paper_scale();
+    let htmls: Vec<&str> = bench
+        .targets
+        .iter()
+        .map(|&p| bench.web.graph.html(p).expect("form pages carry HTML"))
+        .collect();
+    let rows = table1(htmls.iter().copied());
+
+    println!("{:<12} {:>8} {:>22}", "form size", "pages", "avg page terms");
+    for row in &rows {
+        println!("{:<12} {:>8} {:>22.1}", row.bin, row.pages, row.avg_page_terms);
+    }
+
+    let tiny = rows.first().expect("five bins");
+    let huge = rows.last().expect("five bins");
+    println!(
+        "\nanticorrelation check: tiny-form pages carry {:.1}x the outside-form text of \
+         huge-form pages",
+        tiny.avg_page_terms / huge.avg_page_terms.max(1.0)
+    );
+
+    let json: Vec<(String, usize, f64)> =
+        rows.iter().map(|r| (r.bin.to_owned(), r.pages, r.avg_page_terms)).collect();
+    cafc_bench::write_json("table1_form_page_sizes", &json);
+}

@@ -1,0 +1,19 @@
+//! Diagnostic: CAFC-CH (min cardinality 8) across corpus realizations.
+
+use cafc::FeatureConfig;
+use cafc_bench::{run_cafc_ch, Bench};
+use cafc_corpus::CorpusConfig;
+
+fn main() {
+    for seed in [20070415u64, 1, 2, 3, 4, 5, 6, 7] {
+        let config = CorpusConfig { seed, ..CorpusConfig::default() };
+        let bench = Bench::with_config(&config);
+        let space = bench.space(FeatureConfig::combined());
+        let (q8, _) = run_cafc_ch(&bench, &space, 8, 0xF162C);
+        let (q7, _) = run_cafc_ch(&bench, &space, 7, 0xF162C);
+        println!(
+            "corpus seed {seed:>9}: card8 entropy {:.3} F {:.3} | card7 entropy {:.3} F {:.3}",
+            q8.entropy, q8.f_measure, q7.entropy, q7.f_measure
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Quick scientific smoke check: do the paper's headline shapes hold on
+//! the paper-scale synthetic corpus? Prints Figure-2-style numbers plus
+//! hub statistics. Run with `cargo run --release -p cafc-bench --bin smoke`.
+
+use cafc::FeatureConfig;
+use cafc_bench::{print_row, run_cafc_c_avg, run_cafc_ch, Bench};
+use cafc_webgraph::hub::{homogeneity, hub_clusters};
+use cafc_webgraph::HubClusterOptions;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let bench = Bench::paper_scale();
+    println!(
+        "corpus: {} form pages, {} graph pages, {} links  (built in {:?})",
+        bench.targets.len(),
+        bench.web.graph.len(),
+        bench.web.graph.num_links(),
+        t0.elapsed()
+    );
+
+    // Hub statistics (§3.1).
+    let (clusters, stats) = hub_clusters(
+        &bench.web.graph,
+        &bench.targets,
+        &HubClusterOptions { min_cardinality: 1, ..HubClusterOptions::default() },
+    );
+    let homog = homogeneity(&clusters, &bench.labels).unwrap_or(0.0);
+    println!(
+        "hubs: {} distinct clusters, {:.1}% homogeneous, {} pages w/o backlinks, {} uncovered",
+        stats.distinct_clusters,
+        homog * 100.0,
+        stats.targets_without_backlinks,
+        stats.targets_uncovered
+    );
+    let (clusters8, stats8) = hub_clusters(
+        &bench.web.graph,
+        &bench.targets,
+        &HubClusterOptions::default(),
+    );
+    println!(
+        "  at min cardinality 8: {} clusters ({:.1}% homogeneous)",
+        stats8.clusters_after_filter,
+        homogeneity(&clusters8, &bench.labels).unwrap_or(0.0) * 100.0
+    );
+
+    for (name, config) in [
+        ("FC", FeatureConfig::FcOnly),
+        ("PC", FeatureConfig::PcOnly),
+        ("FC+PC", FeatureConfig::combined()),
+    ] {
+        let space = bench.space(config);
+        let t = Instant::now();
+        let c = run_cafc_c_avg(&space, &bench.labels, 100);
+        print_row(&format!("CAFC-C  {name}"), &c);
+        let (ch, out) = run_cafc_ch(&bench, &space, 8, 200);
+        print_row(&format!("CAFC-CH {name}"), &ch);
+        println!(
+            "   [hub seeds {}, padded {}]  ({:?})",
+            out.hub_seeds,
+            out.padded_seeds,
+            t.elapsed()
+        );
+    }
+}

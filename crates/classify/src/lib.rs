@@ -1,0 +1,254 @@
+//! # cafc-classify
+//!
+//! A generic searchable-form classifier — the pre-processing substrate the
+//! paper assumes as input: "We assume that the input to our clustering
+//! algorithm consists of only searchable forms. Non-searchable forms can
+//! be filtered out using techniques such as the generic form classifier
+//! proposed in \[3\]" (Barbosa & Freire, WebDB 2005).
+//!
+//! That classifier is a decision procedure over *structural* form features
+//! (field-type counts, method, action keywords) — deliberately
+//! domain-independent, since it runs before any domain organization exists.
+//! We implement it as an interpretable feature-scoring model with the same
+//! feature set, hand-calibrated on the corpus generator's form phenomenology
+//! and exposed for inspection via [`FormFeatures`].
+
+#![warn(missing_docs)]
+
+use cafc_html::{Form, FormFieldKind};
+
+/// Structural features of a form, the classifier's input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormFeatures {
+    /// Number of user-fillable fields.
+    pub query_fields: usize,
+    /// Free-text inputs (`text`/`textarea`).
+    pub text_fields: usize,
+    /// Password inputs.
+    pub password_fields: usize,
+    /// `<select>` fields.
+    pub selects: usize,
+    /// Checkboxes + radios.
+    pub toggles: usize,
+    /// File-upload fields.
+    pub file_fields: usize,
+    /// Form method is POST.
+    pub is_post: bool,
+    /// Action URL or submit label contains a search-ish keyword.
+    pub search_keyword: bool,
+    /// Action URL or submit label contains an account/contact keyword.
+    pub account_keyword: bool,
+}
+
+/// Keywords indicating a query interface.
+const SEARCH_KEYWORDS: &[&str] =
+    &["search", "find", "query", "browse", "lookup", "results", "go", "show"];
+
+/// Keywords indicating account management / contact workflows.
+const ACCOUNT_KEYWORDS: &[&str] = &[
+    "login", "logon", "signin", "register", "signup", "subscribe", "password", "quote",
+    "contact", "feedback", "checkout", "cart", "mail",
+];
+
+impl FormFeatures {
+    /// Extract features from a parsed form.
+    pub fn extract(form: &Form) -> FormFeatures {
+        let mut f = FormFeatures {
+            query_fields: 0,
+            text_fields: 0,
+            password_fields: 0,
+            selects: 0,
+            toggles: 0,
+            file_fields: 0,
+            is_post: form.method == cafc_html::FormMethod::Post,
+            search_keyword: false,
+            account_keyword: false,
+        };
+        for field in &form.fields {
+            if field.kind.is_query_attribute() {
+                f.query_fields += 1;
+            }
+            match field.kind {
+                FormFieldKind::Text | FormFieldKind::Textarea => f.text_fields += 1,
+                FormFieldKind::Password => f.password_fields += 1,
+                FormFieldKind::Select => f.selects += 1,
+                FormFieldKind::Checkbox | FormFieldKind::Radio => f.toggles += 1,
+                FormFieldKind::File => f.file_fields += 1,
+                _ => {}
+            }
+        }
+        let mut haystack = form.action.clone().unwrap_or_default().to_ascii_lowercase();
+        for label in form.submit_labels() {
+            haystack.push(' ');
+            haystack.push_str(&label.to_ascii_lowercase());
+        }
+        f.search_keyword = SEARCH_KEYWORDS.iter().any(|k| haystack.contains(k));
+        f.account_keyword = ACCOUNT_KEYWORDS.iter().any(|k| haystack.contains(k));
+        f
+    }
+
+    /// Classifier score; positive means searchable.
+    pub fn score(&self) -> f64 {
+        let mut s = 0.0;
+        // Hard negatives: a password field means account management, not a
+        // database query; file uploads likewise.
+        s -= 6.0 * self.password_fields as f64;
+        s -= 3.0 * self.file_fields as f64;
+        // Selects and toggles are the fingerprints of structured query
+        // interfaces.
+        s += 1.6 * self.selects as f64;
+        s += 0.4 * self.toggles as f64;
+        // A lone text box is a keyword interface *if* the surrounding
+        // evidence says "search".
+        if self.text_fields >= 1 {
+            s += 0.8;
+        }
+        // Many text boxes (name/email/phone/comments) suggest data entry.
+        if self.text_fields >= 3 && self.selects == 0 {
+            s -= 2.5;
+        }
+        if self.search_keyword {
+            s += 2.0;
+        }
+        if self.account_keyword {
+            s -= 3.0;
+        }
+        // Searchable interfaces overwhelmingly use GET; POST correlates
+        // with state-changing submissions.
+        if self.is_post {
+            s -= 0.7;
+        }
+        if self.query_fields == 0 {
+            s -= 5.0;
+        }
+        s
+    }
+}
+
+/// Is this form a searchable query interface?
+pub fn is_searchable(form: &Form) -> bool {
+    FormFeatures::extract(form).score() > 0.0
+}
+
+/// Filter a page's forms down to the searchable ones.
+pub fn searchable_forms(doc: &cafc_html::Document) -> Vec<Form> {
+    cafc_html::extract_forms(doc).into_iter().filter(is_searchable).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafc_html::parse;
+
+    fn form(html: &str) -> Form {
+        let doc = parse(html);
+        cafc_html::extract_forms(&doc).remove(0)
+    }
+
+    #[test]
+    fn keyword_search_form_is_searchable() {
+        let f = form(r#"<form action="/search"><input name=q><input type=submit value=Search></form>"#);
+        assert!(is_searchable(&f));
+    }
+
+    #[test]
+    fn multi_attribute_form_is_searchable() {
+        let f = form(
+            r#"<form action="/find" method=get>
+            <select name=make><option>Ford</option><option>Toyota</option></select>
+            <select name=year><option>2005</option></select>
+            <input type=text name=zip>
+            <input type=submit value="Find Cars"></form>"#,
+        );
+        assert!(is_searchable(&f));
+    }
+
+    #[test]
+    fn login_form_is_not_searchable() {
+        let f = form(
+            r#"<form action="/login" method=post>
+            <input name=user><input type=password name=pass>
+            <input type=submit value=Login></form>"#,
+        );
+        assert!(!is_searchable(&f));
+    }
+
+    #[test]
+    fn signup_form_is_not_searchable() {
+        let f = form(
+            r#"<form action="/register" method=post>
+            <input name=name><input name=email>
+            <input type=password name=pw><input type=password name=pw2>
+            <input type=submit value="Create Account"></form>"#,
+        );
+        assert!(!is_searchable(&f));
+    }
+
+    #[test]
+    fn quote_request_is_not_searchable() {
+        let f = form(
+            r#"<form action="/quote" method=post>
+            <input name=name><input name=phone><input name=email>
+            <textarea name=comments></textarea>
+            <input type=submit value="Request Quote"></form>"#,
+        );
+        assert!(!is_searchable(&f));
+    }
+
+    #[test]
+    fn newsletter_is_not_searchable() {
+        let f = form(
+            r#"<form action="/subscribe" method=post>
+            <input name=email><input type=submit value=Subscribe></form>"#,
+        );
+        assert!(!is_searchable(&f));
+    }
+
+    #[test]
+    fn empty_form_is_not_searchable() {
+        let f = form("<form action=/x></form>");
+        assert!(!is_searchable(&f));
+    }
+
+    #[test]
+    fn post_search_form_still_searchable_with_selects() {
+        // Some real search interfaces POST; structure outweighs the method.
+        let f = form(
+            r#"<form action="/search" method=post>
+            <select name=genre><option>Rock</option></select>
+            <select name=year><option>May</option></select>
+            <input type=submit value=Search></form>"#,
+        );
+        assert!(is_searchable(&f));
+    }
+
+    #[test]
+    fn features_extraction() {
+        let f = form(
+            r#"<form action="/search" method=post>
+            <input name=a><input type=password name=b>
+            <select name=c><option>x</option></select>
+            <input type=checkbox name=d>
+            <input type=submit value=Go></form>"#,
+        );
+        let feats = FormFeatures::extract(&f);
+        assert_eq!(feats.text_fields, 1);
+        assert_eq!(feats.password_fields, 1);
+        assert_eq!(feats.selects, 1);
+        assert_eq!(feats.toggles, 1);
+        assert!(feats.is_post);
+        assert!(feats.search_keyword);
+    }
+
+    #[test]
+    fn searchable_forms_filters_page() {
+        let doc = parse(
+            r#"<form action="/search"><input name=q><input type=submit value=Search></form>
+            <form action="/login" method=post><input name=u><input type=password name=p>
+            <input type=submit value=Login></form>"#,
+        );
+        let forms = searchable_forms(&doc);
+        assert_eq!(forms.len(), 1);
+        assert_eq!(forms[0].action.as_deref(), Some("/search"));
+    }
+}

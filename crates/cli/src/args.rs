@@ -1,0 +1,114 @@
+//! A small flag parser: `--key value`, `--switch`, and positionals.
+//!
+//! Deliberately dependency-free: four subcommands with a handful of flags
+//! do not justify pulling in a CLI framework (see DESIGN.md's dependency
+//! policy).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// Known flag names that take a value; everything else starting with `--`
+/// is treated as a boolean switch.
+const VALUE_FLAGS: &[&str] = &[
+    "out", "input", "clusters", "k", "seed", "pages", "algorithm", "report", "min-cardinality",
+    "limit", "features",
+];
+
+impl Args {
+    /// Parse a raw argument list (without the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if VALUE_FLAGS.contains(&name) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                    args.flags.insert(name.to_owned(), value);
+                } else {
+                    args.switches.push(name.to_owned());
+                }
+            } else {
+                args.positional.push(arg);
+            }
+        }
+        Ok(args)
+    }
+
+    /// String flag value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Parsed u64 flag with a default.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Boolean switch presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| (*s).to_owned())).expect("parses")
+    }
+
+    #[test]
+    fn flags_switches_positionals() {
+        let a = parse(&["--k", "8", "--auto-k", "cheap flights", "--seed", "3"]);
+        assert_eq!(a.get("k"), Some("8"));
+        assert_eq!(a.get_u64("seed", 0).expect("number"), 3);
+        assert!(a.has("auto-k"));
+        assert!(!a.has("missing"));
+        assert_eq!(a.positional(), ["cheap flights"]);
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = parse(&[]);
+        assert_eq!(a.get_usize("k", 8).expect("default"), 8);
+        assert!(a.require("input").is_err());
+        let a = parse(&["--k", "many"]);
+        assert!(a.get_usize("k", 8).is_err());
+    }
+
+    #[test]
+    fn value_flag_without_value_errors() {
+        assert!(Args::parse(vec!["--out".to_owned()]).is_err());
+    }
+}

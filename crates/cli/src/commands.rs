@@ -1,0 +1,282 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use cafc::{
+    cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, HubClusterOptions,
+    KMeansOptions, ModelOptions, Partition,
+};
+use cafc_cluster::{
+    bisecting_kmeans, choose_k, hac_from_singletons, kmeans, random_singleton_seeds,
+    BisectOptions, HacOptions, Linkage,
+};
+use cafc_corpus::{export_web, generate as generate_web, load_web, CorpusConfig, LoadedWeb};
+use cafc_explore::{html_report, ClusterIndex};
+use cafc_webgraph::PageId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+/// `cafc generate` — synthesize a corpus to disk.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let pages = args.get_usize("pages", 454)?;
+    let seed = args.get_u64("seed", 3)?;
+    let config = CorpusConfig {
+        total_form_pages: pages,
+        single_attribute_count: (pages / 8).max(1),
+        non_searchable_count: (pages / 8).max(1),
+        hubs_per_domain: (pages).max(8),
+        mixed_hubs: (pages / 4).max(2),
+        seed,
+        ..CorpusConfig::default()
+    };
+    let web = generate_web(&config);
+    let written = export_web(&web, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {written} pages ({} form pages, {} hubs) to {out}",
+        web.form_pages.len(),
+        web.hubs.len()
+    );
+    Ok(())
+}
+
+/// Everything the clustering subcommands share: the loaded corpus,
+/// vectorized model and ids.
+struct Prepared {
+    web: LoadedWeb,
+    targets: Vec<PageId>,
+    corpus: FormPageCorpus,
+}
+
+fn prepare(input: &str) -> Result<Prepared, String> {
+    let web = load_web(Path::new(input)).map_err(|e| format!("loading {input}: {e}"))?;
+    let targets = web.form_page_ids();
+    if targets.is_empty() {
+        return Err(format!("{input} contains no form pages (manifest kind=\"form\")"));
+    }
+    let corpus = FormPageCorpus::from_graph(&web.graph, &targets, &ModelOptions::default());
+    Ok(Prepared { web, targets, corpus })
+}
+
+fn feature_config(args: &Args) -> Result<FeatureConfig, String> {
+    match args.get("features").unwrap_or("both") {
+        "fc" => Ok(FeatureConfig::FcOnly),
+        "pc" => Ok(FeatureConfig::PcOnly),
+        "both" => Ok(FeatureConfig::combined()),
+        other => Err(format!("--features expects fc|pc|both, got {other:?}")),
+    }
+}
+
+fn run_clustering(prepared: &Prepared, args: &Args) -> Result<Partition, String> {
+    let features = feature_config(args)?;
+    let space = FormPageSpace::new(&prepared.corpus, features);
+    let seed = args.get_u64("seed", 1)?;
+    let algorithm = args.get("algorithm").unwrap_or("cafc-ch");
+
+    if args.has("auto-k") {
+        // Sweep k with silhouette (CAFC-C inner loop; CAFC-CH would re-pick
+        // identical hub seeds for every k below the candidate count).
+        let (k, partition, scores) = choose_k(&space, 2..=16, |k| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let seeds = random_singleton_seeds(&space, k, &mut rng);
+            kmeans(&space, &seeds, &KMeansOptions::default()).partition
+        })
+        .ok_or("no valid k in 2..=16 for this corpus")?;
+        println!("auto-k: chose k = {k} (silhouette sweep: {scores:?})");
+        return Ok(partition);
+    }
+
+    let k = args.get_usize("k", 8)?;
+    if k == 0 || k > prepared.targets.len() {
+        return Err(format!("--k {k} out of range for {} pages", prepared.targets.len()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let partition = match algorithm {
+        "cafc-ch" => {
+            let config = CafcChConfig {
+                k,
+                hub: HubClusterOptions {
+                    min_cardinality: args.get_usize("min-cardinality", 8)?,
+                    ..HubClusterOptions::default()
+                },
+                kmeans: KMeansOptions::default(),
+                min_hub_quality: None,
+            };
+            let out = cafc_ch(&prepared.web.graph, &prepared.targets, &space, &config, &mut rng);
+            println!(
+                "CAFC-CH: {} hub seeds, {} padded, {} iterations",
+                out.hub_seeds, out.padded_seeds, out.outcome.iterations
+            );
+            out.outcome.partition
+        }
+        "cafc-c" => {
+            let seeds = random_singleton_seeds(&space, k, &mut rng);
+            kmeans(&space, &seeds, &KMeansOptions::default()).partition
+        }
+        "hac" => hac_from_singletons(
+            &space,
+            &HacOptions { target_clusters: k, linkage: Linkage::Average },
+        ),
+        "bisect" => bisecting_kmeans(
+            &space,
+            &BisectOptions { target_clusters: k, ..Default::default() },
+            &mut rng,
+        ),
+        other => return Err(format!("unknown --algorithm {other:?}")),
+    };
+    Ok(partition)
+}
+
+/// Serialize cluster assignments: `{"clusters": [[urls...], ...]}`.
+fn clusters_json(prepared: &Prepared, partition: &Partition) -> String {
+    let mut cluster_strs = Vec::new();
+    for members in partition.clusters() {
+        let urls: Vec<String> = members
+            .iter()
+            .map(|&m| format!("\"{}\"", prepared.web.graph.url(prepared.targets[m])))
+            .collect();
+        cluster_strs.push(format!("[{}]", urls.join(",")));
+    }
+    format!("{{\"clusters\": [\n{}\n]}}\n", cluster_strs.join(",\n"))
+}
+
+/// `cafc cluster`.
+pub fn cluster(args: &Args) -> Result<(), String> {
+    let prepared = prepare(args.require("input")?)?;
+    let partition = run_clustering(&prepared, args)?;
+
+    let index = ClusterIndex::from_graph(
+        &prepared.corpus,
+        &partition,
+        &prepared.web.graph,
+        &prepared.targets,
+        6,
+    );
+    for summary in index.summaries() {
+        if summary.entries.is_empty() {
+            continue;
+        }
+        println!("cluster {:>2}: {:>4} pages  {}", summary.cluster, summary.entries.len(), summary.label);
+    }
+
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, clusters_json(&prepared, &partition))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(report) = args.get("report") {
+        std::fs::write(report, html_report(&index))
+            .map_err(|e| format!("writing {report}: {e}"))?;
+        println!("wrote {report}");
+    }
+
+    // If the manifest carries gold labels, score for free.
+    let labels = prepared.web.form_page_labels();
+    if labels.iter().any(|l| l != "unknown") {
+        print_quality(partition.clusters(), &labels);
+    }
+    Ok(())
+}
+
+fn print_quality(clusters: &[Vec<usize>], labels: &[String]) {
+    println!(
+        "gold-standard quality: entropy {:.3}  F {:.3}  NMI {:.3}  ARI {:.3}",
+        cafc_eval::entropy(clusters, labels, cafc_eval::EntropyBase::Two),
+        cafc_eval::f_measure(clusters, labels),
+        cafc_eval::nmi(clusters, labels),
+        cafc_eval::adjusted_rand_index(clusters, labels),
+    );
+}
+
+/// `cafc search`.
+pub fn search(args: &Args) -> Result<(), String> {
+    let query = args.positional().join(" ");
+    if query.trim().is_empty() {
+        return Err("search expects a query, e.g. `cafc search --input DIR cheap flights`".into());
+    }
+    let prepared = prepare(args.require("input")?)?;
+    let partition = run_clustering(&prepared, args)?;
+    let index = ClusterIndex::from_graph(
+        &prepared.corpus,
+        &partition,
+        &prepared.web.graph,
+        &prepared.targets,
+        6,
+    );
+
+    println!("clusters matching {query:?}:");
+    for hit in index.search(&query).into_iter().take(3) {
+        let summary = &index.summaries()[hit.cluster];
+        println!("  {:.3}  {} ({} databases)", hit.score, summary.label, summary.entries.len());
+    }
+    let limit = args.get_usize("limit", 5)?;
+    println!("databases matching {query:?}:");
+    for hit in index.search_pages(&query, limit) {
+        let entry = hit.item.and_then(|i| index.entry(i));
+        if let Some(entry) = entry {
+            println!("  {:.3}  {}  {}", hit.score, entry.title, entry.url);
+        }
+    }
+    Ok(())
+}
+
+/// `cafc eval` — score a clusters.json against manifest labels.
+pub fn eval(args: &Args) -> Result<(), String> {
+    let prepared = prepare(args.require("input")?)?;
+    let clusters_path = args.require("clusters")?;
+    let json = std::fs::read_to_string(clusters_path)
+        .map_err(|e| format!("reading {clusters_path}: {e}"))?;
+
+    // Map URLs back to item indices.
+    let url_to_item: std::collections::HashMap<String, usize> = prepared
+        .targets
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (prepared.web.graph.url(p).to_string(), i))
+        .collect();
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    // Parse [["url",...],...] with a simple scanner over quoted strings per
+    // inner array.
+    let inner = json
+        .find('[')
+        .map(|i| &json[i..])
+        .ok_or("clusters file contains no array")?;
+    let mut current: Option<Vec<usize>> = None;
+    let mut chars = inner.char_indices().peekable();
+    while let Some((pos, c)) = chars.next() {
+        match c {
+            '[' if pos > 0 => current = Some(Vec::new()),
+            ']' => {
+                if let Some(done) = current.take() {
+                    clusters.push(done);
+                }
+            }
+            '"' => {
+                let start = pos + 1;
+                let mut end = start;
+                for (p, q) in chars.by_ref() {
+                    if q == '"' {
+                        end = p;
+                        break;
+                    }
+                }
+                let url = &inner[start..end];
+                if let Some(&item) = url_to_item.get(url) {
+                    if let Some(cur) = current.as_mut() {
+                        cur.push(item);
+                    }
+                } else {
+                    return Err(format!("clusters file references unknown URL {url:?}"));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let labels = prepared.web.form_page_labels();
+    if labels.iter().all(|l| l == "unknown") {
+        return Err("manifest has no gold labels to evaluate against".into());
+    }
+    print_quality(&clusters, &labels);
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! `cafc` — organize hidden-web databases from the command line.
+//!
+//! ```text
+//! cafc generate --out DIR [--pages N] [--seed S]
+//!     Synthesize a deep-web corpus and write it to DIR
+//!     (manifest.json + pages/*.html).
+//!
+//! cafc cluster --input DIR [--k N | --auto-k] [--algorithm cafc-ch|cafc-c|hac|bisect]
+//!              [--features fc|pc|both] [--min-cardinality N] [--seed S]
+//!              [--out clusters.json] [--report FILE.html]
+//!     Cluster the corpus in DIR; optionally write assignments and an HTML
+//!     directory report.
+//!
+//! cafc search --input DIR [--k N] [--limit N] QUERY...
+//!     Cluster then search: rank clusters and databases against QUERY.
+//!
+//! cafc eval --input DIR --clusters clusters.json
+//!     Score a clustering against the gold labels in the manifest.
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let parsed = match args::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(&parsed),
+        "cluster" => commands::cluster(&parsed),
+        "search" => commands::search(&parsed),
+        "eval" => commands::eval(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "cafc — organize hidden-web databases (CAFC, ICDE 2007)
+
+USAGE:
+    cafc generate --out DIR [--pages N] [--seed S]
+    cafc cluster  --input DIR [--k N | --auto-k]
+                  [--algorithm cafc-ch|cafc-c|hac|bisect]
+                  [--features fc|pc|both] [--min-cardinality N] [--seed S]
+                  [--out clusters.json] [--report FILE.html]
+    cafc search   --input DIR [--k N] [--limit N] QUERY...
+    cafc eval     --input DIR --clusters clusters.json"
+}

@@ -1,0 +1,129 @@
+//! End-to-end tests of the `cafc` binary: generate → cluster → eval →
+//! search over a real temp directory, driving the compiled executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cafc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cafc"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cafc-cli-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "command failed.\nstdout: {stdout}\nstderr: {stderr}");
+    stdout
+}
+
+#[test]
+fn generate_cluster_eval_search_pipeline() {
+    let dir = tmpdir("pipeline");
+    let dir_s = dir.to_str().expect("utf8 temp path");
+
+    let out = run_ok(cafc()
+        .args(["generate", "--out", dir_s, "--pages", "64", "--seed", "9"]));
+    assert!(out.contains("64 form pages"), "{out}");
+    assert!(dir.join("manifest.json").exists());
+    assert!(dir.join("pages/0.html").exists());
+
+    let clusters = dir.join("clusters.json");
+    let report = dir.join("dir.html");
+    let out = run_ok(cafc().args([
+        "cluster",
+        "--input",
+        dir_s,
+        "--k",
+        "8",
+        "--out",
+        clusters.to_str().expect("utf8"),
+        "--report",
+        report.to_str().expect("utf8"),
+    ]));
+    assert!(out.contains("cluster"), "{out}");
+    assert!(out.contains("gold-standard quality"), "{out}");
+    assert!(clusters.exists());
+    let html = std::fs::read_to_string(&report).expect("report written");
+    assert!(html.contains("Hidden-Web Database Directory"));
+
+    let out = run_ok(cafc().args([
+        "eval",
+        "--input",
+        dir_s,
+        "--clusters",
+        clusters.to_str().expect("utf8"),
+    ]));
+    assert!(out.contains("entropy"), "{out}");
+    assert!(out.contains("ARI"), "{out}");
+
+    let out = run_ok(cafc().args(["search", "--input", dir_s, "cheap", "flights"]));
+    assert!(out.contains("clusters matching"), "{out}");
+    assert!(out.contains("databases matching"), "{out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cluster_with_alternative_algorithms() {
+    let dir = tmpdir("algos");
+    let dir_s = dir.to_str().expect("utf8 temp path");
+    run_ok(cafc().args(["generate", "--out", dir_s, "--pages", "48", "--seed", "4"]));
+    for algorithm in ["cafc-c", "hac", "bisect"] {
+        let out = run_ok(cafc().args([
+            "cluster",
+            "--input",
+            dir_s,
+            "--k",
+            "8",
+            "--algorithm",
+            algorithm,
+        ]));
+        assert!(out.contains("gold-standard quality"), "{algorithm}: {out}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_k_flag() {
+    let dir = tmpdir("autok");
+    let dir_s = dir.to_str().expect("utf8 temp path");
+    run_ok(cafc().args(["generate", "--out", dir_s, "--pages", "48", "--seed", "6"]));
+    let out = run_ok(cafc().args(["cluster", "--input", dir_s, "--auto-k"]));
+    assert!(out.contains("auto-k: chose k ="), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn helpful_errors() {
+    let out = cafc().args(["cluster"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+
+    let out = cafc().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = cafc().output().expect("binary runs");
+    assert!(!out.status.success());
+
+    let out = cafc().args(["help"]).output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn search_requires_query() {
+    let dir = tmpdir("noquery");
+    let dir_s = dir.to_str().expect("utf8 temp path");
+    run_ok(cafc().args(["generate", "--out", dir_s, "--pages", "48", "--seed", "2"]));
+    let out = cafc().args(["search", "--input", dir_s]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("query"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

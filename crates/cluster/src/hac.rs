@@ -1,0 +1,322 @@
+//! Hierarchical agglomerative clustering (§4.3 of the paper).
+//!
+//! "HAC starts with the individual documents as initial clusters and, at
+//! each step, combines the closest pair of clusters." Table 2 also runs
+//! HAC *from hub clusters*, so [`hac`] accepts an arbitrary starting
+//! partition. Cluster distance is `1 − similarity` under the chosen
+//! [`Linkage`].
+//!
+//! Complexity is O(g² · n) in the number of starting groups `g` for the
+//! pairwise linkages (via Lance–Williams updates) — entirely adequate for
+//! the paper's 454-page corpus and our benchmark sweeps.
+
+use crate::partition::Partition;
+use crate::space::ClusterSpace;
+
+/// Linkage criterion: how the distance between two clusters is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise item distance.
+    Single,
+    /// Maximum pairwise item distance.
+    Complete,
+    /// Unweighted average pairwise item distance (UPGMA).
+    Average,
+    /// Distance between cluster centroids (recomputed on merge) — matches
+    /// the paper's Equation 3/4 machinery most directly.
+    Centroid,
+}
+
+/// HAC options.
+#[derive(Debug, Clone, Copy)]
+pub struct HacOptions {
+    /// Stop when this many clusters remain.
+    pub target_clusters: usize,
+    /// Linkage criterion (default: centroid, like the paper's k-means side).
+    pub linkage: Linkage,
+}
+
+impl Default for HacOptions {
+    fn default() -> Self {
+        HacOptions { target_clusters: 8, linkage: Linkage::Centroid }
+    }
+}
+
+/// Run HAC down to `opts.target_clusters` clusters.
+///
+/// `initial` is the starting partition: pass one singleton per item for
+/// classic HAC, or hub clusters plus singletons for the seeded variant.
+/// Items absent from `initial` are added as singletons automatically.
+pub fn hac<S: ClusterSpace>(space: &S, initial: &[Vec<usize>], opts: &HacOptions) -> Partition {
+    let n = space.len();
+    let mut groups: Vec<Vec<usize>> = initial.iter().filter(|g| !g.is_empty()).cloned().collect();
+    // Add unassigned items as singletons.
+    let mut seen = vec![false; n];
+    for g in &groups {
+        for &m in g {
+            seen[m] = true;
+        }
+    }
+    for (item, &s) in seen.iter().enumerate() {
+        if !s {
+            groups.push(vec![item]);
+        }
+    }
+    if groups.len() <= opts.target_clusters {
+        return Partition::new(groups, n);
+    }
+
+    match opts.linkage {
+        Linkage::Centroid => hac_centroid(space, groups, opts.target_clusters, n),
+        _ => hac_pairwise(space, groups, opts, n),
+    }
+}
+
+/// Centroid linkage: merge the pair with the most similar centroids and
+/// recompute the merged centroid.
+fn hac_centroid<S: ClusterSpace>(
+    space: &S,
+    mut groups: Vec<Vec<usize>>,
+    target: usize,
+    n: usize,
+) -> Partition {
+    let mut centroids: Vec<S::Centroid> = groups.iter().map(|g| space.centroid(g)).collect();
+    while groups.len() > target {
+        let (mut bi, mut bj, mut best) = (0, 1, f64::NEG_INFINITY);
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                let sim = space.centroid_similarity(&centroids[i], &centroids[j]);
+                if sim > best {
+                    best = sim;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let merged_members = {
+            let mut m = groups[bi].clone();
+            m.extend_from_slice(&groups[bj]);
+            m
+        };
+        // Remove j first (j > i) to keep indices valid.
+        groups.remove(bj);
+        centroids.remove(bj);
+        groups[bi] = merged_members;
+        centroids[bi] = space.centroid(&groups[bi]);
+    }
+    Partition::new(groups, n)
+}
+
+/// Single/complete/average linkage over a pairwise distance matrix with
+/// Lance–Williams updates.
+fn hac_pairwise<S: ClusterSpace>(
+    space: &S,
+    mut groups: Vec<Vec<usize>>,
+    opts: &HacOptions,
+    n: usize,
+) -> Partition {
+    let g = groups.len();
+    // dist[i][j] for i<j; initialized from linkage over item pairs.
+    let mut dist = vec![vec![0.0f64; g]; g];
+    for i in 0..g {
+        for j in (i + 1)..g {
+            let d = group_distance(space, &groups[i], &groups[j], opts.linkage);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    let mut alive: Vec<bool> = vec![true; g];
+    let mut sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+    let mut remaining = g;
+
+    while remaining > opts.target_clusters {
+        // Find the closest live pair.
+        let (mut bi, mut bj, mut best) = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..g {
+            if !alive[i] {
+                continue;
+            }
+            for j in (i + 1)..g {
+                if !alive[j] {
+                    continue;
+                }
+                if dist[i][j] < best {
+                    best = dist[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        // Merge bj into bi, updating distances by Lance–Williams.
+        for k in 0..g {
+            if !alive[k] || k == bi || k == bj {
+                continue;
+            }
+            let dik = dist[bi][k];
+            let djk = dist[bj][k];
+            let d = match opts.linkage {
+                Linkage::Single => dik.min(djk),
+                Linkage::Complete => dik.max(djk),
+                Linkage::Average => {
+                    let (si, sj) = (sizes[bi] as f64, sizes[bj] as f64);
+                    (si * dik + sj * djk) / (si + sj)
+                }
+                Linkage::Centroid => unreachable!("handled by hac_centroid"),
+            };
+            dist[bi][k] = d;
+            dist[k][bi] = d;
+        }
+        let moved = std::mem::take(&mut groups[bj]);
+        groups[bi].extend(moved);
+        sizes[bi] += sizes[bj];
+        alive[bj] = false;
+        remaining -= 1;
+    }
+    let final_groups: Vec<Vec<usize>> =
+        groups.into_iter().zip(alive).filter(|(_, a)| *a).map(|(g, _)| g).collect();
+    Partition::new(final_groups, n)
+}
+
+/// Initial inter-group distance under a pairwise linkage.
+fn group_distance<S: ClusterSpace>(
+    space: &S,
+    a: &[usize],
+    b: &[usize],
+    linkage: Linkage,
+) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for &x in a {
+        for &y in b {
+            let d = 1.0 - space.item_similarity(x, y);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            count += 1;
+        }
+    }
+    match linkage {
+        Linkage::Single => min,
+        Linkage::Complete => max,
+        Linkage::Average => sum / count.max(1) as f64,
+        Linkage::Centroid => unreachable!("handled by hac_centroid"),
+    }
+}
+
+/// Convenience: classic HAC from singletons.
+pub fn hac_from_singletons<S: ClusterSpace>(space: &S, opts: &HacOptions) -> Partition {
+    hac(space, &[], opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DenseSpace;
+
+    fn blobs() -> DenseSpace {
+        DenseSpace::new(vec![
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![10.0],
+            vec![10.1],
+            vec![10.2],
+        ])
+    }
+
+    fn sorted(p: &Partition) -> Vec<Vec<usize>> {
+        let mut cs: Vec<Vec<usize>> = p
+            .clusters()
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        cs.sort();
+        cs
+    }
+
+    #[test]
+    fn separates_blobs_every_linkage() {
+        let space = blobs();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Centroid] {
+            let p = hac_from_singletons(&space, &HacOptions { target_clusters: 2, linkage });
+            assert_eq!(
+                sorted(&p),
+                vec![vec![0, 1, 2], vec![3, 4, 5]],
+                "linkage {linkage:?} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_target_cluster_count() {
+        let space = blobs();
+        for target in 1..=6 {
+            let p = hac_from_singletons(
+                &space,
+                &HacOptions { target_clusters: target, linkage: Linkage::Average },
+            );
+            assert_eq!(p.num_clusters(), target);
+            assert_eq!(p.num_assigned(), 6);
+        }
+    }
+
+    #[test]
+    fn seeded_start_preserves_groups() {
+        let space = blobs();
+        // Start with {0,1,2} pre-grouped; remaining items join as singletons.
+        let p = hac(
+            &space,
+            &[vec![0, 1, 2]],
+            &HacOptions { target_clusters: 2, linkage: Linkage::Centroid },
+        );
+        let cs = sorted(&p);
+        assert_eq!(cs, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn initial_already_coarse_enough() {
+        let space = blobs();
+        let init = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let p = hac(&space, &init, &HacOptions { target_clusters: 4, linkage: Linkage::Average });
+        // Only 2 groups supplied and target is 4 -> returned unchanged plus
+        // nothing (all items covered).
+        assert_eq!(p.num_clusters(), 2);
+    }
+
+    #[test]
+    fn empty_groups_in_initial_ignored() {
+        let space = blobs();
+        let p = hac(
+            &space,
+            &[vec![], vec![0, 1]],
+            &HacOptions { target_clusters: 2, linkage: Linkage::Average },
+        );
+        assert_eq!(p.num_assigned(), 6);
+        assert_eq!(p.num_clusters(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let space = blobs();
+        let o = HacOptions { target_clusters: 3, linkage: Linkage::Average };
+        assert_eq!(hac_from_singletons(&space, &o), hac_from_singletons(&space, &o));
+    }
+
+    #[test]
+    fn single_linkage_chains() {
+        // A chain 0-1-2-3 with equal gaps plus a far point: single linkage
+        // merges the chain before the outlier.
+        let space = DenseSpace::new(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![100.0]]);
+        let p = hac_from_singletons(
+            &space,
+            &HacOptions { target_clusters: 2, linkage: Linkage::Single },
+        );
+        assert_eq!(sorted(&p), vec![vec![0, 1, 2, 3], vec![4]]);
+    }
+}

@@ -1,0 +1,214 @@
+//! K-means with the CAFC stopping rule (Algorithm 1 of the paper).
+//!
+//! The variant used by CAFC-C differs from textbook k-means in two ways
+//! that we reproduce faithfully:
+//!
+//! * seeds are *clusters* (possibly multi-member — hub clusters in
+//!   CAFC-CH), not necessarily single points;
+//! * the loop stops when fewer than 10 % of items move between clusters,
+//!   not on full convergence ("until fewer than 10 % of the form pages move
+//!   across clusters").
+
+use crate::partition::Partition;
+use crate::space::ClusterSpace;
+
+/// K-means options.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansOptions {
+    /// Stop when the fraction of items that changed cluster in an iteration
+    /// drops below this value (paper: 0.10).
+    pub move_fraction_threshold: f64,
+    /// Hard iteration cap (safety net; the paper's criterion converges in a
+    /// handful of iterations on its data).
+    pub max_iterations: usize,
+}
+
+impl Default for KMeansOptions {
+    fn default() -> Self {
+        KMeansOptions { move_fraction_threshold: 0.10, max_iterations: 100 }
+    }
+}
+
+/// K-means result.
+#[derive(Debug, Clone)]
+pub struct KMeansOutcome {
+    /// Final partition of all items into `k` clusters (some possibly empty).
+    pub partition: Partition,
+    /// Number of assignment iterations performed.
+    pub iterations: usize,
+    /// Whether the move-fraction criterion was met (vs. the iteration cap).
+    pub converged: bool,
+}
+
+/// Run k-means from the given seed clusters.
+///
+/// `seeds` supplies the initial clusters whose centroids start the loop;
+/// member indices must be valid items of `space`. All items (including any
+/// not mentioned in `seeds`) are assigned in the first iteration.
+///
+/// # Panics
+/// Panics if `seeds` is empty or any seed cluster is empty.
+pub fn kmeans<S: ClusterSpace>(
+    space: &S,
+    seeds: &[Vec<usize>],
+    opts: &KMeansOptions,
+) -> KMeansOutcome {
+    assert!(!seeds.is_empty(), "kmeans requires at least one seed cluster");
+    assert!(seeds.iter().all(|s| !s.is_empty()), "seed clusters must be non-empty");
+    let n = space.len();
+    let k = seeds.len();
+    let mut centroids: Vec<S::Centroid> = seeds.iter().map(|s| space.centroid(s)).collect();
+
+    // usize::MAX marks "not yet assigned" so the first pass counts all items
+    // as moved.
+    let mut assignment = vec![usize::MAX; n];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < opts.max_iterations {
+        iterations += 1;
+        let mut moved = 0usize;
+        #[allow(clippy::needless_range_loop)]
+        for item in 0..n {
+            let best = (0..k)
+                .map(|c| (c, space.similarity(&centroids[c], item)))
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Deterministic tie-break: lower cluster index wins.
+                        .then(b.0.cmp(&a.0))
+                })
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+            if assignment[item] != best {
+                moved += 1;
+                assignment[item] = best;
+            }
+        }
+        // Recompute centroids; a starved cluster keeps its previous centroid
+        // so it can re-acquire items later.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (item, &c) in assignment.iter().enumerate() {
+            members[c].push(item);
+        }
+        for (c, m) in members.iter().enumerate() {
+            if !m.is_empty() {
+                centroids[c] = space.centroid(m);
+            }
+        }
+        if n == 0 || (moved as f64) / (n as f64) < opts.move_fraction_threshold {
+            converged = true;
+            break;
+        }
+    }
+
+    let partition = Partition::from_assignments(&assignment, k);
+    KMeansOutcome { partition, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DenseSpace;
+
+    /// Two well-separated 1-D blobs.
+    fn blobs() -> DenseSpace {
+        DenseSpace::new(vec![
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![10.0],
+            vec![10.1],
+            vec![10.2],
+        ])
+    }
+
+    fn strict() -> KMeansOptions {
+        // move threshold tiny -> run to stability
+        KMeansOptions { move_fraction_threshold: 1e-9, max_iterations: 100 }
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let space = blobs();
+        let out = kmeans(&space, &[vec![0], vec![3]], &strict());
+        assert!(out.converged);
+        let clusters = out.partition.clusters();
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+        assert_eq!(clusters[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn recovers_from_bad_seeds_in_same_blob() {
+        let space = blobs();
+        // Both seeds in the left blob; the right blob initially joins the
+        // nearer seed, then pulls its centroid across.
+        let out = kmeans(&space, &[vec![0], vec![2]], &strict());
+        let clusters = out.partition.clusters();
+        // All six items assigned.
+        assert_eq!(out.partition.num_assigned(), 6);
+        // The two blobs never share a cluster with each other... actually
+        // with seeds 0 and 2 the split is {0,1} / {2,3,4,5} at first, and
+        // converges to blob-pure clusters.
+        assert!(clusters.iter().all(|c| {
+            c.iter().all(|&i| i < 3) || c.iter().all(|&i| i >= 3)
+        }), "clusters mix blobs: {clusters:?}");
+    }
+
+    #[test]
+    fn multi_member_seed_clusters() {
+        let space = blobs();
+        let out = kmeans(&space, &[vec![0, 1, 2], vec![3, 4, 5]], &strict());
+        // Iteration 1 assigns everyone (all "move" from unassigned);
+        // iteration 2 confirms stability.
+        assert_eq!(out.iterations, 2, "perfect seeds converge after the confirming pass");
+        assert_eq!(out.partition.clusters()[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn paper_stopping_rule_stops_early() {
+        let space = blobs();
+        // 10% of 6 items = 0.6 -> stops as soon as <1 item moves... the
+        // first pass moves all 6, so it needs at least 2 iterations.
+        let out = kmeans(&space, &[vec![0], vec![3]], &KMeansOptions::default());
+        assert!(out.converged);
+        assert!(out.iterations >= 2);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let space = blobs();
+        let out = kmeans(&space, &[vec![0]], &strict());
+        assert_eq!(out.partition.clusters()[0].len(), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let space = blobs();
+        let a = kmeans(&space, &[vec![1], vec![4]], &strict());
+        let b = kmeans(&space, &[vec![1], vec![4]], &strict());
+        assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    fn single_item_space() {
+        let space = DenseSpace::new(vec![vec![1.0]]);
+        let out = kmeans(&space, &[vec![0]], &strict());
+        assert_eq!(out.partition.clusters(), &[vec![0]]);
+        assert!(out.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn rejects_no_seeds() {
+        let space = blobs();
+        kmeans(&space, &[], &strict());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_seed() {
+        let space = blobs();
+        kmeans(&space, &[vec![]], &strict());
+    }
+}

@@ -1,0 +1,294 @@
+//! Seeding strategies for k-means.
+//!
+//! * [`random_singleton_seeds`] — the CAFC-C baseline: "k clustering seeds
+//!   are randomly selected" (Algorithm 1, line 2).
+//! * [`greedy_distant_seeds`] — the selection loop of `SelectHubClusters`
+//!   (Algorithm 3): start from the two most distant candidate clusters and
+//!   greedily add the candidate maximizing the *sum* of distances to the
+//!   already-selected set, until `k` are chosen.
+
+use crate::space::ClusterSpace;
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// Pick `k` distinct random items as singleton seed clusters.
+///
+/// # Panics
+/// Panics if `k > space.len()` or `k == 0`.
+pub fn random_singleton_seeds<S: ClusterSpace, R: Rng>(
+    space: &S,
+    k: usize,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= space.len(), "cannot draw {k} seeds from {} items", space.len());
+    sample(rng, space.len(), k).into_iter().map(|i| vec![i]).collect()
+}
+
+/// k-means++ seeding (Arthur & Vassilvitskii, SODA 2007): the first seed
+/// is uniform; each next seed is drawn with probability proportional to
+/// the squared distance (`(1 − max similarity to chosen seeds)²`). A
+/// stronger random baseline than plain uniform seeding.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > space.len()`.
+pub fn kmeanspp_seeds<S: ClusterSpace, R: Rng>(
+    space: &S,
+    k: usize,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!(k > 0, "k must be positive");
+    let n = space.len();
+    assert!(k <= n, "cannot draw {k} seeds from {n} items");
+    let mut chosen: Vec<usize> = vec![rng.random_range(0..n)];
+    // dist2[i] = squared distance of item i to its nearest chosen seed.
+    let mut dist2: Vec<f64> =
+        (0..n).map(|i| sq_dist(space, i, chosen[0])).collect();
+    while chosen.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining items coincide with seeds; fall back to any
+            // unchosen index.
+            (0..n).find(|i| !chosen.contains(i)).expect("k <= n guarantees a free item")
+        } else {
+            let mut roll = rng.random::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                if roll < d {
+                    pick = i;
+                    break;
+                }
+                roll -= d;
+            }
+            pick
+        };
+        chosen.push(next);
+        for (i, d) in dist2.iter_mut().enumerate() {
+            *d = d.min(sq_dist(space, i, next));
+        }
+    }
+    chosen.into_iter().map(|i| vec![i]).collect()
+}
+
+fn sq_dist<S: ClusterSpace>(space: &S, a: usize, b: usize) -> f64 {
+    let d = 1.0 - space.item_similarity(a, b);
+    d * d
+}
+
+/// Greedy farthest-first selection of `k` candidate clusters (the selection
+/// half of Algorithm 3).
+///
+/// Builds the pairwise centroid-distance matrix over `candidates` (line 3),
+/// picks the two most distant clusters (line 4), then repeatedly adds the
+/// candidate whose summed distance to the current selection is maximal
+/// (lines 5–7). Returns the *indices into `candidates`* of the selected
+/// clusters, in selection order. If `candidates.len() <= k`, all indices
+/// are returned.
+pub fn greedy_distant_seeds<S: ClusterSpace>(
+    space: &S,
+    candidates: &[Vec<usize>],
+    k: usize,
+) -> Vec<usize> {
+    let n = candidates.len();
+    if n <= k {
+        return (0..n).collect();
+    }
+    let centroids: Vec<S::Centroid> = candidates.iter().map(|c| space.centroid(c)).collect();
+    // Distance matrix (line 3 of Algorithm 3).
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = 1.0 - space.centroid_similarity(&centroids[i], &centroids[j]);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    // Two most distant (line 4); ties break to the smallest indices.
+    let (mut bi, mut bj, mut best) = (0, 1, f64::NEG_INFINITY);
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dist[i][j] > best {
+                best = dist[i][j];
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    let mut selected = vec![bi, bj];
+    let mut in_sel = vec![false; n];
+    in_sel[bi] = true;
+    in_sel[bj] = true;
+    // Running sum of distances from each candidate to the selection.
+    let mut sum_dist: Vec<f64> = (0..n).map(|c| dist[c][bi] + dist[c][bj]).collect();
+
+    while selected.len() < k {
+        let next = (0..n)
+            .filter(|&c| !in_sel[c])
+            .max_by(|&a, &b| {
+                sum_dist[a]
+                    .partial_cmp(&sum_dist[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a)) // ties -> lower index
+            })
+            .expect("candidates remain while selected < k <= n");
+        in_sel[next] = true;
+        selected.push(next);
+        for c in 0..n {
+            sum_dist[c] += dist[c][next];
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DenseSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_seeds_distinct_and_in_range() {
+        let space = DenseSpace::new((0..20).map(|i| vec![i as f64]).collect());
+        let mut rng = StdRng::seed_from_u64(7);
+        let seeds = random_singleton_seeds(&space, 8, &mut rng);
+        assert_eq!(seeds.len(), 8);
+        let mut items: Vec<usize> = seeds.iter().map(|s| s[0]).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 8);
+        assert!(items.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn random_seeds_deterministic_per_rng_seed() {
+        let space = DenseSpace::new((0..20).map(|i| vec![i as f64]).collect());
+        let a = random_singleton_seeds(&space, 5, &mut StdRng::seed_from_u64(1));
+        let b = random_singleton_seeds(&space, 5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn random_seeds_rejects_k_too_large() {
+        let space = DenseSpace::new(vec![vec![0.0]]);
+        random_singleton_seeds(&space, 2, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn greedy_picks_extremes_first() {
+        // Candidates centred at 0, 5, 10, 5.1 -> the two most distant are
+        // 0 and 10; the third pick is the one maximizing summed distance.
+        let space = DenseSpace::new(vec![
+            vec![0.0],
+            vec![5.0],
+            vec![10.0],
+            vec![5.1],
+        ]);
+        let candidates = vec![vec![0], vec![1], vec![2], vec![3]];
+        let sel = greedy_distant_seeds(&space, &candidates, 3);
+        assert_eq!(sel[0], 0);
+        assert_eq!(sel[1], 2);
+        assert_eq!(sel.len(), 3);
+        // Third is candidate 1 or 3 (both near 5); the sums are nearly
+        // equal; verify it is one of them.
+        assert!(sel[2] == 1 || sel[2] == 3);
+    }
+
+    #[test]
+    fn greedy_returns_all_when_few_candidates() {
+        let space = DenseSpace::new(vec![vec![0.0], vec![1.0]]);
+        let candidates = vec![vec![0], vec![1]];
+        assert_eq!(greedy_distant_seeds(&space, &candidates, 8), vec![0, 1]);
+    }
+
+    #[test]
+    fn greedy_spreads_over_clusters() {
+        // Three groups of candidates around 0, 50, 100. Selecting 3 must
+        // take one from each group.
+        let space = DenseSpace::new(vec![
+            vec![0.0],
+            vec![0.5],
+            vec![50.0],
+            vec![50.5],
+            vec![100.0],
+            vec![100.5],
+        ]);
+        let candidates: Vec<Vec<usize>> = (0..6).map(|i| vec![i]).collect();
+        let sel = greedy_distant_seeds(&space, &candidates, 3);
+        let mut regions: Vec<usize> = sel.iter().map(|&c| c / 2).collect();
+        regions.sort_unstable();
+        assert_eq!(regions, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn greedy_uses_cluster_centroids() {
+        // Candidate 0 = {0.0, 10.0} (centroid 5), candidate 1 = {4.9,5.1}
+        // (centroid 5), candidate 2 = {20.0}. Most distant pair must be
+        // (0 or 1) vs 2, judged by centroids, not by any member point.
+        let space = DenseSpace::new(vec![
+            vec![0.0],
+            vec![10.0],
+            vec![4.9],
+            vec![5.1],
+            vec![20.0],
+        ]);
+        let candidates = vec![vec![0, 1], vec![2, 3], vec![4]];
+        let sel = greedy_distant_seeds(&space, &candidates, 2);
+        assert!(sel.contains(&2), "must select the far candidate, got {sel:?}");
+    }
+
+    #[test]
+    fn kmeanspp_seeds_distinct_and_spread() {
+        // Two far blobs: the second seed lands in the other blob nearly
+        // always under D^2 sampling.
+        let space = DenseSpace::new(vec![
+            vec![0.0],
+            vec![0.01],
+            vec![0.02],
+            vec![100.0],
+            vec![100.01],
+            vec![100.02],
+        ]);
+        let mut cross_blob = 0;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let seeds = kmeanspp_seeds(&space, 2, &mut rng);
+            assert_eq!(seeds.len(), 2);
+            assert_ne!(seeds[0], seeds[1]);
+            let blob = |i: usize| usize::from(i >= 3);
+            if blob(seeds[0][0]) != blob(seeds[1][0]) {
+                cross_blob += 1;
+            }
+        }
+        assert!(cross_blob >= 18, "D^2 sampling should split blobs: {cross_blob}/20");
+    }
+
+    #[test]
+    fn kmeanspp_handles_identical_points() {
+        let space = DenseSpace::new(vec![vec![1.0]; 4]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let seeds = kmeanspp_seeds(&space, 3, &mut rng);
+        let mut items: Vec<usize> = seeds.iter().map(|s| s[0]).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn kmeanspp_rejects_oversized_k() {
+        let space = DenseSpace::new(vec![vec![0.0]]);
+        kmeanspp_seeds(&space, 2, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn greedy_deterministic() {
+        let space = DenseSpace::new((0..10).map(|i| vec![(i * i) as f64]).collect());
+        let candidates: Vec<Vec<usize>> = (0..10).map(|i| vec![i]).collect();
+        let a = greedy_distant_seeds(&space, &candidates, 4);
+        let b = greedy_distant_seeds(&space, &candidates, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the clustering algorithms.
+
+use cafc_cluster::{
+    greedy_distant_seeds, hac_from_singletons, kmeans, random_singleton_seeds, ClusterSpace,
+    DenseSpace, HacOptions, KMeansOptions, Linkage,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        (0.0f64..100.0).prop_map(|x| vec![x]),
+        1..max,
+    )
+}
+
+proptest! {
+    /// K-means always produces a complete partition: every item in exactly
+    /// one cluster, cluster count = seed count.
+    #[test]
+    fn kmeans_partitions_everything(points in arb_points(40), k in 1usize..6, rng_seed in 0u64..100) {
+        let space = DenseSpace::new(points);
+        let k = k.min(space.len());
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let seeds = random_singleton_seeds(&space, k, &mut rng);
+        let out = kmeans(&space, &seeds, &KMeansOptions::default());
+        prop_assert_eq!(out.partition.num_clusters(), k);
+        prop_assert_eq!(out.partition.num_assigned(), space.len());
+        let mut all: Vec<usize> = out.partition.clusters().iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..space.len()).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// K-means terminates within the iteration cap.
+    #[test]
+    fn kmeans_terminates(points in arb_points(30), rng_seed in 0u64..100) {
+        let space = DenseSpace::new(points);
+        let k = 3.min(space.len());
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let seeds = random_singleton_seeds(&space, k, &mut rng);
+        let opts = KMeansOptions { move_fraction_threshold: 1e-12, max_iterations: 500 };
+        let out = kmeans(&space, &seeds, &opts);
+        prop_assert!(out.iterations <= 500);
+    }
+
+    /// HAC yields exactly the target number of clusters (when feasible) and
+    /// covers all items, for every linkage.
+    #[test]
+    fn hac_partitions_everything(points in arb_points(25), target in 1usize..6) {
+        let space = DenseSpace::new(points);
+        let target = target.min(space.len());
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Centroid] {
+            let p = hac_from_singletons(&space, &HacOptions { target_clusters: target, linkage });
+            prop_assert_eq!(p.num_clusters(), target);
+            prop_assert_eq!(p.num_assigned(), space.len());
+        }
+    }
+
+    /// HAC merge quality sanity: with two clearly separated blobs and
+    /// target 2, no cluster mixes blobs (average linkage).
+    #[test]
+    fn hac_respects_separation(
+        left in proptest::collection::vec(0.0f64..1.0, 2..6),
+        right in proptest::collection::vec(1000.0f64..1001.0, 2..6),
+    ) {
+        let n_left = left.len();
+        let points: Vec<Vec<f64>> = left.into_iter().chain(right).map(|x| vec![x]).collect();
+        let space = DenseSpace::new(points);
+        let p = hac_from_singletons(
+            &space,
+            &HacOptions { target_clusters: 2, linkage: Linkage::Average },
+        );
+        for c in p.clusters() {
+            let all_left = c.iter().all(|&i| i < n_left);
+            let all_right = c.iter().all(|&i| i >= n_left);
+            prop_assert!(all_left || all_right, "mixed cluster {c:?}");
+        }
+    }
+
+    /// Greedy seed selection returns k distinct candidate indices.
+    #[test]
+    fn greedy_seeds_distinct(points in arb_points(30), k in 2usize..6) {
+        let space = DenseSpace::new(points);
+        let candidates: Vec<Vec<usize>> = (0..space.len()).map(|i| vec![i]).collect();
+        let k = k.min(candidates.len());
+        let sel = greedy_distant_seeds(&space, &candidates, k);
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sel.len());
+        prop_assert_eq!(sel.len(), k.min(candidates.len()));
+        prop_assert!(sel.iter().all(|&c| c < candidates.len()));
+    }
+
+    /// The first two greedy selections are a most-distant pair.
+    #[test]
+    fn greedy_first_pair_is_max_distance(points in arb_points(15)) {
+        let space = DenseSpace::new(points);
+        if space.len() < 3 { return Ok(()); }
+        let candidates: Vec<Vec<usize>> = (0..space.len()).map(|i| vec![i]).collect();
+        let sel = greedy_distant_seeds(&space, &candidates, 2);
+        let d_sel = 1.0 - space.item_similarity(sel[0], sel[1]);
+        for i in 0..space.len() {
+            for j in (i + 1)..space.len() {
+                let d = 1.0 - space.item_similarity(i, j);
+                prop_assert!(d <= d_sel + 1e-9, "pair ({i},{j}) is farther than selection");
+            }
+        }
+    }
+}

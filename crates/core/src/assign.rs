@@ -1,0 +1,97 @@
+//! Nearest-centroid assignment of new form pages — the §5 application:
+//! "Once the clusters are built and properly labeled with the domain name,
+//! they can be used as the basis to automatically classify new sources."
+
+use crate::space::FormPageSpace;
+use cafc_cluster::{ClusterSpace, Partition};
+
+/// Assign each of `items` (indices into the space's corpus) to the most
+/// similar non-empty cluster of `partition`. Returns `(item, cluster)`
+/// pairs in input order.
+///
+/// The typical workflow: build one [`crate::FormPageCorpus`] over the
+/// already-clustered pages *plus* the new pages (so IDF statistics are
+/// shared), cluster the former, then assign the latter.
+///
+/// # Panics
+/// Panics if `partition` has no non-empty cluster.
+pub fn assign_to_clusters(
+    space: &FormPageSpace<'_>,
+    partition: &Partition,
+    items: &[usize],
+) -> Vec<(usize, usize)> {
+    let centroids: Vec<(usize, <FormPageSpace<'_> as ClusterSpace>::Centroid)> = partition
+        .clusters()
+        .iter()
+        .enumerate()
+        .filter(|(_, members)| !members.is_empty())
+        .map(|(ci, members)| (ci, space.centroid(members)))
+        .collect();
+    assert!(!centroids.is_empty(), "cannot assign against an empty partition");
+    items
+        .iter()
+        .map(|&item| {
+            let best = centroids
+                .iter()
+                .max_by(|(_, a), (_, b)| {
+                    space
+                        .similarity(a, item)
+                        .partial_cmp(&space.similarity(b, item))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(ci, _)| *ci)
+                .expect("at least one centroid");
+            (item, best)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FormPageCorpus, ModelOptions};
+    use crate::space::{FeatureConfig, FormPageSpace};
+
+    #[test]
+    fn assigns_new_pages_to_matching_cluster() {
+        // Items 0-1: airfare; 2-3: jobs; 4: a NEW airfare page; 5: a NEW
+        // jobs page. Cluster {0,1} and {2,3}, then assign 4 and 5.
+        let pages = [
+            "<p>airfare travel flights deals</p><form>departure <input name=a></form>",
+            "<p>airfare flights vacation airline</p><form>arrival <input name=b></form>",
+            "<p>careers employment salary</p><form>keywords <input name=c></form>",
+            "<p>careers hiring openings resume</p><form>category <input name=d></form>",
+            "<p>flights airfare airline travel</p><form>departure <input name=e></form>",
+            "<p>employment resume salary careers</p><form>keywords <input name=f></form>",
+        ];
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &ModelOptions::default());
+        let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+        let partition = Partition::new(vec![vec![0, 1], vec![2, 3]], 6);
+        let assigned = assign_to_clusters(&space, &partition, &[4, 5]);
+        assert_eq!(assigned, vec![(4, 0), (5, 1)]);
+    }
+
+    #[test]
+    fn empty_clusters_never_chosen() {
+        let pages = [
+            "<p>airfare flights</p>",
+            "<p>airfare travel</p>",
+            "<p>flights airline</p>",
+        ];
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &ModelOptions::default());
+        let space = FormPageSpace::new(&corpus, FeatureConfig::PcOnly);
+        let partition = Partition::new(vec![vec![], vec![0, 1]], 3);
+        let assigned = assign_to_clusters(&space, &partition, &[2]);
+        assert_eq!(assigned, vec![(2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty partition")]
+    fn rejects_empty_partition() {
+        let pages = ["<p>x y z</p>"];
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &ModelOptions::default());
+        let space = FormPageSpace::new(&corpus, FeatureConfig::PcOnly);
+        let partition = Partition::new(vec![vec![]], 1);
+        assign_to_clusters(&space, &partition, &[0]);
+    }
+}

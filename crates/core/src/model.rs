@@ -1,0 +1,413 @@
+//! The form-page model (§2.1): `FP(PC, FC)` — and, for CAFC-CH, the
+//! extended `FP(Backlink, PC, FC)` plus the anchor-text extension of §6.
+//!
+//! Each form page is represented in two vector spaces built from located
+//! text: **FC** (everything between the FORM tags, with `<option>` content
+//! down-weighted) and **PC** (everything on the page, with `<title>` text
+//! up-weighted). Term weights follow Equation 1,
+//! `w_i = LOC_i · TF_i · log(N / n_i)`, with document frequencies computed
+//! per feature space.
+
+use cafc_html::{located_text, parse, TextLocation};
+use cafc_text::{Analyzer, TermDict};
+use cafc_vsm::{weigh, CountsBuilder, DocumentFrequencies, IdfScheme, SparseVector, TfScheme};
+use cafc_webgraph::{PageId, WebGraph};
+
+/// The `LOC_i` factor of Equation 1: a multiplier per text location.
+///
+/// The paper's §4.4 configuration: "for form contents, lower weights are
+/// given to terms inside option tags; and for page contents, weights given
+/// to terms inside the title tag are higher than for terms in the body."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationWeights {
+    /// `<title>` text (PC space).
+    pub title: f64,
+    /// Heading text (PC space).
+    pub heading: f64,
+    /// Anchor text of links on the page (PC space).
+    pub anchor: f64,
+    /// Plain body text (PC space).
+    pub body: f64,
+    /// Free text between the form tags (FC space).
+    pub form_text: f64,
+    /// `<option>` contents (FC space) — database *contents*, down-weighted.
+    pub form_option: f64,
+    /// Visible field values: button labels, prefills (FC space).
+    pub form_value: f64,
+}
+
+impl LocationWeights {
+    /// The paper's differentiated weighting.
+    pub fn differentiated() -> Self {
+        LocationWeights {
+            title: 2.0,
+            heading: 1.5,
+            anchor: 1.0,
+            body: 1.0,
+            form_text: 1.0,
+            form_option: 0.5,
+            form_value: 1.0,
+        }
+    }
+
+    /// The §4.4 ablation: every location weighs 1.0 (plain TF-IDF).
+    pub fn uniform() -> Self {
+        LocationWeights {
+            title: 1.0,
+            heading: 1.0,
+            anchor: 1.0,
+            body: 1.0,
+            form_text: 1.0,
+            form_option: 1.0,
+            form_value: 1.0,
+        }
+    }
+
+    /// The multiplier for a location.
+    pub fn weight(&self, loc: TextLocation) -> f64 {
+        match loc {
+            TextLocation::Title => self.title,
+            TextLocation::Heading => self.heading,
+            TextLocation::Anchor => self.anchor,
+            TextLocation::Body => self.body,
+            TextLocation::FormText => self.form_text,
+            TextLocation::FormOption => self.form_option,
+            TextLocation::FormValue => self.form_value,
+        }
+    }
+}
+
+impl Default for LocationWeights {
+    fn default() -> Self {
+        LocationWeights::differentiated()
+    }
+}
+
+/// Model construction options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelOptions {
+    /// Location weighting (Equation 1's `LOC_i`).
+    pub weights: LocationWeights,
+    /// Text analysis pipeline (tokenize/stopword/stem).
+    pub analyzer: Analyzer,
+    /// Term-frequency scheme (Equation 1 uses raw TF).
+    pub tf: TfScheme,
+    /// IDF scheme (Equation 1 uses plain `log(N/n_i)`).
+    pub idf: IdfScheme,
+}
+
+/// The vectorized corpus: per-page PC/FC (and optionally anchor) vectors
+/// sharing one term dictionary.
+#[derive(Debug, Clone)]
+pub struct FormPageCorpus {
+    /// Shared term dictionary.
+    pub dict: TermDict,
+    /// Page-content vectors, one per page.
+    pub pc: Vec<SparseVector>,
+    /// Form-content vectors, one per page.
+    pub fc: Vec<SparseVector>,
+    /// In-link anchor-text vectors (empty vectors unless built from a graph
+    /// with [`FormPageCorpus::from_graph_with_anchors`]).
+    pub anchor: Vec<SparseVector>,
+}
+
+impl FormPageCorpus {
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pc.len()
+    }
+
+    /// True when the corpus has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pc.is_empty()
+    }
+
+    /// Build the model from raw HTML documents.
+    pub fn from_html<'a, I>(pages: I, opts: &ModelOptions) -> FormPageCorpus
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut dict = TermDict::new();
+        let mut pc_counts: Vec<CountsBuilder> = Vec::new();
+        let mut fc_counts: Vec<CountsBuilder> = Vec::new();
+        let mut term_buf: Vec<cafc_text::TermId> = Vec::new();
+
+        for html in pages {
+            let doc = parse(html);
+            let mut pc = CountsBuilder::new();
+            let mut fc = CountsBuilder::new();
+            for lt in located_text(&doc) {
+                term_buf.clear();
+                opts.analyzer.analyze_into(&lt.text, &mut dict, &mut term_buf);
+                let w = opts.weights.weight(lt.location);
+                if lt.location.is_form() {
+                    // Form text belongs to both spaces: FC by definition,
+                    // and PC covers "all words within the HTML tags".
+                    fc.add_all(term_buf.iter().copied(), w);
+                    pc.add_all(term_buf.iter().copied(), w);
+                } else {
+                    pc.add_all(term_buf.iter().copied(), w);
+                }
+            }
+            pc_counts.push(pc);
+            fc_counts.push(fc);
+        }
+        Self::finish(dict, pc_counts, fc_counts, None, opts)
+    }
+
+    /// Build the model for `pages` stored in `graph`, without anchor text.
+    pub fn from_graph(graph: &WebGraph, pages: &[PageId], opts: &ModelOptions) -> FormPageCorpus {
+        Self::from_graph_impl(graph, pages, opts, false)
+    }
+
+    /// Build the model plus the §6 anchor-text extension: for each target
+    /// page, the text of every in-link anchor pointing at it (from the hub
+    /// pages' HTML) forms a third feature space.
+    pub fn from_graph_with_anchors(
+        graph: &WebGraph,
+        pages: &[PageId],
+        opts: &ModelOptions,
+    ) -> FormPageCorpus {
+        Self::from_graph_impl(graph, pages, opts, true)
+    }
+
+    fn from_graph_impl(
+        graph: &WebGraph,
+        pages: &[PageId],
+        opts: &ModelOptions,
+        with_anchors: bool,
+    ) -> FormPageCorpus {
+        let mut dict = TermDict::new();
+        let mut pc_counts: Vec<CountsBuilder> = Vec::new();
+        let mut fc_counts: Vec<CountsBuilder> = Vec::new();
+        let mut term_buf: Vec<cafc_text::TermId> = Vec::new();
+
+        for &page in pages {
+            let html = graph.html(page).unwrap_or("");
+            let doc = parse(html);
+            let mut pc = CountsBuilder::new();
+            let mut fc = CountsBuilder::new();
+            for lt in located_text(&doc) {
+                term_buf.clear();
+                opts.analyzer.analyze_into(&lt.text, &mut dict, &mut term_buf);
+                let w = opts.weights.weight(lt.location);
+                if lt.location.is_form() {
+                    fc.add_all(term_buf.iter().copied(), w);
+                    pc.add_all(term_buf.iter().copied(), w);
+                } else {
+                    pc.add_all(term_buf.iter().copied(), w);
+                }
+            }
+            pc_counts.push(pc);
+            fc_counts.push(fc);
+        }
+
+        let anchor_counts = with_anchors.then(|| {
+            let mut counts: Vec<CountsBuilder> =
+                (0..pages.len()).map(|_| CountsBuilder::new()).collect();
+            // Parse each distinct linking page once; map its anchors to
+            // targets by resolved URL.
+            let mut linkers: Vec<PageId> = pages
+                .iter()
+                .flat_map(|&p| graph.in_links(p).iter().copied())
+                .collect();
+            linkers.sort_unstable();
+            linkers.dedup();
+            let target_index: std::collections::HashMap<&cafc_webgraph::Url, usize> =
+                pages.iter().enumerate().map(|(i, &p)| (graph.url(p), i)).collect();
+            for linker in linkers {
+                let Some(html) = graph.html(linker) else { continue };
+                let doc = parse(html);
+                let base = graph.url(linker);
+                for node in doc.elements_named("a") {
+                    let Some(href) = doc.attr(node, "href") else { continue };
+                    let Some(url) = base.resolve(href) else { continue };
+                    if let Some(&target) = target_index.get(&url) {
+                        let text = doc.text_content(node);
+                        term_buf.clear();
+                        opts.analyzer.analyze_into(&text, &mut dict, &mut term_buf);
+                        counts[target].add_all(term_buf.iter().copied(), 1.0);
+                    }
+                }
+            }
+            counts
+        });
+
+        Self::finish(dict, pc_counts, fc_counts, anchor_counts, opts)
+    }
+
+    /// Apply per-space IDF (Equation 1's `log(N/n_i)`) and freeze vectors.
+    fn finish(
+        dict: TermDict,
+        pc_counts: Vec<CountsBuilder>,
+        fc_counts: Vec<CountsBuilder>,
+        anchor_counts: Option<Vec<CountsBuilder>>,
+        opts: &ModelOptions,
+    ) -> FormPageCorpus {
+        let n = pc_counts.len();
+        let mut pc_df = DocumentFrequencies::new();
+        let mut fc_df = DocumentFrequencies::new();
+        for c in &pc_counts {
+            pc_df.add_document(c.term_ids());
+        }
+        for c in &fc_counts {
+            fc_df.add_document(c.term_ids());
+        }
+        let pc = pc_counts.iter().map(|c| weigh(c, &pc_df, opts.tf, opts.idf)).collect();
+        let fc = fc_counts.iter().map(|c| weigh(c, &fc_df, opts.tf, opts.idf)).collect();
+        let anchor = match anchor_counts {
+            Some(counts) => {
+                let mut adf = DocumentFrequencies::new();
+                for c in &counts {
+                    adf.add_document(c.term_ids());
+                }
+                counts.iter().map(|c| weigh(c, &adf, opts.tf, opts.idf)).collect()
+            }
+            None => vec![SparseVector::empty(); n],
+        };
+        FormPageCorpus { dict, pc, fc, anchor }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> ModelOptions {
+        ModelOptions::default()
+    }
+
+    #[test]
+    fn builds_separate_spaces() {
+        let pages = [
+            "<title>Cheap Flights</title><p>airfare deals</p><form>Departure <input name=d></form>",
+            "<title>Job Search</title><p>careers employment</p><form>Keywords <input name=k></form>",
+        ];
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &opts());
+        assert_eq!(corpus.len(), 2);
+        // FC vectors contain only form vocabulary.
+        let departure = corpus.dict.get("departur").expect("stemmed 'departure' interned");
+        assert!(corpus.fc[0].get(departure) > 0.0);
+        assert_eq!(corpus.fc[1].get(departure), 0.0);
+        // PC vectors contain body vocabulary.
+        let airfare = corpus.dict.get("airfar").expect("stemmed 'airfare' interned");
+        assert!(corpus.pc[0].get(airfare) > 0.0);
+    }
+
+    #[test]
+    fn form_text_included_in_pc() {
+        let pages = [
+            "<form>departure city <input name=a></form>",
+            "<p>something else entirely different</p><form><input name=b></form>",
+        ];
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &opts());
+        let departure = corpus.dict.get("departur").expect("interned");
+        assert!(corpus.pc[0].get(departure) > 0.0, "PC must cover form text too");
+    }
+
+    #[test]
+    fn ubiquitous_terms_vanish() {
+        // "privacy" on every page -> idf 0 -> absent from all vectors.
+        let pages = [
+            "<p>privacy flights</p><form><input name=a></form>",
+            "<p>privacy jobs</p><form><input name=b></form>",
+        ];
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &opts());
+        let privacy = corpus.dict.get("privaci").expect("interned");
+        assert_eq!(corpus.pc[0].get(privacy), 0.0);
+        assert_eq!(corpus.pc[1].get(privacy), 0.0);
+    }
+
+    #[test]
+    fn title_upweighted() {
+        // Same word once in title (page 0) vs once in body (page 1); a
+        // third page without it makes idf positive.
+        let pages = [
+            "<title>flights</title><p>x</p>",
+            "<p>flights y</p>",
+            "<p>unrelated z</p>",
+        ];
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &opts());
+        let flights = corpus.dict.get("flight").expect("interned");
+        assert!(
+            corpus.pc[0].get(flights) > corpus.pc[1].get(flights),
+            "title occurrence must outweigh body occurrence"
+        );
+    }
+
+    #[test]
+    fn uniform_weights_remove_location_effect() {
+        let pages = ["<title>flights</title>", "<p>flights</p>", "<p>other</p>"];
+        let o = ModelOptions { weights: LocationWeights::uniform(), ..opts() };
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &o);
+        let flights = corpus.dict.get("flight").expect("interned");
+        assert!((corpus.pc[0].get(flights) - corpus.pc[1].get(flights)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn options_downweighted_in_fc() {
+        let pages = [
+            "<form><select><option>texas</option></select> texas <input name=a></form>",
+            "<form><input name=b></form>",
+        ];
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &opts());
+        let texas = corpus.dict.get("texa").expect("interned");
+        // One occurrence at weight 0.5 (option) + one at 1.0 (form text)
+        // = 1.5x idf; with uniform weights it would be 2x idf.
+        let differentiated = corpus.fc[0].get(texas);
+        let o = ModelOptions { weights: LocationWeights::uniform(), ..opts() };
+        let uniform_corpus = FormPageCorpus::from_html(pages.iter().copied(), &o);
+        let uniform = uniform_corpus.fc[0].get(texas);
+        assert!(differentiated < uniform);
+    }
+
+    #[test]
+    fn graph_construction_with_anchors() {
+        use cafc_webgraph::{Url, WebGraph};
+        let mut g = WebGraph::new();
+        let target = g.add_page(
+            Url::parse("http://a.com/f").expect("url"),
+            "<form>search <input name=q></form>".into(),
+        );
+        let hub = g.add_page(
+            Url::parse("http://hub.com/").expect("url"),
+            r#"<a href="http://a.com/f">discount airfare tickets</a>"#.into(),
+        );
+        g.add_link(hub, target);
+        let corpus = FormPageCorpus::from_graph_with_anchors(&g, &[target], &opts());
+        assert_eq!(corpus.len(), 1);
+        // Anchor vocabulary was collected... but with a single page the idf
+        // of every anchor term is ln(1/1)=0. Build with two pages instead.
+        let target2 = g.add_page(
+            Url::parse("http://b.com/f").expect("url"),
+            "<form>keywords <input name=q></form>".into(),
+        );
+        let hub2 = g.add_page(
+            Url::parse("http://hub2.com/").expect("url"),
+            r#"<a href="http://b.com/f">engineering jobs board</a>"#.into(),
+        );
+        g.add_link(hub2, target2);
+        let corpus = FormPageCorpus::from_graph_with_anchors(&g, &[target, target2], &opts());
+        let airfare = corpus.dict.get("airfar").expect("anchor term interned");
+        assert!(corpus.anchor[0].get(airfare) > 0.0);
+        assert_eq!(corpus.anchor[1].get(airfare), 0.0);
+    }
+
+    #[test]
+    fn from_graph_without_anchors_has_empty_anchor_vectors() {
+        use cafc_webgraph::{Url, WebGraph};
+        let mut g = WebGraph::new();
+        let p = g.add_page(
+            Url::parse("http://a.com/f").expect("url"),
+            "<form><input name=q></form>".into(),
+        );
+        let corpus = FormPageCorpus::from_graph(&g, &[p], &ModelOptions::default());
+        assert!(corpus.anchor[0].is_empty());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let corpus = FormPageCorpus::from_html(std::iter::empty(), &ModelOptions::default());
+        assert!(corpus.is_empty());
+    }
+}

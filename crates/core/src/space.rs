@@ -1,0 +1,219 @@
+//! The clustering space over form pages: Equation 3 similarity and
+//! Equation 4 centroids, generic over which feature spaces participate.
+
+use crate::model::FormPageCorpus;
+use cafc_cluster::ClusterSpace;
+use cafc_vsm::SparseVector;
+
+/// Which feature spaces contribute to similarity, and with what weights
+/// (the `C1`/`C2` of Equation 3; the paper uses `C1 = C2 = 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeatureConfig {
+    /// Form contents only.
+    FcOnly,
+    /// Page contents only.
+    PcOnly,
+    /// `sim = (C1·cos(PC) + C2·cos(FC)) / (C1 + C2)` — the paper's FC+PC.
+    Combined {
+        /// Page-content weight `C1`.
+        c1: f64,
+        /// Form-content weight `C2`.
+        c2: f64,
+    },
+    /// The §6 extension: PC + FC + in-link anchor text.
+    WithAnchors {
+        /// Page-content weight.
+        c1: f64,
+        /// Form-content weight.
+        c2: f64,
+        /// Anchor-text weight.
+        c3: f64,
+    },
+}
+
+impl FeatureConfig {
+    /// The paper's headline configuration: FC+PC with equal weights.
+    pub fn combined() -> Self {
+        FeatureConfig::Combined { c1: 1.0, c2: 1.0 }
+    }
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig::combined()
+    }
+}
+
+/// A multi-space centroid (Equation 4: per-space member average).
+#[derive(Debug, Clone, Default)]
+pub struct MultiCentroid {
+    /// Page-content centroid.
+    pub pc: SparseVector,
+    /// Form-content centroid.
+    pub fc: SparseVector,
+    /// Anchor-text centroid.
+    pub anchor: SparseVector,
+}
+
+/// The [`ClusterSpace`] over a [`FormPageCorpus`].
+#[derive(Debug, Clone, Copy)]
+pub struct FormPageSpace<'a> {
+    corpus: &'a FormPageCorpus,
+    config: FeatureConfig,
+}
+
+impl<'a> FormPageSpace<'a> {
+    /// Wrap a corpus with a feature configuration.
+    pub fn new(corpus: &'a FormPageCorpus, config: FeatureConfig) -> Self {
+        FormPageSpace { corpus, config }
+    }
+
+    /// The underlying corpus.
+    pub fn corpus(&self) -> &'a FormPageCorpus {
+        self.corpus
+    }
+
+    /// The feature configuration.
+    pub fn config(&self) -> FeatureConfig {
+        self.config
+    }
+
+    fn combine(&self, pc: f64, fc: f64, anchor: f64) -> f64 {
+        match self.config {
+            FeatureConfig::FcOnly => fc,
+            FeatureConfig::PcOnly => pc,
+            FeatureConfig::Combined { c1, c2 } => (c1 * pc + c2 * fc) / (c1 + c2),
+            FeatureConfig::WithAnchors { c1, c2, c3 } => {
+                (c1 * pc + c2 * fc + c3 * anchor) / (c1 + c2 + c3)
+            }
+        }
+    }
+}
+
+impl ClusterSpace for FormPageSpace<'_> {
+    type Centroid = MultiCentroid;
+
+    fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    fn centroid(&self, members: &[usize]) -> MultiCentroid {
+        MultiCentroid {
+            pc: SparseVector::centroid(members.iter().map(|&m| &self.corpus.pc[m])),
+            fc: SparseVector::centroid(members.iter().map(|&m| &self.corpus.fc[m])),
+            anchor: SparseVector::centroid(members.iter().map(|&m| &self.corpus.anchor[m])),
+        }
+    }
+
+    fn similarity(&self, centroid: &MultiCentroid, item: usize) -> f64 {
+        self.combine(
+            centroid.pc.cosine(&self.corpus.pc[item]),
+            centroid.fc.cosine(&self.corpus.fc[item]),
+            centroid.anchor.cosine(&self.corpus.anchor[item]),
+        )
+    }
+
+    fn centroid_similarity(&self, a: &MultiCentroid, b: &MultiCentroid) -> f64 {
+        self.combine(a.pc.cosine(&b.pc), a.fc.cosine(&b.fc), a.anchor.cosine(&b.anchor))
+    }
+
+    fn item_similarity(&self, a: usize, b: usize) -> f64 {
+        self.combine(
+            self.corpus.pc[a].cosine(&self.corpus.pc[b]),
+            self.corpus.fc[a].cosine(&self.corpus.fc[b]),
+            self.corpus.anchor[a].cosine(&self.corpus.anchor[b]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FormPageCorpus, ModelOptions};
+
+    fn corpus() -> FormPageCorpus {
+        // Two airfare-ish pages, one job page. Body text differs from form
+        // text so FC and PC pull in different directions.
+        let pages = [
+            "<title>Flights</title><p>airfare travel deals vacation</p>\
+             <form>departure arrival <input name=a></form>",
+            "<p>airfare travel bargain vacation</p>\
+             <form>departure return cabin <input name=b></form>",
+            "<title>Jobs</title><p>careers employment salary resume</p>\
+             <form>keywords category location <input name=c></form>",
+        ];
+        FormPageCorpus::from_html(pages.iter().copied(), &ModelOptions::default())
+    }
+
+    #[test]
+    fn similar_domain_pages_are_closer() {
+        let c = corpus();
+        let space = FormPageSpace::new(&c, FeatureConfig::combined());
+        let same = space.item_similarity(0, 1);
+        let diff = space.item_similarity(0, 2);
+        assert!(same > diff, "same-domain sim {same} <= cross-domain sim {diff}");
+    }
+
+    #[test]
+    fn fc_only_ignores_body_text() {
+        let pages = [
+            // Identical forms, wildly different bodies.
+            "<p>airfare travel flights</p><form>departure city <input name=a></form>",
+            "<p>careers salary resume</p><form>departure city <input name=b></form>",
+            "<p>third page noise words</p><form>other things <input name=c></form>",
+        ];
+        let c = FormPageCorpus::from_html(pages.iter().copied(), &ModelOptions::default());
+        let fc_space = FormPageSpace::new(&c, FeatureConfig::FcOnly);
+        let sim = fc_space.item_similarity(0, 1);
+        assert!((sim - 1.0).abs() < 1e-9, "identical forms must have FC sim 1, got {sim}");
+        let pc_space = FormPageSpace::new(&c, FeatureConfig::PcOnly);
+        assert!(pc_space.item_similarity(0, 1) < 0.5);
+    }
+
+    #[test]
+    fn combined_is_average_of_spaces() {
+        let c = corpus();
+        let fc = FormPageSpace::new(&c, FeatureConfig::FcOnly).item_similarity(0, 1);
+        let pc = FormPageSpace::new(&c, FeatureConfig::PcOnly).item_similarity(0, 1);
+        let both = FormPageSpace::new(&c, FeatureConfig::combined()).item_similarity(0, 1);
+        assert!(((fc + pc) / 2.0 - both).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_weights_shift_the_average() {
+        let c = corpus();
+        let fc = FormPageSpace::new(&c, FeatureConfig::FcOnly).item_similarity(0, 1);
+        let pc = FormPageSpace::new(&c, FeatureConfig::PcOnly).item_similarity(0, 1);
+        let lopsided = FormPageSpace::new(&c, FeatureConfig::Combined { c1: 3.0, c2: 1.0 })
+            .item_similarity(0, 1);
+        assert!(((3.0 * pc + fc) / 4.0 - lopsided).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_similarity_matches_item_for_singletons() {
+        let c = corpus();
+        let space = FormPageSpace::new(&c, FeatureConfig::combined());
+        let ca = space.centroid(&[0]);
+        let cb = space.centroid(&[2]);
+        assert!((space.centroid_similarity(&ca, &cb) - space.item_similarity(0, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_in_unit_interval() {
+        let c = corpus();
+        for config in [
+            FeatureConfig::FcOnly,
+            FeatureConfig::PcOnly,
+            FeatureConfig::combined(),
+            FeatureConfig::WithAnchors { c1: 1.0, c2: 1.0, c3: 1.0 },
+        ] {
+            let space = FormPageSpace::new(&c, config);
+            for a in 0..3 {
+                for b in 0..3 {
+                    let s = space.item_similarity(a, b);
+                    assert!((0.0..=1.0).contains(&s), "{config:?}: sim({a},{b}) = {s}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The eight database domains of the paper's gold standard (§4.1) and
+//! their vocabulary models.
+//!
+//! Each domain carries three word pools mirroring the structure the
+//! form-page model exploits:
+//!
+//! * **schema terms** — words used in attribute labels and form captions
+//!   (the paper's "anchors ... unique to a given domain");
+//! * **content terms** — page-body marketing/descriptive vocabulary;
+//! * **option values** — `<option>` contents, which reflect database
+//!   *contents* rather than schema (hence the lower LOC weight in Eq. 1).
+//!
+//! The pools deliberately overlap where the paper observed overlap: Music
+//! and Movie share a sizable vocabulary (the main §4.2 error source), and
+//! the travel domains (Airfare/Hotel/CarRental) share location/date terms.
+
+/// A hidden-web database domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// Airfare search.
+    Airfare,
+    /// New and used automobile search.
+    Auto,
+    /// Books for sale.
+    Book,
+    /// Hotel availability.
+    Hotel,
+    /// Job search.
+    Job,
+    /// Movie titles and DVDs.
+    Movie,
+    /// Music titles and CDs.
+    Music,
+    /// Rental-car availability.
+    CarRental,
+}
+
+impl Domain {
+    /// All eight domains, in a fixed order.
+    pub const ALL: [Domain; 8] = [
+        Domain::Airfare,
+        Domain::Auto,
+        Domain::Book,
+        Domain::Hotel,
+        Domain::Job,
+        Domain::Movie,
+        Domain::Music,
+        Domain::CarRental,
+    ];
+
+    /// Short lowercase name (used in hostnames and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Airfare => "airfare",
+            Domain::Auto => "auto",
+            Domain::Book => "book",
+            Domain::Hotel => "hotel",
+            Domain::Job => "job",
+            Domain::Movie => "movie",
+            Domain::Music => "music",
+            Domain::CarRental => "rental",
+        }
+    }
+
+    /// Index in [`Domain::ALL`].
+    pub fn index(self) -> usize {
+        Domain::ALL.iter().position(|&d| d == self).expect("domain in ALL")
+    }
+
+    /// Attribute-label vocabulary (schema terms).
+    pub fn schema_terms(self) -> &'static [&'static str] {
+        match self {
+            Domain::Airfare => &[
+                "departure", "arrival", "depart", "return", "from", "destination", "origin",
+                "passengers", "adults", "children", "infants", "cabin", "class", "airline",
+                "trip", "round", "oneway", "nonstop", "flexible", "dates", "airport", "flight",
+            ],
+            Domain::Auto => &[
+                "make", "model", "year", "price", "mileage", "condition", "body", "style",
+                "transmission", "engine", "color", "zip", "distance", "dealer", "certified",
+                "new", "used", "vehicle", "trim", "doors", "fuel", "drive",
+            ],
+            Domain::Book => &[
+                "title", "author", "isbn", "publisher", "keyword", "subject", "format",
+                "edition", "binding", "language", "category", "price", "condition", "signed",
+                "illustrated", "year", "publication",
+            ],
+            Domain::Hotel => &[
+                "checkin", "checkout", "destination", "city", "rooms", "guests", "adults",
+                "children", "nights", "rating", "amenities", "price", "range", "area",
+                "neighborhood", "arrival", "departure", "smoking", "beds",
+            ],
+            Domain::Job => &[
+                "keywords", "category", "industry", "location", "state", "city", "salary",
+                "title", "position", "experience", "level", "type", "fulltime", "parttime",
+                "posted", "radius", "function", "education", "field",
+            ],
+            Domain::Movie => &[
+                "title", "genre", "rating", "director", "actor", "actress", "studio", "format",
+                "release", "year", "keyword", "category", "decade", "mpaa", "runtime", "cast",
+            ],
+            Domain::Music => &[
+                "artist", "album", "song", "title", "genre", "label", "format", "keyword",
+                "track", "release", "year", "band", "composer", "style", "decade",
+            ],
+            Domain::CarRental => &[
+                "pickup", "dropoff", "location", "date", "time", "return", "driver", "age",
+                "vehicle", "class", "type", "discount", "corporate", "rate", "city", "airport",
+            ],
+        }
+    }
+
+    /// Page-body vocabulary (content terms).
+    pub fn content_terms(self) -> &'static [&'static str] {
+        match self {
+            Domain::Airfare => &[
+                "flights", "airfare", "airfares", "cheap", "travel", "airlines", "tickets",
+                "fares", "deals", "vacation", "international", "domestic", "booking", "save",
+                "compare", "lowest", "trips", "destinations", "getaway", "itinerary", "miles",
+                "nonstop", "airports", "carriers", "seats", "travelers",
+            ],
+            Domain::Auto => &[
+                "cars", "autos", "automobile", "automobiles", "vehicles", "dealers",
+                "dealership", "inventory", "listings", "trucks", "suvs", "sedans", "coupes",
+                "convertibles", "financing", "loan", "warranty", "trade", "appraisal",
+                "test", "research", "reviews", "pricing", "motors", "preowned",
+            ],
+            Domain::Book => &[
+                "books", "bookstore", "reading", "readers", "bestsellers", "fiction",
+                "nonfiction", "novels", "textbooks", "literature", "biography", "mystery",
+                "romance", "paperback", "hardcover", "authors", "publishers", "library",
+                "chapters", "titles", "editions", "collectible", "rare", "browse",
+            ],
+            Domain::Hotel => &[
+                "hotels", "rooms", "suites", "reservations", "resorts", "inns", "motels",
+                "lodging", "accommodation", "accommodations", "stay", "nightly", "rates",
+                "availability", "breakfast", "pool", "spa", "luxury", "budget", "downtown",
+                "oceanfront", "guest", "hospitality", "getaways",
+            ],
+            Domain::Job => &[
+                "jobs", "careers", "employment", "employers", "resume", "resumes", "salaries",
+                "positions", "openings", "candidates", "recruiters", "recruiting", "staffing",
+                "hiring", "interviews", "postings", "professionals", "opportunities",
+                "workplace", "engineers", "managers", "internships", "benefits",
+            ],
+            Domain::Movie => &[
+                "movies", "films", "dvds", "cinema", "theater", "theaters", "drama", "comedy",
+                "action", "horror", "thriller", "documentary", "animation", "trailers",
+                "reviews", "screenings", "blockbuster", "starring", "directors", "actors",
+                "soundtrack", "releases", "videos", "classics", "festival",
+            ],
+            Domain::Music => &[
+                "cds", "albums", "artists", "bands", "songs", "tracks", "audio", "rock",
+                "pop", "jazz", "classical", "country", "rap", "hiphop", "blues", "lyrics",
+                "concerts", "tours", "vinyl", "singles", "charts", "soundtrack", "releases",
+                "listen", "recordings", "labels",
+            ],
+            Domain::CarRental => &[
+                "rental", "rentals", "rent", "cars", "locations", "reservations", "rates",
+                "daily", "weekly", "weekend", "insurance", "unlimited", "mileage", "economy",
+                "compact", "midsize", "fullsize", "minivan", "luxury", "pickup", "airport",
+                "branches", "fleet", "drivers",
+            ],
+        }
+    }
+
+    /// `<option>` value vocabulary. Mostly database contents: locations,
+    /// categories, makes, genres — with heavy cross-domain sharing of
+    /// city/state/month values (they are poor discriminators, which is why
+    /// Eq. 1 down-weights them).
+    pub fn option_values(self) -> &'static [&'static str] {
+        match self {
+            // The travel domains share city/state values, but each site
+            // family leans on a different (overlapping) slice — real
+            // airfare selects list airports, hotel selects list metro
+            // areas, rental selects list branch states.
+            Domain::Airfare => &CITIES[0..18],
+            Domain::Hotel => &CITIES[6..24],
+            Domain::CarRental => &CITIES[12..30],
+            Domain::Auto => &[
+                "ford", "toyota", "honda", "chevrolet", "nissan", "bmw", "audi", "volkswagen",
+                "mercedes", "hyundai", "subaru", "mazda", "jeep", "dodge", "lexus", "acura",
+                "volvo", "cadillac", "buick", "pontiac", "saturn", "mitsubishi",
+            ],
+            Domain::Book => &[
+                "fiction", "mystery", "romance", "science", "history", "biography", "travel",
+                "cooking", "health", "business", "computers", "religion", "poetry", "drama",
+                "reference", "children", "teens", "art", "sports", "nature",
+            ],
+            Domain::Job => &[
+                "accounting", "engineering", "marketing", "finance", "healthcare", "education",
+                "retail", "hospitality", "construction", "legal", "manufacturing",
+                "transportation", "technology", "government", "insurance", "banking",
+                "telecommunications", "pharmaceutical", "nonprofit", "administrative",
+            ],
+            Domain::Movie => &[
+                "action", "adventure", "comedy", "drama", "horror", "thriller", "romance",
+                "western", "musical", "documentary", "animation", "family", "fantasy",
+                "crime", "mystery", "war", "biography", "history",
+            ],
+            Domain::Music => &[
+                "rock", "pop", "jazz", "classical", "country", "blues", "folk", "reggae",
+                "electronic", "dance", "metal", "punk", "soul", "gospel", "latin", "world",
+                "alternative", "indie", "opera", "soundtrack",
+            ],
+        }
+    }
+
+    /// Words used in the submit button / form caption ("Find Flights",
+    /// "Search Jobs").
+    pub fn action_object(self) -> &'static str {
+        match self {
+            Domain::Airfare => "Flights",
+            Domain::Auto => "Cars",
+            Domain::Book => "Books",
+            Domain::Hotel => "Hotels",
+            Domain::Job => "Jobs",
+            Domain::Movie => "Movies",
+            Domain::Music => "Music",
+            Domain::CarRental => "Rental Cars",
+        }
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// City/state option values shared by the travel domains (and used as
+/// location selects in Job/Auto forms too).
+pub const CITIES: &[&str] = &[
+    "atlanta", "boston", "chicago", "dallas", "denver", "detroit", "houston", "miami",
+    "minneapolis", "orlando", "philadelphia", "phoenix", "portland", "seattle", "tampa",
+    "alabama", "arizona", "california", "colorado", "florida", "georgia", "illinois",
+    "michigan", "nevada", "ohio", "oregon", "texas", "utah", "virginia", "washington",
+];
+
+/// Month names — near-universal option/select noise.
+pub const MONTHS: &[&str] = &[
+    "january", "february", "march", "april", "may", "june", "july", "august", "september",
+    "october", "november", "december",
+];
+
+/// Web-generic vocabulary present on virtually every page; the paper's
+/// motivating observation is that TF-IDF suppresses exactly these
+/// ("privaci, shop, copyright, help, have high frequency in form pages of
+/// all three domains").
+pub const GENERIC_TERMS: &[&str] = &[
+    "home", "about", "contact", "privacy", "policy", "copyright", "help", "site", "map",
+    "login", "account", "email", "newsletter", "terms", "conditions", "shop", "shopping",
+    "cart", "free", "shipping", "click", "here", "sign", "member", "members", "news",
+    "welcome", "service", "customer", "support", "faq", "online", "web", "page", "rights",
+    "reserved", "view", "today", "best", "top", "find", "advanced", "search", "results",
+    "browse", "gift", "order", "secure", "guarantee", "company", "press", "jobs", "affiliates",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_domains() {
+        assert_eq!(Domain::ALL.len(), 8);
+        for (i, d) in Domain::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Domain::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn vocabularies_nonempty() {
+        for d in Domain::ALL {
+            assert!(d.schema_terms().len() >= 10, "{d:?} schema too small");
+            assert!(d.content_terms().len() >= 15, "{d:?} content too small");
+            assert!(d.option_values().len() >= 10, "{d:?} options too small");
+        }
+    }
+
+    #[test]
+    fn music_movie_share_vocabulary() {
+        // The §4.2 error analysis depends on this overlap existing.
+        let music: Vec<_> = Domain::Music
+            .schema_terms()
+            .iter()
+            .chain(Domain::Music.content_terms())
+            .collect();
+        let shared = Domain::Movie
+            .schema_terms()
+            .iter()
+            .chain(Domain::Movie.content_terms())
+            .filter(|w| music.contains(w))
+            .count();
+        assert!(shared >= 4, "Music/Movie overlap too small: {shared}");
+    }
+
+    #[test]
+    fn travel_domains_share_cities() {
+        // Overlapping — but not identical — location option pools.
+        let shared_ah = Domain::Airfare
+            .option_values()
+            .iter()
+            .filter(|v| Domain::Hotel.option_values().contains(v))
+            .count();
+        let shared_hr = Domain::Hotel
+            .option_values()
+            .iter()
+            .filter(|v| Domain::CarRental.option_values().contains(v))
+            .count();
+        assert!(shared_ah >= 8, "airfare/hotel option overlap too small: {shared_ah}");
+        assert!(shared_hr >= 8, "hotel/rental option overlap too small: {shared_hr}");
+        assert_ne!(Domain::Airfare.option_values(), Domain::CarRental.option_values());
+    }
+
+    #[test]
+    fn domains_are_still_distinguishable() {
+        // Each domain must have a substantial amount of content vocabulary
+        // not shared with any other domain, or clustering is hopeless.
+        for d in Domain::ALL {
+            let mine: Vec<_> = d.content_terms().to_vec();
+            let unique = mine
+                .iter()
+                .filter(|w| {
+                    Domain::ALL
+                        .iter()
+                        .filter(|&&o| o != d)
+                        .all(|o| !o.content_terms().contains(w))
+                })
+                .count();
+            assert!(unique >= 10, "{d:?} has only {unique} unique content terms");
+        }
+    }
+
+    #[test]
+    fn generic_terms_include_papers_examples() {
+        for w in ["privacy", "shop", "copyright", "help"] {
+            assert!(GENERIC_TERMS.contains(&w), "missing paper example {w}");
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Export a [`SyntheticWeb`] to disk and load a web back from disk.
+//!
+//! The on-disk layout is what the `cafc` CLI consumes, and doubles as an
+//! interchange format for running CAFC over *real* page collections: a
+//! directory of HTML files plus a `manifest.json` describing URLs, link
+//! structure and (optionally) gold labels.
+//!
+//! ```text
+//! corpus-dir/
+//!   manifest.json
+//!   pages/0.html, pages/1.html, ...
+//! ```
+//!
+//! The manifest is deliberately hand-parseable JSON:
+//!
+//! ```json
+//! {
+//!   "pages": [{"url": "http://...", "file": "pages/0.html",
+//!              "kind": "form|other", "label": "airfare"}, ...],
+//!   "links": [[from_index, to_index], ...]
+//! }
+//! ```
+
+use crate::domain::Domain;
+use crate::web::SyntheticWeb;
+use cafc_webgraph::{PageId, Url, WebGraph};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+/// One page entry of a loaded manifest.
+#[derive(Debug, Clone)]
+pub struct ManifestPage {
+    /// The page URL.
+    pub url: Url,
+    /// Page id in the loaded graph.
+    pub page: PageId,
+    /// Whether the manifest marks this as a form page of interest.
+    pub is_form_page: bool,
+    /// Optional gold label.
+    pub label: Option<String>,
+}
+
+/// A web loaded from disk.
+#[derive(Debug)]
+pub struct LoadedWeb {
+    /// Graph with page HTML and links.
+    pub graph: WebGraph,
+    /// All manifest pages, in manifest order.
+    pub pages: Vec<ManifestPage>,
+}
+
+impl LoadedWeb {
+    /// Page ids of the form pages, in manifest order.
+    pub fn form_page_ids(&self) -> Vec<PageId> {
+        self.pages.iter().filter(|p| p.is_form_page).map(|p| p.page).collect()
+    }
+
+    /// Labels aligned with [`LoadedWeb::form_page_ids`] (missing labels
+    /// become `"unknown"`).
+    pub fn form_page_labels(&self) -> Vec<String> {
+        self.pages
+            .iter()
+            .filter(|p| p.is_form_page)
+            .map(|p| p.label.clone().unwrap_or_else(|| "unknown".to_owned()))
+            .collect()
+    }
+}
+
+/// Serialize a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Write `web` under `dir` (created if missing). Returns the number of
+/// pages written.
+pub fn export_web(web: &SyntheticWeb, dir: &Path) -> io::Result<usize> {
+    let pages_dir = dir.join("pages");
+    std::fs::create_dir_all(&pages_dir)?;
+
+    // Gold-label and form-page lookup by PageId.
+    let mut label_of: HashMap<PageId, Domain> = HashMap::new();
+    for rec in &web.form_pages {
+        label_of.insert(rec.page, rec.domain);
+    }
+
+    let ids: Vec<PageId> = web.graph.page_ids().collect();
+    let index_of: HashMap<PageId, usize> =
+        ids.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+
+    let mut page_entries = Vec::with_capacity(ids.len());
+    for (i, &id) in ids.iter().enumerate() {
+        let file = format!("pages/{i}.html");
+        std::fs::write(dir.join(&file), web.graph.html(id).unwrap_or(""))?;
+        let kind = if label_of.contains_key(&id) { "form" } else { "other" };
+        let label = label_of
+            .get(&id)
+            .map(|d| format!(",\"label\":{}", json_str(d.name())))
+            .unwrap_or_default();
+        page_entries.push(format!(
+            "{{\"url\":{},\"file\":{},\"kind\":\"{kind}\"{label}}}",
+            json_str(&web.graph.url(id).to_string()),
+            json_str(&file),
+        ));
+    }
+
+    let mut link_entries = Vec::new();
+    for &from in &ids {
+        for &to in web.graph.out_links(from) {
+            link_entries.push(format!("[{},{}]", index_of[&from], index_of[&to]));
+        }
+    }
+
+    let manifest = format!(
+        "{{\n\"pages\": [\n{}\n],\n\"links\": [{}]\n}}\n",
+        page_entries.join(",\n"),
+        link_entries.join(",")
+    );
+    std::fs::write(dir.join("manifest.json"), manifest)?;
+    Ok(ids.len())
+}
+
+/// Minimal JSON reader for the manifest format written by [`export_web`]
+/// (and easy to produce by hand or scripts). Not a general JSON parser.
+mod json {
+    /// Split the items of a JSON array given the exact `"key": [`
+    /// preamble, handling nesting of objects/arrays and strings.
+    pub fn array_items(src: &str, key: &str) -> Option<Vec<String>> {
+        let key_pat = format!("\"{key}\"");
+        let start = src.find(&key_pat)?;
+        let bracket = src[start..].find('[')? + start;
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut escape = false;
+        let mut items = Vec::new();
+        let mut current = String::new();
+        for c in src[bracket..].chars() {
+            if escape {
+                current.push(c);
+                escape = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => {
+                    current.push(c);
+                    escape = true;
+                }
+                '"' => {
+                    in_str = !in_str;
+                    current.push(c);
+                }
+                '[' | '{' if !in_str => {
+                    depth += 1;
+                    if depth > 1 {
+                        current.push(c);
+                    }
+                }
+                ']' | '}' if !in_str => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let t = current.trim();
+                        if !t.is_empty() {
+                            items.push(t.to_owned());
+                        }
+                        return Some(items);
+                    }
+                    current.push(c);
+                }
+                ',' if !in_str && depth == 1 => {
+                    let t = current.trim();
+                    if !t.is_empty() {
+                        items.push(t.to_owned());
+                    }
+                    current.clear();
+                }
+                _ => current.push(c),
+            }
+        }
+        None
+    }
+
+    /// Extract a string field `"key":"value"` from a flat JSON object.
+    pub fn string_field(obj: &str, key: &str) -> Option<String> {
+        let key_pat = format!("\"{key}\"");
+        let start = obj.find(&key_pat)? + key_pat.len();
+        let colon = obj[start..].find(':')? + start;
+        let rest = obj[colon + 1..].trim_start();
+        let rest = rest.strip_prefix('"')?;
+        let mut out = String::new();
+        let mut escape = false;
+        for c in rest.chars() {
+            if escape {
+                match c {
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    other => out.push(other),
+                }
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                return Some(out);
+            } else {
+                out.push(c);
+            }
+        }
+        None
+    }
+}
+
+/// Load a web previously written by [`export_web`] (or hand-assembled in
+/// the same format).
+pub fn load_web(dir: &Path) -> io::Result<LoadedWeb> {
+    let manifest = std::fs::read_to_string(dir.join("manifest.json"))?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+
+    let page_objs =
+        json::array_items(&manifest, "pages").ok_or_else(|| bad("manifest missing \"pages\""))?;
+    let mut graph = WebGraph::new();
+    let mut pages = Vec::with_capacity(page_objs.len());
+    for obj in &page_objs {
+        let url_s =
+            json::string_field(obj, "url").ok_or_else(|| bad("page entry missing \"url\""))?;
+        let url = Url::parse(&url_s)
+            .ok_or_else(|| bad(&format!("unparseable page URL: {url_s}")))?;
+        let file =
+            json::string_field(obj, "file").ok_or_else(|| bad("page entry missing \"file\""))?;
+        let html = std::fs::read_to_string(dir.join(&file))?;
+        let page = graph.add_page(url.clone(), html);
+        let is_form_page = json::string_field(obj, "kind").as_deref() == Some("form");
+        let label = json::string_field(obj, "label");
+        pages.push(ManifestPage { url, page, is_form_page, label });
+    }
+
+    let link_arrays =
+        json::array_items(&manifest, "links").ok_or_else(|| bad("manifest missing \"links\""))?;
+    for pair in &link_arrays {
+        // Items arrive with their own brackets ("[0,1]").
+        let mut nums = pair.trim_matches(['[', ']']).split(',').map(str::trim);
+        let from: usize = nums
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| bad(&format!("bad link entry: {pair}")))?;
+        let to: usize = nums
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| bad(&format!("bad link entry: {pair}")))?;
+        if from >= pages.len() || to >= pages.len() {
+            return Err(bad(&format!("link index out of range: {pair}")));
+        }
+        graph.add_link(pages[from].page, pages[to].page);
+    }
+    Ok(LoadedWeb { graph, pages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::{generate, CorpusConfig};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cafc-export-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn export_load_roundtrip() {
+        let web = generate(&CorpusConfig::small(31));
+        let dir = tmpdir("roundtrip");
+        let written = export_web(&web, &dir).expect("export succeeds");
+        assert_eq!(written, web.graph.len());
+
+        let loaded = load_web(&dir).expect("load succeeds");
+        assert_eq!(loaded.graph.len(), web.graph.len());
+        assert_eq!(loaded.graph.num_links(), web.graph.num_links());
+        assert_eq!(loaded.form_page_ids().len(), web.form_pages.len());
+
+        // Gold labels survive.
+        let labels = loaded.form_page_labels();
+        assert_eq!(labels.len(), web.form_pages.len());
+        assert!(labels.iter().all(|l| l != "unknown"));
+
+        // HTML content survives byte-for-byte for a sample page.
+        let orig = web.graph.html(web.form_pages[0].page).expect("html");
+        let orig_url = web.graph.url(web.form_pages[0].page);
+        let loaded_id = loaded.graph.page_id(orig_url).expect("page present after load");
+        assert_eq!(loaded.graph.html(loaded_id), Some(orig));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_missing_manifest() {
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert!(load_web(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_bad_link_index() {
+        let dir = tmpdir("badlink");
+        std::fs::create_dir_all(dir.join("pages")).expect("mkdir");
+        std::fs::write(dir.join("pages/0.html"), "<p>x</p>").expect("write page");
+        std::fs::write(
+            dir.join("manifest.json"),
+            r#"{"pages": [{"url":"http://a.com/","file":"pages/0.html","kind":"form"}],
+                "links": [[0,9]]}"#,
+        )
+        .expect("write manifest");
+        assert!(load_web(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn hand_written_manifest_loads() {
+        let dir = tmpdir("hand");
+        std::fs::create_dir_all(dir.join("pages")).expect("mkdir");
+        std::fs::write(dir.join("pages/a.html"), "<form><input name=q></form>").expect("write");
+        std::fs::write(dir.join("pages/b.html"), "<a href=\"http://a.com/f\">x</a>")
+            .expect("write");
+        std::fs::write(
+            dir.join("manifest.json"),
+            r#"{
+              "pages": [
+                {"url": "http://a.com/f", "file": "pages/a.html", "kind": "form", "label": "job"},
+                {"url": "http://hub.org/", "file": "pages/b.html", "kind": "other"}
+              ],
+              "links": [[1,0]]
+            }"#,
+        )
+        .expect("write manifest");
+        let loaded = load_web(&dir).expect("load succeeds");
+        assert_eq!(loaded.pages.len(), 2);
+        assert_eq!(loaded.form_page_ids().len(), 1);
+        assert_eq!(loaded.form_page_labels(), vec!["job"]);
+        assert_eq!(loaded.graph.in_links(loaded.pages[0].page).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

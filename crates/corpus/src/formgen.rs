@@ -1,0 +1,339 @@
+//! Generation of `<form>` fragments.
+//!
+//! Reproduces the form phenomenology the paper describes: multi-attribute
+//! forms with heterogeneous label choices (Figure 1(a)/(b): "Job Category"
+//! vs "Industry", "State" vs "Location"), single-attribute keyword boxes
+//! whose label may sit inside the form, *outside* the FORM tags (Figure
+//! 1(c)), or be missing entirely (GIF-button forms), and the
+//! non-searchable forms (login, signup, quote request) that the crawler
+//! retrieves and the classifier must filter out.
+
+use crate::domain::{Domain, MONTHS};
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// How a single-attribute form is labelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelStyle {
+    /// Label text inside the form ("Keywords: \[____\]").
+    Inside,
+    /// Label text immediately *before* the form tags — Figure 1(c).
+    Outside,
+    /// No textual label at all (image submit button).
+    None,
+}
+
+/// Kinds of non-searchable forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonSearchableKind {
+    /// Username/password login.
+    Login,
+    /// Account registration.
+    Signup,
+    /// Request-a-quote contact form.
+    QuoteRequest,
+    /// Newsletter subscription.
+    Newsletter,
+}
+
+impl NonSearchableKind {
+    /// All kinds, for round-robin generation.
+    pub const ALL: [NonSearchableKind; 4] = [
+        NonSearchableKind::Login,
+        NonSearchableKind::Signup,
+        NonSearchableKind::QuoteRequest,
+        NonSearchableKind::Newsletter,
+    ];
+}
+
+/// A generated form fragment. `before_form` carries any label text that
+/// belongs *outside* the form tags.
+#[derive(Debug, Clone)]
+pub struct FormFragment {
+    /// HTML to place immediately before the `<form>`.
+    pub before_form: String,
+    /// The `<form>...</form>` element.
+    pub form: String,
+    /// Approximate number of word tokens inside the form.
+    pub approx_terms: usize,
+}
+
+fn cap(word: &str) -> String {
+    let mut cs = word.chars();
+    match cs.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+/// A submit control: text button (usually) or image button.
+fn submit_control<R: Rng>(rng: &mut R, domain: Domain) -> (String, usize) {
+    let verb = ["Search", "Find", "Go", "Show"].choose(rng).expect("non-empty");
+    if rng.random_bool(0.15) {
+        (
+            format!(r#"<input type="image" src="/img/{}_go.gif">"#, domain.name()),
+            0,
+        )
+    } else {
+        let label = if rng.random_bool(0.5) {
+            format!("{verb} {}", domain.action_object())
+        } else {
+            (*verb).to_owned()
+        };
+        let terms = label.split_whitespace().count();
+        (format!(r#"<input type="submit" value="{label}">"#), terms)
+    }
+}
+
+/// A multi-attribute form aiming at `term_budget` word tokens inside the
+/// form (labels + option values + button labels).
+pub fn multi_attribute_form<R: Rng>(
+    rng: &mut R,
+    domain: Domain,
+    term_budget: usize,
+) -> FormFragment {
+    blended_multi_attribute_form(rng, domain, None, term_budget)
+}
+
+/// Like [`multi_attribute_form`], but when `blend` is set roughly half the
+/// fields draw their labels and options from the blend domain — the
+/// paper's Figure-4 phenomenon: one form searching two database domains
+/// (e.g. a store selling both CDs and DVDs).
+pub fn blended_multi_attribute_form<R: Rng>(
+    rng: &mut R,
+    domain: Domain,
+    blend: Option<Domain>,
+    term_budget: usize,
+) -> FormFragment {
+    let mut parts: Vec<String> = Vec::new();
+    let mut terms = 0usize;
+    let mut field_no = 0usize;
+    // Enough fields to plausibly reach the budget (selects carry ~10-25
+    // terms each), with small forms staying small.
+    let max_fields = (term_budget / 6).clamp(2, 26);
+
+    while field_no < max_fields && (terms + 4 <= term_budget || field_no < 2) {
+        // A blended form draws about half its fields from the blend domain.
+        let field_domain = match blend {
+            Some(b) if rng.random_bool(0.5) => b,
+            _ => domain,
+        };
+        let schema = field_domain.schema_terms();
+        let label = *schema.choose(rng).expect("non-empty schema");
+        let label_html = format!("<b>{}:</b>", cap(label));
+        terms += 1;
+        let remaining = term_budget.saturating_sub(terms);
+        let make_select = remaining >= 8 && rng.random_bool(0.7);
+        if make_select {
+            let pool: Vec<&str> = if rng.random_bool(0.12) {
+                MONTHS.to_vec()
+            } else {
+                field_domain.option_values().to_vec()
+            };
+            let n_opts = rng.random_range(3..=24).min(remaining.max(3)).min(pool.len());
+            let mut opts = String::new();
+            for _ in 0..n_opts {
+                let v = pool.choose(rng).expect("non-empty pool");
+                opts.push_str(&format!("<option>{}</option>", cap(v)));
+                terms += 1;
+            }
+            parts.push(format!(
+                "{label_html} <select name=\"{label}\">{opts}</select><br>"
+            ));
+        } else {
+            parts.push(format!(
+                "{label_html} <input type=\"text\" name=\"{label}\" size=\"20\"><br>"
+            ));
+        }
+        field_no += 1;
+    }
+    let (submit, submit_terms) = submit_control(rng, domain);
+    terms += submit_terms;
+    parts.push(submit);
+    FormFragment {
+        before_form: String::new(),
+        form: format!(
+            "<form action=\"/search\" method=\"get\">\n{}\n</form>",
+            parts.join("\n")
+        ),
+        approx_terms: terms,
+    }
+}
+
+/// A single-attribute keyword form with the chosen label style.
+pub fn single_attribute_form<R: Rng>(
+    rng: &mut R,
+    domain: Domain,
+    style: LabelStyle,
+) -> FormFragment {
+    let caption = if rng.random_bool(0.75) {
+        format!("Search {}", domain.action_object())
+    } else {
+        ["Search", "Quick Search", "Keywords"].choose(rng).expect("non-empty").to_string()
+    };
+    // A label-less form still almost always has *some* visible button text
+    // (even GIF-button sites typically keep a text submit nearby), so force
+    // a text submit for LabelStyle::None; the FC vector stays tiny but not
+    // empty, matching the paper's observation that only one pathological
+    // single-attribute page (few terms in form AND page) was misclustered.
+    let (submit, submit_terms) = if style == LabelStyle::None {
+        let label = format!("Search {}", domain.action_object());
+        let terms = label.split_whitespace().count();
+        (format!(r#"<input type="submit" value="{label}">"#), terms)
+    } else {
+        submit_control(rng, domain)
+    };
+    let (before, inside, label_terms) = match style {
+        LabelStyle::Inside => (String::new(), format!("{caption} "), caption.split_whitespace().count()),
+        LabelStyle::Outside => (format!("<b>{caption}</b>"), String::new(), 0),
+        LabelStyle::None => (String::new(), String::new(), 0),
+    };
+    FormFragment {
+        before_form: before,
+        form: format!(
+            "<form action=\"/find\" method=\"get\">{inside}<input type=\"text\" name=\"q\" size=\"30\"> {submit}</form>"
+        ),
+        approx_terms: label_terms + submit_terms,
+    }
+}
+
+/// A non-searchable form of the given kind.
+pub fn non_searchable_form<R: Rng>(rng: &mut R, kind: NonSearchableKind) -> FormFragment {
+    let form = match kind {
+        NonSearchableKind::Login => concat!(
+            "<form action=\"/login\" method=\"post\">",
+            "Username: <input type=\"text\" name=\"user\"><br>",
+            "Password: <input type=\"password\" name=\"pass\"><br>",
+            "<input type=\"checkbox\" name=\"remember\"> Remember me ",
+            "<input type=\"submit\" value=\"Login\"></form>"
+        )
+        .to_owned(),
+        NonSearchableKind::Signup => concat!(
+            "<form action=\"/register\" method=\"post\">",
+            "Name: <input type=\"text\" name=\"name\"><br>",
+            "Email: <input type=\"text\" name=\"email\"><br>",
+            "Password: <input type=\"password\" name=\"pw\"><br>",
+            "Confirm Password: <input type=\"password\" name=\"pw2\"><br>",
+            "<input type=\"submit\" value=\"Create Account\"></form>"
+        )
+        .to_owned(),
+        NonSearchableKind::QuoteRequest => concat!(
+            "<form action=\"/quote\" method=\"post\">",
+            "Your Name: <input type=\"text\" name=\"name\"><br>",
+            "Phone: <input type=\"text\" name=\"phone\"><br>",
+            "Email: <input type=\"text\" name=\"email\"><br>",
+            "Comments: <textarea name=\"comments\"></textarea><br>",
+            "<input type=\"submit\" value=\"Request Quote\"></form>"
+        )
+        .to_owned(),
+        NonSearchableKind::Newsletter => concat!(
+            "<form action=\"/subscribe\" method=\"post\">",
+            "Enter your email address to subscribe: ",
+            "<input type=\"text\" name=\"email\"> ",
+            "<input type=\"submit\" value=\"Subscribe\"></form>"
+        )
+        .to_owned(),
+    };
+    // Small randomized marker comment keeps pages distinct without
+    // affecting extracted text.
+    let nonce: u32 = rng.random();
+    FormFragment {
+        before_form: String::new(),
+        form: format!("<!-- f{nonce} -->{form}"),
+        approx_terms: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafc_html::{extract_forms, parse};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn parse_fragment(frag: &FormFragment) -> cafc_html::Form {
+        let doc = parse(&format!("{}{}", frag.before_form, frag.form));
+        let mut forms = extract_forms(&doc);
+        assert_eq!(forms.len(), 1);
+        forms.remove(0)
+    }
+
+    #[test]
+    fn multi_attribute_parses_and_is_multi() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for domain in Domain::ALL {
+            let frag = multi_attribute_form(&mut rng, domain, 60);
+            let form = parse_fragment(&frag);
+            assert!(
+                form.visible_field_count() >= 2,
+                "{domain:?}: expected multi-attribute, got {}",
+                form.visible_field_count()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_attribute_tracks_budget() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for budget in [15, 60, 150, 250] {
+            let frag = multi_attribute_form(&mut rng, Domain::Airfare, budget);
+            // Loose sanity: generated approx_terms should be in the budget's
+            // ballpark (between a third and double).
+            assert!(
+                frag.approx_terms >= budget / 3 && frag.approx_terms <= budget * 2,
+                "budget {budget}, got {}",
+                frag.approx_terms
+            );
+        }
+    }
+
+    #[test]
+    fn single_attribute_is_single() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        for style in [LabelStyle::Inside, LabelStyle::Outside, LabelStyle::None] {
+            let frag = single_attribute_form(&mut rng, Domain::Job, style);
+            let form = parse_fragment(&frag);
+            assert!(form.is_single_attribute(), "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn outside_label_is_outside() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let frag = single_attribute_form(&mut rng, Domain::Job, LabelStyle::Outside);
+        assert!(!frag.before_form.is_empty());
+        let form = parse_fragment(&frag);
+        // The inner text must not contain the caption.
+        assert!(
+            !form.inner_text.to_lowercase().contains("search"),
+            "caption leaked into the form: {:?}",
+            form.inner_text
+        );
+    }
+
+    #[test]
+    fn login_form_has_password() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let frag = non_searchable_form(&mut rng, NonSearchableKind::Login);
+        let form = parse_fragment(&frag);
+        assert!(form.has_password_field());
+    }
+
+    #[test]
+    fn all_non_searchable_kinds_parse() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        for kind in NonSearchableKind::ALL {
+            let frag = non_searchable_form(&mut rng, kind);
+            let form = parse_fragment(&frag);
+            assert!(!form.fields.is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn selects_have_options() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let frag = multi_attribute_form(&mut rng, Domain::Auto, 200);
+        let form = parse_fragment(&frag);
+        assert!(!form.option_texts.is_empty(), "a 200-term form should include selects");
+    }
+}

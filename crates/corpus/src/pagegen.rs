@@ -1,0 +1,317 @@
+//! Whole-page HTML assembly: form pages, site roots, hub/directory pages.
+
+use crate::domain::{Domain, GENERIC_TERMS};
+use crate::formgen::{self, FormFragment, LabelStyle, NonSearchableKind};
+use crate::text_gen::{self, TextMix};
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// Parameters for one form page.
+#[derive(Debug, Clone)]
+pub struct FormPageParams {
+    /// The page's database domain.
+    pub domain: Domain,
+    /// `Some(style)` for a single-attribute keyword form; `None` for a
+    /// multi-attribute form.
+    pub single: Option<LabelStyle>,
+    /// Approximate word tokens inside the form (multi-attribute only).
+    pub form_term_budget: usize,
+    /// Approximate word tokens outside the form — Table 1's "page terms".
+    pub page_term_budget: usize,
+    /// Site display name used in the title.
+    pub site_name: String,
+    /// A *hybrid* page genuinely covers this domain and its neighbour
+    /// (the paper's Figure 4: forms searching both Music and Movie
+    /// databases). Heavy cross-domain vocabulary.
+    pub hybrid: bool,
+}
+
+/// Standard footer shared by all generated pages. Deliberately identical
+/// everywhere: this is the web-generic noise (`privacy`, `copyright`,
+/// `help`, `shop`…) that the TF-IDF weighting has to suppress.
+fn footer() -> String {
+    "<div class=\"footer\"><a href=\"/\">Home</a> | <a href=\"/about\">About</a> | \
+     <a href=\"/help\">Help</a> | <a href=\"/privacy\">Privacy Policy</a> | \
+     <a href=\"/terms\">Terms and Conditions</a> | <a href=\"/contact\">Contact</a><br>\
+     Copyright all rights reserved. Shop online with secure shopping cart. \
+     Sign up for our free email newsletter today.</div>"
+        .to_owned()
+}
+
+/// A small navigation bar with generic anchors.
+fn navbar<R: Rng>(rng: &mut R) -> String {
+    let n = rng.random_range(3..=6);
+    let links: Vec<String> = (0..n)
+        .map(|_| {
+            let w = GENERIC_TERMS.choose(rng).expect("non-empty");
+            format!("<a href=\"/{w}\">{w}</a>")
+        })
+        .collect();
+    format!("<div class=\"nav\">{}</div>", links.join(" | "))
+}
+
+/// Assemble a full form page.
+///
+/// Body-text volume follows `page_term_budget`, implementing the Table-1
+/// anticorrelation the caller chooses between form size and page content.
+pub fn form_page<R: Rng>(rng: &mut R, params: &FormPageParams) -> String {
+    let mix = if params.hybrid {
+        // Figure-4 pages: near-even mixture with the neighbour domain.
+        TextMix {
+            domain_content: rng.random_range(0.18..0.28),
+            domain_schema: 0.06,
+            cross_domain: rng.random_range(0.40..0.58),
+        }
+    } else if params.single.is_some() {
+        // Single-attribute (keyword) interfaces sit on content-rich,
+        // on-topic pages (Table 1) — that is why CAFC handles them.
+        TextMix {
+            domain_content: rng.random_range(0.30..0.50),
+            domain_schema: 0.05,
+            cross_domain: rng.random_range(0.04..0.12),
+        }
+    } else {
+        TextMix::sample(rng)
+    };
+    let fragment: FormFragment = match params.single {
+        Some(style) => formgen::single_attribute_form(rng, params.domain, style),
+        None => {
+            let blend = params.hybrid.then(|| crate::text_gen::neighbour(params.domain));
+            formgen::blended_multi_attribute_form(rng, params.domain, blend, params.form_term_budget)
+        }
+    };
+    let title = format!("{} - {}", params.site_name, text_gen::title_phrase(rng, params.domain));
+    let heading = text_gen::title_phrase(rng, params.domain);
+
+    // Budget the body text. The footer/nav contribute ~30 generic terms on
+    // every page; the rest is paragraphs.
+    let para_budget = params.page_term_budget.saturating_sub(30);
+    let mut paragraphs = Vec::new();
+    let mut spent = 0usize;
+    while spent < para_budget {
+        let chunk = rng.random_range(25..=60).min(para_budget - spent).max(10);
+        // Real form pages carry off-topic promos/ads: with some probability
+        // a paragraph advertises an unrelated domain. This pollutes the PC
+        // space while the form stays clean — the complementarity that makes
+        // FC+PC beat PC alone in the paper's Figure 2.
+        let para_domain = if rng.random_bool(0.22) {
+            *Domain::ALL.choose(rng).expect("non-empty")
+        } else {
+            params.domain
+        };
+        paragraphs.push(format!("<p>{}</p>", text_gen::paragraph(rng, para_domain, &mix, chunk)));
+        spent += chunk;
+    }
+    format!(
+        "<html><head><title>{title}</title></head><body>\n{nav}\n<h1>{heading}</h1>\n\
+         {lead}\n{before}{form}\n{rest}\n{footer}\n</body></html>",
+        nav = navbar(rng),
+        lead = paragraphs.first().cloned().unwrap_or_default(),
+        before = fragment.before_form,
+        form = fragment.form,
+        rest = paragraphs.iter().skip(1).cloned().collect::<Vec<_>>().join("\n"),
+        footer = footer(),
+    )
+}
+
+/// A page hosting a non-searchable form (login/signup/quote/newsletter).
+pub fn non_searchable_page<R: Rng>(
+    rng: &mut R,
+    kind: NonSearchableKind,
+    domain: Domain,
+    page_term_budget: usize,
+) -> String {
+    let mix = TextMix::default();
+    let fragment = formgen::non_searchable_form(rng, kind);
+    let title = match kind {
+        NonSearchableKind::Login => "Member Login",
+        NonSearchableKind::Signup => "Create Your Account",
+        NonSearchableKind::QuoteRequest => "Request a Quote",
+        NonSearchableKind::Newsletter => "Newsletter Signup",
+    };
+    let body = text_gen::paragraph(rng, domain, &mix, page_term_budget.max(20));
+    format!(
+        "<html><head><title>{title}</title></head><body>\n{nav}\n<h2>{title}</h2>\n\
+         <p>{body}</p>\n{form}\n{footer}\n</body></html>",
+        nav = navbar(rng),
+        form = fragment.form,
+        footer = footer(),
+    )
+}
+
+/// A site root page: describes the site and links to its form page.
+pub fn site_root_page<R: Rng>(
+    rng: &mut R,
+    domain: Domain,
+    site_name: &str,
+    form_path: &str,
+) -> String {
+    let mix = TextMix::default();
+    let budget = rng.random_range(60..140);
+    let body = text_gen::paragraph(rng, domain, &mix, budget);
+    format!(
+        "<html><head><title>{site_name}</title></head><body>\n{nav}\n\
+         <h1>{site_name}</h1>\n<p>{body}</p>\n\
+         <p><a href=\"{form_path}\">{phrase}</a></p>\n{footer}\n</body></html>",
+        nav = navbar(rng),
+        phrase = text_gen::title_phrase(rng, domain),
+        footer = footer(),
+    )
+}
+
+/// A hub (directory) page linking to the given `(url, anchor_text)` pairs.
+///
+/// `topic` controls the hub's own text: a domain directory talks about its
+/// domain, a mixed directory uses generic vocabulary only.
+pub fn hub_page<R: Rng>(
+    rng: &mut R,
+    topic: Option<Domain>,
+    links: &[(String, String)],
+) -> String {
+    let mix = TextMix::default();
+    let (title, intro) = match topic {
+        Some(d) => (
+            format!("{} Directory", text_gen::title_phrase(rng, d)),
+            text_gen::paragraph(rng, d, &mix, 40),
+        ),
+        None => (
+            "Web Directory of Searchable Sites".to_owned(),
+            "Browse our directory of the best online search sites across all categories."
+                .to_owned(),
+        ),
+    };
+    let items: Vec<String> = links
+        .iter()
+        .map(|(url, anchor)| format!("<li><a href=\"{url}\">{anchor}</a></li>"))
+        .collect();
+    format!(
+        "<html><head><title>{title}</title></head><body>\n<h1>{title}</h1>\n<p>{intro}</p>\n\
+         <ul>\n{}\n</ul>\n{footer}\n</body></html>",
+        items.join("\n"),
+        footer = footer(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafc_html::{extract_forms, located_text, parse, TextLocation};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn count_terms(html: &str, form: bool) -> usize {
+        let doc = parse(html);
+        located_text(&doc)
+            .iter()
+            .filter(|lt| lt.location.is_form() == form)
+            .map(|lt| lt.text.split_whitespace().count())
+            .sum()
+    }
+
+    #[test]
+    fn form_page_has_one_form_and_title() {
+        let mut rng = SmallRng::seed_from_u64(20);
+        let params = FormPageParams {
+            domain: Domain::Hotel,
+            single: None,
+            form_term_budget: 50,
+            page_term_budget: 120,
+            site_name: "GrandStay".into(),
+            hybrid: false,
+        };
+        let html = form_page(&mut rng, &params);
+        let doc = parse(&html);
+        assert_eq!(extract_forms(&doc).len(), 1);
+        assert!(doc.title().expect("has title").contains("GrandStay"));
+    }
+
+    #[test]
+    fn page_term_budget_respected_roughly() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for budget in [40usize, 130, 300] {
+            let params = FormPageParams {
+                domain: Domain::Book,
+                single: None,
+                form_term_budget: 40,
+                page_term_budget: budget,
+                site_name: "PageTurner".into(),
+            hybrid: false,
+            };
+            let html = form_page(&mut rng, &params);
+            let outside = count_terms(&html, false);
+            assert!(
+                outside as f64 > budget as f64 * 0.5 && (outside as f64) < budget as f64 * 1.8,
+                "budget {budget}, measured {outside}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_attribute_page() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let params = FormPageParams {
+            domain: Domain::Job,
+            single: Some(crate::formgen::LabelStyle::Outside),
+            form_term_budget: 0,
+            page_term_budget: 200,
+            site_name: "JobHunt".into(),
+            hybrid: false,
+        };
+        let html = form_page(&mut rng, &params);
+        let doc = parse(&html);
+        let forms = extract_forms(&doc);
+        assert!(forms[0].is_single_attribute());
+    }
+
+    #[test]
+    fn generic_noise_on_every_page() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let params = FormPageParams {
+            domain: Domain::Music,
+            single: None,
+            form_term_budget: 30,
+            page_term_budget: 60,
+            site_name: "TuneTown".into(),
+            hybrid: false,
+        };
+        let html = form_page(&mut rng, &params).to_lowercase();
+        for w in ["privacy", "copyright", "help", "shop"] {
+            assert!(html.contains(w), "page missing generic term {w}");
+        }
+    }
+
+    #[test]
+    fn hub_page_links_and_anchors() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let links = vec![
+            ("http://a.com/f".to_owned(), "cheap flights".to_owned()),
+            ("http://b.com/f".to_owned(), "discount airfare".to_owned()),
+        ];
+        let html = hub_page(&mut rng, Some(Domain::Airfare), &links);
+        let doc = parse(&html);
+        let anchors: Vec<_> = located_text(&doc)
+            .into_iter()
+            .filter(|lt| lt.location == TextLocation::Anchor)
+            .map(|lt| lt.text)
+            .collect();
+        assert!(anchors.contains(&"cheap flights".to_owned()));
+        assert!(html.contains("http://b.com/f"));
+    }
+
+    #[test]
+    fn non_searchable_pages_have_forms() {
+        let mut rng = SmallRng::seed_from_u64(25);
+        for kind in NonSearchableKind::ALL {
+            let html = non_searchable_page(&mut rng, kind, Domain::Auto, 50);
+            let doc = parse(&html);
+            assert_eq!(extract_forms(&doc).len(), 1, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn site_root_links_to_form() {
+        let mut rng = SmallRng::seed_from_u64(26);
+        let html = site_root_page(&mut rng, Domain::CarRental, "WheelsNow", "/search.html");
+        assert!(html.contains("href=\"/search.html\""));
+    }
+}

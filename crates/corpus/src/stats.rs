@@ -1,0 +1,130 @@
+//! Corpus statistics — primarily the Table-1 measurement: average number
+//! of page terms *outside* the form, binned by form size.
+
+use cafc_html::{located_text, parse};
+
+/// The form-size bins of Table 1.
+pub const TABLE1_BINS: [(&str, usize, usize); 5] = [
+    ("< 10", 0, 10),
+    ("[10, 50)", 10, 50),
+    ("[50, 100)", 50, 100),
+    ("[100, 200)", 100, 200),
+    (">= 200", 200, usize::MAX),
+];
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Bin label (e.g. `"[10, 50)"`).
+    pub bin: &'static str,
+    /// Number of form pages falling in this bin.
+    pub pages: usize,
+    /// Average number of terms outside the form over those pages.
+    pub avg_page_terms: f64,
+}
+
+/// Per-page term counts inside and outside the form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageTermCounts {
+    /// Word tokens in form locations (FC).
+    pub form_terms: usize,
+    /// Word tokens outside the form (PC minus FC).
+    pub page_terms: usize,
+}
+
+/// Count form/page terms of a single HTML document.
+pub fn count_terms(html: &str) -> PageTermCounts {
+    let doc = parse(html);
+    let mut form_terms = 0;
+    let mut page_terms = 0;
+    for lt in located_text(&doc) {
+        let words = lt.text.split_whitespace().count();
+        if lt.location.is_form() {
+            form_terms += words;
+        } else {
+            page_terms += words;
+        }
+    }
+    PageTermCounts { form_terms, page_terms }
+}
+
+/// Compute Table 1 over a set of HTML documents.
+pub fn table1<'a, I>(pages: I) -> Vec<Table1Row>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut sums = [0usize; 5];
+    let mut counts = [0usize; 5];
+    for html in pages {
+        let c = count_terms(html);
+        let bin = TABLE1_BINS
+            .iter()
+            .position(|&(_, lo, hi)| c.form_terms >= lo && c.form_terms < hi)
+            .expect("bins cover all sizes");
+        sums[bin] += c.page_terms;
+        counts[bin] += 1;
+    }
+    TABLE1_BINS
+        .iter()
+        .enumerate()
+        .map(|(i, &(label, _, _))| Table1Row {
+            bin: label,
+            pages: counts[i],
+            avg_page_terms: if counts[i] == 0 { 0.0 } else { sums[i] as f64 / counts[i] as f64 },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::{generate, CorpusConfig};
+
+    #[test]
+    fn count_terms_basic() {
+        let html = "<p>one two three</p><form>four five <input name=q></form>";
+        let c = count_terms(html);
+        assert_eq!(c.page_terms, 3);
+        assert_eq!(c.form_terms, 2);
+    }
+
+    #[test]
+    fn table1_bins_cover_everything() {
+        for size in [0usize, 9, 10, 49, 50, 99, 100, 199, 200, 10_000] {
+            assert!(
+                TABLE1_BINS.iter().any(|&(_, lo, hi)| size >= lo && size < hi),
+                "size {size} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_on_synthetic_corpus_shows_anticorrelation() {
+        let web = generate(&CorpusConfig::small(3));
+        let htmls: Vec<&str> =
+            web.form_pages.iter().map(|r| web.graph.html(r.page).expect("html")).collect();
+        let rows = table1(htmls.iter().copied());
+        assert_eq!(rows.len(), 5);
+        let total: usize = rows.iter().map(|r| r.pages).sum();
+        assert_eq!(total, web.form_pages.len());
+        // The anticorrelation: tiny forms sit in content-rich pages; huge
+        // forms in sparse pages.
+        let tiny = &rows[0];
+        let huge = &rows[4];
+        assert!(tiny.pages > 0, "no tiny forms generated");
+        if huge.pages > 0 {
+            assert!(
+                tiny.avg_page_terms > huge.avg_page_terms * 2.0,
+                "tiny {} vs huge {}",
+                tiny.avg_page_terms,
+                huge.avg_page_terms
+            );
+        }
+    }
+
+    #[test]
+    fn table1_empty_input() {
+        let rows = table1(std::iter::empty());
+        assert!(rows.iter().all(|r| r.pages == 0 && r.avg_page_terms == 0.0));
+    }
+}

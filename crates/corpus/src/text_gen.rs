@@ -1,0 +1,183 @@
+//! Word and sentence sampling for synthetic pages.
+//!
+//! Pages must look like real web text to the pipeline: domain vocabulary
+//! mixed with ubiquitous generic noise, repeated draws producing realistic
+//! term frequencies, and a controllable amount of cross-domain
+//! contamination (the vocabulary-overlap effect behind the paper's
+//! Music/Movie confusions).
+
+use crate::domain::{Domain, GENERIC_TERMS};
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// Mixing proportions for body text.
+#[derive(Debug, Clone, Copy)]
+pub struct TextMix {
+    /// Probability of drawing a domain content term.
+    pub domain_content: f64,
+    /// Probability of drawing a domain schema term.
+    pub domain_schema: f64,
+    /// Probability of drawing a term from a *neighbouring* domain
+    /// (vocabulary contamination); the rest is generic noise.
+    pub cross_domain: f64,
+}
+
+impl Default for TextMix {
+    fn default() -> Self {
+        TextMix { domain_content: 0.42, domain_schema: 0.10, cross_domain: 0.06 }
+    }
+}
+
+impl TextMix {
+    /// Sample a per-page mix. Real sites vary widely in how "on-topic"
+    /// their copy is — the paper's "vocabulary heterogeneity in a domain"
+    /// — so each page draws its own domain-content share, and some pages
+    /// are heavily contaminated by a neighbouring domain's vocabulary
+    /// (the Music/Movie effect of §4.2).
+    pub fn sample<R: Rng>(rng: &mut R) -> TextMix {
+        TextMix {
+            domain_content: rng.random_range(0.16..0.42),
+            domain_schema: 0.08,
+            cross_domain: rng.random_range(0.07..0.24),
+        }
+    }
+}
+
+/// The domain whose vocabulary most plausibly contaminates `d`'s pages —
+/// mirrors the overlaps the paper observed on the real web.
+pub fn neighbour(d: Domain) -> Domain {
+    match d {
+        Domain::Airfare => Domain::Hotel,
+        Domain::Auto => Domain::CarRental,
+        Domain::Book => Domain::Movie,
+        Domain::Hotel => Domain::Airfare,
+        Domain::Job => Domain::Book,
+        Domain::Movie => Domain::Music,
+        Domain::Music => Domain::Movie,
+        Domain::CarRental => Domain::Auto,
+    }
+}
+
+/// Draw one body-text word for `domain`.
+pub fn body_word<R: Rng>(rng: &mut R, domain: Domain, mix: &TextMix) -> &'static str {
+    let roll: f64 = rng.random();
+    if roll < mix.domain_content {
+        domain.content_terms().choose(rng).expect("non-empty pool")
+    } else if roll < mix.domain_content + mix.domain_schema {
+        domain.schema_terms().choose(rng).expect("non-empty pool")
+    } else if roll < mix.domain_content + mix.domain_schema + mix.cross_domain {
+        let n = neighbour(domain);
+        n.content_terms().choose(rng).expect("non-empty pool")
+    } else {
+        GENERIC_TERMS.choose(rng).expect("non-empty pool")
+    }
+}
+
+/// A sentence of `len` words (capitalized first word, trailing period).
+pub fn sentence<R: Rng>(rng: &mut R, domain: Domain, mix: &TextMix, len: usize) -> String {
+    let mut words: Vec<String> = (0..len).map(|_| body_word(rng, domain, mix).to_owned()).collect();
+    if let Some(first) = words.first_mut() {
+        let mut cs = first.chars();
+        if let Some(c) = cs.next() {
+            *first = c.to_uppercase().collect::<String>() + cs.as_str();
+        }
+    }
+    words.join(" ") + "."
+}
+
+/// A paragraph of sentences totalling approximately `word_budget` words.
+pub fn paragraph<R: Rng>(rng: &mut R, domain: Domain, mix: &TextMix, word_budget: usize) -> String {
+    let mut out = Vec::new();
+    let mut spent = 0;
+    while spent < word_budget {
+        let len = rng.random_range(6..=12).min(word_budget - spent).max(3);
+        out.push(sentence(rng, domain, mix, len));
+        spent += len;
+    }
+    out.join(" ")
+}
+
+/// A short phrase (for titles/headings): 2–4 domain words, capitalized.
+pub fn title_phrase<R: Rng>(rng: &mut R, domain: Domain) -> String {
+    let n = rng.random_range(2..=4);
+    (0..n)
+        .map(|_| {
+            let w = domain.content_terms().choose(rng).expect("non-empty pool");
+            let mut cs = w.chars();
+            match cs.next() {
+                Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sentence_has_requested_length() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = sentence(&mut rng, Domain::Job, &TextMix::default(), 8);
+        assert_eq!(s.split_whitespace().count(), 8);
+        assert!(s.ends_with('.'));
+    }
+
+    #[test]
+    fn paragraph_close_to_budget() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = paragraph(&mut rng, Domain::Book, &TextMix::default(), 100);
+        let words = p.split_whitespace().count();
+        assert!((95..=115).contains(&words), "got {words} words");
+    }
+
+    #[test]
+    fn domain_vocabulary_dominates() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mix = TextMix::default();
+        let mut domain_hits = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let w = body_word(&mut rng, Domain::Music, &mix);
+            if Domain::Music.content_terms().contains(&w)
+                || Domain::Music.schema_terms().contains(&w)
+            {
+                domain_hits += 1;
+            }
+        }
+        let frac = domain_hits as f64 / n as f64;
+        assert!(frac > 0.40 && frac < 0.70, "domain fraction {frac}");
+    }
+
+    #[test]
+    fn cross_domain_contamination_present() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mix = TextMix { cross_domain: 0.5, domain_content: 0.25, domain_schema: 0.0 };
+        let mut movie_hits = 0;
+        for _ in 0..2000 {
+            let w = body_word(&mut rng, Domain::Music, &mix);
+            // neighbour(Music) = Movie
+            if Domain::Movie.content_terms().contains(&w) {
+                movie_hits += 1;
+            }
+        }
+        assert!(movie_hits > 500, "expected heavy contamination, got {movie_hits}");
+    }
+
+    #[test]
+    fn neighbours_are_symmetric_for_music_movie() {
+        assert_eq!(neighbour(Domain::Music), Domain::Movie);
+        assert_eq!(neighbour(Domain::Movie), Domain::Music);
+    }
+
+    #[test]
+    fn title_phrase_capitalized() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t = title_phrase(&mut rng, Domain::Hotel);
+        assert!(t.split(' ').all(|w| w.chars().next().is_some_and(char::is_uppercase)));
+    }
+}

@@ -1,0 +1,527 @@
+//! Synthesis of the whole web: form pages with sites, hub/directory pages,
+//! and the backlink structure of §3.1.
+//!
+//! The generator is the substitution for the paper's data acquisition
+//! (UIUC repository + crawler + AltaVista backlinks). Its defaults are
+//! calibrated to the corpus statistics the paper reports:
+//!
+//! * 454 form pages across 8 domains, 56 of them single-attribute;
+//! * up to 100 backlinks per page; >15 % of form pages with no direct
+//!   backlinks (their hubs point at the site root instead, exercising the
+//!   paper's root-page fallback);
+//! * thousands of distinct hub co-citation sets, ~69 % of them homogeneous
+//!   (controlled by `hub_contamination`), with mixed online directories
+//!   providing the heterogeneous remainder;
+//! * the Table-1 anticorrelation between form size and page content.
+
+use crate::domain::Domain;
+use crate::formgen::{LabelStyle, NonSearchableKind};
+use crate::pagegen::{self, FormPageParams};
+use crate::text_gen;
+use cafc_webgraph::{PageId, Url, WebGraph};
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration. `Default` reproduces the paper's corpus scale.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Total searchable form pages (paper: 454).
+    pub total_form_pages: usize,
+    /// How many of them are single-attribute (paper: 56).
+    pub single_attribute_count: usize,
+    /// Non-searchable form pages (login/signup/quote/newsletter) added to
+    /// exercise the searchable-form classifier.
+    pub non_searchable_count: usize,
+    /// Domain-directory hubs per domain.
+    pub hubs_per_domain: usize,
+    /// Cross-domain directory hubs.
+    pub mixed_hubs: usize,
+    /// Probability that a domain hub is contaminated with pages from a
+    /// neighbouring domain (drives hub-cluster homogeneity toward ~69 %).
+    pub hub_contamination: f64,
+    /// Fraction of form pages receiving no direct backlinks (paper: >15 %).
+    pub no_backlink_fraction: f64,
+    /// Of the backlinkless pages, the fraction whose *site root* receives
+    /// hub links instead (the rest stay uncovered).
+    pub root_hub_fraction: f64,
+    /// RNG seed; same seed → identical web.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            total_form_pages: 454,
+            single_attribute_count: 56,
+            non_searchable_count: 60,
+            hubs_per_domain: 420,
+            mixed_hubs: 120,
+            hub_contamination: 0.25,
+            no_backlink_fraction: 0.16,
+            root_hub_fraction: 0.8,
+            seed: 3,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small configuration for fast unit/integration tests.
+    pub fn small(seed: u64) -> Self {
+        CorpusConfig {
+            total_form_pages: 80,
+            single_attribute_count: 10,
+            non_searchable_count: 12,
+            hubs_per_domain: 40,
+            mixed_hubs: 16,
+            seed,
+            ..CorpusConfig::default()
+        }
+    }
+}
+
+/// One generated searchable form page.
+#[derive(Debug, Clone)]
+pub struct FormPageRecord {
+    /// The page in the graph.
+    pub page: PageId,
+    /// Gold-standard domain label.
+    pub domain: Domain,
+    /// Whether the form has exactly one fillable attribute.
+    pub single_attribute: bool,
+    /// Whether the page was denied direct backlinks (hub links, if any,
+    /// point at its site root).
+    pub backlinkless: bool,
+}
+
+/// The generated web.
+#[derive(Debug)]
+pub struct SyntheticWeb {
+    /// Pages and links; form pages, roots and hubs all carry HTML.
+    pub graph: WebGraph,
+    /// The searchable form pages with gold labels, in generation order.
+    pub form_pages: Vec<FormPageRecord>,
+    /// Non-searchable form pages (classifier workload).
+    pub non_searchable: Vec<PageId>,
+    /// All hub pages.
+    pub hubs: Vec<PageId>,
+    /// A portal page linking to every hub and site root (crawler entry).
+    pub portal: PageId,
+}
+
+impl SyntheticWeb {
+    /// Gold labels aligned with `form_pages` order.
+    pub fn labels(&self) -> Vec<Domain> {
+        self.form_pages.iter().map(|r| r.domain).collect()
+    }
+
+    /// Page ids aligned with `form_pages` order.
+    pub fn form_page_ids(&self) -> Vec<PageId> {
+        self.form_pages.iter().map(|r| r.page).collect()
+    }
+}
+
+/// Form-size classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SizeClass {
+    Tiny,   // < 10 form terms
+    Small,  // [10, 50)
+    Medium, // [50, 100)
+    Large,  // [100, 200)
+    Huge,   // >= 200
+}
+
+impl SizeClass {
+    fn sample<R: Rng>(rng: &mut R) -> SizeClass {
+        // Multi-attribute class mix; singles are Tiny by construction.
+        match rng.random_range(0..100) {
+            0..=7 => SizeClass::Tiny,
+            8..=47 => SizeClass::Small,
+            48..=70 => SizeClass::Medium,
+            71..=88 => SizeClass::Large,
+            _ => SizeClass::Huge,
+        }
+    }
+
+    fn form_budget<R: Rng>(self, rng: &mut R) -> usize {
+        match self {
+            SizeClass::Tiny => rng.random_range(4..9),
+            SizeClass::Small => rng.random_range(14..46),
+            SizeClass::Medium => rng.random_range(54..96),
+            SizeClass::Large => rng.random_range(108..190),
+            SizeClass::Huge => rng.random_range(205..320),
+        }
+    }
+
+    /// Page-content budget: Table 1's anticorrelation. Mid-row targets are
+    /// the paper's measured averages (131 / 76 / 83).
+    fn page_budget<R: Rng>(self, rng: &mut R) -> usize {
+        match self {
+            SizeClass::Tiny => rng.random_range(210..380),
+            SizeClass::Small => rng.random_range(95..170),
+            SizeClass::Medium => rng.random_range(50..105),
+            SizeClass::Large => rng.random_range(55..115),
+            SizeClass::Huge => rng.random_range(18..50),
+        }
+    }
+}
+
+/// Generate the synthetic web.
+pub fn generate(config: &CorpusConfig) -> SyntheticWeb {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut graph = WebGraph::new();
+    let mut form_pages: Vec<FormPageRecord> = Vec::with_capacity(config.total_form_pages);
+
+    // ---- form pages with their sites --------------------------------
+    let per_domain = config.total_form_pages / Domain::ALL.len();
+    let remainder = config.total_form_pages % Domain::ALL.len();
+    let singles_per_domain = config.single_attribute_count / Domain::ALL.len();
+
+    let mut site_no = 0usize;
+    for (di, &domain) in Domain::ALL.iter().enumerate() {
+        let count = per_domain + usize::from(di < remainder);
+        for k in 0..count {
+            let single = k < singles_per_domain
+                || (k == count - 1
+                    && di < config.single_attribute_count % Domain::ALL.len());
+            let host = format!("www.{}{}.com", domain.name(), site_no);
+            site_no += 1;
+            let site_name = format!(
+                "{}{}",
+                text_gen::title_phrase(&mut rng, domain).replace(' ', ""),
+                site_no
+            );
+            let (single_style, class) = if single {
+                let style = match rng.random_range(0..10) {
+                    0..=5 => LabelStyle::Inside,
+                    6..=8 => LabelStyle::Outside,
+                    _ => LabelStyle::None,
+                };
+                (Some(style), SizeClass::Tiny)
+            } else {
+                (None, SizeClass::sample(&mut rng))
+            };
+            // A slice of Music/Movie sites genuinely serve both domains
+            // (the paper's Figure 4) — the main driver of its §4.2 errors.
+            let hybrid = matches!(domain, Domain::Music | Domain::Movie)
+                && !single
+                && rng.random_bool(0.16);
+            let params = FormPageParams {
+                domain,
+                single: single_style,
+                form_term_budget: class.form_budget(&mut rng),
+                page_term_budget: class.page_budget(&mut rng),
+                site_name,
+                hybrid,
+            };
+            let html = pagegen::form_page(&mut rng, &params);
+            let form_url = Url::from_parts("http", &host, "/search.html");
+            let page = graph.add_page(form_url.clone(), html);
+
+            // Site root links to the form page (an intra-site backlink that
+            // hub construction must filter out).
+            let root_html =
+                pagegen::site_root_page(&mut rng, domain, &params.site_name, "/search.html");
+            let root = graph.add_page(Url::from_parts("http", &host, "/"), root_html);
+            graph.add_link(root, page);
+            graph.add_link(page, root);
+
+            form_pages.push(FormPageRecord {
+                page,
+                domain,
+                single_attribute: single,
+                backlinkless: false,
+            });
+        }
+    }
+
+    // ---- deny direct backlinks to a fraction of pages ----------------
+    let deny_count =
+        (config.total_form_pages as f64 * config.no_backlink_fraction).round() as usize;
+    let deny: Vec<usize> =
+        rand::seq::index::sample(&mut rng, form_pages.len(), deny_count.min(form_pages.len()))
+            .into_vec();
+    let mut root_hub_ok = vec![false; form_pages.len()];
+    for &i in &deny {
+        form_pages[i].backlinkless = true;
+        root_hub_ok[i] = rng.random_bool(config.root_hub_fraction);
+    }
+
+    // The hub link target for form page i: the form page itself, its site
+    // root, or None (uncovered).
+    let link_target = |graph: &WebGraph, rec: &FormPageRecord, ok_root: bool| -> Option<PageId> {
+        if !rec.backlinkless {
+            return Some(rec.page);
+        }
+        if ok_root {
+            let root = graph.url(rec.page).site_root();
+            return graph.page_id(&root);
+        }
+        None
+    };
+
+    // ---- hub pages ----------------------------------------------------
+    let mut hubs: Vec<PageId> = Vec::new();
+    let by_domain: Vec<Vec<usize>> = Domain::ALL
+        .iter()
+        .map(|&d| {
+            form_pages
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.domain == d)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    let mut hub_no = 0usize;
+    let mut make_hub = |graph: &mut WebGraph,
+                        rng: &mut SmallRng,
+                        topic: Option<Domain>,
+                        member_idxs: &[usize],
+                        form_pages: &[FormPageRecord],
+                        root_hub_ok: &[bool]|
+     -> Option<PageId> {
+        let mut links: Vec<(String, String)> = Vec::new();
+        let mut targets: Vec<PageId> = Vec::new();
+        for &idx in member_idxs {
+            let rec = &form_pages[idx];
+            if let Some(target) = link_target(graph, rec, root_hub_ok[idx]) {
+                let anchor = text_gen::title_phrase(rng, rec.domain).to_lowercase();
+                links.push((graph.url(target).to_string(), anchor));
+                targets.push(target);
+            }
+        }
+        if targets.is_empty() {
+            return None;
+        }
+        let html = pagegen::hub_page(rng, topic, &links);
+        hub_no += 1;
+        let hub_url = Url::from_parts("http", &format!("dir{hub_no}.example.org"), "/");
+        let hub = graph.add_page(hub_url, html);
+        for t in targets {
+            graph.add_link(hub, t);
+        }
+        Some(hub)
+    };
+
+    for (di, &domain) in Domain::ALL.iter().enumerate() {
+        let pool = &by_domain[di];
+        for _ in 0..config.hubs_per_domain {
+            // Heavily small-skewed: the paper found only 164 of 3,450 hub
+            // clusters with cardinality >= 8.
+            let size = match rng.random_range(0..1000) {
+                0..=699 => rng.random_range(1..=3),
+                700..=929 => rng.random_range(4..=7),
+                930..=984 => rng.random_range(8..=15),
+                _ => rng.random_range(16..=30),
+            }
+            .min(pool.len());
+            let mut members: Vec<usize> = rand::seq::index::sample(&mut rng, pool.len(), size)
+                .into_iter()
+                .map(|j| pool[j])
+                .collect();
+            // Contamination: mix in a few pages from the neighbour domain.
+            if rng.random_bool(config.hub_contamination) {
+                let other = text_gen::neighbour(domain);
+                let opool = &by_domain[other.index()];
+                let extra = rng.random_range(1..=3).min(opool.len());
+                members.extend(
+                    rand::seq::index::sample(&mut rng, opool.len(), extra)
+                        .into_iter()
+                        .map(|j| opool[j]),
+                );
+            }
+            if let Some(h) =
+                make_hub(&mut graph, &mut rng, Some(domain), &members, &form_pages, &root_hub_ok)
+            {
+                hubs.push(h);
+            }
+        }
+    }
+    // Mixed (cross-domain) directories.
+    for _ in 0..config.mixed_hubs {
+        let size = rng.random_range(8..=40).min(form_pages.len());
+        let members: Vec<usize> =
+            rand::seq::index::sample(&mut rng, form_pages.len(), size).into_vec();
+        if let Some(h) = make_hub(&mut graph, &mut rng, None, &members, &form_pages, &root_hub_ok)
+        {
+            hubs.push(h);
+        }
+    }
+
+    // ---- non-searchable pages ----------------------------------------
+    let mut non_searchable = Vec::new();
+    for i in 0..config.non_searchable_count {
+        let kind = NonSearchableKind::ALL[i % NonSearchableKind::ALL.len()];
+        let rec = form_pages.choose(&mut rng).expect("form pages exist");
+        let domain = rec.domain;
+        let host = graph.url(rec.page).host().to_owned();
+        let path = format!("/{}{}.html", kind_path(kind), i);
+        let html = pagegen::non_searchable_page(&mut rng, kind, domain, 60);
+        let page = graph.add_page(Url::from_parts("http", &host, &path), html);
+        // Reachable from the site root.
+        if let Some(root) = graph.page_id(&Url::from_parts("http", &host, "/")) {
+            graph.add_link(root, page);
+        }
+        non_searchable.push(page);
+    }
+
+    // ---- portal -------------------------------------------------------
+    let mut portal_links: Vec<(String, String)> = Vec::new();
+    for &h in &hubs {
+        portal_links.push((graph.url(h).to_string(), "directory".to_owned()));
+    }
+    for rec in &form_pages {
+        let root = graph.url(rec.page).site_root();
+        portal_links.push((root.to_string(), "site".to_owned()));
+    }
+    // Non-searchable pages are reachable too, so the crawler's classifier
+    // actually gets exercised on them.
+    for &p in &non_searchable {
+        portal_links.push((graph.url(p).to_string(), "page".to_owned()));
+    }
+    let portal_html = pagegen::hub_page(&mut rng, None, &portal_links);
+    let portal = graph.add_page(Url::from_parts("http", "portal.example.org", "/"), portal_html);
+    let portal_targets: Vec<PageId> = hubs
+        .iter()
+        .copied()
+        .chain(form_pages.iter().filter_map(|r| graph.page_id(&graph.url(r.page).site_root())))
+        .chain(non_searchable.iter().copied())
+        .collect();
+    for t in portal_targets {
+        graph.add_link(portal, t);
+    }
+
+    SyntheticWeb { graph, form_pages, non_searchable, hubs, portal }
+}
+
+fn kind_path(kind: NonSearchableKind) -> &'static str {
+    match kind {
+        NonSearchableKind::Login => "login",
+        NonSearchableKind::Signup => "register",
+        NonSearchableKind::QuoteRequest => "quote",
+        NonSearchableKind::Newsletter => "newsletter",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_web() -> SyntheticWeb {
+        generate(&CorpusConfig::small(42))
+    }
+
+    #[test]
+    fn page_counts_match_config() {
+        let web = small_web();
+        let cfg = CorpusConfig::small(42);
+        assert_eq!(web.form_pages.len(), cfg.total_form_pages);
+        assert_eq!(web.non_searchable.len(), cfg.non_searchable_count);
+        let singles = web.form_pages.iter().filter(|r| r.single_attribute).count();
+        assert_eq!(singles, cfg.single_attribute_count);
+    }
+
+    #[test]
+    fn all_domains_represented() {
+        let web = small_web();
+        for d in Domain::ALL {
+            assert!(
+                web.form_pages.iter().any(|r| r.domain == d),
+                "no pages for {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&CorpusConfig::small(7));
+        let b = generate(&CorpusConfig::small(7));
+        assert_eq!(a.graph.len(), b.graph.len());
+        assert_eq!(a.graph.num_links(), b.graph.num_links());
+        let urls_a: Vec<String> =
+            a.form_pages.iter().map(|r| a.graph.url(r.page).to_string()).collect();
+        let urls_b: Vec<String> =
+            b.form_pages.iter().map(|r| b.graph.url(r.page).to_string()).collect();
+        assert_eq!(urls_a, urls_b);
+    }
+
+    #[test]
+    fn form_pages_have_html_and_forms() {
+        let web = small_web();
+        for rec in &web.form_pages {
+            let html = web.graph.html(rec.page).expect("form page has HTML");
+            let doc = cafc_html::parse(html);
+            let forms = cafc_html::extract_forms(&doc);
+            assert_eq!(forms.len(), 1, "page {}", web.graph.url(rec.page));
+            assert_eq!(
+                forms[0].is_single_attribute(),
+                rec.single_attribute,
+                "single-attribute flag mismatch on {}",
+                web.graph.url(rec.page)
+            );
+        }
+    }
+
+    #[test]
+    fn backlinkless_fraction_enforced() {
+        let web = small_web();
+        let cfg = CorpusConfig::small(42);
+        let denied = web.form_pages.iter().filter(|r| r.backlinkless).count();
+        let expect = (cfg.total_form_pages as f64 * cfg.no_backlink_fraction).round() as usize;
+        assert_eq!(denied, expect);
+        // Denied pages have no external backlinks (only their own site's).
+        for rec in web.form_pages.iter().filter(|r| r.backlinkless) {
+            for &h in web.graph.in_links(rec.page) {
+                assert!(
+                    web.graph.url(h).same_site(web.graph.url(rec.page)),
+                    "backlinkless page has external backlink"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hubs_point_at_form_pages() {
+        let web = small_web();
+        assert!(!web.hubs.is_empty());
+        let form_ids: Vec<PageId> = web.form_page_ids();
+        let mut hub_link_count = 0;
+        for &h in &web.hubs {
+            for &t in web.graph.out_links(h) {
+                if form_ids.contains(&t) {
+                    hub_link_count += 1;
+                }
+            }
+        }
+        assert!(hub_link_count > web.form_pages.len(), "hubs too sparse");
+    }
+
+    #[test]
+    fn portal_reaches_hubs_and_roots() {
+        let web = small_web();
+        let out = web.graph.out_links(web.portal);
+        assert!(out.len() >= web.hubs.len());
+    }
+
+    #[test]
+    fn most_form_pages_have_external_backlinks() {
+        let web = small_web();
+        let with_ext = web
+            .form_pages
+            .iter()
+            .filter(|r| {
+                web.graph
+                    .in_links(r.page)
+                    .iter()
+                    .any(|&h| !web.graph.url(h).same_site(web.graph.url(r.page)))
+            })
+            .count();
+        assert!(
+            with_ext as f64 > web.form_pages.len() as f64 * 0.7,
+            "only {with_ext} of {} pages have external backlinks",
+            web.form_pages.len()
+        );
+    }
+}

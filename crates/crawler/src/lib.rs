@@ -1,0 +1,206 @@
+//! # cafc-crawler
+//!
+//! A form-focused crawler over the in-memory web graph — the acquisition
+//! substrate of the pipeline. Half of the paper's corpus "was automatically
+//! retrieved by a Web crawler \[3\]"; this crate reproduces that stage
+//! end-to-end against the synthetic web: it fetches page HTML, parses it,
+//! resolves `href`s against the page URL, walks breadth-first, and collects
+//! the pages whose forms the searchable-form classifier accepts.
+//!
+//! The crawler only sees what a real one would: HTML bytes and URLs. Link
+//! resolution goes through [`cafc_webgraph::Url::resolve`], so relative,
+//! host-relative and absolute links all work; URLs that resolve to nothing
+//! in the graph behave like dead links.
+
+#![warn(missing_docs)]
+
+use cafc_classify::searchable_forms;
+use cafc_html::parse;
+use cafc_webgraph::{PageId, WebGraph};
+use std::collections::VecDeque;
+
+/// Crawl limits.
+#[derive(Debug, Clone, Copy)]
+pub struct CrawlConfig {
+    /// Stop after visiting this many pages.
+    pub max_pages: usize,
+    /// Maximum link depth from the seed (0 = seed only).
+    pub max_depth: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig { max_pages: 100_000, max_depth: 16 }
+    }
+}
+
+/// Crawl outcome.
+#[derive(Debug, Clone)]
+pub struct CrawlResult {
+    /// Pages fetched (had HTML), in visit order.
+    pub visited: Vec<PageId>,
+    /// Pages with at least one searchable form, in visit order.
+    pub searchable_form_pages: Vec<PageId>,
+    /// Pages whose only forms were rejected by the classifier.
+    pub rejected_form_pages: Vec<PageId>,
+    /// Links that resolved to URLs absent from the graph (dead links).
+    pub dead_links: usize,
+}
+
+/// Breadth-first crawl from `seed`.
+pub fn crawl(graph: &WebGraph, seed: PageId, config: &CrawlConfig) -> CrawlResult {
+    let mut result = CrawlResult {
+        visited: Vec::new(),
+        searchable_form_pages: Vec::new(),
+        rejected_form_pages: Vec::new(),
+        dead_links: 0,
+    };
+    let mut seen = vec![false; graph.len()];
+    let mut queue: VecDeque<(PageId, usize)> = VecDeque::new();
+    seen[seed.index()] = true;
+    queue.push_back((seed, 0));
+
+    while let Some((page, depth)) = queue.pop_front() {
+        if result.visited.len() >= config.max_pages {
+            break;
+        }
+        let Some(html) = graph.html(page) else {
+            continue; // placeholder page without content: nothing to fetch
+        };
+        result.visited.push(page);
+        let doc = parse(html);
+
+        // Classify the page's forms.
+        let all_forms = cafc_html::extract_forms(&doc);
+        if !all_forms.is_empty() {
+            let searchable = searchable_forms(&doc);
+            if !searchable.is_empty() {
+                result.searchable_form_pages.push(page);
+            } else {
+                result.rejected_form_pages.push(page);
+            }
+        }
+
+        if depth >= config.max_depth {
+            continue;
+        }
+        // Extract and resolve links.
+        let base = graph.url(page);
+        for node in doc.elements_named("a") {
+            let Some(href) = doc.attr(node, "href") else { continue };
+            let Some(url) = base.resolve(href) else { continue };
+            match graph.page_id(&url) {
+                Some(target) => {
+                    if !seen[target.index()] {
+                        seen[target.index()] = true;
+                        queue.push_back((target, depth + 1));
+                    }
+                }
+                None => result.dead_links += 1,
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafc_corpus::{generate, CorpusConfig};
+    use cafc_webgraph::Url;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).expect("test url parses")
+    }
+
+    #[test]
+    fn crawls_a_hand_built_site() {
+        let mut g = WebGraph::new();
+        let home = g.add_page(
+            url("http://a.com/"),
+            r#"<a href="/search.html">search</a><a href="/dead.html">x</a>"#.into(),
+        );
+        let search = g.add_page(
+            url("http://a.com/search.html"),
+            r#"<form action="/s"><input name=q><input type=submit value=Search></form>"#.into(),
+        );
+        let result = crawl(&g, home, &CrawlConfig::default());
+        assert_eq!(result.visited, vec![home, search]);
+        assert_eq!(result.searchable_form_pages, vec![search]);
+        assert_eq!(result.dead_links, 1);
+    }
+
+    #[test]
+    fn respects_depth_limit() {
+        let mut g = WebGraph::new();
+        let a = g.add_page(url("http://a.com/"), r#"<a href="http://b.com/">b</a>"#.into());
+        let b = g.add_page(url("http://b.com/"), r#"<a href="http://c.com/">c</a>"#.into());
+        let c = g.add_page(url("http://c.com/"), "end".into());
+        let shallow = crawl(&g, a, &CrawlConfig { max_depth: 1, ..Default::default() });
+        assert_eq!(shallow.visited, vec![a, b]);
+        let deep = crawl(&g, a, &CrawlConfig::default());
+        assert_eq!(deep.visited, vec![a, b, c]);
+    }
+
+    #[test]
+    fn respects_page_limit() {
+        let mut g = WebGraph::new();
+        let mut prev_html = String::new();
+        for i in (0..10).rev() {
+            prev_html = format!(r#"<a href="http://s{i}.com/">next</a>{prev_html}"#);
+        }
+        let hub = g.add_page(url("http://hub.com/"), prev_html);
+        for i in 0..10 {
+            g.add_page(url(&format!("http://s{i}.com/")), "x".into());
+        }
+        let result = crawl(&g, hub, &CrawlConfig { max_pages: 4, ..Default::default() });
+        assert_eq!(result.visited.len(), 4);
+    }
+
+    #[test]
+    fn rejects_non_searchable_pages() {
+        let mut g = WebGraph::new();
+        let login = g.add_page(
+            url("http://a.com/login"),
+            r#"<form action="/login" method=post><input name=u>
+            <input type=password name=p><input type=submit value=Login></form>"#
+                .into(),
+        );
+        let result = crawl(&g, login, &CrawlConfig::default());
+        assert_eq!(result.rejected_form_pages, vec![login]);
+        assert!(result.searchable_form_pages.is_empty());
+    }
+
+    #[test]
+    fn full_synthetic_web_crawl_finds_most_form_pages() {
+        let web = generate(&CorpusConfig::small(99));
+        let result = crawl(&web.graph, web.portal, &CrawlConfig::default());
+        // Every form page whose site root is linked from the portal is
+        // reachable; the classifier should accept the searchable ones.
+        let found = result.searchable_form_pages.len();
+        let expected = web.form_pages.len();
+        assert!(
+            found as f64 >= expected as f64 * 0.9,
+            "crawler found {found} of {expected} searchable form pages"
+        );
+        // Non-searchable pages must overwhelmingly be rejected, not accepted.
+        let accepted_bad = web
+            .non_searchable
+            .iter()
+            .filter(|p| result.searchable_form_pages.contains(p))
+            .count();
+        assert!(
+            accepted_bad * 10 <= web.non_searchable.len(),
+            "{accepted_bad} of {} non-searchable pages misclassified",
+            web.non_searchable.len()
+        );
+    }
+
+    #[test]
+    fn seed_without_html_yields_empty_crawl() {
+        let mut g = WebGraph::new();
+        let ghost = g.intern(url("http://ghost.com/"));
+        let result = crawl(&g, ghost, &CrawlConfig::default());
+        assert!(result.visited.is_empty());
+    }
+}

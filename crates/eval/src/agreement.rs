@@ -1,0 +1,217 @@
+//! Information-theoretic and pair-counting agreement measures.
+//!
+//! The paper evaluates with entropy and F-measure only; a library release
+//! should also offer the modern standards — normalized mutual information
+//! and the adjusted Rand index — so downstream users can compare CAFC
+//! against other systems on equal footing. Both are computed from the same
+//! contingency table as the paper's metrics.
+
+use crate::confusion::ConfusionMatrix;
+use std::hash::Hash;
+
+/// Mutual information between the cluster assignment and the gold classes,
+/// in bits.
+pub fn mutual_information<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels: &[L]) -> f64 {
+    let m = ConfusionMatrix::new(clusters, labels);
+    let n = m.total() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mut mi = 0.0;
+    for i in 0..m.classes().len() {
+        for j in 0..m.num_clusters() {
+            let n_ij = m.count(i, j) as f64;
+            if n_ij == 0.0 {
+                continue;
+            }
+            let p_ij = n_ij / n;
+            let p_i = m.class_size(i) as f64 / n;
+            let p_j = m.cluster_size(j) as f64 / n;
+            mi += p_ij * (p_ij / (p_i * p_j)).log2();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Shannon entropy (bits) of a size distribution.
+fn dist_entropy(sizes: impl Iterator<Item = usize>, total: f64) -> f64 {
+    let mut h = 0.0;
+    for s in sizes {
+        if s > 0 {
+            let p = s as f64 / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Normalized mutual information: `MI / sqrt(H(classes) · H(clusters))`,
+/// in `\[0, 1\]`. Returns 1.0 when both partitions are trivial (single
+/// class, single cluster) and agree; 0.0 for independent assignments.
+pub fn nmi<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels: &[L]) -> f64 {
+    let m = ConfusionMatrix::new(clusters, labels);
+    let n = m.total() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let h_class = dist_entropy((0..m.classes().len()).map(|i| m.class_size(i)), n);
+    let h_cluster = dist_entropy((0..m.num_clusters()).map(|j| m.cluster_size(j)), n);
+    let denom = (h_class * h_cluster).sqrt();
+    if denom == 0.0 {
+        // One side is a single block; they agree iff the other side is too.
+        return if h_class == h_cluster { 1.0 } else { 0.0 };
+    }
+    (mutual_information(clusters, labels) / denom).clamp(0.0, 1.0)
+}
+
+fn choose2(x: usize) -> f64 {
+    let x = x as f64;
+    x * (x - 1.0) / 2.0
+}
+
+/// Adjusted Rand index: pair-counting agreement corrected for chance.
+/// 1.0 for identical partitions, ~0.0 for random ones (can be negative).
+pub fn adjusted_rand_index<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels: &[L]) -> f64 {
+    let m = ConfusionMatrix::new(clusters, labels);
+    let n = m.total();
+    if n < 2 {
+        return 1.0;
+    }
+    let sum_ij: f64 = (0..m.classes().len())
+        .flat_map(|i| (0..m.num_clusters()).map(move |j| (i, j)))
+        .map(|(i, j)| choose2(m.count(i, j)))
+        .sum();
+    let sum_i: f64 = (0..m.classes().len()).map(|i| choose2(m.class_size(i))).sum();
+    let sum_j: f64 = (0..m.num_clusters()).map(|j| choose2(m.cluster_size(j))).sum();
+    let total_pairs = choose2(n);
+    let expected = sum_i * sum_j / total_pairs;
+    let max_index = 0.5 * (sum_i + sum_j);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // both partitions trivial
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Pairwise precision/recall/F1 over co-clustered item pairs: a pair of
+/// same-class items should share a cluster, a pair of different-class
+/// items should not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseScores {
+    /// Of the pairs sharing a cluster, the fraction sharing a class.
+    pub precision: f64,
+    /// Of the pairs sharing a class, the fraction sharing a cluster.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+}
+
+/// Compute pairwise clustering scores.
+pub fn pairwise_scores<L: Eq + Hash + Clone>(
+    clusters: &[Vec<usize>],
+    labels: &[L],
+) -> PairwiseScores {
+    let m = ConfusionMatrix::new(clusters, labels);
+    let same_both: f64 = (0..m.classes().len())
+        .flat_map(|i| (0..m.num_clusters()).map(move |j| (i, j)))
+        .map(|(i, j)| choose2(m.count(i, j)))
+        .sum();
+    let same_cluster: f64 = (0..m.num_clusters()).map(|j| choose2(m.cluster_size(j))).sum();
+    let same_class: f64 = (0..m.classes().len()).map(|i| choose2(m.class_size(i))).sum();
+    let precision = if same_cluster == 0.0 { 1.0 } else { same_both / same_cluster };
+    let recall = if same_class == 0.0 { 1.0 } else { same_both / same_class };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairwiseScores { precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LABELS: [&str; 8] = ["a", "a", "a", "a", "b", "b", "b", "b"];
+
+    fn perfect() -> Vec<Vec<usize>> {
+        vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]
+    }
+
+    fn one_blob() -> Vec<Vec<usize>> {
+        vec![(0..8).collect()]
+    }
+
+    #[test]
+    fn nmi_perfect_is_one() {
+        assert!((nmi(&perfect(), &LABELS) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_single_blob_is_zero() {
+        assert_eq!(nmi(&one_blob(), &LABELS), 0.0);
+    }
+
+    #[test]
+    fn nmi_bounds_on_partial_agreement() {
+        let clusters = vec![vec![0, 1, 2, 4], vec![3, 5, 6, 7]];
+        let v = nmi(&clusters, &LABELS);
+        assert!(v > 0.0 && v < 1.0, "{v}");
+    }
+
+    #[test]
+    fn ari_perfect_is_one() {
+        assert!((adjusted_rand_index(&perfect(), &LABELS) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_single_blob_is_zero() {
+        let v = adjusted_rand_index(&one_blob(), &LABELS);
+        assert!(v.abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn ari_label_permutation_invariant() {
+        // Swapping which cluster holds which class does not matter.
+        let swapped = vec![vec![4, 5, 6, 7], vec![0, 1, 2, 3]];
+        assert!((adjusted_rand_index(&swapped, &LABELS) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_perfect_equals_class_entropy() {
+        // Balanced 2-class: H = 1 bit.
+        assert!((mutual_information(&perfect(), &LABELS) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_perfect() {
+        let s = pairwise_scores(&perfect(), &LABELS);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn pairwise_single_blob_has_full_recall_low_precision() {
+        let s = pairwise_scores(&one_blob(), &LABELS);
+        assert_eq!(s.recall, 1.0);
+        // 12 same-class pairs of 28 total pairs.
+        assert!((s.precision - 12.0 / 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_singletons_have_full_precision_zero_recall() {
+        let clusters: Vec<Vec<usize>> = (0..8).map(|i| vec![i]).collect();
+        let s = pairwise_scores(&clusters, &LABELS);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let clusters: Vec<Vec<usize>> = vec![];
+        assert_eq!(nmi(&clusters, &LABELS), 0.0);
+        assert_eq!(mutual_information(&clusters, &LABELS), 0.0);
+        assert_eq!(adjusted_rand_index(&clusters, &LABELS), 1.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Class-by-cluster contingency table.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A contingency table `n_ij` = number of items of class `i` in cluster `j`,
+/// with the marginals `n_i` (class sizes) and `n_j` (cluster sizes).
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix<L> {
+    /// Distinct class labels, in first-appearance order over the label slice.
+    classes: Vec<L>,
+    /// `counts[class][cluster]`.
+    counts: Vec<Vec<usize>>,
+    /// Cluster sizes `n_j`.
+    cluster_sizes: Vec<usize>,
+    /// Class sizes `n_i` (over clustered items only).
+    class_sizes: Vec<usize>,
+    total: usize,
+}
+
+impl<L: Eq + Hash + Clone> ConfusionMatrix<L> {
+    /// Build from cluster member lists and per-item gold labels.
+    ///
+    /// # Panics
+    /// Panics if a member index is out of range of `labels`.
+    pub fn new(clusters: &[Vec<usize>], labels: &[L]) -> Self {
+        let mut class_index: HashMap<L, usize> = HashMap::new();
+        let mut classes: Vec<L> = Vec::new();
+        // Register classes in label order for stable output.
+        for l in labels {
+            if !class_index.contains_key(l) {
+                class_index.insert(l.clone(), classes.len());
+                classes.push(l.clone());
+            }
+        }
+        let mut counts = vec![vec![0usize; clusters.len()]; classes.len()];
+        let mut cluster_sizes = vec![0usize; clusters.len()];
+        let mut class_sizes = vec![0usize; classes.len()];
+        let mut total = 0usize;
+        for (j, members) in clusters.iter().enumerate() {
+            for &m in members {
+                let i = class_index[&labels[m]];
+                counts[i][j] += 1;
+                cluster_sizes[j] += 1;
+                class_sizes[i] += 1;
+                total += 1;
+            }
+        }
+        ConfusionMatrix { classes, counts, cluster_sizes, class_sizes, total }
+    }
+
+    /// The distinct classes.
+    pub fn classes(&self) -> &[L] {
+        &self.classes
+    }
+
+    /// Number of clusters (columns).
+    pub fn num_clusters(&self) -> usize {
+        self.cluster_sizes.len()
+    }
+
+    /// `n_ij` by class row and cluster column.
+    pub fn count(&self, class: usize, cluster: usize) -> usize {
+        self.counts[class][cluster]
+    }
+
+    /// Cluster size `n_j`.
+    pub fn cluster_size(&self, cluster: usize) -> usize {
+        self.cluster_sizes[cluster]
+    }
+
+    /// Class size `n_i` (clustered items only).
+    pub fn class_size(&self, class: usize) -> usize {
+        self.class_sizes[class]
+    }
+
+    /// Total clustered items.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The majority class of a cluster, or `None` for an empty cluster.
+    /// Ties break toward the lower class row.
+    pub fn majority_class(&self, cluster: usize) -> Option<usize> {
+        if self.cluster_sizes[cluster] == 0 {
+            return None;
+        }
+        (0..self.classes.len()).max_by_key(|&i| (self.counts[i][cluster], usize::MAX - i))
+    }
+
+    /// Items of class `a` sharing a cluster with a majority of class `b` —
+    /// the paper's §4.2 error analysis looks at the (Music, Movie) entry.
+    pub fn confused_into(&self, class_a: usize, class_b: usize) -> usize {
+        (0..self.num_clusters())
+            .filter(|&j| self.majority_class(j) == Some(class_b))
+            .map(|j| self.counts[class_a][j])
+            .sum()
+    }
+
+    /// Render as an aligned text table (classes × clusters) for reports.
+    pub fn to_table(&self) -> String
+    where
+        L: std::fmt::Display,
+    {
+        let mut out = String::new();
+        let label_w = self
+            .classes
+            .iter()
+            .map(|c| c.to_string().len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        out.push_str(&format!("{:label_w$}", "class"));
+        for j in 0..self.num_clusters() {
+            out.push_str(&format!(" {:>5}", format!("c{j}")));
+        }
+        out.push('\n');
+        for (i, class) in self.classes.iter().enumerate() {
+            out.push_str(&format!("{:label_w$}", class.to_string()));
+            for j in 0..self.num_clusters() {
+                out.push_str(&format!(" {:>5}", self.counts[i][j]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> ConfusionMatrix<&'static str> {
+        // items: 0..6, labels a,a,a,b,b,c
+        // clusters: {0,1,3} {2,4,5}
+        let labels = ["a", "a", "a", "b", "b", "c"];
+        ConfusionMatrix::new(&[vec![0, 1, 3], vec![2, 4, 5]], &labels)
+    }
+
+    #[test]
+    fn counts_and_marginals() {
+        let m = fixture();
+        assert_eq!(m.classes(), &["a", "b", "c"]);
+        assert_eq!(m.count(0, 0), 2); // a in cluster 0
+        assert_eq!(m.count(1, 0), 1); // b in cluster 0
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(2, 1), 1);
+        assert_eq!(m.cluster_size(0), 3);
+        assert_eq!(m.class_size(0), 3);
+        assert_eq!(m.total(), 6);
+    }
+
+    #[test]
+    fn majority_class() {
+        let m = fixture();
+        assert_eq!(m.majority_class(0), Some(0)); // a
+        // cluster 1 has one each of a,b,c -> tie -> lowest row (a)
+        assert_eq!(m.majority_class(1), Some(0));
+    }
+
+    #[test]
+    fn majority_of_empty_is_none() {
+        let labels = ["a"];
+        let m = ConfusionMatrix::new(&[vec![0], vec![]], &labels);
+        assert_eq!(m.majority_class(1), None);
+    }
+
+    #[test]
+    fn confused_into() {
+        // clusters: {a,a,b} majority a; {b,b,a} majority b
+        let labels = ["a", "a", "b", "b", "b", "a"];
+        let m = ConfusionMatrix::new(&[vec![0, 1, 2], vec![3, 4, 5]], &labels);
+        assert_eq!(m.confused_into(1, 0), 1); // one b in an a-cluster
+        assert_eq!(m.confused_into(0, 1), 1); // one a in a b-cluster
+        assert_eq!(m.confused_into(0, 0), 2);
+    }
+
+    #[test]
+    fn partial_clustering_counts_only_clustered() {
+        let labels = ["a", "a", "b"];
+        let m = ConfusionMatrix::new(&[vec![0]], &labels);
+        assert_eq!(m.total(), 1);
+        assert_eq!(m.class_size(0), 1); // only the clustered "a"
+        assert_eq!(m.classes().len(), 2); // classes registered from labels
+    }
+
+    #[test]
+    fn table_rendering() {
+        let m = fixture();
+        let table = m.to_table();
+        assert!(table.contains("class"));
+        assert!(table.contains("c0"));
+        assert!(table.lines().count() == 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! # cafc-eval
+//!
+//! Cluster-quality metrics used in the paper's evaluation (§4.1):
+//!
+//! * **Entropy** (Equation 5): per-cluster class entropy
+//!   `E_j = −Σ_i p_ij log(p_ij)`, totalled as the cluster-size-weighted sum.
+//!   Lower is better; 0 means every cluster is pure.
+//! * **F-measure** (Equation 6, after Larsen & Aone): the harmonic mean of
+//!   `Recall(i,j) = n_ij / n_i` and `Precision(i,j) = n_ij / n_j`, combined
+//!   over the clustering by weighted average. Higher is better; 1 is
+//!   perfect.
+//! * Supporting measures: purity, misclustered-item counts, and a full
+//!   class-by-cluster [`ConfusionMatrix`] for the §4.2 error analysis
+//!   (Music/Movie confusions, single-attribute mistakes).
+//!
+//! All functions take the clustering as `&[Vec<usize>]` (cluster member
+//! lists over items `0..n`) and the gold standard as a label slice.
+
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod confusion;
+pub mod metrics;
+
+pub use agreement::{adjusted_rand_index, mutual_information, nmi, pairwise_scores, PairwiseScores};
+pub use confusion::ConfusionMatrix;
+pub use metrics::{entropy, f_measure, f_measure_by_class, misclustered, purity, EntropyBase};

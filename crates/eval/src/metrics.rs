@@ -1,0 +1,256 @@
+//! Entropy (Equation 5), F-measure (Equation 6) and supporting measures.
+
+use crate::confusion::ConfusionMatrix;
+use std::hash::Hash;
+
+/// Logarithm base for entropy. The paper just writes `log`; base 2 is the
+/// common convention in the clustering literature and reproduces the
+/// magnitude of the paper's reported values (0.15–1.1 over 8 domains,
+/// against a base-2 ceiling of 3 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntropyBase {
+    /// log₂ — entropy in bits (default).
+    #[default]
+    Two,
+    /// Natural log — entropy in nats.
+    E,
+    /// log₁₀.
+    Ten,
+}
+
+impl EntropyBase {
+    fn log(self, x: f64) -> f64 {
+        match self {
+            EntropyBase::Two => x.log2(),
+            EntropyBase::E => x.ln(),
+            EntropyBase::Ten => x.log10(),
+        }
+    }
+}
+
+/// Total entropy of a clustering (Equation 5): the size-weighted sum of
+/// per-cluster class entropies, `Σ_j (n_j / N) · E_j`.
+///
+/// Returns 0.0 for an empty clustering. Lower is better.
+pub fn entropy<L: Eq + Hash + Clone>(
+    clusters: &[Vec<usize>],
+    labels: &[L],
+    base: EntropyBase,
+) -> f64 {
+    let m = ConfusionMatrix::new(clusters, labels);
+    if m.total() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for j in 0..m.num_clusters() {
+        let n_j = m.cluster_size(j);
+        if n_j == 0 {
+            continue;
+        }
+        let mut e_j = 0.0;
+        for i in 0..m.classes().len() {
+            let n_ij = m.count(i, j);
+            if n_ij > 0 {
+                let p = n_ij as f64 / n_j as f64;
+                e_j -= p * base.log(p);
+            }
+        }
+        total += (n_j as f64 / m.total() as f64) * e_j;
+    }
+    total
+}
+
+/// Per-(class, cluster) F-measure (Equation 6):
+/// `F(i,j) = 2·R·P / (R + P)` with `R = n_ij/n_i`, `P = n_ij/n_j`.
+fn f_ij<L: Eq + Hash + Clone>(m: &ConfusionMatrix<L>, i: usize, j: usize) -> f64 {
+    let n_ij = m.count(i, j) as f64;
+    if n_ij == 0.0 {
+        return 0.0;
+    }
+    let recall = n_ij / m.class_size(i) as f64;
+    let precision = n_ij / m.cluster_size(j) as f64;
+    2.0 * recall * precision / (recall + precision)
+}
+
+/// Overall F-measure, combined per the paper: "the weighted average of the
+/// values for the F-measure of individual clusters" — each cluster `j`
+/// contributes its best `F(i,j)` weighted by `n_j / N`.
+///
+/// Returns 0.0 for an empty clustering. Higher is better; 1.0 is perfect.
+pub fn f_measure<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels: &[L]) -> f64 {
+    let m = ConfusionMatrix::new(clusters, labels);
+    if m.total() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for j in 0..m.num_clusters() {
+        let n_j = m.cluster_size(j);
+        if n_j == 0 {
+            continue;
+        }
+        let best = (0..m.classes().len())
+            .map(|i| f_ij(&m, i, j))
+            .fold(0.0f64, f64::max);
+        total += (n_j as f64 / m.total() as f64) * best;
+    }
+    total
+}
+
+/// The Larsen–Aone class-weighted variant: `Σ_i (n_i / N) · max_j F(i,j)`.
+/// Reported alongside [`f_measure`] in EXPERIMENTS.md; both reward the same
+/// perfect clusterings but penalize fragmentation differently.
+pub fn f_measure_by_class<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels: &[L]) -> f64 {
+    let m = ConfusionMatrix::new(clusters, labels);
+    if m.total() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..m.classes().len() {
+        let n_i = m.class_size(i);
+        if n_i == 0 {
+            continue;
+        }
+        let best = (0..m.num_clusters()).map(|j| f_ij(&m, i, j)).fold(0.0f64, f64::max);
+        total += (n_i as f64 / m.total() as f64) * best;
+    }
+    total
+}
+
+/// Purity: fraction of items belonging to their cluster's majority class.
+pub fn purity<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels: &[L]) -> f64 {
+    let m = ConfusionMatrix::new(clusters, labels);
+    if m.total() == 0 {
+        return 0.0;
+    }
+    let correct: usize = (0..m.num_clusters())
+        .filter_map(|j| m.majority_class(j).map(|i| m.count(i, j)))
+        .sum();
+    correct as f64 / m.total() as f64
+}
+
+/// Item indices *not* in their cluster's majority class — the paper's §4.2
+/// "incorrectly clustered form pages" (17 of 454 in the best run).
+pub fn misclustered<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels: &[L]) -> Vec<usize> {
+    let m = ConfusionMatrix::new(clusters, labels);
+    let mut out = Vec::new();
+    for (j, members) in clusters.iter().enumerate() {
+        let Some(majority) = m.majority_class(j) else { continue };
+        let majority_label = &m.classes()[majority];
+        for &item in members {
+            if &labels[item] != majority_label {
+                out.push(item);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LABELS: [&str; 8] = ["a", "a", "a", "a", "b", "b", "b", "b"];
+
+    fn perfect() -> Vec<Vec<usize>> {
+        vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]
+    }
+
+    fn mixed() -> Vec<Vec<usize>> {
+        vec![vec![0, 1, 4, 5], vec![2, 3, 6, 7]]
+    }
+
+    #[test]
+    fn entropy_perfect_is_zero() {
+        assert_eq!(entropy(&perfect(), &LABELS, EntropyBase::Two), 0.0);
+    }
+
+    #[test]
+    fn entropy_uniform_mix_is_one_bit() {
+        let e = entropy(&mixed(), &LABELS, EntropyBase::Two);
+        assert!((e - 1.0).abs() < 1e-12, "50/50 mixture = 1 bit, got {e}");
+    }
+
+    #[test]
+    fn entropy_bases_scale() {
+        let e2 = entropy(&mixed(), &LABELS, EntropyBase::Two);
+        let en = entropy(&mixed(), &LABELS, EntropyBase::E);
+        let e10 = entropy(&mixed(), &LABELS, EntropyBase::Ten);
+        assert!((en - e2 * 2f64.ln()).abs() < 1e-12);
+        assert!((e10 - e2 * 2f64.log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_weighted_by_cluster_size() {
+        // One pure cluster of 6, one 50/50 cluster of 2.
+        let labels = ["a", "a", "a", "a", "a", "a", "a", "b"];
+        let clusters = vec![vec![0, 1, 2, 3, 4, 5], vec![6, 7]];
+        let e = entropy(&clusters, &labels, EntropyBase::Two);
+        assert!((e - 2.0 / 8.0).abs() < 1e-12, "0.75·0 + 0.25·1 = 0.25, got {e}");
+    }
+
+    #[test]
+    fn f_measure_perfect_is_one() {
+        assert!((f_measure(&perfect(), &LABELS) - 1.0).abs() < 1e-12);
+        assert!((f_measure_by_class(&perfect(), &LABELS) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_measure_mixed_is_lower() {
+        let f = f_measure(&mixed(), &LABELS);
+        assert!(f < 0.75, "mixed clustering must score below perfect, got {f}");
+        assert!(f > 0.0);
+    }
+
+    #[test]
+    fn f_measure_single_cluster() {
+        // Everything in one cluster: for each class R=1, P=0.5 -> F=2/3;
+        // best-per-cluster = 2/3.
+        let clusters = vec![(0..8).collect::<Vec<_>>()];
+        let f = f_measure(&clusters, &LABELS);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_measure_fragmentation_penalized_by_class_variant() {
+        // Each class split into singletons: precision 1, recall 1/4 ->
+        // F(i,j)=0.4 everywhere.
+        let clusters: Vec<Vec<usize>> = (0..8).map(|i| vec![i]).collect();
+        let by_class = f_measure_by_class(&clusters, &LABELS);
+        assert!((by_class - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_values() {
+        assert_eq!(purity(&perfect(), &LABELS), 1.0);
+        assert_eq!(purity(&mixed(), &LABELS), 0.5);
+    }
+
+    #[test]
+    fn misclustered_lists_minority_items() {
+        let labels = ["a", "a", "b", "b"];
+        let clusters = vec![vec![0, 1, 2], vec![3]];
+        assert_eq!(misclustered(&clusters, &labels), vec![2]);
+    }
+
+    #[test]
+    fn misclustered_empty_for_perfect() {
+        assert!(misclustered(&perfect(), &LABELS).is_empty());
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let clusters: Vec<Vec<usize>> = vec![];
+        assert_eq!(entropy(&clusters, &LABELS, EntropyBase::Two), 0.0);
+        assert_eq!(f_measure(&clusters, &LABELS), 0.0);
+        assert_eq!(purity(&clusters, &LABELS), 0.0);
+    }
+
+    #[test]
+    fn empty_clusters_ignored() {
+        let mut clusters = perfect();
+        clusters.push(vec![]);
+        assert_eq!(entropy(&clusters, &LABELS, EntropyBase::Two), 0.0);
+        assert!((f_measure(&clusters, &LABELS) - 1.0).abs() < 1e-12);
+    }
+}

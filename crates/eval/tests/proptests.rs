@@ -1,0 +1,112 @@
+//! Property-based tests: metric bounds and extremal behaviour.
+
+use cafc_eval::{entropy, f_measure, f_measure_by_class, misclustered, purity, EntropyBase};
+use proptest::prelude::*;
+
+/// Random clustering: labels for n items over c classes, plus a partition
+/// into k clusters.
+fn arb_problem() -> impl Strategy<Value = (Vec<Vec<usize>>, Vec<u8>)> {
+    (2usize..30, 1u8..5, 1usize..6).prop_flat_map(|(n, c, k)| {
+        let labels = proptest::collection::vec(0u8..c, n);
+        let assignment = proptest::collection::vec(0usize..k, n);
+        (labels, assignment).prop_map(move |(labels, assignment)| {
+            let mut clusters = vec![Vec::new(); k];
+            for (item, &cl) in assignment.iter().enumerate() {
+                clusters[cl].push(item);
+            }
+            (clusters, labels)
+        })
+    })
+}
+
+proptest! {
+    /// Entropy is non-negative and bounded by log(#classes).
+    #[test]
+    fn entropy_bounds((clusters, labels) in arb_problem()) {
+        let e = entropy(&clusters, &labels, EntropyBase::Two);
+        prop_assert!(e >= 0.0);
+        let distinct = {
+            let mut l = labels.clone();
+            l.sort_unstable();
+            l.dedup();
+            l.len()
+        };
+        prop_assert!(e <= (distinct.max(1) as f64).log2() + 1e-9);
+    }
+
+    /// F-measure and purity are within [0, 1].
+    #[test]
+    fn f_and_purity_bounds((clusters, labels) in arb_problem()) {
+        for v in [
+            f_measure(&clusters, &labels),
+            f_measure_by_class(&clusters, &labels),
+            purity(&clusters, &labels),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "metric out of range: {v}");
+        }
+    }
+
+    /// A perfect clustering (one cluster per class) scores entropy 0,
+    /// F-measure 1, purity 1, no misclustered items.
+    #[test]
+    fn perfect_clustering_extremes(labels in proptest::collection::vec(0u8..4, 1..30)) {
+        let classes: Vec<u8> = {
+            let mut l = labels.clone();
+            l.sort_unstable();
+            l.dedup();
+            l
+        };
+        let clusters: Vec<Vec<usize>> = classes
+            .iter()
+            .map(|&c| labels.iter().enumerate().filter(|(_, &l)| l == c).map(|(i, _)| i).collect())
+            .collect();
+        prop_assert!(entropy(&clusters, &labels, EntropyBase::Two) < 1e-12);
+        prop_assert!((f_measure(&clusters, &labels) - 1.0).abs() < 1e-9);
+        prop_assert!((purity(&clusters, &labels) - 1.0).abs() < 1e-12);
+        prop_assert!(misclustered(&clusters, &labels).is_empty());
+    }
+
+    /// Purity and misclustered agree: purity = 1 − |misclustered| / N.
+    #[test]
+    fn purity_consistent_with_misclustered((clusters, labels) in arb_problem()) {
+        let n: usize = clusters.iter().map(Vec::len).sum();
+        if n == 0 { return Ok(()); }
+        let p = purity(&clusters, &labels);
+        let mis = misclustered(&clusters, &labels).len();
+        prop_assert!((p - (1.0 - mis as f64 / n as f64)).abs() < 1e-9);
+    }
+
+    /// Metrics are invariant under cluster reordering.
+    #[test]
+    fn invariant_under_cluster_permutation((clusters, labels) in arb_problem()) {
+        let mut reversed = clusters.clone();
+        reversed.reverse();
+        prop_assert!((entropy(&clusters, &labels, EntropyBase::Two)
+            - entropy(&reversed, &labels, EntropyBase::Two)).abs() < 1e-12);
+        prop_assert!((f_measure(&clusters, &labels) - f_measure(&reversed, &labels)).abs() < 1e-12);
+        prop_assert!((purity(&clusters, &labels) - purity(&reversed, &labels)).abs() < 1e-12);
+    }
+
+    /// Merging two pure same-class clusters never hurts any metric.
+    #[test]
+    fn merging_pure_clusters_helps(n_a in 1usize..8, n_b in 1usize..8, n_c in 1usize..8) {
+        // Items: class 0 of size n_a + n_b (split into two pure clusters),
+        // class 1 of size n_c.
+        let labels: Vec<u8> = std::iter::repeat_n(0u8, n_a + n_b)
+            .chain(std::iter::repeat_n(1u8, n_c))
+            .collect();
+        let split = vec![
+            (0..n_a).collect::<Vec<_>>(),
+            (n_a..n_a + n_b).collect(),
+            (n_a + n_b..n_a + n_b + n_c).collect(),
+        ];
+        let merged = vec![
+            (0..n_a + n_b).collect::<Vec<_>>(),
+            (n_a + n_b..n_a + n_b + n_c).collect(),
+        ];
+        prop_assert!(f_measure(&merged, &labels) >= f_measure(&split, &labels) - 1e-12);
+        prop_assert!(f_measure_by_class(&merged, &labels) >= f_measure_by_class(&split, &labels) - 1e-12);
+        prop_assert!(entropy(&merged, &labels, EntropyBase::Two)
+            <= entropy(&split, &labels, EntropyBase::Two) + 1e-12);
+    }
+}

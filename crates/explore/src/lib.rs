@@ -1,0 +1,22 @@
+//! # cafc-explore
+//!
+//! Exploration of CAFC clusterings — the paper's §6 direction: "it is
+//! important to provide means for applications and users to explore the
+//! resulting clusters. We are currently investigating visual and
+//! query-based interfaces for this purpose."
+//!
+//! A [`ClusterIndex`] wraps a clustering with:
+//!
+//! * automatic cluster **labels** from the strongest centroid terms;
+//! * **keyword search** over clusters and over individual databases,
+//!   ranked by cosine similarity in the page-content space;
+//! * rendered **reports**: a plain-text directory and a self-contained
+//!   HTML page (the "hidden-web directory" application of §5).
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod report;
+
+pub use index::{ClusterEntry, ClusterIndex, ClusterSummary, SearchHit};
+pub use report::{html_report, text_report};

@@ -1,0 +1,400 @@
+//! DOM tree construction from the token stream.
+//!
+//! The builder is a pragmatic approximation of the HTML tree-construction
+//! algorithm: it handles void elements, self-closing syntax, the common
+//! implicit-close pairs (`<li>`, `<option>`, `<p>`, table rows/cells) and
+//! silently drops stray end tags. The output is an arena of [`Node`]s
+//! addressed by [`NodeId`], which keeps the tree `Copy`-indexable and cheap
+//! to traverse — important because the corpus pipeline parses hundreds of
+//! pages per experiment run.
+
+use crate::tokenizer::{Attribute, Token, Tokenizer};
+
+/// Index of a node in a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with lowercased name, attributes and child nodes.
+    Element {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<Attribute>,
+        /// Children in document order.
+        children: Vec<NodeId>,
+    },
+    /// A text run (entity-decoded).
+    Text(String),
+    /// A comment (excluded from all text extraction).
+    Comment(String),
+}
+
+impl Node {
+    /// The element name, or `None` for text/comments.
+    pub fn element_name(&self) -> Option<&str> {
+        match self {
+            Node::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Text content if this is a text node.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Elements that never have children.
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
+];
+
+/// Returns true if `name` is a void element.
+pub fn is_void(name: &str) -> bool {
+    VOID_ELEMENTS.contains(&name)
+}
+
+/// `(incoming, closes)` pairs: seeing `incoming` while `closes` is the open
+/// element implicitly closes it.
+const IMPLICIT_CLOSE: &[(&str, &str)] = &[
+    ("li", "li"),
+    ("option", "option"),
+    ("optgroup", "option"),
+    ("optgroup", "optgroup"),
+    ("p", "p"),
+    ("tr", "tr"),
+    ("tr", "td"),
+    ("tr", "th"),
+    ("td", "td"),
+    ("td", "th"),
+    ("th", "th"),
+    ("th", "td"),
+    ("dd", "dd"),
+    ("dd", "dt"),
+    ("dt", "dt"),
+    ("dt", "dd"),
+];
+
+/// A parsed HTML document: an arena of nodes plus the top-level roots.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    roots: Vec<NodeId>,
+}
+
+impl Document {
+    /// Parse `html` into a tree. Infallible.
+    pub fn parse(html: &str) -> Document {
+        let mut doc = Document { nodes: Vec::new(), roots: Vec::new() };
+        // Stack of open element node ids.
+        let mut stack: Vec<NodeId> = Vec::new();
+        for token in Tokenizer::new(html) {
+            match token {
+                Token::Doctype(_) => {}
+                Token::Comment(c) => {
+                    let id = doc.push(Node::Comment(c));
+                    doc.append(&stack, id);
+                }
+                Token::Text(t) => {
+                    let id = doc.push(Node::Text(t));
+                    doc.append(&stack, id);
+                }
+                Token::StartTag { name, attrs, self_closing } => {
+                    // Implicit closes (e.g. <option> closes an open <option>).
+                    while let Some(&top) = stack.last() {
+                        let top_name = doc.nodes[top.index()]
+                            .element_name()
+                            .expect("stack holds elements")
+                            .to_owned();
+                        if IMPLICIT_CLOSE
+                            .iter()
+                            .any(|(inc, closes)| *inc == name && *closes == top_name)
+                        {
+                            stack.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    let id =
+                        doc.push(Node::Element { name: name.clone(), attrs, children: Vec::new() });
+                    doc.append(&stack, id);
+                    if !self_closing && !is_void(&name) {
+                        stack.push(id);
+                    }
+                }
+                Token::EndTag { name } => {
+                    // Find the matching open element; ignore stray end tags.
+                    if let Some(pos) = stack.iter().rposition(|&id| {
+                        doc.nodes[id.index()].element_name() == Some(name.as_str())
+                    }) {
+                        stack.truncate(pos);
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("document under 4Gi nodes"));
+        self.nodes.push(node);
+        id
+    }
+
+    fn append(&mut self, stack: &[NodeId], id: NodeId) {
+        match stack.last() {
+            Some(&parent) => match &mut self.nodes[parent.index()] {
+                Node::Element { children, .. } => children.push(id),
+                _ => unreachable!("parent stack holds elements only"),
+            },
+            None => self.roots.push(id),
+        }
+    }
+
+    /// All nodes, by arena index.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Top-level nodes in document order.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Children of a node (empty for text/comments).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match self.node(id) {
+            Node::Element { children, .. } => children,
+            _ => &[],
+        }
+    }
+
+    /// Depth-first pre-order traversal of the whole document.
+    pub fn walk(&self) -> Walk<'_> {
+        let mut pending: Vec<NodeId> = self.roots.iter().rev().copied().collect();
+        pending.shrink_to_fit();
+        Walk { doc: self, pending }
+    }
+
+    /// Depth-first pre-order traversal rooted at `id` (inclusive).
+    pub fn walk_from(&self, id: NodeId) -> Walk<'_> {
+        Walk { doc: self, pending: vec![id] }
+    }
+
+    /// All elements with the given (lowercase) name, in document order.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.walk().filter(move |&id| self.node(id).element_name() == Some(name))
+    }
+
+    /// The first attribute value with this name on an element node.
+    pub fn attr(&self, id: NodeId, attr_name: &str) -> Option<&str> {
+        match self.node(id) {
+            Node::Element { attrs, .. } => {
+                attrs.iter().find(|a| a.name == attr_name).map(|a| a.value.as_str())
+            }
+            _ => None,
+        }
+    }
+
+    /// Concatenated descendant text of `id`, whitespace-normalized.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut parts = Vec::new();
+        for n in self.walk_from(id) {
+            if let Some(t) = self.node(n).as_text() {
+                parts.push(t.trim());
+            }
+        }
+        let joined = parts.join(" ");
+        normalize_ws(&joined)
+    }
+
+    /// The `<title>` text, if present.
+    pub fn title(&self) -> Option<String> {
+        self.elements_named("title").next().map(|id| self.text_content(id)).filter(|t| !t.is_empty())
+    }
+}
+
+/// Collapse runs of whitespace into single spaces and trim.
+pub(crate) fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Pre-order DFS iterator over node ids.
+pub struct Walk<'a> {
+    doc: &'a Document,
+    pending: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Walk<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.pending.pop()?;
+        let children = self.doc.children(id);
+        self.pending.extend(children.iter().rev().copied());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_tree() {
+        let doc = Document::parse("<div><p>a</p><p>b</p></div>");
+        let div = doc.elements_named("div").next().expect("div exists");
+        assert_eq!(doc.children(div).len(), 2);
+        assert_eq!(doc.text_content(div), "a b");
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = Document::parse("<p><input name=a>text</p>");
+        let input = doc.elements_named("input").next().expect("input exists");
+        assert!(doc.children(input).is_empty());
+        let p = doc.elements_named("p").next().expect("p exists");
+        assert_eq!(doc.text_content(p), "text");
+    }
+
+    #[test]
+    fn self_closing_elements_take_no_children() {
+        let doc = Document::parse("<div/><span>x</span>");
+        let div = doc.elements_named("div").next().expect("div");
+        assert!(doc.children(div).is_empty());
+    }
+
+    #[test]
+    fn implicit_option_close() {
+        let doc = Document::parse("<select><option>One<option>Two</select>");
+        let opts: Vec<_> = doc.elements_named("option").collect();
+        assert_eq!(opts.len(), 2);
+        assert_eq!(doc.text_content(opts[0]), "One");
+        assert_eq!(doc.text_content(opts[1]), "Two");
+    }
+
+    #[test]
+    fn implicit_li_close() {
+        let doc = Document::parse("<ul><li>a<li>b<li>c</ul>");
+        assert_eq!(doc.elements_named("li").count(), 3);
+        let first = doc.elements_named("li").next().expect("li");
+        assert_eq!(doc.text_content(first), "a");
+    }
+
+    #[test]
+    fn implicit_table_cells() {
+        let doc = Document::parse("<table><tr><td>1<td>2<tr><td>3</table>");
+        assert_eq!(doc.elements_named("tr").count(), 2);
+        assert_eq!(doc.elements_named("td").count(), 3);
+    }
+
+    #[test]
+    fn stray_end_tags_ignored() {
+        let doc = Document::parse("</p><b>x</b></div>");
+        assert_eq!(doc.elements_named("b").count(), 1);
+    }
+
+    #[test]
+    fn unclosed_elements_still_parent_following_content() {
+        let doc = Document::parse("<div><span>a");
+        let span = doc.elements_named("span").next().expect("span");
+        assert_eq!(doc.text_content(span), "a");
+    }
+
+    #[test]
+    fn mismatched_close_recovers() {
+        // </div> closes the div, implicitly abandoning the span.
+        let doc = Document::parse("<div><span>a</div><p>b</p>");
+        let p = doc.elements_named("p").next().expect("p");
+        assert_eq!(doc.text_content(p), "b");
+        // p is a root-level element, not inside div.
+        assert!(doc.roots().len() >= 2);
+    }
+
+    #[test]
+    fn title_extraction() {
+        let doc = Document::parse("<html><head><title> Book  Store </title></head></html>");
+        assert_eq!(doc.title().as_deref(), Some("Book Store"));
+    }
+
+    #[test]
+    fn missing_title_is_none() {
+        assert_eq!(Document::parse("<p>x</p>").title(), None);
+        assert_eq!(Document::parse("<title></title>").title(), None);
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let doc = Document::parse(r#"<form action="/search" method=POST>"#);
+        let form = doc.elements_named("form").next().expect("form");
+        assert_eq!(doc.attr(form, "action"), Some("/search"));
+        assert_eq!(doc.attr(form, "method"), Some("POST"));
+        assert_eq!(doc.attr(form, "missing"), None);
+    }
+
+    #[test]
+    fn comments_preserved_but_inert() {
+        let doc = Document::parse("<p><!-- hidden -->shown</p>");
+        let p = doc.elements_named("p").next().expect("p");
+        assert_eq!(doc.text_content(p), "shown");
+    }
+
+    #[test]
+    fn walk_is_preorder() {
+        let doc = Document::parse("<a><b></b><c></c></a><d></d>");
+        let names: Vec<_> = doc
+            .walk()
+            .filter_map(|id| doc.node(id).element_name().map(str::to_owned))
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn normalize_ws_collapses() {
+        assert_eq!(normalize_ws("  a \n\t b  "), "a b");
+        assert_eq!(normalize_ws(""), "");
+        assert_eq!(normalize_ws("   "), "");
+    }
+
+    #[test]
+    fn deep_nesting_does_not_overflow() {
+        let html = "<div>".repeat(5000) + "x" + &"</div>".repeat(5000);
+        let doc = Document::parse(&html);
+        assert_eq!(doc.elements_named("div").count(), 5000);
+    }
+}

@@ -1,0 +1,281 @@
+//! Located text extraction — the raw material for location-aware TF-IDF.
+//!
+//! The form-page model weights a term by *where* it occurs (Equation 1's
+//! `LOC_i` factor): option values inside forms are down-weighted because
+//! they reflect database *contents* rather than schema; title terms are
+//! up-weighted because, like search engines, the paper treats document
+//! titles as strong topic indicators. This module walks the DOM once and
+//! tags every text run with its [`TextLocation`].
+
+use crate::dom::{Document, Node, NodeId};
+
+/// Where a text run occurred in the page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TextLocation {
+    /// Inside `<title>`.
+    Title,
+    /// Inside a heading element (`<h1>`–`<h6>`).
+    Heading,
+    /// Anchor text of a link (outside any form).
+    Anchor,
+    /// Ordinary body text outside any form.
+    Body,
+    /// Free text between `<form>` tags (labels, captions) excluding options.
+    FormText,
+    /// Text inside an `<option>` element of a form.
+    FormOption,
+    /// Visible attribute text of form fields (button values, prefills).
+    FormValue,
+}
+
+impl TextLocation {
+    /// True for locations that belong to the *form content* (FC) space.
+    pub fn is_form(self) -> bool {
+        matches!(self, TextLocation::FormText | TextLocation::FormOption | TextLocation::FormValue)
+    }
+
+    /// All locations, for exhaustive iteration in tests and weighting tables.
+    pub const ALL: [TextLocation; 7] = [
+        TextLocation::Title,
+        TextLocation::Heading,
+        TextLocation::Anchor,
+        TextLocation::Body,
+        TextLocation::FormText,
+        TextLocation::FormOption,
+        TextLocation::FormValue,
+    ];
+}
+
+/// A text run and where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocatedText {
+    /// The text (entity-decoded, trimmed, non-empty).
+    pub text: String,
+    /// Its location class.
+    pub location: TextLocation,
+}
+
+/// Traversal context carried down the DOM walk.
+#[derive(Debug, Clone, Copy, Default)]
+struct Ctx {
+    in_title: bool,
+    in_heading: bool,
+    in_anchor: bool,
+    in_form: bool,
+    in_option: bool,
+}
+
+impl Ctx {
+    fn location(self) -> TextLocation {
+        if self.in_form {
+            if self.in_option {
+                TextLocation::FormOption
+            } else {
+                TextLocation::FormText
+            }
+        } else if self.in_title {
+            TextLocation::Title
+        } else if self.in_heading {
+            TextLocation::Heading
+        } else if self.in_anchor {
+            TextLocation::Anchor
+        } else {
+            TextLocation::Body
+        }
+    }
+}
+
+/// Extract every visible text run of the document with its location.
+///
+/// Script and style content is skipped entirely; comments never surface.
+/// Visible field values inside forms (submit-button labels, prefilled input
+/// text) are emitted as [`TextLocation::FormValue`].
+pub fn located_text(doc: &Document) -> Vec<LocatedText> {
+    let mut out = Vec::new();
+    for &root in doc.roots() {
+        visit(doc, root, Ctx::default(), &mut out);
+    }
+    out
+}
+
+fn visit(doc: &Document, id: NodeId, ctx: Ctx, out: &mut Vec<LocatedText>) {
+    match doc.node(id) {
+        Node::Text(t) => {
+            let t = t.trim();
+            if !t.is_empty() {
+                out.push(LocatedText {
+                    text: crate::dom::normalize_ws(t),
+                    location: ctx.location(),
+                });
+            }
+        }
+        Node::Comment(_) => {}
+        Node::Element { name, .. } => {
+            let mut ctx = ctx;
+            match name.as_str() {
+                "script" | "style" | "noscript" => return,
+                "title" => ctx.in_title = true,
+                "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => ctx.in_heading = true,
+                "a" => ctx.in_anchor = true,
+                "form" => ctx.in_form = true,
+                "option" => ctx.in_option = true,
+                "input" if ctx.in_form => {
+                    // Visible value text of buttons and prefilled inputs.
+                    let ty = doc.attr(id, "type").map(str::to_ascii_lowercase);
+                    let visible = !matches!(ty.as_deref(), Some("hidden") | Some("password"));
+                    if visible {
+                        if let Some(v) = doc.attr(id, "value") {
+                            let v = v.trim();
+                            if !v.is_empty() {
+                                out.push(LocatedText {
+                                    text: crate::dom::normalize_ws(v),
+                                    location: TextLocation::FormValue,
+                                });
+                            }
+                        }
+                    }
+                }
+                "img" => {
+                    // alt text is visible text in every location class.
+                    if let Some(alt) = doc.attr(id, "alt") {
+                        let alt = alt.trim();
+                        if !alt.is_empty() {
+                            out.push(LocatedText {
+                                text: crate::dom::normalize_ws(alt),
+                                location: ctx.location(),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            for &child in doc.children(id) {
+                visit(doc, child, ctx, out);
+            }
+        }
+    }
+}
+
+/// Convenience: all text of the given location classes joined with spaces.
+pub fn text_in_locations(doc: &Document, locations: &[TextLocation]) -> String {
+    located_text(doc)
+        .into_iter()
+        .filter(|lt| locations.contains(&lt.location))
+        .map(|lt| lt.text)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn extract(html: &str) -> Vec<LocatedText> {
+        located_text(&parse(html))
+    }
+
+    fn lt(text: &str, location: TextLocation) -> LocatedText {
+        LocatedText { text: text.into(), location }
+    }
+
+    #[test]
+    fn title_heading_body() {
+        let got = extract("<title>Books</title><h1>Store</h1><p>welcome</p>");
+        assert_eq!(
+            got,
+            vec![
+                lt("Books", TextLocation::Title),
+                lt("Store", TextLocation::Heading),
+                lt("welcome", TextLocation::Body),
+            ]
+        );
+    }
+
+    #[test]
+    fn anchor_text() {
+        let got = extract(r#"<a href="/x">cheap flights</a>"#);
+        assert_eq!(got, vec![lt("cheap flights", TextLocation::Anchor)]);
+    }
+
+    #[test]
+    fn form_text_vs_option() {
+        let got = extract(
+            "<form>Destination <select><option>Paris</option></select></form>",
+        );
+        assert_eq!(
+            got,
+            vec![
+                lt("Destination", TextLocation::FormText),
+                lt("Paris", TextLocation::FormOption),
+            ]
+        );
+    }
+
+    #[test]
+    fn form_overrides_anchor_and_heading() {
+        let got = extract("<form><h2>Search</h2><a href=x>advanced</a></form>");
+        assert_eq!(
+            got,
+            vec![lt("Search", TextLocation::FormText), lt("advanced", TextLocation::FormText)]
+        );
+    }
+
+    #[test]
+    fn button_value_is_form_value() {
+        let got = extract(r#"<form><input type=submit value="Find Flights"></form>"#);
+        assert_eq!(got, vec![lt("Find Flights", TextLocation::FormValue)]);
+    }
+
+    #[test]
+    fn hidden_and_password_values_invisible() {
+        let got = extract(
+            r#"<form><input type=hidden value=secret><input type=password value=pw></form>"#,
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn script_and_style_skipped() {
+        let got = extract("<script>skip me</script><style>.x{}</style><p>keep</p>");
+        assert_eq!(got, vec![lt("keep", TextLocation::Body)]);
+    }
+
+    #[test]
+    fn img_alt_text() {
+        let got = extract(r#"<p><img src=x.gif alt="rental cars"></p>"#);
+        assert_eq!(got, vec![lt("rental cars", TextLocation::Body)]);
+    }
+
+    #[test]
+    fn text_outside_form_is_body() {
+        // Figure 1(c) in the paper: label outside the FORM tags.
+        let got = extract("<b>Search Jobs</b><form><input name=q></form>");
+        assert_eq!(got, vec![lt("Search Jobs", TextLocation::Body)]);
+    }
+
+    #[test]
+    fn text_in_locations_helper() {
+        let doc = parse("<title>A</title><p>B</p><form>C</form>");
+        assert_eq!(
+            text_in_locations(&doc, &[TextLocation::Title, TextLocation::Body]),
+            "A B"
+        );
+        assert_eq!(text_in_locations(&doc, &[TextLocation::FormText]), "C");
+    }
+
+    #[test]
+    fn whitespace_normalized() {
+        let got = extract("<p>a\n\n   b</p>");
+        assert_eq!(got, vec![lt("a b", TextLocation::Body)]);
+    }
+
+    #[test]
+    fn is_form_predicate() {
+        assert!(TextLocation::FormText.is_form());
+        assert!(TextLocation::FormOption.is_form());
+        assert!(TextLocation::FormValue.is_form());
+        assert!(!TextLocation::Body.is_form());
+        assert!(!TextLocation::Title.is_form());
+    }
+}

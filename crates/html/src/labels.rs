@@ -1,0 +1,290 @@
+//! Heuristic form-field label extraction.
+//!
+//! The paper's motivation (§1) is that "approaches to label extraction
+//! often use heuristics ... to guess the appropriate label for a given
+//! form attribute" and that this is brittle — CAFC deliberately avoids
+//! depending on it. We implement the standard heuristics anyway, both as
+//! a library feature (schema-matching systems downstream of CAFC need
+//! labels) and so the brittleness is observable:
+//!
+//! 1. an explicit `<label for="id">` whose target matches the field's
+//!    `id`;
+//! 2. a wrapping `<label>` element;
+//! 3. the nearest preceding text run inside the form, provided no other
+//!    field intervenes (the layout heuristic of Raghavan & Garcia-Molina's
+//!    HiWE, simplified to document order).
+
+use crate::dom::{Document, Node, NodeId};
+use crate::form::{FormField, FormFieldKind};
+
+/// A field together with its guessed label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledField {
+    /// The field (same data as [`crate::form::Form::fields`]).
+    pub field: FormField,
+    /// The extracted label text, if any heuristic fired.
+    pub label: Option<String>,
+    /// Which heuristic produced the label.
+    pub source: LabelSource,
+}
+
+/// Provenance of an extracted label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelSource {
+    /// `<label for=…>` matched the field id.
+    ExplicitFor,
+    /// The field was nested inside a `<label>`.
+    Wrapping,
+    /// Nearest preceding text run.
+    PrecedingText,
+    /// No heuristic fired.
+    None,
+}
+
+/// Extract fields with guessed labels from the form rooted at `form_id`.
+pub fn extract_labeled_fields(doc: &Document, form_id: NodeId) -> Vec<LabeledField> {
+    // Collect `<label for=…>` text by target id, over the whole document
+    // (labels may sit outside the form element).
+    let mut for_labels: Vec<(String, String)> = Vec::new();
+    for label_el in doc.elements_named("label") {
+        if let Some(target) = doc.attr(label_el, "for") {
+            let text = doc.text_content(label_el);
+            if !text.is_empty() {
+                for_labels.push((target.to_owned(), text));
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut last_text: Option<String> = None;
+    walk(doc, form_id, &mut last_text, &for_labels, false, &mut out);
+    out
+}
+
+/// In-order walk below the form tracking the most recent text run.
+fn walk(
+    doc: &Document,
+    id: NodeId,
+    last_text: &mut Option<String>,
+    for_labels: &[(String, String)],
+    inside_label: bool,
+    out: &mut Vec<LabeledField>,
+) {
+    for &child in doc.children(id) {
+        match doc.node(child) {
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    *last_text = Some(crate::dom::normalize_ws(t));
+                }
+            }
+            Node::Comment(_) => {}
+            Node::Element { name, .. } => match name.as_str() {
+                "input" | "select" | "textarea" => {
+                    if let Some(field) = field_of(doc, child, name) {
+                        let labeled = label_for(doc, child, &field, last_text, for_labels, inside_label);
+                        // Consume the preceding text so it cannot label two
+                        // consecutive fields.
+                        if labeled.source == LabelSource::PrecedingText {
+                            *last_text = None;
+                        }
+                        out.push(labeled);
+                    }
+                    // A select's option text must not become the next
+                    // field's label.
+                    if name == "select" {
+                        *last_text = None;
+                    }
+                }
+                "label" => {
+                    // Text inside the label is both "preceding text" for
+                    // its wrapped field and the wrapping label itself.
+                    walk(doc, child, last_text, for_labels, true, out);
+                }
+                "script" | "style" | "option" => {}
+                _ => walk(doc, child, last_text, for_labels, inside_label, out),
+            },
+        }
+    }
+}
+
+fn field_of(doc: &Document, id: NodeId, name: &str) -> Option<FormField> {
+    match name {
+        "input" => {
+            let ty = doc.attr(id, "type").map(str::to_ascii_lowercase);
+            if ty.as_deref() == Some("hidden") {
+                return None;
+            }
+            let kind = match ty.as_deref() {
+                Some("password") => FormFieldKind::Password,
+                Some("checkbox") => FormFieldKind::Checkbox,
+                Some("radio") => FormFieldKind::Radio,
+                Some("submit") => FormFieldKind::Submit,
+                Some("image") => FormFieldKind::Image,
+                Some("reset") => FormFieldKind::Reset,
+                Some("file") => FormFieldKind::File,
+                _ => FormFieldKind::Text,
+            };
+            Some(FormField {
+                kind,
+                name: doc.attr(id, "name").map(str::to_owned),
+                value: doc.attr(id, "value").map(str::to_owned),
+                options: Vec::new(),
+            })
+        }
+        "select" => Some(FormField {
+            kind: FormFieldKind::Select,
+            name: doc.attr(id, "name").map(str::to_owned),
+            value: None,
+            options: doc
+                .walk_from(id)
+                .filter(|&n| doc.node(n).element_name() == Some("option"))
+                .map(|n| doc.text_content(n))
+                .filter(|t| !t.is_empty())
+                .collect(),
+        }),
+        "textarea" => Some(FormField {
+            kind: FormFieldKind::Textarea,
+            name: doc.attr(id, "name").map(str::to_owned),
+            value: None,
+            options: Vec::new(),
+        }),
+        _ => None,
+    }
+}
+
+fn label_for(
+    doc: &Document,
+    field_node: NodeId,
+    field: &FormField,
+    last_text: &Option<String>,
+    for_labels: &[(String, String)],
+    inside_label: bool,
+) -> LabeledField {
+    // Heuristic 1: <label for=…> matching the field's id.
+    if let Some(field_id) = doc.attr(field_node, "id") {
+        if let Some((_, text)) = for_labels.iter().find(|(target, _)| target == field_id) {
+            return LabeledField {
+                field: field.clone(),
+                label: Some(text.clone()),
+                source: LabelSource::ExplicitFor,
+            };
+        }
+    }
+    // Heuristic 2: wrapping <label> — the tracked text inside it.
+    if inside_label {
+        if let Some(text) = last_text {
+            return LabeledField {
+                field: field.clone(),
+                label: Some(text.clone()),
+                source: LabelSource::Wrapping,
+            };
+        }
+    }
+    // Heuristic 3: nearest preceding text. Buttons rarely have labels and
+    // their own value is more informative; skip.
+    if field.kind.is_query_attribute() {
+        if let Some(text) = last_text {
+            return LabeledField {
+                field: field.clone(),
+                label: Some(text.clone()),
+                source: LabelSource::PrecedingText,
+            };
+        }
+    }
+    LabeledField { field: field.clone(), label: None, source: LabelSource::None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn labeled(html: &str) -> Vec<LabeledField> {
+        let doc = parse(html);
+        let form = doc.elements_named("form").next().expect("form exists");
+        extract_labeled_fields(&doc, form)
+    }
+
+    #[test]
+    fn explicit_for_label() {
+        let fields = labeled(
+            r#"<form><label for="dep">Departure City</label>
+               <input type=text id=dep name=dep></form>"#,
+        );
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].label.as_deref(), Some("Departure City"));
+        assert_eq!(fields[0].source, LabelSource::ExplicitFor);
+    }
+
+    #[test]
+    fn explicit_for_outside_form() {
+        // The paper notes label elements may not be nested predictably.
+        let fields = labeled(
+            r#"<label for="q">Search Jobs</label><form><input id=q name=q></form>"#,
+        );
+        assert_eq!(fields[0].label.as_deref(), Some("Search Jobs"));
+    }
+
+    #[test]
+    fn wrapping_label() {
+        let fields = labeled("<form><label>Job Category <select name=c><option>Sales</option></select></label></form>");
+        assert_eq!(fields[0].label.as_deref(), Some("Job Category"));
+        assert_eq!(fields[0].source, LabelSource::Wrapping);
+    }
+
+    #[test]
+    fn preceding_text_heuristic() {
+        let fields = labeled("<form><b>State:</b> <select name=s><option>Utah</option></select></form>");
+        assert_eq!(fields[0].label.as_deref(), Some("State:"));
+        assert_eq!(fields[0].source, LabelSource::PrecedingText);
+    }
+
+    #[test]
+    fn preceding_text_not_reused() {
+        let fields = labeled("<form>Keywords <input name=a><input name=b></form>");
+        assert_eq!(fields[0].label.as_deref(), Some("Keywords"));
+        assert_eq!(fields[1].label, None);
+        assert_eq!(fields[1].source, LabelSource::None);
+    }
+
+    #[test]
+    fn option_text_never_labels_next_field() {
+        let fields = labeled(
+            "<form>Make <select name=m><option>Ford</option></select><input name=zip></form>",
+        );
+        assert_eq!(fields[0].label.as_deref(), Some("Make"));
+        assert_eq!(fields[1].label, None, "option text leaked as label");
+    }
+
+    #[test]
+    fn hidden_fields_skipped() {
+        let fields = labeled("<form>Visible <input type=hidden name=h><input name=v></form>");
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].field.name.as_deref(), Some("v"));
+        assert_eq!(fields[0].label.as_deref(), Some("Visible"));
+    }
+
+    #[test]
+    fn submit_button_gets_no_preceding_label() {
+        let fields = labeled(r#"<form>Go <input type=submit value=Search></form>"#);
+        assert_eq!(fields[0].label, None);
+    }
+
+    #[test]
+    fn label_less_form() {
+        let fields = labeled("<form><input name=q></form>");
+        assert_eq!(fields[0].label, None);
+        assert_eq!(fields[0].source, LabelSource::None);
+    }
+
+    #[test]
+    fn multi_field_form_all_labelled() {
+        let fields = labeled(
+            "<form>From <input name=from><br>To <input name=to><br>\
+             Date <select name=d><option>May</option></select></form>",
+        );
+        let labels: Vec<Option<&str>> = fields.iter().map(|f| f.label.as_deref()).collect();
+        assert_eq!(labels, vec![Some("From"), Some("To"), Some("Date")]);
+    }
+}

@@ -1,0 +1,77 @@
+//! # cafc-html
+//!
+//! A small, dependency-free HTML processing library built for the CAFC
+//! (Context-Aware Form Clustering) system. It provides exactly what the
+//! form-page model of Barbosa, Freire & Silva (ICDE 2007) needs from HTML:
+//!
+//! * a forgiving [`tokenizer`] that turns real-world HTML into a token
+//!   stream (start/end tags, attributes, text, comments, doctypes), with
+//!   entity decoding and raw-text handling for `<script>`/`<style>`;
+//! * a [`dom`] tree builder that recovers from unbalanced markup the way
+//!   browsers roughly do (void elements, implicit closes, stray end tags);
+//! * a [`form`] extractor that pulls `<form>` elements with their fields,
+//!   option values and submission metadata — the *FC* feature space;
+//! * a located-text [`extract`] walker that emits every text run together
+//!   with *where* it occurred (title, body, inside a form, inside an
+//!   `<option>`, anchor text) — the raw material for the location-aware
+//!   TF-IDF weights of the *PC* and *FC* feature spaces.
+//!
+//! The parser is intentionally not a full HTML5 implementation: it is a
+//! robust approximation tuned for text and form extraction, which is all the
+//! clustering pipeline observes. It never panics on malformed input.
+//!
+//! ## Quick example
+//!
+//! ```
+//! let html = r#"<html><head><title>Find a Job</title></head>
+//! <body><h1>Search Jobs</h1>
+//! <form action="/search" method="get">
+//!   Keywords: <input type="text" name="kw">
+//!   <select name="state"><option>Utah</option><option>Ohio</option></select>
+//!   <input type="submit" value="Go">
+//! </form></body></html>"#;
+//!
+//! let doc = cafc_html::parse(html);
+//! assert_eq!(doc.title().as_deref(), Some("Find a Job"));
+//! let forms = cafc_html::extract_forms(&doc);
+//! assert_eq!(forms.len(), 1);
+//! assert_eq!(forms[0].visible_field_count(), 2); // text + select (submit excluded)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod entities;
+pub mod extract;
+pub mod form;
+pub mod labels;
+pub mod tokenizer;
+
+pub use dom::{Document, Node, NodeId};
+pub use extract::{located_text, LocatedText, TextLocation};
+pub use form::{extract_forms, Form, FormField, FormFieldKind, FormMethod};
+pub use labels::{extract_labeled_fields, LabelSource, LabeledField};
+pub use tokenizer::{Attribute, Token, Tokenizer};
+
+/// Parse an HTML document into a DOM tree.
+///
+/// This is the main entry point of the crate. Parsing is infallible: any
+/// byte sequence produces *some* tree (malformed constructs degrade into
+/// text or are skipped), mirroring the paper's requirement that form pages
+/// "designed primarily for human consumption" are processed fully
+/// automatically.
+pub fn parse(html: &str) -> Document {
+    dom::Document::parse(html)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn end_to_end_smoke() {
+        let doc = super::parse("<p>hello <b>world</b></p>");
+        let text: Vec<_> = super::located_text(&doc);
+        let joined: String = text.iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
+        assert!(joined.contains("hello"));
+        assert!(joined.contains("world"));
+    }
+}

@@ -1,0 +1,465 @@
+//! A forgiving HTML tokenizer.
+//!
+//! Converts raw HTML into a stream of [`Token`]s. The grammar accepted is a
+//! superset of what well-formed pages use and degrades gracefully on the
+//! malformed markup that dominates real form pages: unclosed tags, bare
+//! attributes, unquoted values, stray `<` in text, case-mixed tag names.
+//!
+//! Raw-text elements (`<script>`, `<style>`, `<textarea>`, `<title>`,
+//! `<xmp>`) are handled per the HTML parsing rules: their content is
+//! consumed verbatim until the matching end tag, so JavaScript containing
+//! `<` or `"</div>"` strings cannot corrupt the token stream.
+
+use crate::entities::decode;
+
+/// A single HTML attribute, with its value entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, lowercased.
+    pub name: String,
+    /// Attribute value; empty string for bare attributes like `checked`.
+    pub value: String,
+}
+
+/// One lexical token of the HTML input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr=value ...>`; `self_closing` is true for `<br/>` forms.
+    StartTag {
+        /// Tag name, lowercased.
+        name: String,
+        /// Attributes in document order; duplicates preserved.
+        attrs: Vec<Attribute>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Tag name, lowercased.
+        name: String,
+    },
+    /// A run of character data, entity-decoded. Never empty.
+    Text(String),
+    /// `<!-- ... -->` contents (not decoded).
+    Comment(String),
+    /// `<!DOCTYPE ...>` body.
+    Doctype(String),
+}
+
+/// Elements whose content is raw text: no tags are recognized inside until
+/// the matching close tag.
+pub(crate) const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style", "textarea", "title", "xmp"];
+
+/// Streaming tokenizer over an HTML string.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    /// When set, we are inside a raw-text element of this name.
+    raw_text_until: Option<String>,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0, raw_text_until: None }
+    }
+
+    /// Tokenize the whole input into a vector.
+    pub fn run(input: &'a str) -> Vec<Token> {
+        Tokenizer::new(input).collect()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.input.len());
+    }
+
+    /// Scan raw text until `</name` (ASCII case-insensitive).
+    fn next_raw_text(&mut self, name: &str) -> Option<Token> {
+        let rest = self.rest();
+        let lower = rest.to_ascii_lowercase();
+        let needle = format!("</{name}");
+        match lower.find(&needle) {
+            Some(0) => {
+                // Immediately at the end tag: consume `</name ...>`.
+                self.raw_text_until = None;
+                let after = &rest[needle.len()..];
+                let close = after.find('>').map(|i| i + 1).unwrap_or(after.len());
+                self.bump(needle.len() + close);
+                Some(Token::EndTag { name: name.to_owned() })
+            }
+            Some(idx) => {
+                let text = &rest[..idx];
+                self.bump(idx);
+                if text.is_empty() {
+                    self.next_token()
+                } else {
+                    Some(Token::Text(decode(text)))
+                }
+            }
+            None => {
+                // Unterminated raw text: everything remaining is content.
+                self.raw_text_until = None;
+                let text = rest;
+                self.bump(rest.len());
+                if text.is_empty() {
+                    None
+                } else {
+                    Some(Token::Text(decode(text)))
+                }
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        if let Some(name) = self.raw_text_until.clone() {
+            return self.next_raw_text(&name);
+        }
+        let rest = self.rest();
+        if rest.is_empty() {
+            return None;
+        }
+        if let Some(after_lt) = rest.strip_prefix('<') {
+            if let Some(comment) = after_lt.strip_prefix("!--") {
+                // Comment: scan for -->
+                let (body, consumed) = match comment.find("-->") {
+                    Some(i) => (&comment[..i], 4 + i + 3),
+                    None => (comment, rest.len()),
+                };
+                self.bump(consumed);
+                return Some(Token::Comment(body.to_owned()));
+            }
+            if after_lt.starts_with('!') || after_lt.starts_with('?') {
+                // Doctype / processing instruction: scan for '>'.
+                let (body, consumed) = match after_lt.find('>') {
+                    Some(i) => (&after_lt[1..i], 1 + i + 1),
+                    None => (&after_lt[1..], rest.len()),
+                };
+                self.bump(consumed);
+                return Some(Token::Doctype(body.trim().to_owned()));
+            }
+            if let Some(after_slash) = after_lt.strip_prefix('/') {
+                // End tag.
+                if after_slash.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    let (name_end, _) = tag_name_end(after_slash);
+                    let name = after_slash[..name_end].to_ascii_lowercase();
+                    let after_name = &after_slash[name_end..];
+                    let consumed =
+                        2 + name_end + after_name.find('>').map(|i| i + 1).unwrap_or(after_name.len());
+                    self.bump(consumed);
+                    return Some(Token::EndTag { name });
+                }
+                // `</` not followed by a letter: literal text.
+                self.bump(1);
+                return Some(Token::Text("<".to_owned()));
+            }
+            if after_lt.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+                return Some(self.scan_start_tag(after_lt));
+            }
+            // Stray '<': treat as text.
+            self.bump(1);
+            return Some(Token::Text("<".to_owned()));
+        }
+        // Character data until the next '<'.
+        let end = rest.find('<').unwrap_or(rest.len());
+        let text = &rest[..end];
+        self.bump(end);
+        Some(Token::Text(decode(text)))
+    }
+
+    /// Parse a start tag beginning right after `<`; `after_lt` starts at the
+    /// first name character.
+    fn scan_start_tag(&mut self, after_lt: &str) -> Token {
+        let (name_end, _) = tag_name_end(after_lt);
+        let name = after_lt[..name_end].to_ascii_lowercase();
+        let mut s = &after_lt[name_end..];
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            s = s.trim_start();
+            if s.is_empty() {
+                // Unterminated tag: consume everything.
+                self.bump(self.rest().len());
+                break;
+            }
+            if let Some(r) = s.strip_prefix("/>") {
+                self_closing = true;
+                let consumed = self.rest().len() - r.len();
+                self.bump(consumed);
+                break;
+            }
+            if let Some(r) = s.strip_prefix('>') {
+                let consumed = self.rest().len() - r.len();
+                self.bump(consumed);
+                break;
+            }
+            if let Some(r) = s.strip_prefix('/') {
+                // Stray slash not followed by '>': skip it.
+                s = r;
+                continue;
+            }
+            // Attribute name.
+            let name_len = s
+                .char_indices()
+                .find(|(_, c)| c.is_whitespace() || matches!(c, '=' | '>' | '/'))
+                .map(|(i, _)| i)
+                .unwrap_or(s.len());
+            if name_len == 0 {
+                // Unexpected char (e.g. a quote); skip one char to make progress.
+                let mut it = s.chars();
+                it.next();
+                s = it.as_str();
+                continue;
+            }
+            let attr_name = s[..name_len].to_ascii_lowercase();
+            s = s[name_len..].trim_start();
+            let mut value = String::new();
+            if let Some(r) = s.strip_prefix('=') {
+                let r = r.trim_start();
+                if let Some(q) = r.strip_prefix('"') {
+                    let end = q.find('"').unwrap_or(q.len());
+                    value = decode(&q[..end]);
+                    s = &q[(end + 1).min(q.len())..];
+                } else if let Some(q) = r.strip_prefix('\'') {
+                    let end = q.find('\'').unwrap_or(q.len());
+                    value = decode(&q[..end]);
+                    s = &q[(end + 1).min(q.len())..];
+                } else {
+                    let end = r
+                        .char_indices()
+                        .find(|(_, c)| c.is_whitespace() || *c == '>')
+                        .map(|(i, _)| i)
+                        .unwrap_or(r.len());
+                    value = decode(&r[..end]);
+                    s = &r[end..];
+                }
+            }
+            attrs.push(Attribute { name: attr_name, value });
+        }
+        if RAW_TEXT_ELEMENTS.contains(&name.as_str()) && !self_closing {
+            self.raw_text_until = Some(name.clone());
+        }
+        Token::StartTag { name, attrs, self_closing }
+    }
+}
+
+/// Index of the first character after the tag name, plus that index.
+fn tag_name_end(s: &str) -> (usize, ()) {
+    let idx = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '-' || *c == ':'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    (idx, ())
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        loop {
+            let before = self.pos;
+            let tok = self.next_token()?;
+            // Suppress pure-whitespace text tokens only if empty after decode;
+            // whitespace is significant for word separation, so keep it.
+            if let Token::Text(t) = &tok {
+                if t.is_empty() {
+                    if self.pos == before {
+                        // Safety net against non-advancing loops.
+                        self.bump(1);
+                    }
+                    continue;
+                }
+            }
+            debug_assert!(self.pos > before || self.pos == self.input.len());
+            return Some(tok);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        Tokenizer::run(s)
+    }
+
+    fn start(name: &str) -> Token {
+        Token::StartTag { name: name.into(), attrs: vec![], self_closing: false }
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        assert_eq!(
+            toks("<p>hi</p>"),
+            vec![start("p"), Token::Text("hi".into()), Token::EndTag { name: "p".into() }]
+        );
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        assert_eq!(toks("<DIV></DiV>"), vec![start("div"), Token::EndTag { name: "div".into() }]);
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_bare() {
+        let t = toks(r#"<input type="text" name='kw' size=20 required>"#);
+        match &t[0] {
+            Token::StartTag { name, attrs, self_closing } => {
+                assert_eq!(name, "input");
+                assert!(!self_closing);
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        Attribute { name: "type".into(), value: "text".into() },
+                        Attribute { name: "name".into(), value: "kw".into() },
+                        Attribute { name: "size".into(), value: "20".into() },
+                        Attribute { name: "required".into(), value: "".into() },
+                    ]
+                );
+            }
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing() {
+        let t = toks("<br/><hr />");
+        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(&t[1], Token::StartTag { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let t = toks(r#"<a title="A &amp; B">x &lt; y</a>"#);
+        match &t[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].value, "A & B"),
+            _ => panic!(),
+        }
+        assert_eq!(t[1], Token::Text("x < y".into()));
+    }
+
+    #[test]
+    fn comments() {
+        let t = toks("a<!-- note -->b");
+        assert_eq!(
+            t,
+            vec![
+                Token::Text("a".into()),
+                Token::Comment(" note ".into()),
+                Token::Text("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_consumes_rest() {
+        let t = toks("a<!-- oops");
+        assert_eq!(t, vec![Token::Text("a".into()), Token::Comment(" oops".into())]);
+    }
+
+    #[test]
+    fn doctype() {
+        let t = toks("<!DOCTYPE html><p>x</p>");
+        assert_eq!(t[0], Token::Doctype("DOCTYPE html".into()));
+    }
+
+    #[test]
+    fn script_raw_text() {
+        let t = toks(r#"<script>if (a < b) { document.write("</p>"); }</script>after"#);
+        // Raw-text mode only terminates on `</script`, so the embedded
+        // "</p>" string stays inside a single text token.
+        assert_eq!(
+            t,
+            vec![
+                start("script"),
+                Token::Text(r#"if (a < b) { document.write("</p>"); }"#.into()),
+                Token::EndTag { name: "script".into() },
+                Token::Text("after".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn script_with_less_than_survives() {
+        let t = toks("<script>for(i=0;i<10;i++){}</script>ok");
+        assert!(t.contains(&Token::Text("for(i=0;i<10;i++){}".into())));
+        assert!(t.contains(&Token::Text("ok".into())));
+    }
+
+    #[test]
+    fn unterminated_script() {
+        let t = toks("<script>var x = 1;");
+        assert_eq!(t, vec![start("script"), Token::Text("var x = 1;".into())]);
+    }
+
+    #[test]
+    fn textarea_content_is_raw() {
+        let t = toks("<textarea><b>not bold</b></textarea>");
+        assert_eq!(
+            t,
+            vec![
+                start("textarea"),
+                Token::Text("<b>not bold</b>".into()),
+                Token::EndTag { name: "textarea".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let t = toks("1 < 2 and 3 > 2");
+        let joined: String = t
+            .iter()
+            .map(|t| match t {
+                Token::Text(s) => s.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert_eq!(joined, "1 < 2 and 3 > 2");
+    }
+
+    #[test]
+    fn end_tag_with_junk() {
+        let t = toks("</p attr=1>");
+        assert_eq!(t, vec![Token::EndTag { name: "p".into() }]);
+    }
+
+    #[test]
+    fn unterminated_tag_at_eof() {
+        let t = toks("<input type=text");
+        assert_eq!(t.len(), 1);
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "input"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(toks("").is_empty());
+    }
+
+    #[test]
+    fn only_whitespace_text_is_kept() {
+        let t = toks("a  b");
+        assert_eq!(t, vec![Token::Text("a  b".into())]);
+    }
+
+    #[test]
+    fn attr_value_with_gt_in_quotes() {
+        let t = toks(r#"<a href="x>y">t</a>"#);
+        match &t[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].value, "x>y"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for s in ["<", "</", "<>", "< >", "<a b=\"", "<a b='x", "<!", "<!-", "&", "&#", "&#;"] {
+            let _ = toks(s);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Edge-case regression tests for the HTML substrate, beyond the per-module
+//! unit tests: real-web tag soup, exotic attribute syntax, entity corners
+//! and form-structure oddities observed in deep-web crawl data.
+
+use cafc_html::{extract_forms, located_text, parse, TextLocation};
+
+#[test]
+fn attributes_with_exotic_but_legal_syntax() {
+    let doc = parse(
+        r#"<input type = "text"   name ='q' data-x=1 checked disabled value = unquoted>"#,
+    );
+    let input = doc.elements_named("input").next().expect("input parsed");
+    assert_eq!(doc.attr(input, "type"), Some("text"));
+    assert_eq!(doc.attr(input, "name"), Some("q"));
+    assert_eq!(doc.attr(input, "data-x"), Some("1"));
+    assert_eq!(doc.attr(input, "checked"), Some(""));
+    assert_eq!(doc.attr(input, "value"), Some("unquoted"));
+}
+
+#[test]
+fn uppercase_attributes_lowercased() {
+    let doc = parse(r#"<FORM ACTION="/x" METHOD="POST"><INPUT NAME=Q></FORM>"#);
+    let forms = extract_forms(&doc);
+    assert_eq!(forms[0].action.as_deref(), Some("/x"));
+    assert_eq!(forms[0].method, cafc_html::FormMethod::Post);
+    assert_eq!(forms[0].fields[0].name.as_deref(), Some("Q")); // value case kept
+}
+
+#[test]
+fn nested_forms_html_forbids_but_web_contains() {
+    // Browsers implicitly ignore a <form> inside a <form>; our DOM nests it,
+    // and extract_forms returns both — callers see two candidate forms.
+    let doc = parse("<form action=a><input name=x><form action=b><input name=y></form></form>");
+    let forms = extract_forms(&doc);
+    assert_eq!(forms.len(), 2);
+    // The outer form's walk reaches both fields (nested form content is
+    // inside its subtree); the inner sees only its own.
+    assert!(forms[0].fields.len() >= 1);
+    assert_eq!(forms[1].fields.len(), 1);
+}
+
+#[test]
+fn optgroup_options_collected() {
+    let doc = parse(
+        "<form><select name=s><optgroup label=West><option>Utah</option>\
+         <option>Nevada</option></optgroup><optgroup label=East>\
+         <option>Ohio</option></optgroup></select></form>",
+    );
+    let forms = extract_forms(&doc);
+    assert_eq!(forms[0].fields[0].options, vec!["Utah", "Nevada", "Ohio"]);
+}
+
+#[test]
+fn table_layout_form_still_extracts() {
+    // The classic 2000s layout: the form's fields scattered across a table.
+    let doc = parse(
+        "<form action=/s><table><tr><td>From</td><td><input name=from></td></tr>\
+         <tr><td>To</td><td><input name=to></td></tr>\
+         <tr><td colspan=2><input type=submit value=Search></td></tr></table></form>",
+    );
+    let forms = extract_forms(&doc);
+    assert_eq!(forms[0].visible_field_count(), 2);
+    assert!(forms[0].inner_text.contains("From"));
+    assert!(forms[0].inner_text.contains("To"));
+}
+
+#[test]
+fn comments_inside_forms_ignored() {
+    let doc = parse("<form><!-- <input name=ghost> --><input name=real></form>");
+    let forms = extract_forms(&doc);
+    assert_eq!(forms[0].fields.len(), 1);
+}
+
+#[test]
+fn cdata_like_junk_survives() {
+    let doc = parse("<![CDATA[ not html ]]><p>ok</p>");
+    let text: Vec<_> = located_text(&doc).into_iter().map(|lt| lt.text).collect();
+    assert!(text.contains(&"ok".to_owned()));
+}
+
+#[test]
+fn mixed_case_entities_and_numeric() {
+    let doc = parse("<p>&AMP; &amp; &#38; &#x26;</p>");
+    let text = located_text(&doc);
+    // &AMP; is not recognized (case-sensitive, like HTML4), the rest are.
+    assert_eq!(text[0].text, "&AMP; & & &");
+}
+
+#[test]
+fn title_inside_body_still_counts_as_title_location() {
+    // Broken pages put <title> anywhere; we key on the element, not <head>.
+    let doc = parse("<body><title>Late Title</title><p>x</p></body>");
+    let title_runs: Vec<_> = located_text(&doc)
+        .into_iter()
+        .filter(|lt| lt.location == TextLocation::Title)
+        .collect();
+    assert_eq!(title_runs.len(), 1);
+    assert_eq!(title_runs[0].text, "Late Title");
+}
+
+#[test]
+fn whitespace_only_document() {
+    let doc = parse("   \n\t  ");
+    assert!(located_text(&doc).is_empty());
+    assert!(extract_forms(&doc).is_empty());
+}
+
+#[test]
+fn huge_attribute_value_no_blowup() {
+    let big = "x".repeat(100_000);
+    let html = format!(r#"<a href="{big}">link</a>"#);
+    let doc = parse(&html);
+    let a = doc.elements_named("a").next().expect("anchor parsed");
+    assert_eq!(doc.attr(a, "href").map(str::len), Some(100_000));
+}
+
+#[test]
+fn form_with_only_hidden_fields_has_zero_visible() {
+    let doc = parse(
+        "<form><input type=hidden name=a><input type=hidden name=b>\
+         <input type=submit value=Go></form>",
+    );
+    let forms = extract_forms(&doc);
+    assert_eq!(forms[0].visible_field_count(), 0);
+    assert!(!forms[0].is_single_attribute());
+}
+
+#[test]
+fn select_multiple_and_size_attributes() {
+    let doc = parse(r#"<form><select name=s multiple size=5><option>a</option></select></form>"#);
+    let forms = extract_forms(&doc);
+    assert_eq!(forms[0].fields[0].kind, cafc_html::FormFieldKind::Select);
+}
+
+#[test]
+fn br_and_hr_between_fields() {
+    let doc = parse("<form><input name=a><br><hr><input name=b></form>");
+    assert_eq!(extract_forms(&doc)[0].fields.len(), 2);
+}
+
+#[test]
+fn doctype_and_xml_prolog_skipped() {
+    let doc = parse("<?xml version=\"1.0\"?><!DOCTYPE html><p>x</p>");
+    assert_eq!(located_text(&doc).len(), 1);
+}
+
+#[test]
+fn real_world_soup_round_trip() {
+    // A structurally-abusive page exercising most recovery paths at once.
+    let html = r#"
+        <HTML><head><TITLE>Acme&nbsp;Search</tItLe>
+        <body bgcolor=white>
+        <table><tr><td><form action=search.cgi>
+        <b>Find:<input name=q size=30><input type=image src=go.gif>
+        </td></table>
+        <p>Copyright &copy; Acme <a href=about.html>about</ишка>
+        "#;
+    let doc = parse(html);
+    assert_eq!(doc.title().as_deref(), Some("Acme Search"));
+    let forms = extract_forms(&doc);
+    assert_eq!(forms.len(), 1);
+    assert!(forms[0].is_single_attribute());
+    assert!(forms[0].inner_text.contains("Find:"));
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the HTML substrate: the parser must never panic
+//! and must uphold basic structural invariants on arbitrary input.
+
+use cafc_html::{located_text, parse, Tokenizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// The tokenizer terminates and never panics on arbitrary input.
+    #[test]
+    fn tokenizer_total_on_arbitrary_input(s in ".{0,400}") {
+        let toks = Tokenizer::run(&s);
+        // Token count is bounded by input length (each token consumes >= 1 byte).
+        prop_assert!(toks.len() <= s.len() + 1);
+    }
+
+    /// The DOM builder never panics and extraction is total.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in ".{0,400}") {
+        let doc = parse(&s);
+        let _ = located_text(&doc);
+        let _ = cafc_html::extract_forms(&doc);
+        let _ = doc.title();
+    }
+
+    /// Parsing HTML-shaped input: every extracted text run is non-empty and
+    /// contains no leading/trailing whitespace.
+    #[test]
+    fn located_text_is_trimmed(words in proptest::collection::vec("[a-z]{1,8}", 1..20)) {
+        let html = format!("<p>{}</p><form>{}</form>", words.join(" "), words.join(" "));
+        let doc = parse(&html);
+        for lt in located_text(&doc) {
+            prop_assert!(!lt.text.is_empty());
+            prop_assert_eq!(lt.text.trim(), lt.text.as_str());
+        }
+    }
+
+    /// Text placed in the body never leaks into form locations and vice versa.
+    #[test]
+    fn location_separation(
+        body_word in "[a-z]{3,10}",
+        form_word in "[A-Z]{3,10}",
+    ) {
+        let html = format!("<p>{body_word}</p><form>{form_word} <input name=q></form>");
+        let doc = parse(&html);
+        for lt in located_text(&doc) {
+            if lt.text == body_word {
+                prop_assert!(!lt.location.is_form());
+            }
+            if lt.text == form_word {
+                prop_assert!(lt.location.is_form());
+            }
+        }
+    }
+
+    /// Entity round-trip: text made of safe characters survives unchanged
+    /// through tokenize + parse + extract.
+    #[test]
+    fn safe_text_roundtrip(words in proptest::collection::vec("[a-zA-Z0-9]{1,10}", 1..10)) {
+        let text = words.join(" ");
+        let html = format!("<div>{text}</div>");
+        let doc = parse(&html);
+        let got = located_text(&doc);
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(&got[0].text, &text);
+    }
+
+    /// Balanced nesting: n opened divs produce n div elements.
+    #[test]
+    fn balanced_nesting(n in 1usize..60) {
+        let html = "<div>".repeat(n) + "x" + &"</div>".repeat(n);
+        let doc = parse(&html);
+        prop_assert_eq!(doc.elements_named("div").count(), n);
+    }
+}

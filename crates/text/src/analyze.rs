@@ -1,0 +1,118 @@
+//! The analysis pipeline: tokenize → stopword-filter → stem → intern.
+
+use crate::dict::{TermDict, TermId};
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::{tokenize_with, TokenizeOptions};
+
+/// Configurable text analyzer.
+///
+/// The defaults mirror the paper's preprocessing: all words are stemmed,
+/// stopwords removed, numeric tokens dropped.
+#[derive(Debug, Clone, Copy)]
+pub struct Analyzer {
+    /// Tokenizer options.
+    pub tokenize: TokenizeOptions,
+    /// Remove stopwords (before stemming). Default true.
+    pub remove_stopwords: bool,
+    /// Apply the Porter stemmer. Default true.
+    pub stem: bool,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer { tokenize: TokenizeOptions::default(), remove_stopwords: true, stem: true }
+    }
+}
+
+impl Analyzer {
+    /// Analyze `text` into a sequence of interned term ids (with repeats —
+    /// term frequency is computed downstream).
+    pub fn analyze(&self, text: &str, dict: &mut TermDict) -> Vec<TermId> {
+        let mut out = Vec::new();
+        self.analyze_into(text, dict, &mut out);
+        out
+    }
+
+    /// Like [`Analyzer::analyze`] but appends into a reusable buffer,
+    /// avoiding per-call allocation in the corpus-scale loops.
+    pub fn analyze_into(&self, text: &str, dict: &mut TermDict, out: &mut Vec<TermId>) {
+        for token in tokenize_with(text, self.tokenize) {
+            if self.remove_stopwords && is_stopword(&token) {
+                continue;
+            }
+            let term = if self.stem { stem(&token) } else { token };
+            if term.is_empty() {
+                continue;
+            }
+            // Stemming can collapse a content word onto a stopword ("ares"
+            // -> "are"); filter again post-stem so no stopword survives.
+            if self.remove_stopwords && is_stopword(&term) {
+                continue;
+            }
+            out.push(dict.intern(&term));
+        }
+    }
+
+    /// Analyze into plain strings (for debugging and golden tests).
+    pub fn analyze_to_strings(&self, text: &str) -> Vec<String> {
+        let mut dict = TermDict::new();
+        self.analyze(text, &mut dict).into_iter().map(|id| dict.term(id).to_owned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline() {
+        let a = Analyzer::default();
+        assert_eq!(
+            a.analyze_to_strings("Searching for the cheapest flights to Paris!"),
+            vec!["search", "cheapest", "flight", "pari"]
+        );
+    }
+
+    #[test]
+    fn repeats_preserved_for_tf() {
+        let a = Analyzer::default();
+        let mut dict = TermDict::new();
+        let ids = a.analyze("book books booking", &mut dict);
+        // book, book, book — stem collapses all three to the same id.
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn stopword_removal_toggle() {
+        let no_stop = Analyzer { remove_stopwords: false, ..Default::default() };
+        assert!(no_stop.analyze_to_strings("the car").contains(&"the".to_owned()));
+        let with_stop = Analyzer::default();
+        assert!(!with_stop.analyze_to_strings("the car").contains(&"the".to_owned()));
+    }
+
+    #[test]
+    fn stemming_toggle() {
+        let raw = Analyzer { stem: false, ..Default::default() };
+        assert_eq!(raw.analyze_to_strings("flights"), vec!["flights"]);
+    }
+
+    #[test]
+    fn shared_dict_across_documents() {
+        let a = Analyzer::default();
+        let mut dict = TermDict::new();
+        let d1 = a.analyze("cheap flights", &mut dict);
+        let d2 = a.analyze("flights to denver", &mut dict);
+        // "flight" got the same id in both documents.
+        assert!(d1.iter().any(|id| d2.contains(id)));
+    }
+
+    #[test]
+    fn empty_text() {
+        let a = Analyzer::default();
+        let mut dict = TermDict::new();
+        assert!(a.analyze("", &mut dict).is_empty());
+        assert!(a.analyze("   !!!   ", &mut dict).is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! English stopword list.
+//!
+//! Function words carry no domain signal and inflate every vector equally;
+//! they are removed before stemming. The list is the classic IR core set
+//! (roughly the SMART/van Rijsbergen intersection) — deliberately *not*
+//! including web-generic content words like "search", "home" or "privacy":
+//! the paper handles those through low IDF, not through a stoplist, and the
+//! experiments in §2.1 depend on that behaviour.
+
+/// Sorted list of stopwords (binary-searchable).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers",
+    "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its",
+    "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of",
+    "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own",
+    "same", "she", "should", "so", "some", "such", "than", "that", "the", "their", "theirs",
+    "them", "themselves", "then", "there", "these", "they", "this", "those", "through", "to",
+    "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "would", "you", "your", "yours", "yourself",
+    "yourselves",
+];
+
+/// Is `word` (assumed lowercase) a stopword?
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "stopword list must be strictly sorted: {} >= {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_function_words() {
+        for w in ["the", "and", "of", "to", "is", "with"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["search", "flight", "book", "job", "hotel", "privacy", "home"] {
+            assert!(!is_stopword(w), "{w} must NOT be a stopword");
+        }
+    }
+
+    #[test]
+    fn case_sensitive_lowercase_contract() {
+        // Callers must lowercase first; uppercase input is not matched.
+        assert!(!is_stopword("The"));
+    }
+
+    #[test]
+    fn empty_is_not_stopword() {
+        assert!(!is_stopword(""));
+    }
+}

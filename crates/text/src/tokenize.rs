@@ -1,0 +1,124 @@
+//! Word tokenization.
+//!
+//! Splits text into lowercase word tokens on any non-alphanumeric boundary.
+//! Pure numbers are dropped by default (they are database *contents* —
+//! prices, years — not schema vocabulary), as are one-character tokens.
+
+/// Tokenization options.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenizeOptions {
+    /// Minimum token length in characters (default 2).
+    pub min_len: usize,
+    /// Maximum token length; longer tokens (base64 blobs, URLs that leaked
+    /// into text) are dropped (default 30).
+    pub max_len: usize,
+    /// Keep tokens consisting only of digits (default false).
+    pub keep_numbers: bool,
+}
+
+impl Default for TokenizeOptions {
+    fn default() -> Self {
+        TokenizeOptions { min_len: 2, max_len: 30, keep_numbers: false }
+    }
+}
+
+/// Tokenize with default options.
+///
+/// ```
+/// assert_eq!(cafc_text::tokenize("Cheap Flights, 2-for-1!"),
+///            vec!["cheap", "flights", "for"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    tokenize_with(text, TokenizeOptions::default())
+}
+
+/// Tokenize with explicit options.
+pub fn tokenize_with(text: &str, opts: TokenizeOptions) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            push_token(&mut tokens, std::mem::take(&mut current), opts);
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut tokens, current, opts);
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, token: String, opts: TokenizeOptions) {
+    let len = token.chars().count();
+    if len < opts.min_len || len > opts.max_len {
+        return;
+    }
+    if !opts.keep_numbers && token.chars().all(|c| c.is_ascii_digit()) {
+        return;
+    }
+    tokens.push(token);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_split() {
+        assert_eq!(tokenize("hello world"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("Job Category"), vec!["job", "category"]);
+    }
+
+    #[test]
+    fn punctuation_boundaries() {
+        assert_eq!(tokenize("new/used cars, trucks."), vec!["new", "used", "cars", "trucks"]);
+    }
+
+    #[test]
+    fn numbers_dropped_by_default() {
+        assert_eq!(tokenize("room 101 deluxe"), vec!["room", "deluxe"]);
+    }
+
+    #[test]
+    fn numbers_kept_when_asked() {
+        let opts = TokenizeOptions { keep_numbers: true, ..Default::default() };
+        assert_eq!(tokenize_with("room 101", opts), vec!["room", "101"]);
+    }
+
+    #[test]
+    fn alphanumeric_mixed_tokens_kept() {
+        assert_eq!(tokenize("mp3 players"), vec!["mp3", "players"]);
+    }
+
+    #[test]
+    fn single_chars_dropped() {
+        assert_eq!(tokenize("a b cd"), vec!["cd"]);
+    }
+
+    #[test]
+    fn overlong_tokens_dropped() {
+        let blob = "x".repeat(31);
+        assert_eq!(tokenize(&format!("ok {blob} fine")), vec!["ok", "fine"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ###").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(tokenize("café au lait"), vec!["café", "au", "lait"]);
+    }
+
+    #[test]
+    fn uppercase_unicode_lowered() {
+        assert_eq!(tokenize("ÉTÉ"), vec!["été"]);
+    }
+}

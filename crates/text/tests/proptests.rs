@@ -1,0 +1,71 @@
+//! Property-based tests for the text substrate.
+
+use cafc_text::{is_stopword, stem, tokenize, Analyzer, TermDict};
+use proptest::prelude::*;
+
+proptest! {
+    /// The stemmer is total and never grows a word by more than one char
+    /// (the only growth rules are e-restoration like at→ate, bl→ble, iz→ize
+    /// and the cvc e-append, all of which net at most +1 over the original).
+    #[test]
+    fn stem_total_and_bounded(w in "[a-z]{0,20}") {
+        let s = stem(&w);
+        prop_assert!(!s.is_empty() || w.is_empty());
+        prop_assert!(s.len() <= w.len() + 1, "stem({w}) = {s} grew too much");
+    }
+
+    /// Stemming never panics on arbitrary unicode.
+    #[test]
+    fn stem_total_on_unicode(w in ".{0,40}") {
+        let _ = stem(&w);
+    }
+
+    /// Stemming is deterministic.
+    #[test]
+    fn stem_deterministic(w in "[a-zA-Z]{0,20}") {
+        prop_assert_eq!(stem(&w), stem(&w));
+    }
+
+    /// Tokenization output is always lowercase and within length bounds.
+    #[test]
+    fn tokens_lowercase_and_bounded(text in ".{0,200}") {
+        for t in tokenize(&text) {
+            prop_assert!(t.chars().count() >= 2);
+            prop_assert!(t.chars().count() <= 30);
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+        }
+    }
+
+    /// Tokenization is invariant under surrounding punctuation.
+    #[test]
+    fn tokens_ignore_surrounding_punctuation(words in proptest::collection::vec("[a-z]{2,8}", 1..10)) {
+        let plain = words.join(" ");
+        let noisy = format!("... {} !!!", words.join(", "));
+        prop_assert_eq!(tokenize(&plain), tokenize(&noisy));
+    }
+
+    /// The analyzer never emits stopwords or empty terms.
+    #[test]
+    fn analyzer_output_is_clean(text in ".{0,200}") {
+        let a = Analyzer::default();
+        let mut dict = TermDict::new();
+        for id in a.analyze(&text, &mut dict) {
+            let term = dict.term(id);
+            prop_assert!(!term.is_empty());
+            prop_assert!(!is_stopword(term));
+        }
+    }
+
+    /// Interning n distinct strings yields n distinct dense ids.
+    #[test]
+    fn dict_ids_distinct(words in proptest::collection::hash_set("[a-z]{1,12}", 0..50)) {
+        let mut dict = TermDict::new();
+        let ids: Vec<_> = words.iter().map(|w| dict.intern(w)).collect();
+        let mut sorted: Vec<_> = ids.iter().map(|id| id.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), words.len());
+        prop_assert_eq!(dict.len(), words.len());
+    }
+}

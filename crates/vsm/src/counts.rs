@@ -1,0 +1,132 @@
+//! Location-weighted term-frequency accumulation — the `LOC_i × TF_i` part
+//! of Equation 1.
+//!
+//! Each occurrence of a term is added with the weight of the location where
+//! it occurred (e.g. 0.5 inside an `<option>`, 2.0 inside `<title>`). With
+//! all weights at 1.0 this degenerates to plain term frequency, which is
+//! exactly the §4.4 "uniform weights" ablation.
+
+use crate::df::DocumentFrequencies;
+use crate::sparse::SparseVector;
+use cafc_text::TermId;
+use std::collections::HashMap;
+
+/// Accumulates `Σ_occurrences loc_weight` per term for one document.
+#[derive(Debug, Clone, Default)]
+pub struct CountsBuilder {
+    counts: HashMap<TermId, f64>,
+}
+
+impl CountsBuilder {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        CountsBuilder::default()
+    }
+
+    /// Add one occurrence of `term` with the given location weight.
+    pub fn add(&mut self, term: TermId, loc_weight: f64) {
+        *self.counts.entry(term).or_insert(0.0) += loc_weight;
+    }
+
+    /// Add every term in `terms` with the same location weight.
+    pub fn add_all<I>(&mut self, terms: I, loc_weight: f64)
+    where
+        I: IntoIterator<Item = TermId>,
+    {
+        for term in terms {
+            self.add(term, loc_weight);
+        }
+    }
+
+    /// Distinct term ids seen so far (order unspecified) — feed these to
+    /// [`DocumentFrequencies::add_document`].
+    pub fn term_ids(&self) -> Vec<TermId> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// True when nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of distinct terms.
+    pub fn distinct_terms(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The raw weighted-TF vector (no IDF).
+    pub fn tf(&self) -> SparseVector {
+        SparseVector::from_entries(self.counts.iter().map(|(&t, &w)| (t, w)).collect())
+    }
+
+    /// The full Equation-1 vector: `w_i = (Σ LOC) × idf(i)` over this
+    /// document's terms, using collection statistics `df`.
+    pub fn tf_idf(&self, df: &DocumentFrequencies) -> SparseVector {
+        SparseVector::from_entries(
+            self.counts.iter().map(|(&t, &w)| (t, w * df.idf(t))).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    #[test]
+    fn accumulates_weighted_occurrences() {
+        let mut b = CountsBuilder::new();
+        b.add(t(0), 1.0);
+        b.add(t(0), 0.5);
+        b.add(t(1), 2.0);
+        let tf = b.tf();
+        assert_eq!(tf.get(t(0)), 1.5);
+        assert_eq!(tf.get(t(1)), 2.0);
+        assert_eq!(b.distinct_terms(), 2);
+    }
+
+    #[test]
+    fn add_all_shares_weight() {
+        let mut b = CountsBuilder::new();
+        b.add_all(vec![t(0), t(1), t(0)], 0.5);
+        assert_eq!(b.tf().get(t(0)), 1.0);
+        assert_eq!(b.tf().get(t(1)), 0.5);
+    }
+
+    #[test]
+    fn tfidf_zeroes_ubiquitous_terms() {
+        let mut df = DocumentFrequencies::new();
+        df.add_document(vec![t(0), t(1)]);
+        df.add_document(vec![t(0)]);
+
+        let mut b = CountsBuilder::new();
+        b.add(t(0), 3.0); // in every doc -> idf 0 -> dropped
+        b.add(t(1), 1.0); // in half the docs -> positive weight
+        let v = b.tf_idf(&df);
+        assert_eq!(v.get(t(0)), 0.0);
+        assert!(v.get(t(1)) > 0.0);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_builder_empty_vector() {
+        let b = CountsBuilder::new();
+        assert!(b.is_empty());
+        assert!(b.tf().is_empty());
+        assert!(b.tf_idf(&DocumentFrequencies::new()).is_empty());
+    }
+
+    #[test]
+    fn term_ids_are_distinct() {
+        let mut b = CountsBuilder::new();
+        b.add(t(3), 1.0);
+        b.add(t(3), 1.0);
+        b.add(t(5), 1.0);
+        let mut ids = b.term_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![t(3), t(5)]);
+    }
+}

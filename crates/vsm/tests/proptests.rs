@@ -1,0 +1,116 @@
+//! Property-based tests for vector-space invariants.
+
+use cafc_text::TermId;
+use cafc_vsm::{CountsBuilder, DocumentFrequencies, SparseVector};
+use proptest::prelude::*;
+
+fn arb_vector() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u32..64, -10.0f64..10.0), 0..20)
+        .prop_map(|entries| {
+            SparseVector::from_entries(entries.into_iter().map(|(t, w)| (TermId(t), w)).collect())
+        })
+}
+
+fn arb_nonneg_vector() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::vec((0u32..64, 0.01f64..10.0), 0..20)
+        .prop_map(|entries| {
+            SparseVector::from_entries(entries.into_iter().map(|(t, w)| (TermId(t), w)).collect())
+        })
+}
+
+proptest! {
+    /// Entries are strictly sorted with no zero weights — the structural
+    /// invariant every operation relies on.
+    #[test]
+    fn invariant_sorted_nonzero(v in arb_vector()) {
+        for w in v.entries().windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        prop_assert!(v.entries().iter().all(|&(_, w)| w != 0.0 && w.is_finite()));
+    }
+
+    /// Cosine is symmetric and within [0, 1] for non-negative vectors
+    /// (TF-IDF weights are always non-negative).
+    #[test]
+    fn cosine_symmetric_bounded(a in arb_nonneg_vector(), b in arb_nonneg_vector()) {
+        let ab = a.cosine(&b);
+        let ba = b.cosine(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// cos(v, v) = 1 for non-empty vectors.
+    #[test]
+    fn cosine_self_is_one(v in arb_nonneg_vector()) {
+        if !v.is_empty() {
+            prop_assert!((v.cosine(&v) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Dot product distributes over addition: (a+b)·c = a·c + b·c.
+    #[test]
+    fn dot_distributes(a in arb_vector(), b in arb_vector(), c in arb_vector()) {
+        let lhs = a.add(&b).dot(&c);
+        let rhs = a.dot(&c) + b.dot(&c);
+        prop_assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+    }
+
+    /// Addition is commutative.
+    #[test]
+    fn add_commutative(a in arb_vector(), b in arb_vector()) {
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab.entries(), ba.entries());
+    }
+
+    /// The centroid of n copies of v is v.
+    #[test]
+    fn centroid_of_copies(v in arb_vector(), n in 1usize..5) {
+        let copies: Vec<&SparseVector> = std::iter::repeat_n(&v, n).collect();
+        let c = SparseVector::centroid(copies);
+        for (&(t1, w1), &(t2, w2)) in c.entries().iter().zip(v.entries()) {
+            prop_assert_eq!(t1, t2);
+            prop_assert!((w1 - w2).abs() < 1e-9);
+        }
+        prop_assert_eq!(c.nnz(), v.nnz());
+    }
+
+    /// Norm scales linearly: |k·v| = |k|·|v|.
+    #[test]
+    fn norm_scales(v in arb_vector(), k in -5.0f64..5.0) {
+        let lhs = v.scale(k).norm();
+        let rhs = k.abs() * v.norm();
+        prop_assert!((lhs - rhs).abs() < 1e-6);
+    }
+
+    /// IDF is non-negative and anti-monotone in document frequency.
+    #[test]
+    fn idf_antimonotone(n_docs in 2u32..40, rare in 1u32..10, common in 10u32..40) {
+        let rare = rare.min(n_docs);
+        let common = common.min(n_docs);
+        let mut df = DocumentFrequencies::new();
+        for d in 0..n_docs {
+            let mut terms = Vec::new();
+            if d < rare { terms.push(TermId(0)); }
+            if d < common { terms.push(TermId(1)); }
+            df.add_document(terms);
+        }
+        prop_assert!(df.idf(TermId(0)) >= 0.0);
+        if rare < common {
+            prop_assert!(df.idf(TermId(0)) > df.idf(TermId(1)));
+        }
+    }
+
+    /// A ubiquitous term vanishes from every TF-IDF vector regardless of its
+    /// raw frequency — the paper's noise-suppression mechanism.
+    #[test]
+    fn ubiquitous_term_vanishes(tf in 1.0f64..100.0, n_docs in 2u32..20) {
+        let mut df = DocumentFrequencies::new();
+        for _ in 0..n_docs {
+            df.add_document(vec![TermId(0), TermId(1)]);
+        }
+        let mut b = CountsBuilder::new();
+        b.add(TermId(0), tf);
+        prop_assert!(b.tf_idf(&df).is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! An in-memory web graph with a backlink index.
+//!
+//! Pages are interned by URL into dense [`PageId`]s; each page can carry an
+//! HTML payload (the synthetic corpus stores generated pages here, and the
+//! crawler fetches from it). Directed links maintain both adjacency
+//! directions incrementally, so `backlinks()` — the stand-in for the search
+//! engines' `link:` API used in §3.1 — is an O(1) slice lookup.
+
+use crate::url::Url;
+use std::collections::HashMap;
+
+/// Dense identifier of a page in a [`WebGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PageEntry {
+    url: Url,
+    html: Option<String>,
+    out: Vec<PageId>,
+    inc: Vec<PageId>,
+}
+
+/// A directed web graph over interned URLs.
+#[derive(Debug, Clone, Default)]
+pub struct WebGraph {
+    pages: Vec<PageEntry>,
+    by_url: HashMap<Url, PageId>,
+}
+
+impl WebGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        WebGraph::default()
+    }
+
+    /// Intern `url`, creating a content-less page if new.
+    pub fn intern(&mut self, url: Url) -> PageId {
+        if let Some(&id) = self.by_url.get(&url) {
+            return id;
+        }
+        let id = PageId(u32::try_from(self.pages.len()).expect("fewer than 4Gi pages"));
+        self.pages.push(PageEntry { url: url.clone(), html: None, out: Vec::new(), inc: Vec::new() });
+        self.by_url.insert(url, id);
+        id
+    }
+
+    /// Intern `url` and attach HTML content (replacing any previous content).
+    pub fn add_page(&mut self, url: Url, html: String) -> PageId {
+        let id = self.intern(url);
+        self.pages[id.index()].html = Some(html);
+        id
+    }
+
+    /// Add a directed link `from → to`. Parallel edges are deduplicated.
+    pub fn add_link(&mut self, from: PageId, to: PageId) {
+        if self.pages[from.index()].out.contains(&to) {
+            return;
+        }
+        self.pages[from.index()].out.push(to);
+        self.pages[to.index()].inc.push(from);
+    }
+
+    /// Look up a page by URL.
+    pub fn page_id(&self, url: &Url) -> Option<PageId> {
+        self.by_url.get(url).copied()
+    }
+
+    /// The URL of a page.
+    pub fn url(&self, id: PageId) -> &Url {
+        &self.pages[id.index()].url
+    }
+
+    /// The stored HTML of a page, if any (None for link-only placeholders).
+    pub fn html(&self, id: PageId) -> Option<&str> {
+        self.pages[id.index()].html.as_deref()
+    }
+
+    /// Out-links of a page.
+    pub fn out_links(&self, id: PageId) -> &[PageId] {
+        &self.pages[id.index()].out
+    }
+
+    /// In-links of a page — the full backlink set.
+    pub fn in_links(&self, id: PageId) -> &[PageId] {
+        &self.pages[id.index()].inc
+    }
+
+    /// The `link:` API substitute: up to `limit` backlinks of `id`, in
+    /// insertion order (the engines return an arbitrary incomplete sample;
+    /// the paper extracted "a maximum of 100 backlinks" per page).
+    pub fn backlinks(&self, id: PageId, limit: usize) -> &[PageId] {
+        let inc = &self.pages[id.index()].inc;
+        &inc[..inc.len().min(limit)]
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when the graph has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.pages.iter().map(|p| p.out.len()).sum()
+    }
+
+    /// Iterate all page ids.
+    pub fn page_ids(&self) -> impl Iterator<Item = PageId> {
+        (0..self.pages.len()).map(|i| PageId(u32::try_from(i).expect("id fits u32")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).expect("test url parses")
+    }
+
+    #[test]
+    fn intern_dedupes() {
+        let mut g = WebGraph::new();
+        let a = g.intern(url("http://a.com/"));
+        let b = g.intern(url("http://a.com/"));
+        assert_eq!(a, b);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn add_page_stores_html() {
+        let mut g = WebGraph::new();
+        let id = g.add_page(url("http://a.com/p"), "<p>x</p>".into());
+        assert_eq!(g.html(id), Some("<p>x</p>"));
+        assert_eq!(g.url(id), &url("http://a.com/p"));
+    }
+
+    #[test]
+    fn placeholder_has_no_html() {
+        let mut g = WebGraph::new();
+        let id = g.intern(url("http://a.com/p"));
+        assert_eq!(g.html(id), None);
+    }
+
+    #[test]
+    fn links_maintain_both_directions() {
+        let mut g = WebGraph::new();
+        let hub = g.intern(url("http://hub.com/"));
+        let p1 = g.intern(url("http://a.com/f"));
+        let p2 = g.intern(url("http://b.com/f"));
+        g.add_link(hub, p1);
+        g.add_link(hub, p2);
+        assert_eq!(g.out_links(hub), &[p1, p2]);
+        assert_eq!(g.in_links(p1), &[hub]);
+        assert_eq!(g.num_links(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_deduped() {
+        let mut g = WebGraph::new();
+        let a = g.intern(url("http://a.com/"));
+        let b = g.intern(url("http://b.com/"));
+        g.add_link(a, b);
+        g.add_link(a, b);
+        assert_eq!(g.num_links(), 1);
+        assert_eq!(g.in_links(b).len(), 1);
+    }
+
+    #[test]
+    fn backlinks_respect_limit() {
+        let mut g = WebGraph::new();
+        let target = g.intern(url("http://t.com/f"));
+        for i in 0..10 {
+            let h = g.intern(url(&format!("http://h{i}.com/")));
+            g.add_link(h, target);
+        }
+        assert_eq!(g.backlinks(target, 100).len(), 10);
+        assert_eq!(g.backlinks(target, 3).len(), 3);
+        assert_eq!(g.backlinks(target, 0).len(), 0);
+    }
+
+    #[test]
+    fn page_id_lookup() {
+        let mut g = WebGraph::new();
+        let id = g.intern(url("http://a.com/x"));
+        assert_eq!(g.page_id(&url("http://a.com/x")), Some(id));
+        assert_eq!(g.page_id(&url("http://a.com/y")), None);
+    }
+
+    #[test]
+    fn page_ids_iterates_all() {
+        let mut g = WebGraph::new();
+        g.intern(url("http://a.com/"));
+        g.intern(url("http://b.com/"));
+        assert_eq!(g.page_ids().count(), 2);
+    }
+}

@@ -1,0 +1,334 @@
+//! Hub-cluster construction (§3.1 and §3.3 of the paper).
+//!
+//! A *hub* is a page with a backlink to one or more of the target form
+//! pages; the set of targets it co-cites is a *hub cluster*. The paper's
+//! pipeline, reproduced here:
+//!
+//! 1. retrieve up to `backlink_limit` backlinks per form page (the paper
+//!    used 100, via the AltaVista `link:` API);
+//! 2. for form pages with no backlinks (over 15 % in the paper's crawl),
+//!    fall back to the backlinks of the *site root* page;
+//! 3. eliminate intra-site hubs ("backlinks \[that\] belong to the same site
+//!    as the page they point to ... do not add much information");
+//! 4. deduplicate identical co-citation sets — the paper reports 3,450
+//!    distinct hub clusters;
+//! 5. drop clusters below a minimum cardinality (Figure 3 sweeps this
+//!    threshold; the headline configuration uses 8, shrinking the pool to
+//!    164 clusters and with it the greedy-selection search space).
+
+use crate::graph::{PageId, WebGraph};
+use std::collections::HashMap;
+
+/// Options controlling hub-cluster construction.
+#[derive(Debug, Clone, Copy)]
+pub struct HubClusterOptions {
+    /// Maximum backlinks retrieved per form page (paper: 100).
+    pub backlink_limit: usize,
+    /// Minimum number of co-cited form pages for a cluster to survive
+    /// (paper's headline configuration: 8). `0` or `1` disables filtering.
+    pub min_cardinality: usize,
+    /// Fall back to site-root backlinks when a page has none (paper: yes).
+    pub root_fallback: bool,
+    /// Eliminate hubs on the same site as the page they point to.
+    pub drop_intra_site: bool,
+}
+
+impl Default for HubClusterOptions {
+    fn default() -> Self {
+        HubClusterOptions {
+            backlink_limit: 100,
+            min_cardinality: 8,
+            root_fallback: true,
+            drop_intra_site: true,
+        }
+    }
+}
+
+/// A group of target form pages co-cited by (at least) one hub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HubCluster {
+    /// Indices into the `targets` slice passed to [`hub_clusters`],
+    /// sorted ascending, without duplicates.
+    pub members: Vec<usize>,
+    /// One representative hub page that induced this cluster.
+    pub hub: PageId,
+}
+
+impl HubCluster {
+    /// Cluster size.
+    pub fn cardinality(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Statistics of the construction, mirroring the numbers reported in §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HubStats {
+    /// Number of target form pages.
+    pub total_targets: usize,
+    /// Targets with zero direct backlinks (pre-fallback) — paper: >15 %.
+    pub targets_without_backlinks: usize,
+    /// Targets still uncovered after the root fallback.
+    pub targets_uncovered: usize,
+    /// Distinct co-citation sets before cardinality filtering — paper: 3,450.
+    pub distinct_clusters: usize,
+    /// Clusters surviving the cardinality filter — paper: 164 at ≥8.
+    pub clusters_after_filter: usize,
+}
+
+/// Build hub clusters for `targets` over `graph`.
+///
+/// Returns the surviving clusters (deterministic order: by first member,
+/// then lexicographically) and construction statistics.
+pub fn hub_clusters(
+    graph: &WebGraph,
+    targets: &[PageId],
+    opts: &HubClusterOptions,
+) -> (Vec<HubCluster>, HubStats) {
+    let mut stats = HubStats { total_targets: targets.len(), ..HubStats::default() };
+    // hub page -> sorted target indices
+    let mut by_hub: HashMap<PageId, Vec<usize>> = HashMap::new();
+    let mut covered = vec![false; targets.len()];
+
+    for (idx, &target) in targets.iter().enumerate() {
+        let direct = graph.backlinks(target, opts.backlink_limit);
+        let mut hubs: Vec<PageId> = direct
+            .iter()
+            .copied()
+            .filter(|&h| !opts.drop_intra_site || !graph.url(h).same_site(graph.url(target)))
+            .collect();
+        // The paper's "AltaVista returned no backlinks for over 15% of
+        // forms": no usable (external) backlink evidence before fallback.
+        if hubs.is_empty() {
+            stats.targets_without_backlinks += 1;
+        }
+        if hubs.is_empty() && opts.root_fallback {
+            // "we also retrieved backlinks to the root page of the site
+            // where the form is located"
+            let root = graph.url(target).site_root();
+            if let Some(root_id) = graph.page_id(&root) {
+                if root_id != target {
+                    hubs = graph
+                        .backlinks(root_id, opts.backlink_limit)
+                        .iter()
+                        .copied()
+                        .filter(|&h| {
+                            !opts.drop_intra_site || !graph.url(h).same_site(graph.url(target))
+                        })
+                        .collect();
+                }
+            }
+        }
+        for hub in hubs {
+            by_hub.entry(hub).or_default().push(idx);
+            covered[idx] = true;
+        }
+    }
+    stats.targets_uncovered = covered.iter().filter(|&&c| !c).count();
+
+    // Deduplicate identical member sets ("distinct sets of pages that are
+    // co-cited by a hub").
+    let mut distinct: HashMap<Vec<usize>, PageId> = HashMap::new();
+    for (hub, mut members) in by_hub {
+        members.sort_unstable();
+        members.dedup();
+        distinct.entry(members).or_insert(hub);
+    }
+    stats.distinct_clusters = distinct.len();
+
+    let min = opts.min_cardinality.max(1);
+    let mut clusters: Vec<HubCluster> = distinct
+        .into_iter()
+        .filter(|(members, _)| members.len() >= min)
+        .map(|(members, hub)| HubCluster { members, hub })
+        .collect();
+    clusters.sort_by(|a, b| a.members.cmp(&b.members));
+    stats.clusters_after_filter = clusters.len();
+    (clusters, stats)
+}
+
+/// Fraction of clusters whose members all carry the same label — the
+/// paper's hub-cluster homogeneity measure ("69 % were homogeneous").
+///
+/// `labels[i]` is the gold class of target `i`. Returns `None` when there
+/// are no clusters.
+pub fn homogeneity<L: PartialEq>(clusters: &[HubCluster], labels: &[L]) -> Option<f64> {
+    if clusters.is_empty() {
+        return None;
+    }
+    let homogeneous = clusters
+        .iter()
+        .filter(|c| {
+            let first = &labels[c.members[0]];
+            c.members.iter().all(|&m| &labels[m] == first)
+        })
+        .count();
+    Some(homogeneous as f64 / clusters.len() as f64)
+}
+
+/// Number of distinct labels that appear in at least one *homogeneous*
+/// cluster — the paper's "representative homogeneous hub clusters in all
+/// domains" check.
+pub fn domains_covered<L: PartialEq + Clone>(clusters: &[HubCluster], labels: &[L]) -> usize {
+    let mut seen: Vec<L> = Vec::new();
+    for c in clusters {
+        let first = &labels[c.members[0]];
+        if c.members.iter().all(|&m| &labels[m] == first) && !seen.contains(first) {
+            seen.push(first.clone());
+        }
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::url::Url;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).expect("test url parses")
+    }
+
+    /// Graph: two hubs; hub1 -> t0,t1 ; hub2 -> t1,t2 ; t3 has no backlinks
+    /// but its site root does (hub2 -> root3).
+    fn fixture() -> (WebGraph, Vec<PageId>) {
+        let mut g = WebGraph::new();
+        let t0 = g.intern(url("http://s0.com/form"));
+        let t1 = g.intern(url("http://s1.com/form"));
+        let t2 = g.intern(url("http://s2.com/form"));
+        let t3 = g.intern(url("http://s3.com/form"));
+        let root3 = g.intern(url("http://s3.com/"));
+        let hub1 = g.intern(url("http://hub1.com/dir"));
+        let hub2 = g.intern(url("http://hub2.com/dir"));
+        g.add_link(hub1, t0);
+        g.add_link(hub1, t1);
+        g.add_link(hub2, t1);
+        g.add_link(hub2, t2);
+        g.add_link(hub2, root3);
+        (g, vec![t0, t1, t2, t3])
+    }
+
+    fn opts(min: usize) -> HubClusterOptions {
+        HubClusterOptions { min_cardinality: min, ..HubClusterOptions::default() }
+    }
+
+    #[test]
+    fn co_citation_groups() {
+        let (g, targets) = fixture();
+        let (clusters, stats) = hub_clusters(&g, &targets, &opts(1));
+        // hub1 co-cites {0,1}; hub2 co-cites {1,2,3} (3 via root fallback).
+        let sets: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
+        assert!(sets.contains(&vec![0, 1]), "sets = {sets:?}");
+        assert!(sets.contains(&vec![1, 2, 3]), "sets = {sets:?}");
+        assert_eq!(stats.total_targets, 4);
+        assert_eq!(stats.targets_without_backlinks, 1); // t3
+        assert_eq!(stats.targets_uncovered, 0);
+        assert_eq!(stats.distinct_clusters, 2);
+    }
+
+    #[test]
+    fn root_fallback_can_be_disabled() {
+        let (g, targets) = fixture();
+        let o = HubClusterOptions { root_fallback: false, ..opts(1) };
+        let (clusters, stats) = hub_clusters(&g, &targets, &o);
+        let sets: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
+        assert!(sets.contains(&vec![1, 2]), "sets = {sets:?}");
+        assert!(!sets.iter().any(|s| s.contains(&3)));
+        assert_eq!(stats.targets_uncovered, 1);
+    }
+
+    #[test]
+    fn intra_site_hubs_eliminated() {
+        let mut g = WebGraph::new();
+        let t = g.intern(url("http://s.com/form"));
+        let nav = g.intern(url("http://s.com/nav")); // same site
+        let ext = g.intern(url("http://other.com/links"));
+        g.add_link(nav, t);
+        g.add_link(ext, t);
+        let (clusters, _) = hub_clusters(&g, &[t], &opts(1));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].hub, ext);
+    }
+
+    #[test]
+    fn intra_site_elimination_can_be_disabled() {
+        let mut g = WebGraph::new();
+        let t = g.intern(url("http://s.com/form"));
+        let nav = g.intern(url("http://s.com/nav"));
+        g.add_link(nav, t);
+        let o = HubClusterOptions { drop_intra_site: false, ..opts(1) };
+        let (clusters, _) = hub_clusters(&g, &[t], &o);
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn cardinality_filter() {
+        let (g, targets) = fixture();
+        let (clusters, stats) = hub_clusters(&g, &targets, &opts(3));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members, vec![1, 2, 3]);
+        assert_eq!(stats.distinct_clusters, 2);
+        assert_eq!(stats.clusters_after_filter, 1);
+    }
+
+    #[test]
+    fn duplicate_cocitation_sets_deduped() {
+        let mut g = WebGraph::new();
+        let t0 = g.intern(url("http://s0.com/f"));
+        let t1 = g.intern(url("http://s1.com/f"));
+        let h1 = g.intern(url("http://h1.com/"));
+        let h2 = g.intern(url("http://h2.com/"));
+        for h in [h1, h2] {
+            g.add_link(h, t0);
+            g.add_link(h, t1);
+        }
+        let (clusters, stats) = hub_clusters(&g, &[t0, t1], &opts(1));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(stats.distinct_clusters, 1);
+    }
+
+    #[test]
+    fn backlink_limit_respected() {
+        let mut g = WebGraph::new();
+        let t = g.intern(url("http://t.com/f"));
+        for i in 0..5 {
+            let h = g.intern(url(&format!("http://h{i}.com/")));
+            g.add_link(h, t);
+        }
+        let o = HubClusterOptions { backlink_limit: 2, ..opts(1) };
+        let (clusters, _) = hub_clusters(&g, &[t], &o);
+        // Only the first 2 backlinks are seen, each inducing the singleton
+        // {0}; dedup collapses them to one cluster.
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn homogeneity_measure() {
+        let clusters = vec![
+            HubCluster { members: vec![0, 1], hub: PageId(0) },
+            HubCluster { members: vec![2, 3], hub: PageId(1) },
+        ];
+        let labels = ["a", "a", "a", "b"];
+        assert_eq!(homogeneity(&clusters, &labels), Some(0.5));
+        assert_eq!(homogeneity::<&str>(&[], &labels), None);
+    }
+
+    #[test]
+    fn domains_covered_counts_homogeneous_only() {
+        let clusters = vec![
+            HubCluster { members: vec![0, 1], hub: PageId(0) }, // homogeneous "a"
+            HubCluster { members: vec![2, 3], hub: PageId(1) }, // mixed
+            HubCluster { members: vec![3], hub: PageId(2) },    // homogeneous "b"
+        ];
+        let labels = ["a", "a", "a", "b"];
+        assert_eq!(domains_covered(&clusters, &labels), 2);
+    }
+
+    #[test]
+    fn empty_targets() {
+        let g = WebGraph::new();
+        let (clusters, stats) = hub_clusters(&g, &[], &opts(1));
+        assert!(clusters.is_empty());
+        assert_eq!(stats.total_targets, 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # cafc-webgraph
+//!
+//! The hyperlink substrate for CAFC-CH. The paper obtains link structure
+//! from the `link:` facility of search engines (AltaVista/Google/Yahoo) and
+//! "crawls backward one step" from each form page; this crate provides the
+//! equivalent machinery over an in-memory web graph:
+//!
+//! * a minimal [`url::Url`] type with site identity and relative resolution;
+//! * a [`graph::WebGraph`] arena of pages and directed links with an
+//!   incrementally maintained backlink index (the `link:` API substitute);
+//! * [`hub`] — construction of *hub clusters*: groups of target form pages
+//!   co-cited by a common backlink, after intra-site hub elimination and
+//!   with the paper's root-page fallback for pages without backlinks (§3.1),
+//!   plus the cardinality filtering and homogeneity statistics of §3.3/§4.2.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod hits;
+pub mod hub;
+pub mod url;
+
+pub use graph::{PageId, WebGraph};
+pub use hits::{hits, HitsOptions, HitsScores};
+pub use hub::{hub_clusters, HubCluster, HubClusterOptions, HubStats};
+pub use url::Url;

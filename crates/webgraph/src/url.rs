@@ -1,0 +1,234 @@
+//! A minimal URL type sufficient for web-graph bookkeeping.
+//!
+//! We need exactly three things from URLs: a canonical string identity for
+//! page lookup, *site* identity (host) for intra-site hub elimination and
+//! the root-page fallback of §3.1, and relative-reference resolution for the
+//! crawler. Full RFC 3986 generality (userinfo, IPv6 literals, ports in
+//! site identity, percent-encoding normalization) is intentionally out of
+//! scope; the synthetic web only produces `http`/`https` URLs of the shape
+//! `scheme://host/path?query`.
+
+use std::fmt;
+
+/// A parsed absolute URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Url {
+    scheme: String,
+    host: String,
+    /// Always begins with `/`; includes the query string if any.
+    path: String,
+}
+
+impl Url {
+    /// Parse an absolute URL. Returns `None` unless it has an `http` or
+    /// `https` scheme and a non-empty host.
+    pub fn parse(s: &str) -> Option<Url> {
+        let s = s.trim();
+        let (scheme, rest) = s.split_once("://")?;
+        let scheme = scheme.to_ascii_lowercase();
+        if scheme != "http" && scheme != "https" {
+            return None;
+        }
+        // Strip fragment.
+        let rest = rest.split('#').next().unwrap_or(rest);
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if host.is_empty() || host.contains(char::is_whitespace) {
+            return None;
+        }
+        Some(Url {
+            scheme,
+            host: host.to_ascii_lowercase(),
+            path: if path.is_empty() { "/".to_owned() } else { path.to_owned() },
+        })
+    }
+
+    /// Build a URL from parts (used by the synthetic-web generator).
+    ///
+    /// # Panics
+    /// Panics if the parts do not form a parseable URL.
+    pub fn from_parts(scheme: &str, host: &str, path: &str) -> Url {
+        let path = if path.starts_with('/') { path.to_owned() } else { format!("/{path}") };
+        Url::parse(&format!("{scheme}://{host}{path}")).expect("valid URL parts")
+    }
+
+    /// The scheme (`http` or `https`).
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// The lowercased host — the paper's notion of *site*.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Path plus query, starting with `/`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The site root page (`scheme://host/`) — the fallback target when a
+    /// form page has no backlinks (§3.1).
+    pub fn site_root(&self) -> Url {
+        Url { scheme: self.scheme.clone(), host: self.host.clone(), path: "/".to_owned() }
+    }
+
+    /// Whether two URLs belong to the same site (same host).
+    pub fn same_site(&self, other: &Url) -> bool {
+        self.host == other.host
+    }
+
+    /// True if this URL *is* a site root.
+    pub fn is_site_root(&self) -> bool {
+        self.path == "/"
+    }
+
+    /// Resolve an `href` against this base URL (crawler support).
+    ///
+    /// Handles absolute URLs, host-relative (`/a/b`), directory-relative
+    /// (`a/b`, resolved against the base path's directory) and
+    /// protocol-relative (`//host/p`) references. Returns `None` for
+    /// non-http(s) schemes (`mailto:`, `javascript:`) and empty hrefs.
+    pub fn resolve(&self, href: &str) -> Option<Url> {
+        let href = href.trim();
+        if href.is_empty() || href.starts_with('#') {
+            return None;
+        }
+        if let Some(rest) = href.strip_prefix("//") {
+            return Url::parse(&format!("{}://{}", self.scheme, rest));
+        }
+        if href.contains("://") {
+            return Url::parse(href);
+        }
+        if let Some(scheme_end) = href.find(':') {
+            // A scheme like mailto:/javascript: (colon before any slash).
+            if !href[..scheme_end].contains('/') {
+                return None;
+            }
+        }
+        if href.starts_with('/') {
+            return Url::parse(&format!("{}://{}{}", self.scheme, self.host, href));
+        }
+        // Directory-relative: replace everything after the last '/' of the
+        // base path (query dropped first).
+        let base_path = self.path.split('?').next().unwrap_or("/");
+        let dir_end = base_path.rfind('/').unwrap_or(0);
+        let dir = &base_path[..=dir_end];
+        Url::parse(&format!("{}://{}{}{}", self.scheme, self.host, dir, href))
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme, self.host, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let u = Url::parse("http://example.com/jobs/search?q=1").expect("parses");
+        assert_eq!(u.scheme(), "http");
+        assert_eq!(u.host(), "example.com");
+        assert_eq!(u.path(), "/jobs/search?q=1");
+    }
+
+    #[test]
+    fn parse_no_path_gets_slash() {
+        let u = Url::parse("https://example.com").expect("parses");
+        assert_eq!(u.path(), "/");
+        assert!(u.is_site_root());
+    }
+
+    #[test]
+    fn host_lowercased() {
+        let u = Url::parse("http://Example.COM/X").expect("parses");
+        assert_eq!(u.host(), "example.com");
+        assert_eq!(u.path(), "/X"); // path case preserved
+    }
+
+    #[test]
+    fn fragment_stripped() {
+        let u = Url::parse("http://a.com/p#frag").expect("parses");
+        assert_eq!(u.path(), "/p");
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        assert!(Url::parse("ftp://a.com/x").is_none());
+        assert!(Url::parse("mailto:me@a.com").is_none());
+        assert!(Url::parse("not a url").is_none());
+        assert!(Url::parse("http:///nohost").is_none());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let s = "http://a.com/b?c=d";
+        assert_eq!(Url::parse(s).expect("parses").to_string(), s);
+    }
+
+    #[test]
+    fn site_root_and_same_site() {
+        let a = Url::parse("http://a.com/deep/page").expect("parses");
+        let b = Url::parse("http://a.com/other").expect("parses");
+        let c = Url::parse("http://c.com/other").expect("parses");
+        assert!(a.same_site(&b));
+        assert!(!a.same_site(&c));
+        assert_eq!(a.site_root().to_string(), "http://a.com/");
+    }
+
+    #[test]
+    fn resolve_absolute() {
+        let base = Url::parse("http://a.com/x/y").expect("parses");
+        assert_eq!(
+            base.resolve("http://b.com/z").expect("resolves").to_string(),
+            "http://b.com/z"
+        );
+    }
+
+    #[test]
+    fn resolve_host_relative() {
+        let base = Url::parse("http://a.com/x/y").expect("parses");
+        assert_eq!(base.resolve("/z").expect("resolves").to_string(), "http://a.com/z");
+    }
+
+    #[test]
+    fn resolve_dir_relative() {
+        let base = Url::parse("http://a.com/x/y").expect("parses");
+        assert_eq!(base.resolve("z.html").expect("resolves").to_string(), "http://a.com/x/z.html");
+        let root = Url::parse("http://a.com/").expect("parses");
+        assert_eq!(root.resolve("z").expect("resolves").to_string(), "http://a.com/z");
+    }
+
+    #[test]
+    fn resolve_protocol_relative() {
+        let base = Url::parse("https://a.com/p").expect("parses");
+        assert_eq!(base.resolve("//b.com/q").expect("resolves").to_string(), "https://b.com/q");
+    }
+
+    #[test]
+    fn resolve_rejects_script_and_fragment() {
+        let base = Url::parse("http://a.com/p").expect("parses");
+        assert!(base.resolve("javascript:void(0)").is_none());
+        assert!(base.resolve("mailto:x@y.com").is_none());
+        assert!(base.resolve("#top").is_none());
+        assert!(base.resolve("").is_none());
+    }
+
+    #[test]
+    fn resolve_relative_with_base_query() {
+        let base = Url::parse("http://a.com/dir/page?x=1").expect("parses");
+        assert_eq!(base.resolve("next").expect("resolves").to_string(), "http://a.com/dir/next");
+    }
+
+    #[test]
+    fn from_parts() {
+        let u = Url::from_parts("http", "site0.example.org", "forms/1.html");
+        assert_eq!(u.to_string(), "http://site0.example.org/forms/1.html");
+    }
+}

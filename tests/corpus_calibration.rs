@@ -1,0 +1,86 @@
+//! Calibration tests: the synthetic corpus must reproduce the statistics
+//! the paper reports for its real-web data (DESIGN.md §2's substitution
+//! contract). These run at paper scale, so they are release-friendly but
+//! kept to a handful of assertions.
+
+use cafc_corpus::{generate, table1, CorpusConfig};
+use cafc_webgraph::hub::{domains_covered, homogeneity, hub_clusters};
+use cafc_webgraph::HubClusterOptions;
+
+#[test]
+fn paper_scale_corpus_statistics() {
+    let web = generate(&CorpusConfig::default());
+    let targets = web.form_page_ids();
+    let labels = web.labels();
+
+    // 454 pages, 56 single-attribute (§4.1).
+    assert_eq!(targets.len(), 454);
+    assert_eq!(web.form_pages.iter().filter(|r| r.single_attribute).count(), 56);
+
+    // Hub statistics (§3.1): thousands of distinct clusters, ~69 %
+    // homogeneous, representative homogeneous clusters in all domains,
+    // >15 % of pages without usable backlinks.
+    let (clusters, stats) = hub_clusters(
+        &web.graph,
+        &targets,
+        &HubClusterOptions { min_cardinality: 1, ..Default::default() },
+    );
+    assert!(
+        (2500..=4500).contains(&stats.distinct_clusters),
+        "distinct clusters {} out of the paper's ballpark",
+        stats.distinct_clusters
+    );
+    let h = homogeneity(&clusters, &labels).expect("clusters exist");
+    assert!((0.60..=0.80).contains(&h), "homogeneity {h} not ~69%");
+    assert_eq!(domains_covered(&clusters, &labels), 8);
+    let frac = stats.targets_without_backlinks as f64 / stats.total_targets as f64;
+    assert!((0.12..=0.25).contains(&frac), "backlinkless fraction {frac} not >15%");
+
+    // Cardinality filtering shrinks the candidate pool drastically (§3.3).
+    let (_, stats8) = hub_clusters(&web.graph, &targets, &HubClusterOptions::default());
+    assert!(
+        stats8.clusters_after_filter * 4 < stats.distinct_clusters,
+        "min-cardinality filter barely pruned: {} of {}",
+        stats8.clusters_after_filter,
+        stats.distinct_clusters
+    );
+}
+
+#[test]
+fn table1_anticorrelation_at_paper_scale() {
+    let web = generate(&CorpusConfig::default());
+    let htmls: Vec<&str> = web
+        .form_pages
+        .iter()
+        .map(|r| web.graph.html(r.page).expect("form pages carry HTML"))
+        .collect();
+    let rows = table1(htmls.iter().copied());
+    assert_eq!(rows.iter().map(|r| r.pages).sum::<usize>(), 454);
+    // Every bin is populated.
+    for row in &rows {
+        assert!(row.pages > 0, "bin {} empty", row.bin);
+    }
+    // Tiny forms sit on content-rich pages; huge forms on sparse ones.
+    assert!(rows[0].avg_page_terms > 2.0 * rows[4].avg_page_terms);
+    // The middle rows are in the paper's range (131 / 76 / 83 ± generous
+    // tolerance: these are averages over random budgets).
+    assert!((90.0..=200.0).contains(&rows[1].avg_page_terms), "{:?}", rows[1]);
+    assert!((50.0..=130.0).contains(&rows[2].avg_page_terms), "{:?}", rows[2]);
+    assert!((50.0..=140.0).contains(&rows[3].avg_page_terms), "{:?}", rows[3]);
+}
+
+#[test]
+fn generation_is_reproducible() {
+    let a = generate(&CorpusConfig::default());
+    let b = generate(&CorpusConfig::default());
+    assert_eq!(a.graph.len(), b.graph.len());
+    assert_eq!(a.graph.num_links(), b.graph.num_links());
+    // Spot-check page contents byte-for-byte.
+    for i in [0usize, 100, 453] {
+        assert_eq!(
+            a.graph.html(a.form_pages[i].page),
+            b.graph.html(b.form_pages[i].page),
+            "page {i} differs between runs"
+        );
+    }
+}

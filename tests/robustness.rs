@@ -1,0 +1,123 @@
+//! Failure-injection integration tests: the pipeline must degrade
+//! gracefully on pathological inputs — placeholder pages without content,
+//! empty documents, pages without forms, enormous inputs — because a real
+//! crawl contains all of these.
+
+use cafc::{
+    cafc_c, cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace,
+    HubClusterOptions, KMeansOptions, ModelOptions,
+};
+use cafc_webgraph::{Url, WebGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn url(s: &str) -> Url {
+    Url::parse(s).expect("test url parses")
+}
+
+/// A graph whose "form pages" are a mix of healthy and broken documents.
+fn pathological_graph() -> (WebGraph, Vec<cafc_webgraph::PageId>) {
+    let mut g = WebGraph::new();
+    let healthy1 = g.add_page(
+        url("http://ok1.com/f"),
+        "<title>Flights</title><p>airfare travel flights</p><form>departure <input name=a></form>"
+            .into(),
+    );
+    let healthy2 = g.add_page(
+        url("http://ok2.com/f"),
+        "<p>careers employment salary</p><form>keywords <input name=b></form>".into(),
+    );
+    // No HTML at all (placeholder page).
+    let ghost = g.intern(url("http://ghost.com/f"));
+    // Empty document.
+    let empty = g.add_page(url("http://empty.com/f"), String::new());
+    // Document with no form.
+    let formless = g.add_page(url("http://formless.com/f"), "<p>just text, no form</p>".into());
+    // Malformed tag soup.
+    let soup = g.add_page(
+        url("http://soup.com/f"),
+        "<form><<<select><option>x<div></form></p><input".into(),
+    );
+    // Huge page (100k of text).
+    let huge = g.add_page(
+        url("http://huge.com/f"),
+        format!("<p>{}</p><form><input name=q></form>", "word ".repeat(20_000)),
+    );
+    (g, vec![healthy1, healthy2, ghost, empty, formless, soup, huge])
+}
+
+#[test]
+fn model_construction_never_panics_on_broken_pages() {
+    let (g, targets) = pathological_graph();
+    let corpus = FormPageCorpus::from_graph(&g, &targets, &ModelOptions::default());
+    assert_eq!(corpus.len(), targets.len());
+    // Broken pages produce empty or tiny vectors, not crashes.
+    assert!(corpus.pc[2].is_empty(), "ghost page must have an empty PC vector");
+    assert!(corpus.pc[3].is_empty(), "empty page must have an empty PC vector");
+}
+
+#[test]
+fn clustering_handles_empty_vectors() {
+    let (g, targets) = pathological_graph();
+    let corpus = FormPageCorpus::from_graph(&g, &targets, &ModelOptions::default());
+    let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+    let mut rng = StdRng::seed_from_u64(1);
+    let out = cafc_c(&space, 3, &KMeansOptions::default(), &mut rng);
+    assert_eq!(out.partition.num_assigned(), targets.len());
+}
+
+#[test]
+fn cafc_ch_without_any_backlinks_pads_seeds() {
+    let (g, targets) = pathological_graph();
+    let corpus = FormPageCorpus::from_graph(&g, &targets, &ModelOptions::default());
+    let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+    let config = CafcChConfig {
+        k: 3,
+        hub: HubClusterOptions { min_cardinality: 1, ..Default::default() },
+        kmeans: KMeansOptions::default(),
+        min_hub_quality: None,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let out = cafc_ch(&g, &targets, &space, &config, &mut rng);
+    assert_eq!(out.hub_seeds, 0, "no hubs exist in this graph");
+    assert_eq!(out.padded_seeds, 3);
+    assert_eq!(out.outcome.partition.num_assigned(), targets.len());
+}
+
+#[test]
+fn anchor_extension_tolerates_linkless_pages() {
+    let (g, targets) = pathological_graph();
+    let corpus = FormPageCorpus::from_graph_with_anchors(&g, &targets, &ModelOptions::default());
+    assert!(corpus.anchor.iter().all(cafc_vsm::SparseVector::is_empty));
+}
+
+#[test]
+fn single_page_corpus() {
+    let mut g = WebGraph::new();
+    let p = g.add_page(url("http://solo.com/f"), "<form>q <input name=q></form>".into());
+    let corpus = FormPageCorpus::from_graph(&g, &[p], &ModelOptions::default());
+    let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+    let mut rng = StdRng::seed_from_u64(3);
+    let out = cafc_c(&space, 1, &KMeansOptions::default(), &mut rng);
+    assert_eq!(out.partition.clusters(), &[vec![0]]);
+}
+
+#[test]
+fn identical_pages_cluster_together() {
+    let mut g = WebGraph::new();
+    let html = "<p>airfare flights travel</p><form>departure <input name=a></form>";
+    let distinct = "<p>careers salary employment</p><form>keywords <input name=b></form>";
+    let mut targets = Vec::new();
+    for i in 0..4 {
+        targets.push(g.add_page(url(&format!("http://dup{i}.com/f")), html.into()));
+    }
+    targets.push(g.add_page(url("http://other.com/f"), distinct.into()));
+    let corpus = FormPageCorpus::from_graph(&g, &targets, &ModelOptions::default());
+    let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+    let mut rng = StdRng::seed_from_u64(4);
+    let out = cafc_c(&space, 2, &KMeansOptions::default(), &mut rng);
+    // The four duplicates must share a cluster.
+    let assignments = out.partition.assignments();
+    let first = assignments[0];
+    assert!(assignments[..4].iter().all(|&a| a == first), "{assignments:?}");
+}
