@@ -42,7 +42,10 @@ fn main() {
             .map(|r| {
                 let mut rng = StdRng::seed_from_u64(r);
                 let seeds = kmeanspp_seeds(&space, K, &mut rng);
-                quality(&kmeans(&space, &seeds, &KMeansOptions::default()).partition, &bench.labels)
+                quality(
+                    &kmeans(&space, &seeds, &KMeansOptions::default()).partition,
+                    &bench.labels,
+                )
             })
             .collect::<Vec<_>>(),
     );
@@ -55,7 +58,10 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(r);
                 let p = bisecting_kmeans(
                     &space,
-                    &BisectOptions { target_clusters: K, ..Default::default() },
+                    &BisectOptions {
+                        target_clusters: K,
+                        ..Default::default()
+                    },
                     &mut rng,
                 );
                 quality(&p, &bench.labels)
@@ -68,7 +74,10 @@ fn main() {
     let hac_q = quality(
         &hac_from_singletons(
             &space,
-            &HacOptions { target_clusters: K, linkage: Linkage::Average },
+            &HacOptions {
+                target_clusters: K,
+                linkage: Linkage::Average,
+            },
         ),
         &bench.labels,
     );

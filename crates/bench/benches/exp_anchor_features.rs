@@ -18,7 +18,11 @@ fn main() {
     let plain = FormPageSpace::new(&bench.corpus_anchors, FeatureConfig::combined());
     let with_anchor = FormPageSpace::new(
         &bench.corpus_anchors,
-        FeatureConfig::WithAnchors { c1: 1.0, c2: 1.0, c3: 1.0 },
+        FeatureConfig::WithAnchors {
+            c1: 1.0,
+            c2: 1.0,
+            c3: 1.0,
+        },
     );
 
     let mut results = Vec::new();

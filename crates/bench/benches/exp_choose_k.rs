@@ -28,7 +28,10 @@ fn main() {
     let bench = Bench::paper_scale();
     let space = bench.space(FeatureConfig::combined());
 
-    println!("{:>4} {:>12} {:>10} {:>8}", "k", "silhouette", "entropy", "F");
+    println!(
+        "{:>4} {:>12} {:>10} {:>8}",
+        "k", "silhouette", "entropy", "F"
+    );
     let mut rows = Vec::new();
     for k in 2..=16 {
         let config = CafcChConfig {
@@ -41,8 +44,16 @@ fn main() {
         let out = cafc_ch(&bench.web.graph, &bench.targets, &space, &config, &mut rng);
         let sil = mean_silhouette(&space, &out.outcome.partition);
         let q = quality(&out.outcome.partition, &bench.labels);
-        println!("{:>4} {:>12.4} {:>10.3} {:>8.3}", k, sil, q.entropy, q.f_measure);
-        rows.push(Row { k, silhouette: sil, entropy: q.entropy, f_measure: q.f_measure });
+        println!(
+            "{:>4} {:>12.4} {:>10.3} {:>8.3}",
+            k, sil, q.entropy, q.f_measure
+        );
+        rows.push(Row {
+            k,
+            silhouette: sil,
+            entropy: q.entropy,
+            f_measure: q.f_measure,
+        });
     }
 
     let best = rows
@@ -52,7 +63,11 @@ fn main() {
     println!(
         "\nsilhouette-optimal k = {} (true domain count: 8){}",
         best.k,
-        if (7..=9).contains(&best.k) { " -> recovered" } else { "" }
+        if (7..=9).contains(&best.k) {
+            " -> recovered"
+        } else {
+            ""
+        }
     );
     cafc_bench::write_json("exp_choose_k", &rows);
 }

@@ -35,14 +35,23 @@ fn main() {
     println!("{}", matrix.to_table());
 
     let wrong = misclustered(clusters, &bench.labels);
-    println!("misclustered pages: {} / {}", wrong.len(), bench.labels.len());
+    println!(
+        "misclustered pages: {} / {}",
+        wrong.len(),
+        bench.labels.len()
+    );
     let wrong_single = wrong
         .iter()
         .filter(|&&i| bench.web.form_pages[i].single_attribute)
         .count();
     println!(
         "  of which single-attribute: {wrong_single} ({} single-attribute pages total)",
-        bench.web.form_pages.iter().filter(|r| r.single_attribute).count()
+        bench
+            .web
+            .form_pages
+            .iter()
+            .filter(|r| r.single_attribute)
+            .count()
     );
 
     // Cross-domain confusion counts between every ordered pair.
@@ -74,9 +83,14 @@ fn main() {
         })
         .map(|&(_, _, n)| n)
         .sum();
-    println!("\nMusic<->Movie confusions: {music_movie} of {} total", wrong.len());
+    println!(
+        "\nMusic<->Movie confusions: {music_movie} of {} total",
+        wrong.len()
+    );
 
-    let top = pairs.first().map(|&(a, b, n)| (a.name().to_owned(), b.name().to_owned(), n));
+    let top = pairs
+        .first()
+        .map(|&(a, b, n)| (a.name().to_owned(), b.name().to_owned(), n));
     cafc_bench::write_json(
         "exp_error_analysis",
         &ErrorReport {

@@ -21,10 +21,17 @@ fn main() {
     let hac_partition = hac(
         &space,
         &[],
-        &HacOptions { target_clusters: K, linkage: Linkage::Average },
+        &HacOptions {
+            target_clusters: K,
+            linkage: Linkage::Average,
+        },
     );
-    let seeds: Vec<Vec<usize>> =
-        hac_partition.clusters().iter().filter(|c| !c.is_empty()).cloned().collect();
+    let seeds: Vec<Vec<usize>> = hac_partition
+        .clusters()
+        .iter()
+        .filter(|c| !c.is_empty())
+        .cloned()
+        .collect();
     let out = kmeans(&space, &seeds, &KMeansOptions::default());
     let hac_seeded = quality(&out.partition, &bench.labels);
     print_row("HAC-seeded k-means", &hac_seeded);

@@ -30,14 +30,23 @@ fn main() {
     // Baseline: ungated CAFC-CH.
     let base_cfg = CafcChConfig::paper_default(K);
     let mut rng = StdRng::seed_from_u64(0x9B);
-    let base = cafc_ch(&bench.web.graph, &bench.targets, &space, &base_cfg, &mut rng);
+    let base = cafc_ch(
+        &bench.web.graph,
+        &bench.targets,
+        &space,
+        &base_cfg,
+        &mut rng,
+    );
     let base_q = quality(&base.outcome.partition, &bench.labels);
     print_row("ungated", &base_q);
     rows.push(("ungated".to_owned(), base_q));
 
     // Content-coherence gate at several thresholds.
     for threshold in [0.05, 0.10, 0.15, 0.20] {
-        let cfg = CafcChConfig { min_hub_quality: Some(threshold), ..base_cfg.clone() };
+        let cfg = CafcChConfig {
+            min_hub_quality: Some(threshold),
+            ..base_cfg.clone()
+        };
         let mut rng = StdRng::seed_from_u64(0x9B);
         let out = cafc_ch(&bench.web.graph, &bench.targets, &space, &cfg, &mut rng);
         let q = quality(&out.outcome.partition, &bench.labels);
@@ -48,8 +57,11 @@ fn main() {
 
     // HITS gate: keep only clusters induced by the top-H hubs.
     let scores = hits(&bench.web.graph, &HitsOptions::default());
-    let (all_clusters, _) =
-        hub_clusters(&bench.web.graph, &bench.targets, &HubClusterOptions::default());
+    let (all_clusters, _) = hub_clusters(
+        &bench.web.graph,
+        &bench.targets,
+        &HubClusterOptions::default(),
+    );
     for keep_frac in [0.5, 0.25] {
         let mut ranked: Vec<_> = all_clusters.iter().collect();
         ranked.sort_by(|a, b| {
@@ -59,8 +71,11 @@ fn main() {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let keep = ((ranked.len() as f64 * keep_frac) as usize).max(K);
-        let candidates: Vec<Vec<usize>> =
-            ranked.iter().take(keep).map(|c| c.members.clone()).collect();
+        let candidates: Vec<Vec<usize>> = ranked
+            .iter()
+            .take(keep)
+            .map(|c| c.members.clone())
+            .collect();
         // Greedy selection + k-means over the gated pool.
         let selected = cafc_cluster::greedy_distant_seeds(&space, &candidates, K);
         let seeds: Vec<Vec<usize>> = selected.iter().map(|&i| candidates[i].clone()).collect();

@@ -32,11 +32,17 @@ fn main() {
     let (all, stats) = hub_clusters(
         &bench.web.graph,
         &bench.targets,
-        &HubClusterOptions { min_cardinality: 1, ..HubClusterOptions::default() },
+        &HubClusterOptions {
+            min_cardinality: 1,
+            ..HubClusterOptions::default()
+        },
     );
     let homog = homogeneity(&all, &bench.labels).unwrap_or(0.0);
     let domains = domains_covered(&all, &bench.labels);
-    println!("distinct hub clusters:            {}", stats.distinct_clusters);
+    println!(
+        "distinct hub clusters:            {}",
+        stats.distinct_clusters
+    );
     println!("homogeneous:                      {:.1}%", homog * 100.0);
     println!("domains with homogeneous cluster: {domains} / 8");
     println!(
@@ -45,10 +51,20 @@ fn main() {
         stats.total_targets,
         100.0 * stats.targets_without_backlinks as f64 / stats.total_targets as f64
     );
-    println!("pages uncovered after fallback:   {}", stats.targets_uncovered);
+    println!(
+        "pages uncovered after fallback:   {}",
+        stats.targets_uncovered
+    );
 
-    let (at8, s8) = hub_clusters(&bench.web.graph, &bench.targets, &HubClusterOptions::default());
-    println!("clusters at min cardinality 8:    {}", s8.clusters_after_filter);
+    let (at8, s8) = hub_clusters(
+        &bench.web.graph,
+        &bench.targets,
+        &HubClusterOptions::default(),
+    );
+    println!(
+        "clusters at min cardinality 8:    {}",
+        s8.clusters_after_filter
+    );
 
     // The paper's observation about very large clusters: ≥14 members cover
     // few domains.

@@ -25,8 +25,7 @@ fn main() {
 
     let mut results = Vec::new();
     for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let mixed =
-            MixedSimilaritySpace::new(text, &bench.web.graph, &bench.targets, 100, alpha);
+        let mixed = MixedSimilaritySpace::new(text, &bench.web.graph, &bench.targets, 100, alpha);
         let qs: Vec<_> = (0..10)
             .map(|run| {
                 let mut rng = StdRng::seed_from_u64(0xA1FA + run);
@@ -52,14 +51,22 @@ fn main() {
     let best_alpha = results
         .iter()
         .filter(|(n, _)| n.starts_with("alpha"))
-        .min_by(|a, b| a.1.entropy.partial_cmp(&b.1.entropy).expect("finite entropies"))
+        .min_by(|a, b| {
+            a.1.entropy
+                .partial_cmp(&b.1.entropy)
+                .expect("finite entropies")
+        })
         .expect("non-empty sweep");
     println!(
         "\nbest mixed alpha: {} (entropy {:.3}) vs CAFC-CH entropy {:.3} -> reinforcement {}",
         best_alpha.0,
         best_alpha.1.entropy,
         ch.entropy,
-        if ch.entropy <= best_alpha.1.entropy + 0.02 { "CONFIRMED" } else { "NOT confirmed" }
+        if ch.entropy <= best_alpha.1.entropy + 0.02 {
+            "CONFIRMED"
+        } else {
+            "NOT confirmed"
+        }
     );
     cafc_bench::write_json("exp_mixed_similarity", &results);
 }

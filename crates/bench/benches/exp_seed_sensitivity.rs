@@ -31,7 +31,10 @@ fn main() {
     );
     let mut rows = Vec::new();
     for corpus_seed in [3u64, 11, 22, 33, 44] {
-        let bench = Bench::with_config(&CorpusConfig { seed: corpus_seed, ..Default::default() });
+        let bench = Bench::with_config(&CorpusConfig {
+            seed: corpus_seed,
+            ..Default::default()
+        });
         let space = bench.space(FeatureConfig::combined());
         let c = run_cafc_c_avg(&space, &bench.labels, 0x5E);
         let (ch, _) = run_cafc_ch(&bench, &space, 8, 0x5E);
@@ -60,7 +63,9 @@ fn main() {
     let spread = rows
         .iter()
         .map(|r| r.cafc_ch_entropy)
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
+        });
     println!(
         "\nCAFC-CH entropy across realizations: mean {:.3}, range [{:.3}, {:.3}]",
         mean_ch, spread.0, spread.1

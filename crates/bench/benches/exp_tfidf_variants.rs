@@ -34,7 +34,11 @@ fn main() {
             let corpus = FormPageCorpus::from_graph(
                 &bench.web.graph,
                 &bench.targets,
-                &ModelOptions { tf, idf, ..ModelOptions::default() },
+                &ModelOptions {
+                    tf,
+                    idf,
+                    ..ModelOptions::default()
+                },
             );
             let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
             let (q, _) = run_cafc_ch(&bench, &space, 8, 0x7F1D);
@@ -43,9 +47,15 @@ fn main() {
         }
     }
 
-    let baseline = rows.iter().find(|(n, _)| n == "raw/plain").expect("baseline row").1;
-    let best =
-        rows.iter().min_by(|a, b| a.1.entropy.partial_cmp(&b.1.entropy).expect("finite")).expect("rows");
+    let baseline = rows
+        .iter()
+        .find(|(n, _)| n == "raw/plain")
+        .expect("baseline row")
+        .1;
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1.entropy.partial_cmp(&b.1.entropy).expect("finite"))
+        .expect("rows");
     println!(
         "\npaper's raw/plain: entropy {:.3}; best variant {} at {:.3}",
         baseline.entropy, best.0, best.1.entropy

@@ -38,8 +38,16 @@ fn main() {
     }
 
     // The paper's two headline deltas.
-    let c_fcpc = rows.iter().find(|(n, _)| n == "CAFC-C FC+PC").expect("row exists").1;
-    let ch_fcpc = rows.iter().find(|(n, _)| n == "CAFC-CH FC+PC").expect("row exists").1;
+    let c_fcpc = rows
+        .iter()
+        .find(|(n, _)| n == "CAFC-C FC+PC")
+        .expect("row exists")
+        .1;
+    let ch_fcpc = rows
+        .iter()
+        .find(|(n, _)| n == "CAFC-CH FC+PC")
+        .expect("row exists")
+        .1;
     println!(
         "\nhub benefit on FC+PC: entropy {:.3} -> {:.3} ({:.1}x lower), \
          F {:.3} -> {:.3} (+{:.1}%)",

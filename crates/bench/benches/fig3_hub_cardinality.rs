@@ -32,7 +32,10 @@ fn main() {
     let space = bench.space(FeatureConfig::combined());
 
     let baseline = run_cafc_c_avg(&space, &bench.labels, 0xF163);
-    println!("CAFC-C reference entropy: {:.3} (F {:.3})\n", baseline.entropy, baseline.f_measure);
+    println!(
+        "CAFC-C reference entropy: {:.3} (F {:.3})\n",
+        baseline.entropy, baseline.f_measure
+    );
     println!(
         "{:>8} {:>10} {:>8} {:>12} {:>10} {:>7}",
         "min card", "entropy", "F", "candidates", "hub seeds", "padded"

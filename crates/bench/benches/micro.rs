@@ -16,7 +16,11 @@ use std::hint::black_box;
 
 fn bench_parsing(c: &mut Criterion) {
     let web = generate(&CorpusConfig::small(1));
-    let html = web.graph.html(web.form_pages[0].page).expect("html").to_owned();
+    let html = web
+        .graph
+        .html(web.form_pages[0].page)
+        .expect("html")
+        .to_owned();
     c.bench_function("html_parse_form_page", |b| {
         b.iter(|| cafc_html::parse(black_box(&html)))
     });
@@ -37,7 +41,9 @@ fn bench_text(c: &mut Criterion) {
     let text = "Searching for the cheapest international flights and vacation packages \
                 with flexible departure dates from all major airports"
         .repeat(8);
-    c.bench_function("tokenize_paragraph", |b| b.iter(|| cafc_text::tokenize(black_box(&text))));
+    c.bench_function("tokenize_paragraph", |b| {
+        b.iter(|| cafc_text::tokenize(black_box(&text)))
+    });
 }
 
 fn bench_model(c: &mut Criterion) {
@@ -71,7 +77,10 @@ fn bench_clustering(c: &mut Criterion) {
         b.iter(|| {
             hac_from_singletons(
                 &space,
-                &HacOptions { target_clusters: 8, linkage: Linkage::Average },
+                &HacOptions {
+                    target_clusters: 8,
+                    linkage: Linkage::Average,
+                },
             )
         })
     });
@@ -81,5 +90,11 @@ fn bench_clustering(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parsing, bench_text, bench_model, bench_clustering);
+criterion_group!(
+    benches,
+    bench_parsing,
+    bench_text,
+    bench_model,
+    bench_clustering
+);
 criterion_main!(benches);

@@ -25,9 +25,15 @@ fn main() {
         .collect();
     let rows = table1(htmls.iter().copied());
 
-    println!("{:<12} {:>8} {:>22}", "form size", "pages", "avg page terms");
+    println!(
+        "{:<12} {:>8} {:>22}",
+        "form size", "pages", "avg page terms"
+    );
     for row in &rows {
-        println!("{:<12} {:>8} {:>22.1}", row.bin, row.pages, row.avg_page_terms);
+        println!(
+            "{:<12} {:>8} {:>22.1}",
+            row.bin, row.pages, row.avg_page_terms
+        );
     }
 
     let tiny = rows.first().expect("five bins");
@@ -38,7 +44,9 @@ fn main() {
         tiny.avg_page_terms / huge.avg_page_terms.max(1.0)
     );
 
-    let json: Vec<(String, usize, f64)> =
-        rows.iter().map(|r| (r.bin.to_owned(), r.pages, r.avg_page_terms)).collect();
+    let json: Vec<(String, usize, f64)> = rows
+        .iter()
+        .map(|r| (r.bin.to_owned(), r.pages, r.avg_page_terms))
+        .collect();
     cafc_bench::write_json("table1_form_page_sizes", &json);
 }

@@ -6,8 +6,8 @@
 //! agglomeration, even from high-quality hub seeds.
 
 use cafc::{
-    select_hub_clusters, CafcChConfig, FeatureConfig, HacOptions, HubClusterOptions,
-    KMeansOptions, Linkage,
+    select_hub_clusters, CafcChConfig, FeatureConfig, HacOptions, HubClusterOptions, KMeansOptions,
+    Linkage,
 };
 use cafc_bench::{disjoint_seeds, print_header, print_row, quality, run_cafc_c_avg, Bench, K};
 use cafc_cluster::hac;
@@ -27,7 +27,10 @@ fn main() {
     rows.push(("CAFC-C k-means".into(), c_kmeans));
 
     // CAFC-C (HAC from singletons).
-    let hac_opts = HacOptions { target_clusters: K, linkage: Linkage::Average };
+    let hac_opts = HacOptions {
+        target_clusters: K,
+        linkage: Linkage::Average,
+    };
     let p = hac(&space, &[], &hac_opts);
     let c_hac = quality(&p, &bench.labels);
     print_row("CAFC-C  (HAC)", &c_hac);

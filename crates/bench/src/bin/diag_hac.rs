@@ -23,9 +23,15 @@ fn main() {
     );
     let all_members: Vec<Vec<usize>> = all_clusters.into_iter().map(|c| c.members).collect();
     let initial_all = disjoint_seeds(&all_members);
-    println!("{} disjoint groups from all hub clusters", initial_all.len());
+    println!(
+        "{} disjoint groups from all hub clusters",
+        initial_all.len()
+    );
     for linkage in [Linkage::Average, Linkage::Centroid, Linkage::Complete] {
-        let opts = HacOptions { target_clusters: K, linkage };
+        let opts = HacOptions {
+            target_clusters: K,
+            linkage,
+        };
         let plain = quality(&hac(&space, &[], &opts), &bench.labels);
         let seeded = quality(&hac(&space, &initial, &opts), &bench.labels);
         let seeded_all = quality(&hac(&space, &initial_all, &opts), &bench.labels);

@@ -6,7 +6,10 @@ use cafc_corpus::CorpusConfig;
 
 fn main() {
     for seed in [20070415u64, 1, 2, 3, 4, 5, 6, 7] {
-        let config = CorpusConfig { seed, ..CorpusConfig::default() };
+        let config = CorpusConfig {
+            seed,
+            ..CorpusConfig::default()
+        };
         let bench = Bench::with_config(&config);
         let space = bench.space(FeatureConfig::combined());
         let (q8, _) = run_cafc_ch(&bench, &space, 8, 0xF162C);

@@ -10,7 +10,10 @@ fn main() {
     let space = bench.space(FeatureConfig::combined());
     for min_card in [7usize, 8, 9, 10] {
         let config = CafcChConfig {
-            hub: HubClusterOptions { min_cardinality: min_card, ..Default::default() },
+            hub: HubClusterOptions {
+                min_cardinality: min_card,
+                ..Default::default()
+            },
             ..CafcChConfig::paper_default(8)
         };
         let (seeds, _, _) = select_hub_clusters(&bench.web.graph, &bench.targets, &space, &config);

@@ -23,7 +23,10 @@ fn main() {
     let (clusters, stats) = hub_clusters(
         &bench.web.graph,
         &bench.targets,
-        &HubClusterOptions { min_cardinality: 1, ..HubClusterOptions::default() },
+        &HubClusterOptions {
+            min_cardinality: 1,
+            ..HubClusterOptions::default()
+        },
     );
     let homog = homogeneity(&clusters, &bench.labels).unwrap_or(0.0);
     println!(

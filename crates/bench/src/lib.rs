@@ -56,11 +56,21 @@ impl Bench {
         let corpus_uniform = FormPageCorpus::from_graph(
             &web.graph,
             &targets,
-            &ModelOptions { weights: LocationWeights::uniform(), ..ModelOptions::default() },
+            &ModelOptions {
+                weights: LocationWeights::uniform(),
+                ..ModelOptions::default()
+            },
         );
         let corpus_anchors =
             FormPageCorpus::from_graph_with_anchors(&web.graph, &targets, &ModelOptions::default());
-        Bench { web, targets, labels, corpus, corpus_uniform, corpus_anchors }
+        Bench {
+            web,
+            targets,
+            labels,
+            corpus,
+            corpus_uniform,
+            corpus_anchors,
+        }
     }
 
     /// A space over the default corpus.
@@ -131,7 +141,10 @@ pub fn run_cafc_ch(
 ) -> (Quality, cafc::CafcChOutcome) {
     let config = CafcChConfig {
         k: K,
-        hub: HubClusterOptions { min_cardinality, ..HubClusterOptions::default() },
+        hub: HubClusterOptions {
+            min_cardinality,
+            ..HubClusterOptions::default()
+        },
         kmeans: KMeansOptions::default(),
         min_hub_quality: None,
     };
@@ -154,7 +167,12 @@ pub fn disjoint_seeds(seeds: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let mut claimed = std::collections::HashSet::new();
     seeds
         .iter()
-        .map(|s| s.iter().copied().filter(|&i| claimed.insert(i)).collect::<Vec<usize>>())
+        .map(|s| {
+            s.iter()
+                .copied()
+                .filter(|&i| claimed.insert(i))
+                .collect::<Vec<usize>>()
+        })
         .filter(|s| !s.is_empty())
         .collect()
 }
@@ -199,8 +217,18 @@ mod tests {
 
     #[test]
     fn mean_quality_averages() {
-        let a = Quality { entropy: 1.0, f_measure: 0.5, f_by_class: 0.5, purity: 0.5 };
-        let b = Quality { entropy: 3.0, f_measure: 1.0, f_by_class: 1.0, purity: 1.0 };
+        let a = Quality {
+            entropy: 1.0,
+            f_measure: 0.5,
+            f_by_class: 0.5,
+            purity: 0.5,
+        };
+        let b = Quality {
+            entropy: 3.0,
+            f_measure: 1.0,
+            f_by_class: 1.0,
+            purity: 1.0,
+        };
         let m = mean_quality(&[a, b]);
         assert_eq!(m.entropy, 2.0);
         assert_eq!(m.f_measure, 0.75);

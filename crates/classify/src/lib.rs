@@ -41,13 +41,25 @@ pub struct FormFeatures {
 }
 
 /// Keywords indicating a query interface.
-const SEARCH_KEYWORDS: &[&str] =
-    &["search", "find", "query", "browse", "lookup", "results", "go", "show"];
+const SEARCH_KEYWORDS: &[&str] = &[
+    "search", "find", "query", "browse", "lookup", "results", "go", "show",
+];
 
 /// Keywords indicating account management / contact workflows.
 const ACCOUNT_KEYWORDS: &[&str] = &[
-    "login", "logon", "signin", "register", "signup", "subscribe", "password", "quote",
-    "contact", "feedback", "checkout", "cart", "mail",
+    "login",
+    "logon",
+    "signin",
+    "register",
+    "signup",
+    "subscribe",
+    "password",
+    "quote",
+    "contact",
+    "feedback",
+    "checkout",
+    "cart",
+    "mail",
 ];
 
 impl FormFeatures {
@@ -132,7 +144,10 @@ pub fn is_searchable(form: &Form) -> bool {
 
 /// Filter a page's forms down to the searchable ones.
 pub fn searchable_forms(doc: &cafc_html::Document) -> Vec<Form> {
-    cafc_html::extract_forms(doc).into_iter().filter(is_searchable).collect()
+    cafc_html::extract_forms(doc)
+        .into_iter()
+        .filter(is_searchable)
+        .collect()
 }
 
 #[cfg(test)]
@@ -147,7 +162,8 @@ mod tests {
 
     #[test]
     fn keyword_search_form_is_searchable() {
-        let f = form(r#"<form action="/search"><input name=q><input type=submit value=Search></form>"#);
+        let f =
+            form(r#"<form action="/search"><input name=q><input type=submit value=Search></form>"#);
         assert!(is_searchable(&f));
     }
 

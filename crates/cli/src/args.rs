@@ -1,8 +1,10 @@
 //! A small flag parser: `--key value`, `--switch`, and positionals.
 //!
-//! Deliberately dependency-free: four subcommands with a handful of flags
+//! Deliberately dependency-free: five subcommands with a handful of flags
 //! do not justify pulling in a CLI framework (see DESIGN.md's dependency
-//! policy).
+//! policy). Unknown `--flags` are rejected outright — a typo like
+//! `--algoritm hac` must fail loudly instead of silently becoming a
+//! boolean switch that drops its value on the floor.
 
 use std::collections::HashMap;
 
@@ -14,15 +16,38 @@ pub struct Args {
     positional: Vec<String>,
 }
 
-/// Known flag names that take a value; everything else starting with `--`
-/// is treated as a boolean switch.
+/// Known flag names that take a value.
 const VALUE_FLAGS: &[&str] = &[
-    "out", "input", "clusters", "k", "seed", "pages", "algorithm", "report", "min-cardinality",
-    "limit", "features",
+    "out",
+    "input",
+    "clusters",
+    "k",
+    "seed",
+    "pages",
+    "algorithm",
+    "report",
+    "min-cardinality",
+    "limit",
+    "features",
+    // crawl
+    "corpus-seed",
+    "fault-rate",
+    "permanent-rate",
+    "truncate-rate",
+    "redirect-rate",
+    "max-retries",
+    "breaker-threshold",
+    "breaker-cooldown-ms",
+    "max-pages",
+    "max-depth",
 ];
+
+/// Known boolean switches (present or absent, no value).
+const SWITCH_FLAGS: &[&str] = &["auto-k", "sweep"];
 
 impl Args {
     /// Parse a raw argument list (without the program/subcommand names).
+    /// Flags not in [`VALUE_FLAGS`] or [`SWITCH_FLAGS`] are an error.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
         let mut args = Args::default();
         let mut iter = raw.into_iter();
@@ -33,8 +58,10 @@ impl Args {
                         .next()
                         .ok_or_else(|| format!("flag --{name} expects a value"))?;
                     args.flags.insert(name.to_owned(), value);
-                } else {
+                } else if SWITCH_FLAGS.contains(&name) {
                     args.switches.push(name.to_owned());
+                } else {
+                    return Err(format!("unknown flag --{name}"));
                 }
             } else {
                 args.positional.push(arg);
@@ -50,14 +77,17 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     /// Parsed numeric flag with a default.
     pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
         }
     }
 
@@ -65,8 +95,34 @@ impl Args {
     pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
         }
+    }
+
+    /// Parsed u32 flag with a default.
+    pub fn get_u32(&self, name: &str, default: u32) -> Result<u32, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Parsed probability flag (f64 in [0, 1]) with a default.
+    pub fn get_rate(&self, name: &str, default: f64) -> Result<f64, String> {
+        let value = match self.get(name) {
+            None => return Ok(default),
+            Some(v) => v
+                .parse::<f64>()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}"))?,
+        };
+        if !(0.0..=1.0).contains(&value) {
+            return Err(format!("--{name} expects a rate in [0, 1], got {value}"));
+        }
+        Ok(value)
     }
 
     /// Boolean switch presence.
@@ -110,5 +166,24 @@ mod tests {
     #[test]
     fn value_flag_without_value_errors() {
         assert!(Args::parse(vec!["--out".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = Args::parse(vec!["--algoritm".to_owned(), "hac".to_owned()])
+            .expect_err("typoed flag must not parse");
+        assert!(err.contains("--algoritm"), "{err}");
+        assert!(Args::parse(vec!["--frobnicate".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn rate_flags_validate_range() {
+        let a = parse(&["--fault-rate", "0.25"]);
+        assert_eq!(a.get_rate("fault-rate", 0.0).expect("rate"), 0.25);
+        assert_eq!(a.get_rate("truncate-rate", 0.1).expect("default"), 0.1);
+        let a = parse(&["--fault-rate", "1.5"]);
+        assert!(a.get_rate("fault-rate", 0.0).is_err());
+        let a = parse(&["--fault-rate", "lots"]);
+        assert!(a.get_rate("fault-rate", 0.0).is_err());
     }
 }

@@ -6,22 +6,26 @@ use cafc::{
     KMeansOptions, ModelOptions, Partition,
 };
 use cafc_cluster::{
-    bisecting_kmeans, choose_k, hac_from_singletons, kmeans, random_singleton_seeds,
-    BisectOptions, HacOptions, Linkage,
+    bisecting_kmeans, choose_k, hac_from_singletons, kmeans, random_singleton_seeds, BisectOptions,
+    HacOptions, Linkage,
 };
-use cafc_corpus::{export_web, generate as generate_web, load_web, CorpusConfig, LoadedWeb};
+use cafc_corpus::{
+    export_web, generate as generate_web, load_web, CorpusConfig, LoadedWeb, SyntheticWeb,
+};
+use cafc_crawler::{
+    crawl as crawl_bfs, crawl_resilient, BreakerConfig, ChaosFetcher, CrawlConfig, FaultConfig,
+    ResilientConfig, ResilientCrawlOutcome, RetryPolicy,
+};
 use cafc_explore::{html_report, ClusterIndex};
 use cafc_webgraph::PageId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
 
-/// `cafc generate` — synthesize a corpus to disk.
-pub fn generate(args: &Args) -> Result<(), String> {
-    let out = args.require("out")?;
-    let pages = args.get_usize("pages", 454)?;
-    let seed = args.get_u64("seed", 3)?;
-    let config = CorpusConfig {
+/// Corpus sized from a `--pages` count, as both `generate` and `crawl`
+/// build it.
+fn corpus_config(pages: usize, seed: u64) -> CorpusConfig {
+    CorpusConfig {
         total_form_pages: pages,
         single_attribute_count: (pages / 8).max(1),
         non_searchable_count: (pages / 8).max(1),
@@ -29,8 +33,15 @@ pub fn generate(args: &Args) -> Result<(), String> {
         mixed_hubs: (pages / 4).max(2),
         seed,
         ..CorpusConfig::default()
-    };
-    let web = generate_web(&config);
+    }
+}
+
+/// `cafc generate` — synthesize a corpus to disk.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let pages = args.get_usize("pages", 454)?;
+    let seed = args.get_u64("seed", 3)?;
+    let web = generate_web(&corpus_config(pages, seed));
     let written = export_web(&web, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "wrote {written} pages ({} form pages, {} hubs) to {out}",
@@ -52,10 +63,16 @@ fn prepare(input: &str) -> Result<Prepared, String> {
     let web = load_web(Path::new(input)).map_err(|e| format!("loading {input}: {e}"))?;
     let targets = web.form_page_ids();
     if targets.is_empty() {
-        return Err(format!("{input} contains no form pages (manifest kind=\"form\")"));
+        return Err(format!(
+            "{input} contains no form pages (manifest kind=\"form\")"
+        ));
     }
     let corpus = FormPageCorpus::from_graph(&web.graph, &targets, &ModelOptions::default());
-    Ok(Prepared { web, targets, corpus })
+    Ok(Prepared {
+        web,
+        targets,
+        corpus,
+    })
 }
 
 fn feature_config(args: &Args) -> Result<FeatureConfig, String> {
@@ -88,7 +105,10 @@ fn run_clustering(prepared: &Prepared, args: &Args) -> Result<Partition, String>
 
     let k = args.get_usize("k", 8)?;
     if k == 0 || k > prepared.targets.len() {
-        return Err(format!("--k {k} out of range for {} pages", prepared.targets.len()));
+        return Err(format!(
+            "--k {k} out of range for {} pages",
+            prepared.targets.len()
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let partition = match algorithm {
@@ -102,7 +122,13 @@ fn run_clustering(prepared: &Prepared, args: &Args) -> Result<Partition, String>
                 kmeans: KMeansOptions::default(),
                 min_hub_quality: None,
             };
-            let out = cafc_ch(&prepared.web.graph, &prepared.targets, &space, &config, &mut rng);
+            let out = cafc_ch(
+                &prepared.web.graph,
+                &prepared.targets,
+                &space,
+                &config,
+                &mut rng,
+            );
             println!(
                 "CAFC-CH: {} hub seeds, {} padded, {} iterations",
                 out.hub_seeds, out.padded_seeds, out.outcome.iterations
@@ -115,11 +141,17 @@ fn run_clustering(prepared: &Prepared, args: &Args) -> Result<Partition, String>
         }
         "hac" => hac_from_singletons(
             &space,
-            &HacOptions { target_clusters: k, linkage: Linkage::Average },
+            &HacOptions {
+                target_clusters: k,
+                linkage: Linkage::Average,
+            },
         ),
         "bisect" => bisecting_kmeans(
             &space,
-            &BisectOptions { target_clusters: k, ..Default::default() },
+            &BisectOptions {
+                target_clusters: k,
+                ..Default::default()
+            },
             &mut rng,
         ),
         other => return Err(format!("unknown --algorithm {other:?}")),
@@ -129,15 +161,28 @@ fn run_clustering(prepared: &Prepared, args: &Args) -> Result<Partition, String>
 
 /// Serialize cluster assignments: `{"clusters": [[urls...], ...]}`.
 fn clusters_json(prepared: &Prepared, partition: &Partition) -> String {
-    let mut cluster_strs = Vec::new();
-    for members in partition.clusters() {
-        let urls: Vec<String> = members
-            .iter()
-            .map(|&m| format!("\"{}\"", prepared.web.graph.url(prepared.targets[m])))
-            .collect();
-        cluster_strs.push(format!("[{}]", urls.join(",")));
-    }
-    format!("{{\"clusters\": [\n{}\n]}}\n", cluster_strs.join(",\n"))
+    let clusters: Vec<serde_json::Value> = partition
+        .clusters()
+        .iter()
+        .map(|members| {
+            serde_json::Value::Array(
+                members
+                    .iter()
+                    .map(|&m| {
+                        serde_json::Value::String(
+                            prepared.web.graph.url(prepared.targets[m]).to_string(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut root = serde_json::Map::new();
+    root.insert("clusters".to_owned(), serde_json::Value::Array(clusters));
+    let doc = serde_json::Value::Object(root);
+    let mut out = serde_json::to_string_pretty(&doc).expect("clusters serialize");
+    out.push('\n');
+    out
 }
 
 /// `cafc cluster`.
@@ -156,7 +201,12 @@ pub fn cluster(args: &Args) -> Result<(), String> {
         if summary.entries.is_empty() {
             continue;
         }
-        println!("cluster {:>2}: {:>4} pages  {}", summary.cluster, summary.entries.len(), summary.label);
+        println!(
+            "cluster {:>2}: {:>4} pages  {}",
+            summary.cluster,
+            summary.entries.len(),
+            summary.label
+        );
     }
 
     if let Some(out) = args.get("out") {
@@ -207,7 +257,12 @@ pub fn search(args: &Args) -> Result<(), String> {
     println!("clusters matching {query:?}:");
     for hit in index.search(&query).into_iter().take(3) {
         let summary = &index.summaries()[hit.cluster];
-        println!("  {:.3}  {} ({} databases)", hit.score, summary.label, summary.entries.len());
+        println!(
+            "  {:.3}  {} ({} databases)",
+            hit.score,
+            summary.label,
+            summary.entries.len()
+        );
     }
     let limit = args.get_usize("limit", 5)?;
     println!("databases matching {query:?}:");
@@ -222,10 +277,18 @@ pub fn search(args: &Args) -> Result<(), String> {
 
 /// `cafc eval` — score a clusters.json against manifest labels.
 pub fn eval(args: &Args) -> Result<(), String> {
-    let prepared = prepare(args.require("input")?)?;
+    let input = args.require("input")?;
+    let prepared = prepare(input)?;
     let clusters_path = args.require("clusters")?;
     let json = std::fs::read_to_string(clusters_path)
         .map_err(|e| format!("reading {clusters_path}: {e}"))?;
+
+    let doc: serde_json::Value =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {clusters_path}: {e}"))?;
+    let cluster_arrays = doc
+        .get("clusters")
+        .and_then(|c| c.as_array())
+        .ok_or_else(|| format!("{clusters_path} has no top-level \"clusters\" array"))?;
 
     // Map URLs back to item indices.
     let url_to_item: std::collections::HashMap<String, usize> = prepared
@@ -235,42 +298,30 @@ pub fn eval(args: &Args) -> Result<(), String> {
         .map(|(i, &p)| (prepared.web.graph.url(p).to_string(), i))
         .collect();
     let mut clusters: Vec<Vec<usize>> = Vec::new();
-    // Parse [["url",...],...] with a simple scanner over quoted strings per
-    // inner array.
-    let inner = json
-        .find('[')
-        .map(|i| &json[i..])
-        .ok_or("clusters file contains no array")?;
-    let mut current: Option<Vec<usize>> = None;
-    let mut chars = inner.char_indices().peekable();
-    while let Some((pos, c)) = chars.next() {
-        match c {
-            '[' if pos > 0 => current = Some(Vec::new()),
-            ']' => {
-                if let Some(done) = current.take() {
-                    clusters.push(done);
+    let mut skipped = 0usize;
+    for (i, entry) in cluster_arrays.iter().enumerate() {
+        let urls = entry
+            .as_array()
+            .ok_or_else(|| format!("cluster {i} in {clusters_path} is not an array"))?;
+        let mut members = Vec::new();
+        for url in urls {
+            let url = url.as_str().ok_or_else(|| {
+                format!("cluster {i} in {clusters_path} contains a non-string entry")
+            })?;
+            match url_to_item.get(url) {
+                Some(&item) => members.push(item),
+                None => {
+                    // A clusters file from another corpus (or a stale one)
+                    // should degrade the score, not abort the evaluation.
+                    skipped += 1;
+                    eprintln!("warning: skipping unknown URL {url:?} (not a form page in {input})");
                 }
             }
-            '"' => {
-                let start = pos + 1;
-                let mut end = start;
-                for (p, q) in chars.by_ref() {
-                    if q == '"' {
-                        end = p;
-                        break;
-                    }
-                }
-                let url = &inner[start..end];
-                if let Some(&item) = url_to_item.get(url) {
-                    if let Some(cur) = current.as_mut() {
-                        cur.push(item);
-                    }
-                } else {
-                    return Err(format!("clusters file references unknown URL {url:?}"));
-                }
-            }
-            _ => {}
         }
+        clusters.push(members);
+    }
+    if skipped > 0 {
+        eprintln!("warning: {skipped} URL(s) in {clusters_path} were not in the corpus");
     }
 
     let labels = prepared.web.form_page_labels();
@@ -278,5 +329,192 @@ pub fn eval(args: &Args) -> Result<(), String> {
         return Err("manifest has no gold labels to evaluate against".into());
     }
     print_quality(&clusters, &labels);
+    Ok(())
+}
+
+/// Clustering quality of one crawl's survivors.
+struct SurvivorQuality {
+    entropy: f64,
+    f_measure: f64,
+    clusters: usize,
+}
+
+/// Cluster a crawl's searchable-form survivors with CAFC-CH and score
+/// against the corpus's gold domain labels. `None` when too few pages
+/// survived to cluster at all.
+fn cluster_survivors(
+    web: &SyntheticWeb,
+    survivors: &[PageId],
+    k: usize,
+    seed: u64,
+) -> Option<SurvivorQuality> {
+    if survivors.len() < 2 {
+        return None;
+    }
+    let k = k.clamp(1, survivors.len());
+    let corpus = FormPageCorpus::from_graph(&web.graph, survivors, &ModelOptions::default());
+    let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = CafcChConfig {
+        hub: HubClusterOptions {
+            min_cardinality: 4,
+            ..Default::default()
+        },
+        ..CafcChConfig::paper_default(k)
+    };
+    let result = cafc_ch(&web.graph, survivors, &space, &config, &mut rng);
+    let labels: Vec<&str> = survivors
+        .iter()
+        .map(|p| {
+            web.form_pages
+                .iter()
+                .find(|r| r.page == *p)
+                .map(|r| r.domain.name())
+                .unwrap_or("unknown")
+        })
+        .collect();
+    let clusters = result.outcome.partition.clusters();
+    Some(SurvivorQuality {
+        entropy: cafc_eval::entropy(clusters, &labels, cafc_eval::EntropyBase::Two),
+        f_measure: cafc_eval::f_measure(clusters, &labels),
+        clusters: clusters.iter().filter(|c| !c.is_empty()).count(),
+    })
+}
+
+fn run_faulty(
+    web: &SyntheticWeb,
+    fault: &FaultConfig,
+    config: &ResilientConfig,
+) -> ResilientCrawlOutcome {
+    let mut fetcher = ChaosFetcher::over_graph(&web.graph, *fault);
+    crawl_resilient(&web.graph, &mut fetcher, web.portal, config)
+}
+
+/// `cafc crawl` — crawl a synthetic corpus under injected faults, cluster
+/// the surviving databases, and report how much quality degraded relative
+/// to a fault-free crawl of the same web.
+pub fn crawl(args: &Args) -> Result<(), String> {
+    let corpus_seed = args.get_u64("corpus-seed", 99)?;
+    let pages = args.get_usize("pages", 0)?;
+    let corpus_cfg = if pages == 0 {
+        CorpusConfig::small(corpus_seed)
+    } else {
+        corpus_config(pages, corpus_seed)
+    };
+    let web = generate_web(&corpus_cfg);
+
+    let fault = FaultConfig {
+        transient_rate: args.get_rate("fault-rate", 0.2)?,
+        permanent_rate: args.get_rate("permanent-rate", 0.0)?,
+        truncate_rate: args.get_rate("truncate-rate", 0.0)?,
+        redirect_rate: args.get_rate("redirect-rate", 0.0)?,
+        seed: args.get_u64("seed", 7)?,
+        ..FaultConfig::default()
+    };
+    let limits = CrawlConfig {
+        max_pages: args.get_usize("max-pages", CrawlConfig::default().max_pages)?,
+        max_depth: args.get_usize("max-depth", CrawlConfig::default().max_depth)?,
+    };
+    let resilient = ResilientConfig {
+        crawl: limits,
+        retry: RetryPolicy {
+            max_retries: args.get_u32("max-retries", RetryPolicy::default().max_retries)?,
+            ..RetryPolicy::default()
+        },
+        breaker: BreakerConfig {
+            failure_threshold: args.get_u32(
+                "breaker-threshold",
+                BreakerConfig::default().failure_threshold,
+            )?,
+            cooldown_ms: args
+                .get_u64("breaker-cooldown-ms", BreakerConfig::default().cooldown_ms)?,
+            ..BreakerConfig::default()
+        },
+        ..ResilientConfig::default()
+    };
+    let k = args.get_usize("k", 8)?;
+
+    // The fault-free crawl of the same web is the baseline everything is
+    // measured against.
+    let clean = crawl_bfs(&web.graph, web.portal, &limits);
+    let baseline = clean.searchable_form_pages.len().max(1);
+    println!(
+        "corpus: {} form pages over {} hub pages (corpus seed {})",
+        web.form_pages.len(),
+        web.hubs.len(),
+        corpus_seed,
+    );
+    println!(
+        "baseline (no faults): visited {} pages, {} searchable-form pages",
+        clean.visited.len(),
+        clean.searchable_form_pages.len(),
+    );
+    let clean_quality = cluster_survivors(&web, &clean.searchable_form_pages, k, fault.seed);
+    if let Some(q) = &clean_quality {
+        println!(
+            "baseline quality:     entropy {:.3}  F {:.3}  ({} clusters)",
+            q.entropy, q.f_measure, q.clusters
+        );
+    }
+
+    if args.has("sweep") {
+        println!();
+        println!("fault-rate  recovered  entropy  F-measure  attempts  retries  abandoned");
+        for step in 0..=5u32 {
+            let rate = f64::from(step) / 10.0;
+            let cfg = FaultConfig {
+                transient_rate: rate,
+                ..fault
+            };
+            let outcome = run_faulty(&web, &cfg, &resilient);
+            let survivors = &outcome.pages.searchable_form_pages;
+            let quality = cluster_survivors(&web, survivors, k, fault.seed);
+            let (entropy, f_measure) = quality
+                .map(|q| (q.entropy, q.f_measure))
+                .unwrap_or((f64::NAN, f64::NAN));
+            println!(
+                "{rate:>10.1}  {:>8.1}%  {entropy:>7.3}  {f_measure:>9.3}  {:>8}  {:>7}  {:>9}",
+                100.0 * survivors.len() as f64 / baseline as f64,
+                outcome.stats.attempts,
+                outcome.stats.retries,
+                outcome.stats.abandoned,
+            );
+        }
+        return Ok(());
+    }
+
+    println!();
+    let outcome = run_faulty(&web, &fault, &resilient);
+    let survivors = &outcome.pages.searchable_form_pages;
+    println!("{}", outcome.stats);
+    if !outcome.stats.is_accounted() {
+        return Err("crawl accounting identity violated — this is a bug".into());
+    }
+    println!(
+        "faulty crawl (transient {:.0}%): visited {} pages, {} searchable-form pages \
+         ({:.1}% of baseline recovered)",
+        fault.transient_rate * 100.0,
+        outcome.pages.visited.len(),
+        survivors.len(),
+        100.0 * survivors.len() as f64 / baseline as f64,
+    );
+    match (
+        clean_quality,
+        cluster_survivors(&web, survivors, k, fault.seed),
+    ) {
+        (Some(clean_q), Some(faulty_q)) => {
+            println!(
+                "faulty quality:       entropy {:.3}  F {:.3}  ({} clusters)",
+                faulty_q.entropy, faulty_q.f_measure, faulty_q.clusters
+            );
+            println!(
+                "degradation:          entropy {:+.3}  F {:+.3}",
+                faulty_q.entropy - clean_q.entropy,
+                faulty_q.f_measure - clean_q.f_measure,
+            );
+        }
+        (_, None) => println!("too few survivors to cluster — no quality to report"),
+        (None, Some(_)) => {}
+    }
     Ok(())
 }

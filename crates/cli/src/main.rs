@@ -16,6 +16,12 @@
 //!
 //! cafc eval --input DIR --clusters clusters.json
 //!     Score a clustering against the gold labels in the manifest.
+//!
+//! cafc crawl [--fault-rate R] [--max-retries N] [--breaker-threshold N]
+//!            [--seed S] [--sweep]
+//!     Crawl a synthetic corpus under injected fetch faults, cluster the
+//!     surviving databases, and report quality degradation versus a
+//!     fault-free crawl.
 //! ```
 
 mod args;
@@ -41,6 +47,7 @@ fn main() -> ExitCode {
         "cluster" => commands::cluster(&parsed),
         "search" => commands::search(&parsed),
         "eval" => commands::eval(&parsed),
+        "crawl" => commands::crawl(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -66,5 +73,10 @@ USAGE:
                   [--features fc|pc|both] [--min-cardinality N] [--seed S]
                   [--out clusters.json] [--report FILE.html]
     cafc search   --input DIR [--k N] [--limit N] QUERY...
-    cafc eval     --input DIR --clusters clusters.json"
+    cafc eval     --input DIR --clusters clusters.json
+    cafc crawl    [--pages N] [--corpus-seed S] [--k N]
+                  [--fault-rate R] [--permanent-rate R] [--truncate-rate R]
+                  [--redirect-rate R] [--seed S] [--max-retries N]
+                  [--breaker-threshold N] [--breaker-cooldown-ms MS]
+                  [--max-pages N] [--max-depth N] [--sweep]"
 }

@@ -18,7 +18,10 @@ fn run_ok(cmd: &mut Command) -> String {
     let out = cmd.output().expect("binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(out.status.success(), "command failed.\nstdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        out.status.success(),
+        "command failed.\nstdout: {stdout}\nstderr: {stderr}"
+    );
     stdout
 }
 
@@ -27,8 +30,7 @@ fn generate_cluster_eval_search_pipeline() {
     let dir = tmpdir("pipeline");
     let dir_s = dir.to_str().expect("utf8 temp path");
 
-    let out = run_ok(cafc()
-        .args(["generate", "--out", dir_s, "--pages", "64", "--seed", "9"]));
+    let out = run_ok(cafc().args(["generate", "--out", dir_s, "--pages", "64", "--seed", "9"]));
     assert!(out.contains("64 form pages"), "{out}");
     assert!(dir.join("manifest.json").exists());
     assert!(dir.join("pages/0.html").exists());
@@ -122,7 +124,10 @@ fn search_requires_query() {
     let dir = tmpdir("noquery");
     let dir_s = dir.to_str().expect("utf8 temp path");
     run_ok(cafc().args(["generate", "--out", dir_s, "--pages", "48", "--seed", "2"]));
-    let out = cafc().args(["search", "--input", dir_s]).output().expect("binary runs");
+    let out = cafc()
+        .args(["search", "--input", dir_s])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("query"));
     let _ = std::fs::remove_dir_all(&dir);

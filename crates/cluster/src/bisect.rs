@@ -27,7 +27,11 @@ pub struct BisectOptions {
 
 impl Default for BisectOptions {
     fn default() -> Self {
-        BisectOptions { target_clusters: 8, trials: 5, kmeans: KMeansOptions::default() }
+        BisectOptions {
+            target_clusters: 8,
+            trials: 5,
+            kmeans: KMeansOptions::default(),
+        }
     }
 }
 
@@ -38,7 +42,11 @@ fn cohesion<S: ClusterSpace>(space: &S, members: &[usize]) -> f64 {
         return 0.0;
     }
     let centroid = space.centroid(members);
-    members.iter().map(|&m| space.similarity(&centroid, m)).sum::<f64>() / members.len() as f64
+    members
+        .iter()
+        .map(|&m| space.similarity(&centroid, m))
+        .sum::<f64>()
+        / members.len() as f64
 }
 
 /// Run bisecting k-means over all items of `space`.
@@ -71,12 +79,17 @@ pub fn bisecting_kmeans<S: ClusterSpace, R: Rng>(
             // Seeds are indices into the sub-space (0..victim.len()).
             let picks = sample(rng, victim.len(), 2.min(victim.len()));
             let seeds: Vec<Vec<usize>> = picks.into_iter().map(|i| vec![i]).collect();
-            let sub = SubSpace { space, items: &victim };
+            let sub = SubSpace {
+                space,
+                items: &victim,
+            };
             let out = kmeans(&sub, &seeds, &opts.kmeans);
             let halves = out.partition.clusters();
             let a: Vec<usize> = halves[0].iter().map(|&i| victim[i]).collect();
-            let b: Vec<usize> =
-                halves.get(1).map(|h| h.iter().map(|&i| victim[i]).collect()).unwrap_or_default();
+            let b: Vec<usize> = halves
+                .get(1)
+                .map(|h| h.iter().map(|&i| victim[i]).collect())
+                .unwrap_or_default();
             if a.is_empty() || b.is_empty() {
                 continue;
             }
@@ -158,7 +171,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let p = bisecting_kmeans(
             &space,
-            &BisectOptions { target_clusters: 3, ..Default::default() },
+            &BisectOptions {
+                target_clusters: 3,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert_eq!(p.num_clusters(), 3);
@@ -181,7 +197,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let p = bisecting_kmeans(
             &space,
-            &BisectOptions { target_clusters: 1, ..Default::default() },
+            &BisectOptions {
+                target_clusters: 1,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert_eq!(p.num_clusters(), 1);
@@ -194,7 +213,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let p = bisecting_kmeans(
             &space,
-            &BisectOptions { target_clusters: 10, ..Default::default() },
+            &BisectOptions {
+                target_clusters: 10,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert_eq!(p.num_clusters(), 2);
@@ -206,7 +228,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let p = bisecting_kmeans(
             &space,
-            &BisectOptions { target_clusters: 3, ..Default::default() },
+            &BisectOptions {
+                target_clusters: 3,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert_eq!(p.num_clusters(), 3);
@@ -227,7 +252,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let p = bisecting_kmeans(
             &space,
-            &BisectOptions { target_clusters: 4, ..Default::default() },
+            &BisectOptions {
+                target_clusters: 4,
+                ..Default::default()
+            },
             &mut rng,
         );
         let mut all: Vec<usize> = p.clusters().iter().flatten().copied().collect();

@@ -38,7 +38,10 @@ pub struct HacOptions {
 
 impl Default for HacOptions {
     fn default() -> Self {
-        HacOptions { target_clusters: 8, linkage: Linkage::Centroid }
+        HacOptions {
+            target_clusters: 8,
+            linkage: Linkage::Centroid,
+        }
     }
 }
 
@@ -172,18 +175,17 @@ fn hac_pairwise<S: ClusterSpace>(
         alive[bj] = false;
         remaining -= 1;
     }
-    let final_groups: Vec<Vec<usize>> =
-        groups.into_iter().zip(alive).filter(|(_, a)| *a).map(|(g, _)| g).collect();
+    let final_groups: Vec<Vec<usize>> = groups
+        .into_iter()
+        .zip(alive)
+        .filter(|(_, a)| *a)
+        .map(|(g, _)| g)
+        .collect();
     Partition::new(final_groups, n)
 }
 
 /// Initial inter-group distance under a pairwise linkage.
-fn group_distance<S: ClusterSpace>(
-    space: &S,
-    a: &[usize],
-    b: &[usize],
-    linkage: Linkage,
-) -> f64 {
+fn group_distance<S: ClusterSpace>(space: &S, a: &[usize], b: &[usize], linkage: Linkage) -> f64 {
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
     let mut sum = 0.0;
@@ -243,8 +245,19 @@ mod tests {
     #[test]
     fn separates_blobs_every_linkage() {
         let space = blobs();
-        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Centroid] {
-            let p = hac_from_singletons(&space, &HacOptions { target_clusters: 2, linkage });
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Centroid,
+        ] {
+            let p = hac_from_singletons(
+                &space,
+                &HacOptions {
+                    target_clusters: 2,
+                    linkage,
+                },
+            );
             assert_eq!(
                 sorted(&p),
                 vec![vec![0, 1, 2], vec![3, 4, 5]],
@@ -259,7 +272,10 @@ mod tests {
         for target in 1..=6 {
             let p = hac_from_singletons(
                 &space,
-                &HacOptions { target_clusters: target, linkage: Linkage::Average },
+                &HacOptions {
+                    target_clusters: target,
+                    linkage: Linkage::Average,
+                },
             );
             assert_eq!(p.num_clusters(), target);
             assert_eq!(p.num_assigned(), 6);
@@ -273,7 +289,10 @@ mod tests {
         let p = hac(
             &space,
             &[vec![0, 1, 2]],
-            &HacOptions { target_clusters: 2, linkage: Linkage::Centroid },
+            &HacOptions {
+                target_clusters: 2,
+                linkage: Linkage::Centroid,
+            },
         );
         let cs = sorted(&p);
         assert_eq!(cs, vec![vec![0, 1, 2], vec![3, 4, 5]]);
@@ -283,7 +302,14 @@ mod tests {
     fn initial_already_coarse_enough() {
         let space = blobs();
         let init = vec![vec![0, 1, 2], vec![3, 4, 5]];
-        let p = hac(&space, &init, &HacOptions { target_clusters: 4, linkage: Linkage::Average });
+        let p = hac(
+            &space,
+            &init,
+            &HacOptions {
+                target_clusters: 4,
+                linkage: Linkage::Average,
+            },
+        );
         // Only 2 groups supplied and target is 4 -> returned unchanged plus
         // nothing (all items covered).
         assert_eq!(p.num_clusters(), 2);
@@ -295,7 +321,10 @@ mod tests {
         let p = hac(
             &space,
             &[vec![], vec![0, 1]],
-            &HacOptions { target_clusters: 2, linkage: Linkage::Average },
+            &HacOptions {
+                target_clusters: 2,
+                linkage: Linkage::Average,
+            },
         );
         assert_eq!(p.num_assigned(), 6);
         assert_eq!(p.num_clusters(), 2);
@@ -304,18 +333,33 @@ mod tests {
     #[test]
     fn deterministic() {
         let space = blobs();
-        let o = HacOptions { target_clusters: 3, linkage: Linkage::Average };
-        assert_eq!(hac_from_singletons(&space, &o), hac_from_singletons(&space, &o));
+        let o = HacOptions {
+            target_clusters: 3,
+            linkage: Linkage::Average,
+        };
+        assert_eq!(
+            hac_from_singletons(&space, &o),
+            hac_from_singletons(&space, &o)
+        );
     }
 
     #[test]
     fn single_linkage_chains() {
         // A chain 0-1-2-3 with equal gaps plus a far point: single linkage
         // merges the chain before the outlier.
-        let space = DenseSpace::new(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![100.0]]);
+        let space = DenseSpace::new(vec![
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![100.0],
+        ]);
         let p = hac_from_singletons(
             &space,
-            &HacOptions { target_clusters: 2, linkage: Linkage::Single },
+            &HacOptions {
+                target_clusters: 2,
+                linkage: Linkage::Single,
+            },
         );
         assert_eq!(sorted(&p), vec![vec![0, 1, 2, 3], vec![4]]);
     }

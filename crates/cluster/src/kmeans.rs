@@ -25,7 +25,10 @@ pub struct KMeansOptions {
 
 impl Default for KMeansOptions {
     fn default() -> Self {
-        KMeansOptions { move_fraction_threshold: 0.10, max_iterations: 100 }
+        KMeansOptions {
+            move_fraction_threshold: 0.10,
+            max_iterations: 100,
+        }
     }
 }
 
@@ -53,8 +56,14 @@ pub fn kmeans<S: ClusterSpace>(
     seeds: &[Vec<usize>],
     opts: &KMeansOptions,
 ) -> KMeansOutcome {
-    assert!(!seeds.is_empty(), "kmeans requires at least one seed cluster");
-    assert!(seeds.iter().all(|s| !s.is_empty()), "seed clusters must be non-empty");
+    assert!(
+        !seeds.is_empty(),
+        "kmeans requires at least one seed cluster"
+    );
+    assert!(
+        seeds.iter().all(|s| !s.is_empty()),
+        "seed clusters must be non-empty"
+    );
     let n = space.len();
     let k = seeds.len();
     let mut centroids: Vec<S::Centroid> = seeds.iter().map(|s| space.centroid(s)).collect();
@@ -103,7 +112,11 @@ pub fn kmeans<S: ClusterSpace>(
     }
 
     let partition = Partition::from_assignments(&assignment, k);
-    KMeansOutcome { partition, iterations, converged }
+    KMeansOutcome {
+        partition,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +138,10 @@ mod tests {
 
     fn strict() -> KMeansOptions {
         // move threshold tiny -> run to stability
-        KMeansOptions { move_fraction_threshold: 1e-9, max_iterations: 100 }
+        KMeansOptions {
+            move_fraction_threshold: 1e-9,
+            max_iterations: 100,
+        }
     }
 
     #[test]
@@ -150,9 +166,12 @@ mod tests {
         // The two blobs never share a cluster with each other... actually
         // with seeds 0 and 2 the split is {0,1} / {2,3,4,5} at first, and
         // converges to blob-pure clusters.
-        assert!(clusters.iter().all(|c| {
-            c.iter().all(|&i| i < 3) || c.iter().all(|&i| i >= 3)
-        }), "clusters mix blobs: {clusters:?}");
+        assert!(
+            clusters
+                .iter()
+                .all(|c| { c.iter().all(|&i| i < 3) || c.iter().all(|&i| i >= 3) }),
+            "clusters mix blobs: {clusters:?}"
+        );
     }
 
     #[test]
@@ -161,7 +180,10 @@ mod tests {
         let out = kmeans(&space, &[vec![0, 1, 2], vec![3, 4, 5]], &strict());
         // Iteration 1 assigns everyone (all "move" from unassigned);
         // iteration 2 confirms stability.
-        assert_eq!(out.iterations, 2, "perfect seeds converge after the confirming pass");
+        assert_eq!(
+            out.iterations, 2,
+            "perfect seeds converge after the confirming pass"
+        );
         assert_eq!(out.partition.clusters()[0], vec![0, 1, 2]);
     }
 

@@ -24,17 +24,26 @@ impl Partition {
                 seen[m] = true;
             }
         }
-        Partition { clusters, num_items }
+        Partition {
+            clusters,
+            num_items,
+        }
     }
 
     /// Build from an assignment array `item -> cluster index`.
     pub fn from_assignments(assignments: &[usize], num_clusters: usize) -> Self {
         let mut clusters = vec![Vec::new(); num_clusters];
         for (item, &c) in assignments.iter().enumerate() {
-            assert!(c < num_clusters, "cluster index {c} out of range {num_clusters}");
+            assert!(
+                c < num_clusters,
+                "cluster index {c} out of range {num_clusters}"
+            );
             clusters[c].push(item);
         }
-        Partition { clusters, num_items: assignments.len() }
+        Partition {
+            clusters,
+            num_items: assignments.len(),
+        }
     }
 
     /// The cluster member lists.

@@ -21,8 +21,15 @@ pub fn random_singleton_seeds<S: ClusterSpace, R: Rng>(
     rng: &mut R,
 ) -> Vec<Vec<usize>> {
     assert!(k > 0, "k must be positive");
-    assert!(k <= space.len(), "cannot draw {k} seeds from {} items", space.len());
-    sample(rng, space.len(), k).into_iter().map(|i| vec![i]).collect()
+    assert!(
+        k <= space.len(),
+        "cannot draw {k} seeds from {} items",
+        space.len()
+    );
+    sample(rng, space.len(), k)
+        .into_iter()
+        .map(|i| vec![i])
+        .collect()
 }
 
 /// k-means++ seeding (Arthur & Vassilvitskii, SODA 2007): the first seed
@@ -42,14 +49,15 @@ pub fn kmeanspp_seeds<S: ClusterSpace, R: Rng>(
     assert!(k <= n, "cannot draw {k} seeds from {n} items");
     let mut chosen: Vec<usize> = vec![rng.random_range(0..n)];
     // dist2[i] = squared distance of item i to its nearest chosen seed.
-    let mut dist2: Vec<f64> =
-        (0..n).map(|i| sq_dist(space, i, chosen[0])).collect();
+    let mut dist2: Vec<f64> = (0..n).map(|i| sq_dist(space, i, chosen[0])).collect();
     while chosen.len() < k {
         let total: f64 = dist2.iter().sum();
         let next = if total <= 0.0 {
             // All remaining items coincide with seeds; fall back to any
             // unchosen index.
-            (0..n).find(|i| !chosen.contains(i)).expect("k <= n guarantees a free item")
+            (0..n)
+                .find(|i| !chosen.contains(i))
+                .expect("k <= n guarantees a free item")
         } else {
             let mut roll = rng.random::<f64>() * total;
             let mut pick = n - 1;
@@ -180,12 +188,7 @@ mod tests {
     fn greedy_picks_extremes_first() {
         // Candidates centred at 0, 5, 10, 5.1 -> the two most distant are
         // 0 and 10; the third pick is the one maximizing summed distance.
-        let space = DenseSpace::new(vec![
-            vec![0.0],
-            vec![5.0],
-            vec![10.0],
-            vec![5.1],
-        ]);
+        let space = DenseSpace::new(vec![vec![0.0], vec![5.0], vec![10.0], vec![5.1]]);
         let candidates = vec![vec![0], vec![1], vec![2], vec![3]];
         let sel = greedy_distant_seeds(&space, &candidates, 3);
         assert_eq!(sel[0], 0);
@@ -236,7 +239,10 @@ mod tests {
         ]);
         let candidates = vec![vec![0, 1], vec![2, 3], vec![4]];
         let sel = greedy_distant_seeds(&space, &candidates, 2);
-        assert!(sel.contains(&2), "must select the far candidate, got {sel:?}");
+        assert!(
+            sel.contains(&2),
+            "must select the far candidate, got {sel:?}"
+        );
     }
 
     #[test]
@@ -262,7 +268,10 @@ mod tests {
                 cross_blob += 1;
             }
         }
-        assert!(cross_blob >= 18, "D^2 sampling should split blobs: {cross_blob}/20");
+        assert!(
+            cross_blob >= 18,
+            "D^2 sampling should split blobs: {cross_blob}/20"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub fn silhouette_of<S: ClusterSpace>(
         .enumerate()
         .filter(|(ci, c)| *ci != item_cluster && !c.is_empty())
         .map(|(_, c)| {
-            c.iter().map(|&m| 1.0 - space.item_similarity(item, m)).sum::<f64>() / c.len() as f64
+            c.iter()
+                .map(|&m| 1.0 - space.item_similarity(item, m))
+                .sum::<f64>()
+                / c.len() as f64
         })
         .fold(f64::INFINITY, f64::min);
     if !b.is_finite() {
@@ -109,7 +112,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn blobs2() -> DenseSpace {
-        DenseSpace::new(vec![vec![0.0], vec![0.1], vec![0.2], vec![9.0], vec![9.1], vec![9.2]])
+        DenseSpace::new(vec![
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![9.0],
+            vec![9.1],
+            vec![9.2],
+        ])
     }
 
     #[test]
@@ -165,7 +175,10 @@ mod tests {
             kmeans(
                 &space,
                 &seeds,
-                &KMeansOptions { move_fraction_threshold: 1e-9, max_iterations: 50 },
+                &KMeansOptions {
+                    move_fraction_threshold: 1e-9,
+                    max_iterations: 50,
+                },
             )
             .partition
         })

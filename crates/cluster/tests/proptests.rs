@@ -9,10 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        (0.0f64..100.0).prop_map(|x| vec![x]),
-        1..max,
-    )
+    proptest::collection::vec((0.0f64..100.0).prop_map(|x| vec![x]), 1..max)
 }
 
 proptest! {

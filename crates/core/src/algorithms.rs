@@ -98,7 +98,13 @@ pub fn cafc_ch<R: Rng>(
     }
 
     let outcome = kmeans(space, &seeds, &config.kmeans);
-    CafcChOutcome { outcome, hub_stats, hub_seeds, padded_seeds, quality_rejected }
+    CafcChOutcome {
+        outcome,
+        hub_stats,
+        hub_seeds,
+        padded_seeds,
+        quality_rejected,
+    }
 }
 
 /// `SelectHubClusters` (Algorithm 3) as a standalone step: build hub
@@ -117,7 +123,11 @@ pub fn select_hub_clusters(
     space: &FormPageSpace<'_>,
     config: &CafcChConfig,
 ) -> (Vec<Vec<usize>>, HubStats, usize) {
-    assert_eq!(targets.len(), space.len(), "targets must align with the corpus items");
+    assert_eq!(
+        targets.len(),
+        space.len(),
+        "targets must align with the corpus items"
+    );
     let (clusters, hub_stats) = hub_clusters(graph, targets, &config.hub);
     let mut candidates: Vec<Vec<usize>> = clusters.into_iter().map(|c| c.members).collect();
 
@@ -198,7 +208,10 @@ mod tests {
     }
 
     fn strict_kmeans() -> KMeansOptions {
-        KMeansOptions { move_fraction_threshold: 1e-9, max_iterations: 100 }
+        KMeansOptions {
+            move_fraction_threshold: 1e-9,
+            max_iterations: 100,
+        }
     }
 
     #[test]
@@ -222,7 +235,10 @@ mod tests {
         let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
         let config = CafcChConfig {
             k: 2,
-            hub: HubClusterOptions { min_cardinality: 2, ..Default::default() },
+            hub: HubClusterOptions {
+                min_cardinality: 2,
+                ..Default::default()
+            },
             kmeans: strict_kmeans(),
             min_hub_quality: None,
         };
@@ -247,7 +263,10 @@ mod tests {
         // min_cardinality 4 kills both 3-member hub clusters.
         let config = CafcChConfig {
             k: 2,
-            hub: HubClusterOptions { min_cardinality: 4, ..Default::default() },
+            hub: HubClusterOptions {
+                min_cardinality: 4,
+                ..Default::default()
+            },
             kmeans: strict_kmeans(),
             min_hub_quality: None,
         };
@@ -270,13 +289,19 @@ mod tests {
         let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
         let config = CafcChConfig {
             k: 2,
-            hub: HubClusterOptions { min_cardinality: 2, ..Default::default() },
+            hub: HubClusterOptions {
+                min_cardinality: 2,
+                ..Default::default()
+            },
             kmeans: strict_kmeans(),
             min_hub_quality: Some(0.5),
         };
         let mut rng = StdRng::seed_from_u64(8);
         let out = cafc_ch(&g, &targets, &space, &config, &mut rng);
-        assert!(out.quality_rejected >= 1, "the mixed hub should be gated out");
+        assert!(
+            out.quality_rejected >= 1,
+            "the mixed hub should be gated out"
+        );
     }
 
     #[test]

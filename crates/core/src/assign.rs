@@ -27,7 +27,10 @@ pub fn assign_to_clusters(
         .filter(|(_, members)| !members.is_empty())
         .map(|(ci, members)| (ci, space.centroid(members)))
         .collect();
-    assert!(!centroids.is_empty(), "cannot assign against an empty partition");
+    assert!(
+        !centroids.is_empty(),
+        "cannot assign against an empty partition"
+    );
     items
         .iter()
         .map(|&item| {

@@ -51,7 +51,11 @@ impl<'a> MixedSimilaritySpace<'a> {
         limit: usize,
         alpha: f64,
     ) -> Self {
-        assert_eq!(targets.len(), text.len(), "targets must align with corpus items");
+        assert_eq!(
+            targets.len(),
+            text.len(),
+            "targets must align with corpus items"
+        );
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
         let links = targets
             .iter()
@@ -95,7 +99,10 @@ impl ClusterSpace for MixedSimilaritySpace<'_> {
     }
 
     fn centroid_similarity(&self, a: &MixedCentroid, b: &MixedCentroid) -> f64 {
-        self.mix(self.text.centroid_similarity(&a.text, &b.text), a.links.cosine(&b.links))
+        self.mix(
+            self.text.centroid_similarity(&a.text, &b.text),
+            a.links.cosine(&b.links),
+        )
     }
 
     fn item_similarity(&self, a: usize, b: usize) -> f64 {
@@ -154,9 +161,7 @@ mod tests {
         let mixed = MixedSimilaritySpace::new(text, &g, &targets, 100, 1.0);
         for a in 0..4 {
             for b in 0..4 {
-                assert!(
-                    (mixed.item_similarity(a, b) - text.item_similarity(a, b)).abs() < 1e-12
-                );
+                assert!((mixed.item_similarity(a, b) - text.item_similarity(a, b)).abs() < 1e-12);
             }
         }
     }
@@ -182,7 +187,10 @@ mod tests {
         let out = kmeans(
             &space,
             &[vec![0], vec![2]],
-            &KMeansOptions { move_fraction_threshold: 1e-9, max_iterations: 50 },
+            &KMeansOptions {
+                move_fraction_threshold: 1e-9,
+                max_iterations: 50,
+            },
         );
         let clusters = out.partition.clusters();
         assert_eq!(clusters[0], vec![0, 1]);

@@ -27,9 +27,19 @@ impl IncrementalClusters {
         let members: Vec<Vec<usize>> = partition.clusters().to_vec();
         let centroids: Vec<MultiCentroid> = members
             .iter()
-            .map(|m| if m.is_empty() { MultiCentroid::default() } else { space.centroid(m) })
+            .map(|m| {
+                if m.is_empty() {
+                    MultiCentroid::default()
+                } else {
+                    space.centroid(m)
+                }
+            })
             .collect();
-        IncrementalClusters { initial_centroids: centroids.clone(), members, centroids }
+        IncrementalClusters {
+            initial_centroids: centroids.clone(),
+            members,
+            centroids,
+        }
     }
 
     /// Current member lists.
@@ -62,11 +72,7 @@ impl IncrementalClusters {
     }
 
     /// Assign a batch, returning `(item, cluster)` pairs in input order.
-    pub fn add_batch(
-        &mut self,
-        space: &FormPageSpace<'_>,
-        items: &[usize],
-    ) -> Vec<(usize, usize)> {
+    pub fn add_batch(&mut self, space: &FormPageSpace<'_>, items: &[usize]) -> Vec<(usize, usize)> {
         items.iter().map(|&i| (i, self.assign(space, i))).collect()
     }
 
@@ -81,7 +87,8 @@ impl IncrementalClusters {
             if m.is_empty() {
                 continue;
             }
-            sum += 1.0 - space.centroid_similarity(&self.initial_centroids[ci], &self.centroids[ci]);
+            sum +=
+                1.0 - space.centroid_similarity(&self.initial_centroids[ci], &self.centroids[ci]);
             count += 1;
         }
         if count == 0 {
@@ -141,7 +148,10 @@ mod tests {
         inc.add_batch(&space, &[4, 5, 6, 7]);
         let drift = inc.drift(&space);
         assert!(drift > 0.0, "absorbing items must move centroids");
-        assert!(drift < 0.5, "same-domain arrivals should not upend centroids: {drift}");
+        assert!(
+            drift < 0.5,
+            "same-domain arrivals should not upend centroids: {drift}"
+        );
     }
 
     #[test]

@@ -138,7 +138,8 @@ impl FormPageCorpus {
             let mut fc = CountsBuilder::new();
             for lt in located_text(&doc) {
                 term_buf.clear();
-                opts.analyzer.analyze_into(&lt.text, &mut dict, &mut term_buf);
+                opts.analyzer
+                    .analyze_into(&lt.text, &mut dict, &mut term_buf);
                 let w = opts.weights.weight(lt.location);
                 if lt.location.is_form() {
                     // Form text belongs to both spaces: FC by definition,
@@ -189,7 +190,8 @@ impl FormPageCorpus {
             let mut fc = CountsBuilder::new();
             for lt in located_text(&doc) {
                 term_buf.clear();
-                opts.analyzer.analyze_into(&lt.text, &mut dict, &mut term_buf);
+                opts.analyzer
+                    .analyze_into(&lt.text, &mut dict, &mut term_buf);
                 let w = opts.weights.weight(lt.location);
                 if lt.location.is_form() {
                     fc.add_all(term_buf.iter().copied(), w);
@@ -213,15 +215,24 @@ impl FormPageCorpus {
                 .collect();
             linkers.sort_unstable();
             linkers.dedup();
-            let target_index: std::collections::HashMap<&cafc_webgraph::Url, usize> =
-                pages.iter().enumerate().map(|(i, &p)| (graph.url(p), i)).collect();
+            let target_index: std::collections::HashMap<&cafc_webgraph::Url, usize> = pages
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (graph.url(p), i))
+                .collect();
             for linker in linkers {
-                let Some(html) = graph.html(linker) else { continue };
+                let Some(html) = graph.html(linker) else {
+                    continue;
+                };
                 let doc = parse(html);
                 let base = graph.url(linker);
                 for node in doc.elements_named("a") {
-                    let Some(href) = doc.attr(node, "href") else { continue };
-                    let Some(url) = base.resolve(href) else { continue };
+                    let Some(href) = doc.attr(node, "href") else {
+                        continue;
+                    };
+                    let Some(url) = base.resolve(href) else {
+                        continue;
+                    };
                     if let Some(&target) = target_index.get(&url) {
                         let text = doc.text_content(node);
                         term_buf.clear();
@@ -253,19 +264,33 @@ impl FormPageCorpus {
         for c in &fc_counts {
             fc_df.add_document(c.term_ids());
         }
-        let pc = pc_counts.iter().map(|c| weigh(c, &pc_df, opts.tf, opts.idf)).collect();
-        let fc = fc_counts.iter().map(|c| weigh(c, &fc_df, opts.tf, opts.idf)).collect();
+        let pc = pc_counts
+            .iter()
+            .map(|c| weigh(c, &pc_df, opts.tf, opts.idf))
+            .collect();
+        let fc = fc_counts
+            .iter()
+            .map(|c| weigh(c, &fc_df, opts.tf, opts.idf))
+            .collect();
         let anchor = match anchor_counts {
             Some(counts) => {
                 let mut adf = DocumentFrequencies::new();
                 for c in &counts {
                     adf.add_document(c.term_ids());
                 }
-                counts.iter().map(|c| weigh(c, &adf, opts.tf, opts.idf)).collect()
+                counts
+                    .iter()
+                    .map(|c| weigh(c, &adf, opts.tf, opts.idf))
+                    .collect()
             }
             None => vec![SparseVector::empty(); n],
         };
-        FormPageCorpus { dict, pc, fc, anchor }
+        FormPageCorpus {
+            dict,
+            pc,
+            fc,
+            anchor,
+        }
     }
 }
 
@@ -286,11 +311,17 @@ mod tests {
         let corpus = FormPageCorpus::from_html(pages.iter().copied(), &opts());
         assert_eq!(corpus.len(), 2);
         // FC vectors contain only form vocabulary.
-        let departure = corpus.dict.get("departur").expect("stemmed 'departure' interned");
+        let departure = corpus
+            .dict
+            .get("departur")
+            .expect("stemmed 'departure' interned");
         assert!(corpus.fc[0].get(departure) > 0.0);
         assert_eq!(corpus.fc[1].get(departure), 0.0);
         // PC vectors contain body vocabulary.
-        let airfare = corpus.dict.get("airfar").expect("stemmed 'airfare' interned");
+        let airfare = corpus
+            .dict
+            .get("airfar")
+            .expect("stemmed 'airfare' interned");
         assert!(corpus.pc[0].get(airfare) > 0.0);
     }
 
@@ -302,7 +333,10 @@ mod tests {
         ];
         let corpus = FormPageCorpus::from_html(pages.iter().copied(), &opts());
         let departure = corpus.dict.get("departur").expect("interned");
-        assert!(corpus.pc[0].get(departure) > 0.0, "PC must cover form text too");
+        assert!(
+            corpus.pc[0].get(departure) > 0.0,
+            "PC must cover form text too"
+        );
     }
 
     #[test]
@@ -338,7 +372,10 @@ mod tests {
     #[test]
     fn uniform_weights_remove_location_effect() {
         let pages = ["<title>flights</title>", "<p>flights</p>", "<p>other</p>"];
-        let o = ModelOptions { weights: LocationWeights::uniform(), ..opts() };
+        let o = ModelOptions {
+            weights: LocationWeights::uniform(),
+            ..opts()
+        };
         let corpus = FormPageCorpus::from_html(pages.iter().copied(), &o);
         let flights = corpus.dict.get("flight").expect("interned");
         assert!((corpus.pc[0].get(flights) - corpus.pc[1].get(flights)).abs() < 1e-12);
@@ -355,7 +392,10 @@ mod tests {
         // One occurrence at weight 0.5 (option) + one at 1.0 (form text)
         // = 1.5x idf; with uniform weights it would be 2x idf.
         let differentiated = corpus.fc[0].get(texas);
-        let o = ModelOptions { weights: LocationWeights::uniform(), ..opts() };
+        let o = ModelOptions {
+            weights: LocationWeights::uniform(),
+            ..opts()
+        };
         let uniform_corpus = FormPageCorpus::from_html(pages.iter().copied(), &o);
         let uniform = uniform_corpus.fc[0].get(texas);
         assert!(differentiated < uniform);

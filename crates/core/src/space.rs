@@ -114,7 +114,11 @@ impl ClusterSpace for FormPageSpace<'_> {
     }
 
     fn centroid_similarity(&self, a: &MultiCentroid, b: &MultiCentroid) -> f64 {
-        self.combine(a.pc.cosine(&b.pc), a.fc.cosine(&b.fc), a.anchor.cosine(&b.anchor))
+        self.combine(
+            a.pc.cosine(&b.pc),
+            a.fc.cosine(&b.fc),
+            a.anchor.cosine(&b.anchor),
+        )
     }
 
     fn item_similarity(&self, a: usize, b: usize) -> f64 {
@@ -151,7 +155,10 @@ mod tests {
         let space = FormPageSpace::new(&c, FeatureConfig::combined());
         let same = space.item_similarity(0, 1);
         let diff = space.item_similarity(0, 2);
-        assert!(same > diff, "same-domain sim {same} <= cross-domain sim {diff}");
+        assert!(
+            same > diff,
+            "same-domain sim {same} <= cross-domain sim {diff}"
+        );
     }
 
     #[test]
@@ -165,7 +172,10 @@ mod tests {
         let c = FormPageCorpus::from_html(pages.iter().copied(), &ModelOptions::default());
         let fc_space = FormPageSpace::new(&c, FeatureConfig::FcOnly);
         let sim = fc_space.item_similarity(0, 1);
-        assert!((sim - 1.0).abs() < 1e-9, "identical forms must have FC sim 1, got {sim}");
+        assert!(
+            (sim - 1.0).abs() < 1e-9,
+            "identical forms must have FC sim 1, got {sim}"
+        );
         let pc_space = FormPageSpace::new(&c, FeatureConfig::PcOnly);
         assert!(pc_space.item_similarity(0, 1) < 0.5);
     }
@@ -205,7 +215,11 @@ mod tests {
             FeatureConfig::FcOnly,
             FeatureConfig::PcOnly,
             FeatureConfig::combined(),
-            FeatureConfig::WithAnchors { c1: 1.0, c2: 1.0, c3: 1.0 },
+            FeatureConfig::WithAnchors {
+                c1: 1.0,
+                c2: 1.0,
+                c3: 1.0,
+            },
         ] {
             let space = FormPageSpace::new(&c, config);
             for a in 0..3 {

@@ -64,48 +64,149 @@ impl Domain {
 
     /// Index in [`Domain::ALL`].
     pub fn index(self) -> usize {
-        Domain::ALL.iter().position(|&d| d == self).expect("domain in ALL")
+        Domain::ALL
+            .iter()
+            .position(|&d| d == self)
+            .expect("domain in ALL")
     }
 
     /// Attribute-label vocabulary (schema terms).
     pub fn schema_terms(self) -> &'static [&'static str] {
         match self {
             Domain::Airfare => &[
-                "departure", "arrival", "depart", "return", "from", "destination", "origin",
-                "passengers", "adults", "children", "infants", "cabin", "class", "airline",
-                "trip", "round", "oneway", "nonstop", "flexible", "dates", "airport", "flight",
+                "departure",
+                "arrival",
+                "depart",
+                "return",
+                "from",
+                "destination",
+                "origin",
+                "passengers",
+                "adults",
+                "children",
+                "infants",
+                "cabin",
+                "class",
+                "airline",
+                "trip",
+                "round",
+                "oneway",
+                "nonstop",
+                "flexible",
+                "dates",
+                "airport",
+                "flight",
             ],
             Domain::Auto => &[
-                "make", "model", "year", "price", "mileage", "condition", "body", "style",
-                "transmission", "engine", "color", "zip", "distance", "dealer", "certified",
-                "new", "used", "vehicle", "trim", "doors", "fuel", "drive",
+                "make",
+                "model",
+                "year",
+                "price",
+                "mileage",
+                "condition",
+                "body",
+                "style",
+                "transmission",
+                "engine",
+                "color",
+                "zip",
+                "distance",
+                "dealer",
+                "certified",
+                "new",
+                "used",
+                "vehicle",
+                "trim",
+                "doors",
+                "fuel",
+                "drive",
             ],
             Domain::Book => &[
-                "title", "author", "isbn", "publisher", "keyword", "subject", "format",
-                "edition", "binding", "language", "category", "price", "condition", "signed",
-                "illustrated", "year", "publication",
+                "title",
+                "author",
+                "isbn",
+                "publisher",
+                "keyword",
+                "subject",
+                "format",
+                "edition",
+                "binding",
+                "language",
+                "category",
+                "price",
+                "condition",
+                "signed",
+                "illustrated",
+                "year",
+                "publication",
             ],
             Domain::Hotel => &[
-                "checkin", "checkout", "destination", "city", "rooms", "guests", "adults",
-                "children", "nights", "rating", "amenities", "price", "range", "area",
-                "neighborhood", "arrival", "departure", "smoking", "beds",
+                "checkin",
+                "checkout",
+                "destination",
+                "city",
+                "rooms",
+                "guests",
+                "adults",
+                "children",
+                "nights",
+                "rating",
+                "amenities",
+                "price",
+                "range",
+                "area",
+                "neighborhood",
+                "arrival",
+                "departure",
+                "smoking",
+                "beds",
             ],
             Domain::Job => &[
-                "keywords", "category", "industry", "location", "state", "city", "salary",
-                "title", "position", "experience", "level", "type", "fulltime", "parttime",
-                "posted", "radius", "function", "education", "field",
+                "keywords",
+                "category",
+                "industry",
+                "location",
+                "state",
+                "city",
+                "salary",
+                "title",
+                "position",
+                "experience",
+                "level",
+                "type",
+                "fulltime",
+                "parttime",
+                "posted",
+                "radius",
+                "function",
+                "education",
+                "field",
             ],
             Domain::Movie => &[
                 "title", "genre", "rating", "director", "actor", "actress", "studio", "format",
                 "release", "year", "keyword", "category", "decade", "mpaa", "runtime", "cast",
             ],
             Domain::Music => &[
-                "artist", "album", "song", "title", "genre", "label", "format", "keyword",
-                "track", "release", "year", "band", "composer", "style", "decade",
+                "artist", "album", "song", "title", "genre", "label", "format", "keyword", "track",
+                "release", "year", "band", "composer", "style", "decade",
             ],
             Domain::CarRental => &[
-                "pickup", "dropoff", "location", "date", "time", "return", "driver", "age",
-                "vehicle", "class", "type", "discount", "corporate", "rate", "city", "airport",
+                "pickup",
+                "dropoff",
+                "location",
+                "date",
+                "time",
+                "return",
+                "driver",
+                "age",
+                "vehicle",
+                "class",
+                "type",
+                "discount",
+                "corporate",
+                "rate",
+                "city",
+                "airport",
             ],
         }
     }
@@ -114,52 +215,217 @@ impl Domain {
     pub fn content_terms(self) -> &'static [&'static str] {
         match self {
             Domain::Airfare => &[
-                "flights", "airfare", "airfares", "cheap", "travel", "airlines", "tickets",
-                "fares", "deals", "vacation", "international", "domestic", "booking", "save",
-                "compare", "lowest", "trips", "destinations", "getaway", "itinerary", "miles",
-                "nonstop", "airports", "carriers", "seats", "travelers",
+                "flights",
+                "airfare",
+                "airfares",
+                "cheap",
+                "travel",
+                "airlines",
+                "tickets",
+                "fares",
+                "deals",
+                "vacation",
+                "international",
+                "domestic",
+                "booking",
+                "save",
+                "compare",
+                "lowest",
+                "trips",
+                "destinations",
+                "getaway",
+                "itinerary",
+                "miles",
+                "nonstop",
+                "airports",
+                "carriers",
+                "seats",
+                "travelers",
             ],
             Domain::Auto => &[
-                "cars", "autos", "automobile", "automobiles", "vehicles", "dealers",
-                "dealership", "inventory", "listings", "trucks", "suvs", "sedans", "coupes",
-                "convertibles", "financing", "loan", "warranty", "trade", "appraisal",
-                "test", "research", "reviews", "pricing", "motors", "preowned",
+                "cars",
+                "autos",
+                "automobile",
+                "automobiles",
+                "vehicles",
+                "dealers",
+                "dealership",
+                "inventory",
+                "listings",
+                "trucks",
+                "suvs",
+                "sedans",
+                "coupes",
+                "convertibles",
+                "financing",
+                "loan",
+                "warranty",
+                "trade",
+                "appraisal",
+                "test",
+                "research",
+                "reviews",
+                "pricing",
+                "motors",
+                "preowned",
             ],
             Domain::Book => &[
-                "books", "bookstore", "reading", "readers", "bestsellers", "fiction",
-                "nonfiction", "novels", "textbooks", "literature", "biography", "mystery",
-                "romance", "paperback", "hardcover", "authors", "publishers", "library",
-                "chapters", "titles", "editions", "collectible", "rare", "browse",
+                "books",
+                "bookstore",
+                "reading",
+                "readers",
+                "bestsellers",
+                "fiction",
+                "nonfiction",
+                "novels",
+                "textbooks",
+                "literature",
+                "biography",
+                "mystery",
+                "romance",
+                "paperback",
+                "hardcover",
+                "authors",
+                "publishers",
+                "library",
+                "chapters",
+                "titles",
+                "editions",
+                "collectible",
+                "rare",
+                "browse",
             ],
             Domain::Hotel => &[
-                "hotels", "rooms", "suites", "reservations", "resorts", "inns", "motels",
-                "lodging", "accommodation", "accommodations", "stay", "nightly", "rates",
-                "availability", "breakfast", "pool", "spa", "luxury", "budget", "downtown",
-                "oceanfront", "guest", "hospitality", "getaways",
+                "hotels",
+                "rooms",
+                "suites",
+                "reservations",
+                "resorts",
+                "inns",
+                "motels",
+                "lodging",
+                "accommodation",
+                "accommodations",
+                "stay",
+                "nightly",
+                "rates",
+                "availability",
+                "breakfast",
+                "pool",
+                "spa",
+                "luxury",
+                "budget",
+                "downtown",
+                "oceanfront",
+                "guest",
+                "hospitality",
+                "getaways",
             ],
             Domain::Job => &[
-                "jobs", "careers", "employment", "employers", "resume", "resumes", "salaries",
-                "positions", "openings", "candidates", "recruiters", "recruiting", "staffing",
-                "hiring", "interviews", "postings", "professionals", "opportunities",
-                "workplace", "engineers", "managers", "internships", "benefits",
+                "jobs",
+                "careers",
+                "employment",
+                "employers",
+                "resume",
+                "resumes",
+                "salaries",
+                "positions",
+                "openings",
+                "candidates",
+                "recruiters",
+                "recruiting",
+                "staffing",
+                "hiring",
+                "interviews",
+                "postings",
+                "professionals",
+                "opportunities",
+                "workplace",
+                "engineers",
+                "managers",
+                "internships",
+                "benefits",
             ],
             Domain::Movie => &[
-                "movies", "films", "dvds", "cinema", "theater", "theaters", "drama", "comedy",
-                "action", "horror", "thriller", "documentary", "animation", "trailers",
-                "reviews", "screenings", "blockbuster", "starring", "directors", "actors",
-                "soundtrack", "releases", "videos", "classics", "festival",
+                "movies",
+                "films",
+                "dvds",
+                "cinema",
+                "theater",
+                "theaters",
+                "drama",
+                "comedy",
+                "action",
+                "horror",
+                "thriller",
+                "documentary",
+                "animation",
+                "trailers",
+                "reviews",
+                "screenings",
+                "blockbuster",
+                "starring",
+                "directors",
+                "actors",
+                "soundtrack",
+                "releases",
+                "videos",
+                "classics",
+                "festival",
             ],
             Domain::Music => &[
-                "cds", "albums", "artists", "bands", "songs", "tracks", "audio", "rock",
-                "pop", "jazz", "classical", "country", "rap", "hiphop", "blues", "lyrics",
-                "concerts", "tours", "vinyl", "singles", "charts", "soundtrack", "releases",
-                "listen", "recordings", "labels",
+                "cds",
+                "albums",
+                "artists",
+                "bands",
+                "songs",
+                "tracks",
+                "audio",
+                "rock",
+                "pop",
+                "jazz",
+                "classical",
+                "country",
+                "rap",
+                "hiphop",
+                "blues",
+                "lyrics",
+                "concerts",
+                "tours",
+                "vinyl",
+                "singles",
+                "charts",
+                "soundtrack",
+                "releases",
+                "listen",
+                "recordings",
+                "labels",
             ],
             Domain::CarRental => &[
-                "rental", "rentals", "rent", "cars", "locations", "reservations", "rates",
-                "daily", "weekly", "weekend", "insurance", "unlimited", "mileage", "economy",
-                "compact", "midsize", "fullsize", "minivan", "luxury", "pickup", "airport",
-                "branches", "fleet", "drivers",
+                "rental",
+                "rentals",
+                "rent",
+                "cars",
+                "locations",
+                "reservations",
+                "rates",
+                "daily",
+                "weekly",
+                "weekend",
+                "insurance",
+                "unlimited",
+                "mileage",
+                "economy",
+                "compact",
+                "midsize",
+                "fullsize",
+                "minivan",
+                "luxury",
+                "pickup",
+                "airport",
+                "branches",
+                "fleet",
+                "drivers",
             ],
         }
     }
@@ -178,30 +444,114 @@ impl Domain {
             Domain::Hotel => &CITIES[6..24],
             Domain::CarRental => &CITIES[12..30],
             Domain::Auto => &[
-                "ford", "toyota", "honda", "chevrolet", "nissan", "bmw", "audi", "volkswagen",
-                "mercedes", "hyundai", "subaru", "mazda", "jeep", "dodge", "lexus", "acura",
-                "volvo", "cadillac", "buick", "pontiac", "saturn", "mitsubishi",
+                "ford",
+                "toyota",
+                "honda",
+                "chevrolet",
+                "nissan",
+                "bmw",
+                "audi",
+                "volkswagen",
+                "mercedes",
+                "hyundai",
+                "subaru",
+                "mazda",
+                "jeep",
+                "dodge",
+                "lexus",
+                "acura",
+                "volvo",
+                "cadillac",
+                "buick",
+                "pontiac",
+                "saturn",
+                "mitsubishi",
             ],
             Domain::Book => &[
-                "fiction", "mystery", "romance", "science", "history", "biography", "travel",
-                "cooking", "health", "business", "computers", "religion", "poetry", "drama",
-                "reference", "children", "teens", "art", "sports", "nature",
+                "fiction",
+                "mystery",
+                "romance",
+                "science",
+                "history",
+                "biography",
+                "travel",
+                "cooking",
+                "health",
+                "business",
+                "computers",
+                "religion",
+                "poetry",
+                "drama",
+                "reference",
+                "children",
+                "teens",
+                "art",
+                "sports",
+                "nature",
             ],
             Domain::Job => &[
-                "accounting", "engineering", "marketing", "finance", "healthcare", "education",
-                "retail", "hospitality", "construction", "legal", "manufacturing",
-                "transportation", "technology", "government", "insurance", "banking",
-                "telecommunications", "pharmaceutical", "nonprofit", "administrative",
+                "accounting",
+                "engineering",
+                "marketing",
+                "finance",
+                "healthcare",
+                "education",
+                "retail",
+                "hospitality",
+                "construction",
+                "legal",
+                "manufacturing",
+                "transportation",
+                "technology",
+                "government",
+                "insurance",
+                "banking",
+                "telecommunications",
+                "pharmaceutical",
+                "nonprofit",
+                "administrative",
             ],
             Domain::Movie => &[
-                "action", "adventure", "comedy", "drama", "horror", "thriller", "romance",
-                "western", "musical", "documentary", "animation", "family", "fantasy",
-                "crime", "mystery", "war", "biography", "history",
+                "action",
+                "adventure",
+                "comedy",
+                "drama",
+                "horror",
+                "thriller",
+                "romance",
+                "western",
+                "musical",
+                "documentary",
+                "animation",
+                "family",
+                "fantasy",
+                "crime",
+                "mystery",
+                "war",
+                "biography",
+                "history",
             ],
             Domain::Music => &[
-                "rock", "pop", "jazz", "classical", "country", "blues", "folk", "reggae",
-                "electronic", "dance", "metal", "punk", "soul", "gospel", "latin", "world",
-                "alternative", "indie", "opera", "soundtrack",
+                "rock",
+                "pop",
+                "jazz",
+                "classical",
+                "country",
+                "blues",
+                "folk",
+                "reggae",
+                "electronic",
+                "dance",
+                "metal",
+                "punk",
+                "soul",
+                "gospel",
+                "latin",
+                "world",
+                "alternative",
+                "indie",
+                "opera",
+                "soundtrack",
             ],
         }
     }
@@ -231,16 +581,52 @@ impl std::fmt::Display for Domain {
 /// City/state option values shared by the travel domains (and used as
 /// location selects in Job/Auto forms too).
 pub const CITIES: &[&str] = &[
-    "atlanta", "boston", "chicago", "dallas", "denver", "detroit", "houston", "miami",
-    "minneapolis", "orlando", "philadelphia", "phoenix", "portland", "seattle", "tampa",
-    "alabama", "arizona", "california", "colorado", "florida", "georgia", "illinois",
-    "michigan", "nevada", "ohio", "oregon", "texas", "utah", "virginia", "washington",
+    "atlanta",
+    "boston",
+    "chicago",
+    "dallas",
+    "denver",
+    "detroit",
+    "houston",
+    "miami",
+    "minneapolis",
+    "orlando",
+    "philadelphia",
+    "phoenix",
+    "portland",
+    "seattle",
+    "tampa",
+    "alabama",
+    "arizona",
+    "california",
+    "colorado",
+    "florida",
+    "georgia",
+    "illinois",
+    "michigan",
+    "nevada",
+    "ohio",
+    "oregon",
+    "texas",
+    "utah",
+    "virginia",
+    "washington",
 ];
 
 /// Month names — near-universal option/select noise.
 pub const MONTHS: &[&str] = &[
-    "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 /// Web-generic vocabulary present on virtually every page; the paper's
@@ -248,12 +634,59 @@ pub const MONTHS: &[&str] = &[
 /// ("privaci, shop, copyright, help, have high frequency in form pages of
 /// all three domains").
 pub const GENERIC_TERMS: &[&str] = &[
-    "home", "about", "contact", "privacy", "policy", "copyright", "help", "site", "map",
-    "login", "account", "email", "newsletter", "terms", "conditions", "shop", "shopping",
-    "cart", "free", "shipping", "click", "here", "sign", "member", "members", "news",
-    "welcome", "service", "customer", "support", "faq", "online", "web", "page", "rights",
-    "reserved", "view", "today", "best", "top", "find", "advanced", "search", "results",
-    "browse", "gift", "order", "secure", "guarantee", "company", "press", "jobs", "affiliates",
+    "home",
+    "about",
+    "contact",
+    "privacy",
+    "policy",
+    "copyright",
+    "help",
+    "site",
+    "map",
+    "login",
+    "account",
+    "email",
+    "newsletter",
+    "terms",
+    "conditions",
+    "shop",
+    "shopping",
+    "cart",
+    "free",
+    "shipping",
+    "click",
+    "here",
+    "sign",
+    "member",
+    "members",
+    "news",
+    "welcome",
+    "service",
+    "customer",
+    "support",
+    "faq",
+    "online",
+    "web",
+    "page",
+    "rights",
+    "reserved",
+    "view",
+    "today",
+    "best",
+    "top",
+    "find",
+    "advanced",
+    "search",
+    "results",
+    "browse",
+    "gift",
+    "order",
+    "secure",
+    "guarantee",
+    "company",
+    "press",
+    "jobs",
+    "affiliates",
 ];
 
 #[cfg(test)]
@@ -315,9 +748,18 @@ mod tests {
             .iter()
             .filter(|v| Domain::CarRental.option_values().contains(v))
             .count();
-        assert!(shared_ah >= 8, "airfare/hotel option overlap too small: {shared_ah}");
-        assert!(shared_hr >= 8, "hotel/rental option overlap too small: {shared_hr}");
-        assert_ne!(Domain::Airfare.option_values(), Domain::CarRental.option_values());
+        assert!(
+            shared_ah >= 8,
+            "airfare/hotel option overlap too small: {shared_ah}"
+        );
+        assert!(
+            shared_hr >= 8,
+            "hotel/rental option overlap too small: {shared_hr}"
+        );
+        assert_ne!(
+            Domain::Airfare.option_values(),
+            Domain::CarRental.option_values()
+        );
     }
 
     #[test]

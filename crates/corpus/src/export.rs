@@ -53,7 +53,11 @@ pub struct LoadedWeb {
 impl LoadedWeb {
     /// Page ids of the form pages, in manifest order.
     pub fn form_page_ids(&self) -> Vec<PageId> {
-        self.pages.iter().filter(|p| p.is_form_page).map(|p| p.page).collect()
+        self.pages
+            .iter()
+            .filter(|p| p.is_form_page)
+            .map(|p| p.page)
+            .collect()
     }
 
     /// Labels aligned with [`LoadedWeb::form_page_ids`] (missing labels
@@ -99,14 +103,17 @@ pub fn export_web(web: &SyntheticWeb, dir: &Path) -> io::Result<usize> {
     }
 
     let ids: Vec<PageId> = web.graph.page_ids().collect();
-    let index_of: HashMap<PageId, usize> =
-        ids.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let index_of: HashMap<PageId, usize> = ids.iter().enumerate().map(|(i, &p)| (p, i)).collect();
 
     let mut page_entries = Vec::with_capacity(ids.len());
     for (i, &id) in ids.iter().enumerate() {
         let file = format!("pages/{i}.html");
         std::fs::write(dir.join(&file), web.graph.html(id).unwrap_or(""))?;
-        let kind = if label_of.contains_key(&id) { "form" } else { "other" };
+        let kind = if label_of.contains_key(&id) {
+            "form"
+        } else {
+            "other"
+        };
         let label = label_of
             .get(&id)
             .map(|d| format!(",\"label\":{}", json_str(d.name())))
@@ -236,15 +243,20 @@ pub fn load_web(dir: &Path) -> io::Result<LoadedWeb> {
     for obj in &page_objs {
         let url_s =
             json::string_field(obj, "url").ok_or_else(|| bad("page entry missing \"url\""))?;
-        let url = Url::parse(&url_s)
-            .ok_or_else(|| bad(&format!("unparseable page URL: {url_s}")))?;
+        let url =
+            Url::parse(&url_s).ok_or_else(|| bad(&format!("unparseable page URL: {url_s}")))?;
         let file =
             json::string_field(obj, "file").ok_or_else(|| bad("page entry missing \"file\""))?;
         let html = std::fs::read_to_string(dir.join(&file))?;
         let page = graph.add_page(url.clone(), html);
         let is_form_page = json::string_field(obj, "kind").as_deref() == Some("form");
         let label = json::string_field(obj, "label");
-        pages.push(ManifestPage { url, page, is_form_page, label });
+        pages.push(ManifestPage {
+            url,
+            page,
+            is_form_page,
+            label,
+        });
     }
 
     let link_arrays =
@@ -274,7 +286,8 @@ mod tests {
     use crate::web::{generate, CorpusConfig};
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("cafc-export-test-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("cafc-export-test-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -299,7 +312,10 @@ mod tests {
         // HTML content survives byte-for-byte for a sample page.
         let orig = web.graph.html(web.form_pages[0].page).expect("html");
         let orig_url = web.graph.url(web.form_pages[0].page);
-        let loaded_id = loaded.graph.page_id(orig_url).expect("page present after load");
+        let loaded_id = loaded
+            .graph
+            .page_id(orig_url)
+            .expect("page present after load");
         assert_eq!(loaded.graph.html(loaded_id), Some(orig));
 
         let _ = std::fs::remove_dir_all(&dir);

@@ -68,10 +68,15 @@ fn cap(word: &str) -> String {
 
 /// A submit control: text button (usually) or image button.
 fn submit_control<R: Rng>(rng: &mut R, domain: Domain) -> (String, usize) {
-    let verb = ["Search", "Find", "Go", "Show"].choose(rng).expect("non-empty");
+    let verb = ["Search", "Find", "Go", "Show"]
+        .choose(rng)
+        .expect("non-empty");
     if rng.random_bool(0.15) {
         (
-            format!(r#"<input type="image" src="/img/{}_go.gif">"#, domain.name()),
+            format!(
+                r#"<input type="image" src="/img/{}_go.gif">"#,
+                domain.name()
+            ),
             0,
         )
     } else {
@@ -130,7 +135,10 @@ pub fn blended_multi_attribute_form<R: Rng>(
             } else {
                 field_domain.option_values().to_vec()
             };
-            let n_opts = rng.random_range(3..=24).min(remaining.max(3)).min(pool.len());
+            let n_opts = rng
+                .random_range(3..=24)
+                .min(remaining.max(3))
+                .min(pool.len());
             let mut opts = String::new();
             for _ in 0..n_opts {
                 let v = pool.choose(rng).expect("non-empty pool");
@@ -169,7 +177,10 @@ pub fn single_attribute_form<R: Rng>(
     let caption = if rng.random_bool(0.75) {
         format!("Search {}", domain.action_object())
     } else {
-        ["Search", "Quick Search", "Keywords"].choose(rng).expect("non-empty").to_string()
+        ["Search", "Quick Search", "Keywords"]
+            .choose(rng)
+            .expect("non-empty")
+            .to_string()
     };
     // A label-less form still almost always has *some* visible button text
     // (even GIF-button sites typically keep a text submit nearby), so force
@@ -184,7 +195,11 @@ pub fn single_attribute_form<R: Rng>(
         submit_control(rng, domain)
     };
     let (before, inside, label_terms) = match style {
-        LabelStyle::Inside => (String::new(), format!("{caption} "), caption.split_whitespace().count()),
+        LabelStyle::Inside => (
+            String::new(),
+            format!("{caption} "),
+            caption.split_whitespace().count(),
+        ),
         LabelStyle::Outside => (format!("<b>{caption}</b>"), String::new(), 0),
         LabelStyle::None => (String::new(), String::new(), 0),
     };
@@ -334,6 +349,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(16);
         let frag = multi_attribute_form(&mut rng, Domain::Auto, 200);
         let form = parse_fragment(&frag);
-        assert!(!form.option_texts.is_empty(), "a 200-term form should include selects");
+        assert!(
+            !form.option_texts.is_empty(),
+            "a 200-term form should include selects"
+        );
     }
 }

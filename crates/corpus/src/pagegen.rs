@@ -76,11 +76,22 @@ pub fn form_page<R: Rng>(rng: &mut R, params: &FormPageParams) -> String {
     let fragment: FormFragment = match params.single {
         Some(style) => formgen::single_attribute_form(rng, params.domain, style),
         None => {
-            let blend = params.hybrid.then(|| crate::text_gen::neighbour(params.domain));
-            formgen::blended_multi_attribute_form(rng, params.domain, blend, params.form_term_budget)
+            let blend = params
+                .hybrid
+                .then(|| crate::text_gen::neighbour(params.domain));
+            formgen::blended_multi_attribute_form(
+                rng,
+                params.domain,
+                blend,
+                params.form_term_budget,
+            )
         }
     };
-    let title = format!("{} - {}", params.site_name, text_gen::title_phrase(rng, params.domain));
+    let title = format!(
+        "{} - {}",
+        params.site_name,
+        text_gen::title_phrase(rng, params.domain)
+    );
     let heading = text_gen::title_phrase(rng, params.domain);
 
     // Budget the body text. The footer/nav contribute ~30 generic terms on
@@ -99,7 +110,10 @@ pub fn form_page<R: Rng>(rng: &mut R, params: &FormPageParams) -> String {
         } else {
             params.domain
         };
-        paragraphs.push(format!("<p>{}</p>", text_gen::paragraph(rng, para_domain, &mix, chunk)));
+        paragraphs.push(format!(
+            "<p>{}</p>",
+            text_gen::paragraph(rng, para_domain, &mix, chunk)
+        ));
         spent += chunk;
     }
     format!(
@@ -109,7 +123,12 @@ pub fn form_page<R: Rng>(rng: &mut R, params: &FormPageParams) -> String {
         lead = paragraphs.first().cloned().unwrap_or_default(),
         before = fragment.before_form,
         form = fragment.form,
-        rest = paragraphs.iter().skip(1).cloned().collect::<Vec<_>>().join("\n"),
+        rest = paragraphs
+            .iter()
+            .skip(1)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n"),
         footer = footer(),
     )
 }
@@ -163,11 +182,7 @@ pub fn site_root_page<R: Rng>(
 ///
 /// `topic` controls the hub's own text: a domain directory talks about its
 /// domain, a mixed directory uses generic vocabulary only.
-pub fn hub_page<R: Rng>(
-    rng: &mut R,
-    topic: Option<Domain>,
-    links: &[(String, String)],
-) -> String {
+pub fn hub_page<R: Rng>(rng: &mut R, topic: Option<Domain>, links: &[(String, String)]) -> String {
     let mix = TextMix::default();
     let (title, intro) = match topic {
         Some(d) => (
@@ -235,7 +250,7 @@ mod tests {
                 form_term_budget: 40,
                 page_term_budget: budget,
                 site_name: "PageTurner".into(),
-            hybrid: false,
+                hybrid: false,
             };
             let html = form_page(&mut rng, &params);
             let outside = count_terms(&html, false);

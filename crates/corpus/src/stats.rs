@@ -45,7 +45,10 @@ pub fn count_terms(html: &str) -> PageTermCounts {
             page_terms += words;
         }
     }
-    PageTermCounts { form_terms, page_terms }
+    PageTermCounts {
+        form_terms,
+        page_terms,
+    }
 }
 
 /// Compute Table 1 over a set of HTML documents.
@@ -70,7 +73,11 @@ where
         .map(|(i, &(label, _, _))| Table1Row {
             bin: label,
             pages: counts[i],
-            avg_page_terms: if counts[i] == 0 { 0.0 } else { sums[i] as f64 / counts[i] as f64 },
+            avg_page_terms: if counts[i] == 0 {
+                0.0
+            } else {
+                sums[i] as f64 / counts[i] as f64
+            },
         })
         .collect()
 }
@@ -92,7 +99,9 @@ mod tests {
     fn table1_bins_cover_everything() {
         for size in [0usize, 9, 10, 49, 50, 99, 100, 199, 200, 10_000] {
             assert!(
-                TABLE1_BINS.iter().any(|&(_, lo, hi)| size >= lo && size < hi),
+                TABLE1_BINS
+                    .iter()
+                    .any(|&(_, lo, hi)| size >= lo && size < hi),
                 "size {size} uncovered"
             );
         }
@@ -101,8 +110,11 @@ mod tests {
     #[test]
     fn table1_on_synthetic_corpus_shows_anticorrelation() {
         let web = generate(&CorpusConfig::small(3));
-        let htmls: Vec<&str> =
-            web.form_pages.iter().map(|r| web.graph.html(r.page).expect("html")).collect();
+        let htmls: Vec<&str> = web
+            .form_pages
+            .iter()
+            .map(|r| web.graph.html(r.page).expect("html"))
+            .collect();
         let rows = table1(htmls.iter().copied());
         assert_eq!(rows.len(), 5);
         let total: usize = rows.iter().map(|r| r.pages).sum();

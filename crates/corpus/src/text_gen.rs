@@ -24,7 +24,11 @@ pub struct TextMix {
 
 impl Default for TextMix {
     fn default() -> Self {
-        TextMix { domain_content: 0.42, domain_schema: 0.10, cross_domain: 0.06 }
+        TextMix {
+            domain_content: 0.42,
+            domain_schema: 0.10,
+            cross_domain: 0.06,
+        }
     }
 }
 
@@ -75,7 +79,9 @@ pub fn body_word<R: Rng>(rng: &mut R, domain: Domain, mix: &TextMix) -> &'static
 
 /// A sentence of `len` words (capitalized first word, trailing period).
 pub fn sentence<R: Rng>(rng: &mut R, domain: Domain, mix: &TextMix, len: usize) -> String {
-    let mut words: Vec<String> = (0..len).map(|_| body_word(rng, domain, mix).to_owned()).collect();
+    let mut words: Vec<String> = (0..len)
+        .map(|_| body_word(rng, domain, mix).to_owned())
+        .collect();
     if let Some(first) = words.first_mut() {
         let mut cs = first.chars();
         if let Some(c) = cs.next() {
@@ -156,7 +162,11 @@ mod tests {
     #[test]
     fn cross_domain_contamination_present() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let mix = TextMix { cross_domain: 0.5, domain_content: 0.25, domain_schema: 0.0 };
+        let mix = TextMix {
+            cross_domain: 0.5,
+            domain_content: 0.25,
+            domain_schema: 0.0,
+        };
         let mut movie_hits = 0;
         for _ in 0..2000 {
             let w = body_word(&mut rng, Domain::Music, &mix);
@@ -165,7 +175,10 @@ mod tests {
                 movie_hits += 1;
             }
         }
-        assert!(movie_hits > 500, "expected heavy contamination, got {movie_hits}");
+        assert!(
+            movie_hits > 500,
+            "expected heavy contamination, got {movie_hits}"
+        );
     }
 
     #[test]
@@ -178,6 +191,8 @@ mod tests {
     fn title_phrase_capitalized() {
         let mut rng = SmallRng::seed_from_u64(5);
         let t = title_phrase(&mut rng, Domain::Hotel);
-        assert!(t.split(' ').all(|w| w.chars().next().is_some_and(char::is_uppercase)));
+        assert!(t
+            .split(' ')
+            .all(|w| w.chars().next().is_some_and(char::is_uppercase)));
     }
 }

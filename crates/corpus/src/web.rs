@@ -182,8 +182,7 @@ pub fn generate(config: &CorpusConfig) -> SyntheticWeb {
         let count = per_domain + usize::from(di < remainder);
         for k in 0..count {
             let single = k < singles_per_domain
-                || (k == count - 1
-                    && di < config.single_attribute_count % Domain::ALL.len());
+                || (k == count - 1 && di < config.single_attribute_count % Domain::ALL.len());
             let host = format!("www.{}{}.com", domain.name(), site_no);
             site_no += 1;
             let site_name = format!(
@@ -203,9 +202,8 @@ pub fn generate(config: &CorpusConfig) -> SyntheticWeb {
             };
             // A slice of Music/Movie sites genuinely serve both domains
             // (the paper's Figure 4) — the main driver of its §4.2 errors.
-            let hybrid = matches!(domain, Domain::Music | Domain::Movie)
-                && !single
-                && rng.random_bool(0.16);
+            let hybrid =
+                matches!(domain, Domain::Music | Domain::Movie) && !single && rng.random_bool(0.16);
             let params = FormPageParams {
                 domain,
                 single: single_style,
@@ -332,9 +330,14 @@ pub fn generate(config: &CorpusConfig) -> SyntheticWeb {
                         .map(|j| opool[j]),
                 );
             }
-            if let Some(h) =
-                make_hub(&mut graph, &mut rng, Some(domain), &members, &form_pages, &root_hub_ok)
-            {
+            if let Some(h) = make_hub(
+                &mut graph,
+                &mut rng,
+                Some(domain),
+                &members,
+                &form_pages,
+                &root_hub_ok,
+            ) {
                 hubs.push(h);
             }
         }
@@ -344,8 +347,14 @@ pub fn generate(config: &CorpusConfig) -> SyntheticWeb {
         let size = rng.random_range(8..=40).min(form_pages.len());
         let members: Vec<usize> =
             rand::seq::index::sample(&mut rng, form_pages.len(), size).into_vec();
-        if let Some(h) = make_hub(&mut graph, &mut rng, None, &members, &form_pages, &root_hub_ok)
-        {
+        if let Some(h) = make_hub(
+            &mut graph,
+            &mut rng,
+            None,
+            &members,
+            &form_pages,
+            &root_hub_ok,
+        ) {
             hubs.push(h);
         }
     }
@@ -382,18 +391,31 @@ pub fn generate(config: &CorpusConfig) -> SyntheticWeb {
         portal_links.push((graph.url(p).to_string(), "page".to_owned()));
     }
     let portal_html = pagegen::hub_page(&mut rng, None, &portal_links);
-    let portal = graph.add_page(Url::from_parts("http", "portal.example.org", "/"), portal_html);
+    let portal = graph.add_page(
+        Url::from_parts("http", "portal.example.org", "/"),
+        portal_html,
+    );
     let portal_targets: Vec<PageId> = hubs
         .iter()
         .copied()
-        .chain(form_pages.iter().filter_map(|r| graph.page_id(&graph.url(r.page).site_root())))
+        .chain(
+            form_pages
+                .iter()
+                .filter_map(|r| graph.page_id(&graph.url(r.page).site_root())),
+        )
         .chain(non_searchable.iter().copied())
         .collect();
     for t in portal_targets {
         graph.add_link(portal, t);
     }
 
-    SyntheticWeb { graph, form_pages, non_searchable, hubs, portal }
+    SyntheticWeb {
+        graph,
+        form_pages,
+        non_searchable,
+        hubs,
+        portal,
+    }
 }
 
 fn kind_path(kind: NonSearchableKind) -> &'static str {
@@ -440,10 +462,16 @@ mod tests {
         let b = generate(&CorpusConfig::small(7));
         assert_eq!(a.graph.len(), b.graph.len());
         assert_eq!(a.graph.num_links(), b.graph.num_links());
-        let urls_a: Vec<String> =
-            a.form_pages.iter().map(|r| a.graph.url(r.page).to_string()).collect();
-        let urls_b: Vec<String> =
-            b.form_pages.iter().map(|r| b.graph.url(r.page).to_string()).collect();
+        let urls_a: Vec<String> = a
+            .form_pages
+            .iter()
+            .map(|r| a.graph.url(r.page).to_string())
+            .collect();
+        let urls_b: Vec<String> = b
+            .form_pages
+            .iter()
+            .map(|r| b.graph.url(r.page).to_string())
+            .collect();
         assert_eq!(urls_a, urls_b);
     }
 

@@ -1,0 +1,287 @@
+//! Per-host circuit breakers: a failure budget that stops the crawler from
+//! hammering a struggling host, with half-open probing for recovery.
+//!
+//! The state machine is the classic one:
+//!
+//! ```text
+//!            threshold consecutive failures
+//!   Closed ─────────────────────────────────▶ Open
+//!     ▲                                        │ cooldown elapses
+//!     │  half_open_successes probes succeed    ▼
+//!     └──────────────────────────────────── HalfOpen
+//!                 (a probe failure reopens immediately)
+//! ```
+//!
+//! Only *transient* failures count toward the budget — a host that answers
+//! 404/410 is alive and should not be tripped.
+
+use std::collections::HashMap;
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures on a host before its breaker opens.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects fetches, in simulated milliseconds.
+    pub cooldown_ms: u64,
+    /// Successful half-open probes required to close the breaker again.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown_ms: 30_000,
+            half_open_successes: 2,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are being counted.
+    Closed,
+    /// Rejecting fetches until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; probes are allowed through.
+    HalfOpen,
+}
+
+/// The breaker for one host.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_successes: u32,
+    open_until_ms: u64,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_successes: 0,
+            open_until_ms: 0,
+            trips: 0,
+        }
+    }
+
+    /// Whether a fetch may proceed at simulated time `now_ms`. An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// admits the caller as a probe.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_ms >= self.open_until_ms {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful fetch.
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.half_open_successes {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a transient fetch failure at `now_ms`. Returns `true` when
+    /// this failure tripped the breaker open.
+    pub fn record_failure(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now_ms);
+                    return true;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                // A failed probe reopens immediately.
+                self.trip(now_ms);
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.state = BreakerState::Open;
+        self.open_until_ms = now_ms.saturating_add(self.config.cooldown_ms);
+        self.consecutive_failures = 0;
+        self.trips += 1;
+    }
+
+    /// Current state (without side effects).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// When an open breaker becomes probeable again; `None` unless open.
+    pub fn reopen_at_ms(&self) -> Option<u64> {
+        match self.state {
+            BreakerState::Open => Some(self.open_until_ms),
+            _ => None,
+        }
+    }
+
+    /// How many times this breaker has tripped.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+/// The breakers for every host seen by a crawl.
+#[derive(Debug, Default)]
+pub struct HostBreakers {
+    config: BreakerConfig,
+    by_host: HashMap<String, CircuitBreaker>,
+}
+
+impl HostBreakers {
+    /// An empty set with the given per-host tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        HostBreakers {
+            config,
+            by_host: HashMap::new(),
+        }
+    }
+
+    /// The breaker for `host`, created closed on first sight.
+    pub fn breaker(&mut self, host: &str) -> &mut CircuitBreaker {
+        if !self.by_host.contains_key(host) {
+            self.by_host
+                .insert(host.to_owned(), CircuitBreaker::new(self.config));
+        }
+        self.by_host.get_mut(host).expect("just inserted")
+    }
+
+    /// The breaker for `host`, if it has been seen.
+    pub fn get(&self, host: &str) -> Option<&CircuitBreaker> {
+        self.by_host.get(host)
+    }
+
+    /// Total trips across all hosts.
+    pub fn total_trips(&self) -> u64 {
+        self.by_host.values().map(CircuitBreaker::trips).sum()
+    }
+
+    /// Hosts whose breaker is currently open, sorted for determinism.
+    pub fn open_hosts(&self) -> Vec<String> {
+        let mut hosts: Vec<String> = self
+            .by_host
+            .iter()
+            .filter(|(_, b)| b.state() == BreakerState::Open)
+            .map(|(h, _)| h.clone())
+            .collect();
+        hosts.sort();
+        hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 1_000,
+            half_open_successes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(config());
+        assert!(!b.record_failure(0));
+        assert!(!b.record_failure(1));
+        assert!(b.allow(2));
+        assert!(b.record_failure(2), "third consecutive failure must trip");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(3));
+        assert_eq!(b.reopen_at_ms(), Some(1_002));
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = CircuitBreaker::new(config());
+        b.record_failure(0);
+        b.record_failure(1);
+        b.record_success();
+        assert!(!b.record_failure(2));
+        assert!(!b.record_failure(3));
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "non-consecutive failures must not trip"
+        );
+    }
+
+    #[test]
+    fn half_open_recovery_closes_after_enough_probes() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown not elapsed: rejected.
+        assert!(!b.allow(500));
+        // Elapsed: half-open, probes admitted.
+        assert!(b.allow(1_500));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one probe is not enough");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(2_000));
+        assert!(b.record_failure(2_000), "probe failure retrips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.reopen_at_ms(), Some(3_000));
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn host_breakers_are_independent() {
+        let mut hosts = HostBreakers::new(config());
+        for t in 0..3 {
+            hosts.breaker("bad.com").record_failure(t);
+        }
+        hosts.breaker("good.com").record_success();
+        assert_eq!(hosts.breaker("bad.com").state(), BreakerState::Open);
+        assert_eq!(hosts.breaker("good.com").state(), BreakerState::Closed);
+        assert_eq!(hosts.total_trips(), 1);
+        assert_eq!(hosts.open_hosts(), vec!["bad.com".to_owned()]);
+    }
+}

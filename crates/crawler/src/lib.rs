@@ -11,13 +11,39 @@
 //! resolution goes through [`cafc_webgraph::Url::resolve`], so relative,
 //! host-relative and absolute links all work; URLs that resolve to nothing
 //! in the graph behave like dead links.
+//!
+//! Unlike the idealized BFS it grew from, the crawler is written against a
+//! fault model ([`Fetcher`]) and degrades gracefully: transient fetch
+//! failures are retried with exponential backoff and jitter on a simulated
+//! clock ([`RetryPolicy`], [`SimClock`]), hosts that keep failing are shut
+//! off by per-host circuit breakers ([`BreakerConfig`]) and revisited once
+//! their cooldown elapses, and pages the crawler gives up on land on a
+//! dead-letter list with a reason. [`CrawlStats`] accounts for every
+//! attempt: `attempts = successes + retries + abandoned`. Use
+//! [`ChaosFetcher`] to inject seeded, reproducible faults, or
+//! [`GraphFetcher`] for the ideal web — with no faults, [`crawl_resilient`]
+//! visits exactly the pages the plain BFS [`crawl`] does.
 
 #![warn(missing_docs)]
+
+mod breaker;
+mod fetch;
+mod retry;
+mod stats;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, HostBreakers};
+pub use fetch::{ChaosFetcher, FaultConfig, FetchError, FetchResponse, Fetcher, GraphFetcher};
+pub use retry::{RetryPolicy, SimClock};
+pub use stats::{AbandonReason, CrawlStats, DeadLetter};
 
 use cafc_classify::searchable_forms;
 use cafc_html::parse;
 use cafc_webgraph::{PageId, WebGraph};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+
+/// Simulated cost of a failed fetch attempt (a timeout or reset is not
+/// free), charged to the clock so failures also consume crawl time.
+const FAILED_FETCH_COST_MS: u64 = 150;
 
 /// Crawl limits.
 #[derive(Debug, Clone, Copy)]
@@ -30,7 +56,45 @@ pub struct CrawlConfig {
 
 impl Default for CrawlConfig {
     fn default() -> Self {
-        CrawlConfig { max_pages: 100_000, max_depth: 16 }
+        CrawlConfig {
+            max_pages: 100_000,
+            max_depth: 16,
+        }
+    }
+}
+
+/// Full configuration of the resilient crawler.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientConfig {
+    /// Visit limits.
+    pub crawl: CrawlConfig,
+    /// Backoff policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Per-host circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// How many times a page may be parked behind an open breaker before
+    /// it is dead-lettered.
+    pub max_parks: u32,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            crawl: CrawlConfig::default(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            max_parks: 2,
+        }
+    }
+}
+
+impl ResilientConfig {
+    /// Defaults with explicit crawl limits.
+    pub fn with_limits(crawl: CrawlConfig) -> Self {
+        ResilientConfig {
+            crawl,
+            ..Default::default()
+        }
     }
 }
 
@@ -47,60 +111,239 @@ pub struct CrawlResult {
     pub dead_links: usize,
 }
 
-/// Breadth-first crawl from `seed`.
+/// Outcome of a resilient crawl: the pages plus the fault accounting.
+#[derive(Debug, Clone)]
+pub struct ResilientCrawlOutcome {
+    /// What was crawled.
+    pub pages: CrawlResult,
+    /// How the crawl went: attempts, retries, breaker events, dead letter.
+    pub stats: CrawlStats,
+}
+
+/// Breadth-first crawl from `seed` over the ideal (fault-free) fetcher.
+///
+/// This is the classic entry point; it is a thin wrapper over
+/// [`crawl_resilient`] with a [`GraphFetcher`], and visits exactly the
+/// same pages in the same order as the original BFS.
 pub fn crawl(graph: &WebGraph, seed: PageId, config: &CrawlConfig) -> CrawlResult {
-    let mut result = CrawlResult {
+    let mut fetcher = GraphFetcher::new(graph);
+    crawl_resilient(
+        graph,
+        &mut fetcher,
+        seed,
+        &ResilientConfig::with_limits(*config),
+    )
+    .pages
+}
+
+/// A queued unit of crawl work.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    page: PageId,
+    depth: usize,
+}
+
+/// Breadth-first crawl from `seed` through an arbitrary [`Fetcher`], with
+/// retries, per-host circuit breakers, parking, and full accounting.
+///
+/// `graph` supplies URL identity and link resolution (what a real crawler
+/// gets from DNS and its frontier); page *content* only ever arrives
+/// through `fetcher`.
+pub fn crawl_resilient<F: Fetcher>(
+    graph: &WebGraph,
+    fetcher: &mut F,
+    seed: PageId,
+    config: &ResilientConfig,
+) -> ResilientCrawlOutcome {
+    let mut pages = CrawlResult {
         visited: Vec::new(),
         searchable_form_pages: Vec::new(),
         rejected_form_pages: Vec::new(),
         dead_links: 0,
     };
+    let mut stats = CrawlStats::default();
+    let mut clock = SimClock::new();
+    let mut breakers = HostBreakers::new(config.breaker);
     let mut seen = vec![false; graph.len()];
-    let mut queue: VecDeque<(PageId, usize)> = VecDeque::new();
+    let mut park_counts: HashMap<PageId, u32> = HashMap::new();
+    let mut parked: Vec<Job> = Vec::new();
+    let mut queue: VecDeque<Job> = VecDeque::new();
     seen[seed.index()] = true;
-    queue.push_back((seed, 0));
+    queue.push_back(Job {
+        page: seed,
+        depth: 0,
+    });
 
-    while let Some((page, depth)) = queue.pop_front() {
-        if result.visited.len() >= config.max_pages {
-            break;
-        }
-        let Some(html) = graph.html(page) else {
-            continue; // placeholder page without content: nothing to fetch
-        };
-        result.visited.push(page);
-        let doc = parse(html);
-
-        // Classify the page's forms.
-        let all_forms = cafc_html::extract_forms(&doc);
-        if !all_forms.is_empty() {
-            let searchable = searchable_forms(&doc);
-            if !searchable.is_empty() {
-                result.searchable_form_pages.push(page);
+    // Park `job` to wait out an open breaker, or dead-letter it once its
+    // parking budget is spent. Returns true when parked.
+    let mut park_or_abandon =
+        |job: Job, attempts: u32, parked: &mut Vec<Job>, stats: &mut CrawlStats| -> bool {
+            let count = park_counts.entry(job.page).or_insert(0);
+            if *count >= config.max_parks {
+                stats.dead_letter.push(DeadLetter {
+                    url: graph.url(job.page).clone(),
+                    reason: AbandonReason::HostCircuitOpen,
+                    attempts,
+                });
+                false
             } else {
-                result.rejected_form_pages.push(page);
+                *count += 1;
+                stats.parked += 1;
+                parked.push(job);
+                true
             }
-        }
+        };
 
-        if depth >= config.max_depth {
-            continue;
-        }
-        // Extract and resolve links.
-        let base = graph.url(page);
-        for node in doc.elements_named("a") {
-            let Some(href) = doc.attr(node, "href") else { continue };
-            let Some(url) = base.resolve(href) else { continue };
-            match graph.page_id(&url) {
-                Some(target) => {
-                    if !seen[target.index()] {
-                        seen[target.index()] = true;
-                        queue.push_back((target, depth + 1));
+    'crawl: loop {
+        while let Some(job) = queue.pop_front() {
+            if pages.visited.len() >= config.crawl.max_pages {
+                break 'crawl;
+            }
+            let host = graph.url(job.page).host().to_owned();
+
+            if !breakers.breaker(&host).allow(clock.now_ms()) {
+                // No attempt is made, so nothing enters the accounting
+                // identity; the page waits for the breaker or dies.
+                stats.breaker_rejections += 1;
+                park_or_abandon(job, 0, &mut parked, &mut stats);
+                continue;
+            }
+
+            // Fetch with inline backoff-retries. Each attempt is classified
+            // exactly once: success, retry (followed up), or abandoned.
+            let mut attempt: u32 = 0;
+            let response = loop {
+                stats.attempts += 1;
+                attempt += 1;
+                match fetcher.fetch(job.page) {
+                    Ok(resp) => {
+                        clock.advance(resp.latency_ms);
+                        breakers.breaker(&host).record_success();
+                        stats.successes += 1;
+                        break Some(resp);
+                    }
+                    Err(err) if err.is_transient() => {
+                        stats.transient_failures += 1;
+                        clock.advance(FAILED_FETCH_COST_MS);
+                        if breakers.breaker(&host).record_failure(clock.now_ms()) {
+                            stats.breaker_trips += 1;
+                        }
+                        if breakers.breaker(&host).state() == BreakerState::Open {
+                            // The host just got shut off; this page waits
+                            // for the cooldown rather than burning retries.
+                            if park_or_abandon(job, attempt, &mut parked, &mut stats) {
+                                stats.retries += 1;
+                            } else {
+                                stats.abandoned += 1;
+                            }
+                            break None;
+                        }
+                        if attempt > config.retry.max_retries {
+                            stats.abandoned += 1;
+                            stats.dead_letter.push(DeadLetter {
+                                url: graph.url(job.page).clone(),
+                                reason: AbandonReason::RetriesExhausted,
+                                attempts: attempt,
+                            });
+                            break None;
+                        }
+                        stats.retries += 1;
+                        let salt = u64::from(job.page.0) ^ (stats.attempts << 20);
+                        clock.advance(config.retry.backoff_delay_ms(attempt - 1, salt));
+                    }
+                    Err(_permanent) => {
+                        stats.permanent_failures += 1;
+                        clock.advance(FAILED_FETCH_COST_MS);
+                        stats.abandoned += 1;
+                        stats.dead_letter.push(DeadLetter {
+                            url: graph.url(job.page).clone(),
+                            reason: AbandonReason::Permanent,
+                            attempts: attempt,
+                        });
+                        break None;
                     }
                 }
-                None => result.dead_links += 1,
+            };
+            let Some(response) = response else { continue };
+
+            // Redirects land on another page: visit it instead (once).
+            let landed = response.page;
+            if response.redirected {
+                stats.redirects_followed += 1;
+                if landed != job.page {
+                    if seen[landed.index()] {
+                        continue;
+                    }
+                    seen[landed.index()] = true;
+                }
+            }
+            if response.truncated {
+                stats.truncated_pages += 1;
+            }
+
+            pages.visited.push(landed);
+            let doc = parse(&response.html);
+
+            // Classify the page's forms.
+            let all_forms = cafc_html::extract_forms(&doc);
+            if !all_forms.is_empty() {
+                let searchable = searchable_forms(&doc);
+                if !searchable.is_empty() {
+                    pages.searchable_form_pages.push(landed);
+                } else {
+                    pages.rejected_form_pages.push(landed);
+                }
+            }
+
+            if job.depth >= config.crawl.max_depth {
+                continue;
+            }
+            // Extract and resolve links against the *landed* page's URL.
+            let base = graph.url(landed);
+            for node in doc.elements_named("a") {
+                let Some(href) = doc.attr(node, "href") else {
+                    continue;
+                };
+                let Some(url) = base.resolve(href) else {
+                    continue;
+                };
+                match graph.page_id(&url) {
+                    Some(target) => {
+                        if !seen[target.index()] {
+                            seen[target.index()] = true;
+                            queue.push_back(Job {
+                                page: target,
+                                depth: job.depth + 1,
+                            });
+                        }
+                    }
+                    None => pages.dead_links += 1,
+                }
             }
         }
+
+        // The ready queue is drained. If pages are parked behind open
+        // breakers, wait (on the simulated clock) for the earliest breaker
+        // to become probeable and try them again.
+        if parked.is_empty() || pages.visited.len() >= config.crawl.max_pages {
+            break;
+        }
+        let earliest_reopen = parked
+            .iter()
+            .filter_map(|job| breakers.get(graph.url(job.page).host())?.reopen_at_ms())
+            .min();
+        if let Some(t) = earliest_reopen {
+            clock.advance_to(t);
+        }
+        for job in parked.drain(..) {
+            queue.push_back(job);
+        }
     }
-    result
+
+    stats.sim_elapsed_ms = clock.now_ms();
+    stats.breaker_trips = breakers.total_trips();
+    stats.abandoned_hosts = breakers.open_hosts();
+    ResilientCrawlOutcome { pages, stats }
 }
 
 #[cfg(test)]
@@ -133,10 +376,23 @@ mod tests {
     #[test]
     fn respects_depth_limit() {
         let mut g = WebGraph::new();
-        let a = g.add_page(url("http://a.com/"), r#"<a href="http://b.com/">b</a>"#.into());
-        let b = g.add_page(url("http://b.com/"), r#"<a href="http://c.com/">c</a>"#.into());
+        let a = g.add_page(
+            url("http://a.com/"),
+            r#"<a href="http://b.com/">b</a>"#.into(),
+        );
+        let b = g.add_page(
+            url("http://b.com/"),
+            r#"<a href="http://c.com/">c</a>"#.into(),
+        );
         let c = g.add_page(url("http://c.com/"), "end".into());
-        let shallow = crawl(&g, a, &CrawlConfig { max_depth: 1, ..Default::default() });
+        let shallow = crawl(
+            &g,
+            a,
+            &CrawlConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(shallow.visited, vec![a, b]);
         let deep = crawl(&g, a, &CrawlConfig::default());
         assert_eq!(deep.visited, vec![a, b, c]);
@@ -153,7 +409,14 @@ mod tests {
         for i in 0..10 {
             g.add_page(url(&format!("http://s{i}.com/")), "x".into());
         }
-        let result = crawl(&g, hub, &CrawlConfig { max_pages: 4, ..Default::default() });
+        let result = crawl(
+            &g,
+            hub,
+            &CrawlConfig {
+                max_pages: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(result.visited.len(), 4);
     }
 
@@ -202,5 +465,106 @@ mod tests {
         let ghost = g.intern(url("http://ghost.com/"));
         let result = crawl(&g, ghost, &CrawlConfig::default());
         assert!(result.visited.is_empty());
+    }
+
+    // ---- resilient-crawl behavior --------------------------------------
+
+    #[test]
+    fn zero_fault_chaos_crawl_matches_plain_bfs_exactly() {
+        let web = generate(&CorpusConfig::small(31));
+        let plain = crawl(&web.graph, web.portal, &CrawlConfig::default());
+        let mut chaos = ChaosFetcher::over_graph(&web.graph, FaultConfig::default());
+        let outcome = crawl_resilient(
+            &web.graph,
+            &mut chaos,
+            web.portal,
+            &ResilientConfig::default(),
+        );
+        assert_eq!(outcome.pages.visited, plain.visited);
+        assert_eq!(
+            outcome.pages.searchable_form_pages,
+            plain.searchable_form_pages
+        );
+        assert_eq!(outcome.pages.rejected_form_pages, plain.rejected_form_pages);
+        assert_eq!(outcome.pages.dead_links, plain.dead_links);
+        assert_eq!(outcome.stats.retries, 0);
+        assert_eq!(outcome.stats.breaker_trips, 0);
+        assert!(outcome.stats.is_accounted(), "{}", outcome.stats);
+    }
+
+    #[test]
+    fn plain_crawl_accounts_placeholders_as_permanent_dead_letters() {
+        let mut g = WebGraph::new();
+        let home = g.add_page(
+            url("http://a.com/"),
+            r#"<a href="/x">x</a><a href="http://ghost.com/">g</a>"#.into(),
+        );
+        g.add_page(url("http://a.com/x"), "x".into());
+        g.intern(url("http://ghost.com/"));
+        let mut fetcher = GraphFetcher::new(&g);
+        let outcome = crawl_resilient(&g, &mut fetcher, home, &ResilientConfig::default());
+        assert_eq!(outcome.pages.visited.len(), 2);
+        assert_eq!(outcome.stats.abandoned, 1);
+        assert_eq!(outcome.stats.abandoned_with(AbandonReason::Permanent), 1);
+        assert!(outcome.stats.is_accounted(), "{}", outcome.stats);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_high_recovery() {
+        let web = generate(&CorpusConfig::small(37));
+        let gold = web.form_page_ids();
+        let mut chaos = ChaosFetcher::over_graph(&web.graph, FaultConfig::transient(0.2, 5));
+        let outcome = crawl_resilient(
+            &web.graph,
+            &mut chaos,
+            web.portal,
+            &ResilientConfig::default(),
+        );
+        let found = outcome
+            .pages
+            .searchable_form_pages
+            .iter()
+            .filter(|p| gold.contains(p))
+            .count();
+        assert!(
+            found as f64 >= gold.len() as f64 * 0.9,
+            "recovered only {found}/{} under 20% transient faults\n{}",
+            gold.len(),
+            outcome.stats,
+        );
+        assert!(outcome.stats.retries > 0, "20% faults must trigger retries");
+        assert!(outcome.stats.is_accounted(), "{}", outcome.stats);
+    }
+
+    #[test]
+    fn certain_failure_dead_letters_everything() {
+        let mut g = WebGraph::new();
+        let home = g.add_page(url("http://a.com/"), "<a href=\"/b\">b</a>".into());
+        g.add_page(url("http://a.com/b"), "b".into());
+        let mut chaos = ChaosFetcher::over_graph(&g, FaultConfig::transient(1.0, 3));
+        let config = ResilientConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let outcome = crawl_resilient(&g, &mut chaos, home, &config);
+        assert!(outcome.pages.visited.is_empty());
+        assert_eq!(outcome.stats.successes, 0);
+        assert_eq!(
+            outcome
+                .stats
+                .abandoned_with(AbandonReason::RetriesExhausted),
+            1
+        );
+        // Only the seed is ever discovered — its links were never read.
+        assert_eq!(outcome.stats.dead_letter.len(), 1);
+        assert_eq!(
+            outcome.stats.attempts,
+            u64::from(config.retry.max_retries) + 1,
+            "each page gets max_retries + 1 attempts"
+        );
+        assert!(outcome.stats.is_accounted(), "{}", outcome.stats);
     }
 }

@@ -1,0 +1,130 @@
+//! Retry policy (exponential backoff with deterministic jitter) and the
+//! simulated clock the resilient crawler schedules against.
+
+use crate::fetch::splitmix64;
+
+/// How failed fetches are retried.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so a page gets at most
+    /// `max_retries + 1` attempts before it is abandoned).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Jitter amplitude in [0, 1]: each delay is scaled by a deterministic
+    /// factor drawn from `[1 - jitter, 1 + jitter]` to de-synchronize
+    /// retry storms.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay_ms: 100,
+            max_delay_ms: 10_000,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (0-based), jittered by a hash
+    /// of `salt` so equal retry counts do not synchronize across pages.
+    pub fn backoff_delay_ms(&self, retry: u32, salt: u64) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64.checked_shl(retry).unwrap_or(u64::MAX))
+            .min(self.max_delay_ms);
+        let unit = (splitmix64(salt ^ u64::from(retry)) >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * unit;
+        ((exp as f64 * factor) as u64).min(self.max_delay_ms).max(1)
+    }
+}
+
+/// A simulated monotonic clock in milliseconds. The crawler advances it by
+/// fetch latencies, backoff waits and breaker cooldowns, so timing-driven
+/// behavior is fully deterministic and testable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimClock {
+    now_ms: u64,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advance by `delta` milliseconds.
+    pub fn advance(&mut self, delta_ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(delta_ms);
+    }
+
+    /// Advance to an absolute time (no-op if already past it).
+    pub fn advance_to(&mut self, t_ms: u64) {
+        self.now_ms = self.now_ms.max(t_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(policy.backoff_delay_ms(0, 1), 100);
+        assert_eq!(policy.backoff_delay_ms(1, 1), 200);
+        assert_eq!(policy.backoff_delay_ms(2, 1), 400);
+        assert_eq!(policy.backoff_delay_ms(20, 1), policy.max_delay_ms);
+        // Shift overflow saturates instead of panicking.
+        assert_eq!(policy.backoff_delay_ms(100, 1), policy.max_delay_ms);
+    }
+
+    #[test]
+    fn jitter_bounds_and_determinism() {
+        let policy = RetryPolicy {
+            jitter: 0.5,
+            ..Default::default()
+        };
+        for salt in 0..200u64 {
+            let d = policy.backoff_delay_ms(1, salt);
+            assert!(
+                (100..=300).contains(&d),
+                "retry 1 delay {d} out of [100, 300]"
+            );
+            assert_eq!(
+                d,
+                policy.backoff_delay_ms(1, salt),
+                "jitter must be deterministic"
+            );
+        }
+        // Different salts actually spread.
+        let spread: std::collections::HashSet<u64> =
+            (0..50).map(|s| policy.backoff_delay_ms(1, s)).collect();
+        assert!(spread.len() > 10, "jitter too clumped: {spread:?}");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut clock = SimClock::new();
+        clock.advance(10);
+        clock.advance_to(5); // already past, no-op
+        assert_eq!(clock.now_ms(), 10);
+        clock.advance_to(25);
+        assert_eq!(clock.now_ms(), 25);
+        clock.advance(u64::MAX); // saturates
+        assert_eq!(clock.now_ms(), u64::MAX);
+    }
+}

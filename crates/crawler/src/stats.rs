@@ -1,0 +1,190 @@
+//! Crawl accounting: every fetch attempt, retry, breaker event and
+//! abandoned URL is tallied so a faulty crawl can be audited after the
+//! fact.
+//!
+//! The core invariant (checked by [`CrawlStats::is_accounted`]) is that
+//! every attempt is classified exactly once:
+//!
+//! ```text
+//! attempts = successes + retries + abandoned
+//! ```
+//!
+//! where a *retry* is a failed attempt the crawler followed up on (either
+//! immediately with backoff, or later by parking the page until its host's
+//! breaker reopened), and an *abandoned* attempt is a final failure that
+//! sent the page to the dead-letter list.
+
+use cafc_webgraph::Url;
+use std::fmt;
+
+/// Why a URL ended up on the dead-letter list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbandonReason {
+    /// The fetch failed with a permanent error (404/410); retrying is
+    /// pointless.
+    Permanent,
+    /// Every retry was consumed by transient failures.
+    RetriesExhausted,
+    /// The host's circuit breaker kept rejecting the page until its
+    /// parking budget ran out.
+    HostCircuitOpen,
+}
+
+impl fmt::Display for AbandonReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AbandonReason::Permanent => "permanent error",
+            AbandonReason::RetriesExhausted => "retries exhausted",
+            AbandonReason::HostCircuitOpen => "host circuit open",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One abandoned URL.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// The page's URL.
+    pub url: Url,
+    /// Why it was given up on.
+    pub reason: AbandonReason,
+    /// Fetch attempts made before giving up (0 when the breaker never let
+    /// an attempt through).
+    pub attempts: u32,
+}
+
+/// Full accounting of a resilient crawl.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlStats {
+    /// Calls made to the fetcher.
+    pub attempts: u64,
+    /// Attempts that returned a page.
+    pub successes: u64,
+    /// Failed attempts that were followed up on (backoff retry or parking).
+    pub retries: u64,
+    /// Final-failure attempts — the page went to the dead-letter list.
+    pub abandoned: u64,
+    /// Attempts that failed with a transient error.
+    pub transient_failures: u64,
+    /// Attempts that failed with a permanent error.
+    pub permanent_failures: u64,
+    /// Successful responses whose body was cut off.
+    pub truncated_pages: u64,
+    /// Fetches that were redirected to another page.
+    pub redirects_followed: u64,
+    /// Circuit-breaker trips across all hosts.
+    pub breaker_trips: u64,
+    /// Dequeues rejected because the host's breaker was open (no fetch
+    /// attempt was made).
+    pub breaker_rejections: u64,
+    /// Pages parked to wait out an open breaker (counted per parking).
+    pub parked: u64,
+    /// Simulated wall-clock duration of the crawl in milliseconds.
+    pub sim_elapsed_ms: u64,
+    /// URLs the crawler gave up on, in abandonment order.
+    pub dead_letter: Vec<DeadLetter>,
+    /// Hosts whose breaker was still open when the crawl ended, sorted.
+    pub abandoned_hosts: Vec<String>,
+}
+
+impl CrawlStats {
+    /// The accounting identity: every attempt is exactly one of success,
+    /// retry, or abandonment.
+    pub fn is_accounted(&self) -> bool {
+        self.attempts == self.successes + self.retries + self.abandoned
+    }
+
+    /// Dead letters with a given reason.
+    pub fn abandoned_with(&self, reason: AbandonReason) -> usize {
+        self.dead_letter
+            .iter()
+            .filter(|d| d.reason == reason)
+            .count()
+    }
+}
+
+impl fmt::Display for CrawlStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "crawl stats (simulated {:.1}s):",
+            self.sim_elapsed_ms as f64 / 1000.0
+        )?;
+        writeln!(
+            f,
+            "  fetches: {} attempts = {} successes + {} retries + {} abandoned{}",
+            self.attempts,
+            self.successes,
+            self.retries,
+            self.abandoned,
+            if self.is_accounted() {
+                ""
+            } else {
+                "  (UNBALANCED!)"
+            },
+        )?;
+        writeln!(
+            f,
+            "  faults:  {} transient, {} permanent, {} truncated bodies, {} redirects",
+            self.transient_failures,
+            self.permanent_failures,
+            self.truncated_pages,
+            self.redirects_followed,
+        )?;
+        writeln!(
+            f,
+            "  breaker: {} trips, {} rejections, {} parkings, {} host(s) still open",
+            self.breaker_trips,
+            self.breaker_rejections,
+            self.parked,
+            self.abandoned_hosts.len(),
+        )?;
+        write!(f, "  dead letter: {} page(s)", self.dead_letter.len())?;
+        for host in &self.abandoned_hosts {
+            write!(f, "\n  abandoned host: {host}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_identity() {
+        let mut stats = CrawlStats {
+            attempts: 10,
+            successes: 7,
+            retries: 2,
+            ..Default::default()
+        };
+        assert!(!stats.is_accounted());
+        stats.abandoned = 1;
+        assert!(stats.is_accounted());
+    }
+
+    #[test]
+    fn report_mentions_the_key_numbers() {
+        let stats = CrawlStats {
+            attempts: 12,
+            successes: 9,
+            retries: 2,
+            abandoned: 1,
+            breaker_trips: 1,
+            abandoned_hosts: vec!["dead.com".into()],
+            dead_letter: vec![DeadLetter {
+                url: Url::parse("http://dead.com/f").expect("url"),
+                reason: AbandonReason::HostCircuitOpen,
+                attempts: 3,
+            }],
+            ..Default::default()
+        };
+        let report = stats.to_string();
+        assert!(report.contains("12 attempts"), "{report}");
+        assert!(report.contains("dead.com"), "{report}");
+        assert!(!report.contains("UNBALANCED"), "{report}");
+        assert_eq!(stats.abandoned_with(AbandonReason::HostCircuitOpen), 1);
+        assert_eq!(stats.abandoned_with(AbandonReason::Permanent), 0);
+    }
+}

@@ -81,8 +81,12 @@ pub fn adjusted_rand_index<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels
         .flat_map(|i| (0..m.num_clusters()).map(move |j| (i, j)))
         .map(|(i, j)| choose2(m.count(i, j)))
         .sum();
-    let sum_i: f64 = (0..m.classes().len()).map(|i| choose2(m.class_size(i))).sum();
-    let sum_j: f64 = (0..m.num_clusters()).map(|j| choose2(m.cluster_size(j))).sum();
+    let sum_i: f64 = (0..m.classes().len())
+        .map(|i| choose2(m.class_size(i)))
+        .sum();
+    let sum_j: f64 = (0..m.num_clusters())
+        .map(|j| choose2(m.cluster_size(j)))
+        .sum();
     let total_pairs = choose2(n);
     let expected = sum_i * sum_j / total_pairs;
     let max_index = 0.5 * (sum_i + sum_j);
@@ -115,16 +119,32 @@ pub fn pairwise_scores<L: Eq + Hash + Clone>(
         .flat_map(|i| (0..m.num_clusters()).map(move |j| (i, j)))
         .map(|(i, j)| choose2(m.count(i, j)))
         .sum();
-    let same_cluster: f64 = (0..m.num_clusters()).map(|j| choose2(m.cluster_size(j))).sum();
-    let same_class: f64 = (0..m.classes().len()).map(|i| choose2(m.class_size(i))).sum();
-    let precision = if same_cluster == 0.0 { 1.0 } else { same_both / same_cluster };
-    let recall = if same_class == 0.0 { 1.0 } else { same_both / same_class };
+    let same_cluster: f64 = (0..m.num_clusters())
+        .map(|j| choose2(m.cluster_size(j)))
+        .sum();
+    let same_class: f64 = (0..m.classes().len())
+        .map(|i| choose2(m.class_size(i)))
+        .sum();
+    let precision = if same_cluster == 0.0 {
+        1.0
+    } else {
+        same_both / same_cluster
+    };
+    let recall = if same_class == 0.0 {
+        1.0
+    } else {
+        same_both / same_class
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    PairwiseScores { precision, recall, f1 }
+    PairwiseScores {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 #[cfg(test)]

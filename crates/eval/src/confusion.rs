@@ -46,7 +46,13 @@ impl<L: Eq + Hash + Clone> ConfusionMatrix<L> {
                 total += 1;
             }
         }
-        ConfusionMatrix { classes, counts, cluster_sizes, class_sizes, total }
+        ConfusionMatrix {
+            classes,
+            counts,
+            cluster_sizes,
+            class_sizes,
+            total,
+        }
     }
 
     /// The distinct classes.
@@ -154,7 +160,7 @@ mod tests {
     fn majority_class() {
         let m = fixture();
         assert_eq!(m.majority_class(0), Some(0)); // a
-        // cluster 1 has one each of a,b,c -> tie -> lowest row (a)
+                                                  // cluster 1 has one each of a,b,c -> tie -> lowest row (a)
         assert_eq!(m.majority_class(1), Some(0));
     }
 

@@ -22,6 +22,8 @@ pub mod agreement;
 pub mod confusion;
 pub mod metrics;
 
-pub use agreement::{adjusted_rand_index, mutual_information, nmi, pairwise_scores, PairwiseScores};
+pub use agreement::{
+    adjusted_rand_index, mutual_information, nmi, pairwise_scores, PairwiseScores,
+};
 pub use confusion::ConfusionMatrix;
 pub use metrics::{entropy, f_measure, f_measure_by_class, misclustered, purity, EntropyBase};

@@ -110,7 +110,9 @@ pub fn f_measure_by_class<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels:
         if n_i == 0 {
             continue;
         }
-        let best = (0..m.num_clusters()).map(|j| f_ij(&m, i, j)).fold(0.0f64, f64::max);
+        let best = (0..m.num_clusters())
+            .map(|j| f_ij(&m, i, j))
+            .fold(0.0f64, f64::max);
         total += (n_i as f64 / m.total() as f64) * best;
     }
     total
@@ -134,7 +136,9 @@ pub fn misclustered<L: Eq + Hash + Clone>(clusters: &[Vec<usize>], labels: &[L])
     let m = ConfusionMatrix::new(clusters, labels);
     let mut out = Vec::new();
     for (j, members) in clusters.iter().enumerate() {
-        let Some(majority) = m.majority_class(j) else { continue };
+        let Some(majority) = m.majority_class(j) else {
+            continue;
+        };
         let majority_label = &m.classes()[majority];
         for &item in members {
             if &labels[item] != majority_label {
@@ -186,7 +190,10 @@ mod tests {
         let labels = ["a", "a", "a", "a", "a", "a", "a", "b"];
         let clusters = vec![vec![0, 1, 2, 3, 4, 5], vec![6, 7]];
         let e = entropy(&clusters, &labels, EntropyBase::Two);
-        assert!((e - 2.0 / 8.0).abs() < 1e-12, "0.75·0 + 0.25·1 = 0.25, got {e}");
+        assert!(
+            (e - 2.0 / 8.0).abs() < 1e-12,
+            "0.75·0 + 0.25·1 = 0.25, got {e}"
+        );
     }
 
     #[test]
@@ -198,7 +205,10 @@ mod tests {
     #[test]
     fn f_measure_mixed_is_lower() {
         let f = f_measure(&mixed(), &LABELS);
-        assert!(f < 0.75, "mixed clustering must score below perfect, got {f}");
+        assert!(
+            f < 0.75,
+            "mixed clustering must score below perfect, got {f}"
+        );
         assert!(f > 0.0);
     }
 

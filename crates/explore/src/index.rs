@@ -65,7 +65,11 @@ impl<'a> ClusterIndex<'a> {
         targets: &[PageId],
         label_terms: usize,
     ) -> Self {
-        assert_eq!(targets.len(), corpus.len(), "targets must align with corpus items");
+        assert_eq!(
+            targets.len(),
+            corpus.len(),
+            "targets must align with corpus items"
+        );
         let metadata: Vec<(String, String, usize)> = targets
             .iter()
             .map(|&p| {
@@ -93,7 +97,11 @@ impl<'a> ClusterIndex<'a> {
         metadata: &[(String, String, usize)],
         label_terms: usize,
     ) -> Self {
-        assert_eq!(metadata.len(), corpus.len(), "metadata must align with corpus items");
+        assert_eq!(
+            metadata.len(),
+            corpus.len(),
+            "metadata must align with corpus items"
+        );
         let mut centroids = Vec::new();
         let mut summaries = Vec::new();
         for (ci, members) in partition.clusters().iter().enumerate() {
@@ -113,18 +121,32 @@ impl<'a> ClusterIndex<'a> {
                 .iter()
                 .map(|&m| {
                     let (url, title, attributes) = metadata[m].clone();
-                    ClusterEntry { item: m, url, title, attributes }
+                    ClusterEntry {
+                        item: m,
+                        url,
+                        title,
+                        attributes,
+                    }
                 })
                 .collect();
             summaries.push(ClusterSummary {
                 cluster: ci,
-                label: if label.is_empty() { format!("Cluster {ci}") } else { label },
+                label: if label.is_empty() {
+                    format!("Cluster {ci}")
+                } else {
+                    label
+                },
                 top_terms: top,
                 entries,
             });
             centroids.push(centroid);
         }
-        ClusterIndex { corpus, centroids, summaries, analyzer: Analyzer::default() }
+        ClusterIndex {
+            corpus,
+            centroids,
+            summaries,
+            analyzer: Analyzer::default(),
+        }
     }
 
     /// The cluster summaries, in partition order.
@@ -158,10 +180,18 @@ impl<'a> ClusterIndex<'a> {
             .centroids
             .iter()
             .enumerate()
-            .map(|(ci, c)| SearchHit { cluster: ci, item: None, score: q.cosine(c) })
+            .map(|(ci, c)| SearchHit {
+                cluster: ci,
+                item: None,
+                score: q.cosine(c),
+            })
             .filter(|h| h.score > 0.0)
             .collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         hits
     }
 
@@ -181,14 +211,21 @@ impl<'a> ClusterIndex<'a> {
                 }
             }
         }
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         hits.truncate(limit);
         hits
     }
 
     /// Entry metadata for an item (for rendering search results).
     pub fn entry(&self, item: usize) -> Option<&ClusterEntry> {
-        self.summaries.iter().flat_map(|s| &s.entries).find(|e| e.item == item)
+        self.summaries
+            .iter()
+            .flat_map(|s| &s.entries)
+            .find(|e| e.item == item)
     }
 }
 

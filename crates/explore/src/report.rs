@@ -11,9 +11,17 @@ pub fn text_report(index: &ClusterIndex<'_>) -> String {
         if summary.entries.is_empty() {
             continue;
         }
-        out.push_str(&format!("{} ({} databases)\n", summary.label, summary.entries.len()));
-        let terms: Vec<&str> =
-            summary.top_terms.iter().take(6).map(|(t, _)| t.as_str()).collect();
+        out.push_str(&format!(
+            "{} ({} databases)\n",
+            summary.label,
+            summary.entries.len()
+        ));
+        let terms: Vec<&str> = summary
+            .top_terms
+            .iter()
+            .take(6)
+            .map(|(t, _)| t.as_str())
+            .collect();
         out.push_str(&format!("  terms: {}\n", terms.join(", ")));
         for entry in &summary.entries {
             out.push_str(&format!(
@@ -28,7 +36,10 @@ pub fn text_report(index: &ClusterIndex<'_>) -> String {
 
 /// Minimal HTML escaping for text nodes and attribute values.
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 /// Render the index as a self-contained HTML directory page.
@@ -43,9 +54,16 @@ pub fn html_report(index: &ClusterIndex<'_>) -> String {
             escape(&summary.label),
             summary.entries.len()
         ));
-        let terms: Vec<String> =
-            summary.top_terms.iter().take(6).map(|(t, _)| escape(t)).collect();
-        body.push_str(&format!("<p class=\"terms\">{}</p>\n<ul>\n", terms.join(", ")));
+        let terms: Vec<String> = summary
+            .top_terms
+            .iter()
+            .take(6)
+            .map(|(t, _)| escape(t))
+            .collect();
+        body.push_str(&format!(
+            "<p class=\"terms\">{}</p>\n<ul>\n",
+            terms.join(", ")
+        ));
         for entry in &summary.entries {
             body.push_str(&format!(
                 "<li><a href=\"{}\">{}</a> <span class=\"arity\">{} attributes</span></li>\n",
@@ -79,7 +97,11 @@ mod tests {
         let corpus = FormPageCorpus::from_html(pages.iter().copied(), &ModelOptions::default());
         let partition = Partition::new(vec![vec![0], vec![1]], 2);
         let metadata = vec![
-            ("http://fly.com/f".to_owned(), "Fly & Save <cheap>".to_owned(), 2),
+            (
+                "http://fly.com/f".to_owned(),
+                "Fly & Save <cheap>".to_owned(),
+                2,
+            ),
             ("http://work.com/f".to_owned(), "Work Now".to_owned(), 1),
         ];
         (corpus, partition, metadata)
@@ -101,11 +123,17 @@ mod tests {
         let index = ClusterIndex::from_metadata(&corpus, &partition, &metadata, 4);
         let html = html_report(&index);
         assert!(html.starts_with("<!DOCTYPE html>"));
-        assert!(html.contains("Fly &amp; Save &lt;cheap&gt;"), "title must be escaped");
+        assert!(
+            html.contains("Fly &amp; Save &lt;cheap&gt;"),
+            "title must be escaped"
+        );
         assert!(html.contains("href=\"http://work.com/f\""));
         // The report itself parses with our own HTML parser.
         let doc = cafc_html::parse(&html);
-        assert_eq!(doc.title().as_deref(), Some("Hidden-Web Database Directory"));
+        assert_eq!(
+            doc.title().as_deref(),
+            Some("Hidden-Web Database Directory")
+        );
         assert_eq!(doc.elements_named("section").count(), 2);
     }
 

@@ -99,7 +99,10 @@ pub struct Document {
 impl Document {
     /// Parse `html` into a tree. Infallible.
     pub fn parse(html: &str) -> Document {
-        let mut doc = Document { nodes: Vec::new(), roots: Vec::new() };
+        let mut doc = Document {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+        };
         // Stack of open element node ids.
         let mut stack: Vec<NodeId> = Vec::new();
         for token in Tokenizer::new(html) {
@@ -113,7 +116,11 @@ impl Document {
                     let id = doc.push(Node::Text(t));
                     doc.append(&stack, id);
                 }
-                Token::StartTag { name, attrs, self_closing } => {
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
                     // Implicit closes (e.g. <option> closes an open <option>).
                     while let Some(&top) = stack.last() {
                         let top_name = doc.nodes[top.index()]
@@ -129,8 +136,11 @@ impl Document {
                             break;
                         }
                     }
-                    let id =
-                        doc.push(Node::Element { name: name.clone(), attrs, children: Vec::new() });
+                    let id = doc.push(Node::Element {
+                        name: name.clone(),
+                        attrs,
+                        children: Vec::new(),
+                    });
                     doc.append(&stack, id);
                     if !self_closing && !is_void(&name) {
                         stack.push(id);
@@ -197,20 +207,25 @@ impl Document {
 
     /// Depth-first pre-order traversal rooted at `id` (inclusive).
     pub fn walk_from(&self, id: NodeId) -> Walk<'_> {
-        Walk { doc: self, pending: vec![id] }
+        Walk {
+            doc: self,
+            pending: vec![id],
+        }
     }
 
     /// All elements with the given (lowercase) name, in document order.
     pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
-        self.walk().filter(move |&id| self.node(id).element_name() == Some(name))
+        self.walk()
+            .filter(move |&id| self.node(id).element_name() == Some(name))
     }
 
     /// The first attribute value with this name on an element node.
     pub fn attr(&self, id: NodeId, attr_name: &str) -> Option<&str> {
         match self.node(id) {
-            Node::Element { attrs, .. } => {
-                attrs.iter().find(|a| a.name == attr_name).map(|a| a.value.as_str())
-            }
+            Node::Element { attrs, .. } => attrs
+                .iter()
+                .find(|a| a.name == attr_name)
+                .map(|a| a.value.as_str()),
             _ => None,
         }
     }
@@ -229,7 +244,10 @@ impl Document {
 
     /// The `<title>` text, if present.
     pub fn title(&self) -> Option<String> {
-        self.elements_named("title").next().map(|id| self.text_content(id)).filter(|t| !t.is_empty())
+        self.elements_named("title")
+            .next()
+            .map(|id| self.text_content(id))
+            .filter(|t| !t.is_empty())
     }
 }
 

@@ -31,7 +31,10 @@ pub enum TextLocation {
 impl TextLocation {
     /// True for locations that belong to the *form content* (FC) space.
     pub fn is_form(self) -> bool {
-        matches!(self, TextLocation::FormText | TextLocation::FormOption | TextLocation::FormValue)
+        matches!(
+            self,
+            TextLocation::FormText | TextLocation::FormOption | TextLocation::FormValue
+        )
     }
 
     /// All locations, for exhaustive iteration in tests and weighting tables.
@@ -176,7 +179,10 @@ mod tests {
     }
 
     fn lt(text: &str, location: TextLocation) -> LocatedText {
-        LocatedText { text: text.into(), location }
+        LocatedText {
+            text: text.into(),
+            location,
+        }
     }
 
     #[test]
@@ -200,9 +206,7 @@ mod tests {
 
     #[test]
     fn form_text_vs_option() {
-        let got = extract(
-            "<form>Destination <select><option>Paris</option></select></form>",
-        );
+        let got = extract("<form>Destination <select><option>Paris</option></select></form>");
         assert_eq!(
             got,
             vec![
@@ -217,7 +221,10 @@ mod tests {
         let got = extract("<form><h2>Search</h2><a href=x>advanced</a></form>");
         assert_eq!(
             got,
-            vec![lt("Search", TextLocation::FormText), lt("advanced", TextLocation::FormText)]
+            vec![
+                lt("Search", TextLocation::FormText),
+                lt("advanced", TextLocation::FormText)
+            ]
         );
     }
 

@@ -47,7 +47,10 @@ impl FormFieldKind {
     /// Whether this field is a *query attribute* of the form — an element a
     /// user fills to pose a query. Buttons are excluded.
     pub fn is_query_attribute(self) -> bool {
-        !matches!(self, FormFieldKind::Submit | FormFieldKind::Reset | FormFieldKind::Image)
+        !matches!(
+            self,
+            FormFieldKind::Submit | FormFieldKind::Reset | FormFieldKind::Image
+        )
     }
 }
 
@@ -83,7 +86,10 @@ pub struct Form {
 impl Form {
     /// Number of fields a user can fill (excludes submit/reset/image).
     pub fn visible_field_count(&self) -> usize {
-        self.fields.iter().filter(|f| f.kind.is_query_attribute()).count()
+        self.fields
+            .iter()
+            .filter(|f| f.kind.is_query_attribute())
+            .count()
     }
 
     /// True when the form has exactly one fillable field — the paper's
@@ -95,12 +101,16 @@ impl Form {
     /// Whether the form contains a password field — a strong signal of a
     /// login (non-searchable) form, used by the searchable-form classifier.
     pub fn has_password_field(&self) -> bool {
-        self.fields.iter().any(|f| f.kind == FormFieldKind::Password)
+        self.fields
+            .iter()
+            .any(|f| f.kind == FormFieldKind::Password)
     }
 
     /// Whether the form has any free-text input.
     pub fn has_text_field(&self) -> bool {
-        self.fields.iter().any(|f| matches!(f.kind, FormFieldKind::Text | FormFieldKind::Textarea))
+        self.fields
+            .iter()
+            .any(|f| matches!(f.kind, FormFieldKind::Text | FormFieldKind::Textarea))
     }
 
     /// The labels on submit buttons (e.g. "Search", "Go", "Login").
@@ -114,24 +124,46 @@ impl Form {
 
 /// Extract every form in the document, in document order.
 pub fn extract_forms(doc: &Document) -> Vec<Form> {
-    doc.elements_named("form").map(|id| extract_form(doc, id)).collect()
+    doc.elements_named("form")
+        .map(|id| extract_form(doc, id))
+        .collect()
 }
 
 /// Extract the form rooted at `form_id` (which must be a `<form>` element).
 pub fn extract_form(doc: &Document, form_id: NodeId) -> Form {
-    let method = match doc.attr(form_id, "method").map(str::to_ascii_lowercase).as_deref() {
+    let method = match doc
+        .attr(form_id, "method")
+        .map(str::to_ascii_lowercase)
+        .as_deref()
+    {
         Some("post") => FormMethod::Post,
         _ => FormMethod::Get,
     };
-    let action = doc.attr(form_id, "action").map(str::to_owned).filter(|a| !a.is_empty());
+    let action = doc
+        .attr(form_id, "action")
+        .map(str::to_owned)
+        .filter(|a| !a.is_empty());
 
     let mut fields = Vec::new();
     let mut text_parts: Vec<String> = Vec::new();
     let mut option_texts = Vec::new();
-    collect(doc, form_id, false, &mut fields, &mut text_parts, &mut option_texts);
+    collect(
+        doc,
+        form_id,
+        false,
+        &mut fields,
+        &mut text_parts,
+        &mut option_texts,
+    );
 
     let inner_text = crate::dom::normalize_ws(&text_parts.join(" "));
-    Form { action, method, fields, inner_text, option_texts }
+    Form {
+        action,
+        method,
+        fields,
+        inner_text,
+        option_texts,
+    }
 }
 
 /// Recursive walk below the form element. `in_option` marks text that
@@ -165,9 +197,10 @@ fn collect(
                 }
                 "select" => {
                     let mut options = Vec::new();
-                    for opt in doc.walk_from(child).filter(|&n| {
-                        doc.node(n).element_name() == Some("option")
-                    }) {
+                    for opt in doc
+                        .walk_from(child)
+                        .filter(|&n| doc.node(n).element_name() == Some("option"))
+                    {
                         let text = doc.text_content(opt);
                         let text = if text.is_empty() {
                             doc.attr(opt, "value").unwrap_or_default().to_owned()
@@ -254,7 +287,9 @@ mod tests {
 
     #[test]
     fn keyword_form() {
-        let f = one_form(r#"<form action="/s"><input type=text name=q><input type=submit value=Search></form>"#);
+        let f = one_form(
+            r#"<form action="/s"><input type=text name=q><input type=submit value=Search></form>"#,
+        );
         assert_eq!(f.action.as_deref(), Some("/s"));
         assert_eq!(f.method, FormMethod::Get);
         assert_eq!(f.fields.len(), 2);
@@ -343,9 +378,8 @@ mod tests {
 
     #[test]
     fn multiple_forms_in_order() {
-        let doc = parse(
-            r#"<form action=a><input name=x></form><form action=b><input name=y></form>"#,
-        );
+        let doc =
+            parse(r#"<form action=a><input name=x></form><form action=b><input name=y></form>"#);
         let forms = extract_forms(&doc);
         assert_eq!(forms.len(), 2);
         assert_eq!(forms[0].action.as_deref(), Some("a"));
@@ -354,7 +388,9 @@ mod tests {
 
     #[test]
     fn script_inside_form_ignored() {
-        let f = one_form(r#"<form><script>var a="<input name=fake>";</script><input name=real></form>"#);
+        let f = one_form(
+            r#"<form><script>var a="<input name=fake>";</script><input name=real></form>"#,
+        );
         assert_eq!(f.fields.len(), 1);
         assert_eq!(f.fields[0].name.as_deref(), Some("real"));
         assert_eq!(f.inner_text, "");

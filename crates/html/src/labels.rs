@@ -82,7 +82,8 @@ fn walk(
             Node::Element { name, .. } => match name.as_str() {
                 "input" | "select" | "textarea" => {
                     if let Some(field) = field_of(doc, child, name) {
-                        let labeled = label_for(doc, child, &field, last_text, for_labels, inside_label);
+                        let labeled =
+                            label_for(doc, child, &field, last_text, for_labels, inside_label);
                         // Consume the preceding text so it cannot label two
                         // consecutive fields.
                         if labeled.source == LabelSource::PrecedingText {
@@ -192,7 +193,11 @@ fn label_for(
             };
         }
     }
-    LabeledField { field: field.clone(), label: None, source: LabelSource::None }
+    LabeledField {
+        field: field.clone(),
+        label: None,
+        source: LabelSource::None,
+    }
 }
 
 #[cfg(test)]
@@ -220,9 +225,8 @@ mod tests {
     #[test]
     fn explicit_for_outside_form() {
         // The paper notes label elements may not be nested predictably.
-        let fields = labeled(
-            r#"<label for="q">Search Jobs</label><form><input id=q name=q></form>"#,
-        );
+        let fields =
+            labeled(r#"<label for="q">Search Jobs</label><form><input id=q name=q></form>"#);
         assert_eq!(fields[0].label.as_deref(), Some("Search Jobs"));
     }
 
@@ -235,7 +239,8 @@ mod tests {
 
     #[test]
     fn preceding_text_heuristic() {
-        let fields = labeled("<form><b>State:</b> <select name=s><option>Utah</option></select></form>");
+        let fields =
+            labeled("<form><b>State:</b> <select name=s><option>Utah</option></select></form>");
         assert_eq!(fields[0].label.as_deref(), Some("State:"));
         assert_eq!(fields[0].source, LabelSource::PrecedingText);
     }

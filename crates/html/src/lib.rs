@@ -70,7 +70,11 @@ mod tests {
     fn end_to_end_smoke() {
         let doc = super::parse("<p>hello <b>world</b></p>");
         let text: Vec<_> = super::located_text(&doc);
-        let joined: String = text.iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
+        let joined: String = text
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
         assert!(joined.contains("hello"));
         assert!(joined.contains("world"));
     }

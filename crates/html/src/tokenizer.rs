@@ -61,7 +61,11 @@ pub struct Tokenizer<'a> {
 impl<'a> Tokenizer<'a> {
     /// Create a tokenizer over `input`.
     pub fn new(input: &'a str) -> Self {
-        Tokenizer { input, pos: 0, raw_text_until: None }
+        Tokenizer {
+            input,
+            pos: 0,
+            raw_text_until: None,
+        }
     }
 
     /// Tokenize the whole input into a vector.
@@ -89,7 +93,9 @@ impl<'a> Tokenizer<'a> {
                 let after = &rest[needle.len()..];
                 let close = after.find('>').map(|i| i + 1).unwrap_or(after.len());
                 self.bump(needle.len() + close);
-                Some(Token::EndTag { name: name.to_owned() })
+                Some(Token::EndTag {
+                    name: name.to_owned(),
+                })
             }
             Some(idx) => {
                 let text = &rest[..idx];
@@ -143,12 +149,20 @@ impl<'a> Tokenizer<'a> {
             }
             if let Some(after_slash) = after_lt.strip_prefix('/') {
                 // End tag.
-                if after_slash.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+                if after_slash
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic())
+                {
                     let (name_end, _) = tag_name_end(after_slash);
                     let name = after_slash[..name_end].to_ascii_lowercase();
                     let after_name = &after_slash[name_end..];
-                    let consumed =
-                        2 + name_end + after_name.find('>').map(|i| i + 1).unwrap_or(after_name.len());
+                    let consumed = 2
+                        + name_end
+                        + after_name
+                            .find('>')
+                            .map(|i| i + 1)
+                            .unwrap_or(after_name.len());
                     self.bump(consumed);
                     return Some(Token::EndTag { name });
                 }
@@ -156,7 +170,11 @@ impl<'a> Tokenizer<'a> {
                 self.bump(1);
                 return Some(Token::Text("<".to_owned()));
             }
-            if after_lt.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+            if after_lt
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
+            {
                 return Some(self.scan_start_tag(after_lt));
             }
             // Stray '<': treat as text.
@@ -237,12 +255,19 @@ impl<'a> Tokenizer<'a> {
                     s = &r[end..];
                 }
             }
-            attrs.push(Attribute { name: attr_name, value });
+            attrs.push(Attribute {
+                name: attr_name,
+                value,
+            });
         }
         if RAW_TEXT_ELEMENTS.contains(&name.as_str()) && !self_closing {
             self.raw_text_until = Some(name.clone());
         }
-        Token::StartTag { name, attrs, self_closing }
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        }
     }
 }
 
@@ -289,36 +314,63 @@ mod tests {
     }
 
     fn start(name: &str) -> Token {
-        Token::StartTag { name: name.into(), attrs: vec![], self_closing: false }
+        Token::StartTag {
+            name: name.into(),
+            attrs: vec![],
+            self_closing: false,
+        }
     }
 
     #[test]
     fn simple_tags_and_text() {
         assert_eq!(
             toks("<p>hi</p>"),
-            vec![start("p"), Token::Text("hi".into()), Token::EndTag { name: "p".into() }]
+            vec![
+                start("p"),
+                Token::Text("hi".into()),
+                Token::EndTag { name: "p".into() }
+            ]
         );
     }
 
     #[test]
     fn tag_names_lowercased() {
-        assert_eq!(toks("<DIV></DiV>"), vec![start("div"), Token::EndTag { name: "div".into() }]);
+        assert_eq!(
+            toks("<DIV></DiV>"),
+            vec![start("div"), Token::EndTag { name: "div".into() }]
+        );
     }
 
     #[test]
     fn attributes_quoted_unquoted_bare() {
         let t = toks(r#"<input type="text" name='kw' size=20 required>"#);
         match &t[0] {
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 assert_eq!(name, "input");
                 assert!(!self_closing);
                 assert_eq!(
                     attrs,
                     &vec![
-                        Attribute { name: "type".into(), value: "text".into() },
-                        Attribute { name: "name".into(), value: "kw".into() },
-                        Attribute { name: "size".into(), value: "20".into() },
-                        Attribute { name: "required".into(), value: "".into() },
+                        Attribute {
+                            name: "type".into(),
+                            value: "text".into()
+                        },
+                        Attribute {
+                            name: "name".into(),
+                            value: "kw".into()
+                        },
+                        Attribute {
+                            name: "size".into(),
+                            value: "20".into()
+                        },
+                        Attribute {
+                            name: "required".into(),
+                            value: "".into()
+                        },
                     ]
                 );
             }
@@ -329,8 +381,20 @@ mod tests {
     #[test]
     fn self_closing() {
         let t = toks("<br/><hr />");
-        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
-        assert!(matches!(&t[1], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(
+            &t[0],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &t[1],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -359,7 +423,10 @@ mod tests {
     #[test]
     fn unterminated_comment_consumes_rest() {
         let t = toks("a<!-- oops");
-        assert_eq!(t, vec![Token::Text("a".into()), Token::Comment(" oops".into())]);
+        assert_eq!(
+            t,
+            vec![Token::Text("a".into()), Token::Comment(" oops".into())]
+        );
     }
 
     #[test]
@@ -378,7 +445,9 @@ mod tests {
             vec![
                 start("script"),
                 Token::Text(r#"if (a < b) { document.write("</p>"); }"#.into()),
-                Token::EndTag { name: "script".into() },
+                Token::EndTag {
+                    name: "script".into()
+                },
                 Token::Text("after".into()),
             ]
         );
@@ -405,7 +474,9 @@ mod tests {
             vec![
                 start("textarea"),
                 Token::Text("<b>not bold</b>".into()),
-                Token::EndTag { name: "textarea".into() },
+                Token::EndTag {
+                    name: "textarea".into()
+                },
             ]
         );
     }
@@ -458,7 +529,9 @@ mod tests {
 
     #[test]
     fn never_panics_on_garbage() {
-        for s in ["<", "</", "<>", "< >", "<a b=\"", "<a b='x", "<!", "<!-", "&", "&#", "&#;"] {
+        for s in [
+            "<", "</", "<>", "< >", "<a b=\"", "<a b='x", "<!", "<!-", "&", "&#", "&#;",
+        ] {
             let _ = toks(s);
         }
     }

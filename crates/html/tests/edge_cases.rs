@@ -6,9 +6,8 @@ use cafc_html::{extract_forms, located_text, parse, TextLocation};
 
 #[test]
 fn attributes_with_exotic_but_legal_syntax() {
-    let doc = parse(
-        r#"<input type = "text"   name ='q' data-x=1 checked disabled value = unquoted>"#,
-    );
+    let doc =
+        parse(r#"<input type = "text"   name ='q' data-x=1 checked disabled value = unquoted>"#);
     let input = doc.elements_named("input").next().expect("input parsed");
     assert_eq!(doc.attr(input, "type"), Some("text"));
     assert_eq!(doc.attr(input, "name"), Some("q"));

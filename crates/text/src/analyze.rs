@@ -21,7 +21,11 @@ pub struct Analyzer {
 
 impl Default for Analyzer {
     fn default() -> Self {
-        Analyzer { tokenize: TokenizeOptions::default(), remove_stopwords: true, stem: true }
+        Analyzer {
+            tokenize: TokenizeOptions::default(),
+            remove_stopwords: true,
+            stem: true,
+        }
     }
 }
 
@@ -57,7 +61,10 @@ impl Analyzer {
     /// Analyze into plain strings (for debugging and golden tests).
     pub fn analyze_to_strings(&self, text: &str) -> Vec<String> {
         let mut dict = TermDict::new();
-        self.analyze(text, &mut dict).into_iter().map(|id| dict.term(id).to_owned()).collect()
+        self.analyze(text, &mut dict)
+            .into_iter()
+            .map(|id| dict.term(id).to_owned())
+            .collect()
     }
 }
 
@@ -86,15 +93,25 @@ mod tests {
 
     #[test]
     fn stopword_removal_toggle() {
-        let no_stop = Analyzer { remove_stopwords: false, ..Default::default() };
-        assert!(no_stop.analyze_to_strings("the car").contains(&"the".to_owned()));
+        let no_stop = Analyzer {
+            remove_stopwords: false,
+            ..Default::default()
+        };
+        assert!(no_stop
+            .analyze_to_strings("the car")
+            .contains(&"the".to_owned()));
         let with_stop = Analyzer::default();
-        assert!(!with_stop.analyze_to_strings("the car").contains(&"the".to_owned()));
+        assert!(!with_stop
+            .analyze_to_strings("the car")
+            .contains(&"the".to_owned()));
     }
 
     #[test]
     fn stemming_toggle() {
-        let raw = Analyzer { stem: false, ..Default::default() };
+        let raw = Analyzer {
+            stem: false,
+            ..Default::default()
+        };
         assert_eq!(raw.analyze_to_strings("flights"), vec!["flights"]);
     }
 

@@ -20,7 +20,9 @@ pub fn stem(word: &str) -> String {
     if lower.len() <= 2 || !lower.bytes().all(|b| b.is_ascii_lowercase()) {
         return lower;
     }
-    let mut s = Stemmer { b: lower.into_bytes() };
+    let mut s = Stemmer {
+        b: lower.into_bytes(),
+    };
     s.step1a();
     s.step1b();
     s.step1c();

@@ -18,7 +18,11 @@ pub struct TokenizeOptions {
 
 impl Default for TokenizeOptions {
     fn default() -> Self {
-        TokenizeOptions { min_len: 2, max_len: 30, keep_numbers: false }
+        TokenizeOptions {
+            min_len: 2,
+            max_len: 30,
+            keep_numbers: false,
+        }
     }
 }
 
@@ -76,7 +80,10 @@ mod tests {
 
     #[test]
     fn punctuation_boundaries() {
-        assert_eq!(tokenize("new/used cars, trucks."), vec!["new", "used", "cars", "trucks"]);
+        assert_eq!(
+            tokenize("new/used cars, trucks."),
+            vec!["new", "used", "cars", "trucks"]
+        );
     }
 
     #[test]
@@ -86,7 +93,10 @@ mod tests {
 
     #[test]
     fn numbers_kept_when_asked() {
-        let opts = TokenizeOptions { keep_numbers: true, ..Default::default() };
+        let opts = TokenizeOptions {
+            keep_numbers: true,
+            ..Default::default()
+        };
         assert_eq!(tokenize_with("room 101", opts), vec!["room", "101"]);
     }
 

@@ -63,7 +63,10 @@ impl CountsBuilder {
     /// document's terms, using collection statistics `df`.
     pub fn tf_idf(&self, df: &DocumentFrequencies) -> SparseVector {
         SparseVector::from_entries(
-            self.counts.iter().map(|(&t, &w)| (t, w * df.idf(t))).collect(),
+            self.counts
+                .iter()
+                .map(|(&t, &w)| (t, w * df.idf(t)))
+                .collect(),
         )
     }
 }

@@ -94,7 +94,10 @@ pub fn weigh(
         tf.entries()
             .iter()
             .map(|&(t, w)| {
-                (t, tf_scheme.apply(w, max_tf) * idf_scheme.apply(df.num_docs(), df.doc_freq(t)))
+                (
+                    t,
+                    tf_scheme.apply(w, max_tf) * idf_scheme.apply(df.num_docs(), df.doc_freq(t)),
+                )
             })
             .collect(),
     )

@@ -99,7 +99,9 @@ impl SparseVector {
         if factor == 0.0 {
             return SparseVector::empty();
         }
-        SparseVector { entries: self.entries.iter().map(|&(t, w)| (t, w * factor)).collect() }
+        SparseVector {
+            entries: self.entries.iter().map(|&(t, w)| (t, w * factor)).collect(),
+        }
     }
 
     /// Element-wise sum.
@@ -155,7 +157,11 @@ impl SparseVector {
     /// The `k` highest-weighted terms, descending by weight (ties by id).
     pub fn top_terms(&self, k: usize) -> Vec<(TermId, f64)> {
         let mut v = self.entries.clone();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         v.truncate(k);
         v
     }
@@ -251,7 +257,10 @@ mod tests {
     fn add_merges() {
         let a = vec_of(&[(1, 1.0), (2, 1.0)]);
         let b = vec_of(&[(2, 1.0), (3, 1.0)]);
-        assert_eq!(a.add(&b).entries(), &[(t(1), 1.0), (t(2), 2.0), (t(3), 1.0)]);
+        assert_eq!(
+            a.add(&b).entries(),
+            &[(t(1), 1.0), (t(2), 2.0), (t(3), 1.0)]
+        );
     }
 
     #[test]

@@ -5,17 +5,15 @@ use cafc_vsm::{CountsBuilder, DocumentFrequencies, SparseVector};
 use proptest::prelude::*;
 
 fn arb_vector() -> impl Strategy<Value = SparseVector> {
-    proptest::collection::vec((0u32..64, -10.0f64..10.0), 0..20)
-        .prop_map(|entries| {
-            SparseVector::from_entries(entries.into_iter().map(|(t, w)| (TermId(t), w)).collect())
-        })
+    proptest::collection::vec((0u32..64, -10.0f64..10.0), 0..20).prop_map(|entries| {
+        SparseVector::from_entries(entries.into_iter().map(|(t, w)| (TermId(t), w)).collect())
+    })
 }
 
 fn arb_nonneg_vector() -> impl Strategy<Value = SparseVector> {
-    proptest::collection::vec((0u32..64, 0.01f64..10.0), 0..20)
-        .prop_map(|entries| {
-            SparseVector::from_entries(entries.into_iter().map(|(t, w)| (TermId(t), w)).collect())
-        })
+    proptest::collection::vec((0u32..64, 0.01f64..10.0), 0..20).prop_map(|entries| {
+        SparseVector::from_entries(entries.into_iter().map(|(t, w)| (TermId(t), w)).collect())
+    })
 }
 
 proptest! {

@@ -47,7 +47,12 @@ impl WebGraph {
             return id;
         }
         let id = PageId(u32::try_from(self.pages.len()).expect("fewer than 4Gi pages"));
-        self.pages.push(PageEntry { url: url.clone(), html: None, out: Vec::new(), inc: Vec::new() });
+        self.pages.push(PageEntry {
+            url: url.clone(),
+            html: None,
+            out: Vec::new(),
+            inc: Vec::new(),
+        });
         self.by_url.insert(url, id);
         id
     }

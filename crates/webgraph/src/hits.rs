@@ -55,7 +55,10 @@ pub struct HitsOptions {
 
 impl Default for HitsOptions {
     fn default() -> Self {
-        HitsOptions { max_iterations: 100, tolerance: 1e-9 }
+        HitsOptions {
+            max_iterations: 100,
+            tolerance: 1e-9,
+        }
     }
 }
 
@@ -80,7 +83,11 @@ pub fn hits(graph: &WebGraph, opts: &HitsOptions) -> HitsScores {
         let mut new_hub = vec![0.0f64; n];
         for (i, h) in new_hub.iter_mut().enumerate() {
             let id = PageId(u32::try_from(i).expect("id fits u32"));
-            *h = graph.out_links(id).iter().map(|q| new_auth[q.index()]).sum();
+            *h = graph
+                .out_links(id)
+                .iter()
+                .map(|q| new_auth[q.index()])
+                .sum();
         }
         normalize(&mut new_auth);
         normalize(&mut new_hub);
@@ -96,7 +103,11 @@ pub fn hits(graph: &WebGraph, opts: &HitsOptions) -> HitsScores {
             break;
         }
     }
-    HitsScores { hub, authority, iterations }
+    HitsScores {
+        hub,
+        authority,
+        iterations,
+    }
 }
 
 fn normalize(v: &mut [f64]) {
@@ -147,7 +158,11 @@ mod tests {
     fn converges_quickly() {
         let (g, ..) = fixture();
         let scores = hits(&g, &HitsOptions::default());
-        assert!(scores.iterations < 100, "did not converge: {}", scores.iterations);
+        assert!(
+            scores.iterations < 100,
+            "did not converge: {}",
+            scores.iterations
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub fn hub_clusters(
     targets: &[PageId],
     opts: &HubClusterOptions,
 ) -> (Vec<HubCluster>, HubStats) {
-    let mut stats = HubStats { total_targets: targets.len(), ..HubStats::default() };
+    let mut stats = HubStats {
+        total_targets: targets.len(),
+        ..HubStats::default()
+    };
     // hub page -> sorted target indices
     let mut by_hub: HashMap<PageId, Vec<usize>> = HashMap::new();
     let mut covered = vec![false; targets.len()];
@@ -209,7 +212,10 @@ mod tests {
     }
 
     fn opts(min: usize) -> HubClusterOptions {
-        HubClusterOptions { min_cardinality: min, ..HubClusterOptions::default() }
+        HubClusterOptions {
+            min_cardinality: min,
+            ..HubClusterOptions::default()
+        }
     }
 
     #[test]
@@ -229,7 +235,10 @@ mod tests {
     #[test]
     fn root_fallback_can_be_disabled() {
         let (g, targets) = fixture();
-        let o = HubClusterOptions { root_fallback: false, ..opts(1) };
+        let o = HubClusterOptions {
+            root_fallback: false,
+            ..opts(1)
+        };
         let (clusters, stats) = hub_clusters(&g, &targets, &o);
         let sets: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
         assert!(sets.contains(&vec![1, 2]), "sets = {sets:?}");
@@ -256,7 +265,10 @@ mod tests {
         let t = g.intern(url("http://s.com/form"));
         let nav = g.intern(url("http://s.com/nav"));
         g.add_link(nav, t);
-        let o = HubClusterOptions { drop_intra_site: false, ..opts(1) };
+        let o = HubClusterOptions {
+            drop_intra_site: false,
+            ..opts(1)
+        };
         let (clusters, _) = hub_clusters(&g, &[t], &o);
         assert_eq!(clusters.len(), 1);
     }
@@ -295,7 +307,10 @@ mod tests {
             let h = g.intern(url(&format!("http://h{i}.com/")));
             g.add_link(h, t);
         }
-        let o = HubClusterOptions { backlink_limit: 2, ..opts(1) };
+        let o = HubClusterOptions {
+            backlink_limit: 2,
+            ..opts(1)
+        };
         let (clusters, _) = hub_clusters(&g, &[t], &o);
         // Only the first 2 backlinks are seen, each inducing the singleton
         // {0}; dedup collapses them to one cluster.
@@ -305,8 +320,14 @@ mod tests {
     #[test]
     fn homogeneity_measure() {
         let clusters = vec![
-            HubCluster { members: vec![0, 1], hub: PageId(0) },
-            HubCluster { members: vec![2, 3], hub: PageId(1) },
+            HubCluster {
+                members: vec![0, 1],
+                hub: PageId(0),
+            },
+            HubCluster {
+                members: vec![2, 3],
+                hub: PageId(1),
+            },
         ];
         let labels = ["a", "a", "a", "b"];
         assert_eq!(homogeneity(&clusters, &labels), Some(0.5));
@@ -316,9 +337,18 @@ mod tests {
     #[test]
     fn domains_covered_counts_homogeneous_only() {
         let clusters = vec![
-            HubCluster { members: vec![0, 1], hub: PageId(0) }, // homogeneous "a"
-            HubCluster { members: vec![2, 3], hub: PageId(1) }, // mixed
-            HubCluster { members: vec![3], hub: PageId(2) },    // homogeneous "b"
+            HubCluster {
+                members: vec![0, 1],
+                hub: PageId(0),
+            }, // homogeneous "a"
+            HubCluster {
+                members: vec![2, 3],
+                hub: PageId(1),
+            }, // mixed
+            HubCluster {
+                members: vec![3],
+                hub: PageId(2),
+            }, // homogeneous "b"
         ];
         let labels = ["a", "a", "a", "b"];
         assert_eq!(domains_covered(&clusters, &labels), 2);

@@ -41,7 +41,11 @@ impl Url {
         Some(Url {
             scheme,
             host: host.to_ascii_lowercase(),
-            path: if path.is_empty() { "/".to_owned() } else { path.to_owned() },
+            path: if path.is_empty() {
+                "/".to_owned()
+            } else {
+                path.to_owned()
+            },
         })
     }
 
@@ -50,7 +54,11 @@ impl Url {
     /// # Panics
     /// Panics if the parts do not form a parseable URL.
     pub fn from_parts(scheme: &str, host: &str, path: &str) -> Url {
-        let path = if path.starts_with('/') { path.to_owned() } else { format!("/{path}") };
+        let path = if path.starts_with('/') {
+            path.to_owned()
+        } else {
+            format!("/{path}")
+        };
         Url::parse(&format!("{scheme}://{host}{path}")).expect("valid URL parts")
     }
 
@@ -72,7 +80,11 @@ impl Url {
     /// The site root page (`scheme://host/`) — the fallback target when a
     /// form page has no backlinks (§3.1).
     pub fn site_root(&self) -> Url {
-        Url { scheme: self.scheme.clone(), host: self.host.clone(), path: "/".to_owned() }
+        Url {
+            scheme: self.scheme.clone(),
+            host: self.host.clone(),
+            path: "/".to_owned(),
+        }
     }
 
     /// Whether two URLs belong to the same site (same host).
@@ -186,7 +198,9 @@ mod tests {
     fn resolve_absolute() {
         let base = Url::parse("http://a.com/x/y").expect("parses");
         assert_eq!(
-            base.resolve("http://b.com/z").expect("resolves").to_string(),
+            base.resolve("http://b.com/z")
+                .expect("resolves")
+                .to_string(),
             "http://b.com/z"
         );
     }
@@ -194,21 +208,33 @@ mod tests {
     #[test]
     fn resolve_host_relative() {
         let base = Url::parse("http://a.com/x/y").expect("parses");
-        assert_eq!(base.resolve("/z").expect("resolves").to_string(), "http://a.com/z");
+        assert_eq!(
+            base.resolve("/z").expect("resolves").to_string(),
+            "http://a.com/z"
+        );
     }
 
     #[test]
     fn resolve_dir_relative() {
         let base = Url::parse("http://a.com/x/y").expect("parses");
-        assert_eq!(base.resolve("z.html").expect("resolves").to_string(), "http://a.com/x/z.html");
+        assert_eq!(
+            base.resolve("z.html").expect("resolves").to_string(),
+            "http://a.com/x/z.html"
+        );
         let root = Url::parse("http://a.com/").expect("parses");
-        assert_eq!(root.resolve("z").expect("resolves").to_string(), "http://a.com/z");
+        assert_eq!(
+            root.resolve("z").expect("resolves").to_string(),
+            "http://a.com/z"
+        );
     }
 
     #[test]
     fn resolve_protocol_relative() {
         let base = Url::parse("https://a.com/p").expect("parses");
-        assert_eq!(base.resolve("//b.com/q").expect("resolves").to_string(), "https://b.com/q");
+        assert_eq!(
+            base.resolve("//b.com/q").expect("resolves").to_string(),
+            "https://b.com/q"
+        );
     }
 
     #[test]
@@ -223,7 +249,10 @@ mod tests {
     #[test]
     fn resolve_relative_with_base_query() {
         let base = Url::parse("http://a.com/dir/page?x=1").expect("parses");
-        assert_eq!(base.resolve("next").expect("resolves").to_string(), "http://a.com/dir/next");
+        assert_eq!(
+            base.resolve("next").expect("resolves").to_string(),
+            "http://a.com/dir/next"
+        );
     }
 
     #[test]

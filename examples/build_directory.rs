@@ -24,7 +24,10 @@ fn main() {
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(5);
     let config = CafcChConfig {
-        hub: cafc::HubClusterOptions { min_cardinality: 4, ..Default::default() },
+        hub: cafc::HubClusterOptions {
+            min_cardinality: 4,
+            ..Default::default()
+        },
         ..CafcChConfig::paper_default(8)
     };
     let result = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);
@@ -62,7 +65,9 @@ fn main() {
             let doc = parse(html);
             let title = doc.title().unwrap_or_else(|| "(untitled)".to_owned());
             let forms = cafc_html::extract_forms(&doc);
-            let arity = forms.first().map_or(0, cafc_html::Form::visible_field_count);
+            let arity = forms
+                .first()
+                .map_or(0, cafc_html::Form::visible_field_count);
             println!("   - {title}");
             println!("     {url}  [{arity}-attribute interface]");
         }

@@ -31,14 +31,21 @@ fn main() {
     // Hold out every 5th page as a "new source".
     let known: Vec<usize> = (0..targets.len()).filter(|i| i % 5 != 0).collect();
     let new: Vec<usize> = (0..targets.len()).filter(|i| i % 5 == 0).collect();
-    println!("{} known sources, {} newly discovered", known.len(), new.len());
+    println!(
+        "{} known sources, {} newly discovered",
+        known.len(),
+        new.len()
+    );
 
     // Cluster the known subset. CAFC-CH runs over the *full* target list;
     // to cluster only the known pages we restrict afterwards (hub evidence
     // does not depend on the holdout split).
     let mut rng = StdRng::seed_from_u64(3);
     let config = CafcChConfig {
-        hub: cafc::HubClusterOptions { min_cardinality: 4, ..Default::default() },
+        hub: cafc::HubClusterOptions {
+            min_cardinality: 4,
+            ..Default::default()
+        },
         ..CafcChConfig::paper_default(8)
     };
     let full = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);

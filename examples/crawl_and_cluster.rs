@@ -8,7 +8,9 @@
 
 use cafc::{cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, ModelOptions};
 use cafc_corpus::{generate, CorpusConfig};
-use cafc_crawler::{crawl, CrawlConfig};
+use cafc_crawler::{
+    crawl, crawl_resilient, ChaosFetcher, CrawlConfig, FaultConfig, ResilientConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,13 +28,33 @@ fn main() {
         crawl_result.dead_links,
     );
 
+    // The same crawl under a hostile network: 25% of fetches fail
+    // transiently, yet retries with backoff and per-host circuit breakers
+    // recover nearly everything (see `cafc crawl` for the full report).
+    let mut chaos = ChaosFetcher::over_graph(&web.graph, FaultConfig::transient(0.25, 7));
+    let faulty = crawl_resilient(
+        &web.graph,
+        &mut chaos,
+        web.portal,
+        &ResilientConfig::default(),
+    );
+    println!(
+        "under 25% transient faults: {} of {} searchable-form pages recovered\n{}",
+        faulty.pages.searchable_form_pages.len(),
+        crawl_result.searchable_form_pages.len(),
+        faulty.stats,
+    );
+
     // --- organization: CAFC-CH over exactly what the crawler found -----
     let targets = crawl_result.searchable_form_pages.clone();
     let corpus = FormPageCorpus::from_graph(&web.graph, &targets, &ModelOptions::default());
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(1);
     let config = CafcChConfig {
-        hub: cafc::HubClusterOptions { min_cardinality: 4, ..Default::default() },
+        hub: cafc::HubClusterOptions {
+            min_cardinality: 4,
+            ..Default::default()
+        },
         ..CafcChConfig::paper_default(8)
     };
     let result = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);

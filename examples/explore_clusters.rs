@@ -20,7 +20,10 @@ fn main() {
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(9);
     let config = CafcChConfig {
-        hub: cafc::HubClusterOptions { min_cardinality: 4, ..Default::default() },
+        hub: cafc::HubClusterOptions {
+            min_cardinality: 4,
+            ..Default::default()
+        },
         ..CafcChConfig::paper_default(8)
     };
     let result = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);
@@ -37,8 +40,11 @@ fn main() {
     println!("...\n");
 
     // Query-based exploration.
-    for query in ["cheap flights this summer", "find a job in engineering", "rock albums on vinyl"]
-    {
+    for query in [
+        "cheap flights this summer",
+        "find a job in engineering",
+        "rock albums on vinyl",
+    ] {
         println!("query: {query:?}");
         for hit in index.search(query).into_iter().take(2) {
             let summary = &index.summaries()[hit.cluster];

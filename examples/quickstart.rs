@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cafc::{
-    cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, ModelOptions,
-};
+use cafc::{cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, ModelOptions};
 use cafc_cluster::ClusterSpace;
 use cafc_corpus::{generate, CorpusConfig};
 use cafc_eval::EntropyBase;
@@ -30,7 +28,10 @@ fn main() {
     // 3. CAFC-CH: hub clusters from shared backlinks seed k-means.
     let mut rng = StdRng::seed_from_u64(7);
     let config = CafcChConfig {
-        hub: cafc::HubClusterOptions { min_cardinality: 4, ..Default::default() },
+        hub: cafc::HubClusterOptions {
+            min_cardinality: 4,
+            ..Default::default()
+        },
         ..CafcChConfig::paper_default(8)
     };
     let result = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);

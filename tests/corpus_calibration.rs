@@ -15,7 +15,10 @@ fn paper_scale_corpus_statistics() {
 
     // 454 pages, 56 single-attribute (§4.1).
     assert_eq!(targets.len(), 454);
-    assert_eq!(web.form_pages.iter().filter(|r| r.single_attribute).count(), 56);
+    assert_eq!(
+        web.form_pages.iter().filter(|r| r.single_attribute).count(),
+        56
+    );
 
     // Hub statistics (§3.1): thousands of distinct clusters, ~69 %
     // homogeneous, representative homogeneous clusters in all domains,
@@ -23,7 +26,10 @@ fn paper_scale_corpus_statistics() {
     let (clusters, stats) = hub_clusters(
         &web.graph,
         &targets,
-        &HubClusterOptions { min_cardinality: 1, ..Default::default() },
+        &HubClusterOptions {
+            min_cardinality: 1,
+            ..Default::default()
+        },
     );
     assert!(
         (2500..=4500).contains(&stats.distinct_clusters),
@@ -34,7 +40,10 @@ fn paper_scale_corpus_statistics() {
     assert!((0.60..=0.80).contains(&h), "homogeneity {h} not ~69%");
     assert_eq!(domains_covered(&clusters, &labels), 8);
     let frac = stats.targets_without_backlinks as f64 / stats.total_targets as f64;
-    assert!((0.12..=0.25).contains(&frac), "backlinkless fraction {frac} not >15%");
+    assert!(
+        (0.12..=0.25).contains(&frac),
+        "backlinkless fraction {frac} not >15%"
+    );
 
     // Cardinality filtering shrinks the candidate pool drastically (§3.3).
     let (_, stats8) = hub_clusters(&web.graph, &targets, &HubClusterOptions::default());
@@ -64,9 +73,21 @@ fn table1_anticorrelation_at_paper_scale() {
     assert!(rows[0].avg_page_terms > 2.0 * rows[4].avg_page_terms);
     // The middle rows are in the paper's range (131 / 76 / 83 ± generous
     // tolerance: these are averages over random budgets).
-    assert!((90.0..=200.0).contains(&rows[1].avg_page_terms), "{:?}", rows[1]);
-    assert!((50.0..=130.0).contains(&rows[2].avg_page_terms), "{:?}", rows[2]);
-    assert!((50.0..=140.0).contains(&rows[3].avg_page_terms), "{:?}", rows[3]);
+    assert!(
+        (90.0..=200.0).contains(&rows[1].avg_page_terms),
+        "{:?}",
+        rows[1]
+    );
+    assert!(
+        (50.0..=130.0).contains(&rows[2].avg_page_terms),
+        "{:?}",
+        rows[2]
+    );
+    assert!(
+        (50.0..=140.0).contains(&rows[3].avg_page_terms),
+        "{:?}",
+        rows[3]
+    );
 }
 
 #[test]

@@ -66,7 +66,10 @@ fn crawled_pages_cluster_like_curated_ones() {
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(22);
     let config = CafcChConfig {
-        hub: cafc::HubClusterOptions { min_cardinality: 4, ..Default::default() },
+        hub: cafc::HubClusterOptions {
+            min_cardinality: 4,
+            ..Default::default()
+        },
         ..CafcChConfig::paper_default(8)
     };
     let result = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);
@@ -84,7 +87,10 @@ fn crawler_visits_are_bounded_and_unique() {
     let result = crawl(
         &web.graph,
         web.portal,
-        &CrawlConfig { max_pages: 50, ..Default::default() },
+        &CrawlConfig {
+            max_pages: 50,
+            ..Default::default()
+        },
     );
     assert!(result.visited.len() <= 50);
     let mut v = result.visited.clone();

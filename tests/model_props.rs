@@ -15,9 +15,13 @@ fn arb_page() -> impl Strategy<Value = String> {
         proptest::option::of(word),             // title
     )
         .prop_map(|(body, form, options, title)| {
-            let title = title.map(|t| format!("<title>{t}</title>")).unwrap_or_default();
-            let opts: String =
-                options.iter().map(|o| format!("<option>{o}</option>")).collect();
+            let title = title
+                .map(|t| format!("<title>{t}</title>"))
+                .unwrap_or_default();
+            let opts: String = options
+                .iter()
+                .map(|o| format!("<option>{o}</option>"))
+                .collect();
             format!(
                 "{title}<p>{}</p><form>{} <select name=s>{opts}</select><input name=q></form>",
                 body.join(" "),

@@ -30,7 +30,12 @@ fn env() -> &'static Env {
         let targets = web.form_page_ids();
         let labels = web.labels();
         let corpus = FormPageCorpus::from_graph(&web.graph, &targets, &ModelOptions::default());
-        Env { web, targets, labels, corpus }
+        Env {
+            web,
+            targets,
+            labels,
+            corpus,
+        }
     })
 }
 
@@ -61,7 +66,11 @@ fn run_ch(space: &FormPageSpace<'_>) -> (f64, f64) {
         &mut rng,
     );
     (
-        entropy(out.outcome.partition.clusters(), &e.labels, EntropyBase::Two),
+        entropy(
+            out.outcome.partition.clusters(),
+            &e.labels,
+            EntropyBase::Two,
+        ),
         f_measure(out.outcome.partition.clusters(), &e.labels),
     )
 }
@@ -73,7 +82,10 @@ fn fig2_combined_beats_single_spaces_cafc_c() {
     let e = env();
     let fc = avg_cafc_c(&FormPageSpace::new(&e.corpus, FeatureConfig::FcOnly), 12);
     let pc = avg_cafc_c(&FormPageSpace::new(&e.corpus, FeatureConfig::PcOnly), 12);
-    let both = avg_cafc_c(&FormPageSpace::new(&e.corpus, FeatureConfig::combined()), 12);
+    let both = avg_cafc_c(
+        &FormPageSpace::new(&e.corpus, FeatureConfig::combined()),
+        12,
+    );
     assert!(both.0 < fc.0, "entropy: FC+PC {} !< FC {}", both.0, fc.0);
     assert!(both.0 < pc.0, "entropy: FC+PC {} !< PC {}", both.0, pc.0);
     assert!(both.1 > fc.1, "F: FC+PC {} !> FC {}", both.1, fc.1);
@@ -87,7 +99,10 @@ fn fig2_hubs_improve_both_metrics() {
     let space = FormPageSpace::new(&e.corpus, FeatureConfig::combined());
     let (c_e, c_f) = avg_cafc_c(&space, 5);
     let (ch_e, ch_f) = run_ch(&space);
-    assert!(ch_e < c_e * 0.75, "entropy {c_e} -> {ch_e}: not a substantial drop");
+    assert!(
+        ch_e < c_e * 0.75,
+        "entropy {c_e} -> {ch_e}: not a substantial drop"
+    );
     assert!(ch_f > c_f, "F {c_f} -> {ch_f}: no improvement");
 }
 
@@ -99,16 +114,28 @@ fn loc_weights_ablation_shape() {
     let uniform_corpus = FormPageCorpus::from_graph(
         &e.web.graph,
         &e.targets,
-        &ModelOptions { weights: LocationWeights::uniform(), ..ModelOptions::default() },
+        &ModelOptions {
+            weights: LocationWeights::uniform(),
+            ..ModelOptions::default()
+        },
     );
     let diff_space = FormPageSpace::new(&e.corpus, FeatureConfig::combined());
     let uni_space = FormPageSpace::new(&uniform_corpus, FeatureConfig::combined());
     let (diff_e, diff_f) = run_ch(&diff_space);
     let (uni_e, uni_f) = run_ch(&uni_space);
     let (c_e, _) = avg_cafc_c(&diff_space, 5);
-    assert!(diff_e <= uni_e, "differentiated {diff_e} !<= uniform {uni_e}");
-    assert!(diff_f >= uni_f, "differentiated F {diff_f} !>= uniform {uni_f}");
-    assert!(uni_e < c_e, "uniform CAFC-CH {uni_e} !< differentiated CAFC-C {c_e}");
+    assert!(
+        diff_e <= uni_e,
+        "differentiated {diff_e} !<= uniform {uni_e}"
+    );
+    assert!(
+        diff_f >= uni_f,
+        "differentiated F {diff_f} !>= uniform {uni_f}"
+    );
+    assert!(
+        uni_e < c_e,
+        "uniform CAFC-CH {uni_e} !< differentiated CAFC-C {c_e}"
+    );
 }
 
 /// §4.2: single-attribute forms are handled — the overwhelming majority
@@ -126,9 +153,16 @@ fn single_attribute_forms_mostly_correct() {
         &mut rng,
     );
     let wrong = cafc_eval::misclustered(out.outcome.partition.clusters(), &e.labels);
-    let singles_total = e.web.form_pages.iter().filter(|r| r.single_attribute).count();
-    let singles_wrong =
-        wrong.iter().filter(|&&i| e.web.form_pages[i].single_attribute).count();
+    let singles_total = e
+        .web
+        .form_pages
+        .iter()
+        .filter(|r| r.single_attribute)
+        .count();
+    let singles_wrong = wrong
+        .iter()
+        .filter(|&&i| e.web.form_pages[i].single_attribute)
+        .count();
     assert!(
         singles_wrong * 4 < singles_total,
         "{singles_wrong} of {singles_total} single-attribute pages misclustered"

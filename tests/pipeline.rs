@@ -2,8 +2,8 @@
 //! CAFC-CH → evaluation. Crosses every crate in the workspace.
 
 use cafc::{
-    cafc_c, cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace,
-    HubClusterOptions, KMeansOptions, ModelOptions,
+    cafc_c, cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, HubClusterOptions,
+    KMeansOptions, ModelOptions,
 };
 use cafc_corpus::{generate, CorpusConfig};
 use cafc_eval::{entropy, f_measure, EntropyBase};
@@ -13,7 +13,10 @@ use rand::SeedableRng;
 fn small_config(seed: u64) -> CafcChConfig {
     let _ = seed;
     CafcChConfig {
-        hub: HubClusterOptions { min_cardinality: 4, ..Default::default() },
+        hub: HubClusterOptions {
+            min_cardinality: 4,
+            ..Default::default()
+        },
         ..CafcChConfig::paper_default(8)
     }
 }
@@ -112,8 +115,14 @@ fn every_page_lands_in_exactly_one_cluster() {
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(6);
     let result = cafc_ch(&web.graph, &targets, &space, &small_config(6), &mut rng);
-    let mut seen: Vec<usize> =
-        result.outcome.partition.clusters().iter().flatten().copied().collect();
+    let mut seen: Vec<usize> = result
+        .outcome
+        .partition
+        .clusters()
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
     seen.sort_unstable();
     let expect: Vec<usize> = (0..targets.len()).collect();
     assert_eq!(seen, expect);
@@ -134,7 +143,11 @@ fn anchor_extension_produces_valid_space() {
     );
     let space = FormPageSpace::new(
         &corpus,
-        FeatureConfig::WithAnchors { c1: 1.0, c2: 1.0, c3: 1.0 },
+        FeatureConfig::WithAnchors {
+            c1: 1.0,
+            c2: 1.0,
+            c3: 1.0,
+        },
     );
     let mut rng = StdRng::seed_from_u64(7);
     let result = cafc_ch(&web.graph, &targets, &space, &small_config(7), &mut rng);

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Typecheck (and optionally test) the workspace without network access by
+# patching external dependencies with the stubs in tools/offline-stubs/.
+# See tools/offline-stubs/README.md for what the stubs do and don't cover.
+#
+# Usage:
+#   tools/offline-check.sh check   # cargo check the non-proptest targets
+#   tools/offline-check.sh test    # additionally run the test targets
+#   tools/offline-check.sh clippy  # clippy with -D warnings
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+
+config=(
+  --config 'patch.crates-io.rand.path="tools/offline-stubs/rand"'
+  --config 'patch.crates-io.serde.path="tools/offline-stubs/serde"'
+  --config 'patch.crates-io.serde_json.path="tools/offline-stubs/serde_json"'
+  --config 'patch.crates-io.proptest.path="tools/offline-stubs/proptest"'
+  --config 'patch.crates-io.criterion.path="tools/offline-stubs/criterion"'
+)
+
+# Targets that use proptest!/criterion macros can't compile against the
+# empty stubs: tests/model_props.rs, crates/*/tests/proptests.rs, bench.
+lib_packages=(
+  -p cafc-html -p cafc-text -p cafc-vsm -p cafc-webgraph -p cafc-cluster
+  -p cafc-eval -p cafc-corpus -p cafc-classify -p cafc-crawler
+  -p cafc-explore -p cafc -p cafc-cli
+)
+core_tests=(
+  --test pipeline --test crawl_integration --test corpus_calibration
+  --test paper_shapes --test robustness
+)
+
+case "$mode" in
+  check)
+    cargo check --offline "${config[@]}" "${lib_packages[@]}"
+    cargo check --offline "${config[@]}" -p cafc-crawler -p cafc-cli --all-targets
+    cargo check --offline "${config[@]}" -p cafc "${core_tests[@]}" --examples
+    ;;
+  test)
+    cargo test --offline "${config[@]}" -p cafc-html -p cafc-text -p cafc-vsm \
+      -p cafc-webgraph -p cafc-cluster -p cafc-eval -p cafc-corpus \
+      -p cafc-classify -p cafc-explore --lib
+    cargo test --offline "${config[@]}" -p cafc-crawler -p cafc-cli --all-targets
+    cargo test --offline "${config[@]}" -p cafc --lib "${core_tests[@]}"
+    ;;
+  clippy)
+    cargo clippy --offline "${config[@]}" "${lib_packages[@]}" -- -D warnings
+    cargo clippy --offline "${config[@]}" -p cafc-crawler -p cafc-cli --all-targets -- -D warnings
+    cargo clippy --offline "${config[@]}" -p cafc "${core_tests[@]}" --examples -- -D warnings
+    ;;
+  *)
+    echo "usage: $0 [check|test|clippy]" >&2
+    exit 2
+    ;;
+esac

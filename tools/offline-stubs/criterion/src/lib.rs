@@ -1,0 +1,2 @@
+//! Offline stub of `criterion`: empty. Bench targets are skipped by
+//! `tools/offline-check.sh`.

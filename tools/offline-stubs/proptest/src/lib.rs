@@ -1,0 +1,2 @@
+//! Offline stub of `proptest`: empty. Property-test targets are skipped by
+//! `tools/offline-check.sh`.

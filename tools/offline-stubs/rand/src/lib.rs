@@ -1,0 +1,276 @@
+//! Offline stub of `rand` 0.9 — a functional uniform RNG over the API
+//! surface this workspace uses. Not bit-compatible with the real crate.
+
+/// Core source of randomness.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One splitmix64 output step (also used as a mixer).
+#[inline]
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0, 1).
+#[inline]
+fn to_unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types `Rng::random` can produce.
+pub trait StandardSample {
+    /// Draw a uniform value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        to_unit_f64(rng.next_u64())
+    }
+}
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        to_unit_f64(rng.next_u64()) as f32
+    }
+}
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with uniform sampling over a half-open or inclusive interval.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "empty range");
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        lo + to_unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore + ?Sized>(lo: f32, hi: f32, _inclusive: bool, rng: &mut R) -> f32 {
+        lo + (to_unit_f64(rng.next_u64()) as f32) * (hi - lo)
+    }
+}
+
+/// Ranges `Rng::random_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_in(lo, hi, true, rng)
+    }
+}
+
+/// User-facing random-value methods (blanket-implemented for any core).
+pub trait Rng: RngCore {
+    /// Uniform value of an inferred type.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform value in `range`.
+    fn random_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        to_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding entry point.
+pub trait SeedableRng: Sized {
+    /// Deterministic construction from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng, SPLITMIX_GAMMA};
+
+    macro_rules! splitmix_rng {
+        ($name:ident) => {
+            /// Splitmix64-sequence generator (offline stand-in).
+            #[derive(Debug, Clone)]
+            pub struct $name {
+                state: u64,
+            }
+            impl RngCore for $name {
+                fn next_u64(&mut self) -> u64 {
+                    self.state = self.state.wrapping_add(SPLITMIX_GAMMA);
+                    splitmix64(self.state)
+                }
+            }
+            impl SeedableRng for $name {
+                fn seed_from_u64(state: u64) -> Self {
+                    $name { state: splitmix64(state ^ SPLITMIX_GAMMA) }
+                }
+            }
+        };
+    }
+    splitmix_rng!(StdRng);
+    splitmix_rng!(SmallRng);
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection from indexable collections.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+    }
+
+    /// Index-sampling without replacement.
+    pub mod index {
+        use super::RngCore;
+
+        /// A set of sampled indices.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The sampled indices as a vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+            /// Iterate the sampled indices.
+            pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+                self.0.iter()
+            }
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+            /// True when nothing was sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices from `0..length` (partial
+        /// Fisher–Yates), uniformly at random.
+        pub fn sample<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} of {length}");
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = i + (rng.next_u64() % (length - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..9);
+            assert!((3..9).contains(&v));
+            let w: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&w));
+            let u = rng.random_range(5..=5);
+            assert_eq!(u, 5);
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut idx = super::seq::index::sample(&mut rng, 50, 20).into_vec();
+        idx.sort_unstable();
+        let mut dedup = idx.clone();
+        dedup.dedup();
+        assert_eq!(idx.len(), 20);
+        assert_eq!(dedup.len(), 20);
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+}

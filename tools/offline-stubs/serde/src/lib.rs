@@ -1,0 +1,18 @@
+//! Offline stub of `serde`: marker traits only. The `derive` feature is a
+//! no-op, so targets using `#[derive(Serialize)]` cannot be checked offline.
+
+/// Serialization marker (no-op in the offline stub).
+pub trait Serialize {}
+
+/// Deserialization marker (no-op in the offline stub).
+pub trait Deserialize {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl Serialize for String {}
+impl Serialize for str {}
+impl Serialize for f64 {}
+impl Serialize for u64 {}
+impl Serialize for usize {}
+impl Serialize for bool {}

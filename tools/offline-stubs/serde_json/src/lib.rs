@@ -1,0 +1,423 @@
+//! Offline stub of `serde_json`: a small but real JSON `Value` with a
+//! parser and serializer, covering the workspace's untyped JSON usage.
+//! Derive-based (de)serialization is not supported offline.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation (the real crate's `Map<String, Value>`).
+pub type Map = BTreeMap<String, Value>;
+
+/// An untyped JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64 — sufficient for this workspace).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The bool if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The map if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Parse/serialize error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+/// `Result` alias matching the real crate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(what)
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err("invalid literal")
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("non-utf8 number".into()))?;
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Value::Number(n)),
+            Err(_) => self.err("invalid number"),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("invalid \\u escape");
+                            };
+                            // Surrogates are replaced rather than paired;
+                            // the workspace never emits them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("non-utf8 string".into()))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.eat(b'{', "expected '{'")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+///
+/// The real crate is generic over `T: Deserialize`; offline only `Value`
+/// (and types with a `From<Value>`-free untyped path) are supported, which
+/// is all the workspace uses.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+/// Compact serialization of a [`Value`].
+pub fn to_string(value: &Value) -> Result<String> {
+    Ok(value.to_string())
+}
+
+/// Pretty serialization (offline stub: two-space indentation, arrays and
+/// objects always broken across lines).
+pub fn to_string_pretty(value: &Value) -> Result<String> {
+    fn pretty(v: &Value, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match v {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad);
+                    pretty(item, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push(']');
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, val)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad);
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    pretty(val, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push('}');
+            }
+            other => write_value(other, out),
+        }
+    }
+    let mut out = String::new();
+    pretty(value, 0, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_escapes() {
+        let v = Value::Array(vec![
+            Value::String("a \"quoted\" \\ path\nline".into()),
+            Value::Number(3.0),
+            Value::Bool(true),
+            Value::Null,
+        ]);
+        let s = v.to_string();
+        assert_eq!(from_str(&s).expect("parses"), v);
+    }
+
+    #[test]
+    fn parses_nested_object() {
+        let v = from_str(r#" {"clusters": [["http://a.com/"], []], "k": 2} "#).expect("parses");
+        let clusters = v.get("clusters").and_then(Value::as_array).expect("array");
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].as_array().expect("inner")[0].as_str(), Some("http://a.com/"));
+        assert_eq!(v.get("k").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{, }").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("[] trailing").is_err());
+    }
+}
