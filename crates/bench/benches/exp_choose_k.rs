@@ -42,7 +42,9 @@ fn main() {
         };
         let mut rng = StdRng::seed_from_u64(0xC0);
         let out = cafc_ch(&bench.web.graph, &bench.targets, &space, &config, &mut rng);
-        let sil = mean_silhouette(&space, &out.outcome.partition);
+        // A degenerate partition (undefined silhouette) ranks below every
+        // real score.
+        let sil = mean_silhouette(&space, &out.outcome.partition).unwrap_or(-1.0);
         let q = quality(&out.outcome.partition, &bench.labels);
         println!(
             "{:>4} {:>12.4} {:>10.3} {:>8.3}",

@@ -184,7 +184,8 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments");
     let path = dir.join(format!("{name}.json"));
     let result = std::fs::create_dir_all(&dir).and_then(|()| {
-        let json = serde_json::to_string_pretty(value).expect("experiment data serializes");
+        let json = serde_json::to_string_pretty(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         std::fs::write(&path, json)
     });
     match result {

@@ -40,6 +40,9 @@ const VALUE_FLAGS: &[&str] = &[
     "breaker-cooldown-ms",
     "max-pages",
     "max-depth",
+    // torture
+    "mutations",
+    "mutations-per-page",
 ];
 
 /// Known boolean switches (present or absent, no value).

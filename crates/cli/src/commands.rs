@@ -3,14 +3,15 @@
 use crate::args::Args;
 use cafc::{
     cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, HubClusterOptions,
-    KMeansOptions, ModelOptions, Partition,
+    IngestLimits, IngestReport, KMeansOptions, ModelOptions, Partition,
 };
 use cafc_cluster::{
     bisecting_kmeans, choose_k, hac_from_singletons, kmeans, random_singleton_seeds, BisectOptions,
     HacOptions, Linkage,
 };
 use cafc_corpus::{
-    export_web, generate as generate_web, load_web, CorpusConfig, LoadedWeb, SyntheticWeb,
+    export_web, generate as generate_web, load_web, mutate_page, page_rng, CorpusConfig, LoadedWeb,
+    Mutation, SyntheticWeb,
 };
 use cafc_crawler::{
     crawl as crawl_bfs, crawl_resilient, BreakerConfig, ChaosFetcher, CrawlConfig, FaultConfig,
@@ -180,7 +181,10 @@ fn clusters_json(prepared: &Prepared, partition: &Partition) -> String {
     let mut root = serde_json::Map::new();
     root.insert("clusters".to_owned(), serde_json::Value::Array(clusters));
     let doc = serde_json::Value::Object(root);
-    let mut out = serde_json::to_string_pretty(&doc).expect("clusters serialize");
+    let mut out = serde_json::to_string_pretty(&doc).unwrap_or_else(|e| {
+        eprintln!("warning: could not serialize clusters: {e}");
+        "{}".to_owned()
+    });
     out.push('\n');
     out
 }
@@ -469,11 +473,24 @@ pub fn crawl(args: &Args) -> Result<(), String> {
             let outcome = run_faulty(&web, &cfg, &resilient);
             let survivors = &outcome.pages.searchable_form_pages;
             let quality = cluster_survivors(&web, survivors, k, fault.seed);
-            let (entropy, f_measure) = quality
-                .map(|q| (q.entropy, q.f_measure))
-                .unwrap_or((f64::NAN, f64::NAN));
+            // Too few survivors to cluster leaves the metrics undefined;
+            // say so explicitly rather than printing NaN columns.
+            let (entropy, f_measure) = match &quality {
+                Some(q) => (
+                    format!("{:>7.3}", q.entropy),
+                    format!("{:>9.3}", q.f_measure),
+                ),
+                None => {
+                    eprintln!(
+                        "warning: fault rate {rate:.1}: {} survivor(s) — too few to \
+                         cluster, metrics undefined",
+                        survivors.len()
+                    );
+                    ("      —".to_owned(), "        —".to_owned())
+                }
+            };
             println!(
-                "{rate:>10.1}  {:>8.1}%  {entropy:>7.3}  {f_measure:>9.3}  {:>8}  {:>7}  {:>9}",
+                "{rate:>10.1}  {:>8.1}%  {entropy}  {f_measure}  {:>8}  {:>7}  {:>9}",
                 100.0 * survivors.len() as f64 / baseline as f64,
                 outcome.stats.attempts,
                 outcome.stats.retries,
@@ -514,6 +531,142 @@ pub fn crawl(args: &Args) -> Result<(), String> {
             );
         }
         (_, None) => println!("too few survivors to cluster — no quality to report"),
+        (None, Some(_)) => {}
+    }
+    Ok(())
+}
+
+/// Cluster an ingested (possibly partial) corpus with seeded k-means and
+/// score it against the gold labels of the pages that were kept. `None`
+/// when too few pages survived ingestion to cluster.
+fn cluster_ingested(
+    corpus: &FormPageCorpus,
+    report: &IngestReport,
+    labels: &[&str],
+    k: usize,
+    seed: u64,
+) -> Option<SurvivorQuality> {
+    if corpus.len() < 2 {
+        return None;
+    }
+    let kept_labels: Vec<&str> = report
+        .kept
+        .iter()
+        .map(|&i| labels.get(i).copied().unwrap_or("unknown"))
+        .collect();
+    let k = k.clamp(1, corpus.len());
+    let space = FormPageSpace::new(corpus, FeatureConfig::combined());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seeds = random_singleton_seeds(&space, k, &mut rng);
+    let outcome = kmeans(&space, &seeds, &KMeansOptions::default());
+    let clusters = outcome.partition.clusters();
+    Some(SurvivorQuality {
+        entropy: cafc_eval::entropy(clusters, &kept_labels, cafc_eval::EntropyBase::Two),
+        f_measure: cafc_eval::f_measure(clusters, &kept_labels),
+        clusters: clusters.iter().filter(|c| !c.is_empty()).count(),
+    })
+}
+
+/// `cafc torture` — mutate a synthetic corpus with seeded adversarial HTML
+/// and push every page through the hardened ingestion pipeline, reporting
+/// per-outcome counts (ok / degraded / quarantined), degradation reasons,
+/// and clustering-quality deltas versus the clean corpus. The run must
+/// complete without a panic for any mutation mix — that is the contract
+/// under test.
+pub fn torture(args: &Args) -> Result<(), String> {
+    let corpus_seed = args.get_u64("corpus-seed", 99)?;
+    let seed = args.get_u64("seed", 7)?;
+    let pages = args.get_usize("pages", 0)?;
+    let k = args.get_usize("k", 8)?;
+    let per_page = args.get_usize("mutations-per-page", 2)?;
+    let menu = Mutation::parse_list(args.get("mutations").unwrap_or("all"))?;
+
+    let corpus_cfg = if pages == 0 {
+        CorpusConfig::small(corpus_seed)
+    } else {
+        corpus_config(pages, corpus_seed)
+    };
+    let web = generate_web(&corpus_cfg);
+    let targets = web.form_page_ids();
+    let labels: Vec<&str> = web.form_pages.iter().map(|r| r.domain.name()).collect();
+    let htmls: Vec<&str> = targets
+        .iter()
+        .map(|p| web.graph.html(*p).unwrap_or(""))
+        .collect();
+
+    let menu_names: Vec<&str> = menu.iter().map(|m| m.label()).collect();
+    println!(
+        "torture: {} form pages (corpus seed {corpus_seed}), {} mutation(s)/page from \
+         [{}], mutation seed {seed}",
+        targets.len(),
+        per_page,
+        menu_names.join(", "),
+    );
+
+    let mutated: Vec<String> = htmls
+        .iter()
+        .enumerate()
+        .map(|(i, html)| mutate_page(html, &menu, per_page, &mut page_rng(seed, i)))
+        .collect();
+
+    let limits = IngestLimits::default();
+    let opts = ModelOptions::default();
+    let (clean_corpus, clean_report) =
+        FormPageCorpus::from_html_ingest(htmls.iter().copied(), &opts, &limits);
+    let (torture_corpus, report) =
+        FormPageCorpus::from_html_ingest(mutated.iter().map(String::as_str), &opts, &limits);
+
+    println!();
+    println!("outcome        pages");
+    println!("ok           {:>7}", report.ok());
+    println!("degraded     {:>7}", report.degraded());
+    println!("quarantined  {:>7}", report.quarantined());
+    println!("total        {:>7}", report.total());
+    if !report.is_accounted() {
+        return Err("ingest accounting identity violated — this is a bug".into());
+    }
+    println!("accounting: ok + degraded + quarantined == total");
+
+    let reasons = report.reason_counts();
+    if reasons.iter().any(|(_, n)| *n > 0) {
+        println!();
+        println!("degradation reasons (pages affected):");
+        for (reason, n) in reasons {
+            if n > 0 {
+                println!("  {:<24} {n:>5}", reason.label());
+            }
+        }
+    }
+
+    println!();
+    let clean_q = cluster_ingested(&clean_corpus, &clean_report, &labels, k, seed);
+    let torture_q = cluster_ingested(&torture_corpus, &report, &labels, k, seed);
+    match (clean_q, torture_q) {
+        (Some(c), Some(t)) => {
+            println!(
+                "clean quality:    entropy {:.3}  F {:.3}  ({} clusters, {} pages)",
+                c.entropy,
+                c.f_measure,
+                c.clusters,
+                clean_corpus.len(),
+            );
+            println!(
+                "torture quality:  entropy {:.3}  F {:.3}  ({} clusters, {} survivors)",
+                t.entropy,
+                t.f_measure,
+                t.clusters,
+                torture_corpus.len(),
+            );
+            println!(
+                "degradation:      entropy {:+.3}  F {:+.3}",
+                t.entropy - c.entropy,
+                t.f_measure - c.f_measure,
+            );
+        }
+        (_, None) => println!(
+            "too few survivors to cluster ({} kept) — no quality to report",
+            torture_corpus.len()
+        ),
         (None, Some(_)) => {}
     }
     Ok(())

@@ -22,6 +22,12 @@
 //!     Crawl a synthetic corpus under injected fetch faults, cluster the
 //!     surviving databases, and report quality degradation versus a
 //!     fault-free crawl.
+//!
+//! cafc torture [--pages N] [--corpus-seed S] [--seed S] [--k N]
+//!              [--mutations all|LIST] [--mutations-per-page N]
+//!     Mutate a synthetic corpus with seeded adversarial HTML, ingest it
+//!     through the hardened pipeline, and report ok/degraded/quarantined
+//!     counts plus quality deltas versus the clean corpus.
 //! ```
 
 mod args;
@@ -48,6 +54,7 @@ fn main() -> ExitCode {
         "search" => commands::search(&parsed),
         "eval" => commands::eval(&parsed),
         "crawl" => commands::crawl(&parsed),
+        "torture" => commands::torture(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -78,5 +85,8 @@ USAGE:
                   [--fault-rate R] [--permanent-rate R] [--truncate-rate R]
                   [--redirect-rate R] [--seed S] [--max-retries N]
                   [--breaker-threshold N] [--breaker-cooldown-ms MS]
-                  [--max-pages N] [--max-depth N] [--sweep]"
+                  [--max-pages N] [--max-depth N] [--sweep]
+    cafc torture  [--pages N] [--corpus-seed S] [--seed S] [--k N]
+                  [--mutations all|truncate-mid-tag,entity-bomb,...]
+                  [--mutations-per-page N]"
 }

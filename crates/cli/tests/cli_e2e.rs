@@ -120,6 +120,31 @@ fn helpful_errors() {
 }
 
 #[test]
+fn torture_reports_accounted_outcomes() {
+    let out = run_ok(cafc().args(["torture", "--seed", "7", "--mutations", "all"]));
+    assert!(out.contains("ok "), "{out}");
+    assert!(out.contains("degraded "), "{out}");
+    assert!(out.contains("quarantined "), "{out}");
+    assert!(
+        out.contains("accounting: ok + degraded + quarantined == total"),
+        "{out}"
+    );
+    // The run is deterministic end to end: same seeds, same report.
+    let again = run_ok(cafc().args(["torture", "--seed", "7", "--mutations", "all"]));
+    assert_eq!(out, again);
+}
+
+#[test]
+fn torture_rejects_unknown_mutation() {
+    let out = cafc()
+        .args(["torture", "--mutations", "frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown mutation"));
+}
+
+#[test]
 fn search_requires_query() {
     let dir = tmpdir("noquery");
     let dir_s = dir.to_str().expect("utf8 temp path");

@@ -84,7 +84,8 @@ fn hac_centroid<S: ClusterSpace>(
     n: usize,
 ) -> Partition {
     let mut centroids: Vec<S::Centroid> = groups.iter().map(|g| space.centroid(g)).collect();
-    while groups.len() > target {
+    // `target` may be 0; a lone group cannot merge further.
+    while groups.len() > target.max(1) {
         let (mut bi, mut bj, mut best) = (0, 1, f64::NEG_INFINITY);
         for i in 0..groups.len() {
             for j in (i + 1)..groups.len() {
@@ -150,6 +151,9 @@ fn hac_pairwise<S: ClusterSpace>(
                 }
             }
         }
+        if bi == usize::MAX {
+            break; // fewer than two live groups (target_clusters of 0)
+        }
         // Merge bj into bi, updating distances by Lance–Williams.
         for k in 0..g {
             if !alive[k] || k == bi || k == bj {
@@ -164,7 +168,9 @@ fn hac_pairwise<S: ClusterSpace>(
                     let (si, sj) = (sizes[bi] as f64, sizes[bj] as f64);
                     (si * dik + sj * djk) / (si + sj)
                 }
-                Linkage::Centroid => unreachable!("handled by hac_centroid"),
+                // hac() routes centroid linkage to hac_centroid; if that
+                // ever changes, the unweighted average is a sane stand-in.
+                Linkage::Centroid => (dik + djk) / 2.0,
             };
             dist[bi][k] = d;
             dist[k][bi] = d;
@@ -202,8 +208,8 @@ fn group_distance<S: ClusterSpace>(space: &S, a: &[usize], b: &[usize], linkage:
     match linkage {
         Linkage::Single => min,
         Linkage::Complete => max,
-        Linkage::Average => sum / count.max(1) as f64,
-        Linkage::Centroid => unreachable!("handled by hac_centroid"),
+        // Also covers the centroid fallback path (see hac_pairwise).
+        Linkage::Average | Linkage::Centroid => sum / count.max(1) as f64,
     }
 }
 

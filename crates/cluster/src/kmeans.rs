@@ -49,22 +49,29 @@ pub struct KMeansOutcome {
 /// member indices must be valid items of `space`. All items (including any
 /// not mentioned in `seeds`) are assigned in the first iteration.
 ///
-/// # Panics
-/// Panics if `seeds` is empty or any seed cluster is empty.
+/// Degenerate inputs fall back gracefully instead of panicking (adversarial
+/// corpora routinely produce them — see DESIGN.md §8): empty seed clusters
+/// are dropped, and when no usable seed remains the result is a single
+/// cluster holding every item (empty for an empty space).
 pub fn kmeans<S: ClusterSpace>(
     space: &S,
     seeds: &[Vec<usize>],
     opts: &KMeansOptions,
 ) -> KMeansOutcome {
-    assert!(
-        !seeds.is_empty(),
-        "kmeans requires at least one seed cluster"
-    );
-    assert!(
-        seeds.iter().all(|s| !s.is_empty()),
-        "seed clusters must be non-empty"
-    );
     let n = space.len();
+    let seeds: Vec<&Vec<usize>> = seeds.iter().filter(|s| !s.is_empty()).collect();
+    if seeds.is_empty() {
+        let clusters = if n == 0 {
+            Vec::new()
+        } else {
+            vec![(0..n).collect()]
+        };
+        return KMeansOutcome {
+            partition: Partition::new(clusters, n),
+            iterations: 0,
+            converged: true,
+        };
+    }
     let k = seeds.len();
     let mut centroids: Vec<S::Centroid> = seeds.iter().map(|s| space.centroid(s)).collect();
 
@@ -77,21 +84,21 @@ pub fn kmeans<S: ClusterSpace>(
     while iterations < opts.max_iterations {
         iterations += 1;
         let mut moved = 0usize;
-        #[allow(clippy::needless_range_loop)]
-        for item in 0..n {
-            let best = (0..k)
-                .map(|c| (c, space.similarity(&centroids[c], item)))
-                .max_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        // Deterministic tie-break: lower cluster index wins.
-                        .then(b.0.cmp(&a.0))
-                })
-                .map(|(c, _)| c)
-                .expect("k >= 1");
-            if assignment[item] != best {
+        for (item, assigned) in assignment.iter_mut().enumerate() {
+            // Deterministic argmax: ties (and non-finite similarities, which
+            // never compare greater) resolve to the lowest cluster index.
+            let mut best = 0usize;
+            let mut best_sim = f64::NEG_INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let sim = space.similarity(centroid, item);
+                if sim > best_sim {
+                    best_sim = sim;
+                    best = c;
+                }
+            }
+            if *assigned != best {
                 moved += 1;
-                assignment[item] = best;
+                *assigned = best;
             }
         }
         // Recompute centroids; a starved cluster keeps its previous centroid
@@ -221,16 +228,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one seed")]
-    fn rejects_no_seeds() {
+    fn no_seeds_falls_back_to_single_cluster() {
         let space = blobs();
-        kmeans(&space, &[], &strict());
+        let out = kmeans(&space, &[], &strict());
+        assert!(out.converged);
+        assert_eq!(out.partition.clusters(), &[vec![0, 1, 2, 3, 4, 5]]);
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn rejects_empty_seed() {
+    fn empty_seed_clusters_are_dropped() {
         let space = blobs();
-        kmeans(&space, &[vec![]], &strict());
+        // One empty + one usable seed: behaves like k = 1.
+        let out = kmeans(&space, &[vec![], vec![0]], &strict());
+        assert_eq!(out.partition.clusters().len(), 1);
+        assert_eq!(out.partition.num_assigned(), 6);
+        // All seeds empty: same single-cluster fallback as no seeds at all.
+        let out = kmeans(&space, &[vec![]], &strict());
+        assert_eq!(out.partition.clusters(), &[vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn empty_space_yields_empty_partition() {
+        let space = DenseSpace::new(Vec::new());
+        let out = kmeans(&space, &[], &strict());
+        assert!(out.converged);
+        assert!(out.partition.clusters().is_empty());
     }
 }

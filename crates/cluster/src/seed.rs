@@ -13,19 +13,18 @@ use rand::Rng;
 
 /// Pick `k` distinct random items as singleton seed clusters.
 ///
-/// # Panics
-/// Panics if `k > space.len()` or `k == 0`.
+/// Out-of-range `k` is clamped to `1..=space.len()` (an empty space yields
+/// no seeds) rather than panicking — adversarial corpora can quarantine
+/// enough pages that fewer items than requested clusters survive.
 pub fn random_singleton_seeds<S: ClusterSpace, R: Rng>(
     space: &S,
     k: usize,
     rng: &mut R,
 ) -> Vec<Vec<usize>> {
-    assert!(k > 0, "k must be positive");
-    assert!(
-        k <= space.len(),
-        "cannot draw {k} seeds from {} items",
-        space.len()
-    );
+    if space.len() == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, space.len());
     sample(rng, space.len(), k)
         .into_iter()
         .map(|i| vec![i])
@@ -37,16 +36,18 @@ pub fn random_singleton_seeds<S: ClusterSpace, R: Rng>(
 /// the squared distance (`(1 − max similarity to chosen seeds)²`). A
 /// stronger random baseline than plain uniform seeding.
 ///
-/// # Panics
-/// Panics if `k == 0` or `k > space.len()`.
+/// Out-of-range `k` is clamped to `1..=space.len()`; an empty space yields
+/// no seeds.
 pub fn kmeanspp_seeds<S: ClusterSpace, R: Rng>(
     space: &S,
     k: usize,
     rng: &mut R,
 ) -> Vec<Vec<usize>> {
-    assert!(k > 0, "k must be positive");
     let n = space.len();
-    assert!(k <= n, "cannot draw {k} seeds from {n} items");
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
     let mut chosen: Vec<usize> = vec![rng.random_range(0..n)];
     // dist2[i] = squared distance of item i to its nearest chosen seed.
     let mut dist2: Vec<f64> = (0..n).map(|i| sq_dist(space, i, chosen[0])).collect();
@@ -54,10 +55,11 @@ pub fn kmeanspp_seeds<S: ClusterSpace, R: Rng>(
         let total: f64 = dist2.iter().sum();
         let next = if total <= 0.0 {
             // All remaining items coincide with seeds; fall back to any
-            // unchosen index.
-            (0..n)
-                .find(|i| !chosen.contains(i))
-                .expect("k <= n guarantees a free item")
+            // unchosen index (k <= n means one exists, but never panic).
+            match (0..n).find(|i| !chosen.contains(i)) {
+                Some(free) => free,
+                None => break,
+            }
         } else {
             let mut roll = rng.random::<f64>() * total;
             let mut pick = n - 1;
@@ -131,15 +133,14 @@ pub fn greedy_distant_seeds<S: ClusterSpace>(
     let mut sum_dist: Vec<f64> = (0..n).map(|c| dist[c][bi] + dist[c][bj]).collect();
 
     while selected.len() < k {
-        let next = (0..n)
-            .filter(|&c| !in_sel[c])
-            .max_by(|&a, &b| {
-                sum_dist[a]
-                    .partial_cmp(&sum_dist[b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(&a)) // ties -> lower index
-            })
-            .expect("candidates remain while selected < k <= n");
+        let Some(next) = (0..n).filter(|&c| !in_sel[c]).max_by(|&a, &b| {
+            sum_dist[a]
+                .partial_cmp(&sum_dist[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a)) // ties -> lower index
+        }) else {
+            break; // n <= k is handled above, but never panic
+        };
         in_sel[next] = true;
         selected.push(next);
         for c in 0..n {
@@ -178,10 +179,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot draw")]
-    fn random_seeds_rejects_k_too_large() {
+    fn random_seeds_clamps_oversized_k() {
         let space = DenseSpace::new(vec![vec![0.0]]);
-        random_singleton_seeds(&space, 2, &mut StdRng::seed_from_u64(0));
+        let seeds = random_singleton_seeds(&space, 2, &mut StdRng::seed_from_u64(0));
+        assert_eq!(seeds, vec![vec![0]]);
+    }
+
+    #[test]
+    fn random_seeds_empty_space_and_zero_k() {
+        let empty = DenseSpace::new(Vec::new());
+        assert!(random_singleton_seeds(&empty, 3, &mut StdRng::seed_from_u64(0)).is_empty());
+        let space = DenseSpace::new(vec![vec![0.0], vec![1.0]]);
+        let seeds = random_singleton_seeds(&space, 0, &mut StdRng::seed_from_u64(0));
+        assert_eq!(seeds.len(), 1, "k = 0 clamps up to one seed");
     }
 
     #[test]
@@ -286,10 +296,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot draw")]
-    fn kmeanspp_rejects_oversized_k() {
+    fn kmeanspp_clamps_oversized_k() {
         let space = DenseSpace::new(vec![vec![0.0]]);
-        kmeanspp_seeds(&space, 2, &mut StdRng::seed_from_u64(0));
+        let seeds = kmeanspp_seeds(&space, 2, &mut StdRng::seed_from_u64(0));
+        assert_eq!(seeds, vec![vec![0]]);
+        let empty = DenseSpace::new(Vec::new());
+        assert!(kmeanspp_seeds(&empty, 2, &mut StdRng::seed_from_u64(0)).is_empty());
     }
 
     #[test]

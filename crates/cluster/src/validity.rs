@@ -12,17 +12,20 @@ use crate::space::ClusterSpace;
 /// mean distance to its own cluster and `b` the mean distance to the
 /// nearest other cluster. Distances are `1 − similarity`.
 ///
-/// Returns 0.0 for items in singleton clusters (the standard convention).
+/// Returns `None` when the score is undefined — the item sits in a
+/// singleton (or out-of-range) cluster, no other non-empty cluster exists,
+/// or similarities are non-finite — so degenerate partitions cannot leak
+/// NaN into a `k` sweep.
 pub fn silhouette_of<S: ClusterSpace>(
     space: &S,
     partition: &Partition,
     item: usize,
     item_cluster: usize,
-) -> f64 {
+) -> Option<f64> {
     let clusters = partition.clusters();
-    let own = &clusters[item_cluster];
+    let own = clusters.get(item_cluster)?;
     if own.len() <= 1 {
-        return 0.0;
+        return None;
     }
     let a: f64 = own
         .iter()
@@ -41,33 +44,33 @@ pub fn silhouette_of<S: ClusterSpace>(
                 / c.len() as f64
         })
         .fold(f64::INFINITY, f64::min);
-    if !b.is_finite() {
-        return 0.0; // only one non-empty cluster
+    if !b.is_finite() || !a.is_finite() {
+        return None; // only one non-empty cluster, or corrupt similarities
     }
     let denom = a.max(b);
     if denom == 0.0 {
-        0.0
+        Some(0.0)
     } else {
-        (b - a) / denom
+        let s = (b - a) / denom;
+        s.is_finite().then_some(s)
     }
 }
 
-/// Mean silhouette over all clustered items, in `[-1, 1]`; higher is
-/// better. Returns 0.0 for an empty partition.
-pub fn mean_silhouette<S: ClusterSpace>(space: &S, partition: &Partition) -> f64 {
+/// Mean silhouette over all items with a defined score, in `[-1, 1]`;
+/// higher is better. Returns `None` when no item has one (empty partition,
+/// all-singleton clusters, or a single non-empty cluster).
+pub fn mean_silhouette<S: ClusterSpace>(space: &S, partition: &Partition) -> Option<f64> {
     let mut sum = 0.0;
     let mut count = 0usize;
     for (ci, members) in partition.clusters().iter().enumerate() {
         for &m in members {
-            sum += silhouette_of(space, partition, m, ci);
-            count += 1;
+            if let Some(s) = silhouette_of(space, partition, m, ci) {
+                sum += s;
+                count += 1;
+            }
         }
     }
-    if count == 0 {
-        0.0
-    } else {
-        sum / count as f64
-    }
+    (count > 0).then(|| sum / count as f64)
 }
 
 /// Result of [`choose_k`]: the winning `k`, its partition, and the full
@@ -76,7 +79,9 @@ pub type KChoice = (usize, Partition, Vec<(usize, f64)>);
 
 /// Sweep `k` over `k_range`, clustering with `cluster_at` and scoring with
 /// mean silhouette. Returns `(best_k, best_partition, scores)` where
-/// `scores[i]` pairs each tried `k` with its silhouette.
+/// `scores[i]` pairs each tried `k` with its silhouette. Values of `k`
+/// whose partition has no defined silhouette (e.g. everything collapsed
+/// into one cluster) are skipped rather than scored as zero.
 pub fn choose_k<S, F>(
     space: &S,
     k_range: std::ops::RangeInclusive<usize>,
@@ -93,7 +98,9 @@ where
             continue;
         }
         let partition = cluster_at(k);
-        let score = mean_silhouette(space, &partition);
+        let Some(score) = mean_silhouette(space, &partition) else {
+            continue;
+        };
         scores.push((k, score));
         if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
             best = Some((k, partition, score));
@@ -126,7 +133,7 @@ mod tests {
     fn good_clustering_scores_high() {
         let space = blobs2();
         let p = Partition::new(vec![vec![0, 1, 2], vec![3, 4, 5]], 6);
-        assert!(mean_silhouette(&space, &p) > 0.5);
+        assert!(mean_silhouette(&space, &p).expect("defined") > 0.5);
     }
 
     #[test]
@@ -146,24 +153,41 @@ mod tests {
             vec![vec![0], vec![1, 2, 3, 4, 5]],
         ] {
             let p = Partition::new(clusters, 6);
-            let s = mean_silhouette(&space, &p);
+            let s = mean_silhouette(&space, &p).expect("defined");
             assert!((-1.0..=1.0).contains(&s), "{s}");
         }
     }
 
     #[test]
-    fn singleton_cluster_contributes_zero() {
+    fn singleton_cluster_is_undefined() {
         let space = blobs2();
         let p = Partition::new(vec![vec![0], vec![1, 2, 3, 4, 5]], 6);
-        let s = silhouette_of(&space, &p, 0, 0);
-        assert_eq!(s, 0.0);
+        assert_eq!(silhouette_of(&space, &p, 0, 0), None);
+        // The partition-level mean still exists: the other five items score.
+        assert!(mean_silhouette(&space, &p).is_some());
     }
 
     #[test]
-    fn single_cluster_partition_scores_zero() {
+    fn single_cluster_partition_is_undefined() {
         let space = blobs2();
         let p = Partition::new(vec![(0..6).collect()], 6);
-        assert_eq!(mean_silhouette(&space, &p), 0.0);
+        assert_eq!(mean_silhouette(&space, &p), None);
+    }
+
+    #[test]
+    fn all_singletons_partition_is_undefined() {
+        let space = blobs2();
+        let p = Partition::new((0..6).map(|i| vec![i]).collect(), 6);
+        assert_eq!(mean_silhouette(&space, &p), None);
+    }
+
+    #[test]
+    fn choose_k_skips_undefined_scores() {
+        let space = blobs2();
+        // Every k collapses to a single cluster -> no k has a defined
+        // silhouette -> no winner.
+        let result = choose_k(&space, 2..=4, |_| Partition::new(vec![(0..6).collect()], 6));
+        assert!(result.is_none());
     }
 
     #[test]

@@ -13,8 +13,9 @@ use cafc_cluster::{ClusterSpace, Partition};
 /// already-clustered pages *plus* the new pages (so IDF statistics are
 /// shared), cluster the former, then assign the latter.
 ///
-/// # Panics
-/// Panics if `partition` has no non-empty cluster.
+/// A partition with no non-empty cluster offers nothing to assign against;
+/// the result is empty rather than a panic (an adversarial corpus can
+/// quarantine every clustered page).
 pub fn assign_to_clusters(
     space: &FormPageSpace<'_>,
     partition: &Partition,
@@ -27,10 +28,9 @@ pub fn assign_to_clusters(
         .filter(|(_, members)| !members.is_empty())
         .map(|(ci, members)| (ci, space.centroid(members)))
         .collect();
-    assert!(
-        !centroids.is_empty(),
-        "cannot assign against an empty partition"
-    );
+    if centroids.is_empty() {
+        return Vec::new();
+    }
     items
         .iter()
         .map(|&item| {
@@ -43,7 +43,7 @@ pub fn assign_to_clusters(
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .map(|(ci, _)| *ci)
-                .expect("at least one centroid");
+                .unwrap_or(centroids[0].0);
             (item, best)
         })
         .collect()
@@ -89,12 +89,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty partition")]
-    fn rejects_empty_partition() {
+    fn empty_partition_assigns_nothing() {
         let pages = ["<p>x y z</p>"];
         let corpus = FormPageCorpus::from_html(pages.iter().copied(), &ModelOptions::default());
         let space = FormPageSpace::new(&corpus, FeatureConfig::PcOnly);
         let partition = Partition::new(vec![vec![]], 1);
-        assign_to_clusters(&space, &partition, &[0]);
+        assert!(assign_to_clusters(&space, &partition, &[0]).is_empty());
     }
 }

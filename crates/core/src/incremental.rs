@@ -50,8 +50,8 @@ impl IncrementalClusters {
     /// Assign one new item to its most similar non-empty cluster, add it,
     /// and refresh that cluster's centroid. Returns the cluster index.
     ///
-    /// # Panics
-    /// Panics if every cluster is empty.
+    /// When every cluster is empty (a fully-quarantined start state) the
+    /// item founds cluster 0, which is created if no slot exists at all.
     pub fn assign(&mut self, space: &FormPageSpace<'_>, item: usize) -> usize {
         let best = self
             .centroids
@@ -65,7 +65,12 @@ impl IncrementalClusters {
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(ci, _)| ci)
-            .expect("at least one non-empty cluster");
+            .unwrap_or(0);
+        if self.members.is_empty() {
+            self.members.push(Vec::new());
+            self.centroids.push(MultiCentroid::default());
+            self.initial_centroids.push(MultiCentroid::default());
+        }
         self.members[best].push(item);
         self.centroids[best] = space.centroid(&self.members[best]);
         best
@@ -179,12 +184,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty cluster")]
-    fn all_empty_panics() {
+    fn all_empty_founds_first_cluster() {
         let corpus = fixture();
         let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
         let partition = Partition::new(vec![vec![], vec![]], 8);
         let mut inc = IncrementalClusters::from_partition(&space, &partition);
-        inc.assign(&space, 0);
+        assert_eq!(inc.assign(&space, 0), 0);
+        assert_eq!(inc.members()[0], vec![0]);
+        // The next arrival sees a non-empty cluster and joins normally.
+        assert_eq!(inc.assign(&space, 1), 0);
+    }
+
+    #[test]
+    fn zero_cluster_start_creates_slot() {
+        let corpus = fixture();
+        let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+        let partition = Partition::new(Vec::new(), 8);
+        let mut inc = IncrementalClusters::from_partition(&space, &partition);
+        assert_eq!(inc.assign(&space, 0), 0);
+        assert_eq!(inc.members().len(), 1);
     }
 }

@@ -59,6 +59,7 @@ pub mod algorithms;
 pub mod assign;
 pub mod baseline;
 pub mod incremental;
+pub mod ingest;
 pub mod model;
 pub mod space;
 
@@ -67,6 +68,7 @@ pub use algorithms::{
 };
 pub use assign::assign_to_clusters;
 pub use incremental::IncrementalClusters;
+pub use ingest::{DegradedReason, IngestError, IngestLimits, IngestReport, PageOutcome};
 pub use model::{FormPageCorpus, LocationWeights, ModelOptions};
 pub use space::{FeatureConfig, FormPageSpace, MultiCentroid};
 

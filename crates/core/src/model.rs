@@ -8,7 +8,8 @@
 //! `w_i = LOC_i · TF_i · log(N / n_i)`, with document frequencies computed
 //! per feature space.
 
-use cafc_html::{located_text, parse, TextLocation};
+use crate::ingest::{DegradedReason, IngestError, IngestLimits, IngestReport, PageOutcome};
+use cafc_html::{located_text, parse, strip_control_chars, Document, TextLocation};
 use cafc_text::{Analyzer, TermDict};
 use cafc_vsm::{weigh, CountsBuilder, DocumentFrequencies, IdfScheme, SparseVector, TfScheme};
 use cafc_webgraph::{PageId, WebGraph};
@@ -156,6 +157,120 @@ impl FormPageCorpus {
         Self::finish(dict, pc_counts, fc_counts, None, opts)
     }
 
+    /// Build the model through the hardened ingestion layer (DESIGN.md §8):
+    /// every page gets a [`PageOutcome`], structural limits are enforced,
+    /// and quarantined pages are excluded from the corpus instead of
+    /// contributing degenerate vectors.
+    ///
+    /// `report.kept[i]` gives the input index of corpus page `i`, and
+    /// `report.is_accounted()` always holds on return.
+    pub fn from_html_ingest<'a, I>(
+        pages: I,
+        opts: &ModelOptions,
+        limits: &IngestLimits,
+    ) -> (FormPageCorpus, IngestReport)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut dict = TermDict::new();
+        let mut pc_counts: Vec<CountsBuilder> = Vec::new();
+        let mut fc_counts: Vec<CountsBuilder> = Vec::new();
+        let mut term_buf: Vec<cafc_text::TermId> = Vec::new();
+        let mut report = IngestReport::default();
+
+        for (index, html) in pages.into_iter().enumerate() {
+            let mut reasons: Vec<DegradedReason> = Vec::new();
+
+            if html.len() > limits.hard_max_bytes {
+                report.outcomes.push(PageOutcome::Quarantined {
+                    error: IngestError::TooLarge {
+                        bytes: html.len(),
+                        limit: limits.hard_max_bytes,
+                    },
+                });
+                continue;
+            }
+            let html = if html.len() > limits.soft_max_bytes {
+                reasons.push(DegradedReason::InputTruncated);
+                // Truncate on a char boundary; mid-tag cuts are exactly what
+                // the tokenizer is built to absorb.
+                let mut cut = limits.soft_max_bytes;
+                while cut > 0 && !html.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                &html[..cut]
+            } else {
+                html
+            };
+            let (html, stripped) = strip_control_chars(html);
+            if stripped {
+                reasons.push(DegradedReason::ControlCharsStripped);
+            }
+
+            let (doc, stats) = Document::parse_with_stats(&html);
+            if stats.depth_capped {
+                reasons.push(DegradedReason::DepthCapped);
+            }
+            if stats.nodes_capped {
+                reasons.push(DegradedReason::InputTruncated);
+            }
+
+            let mut pc = CountsBuilder::new();
+            let mut fc = CountsBuilder::new();
+            let mut terms_used = 0usize;
+            let mut budget_hit = false;
+            for lt in located_text(&doc) {
+                let budget = limits.max_terms.saturating_sub(terms_used);
+                if budget == 0 {
+                    budget_hit = true;
+                    break;
+                }
+                term_buf.clear();
+                budget_hit |=
+                    opts.analyzer
+                        .analyze_into_budget(&lt.text, &mut dict, &mut term_buf, budget);
+                terms_used += term_buf.len();
+                let w = opts.weights.weight(lt.location);
+                if lt.location.is_form() {
+                    fc.add_all(term_buf.iter().copied(), w);
+                    pc.add_all(term_buf.iter().copied(), w);
+                } else {
+                    pc.add_all(term_buf.iter().copied(), w);
+                }
+            }
+            if budget_hit {
+                reasons.push(DegradedReason::TermBudgetExceeded);
+            }
+
+            if pc.is_empty() {
+                report.outcomes.push(PageOutcome::Quarantined {
+                    error: IngestError::EmptyDocument,
+                });
+                continue;
+            }
+            if doc.title().is_none() {
+                reasons.push(DegradedReason::MissingTitle);
+            }
+            if fc.is_empty() {
+                reasons.push(DegradedReason::NoFormContent);
+            }
+
+            report.kept.push(index);
+            pc_counts.push(pc);
+            fc_counts.push(fc);
+            if reasons.is_empty() {
+                report.outcomes.push(PageOutcome::Ok);
+            } else {
+                reasons.sort_unstable();
+                reasons.dedup();
+                report.outcomes.push(PageOutcome::Degraded { reasons });
+            }
+        }
+
+        let corpus = Self::finish(dict, pc_counts, fc_counts, None, opts);
+        (corpus, report)
+    }
+
     /// Build the model for `pages` stored in `graph`, without anchor text.
     pub fn from_graph(graph: &WebGraph, pages: &[PageId], opts: &ModelOptions) -> FormPageCorpus {
         Self::from_graph_impl(graph, pages, opts, false)
@@ -297,6 +412,7 @@ impl FormPageCorpus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ingest::{DegradedReason, IngestError, IngestLimits, PageOutcome};
 
     fn opts() -> ModelOptions {
         ModelOptions::default()
@@ -449,5 +565,115 @@ mod tests {
     fn empty_corpus() {
         let corpus = FormPageCorpus::from_html(std::iter::empty(), &ModelOptions::default());
         assert!(corpus.is_empty());
+    }
+
+    #[test]
+    fn ingest_clean_page_is_ok() {
+        let pages = ["<title>Flights</title><p>airfare</p><form>depart <input name=d></form>"];
+        let (corpus, report) =
+            FormPageCorpus::from_html_ingest(pages.iter().copied(), &opts(), &Default::default());
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(report.outcomes, vec![PageOutcome::Ok]);
+        assert_eq!(report.kept, vec![0]);
+        assert!(report.is_accounted());
+    }
+
+    #[test]
+    fn ingest_quarantines_empty_and_oversized() {
+        let big = "x".repeat(64);
+        let limits = IngestLimits {
+            hard_max_bytes: 32,
+            soft_max_bytes: 16,
+            max_terms: 1000,
+        };
+        let pages = ["", "<!-- only a comment -->", big.as_str()];
+        let (corpus, report) =
+            FormPageCorpus::from_html_ingest(pages.iter().copied(), &opts(), &limits);
+        assert!(corpus.is_empty());
+        assert_eq!(report.quarantined(), 3);
+        assert!(report.is_accounted());
+        assert!(matches!(
+            report.outcomes[2],
+            PageOutcome::Quarantined {
+                error: IngestError::TooLarge {
+                    bytes: 64,
+                    limit: 32
+                }
+            }
+        ));
+    }
+
+    #[test]
+    fn ingest_degrades_but_keeps() {
+        // No title, no form -> two degradation reasons, page kept.
+        let pages = ["<p>airfare deals and cheap flights</p>"];
+        let (corpus, report) =
+            FormPageCorpus::from_html_ingest(pages.iter().copied(), &opts(), &Default::default());
+        assert_eq!(corpus.len(), 1);
+        match &report.outcomes[0] {
+            PageOutcome::Degraded { reasons } => {
+                assert!(reasons.contains(&DegradedReason::MissingTitle));
+                assert!(reasons.contains(&DegradedReason::NoFormContent));
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert!(report.is_accounted());
+    }
+
+    #[test]
+    fn ingest_soft_limit_truncates() {
+        let body = format!(
+            "<title>t</title><form>a <input name=q></form><p>{}</p>",
+            "word ".repeat(4000)
+        );
+        let limits = IngestLimits {
+            soft_max_bytes: 256,
+            ..Default::default()
+        };
+        let pages = [body.as_str()];
+        let (corpus, report) =
+            FormPageCorpus::from_html_ingest(pages.iter().copied(), &opts(), &limits);
+        assert_eq!(corpus.len(), 1);
+        match &report.outcomes[0] {
+            PageOutcome::Degraded { reasons } => {
+                assert!(reasons.contains(&DegradedReason::InputTruncated))
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_term_budget_applies() {
+        let body = format!(
+            "<title>t</title><form>q <input name=q></form><p>{}</p>",
+            "flight ".repeat(64)
+        );
+        let limits = IngestLimits {
+            max_terms: 8,
+            ..Default::default()
+        };
+        let pages = [body.as_str()];
+        let (corpus, report) =
+            FormPageCorpus::from_html_ingest(pages.iter().copied(), &opts(), &limits);
+        assert_eq!(corpus.len(), 1);
+        match &report.outcomes[0] {
+            PageOutcome::Degraded { reasons } => {
+                assert!(reasons.contains(&DegradedReason::TermBudgetExceeded))
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_control_chars_reported() {
+        let pages = ["<title>flights</title>\u{0}<form>departure <input name=a></form>"];
+        let (_, report) =
+            FormPageCorpus::from_html_ingest(pages.iter().copied(), &opts(), &Default::default());
+        match &report.outcomes[0] {
+            PageOutcome::Degraded { reasons } => {
+                assert!(reasons.contains(&DegradedReason::ControlCharsStripped))
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
     }
 }

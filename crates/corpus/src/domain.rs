@@ -64,10 +64,7 @@ impl Domain {
 
     /// Index in [`Domain::ALL`].
     pub fn index(self) -> usize {
-        Domain::ALL
-            .iter()
-            .position(|&d| d == self)
-            .expect("domain in ALL")
+        Domain::ALL.iter().position(|&d| d == self).unwrap_or(0)
     }
 
     /// Attribute-label vocabulary (schema terms).

@@ -70,7 +70,7 @@ fn cap(word: &str) -> String {
 fn submit_control<R: Rng>(rng: &mut R, domain: Domain) -> (String, usize) {
     let verb = ["Search", "Find", "Go", "Show"]
         .choose(rng)
-        .expect("non-empty");
+        .unwrap_or(&"Search");
     if rng.random_bool(0.15) {
         (
             format!(
@@ -124,7 +124,7 @@ pub fn blended_multi_attribute_form<R: Rng>(
             _ => domain,
         };
         let schema = field_domain.schema_terms();
-        let label = *schema.choose(rng).expect("non-empty schema");
+        let label = *schema.choose(rng).unwrap_or(&"keywords");
         let label_html = format!("<b>{}:</b>", cap(label));
         terms += 1;
         let remaining = term_budget.saturating_sub(terms);
@@ -141,7 +141,7 @@ pub fn blended_multi_attribute_form<R: Rng>(
                 .min(pool.len());
             let mut opts = String::new();
             for _ in 0..n_opts {
-                let v = pool.choose(rng).expect("non-empty pool");
+                let v = pool.choose(rng).unwrap_or(&"any");
                 opts.push_str(&format!("<option>{}</option>", cap(v)));
                 terms += 1;
             }
@@ -179,7 +179,7 @@ pub fn single_attribute_form<R: Rng>(
     } else {
         ["Search", "Quick Search", "Keywords"]
             .choose(rng)
-            .expect("non-empty")
+            .unwrap_or(&"Search")
             .to_string()
     };
     // A label-less form still almost always has *some* visible button text

@@ -30,6 +30,7 @@
 pub mod domain;
 pub mod export;
 pub mod formgen;
+pub mod mutate;
 pub mod pagegen;
 pub mod stats;
 pub mod text_gen;
@@ -38,5 +39,6 @@ pub mod web;
 pub use domain::{Domain, GENERIC_TERMS};
 pub use export::{export_web, load_web, LoadedWeb, ManifestPage};
 pub use formgen::{LabelStyle, NonSearchableKind};
+pub use mutate::{mutate_page, page_rng, Mutation};
 pub use stats::{count_terms, table1, PageTermCounts, Table1Row};
 pub use web::{generate, CorpusConfig, FormPageRecord, SyntheticWeb};

@@ -1,0 +1,365 @@
+//! Deterministic adversarial HTML mutator — the torture half of the
+//! hardened ingestion story.
+//!
+//! The synthetic web in [`crate::web`] emits *clean* HTML; real crawled
+//! form pages are anything but. This module turns clean pages into the
+//! hostile inputs the ingestion layer (`cafc::ingest`) must survive:
+//! truncated tags, unterminated entities, unbalanced trees, pathological
+//! nesting, duplicated forms, control characters, megabyte attributes and
+//! entity bombs.
+//!
+//! Everything is seeded: the same `(seed, page index)` pair produces
+//! byte-identical output ([`page_rng`]), so a torture run is a reproducible
+//! experiment, not a fuzzing session. All string surgery is UTF-8
+//! char-boundary safe.
+
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// One adversarial transformation of an HTML document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Cut the document off inside a tag (`<inp`).
+    TruncateMidTag,
+    /// Cut the document off and leave an unterminated entity (`&#x1F`).
+    TruncateMidEntity,
+    /// Delete a random subset of closing tags, unbalancing the tree.
+    DropCloseTags,
+    /// Wrap the document in hundreds of nested `<div>`s, probing the
+    /// parser's depth cap.
+    DeepNest,
+    /// Duplicate the first form *inside itself* (nested forms are invalid
+    /// HTML that real pages contain anyway).
+    NestForms,
+    /// Sprinkle C0/DEL control characters through the text.
+    ControlChars,
+    /// Inject a single attribute value hundreds of kilobytes to megabytes
+    /// long.
+    MegaAttribute,
+    /// Insert thousands of back-to-back entities (decoded and bogus).
+    EntityBomb,
+}
+
+impl Mutation {
+    /// Every mutation, in a stable order.
+    pub const ALL: [Mutation; 8] = [
+        Mutation::TruncateMidTag,
+        Mutation::TruncateMidEntity,
+        Mutation::DropCloseTags,
+        Mutation::DeepNest,
+        Mutation::NestForms,
+        Mutation::ControlChars,
+        Mutation::MegaAttribute,
+        Mutation::EntityBomb,
+    ];
+
+    /// Stable CLI-facing name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mutation::TruncateMidTag => "truncate-mid-tag",
+            Mutation::TruncateMidEntity => "truncate-mid-entity",
+            Mutation::DropCloseTags => "drop-close-tags",
+            Mutation::DeepNest => "deep-nest",
+            Mutation::NestForms => "nest-forms",
+            Mutation::ControlChars => "control-chars",
+            Mutation::MegaAttribute => "mega-attribute",
+            Mutation::EntityBomb => "entity-bomb",
+        }
+    }
+
+    /// Inverse of [`Mutation::label`].
+    pub fn parse(name: &str) -> Option<Mutation> {
+        Mutation::ALL.into_iter().find(|m| m.label() == name)
+    }
+
+    /// Parse a CLI spec: `all` or a comma-separated list of labels.
+    pub fn parse_list(spec: &str) -> Result<Vec<Mutation>, String> {
+        if spec == "all" {
+            return Ok(Mutation::ALL.to_vec());
+        }
+        spec.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                Mutation::parse(name).ok_or_else(|| {
+                    let known: Vec<&str> = Mutation::ALL.iter().map(|m| m.label()).collect();
+                    format!(
+                        "unknown mutation {name:?} (expected one of: {})",
+                        known.join(", ")
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// The RNG for one page of a torture run. Each page gets an independent
+/// stream derived from `(seed, index)`, so mutating page 17 yields the
+/// same bytes whether the corpus holds 20 pages or 2000.
+pub fn page_rng(seed: u64, index: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Apply `count` mutations drawn (with replacement) from `menu` to `html`.
+/// Deterministic given the RNG state; an empty menu is the identity.
+pub fn mutate_page(html: &str, menu: &[Mutation], count: usize, rng: &mut SmallRng) -> String {
+    let mut out = html.to_owned();
+    if menu.is_empty() {
+        return out;
+    }
+    for _ in 0..count {
+        let mutation = *menu.choose(rng).unwrap_or(&Mutation::DropCloseTags);
+        out = apply(&out, mutation, rng);
+    }
+    out
+}
+
+/// Apply a single mutation.
+pub fn apply(html: &str, mutation: Mutation, rng: &mut SmallRng) -> String {
+    match mutation {
+        Mutation::TruncateMidTag => truncate_mid_tag(html, rng),
+        Mutation::TruncateMidEntity => truncate_mid_entity(html, rng),
+        Mutation::DropCloseTags => drop_close_tags(html, rng),
+        Mutation::DeepNest => deep_nest(html, rng),
+        Mutation::NestForms => nest_forms(html, rng),
+        Mutation::ControlChars => control_chars(html, rng),
+        Mutation::MegaAttribute => mega_attribute(html, rng),
+        Mutation::EntityBomb => entity_bomb(html, rng),
+    }
+}
+
+/// Largest char boundary `<= i` (manual `floor_char_boundary`).
+fn floor_boundary(s: &str, mut i: usize) -> usize {
+    if i >= s.len() {
+        return s.len();
+    }
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// A random char boundary in `s`, biased nowhere in particular.
+fn random_boundary(s: &str, rng: &mut SmallRng) -> usize {
+    if s.is_empty() {
+        return 0;
+    }
+    floor_boundary(s, rng.random_range(0..=s.len()))
+}
+
+fn truncate_mid_tag(html: &str, rng: &mut SmallRng) -> String {
+    // Cut just after some '<' so the document ends inside an open tag.
+    let opens: Vec<usize> = html.match_indices('<').map(|(i, _)| i).collect();
+    match opens.as_slice() {
+        [] => {
+            let cut = floor_boundary(html, html.len() / 2);
+            html[..cut].to_owned()
+        }
+        _ => {
+            let at = *opens.choose(rng).unwrap_or(&0);
+            let keep = rng.random_range(1..=8usize);
+            let cut = floor_boundary(html, (at + keep).min(html.len()));
+            html[..cut.max(at + 1)].to_owned()
+        }
+    }
+}
+
+fn truncate_mid_entity(html: &str, rng: &mut SmallRng) -> String {
+    const STUBS: [&str; 5] = ["&am", "&#12", "&#x1F4A", "&quo", "&"];
+    // Keep at least the first half so there is still text to analyze.
+    let lo = html.len() / 2;
+    let cut = floor_boundary(html, rng.random_range(lo..=html.len()));
+    let mut out = html[..cut].to_owned();
+    out.push_str(STUBS.choose(rng).unwrap_or(&"&"));
+    out
+}
+
+fn drop_close_tags(html: &str, rng: &mut SmallRng) -> String {
+    let mut out = String::with_capacity(html.len());
+    let mut rest = html;
+    while let Some(start) = rest.find("</") {
+        out.push_str(&rest[..start]);
+        let tail = &rest[start..];
+        let end = tail.find('>').map(|i| i + 1).unwrap_or(tail.len());
+        if rng.random_bool(0.5) {
+            out.push_str(&tail[..end]); // keep this closing tag
+        }
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn deep_nest(html: &str, rng: &mut SmallRng) -> String {
+    // Straddle the parser's depth cap (cafc_html::MAX_DEPTH = 512): some
+    // runs stay under it, some blow past it.
+    let depth = rng.random_range(300..=1200usize);
+    let at = match html.find("<body") {
+        Some(i) => html[i..].find('>').map(|j| i + j + 1).unwrap_or(0),
+        None => 0,
+    };
+    let mut out = String::with_capacity(html.len() + depth * 11);
+    out.push_str(&html[..at]);
+    for _ in 0..depth {
+        out.push_str("<div>");
+    }
+    out.push_str(&html[at..]);
+    for _ in 0..depth {
+        out.push_str("</div>");
+    }
+    out
+}
+
+fn nest_forms(html: &str, rng: &mut SmallRng) -> String {
+    let Some(start) = html.find("<form") else {
+        // No form to nest — graft on a dangling one instead.
+        return format!("{html}<form action=\"/q\"><input name=\"q\">");
+    };
+    let Some(close_rel) = html[start..].find("</form>") else {
+        return format!("{html}</form></form>");
+    };
+    let close = start + close_rel;
+    let block = &html[start..close + "</form>".len()];
+    let copies = rng.random_range(1..=3usize);
+    let mut out = String::with_capacity(html.len() + block.len() * copies);
+    out.push_str(&html[..close]);
+    for _ in 0..copies {
+        out.push_str(block); // a full <form>…</form> inside the outer form
+    }
+    out.push_str(&html[close..]);
+    out
+}
+
+fn control_chars(html: &str, rng: &mut SmallRng) -> String {
+    const CTRL: [char; 8] = [
+        '\u{0}', '\u{1}', '\u{8}', '\u{b}', '\u{c}', '\u{e}', '\u{1f}', '\u{7f}',
+    ];
+    let mut out = html.to_owned();
+    for _ in 0..rng.random_range(4..=16usize) {
+        let at = random_boundary(&out, rng);
+        out.insert(at, *CTRL.choose(rng).unwrap_or(&'\u{0}'));
+    }
+    out
+}
+
+fn mega_attribute(html: &str, rng: &mut SmallRng) -> String {
+    // 200 KB – 1.6 MB of attribute value: straddles the default 1 MiB soft
+    // size limit, so some pages truncate and some merely bloat. Target a
+    // random tag — when the bloat lands late in the page, truncation keeps
+    // the content before it and the page survives degraded.
+    let size = rng.random_range(200_000..=1_600_000usize);
+    let value = "A".repeat(size);
+    let closes: Vec<usize> = html.match_indices('>').map(|(i, _)| i).collect();
+    let Some(&insert_at) = closes.choose(rng) else {
+        return format!("<div data-bloat=\"{value}\">{html}");
+    };
+    let mut out = String::with_capacity(html.len() + size + 16);
+    out.push_str(&html[..insert_at]);
+    out.push_str(" data-bloat=\"");
+    out.push_str(&value);
+    out.push('"');
+    out.push_str(&html[insert_at..]);
+    out
+}
+
+fn entity_bomb(html: &str, rng: &mut SmallRng) -> String {
+    const BOMBS: [&str; 4] = ["&amp;", "&lt;", "&#x41;", "&bogus;"];
+    let reps = rng.random_range(2_000..=20_000usize);
+    let unit = *BOMBS.choose(rng).unwrap_or(&"&amp;");
+    let at = random_boundary(html, rng);
+    let mut out = String::with_capacity(html.len() + unit.len() * reps);
+    out.push_str(&html[..at]);
+    for _ in 0..reps {
+        out.push_str(unit);
+    }
+    out.push_str(&html[at..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = "<html><head><title>Cheap Flights</title></head><body>\
+        <p>Book airfare to Paris &amp; beyond.</p>\
+        <form action=\"/search\"><label>From</label><input name=\"from\">\
+        <select name=\"class\"><option>coach</option></select></form>\
+        </body></html>";
+
+    #[test]
+    fn same_seed_same_bytes() {
+        for index in [0usize, 1, 17] {
+            let a = mutate_page(PAGE, &Mutation::ALL, 3, &mut page_rng(7, index));
+            let b = mutate_page(PAGE, &Mutation::ALL, 3, &mut page_rng(7, index));
+            assert_eq!(a, b, "page {index} must mutate identically");
+        }
+    }
+
+    #[test]
+    fn different_indices_diverge() {
+        let a = mutate_page(PAGE, &Mutation::ALL, 3, &mut page_rng(7, 0));
+        let b = mutate_page(PAGE, &Mutation::ALL, 3, &mut page_rng(7, 1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_mutation_handles_normal_and_empty_input() {
+        for m in Mutation::ALL {
+            let mut rng = page_rng(3, 0);
+            let mutated = apply(PAGE, m, &mut rng);
+            assert!(std::str::from_utf8(mutated.as_bytes()).is_ok());
+            // Empty and tag-free inputs must not panic either.
+            apply("", m, &mut rng);
+            apply("just plain text, no markup", m, &mut rng);
+            apply("héllo wörld \u{1F600}", m, &mut rng);
+        }
+    }
+
+    #[test]
+    fn nest_forms_yields_nested_form() {
+        let mut rng = page_rng(5, 0);
+        let out = nest_forms(PAGE, &mut rng);
+        assert!(out.matches("<form").count() >= 2);
+        // The copy lands before the outer close: nested, not sibling.
+        let first_close = out.find("</form>").expect("close tag");
+        let second_open = out.match_indices("<form").nth(1).expect("second form").0;
+        assert!(second_open < first_close || out.matches("</form>").count() >= 2);
+    }
+
+    #[test]
+    fn deep_nest_is_balanced_and_deep() {
+        let mut rng = page_rng(9, 0);
+        let out = deep_nest(PAGE, &mut rng);
+        let opens = out.matches("<div>").count();
+        assert!(opens >= 300);
+        assert_eq!(opens, out.matches("</div>").count());
+    }
+
+    #[test]
+    fn parse_list_roundtrip() {
+        assert_eq!(
+            Mutation::parse_list("all").expect("all"),
+            Mutation::ALL.to_vec()
+        );
+        let picked = Mutation::parse_list("entity-bomb, control-chars").expect("labels parse");
+        assert_eq!(picked, vec![Mutation::EntityBomb, Mutation::ControlChars]);
+        assert!(Mutation::parse_list("fizzbuzz").is_err());
+        for m in Mutation::ALL {
+            assert_eq!(Mutation::parse(m.label()), Some(m));
+        }
+    }
+
+    #[test]
+    fn truncations_shorten_or_break_structure() {
+        let mut rng = page_rng(11, 2);
+        let cut = truncate_mid_tag(PAGE, &mut rng);
+        assert!(cut.len() < PAGE.len());
+        let ent = truncate_mid_entity(PAGE, &mut rng);
+        let tail = ent.rsplit('&').next().expect("stub after last ampersand");
+        assert!(
+            !tail.contains(';'),
+            "trailing entity must be unterminated: {tail:?}"
+        );
+    }
+}

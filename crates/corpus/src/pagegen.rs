@@ -43,7 +43,7 @@ fn navbar<R: Rng>(rng: &mut R) -> String {
     let n = rng.random_range(3..=6);
     let links: Vec<String> = (0..n)
         .map(|_| {
-            let w = GENERIC_TERMS.choose(rng).expect("non-empty");
+            let w = GENERIC_TERMS.choose(rng).unwrap_or(&"home");
             format!("<a href=\"/{w}\">{w}</a>")
         })
         .collect();
@@ -106,7 +106,7 @@ pub fn form_page<R: Rng>(rng: &mut R, params: &FormPageParams) -> String {
         // space while the form stays clean — the complementarity that makes
         // FC+PC beat PC alone in the paper's Figure 2.
         let para_domain = if rng.random_bool(0.22) {
-            *Domain::ALL.choose(rng).expect("non-empty")
+            *Domain::ALL.choose(rng).unwrap_or(&params.domain)
         } else {
             params.domain
         };

@@ -66,14 +66,14 @@ pub fn neighbour(d: Domain) -> Domain {
 pub fn body_word<R: Rng>(rng: &mut R, domain: Domain, mix: &TextMix) -> &'static str {
     let roll: f64 = rng.random();
     if roll < mix.domain_content {
-        domain.content_terms().choose(rng).expect("non-empty pool")
+        domain.content_terms().choose(rng).unwrap_or(&"search")
     } else if roll < mix.domain_content + mix.domain_schema {
-        domain.schema_terms().choose(rng).expect("non-empty pool")
+        domain.schema_terms().choose(rng).unwrap_or(&"search")
     } else if roll < mix.domain_content + mix.domain_schema + mix.cross_domain {
         let n = neighbour(domain);
-        n.content_terms().choose(rng).expect("non-empty pool")
+        n.content_terms().choose(rng).unwrap_or(&"search")
     } else {
-        GENERIC_TERMS.choose(rng).expect("non-empty pool")
+        GENERIC_TERMS.choose(rng).unwrap_or(&"search")
     }
 }
 
@@ -108,7 +108,7 @@ pub fn title_phrase<R: Rng>(rng: &mut R, domain: Domain) -> String {
     let n = rng.random_range(2..=4);
     (0..n)
         .map(|_| {
-            let w = domain.content_terms().choose(rng).expect("non-empty pool");
+            let w = domain.content_terms().choose(rng).unwrap_or(&"search");
             let mut cs = w.chars();
             match cs.next() {
                 Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),

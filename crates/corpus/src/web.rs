@@ -363,7 +363,10 @@ pub fn generate(config: &CorpusConfig) -> SyntheticWeb {
     let mut non_searchable = Vec::new();
     for i in 0..config.non_searchable_count {
         let kind = NonSearchableKind::ALL[i % NonSearchableKind::ALL.len()];
-        let rec = form_pages.choose(&mut rng).expect("form pages exist");
+        // A config with zero form pages has no hosts to hang these off.
+        let Some(rec) = form_pages.choose(&mut rng) else {
+            break;
+        };
         let domain = rec.domain;
         let host = graph.url(rec.page).host().to_owned();
         let path = format!("/{}{}.html", kind_path(kind), i);

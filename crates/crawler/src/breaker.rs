@@ -171,11 +171,10 @@ impl HostBreakers {
 
     /// The breaker for `host`, created closed on first sight.
     pub fn breaker(&mut self, host: &str) -> &mut CircuitBreaker {
-        if !self.by_host.contains_key(host) {
-            self.by_host
-                .insert(host.to_owned(), CircuitBreaker::new(self.config));
-        }
-        self.by_host.get_mut(host).expect("just inserted")
+        let config = self.config;
+        self.by_host
+            .entry(host.to_owned())
+            .or_insert_with(|| CircuitBreaker::new(config))
     }
 
     /// The breaker for `host`, if it has been seen.

@@ -89,6 +89,29 @@ const IMPLICIT_CLOSE: &[(&str, &str)] = &[
     ("dt", "dd"),
 ];
 
+/// Maximum open-element depth. Start tags past this depth still create
+/// nodes, but as siblings under the element at the cap rather than ever
+/// deeper children — so entity-bomb nesting cannot overflow the stack of
+/// any downstream recursive consumer, while no content is lost.
+pub const MAX_DEPTH: usize = 512;
+
+/// Maximum nodes per document — the [`NodeId`] u32 address space. Tokens
+/// past the cap are dropped (a page this size is a parser attack, not
+/// content).
+const MAX_NODES: usize = u32::MAX as usize;
+
+/// What the parser had to do to keep a hostile document tractable.
+/// Produced by [`Document::parse_with_stats`]; the ingestion layer maps
+/// these onto degradation reasons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Open-element nesting hit [`MAX_DEPTH`]; deeper elements were
+    /// reparented to the capped depth.
+    pub depth_capped: bool,
+    /// The node arena hit its u32 capacity; later tokens were dropped.
+    pub nodes_capped: bool,
+}
+
 /// A parsed HTML document: an arena of nodes plus the top-level roots.
 #[derive(Debug, Clone)]
 pub struct Document {
@@ -99,13 +122,24 @@ pub struct Document {
 impl Document {
     /// Parse `html` into a tree. Infallible.
     pub fn parse(html: &str) -> Document {
+        Document::parse_with_stats(html).0
+    }
+
+    /// Parse `html`, also reporting which structural caps were hit.
+    /// Infallible on any byte sequence.
+    pub fn parse_with_stats(html: &str) -> (Document, ParseStats) {
         let mut doc = Document {
             nodes: Vec::new(),
             roots: Vec::new(),
         };
+        let mut stats = ParseStats::default();
         // Stack of open element node ids.
         let mut stack: Vec<NodeId> = Vec::new();
         for token in Tokenizer::new(html) {
+            if doc.nodes.len() >= MAX_NODES {
+                stats.nodes_capped = true;
+                break;
+            }
             match token {
                 Token::Doctype(_) => {}
                 Token::Comment(c) => {
@@ -123,10 +157,10 @@ impl Document {
                 } => {
                     // Implicit closes (e.g. <option> closes an open <option>).
                     while let Some(&top) = stack.last() {
-                        let top_name = doc.nodes[top.index()]
-                            .element_name()
-                            .expect("stack holds elements")
-                            .to_owned();
+                        // The stack only ever holds element ids.
+                        let Some(top_name) = doc.nodes[top.index()].element_name() else {
+                            break;
+                        };
                         if IMPLICIT_CLOSE
                             .iter()
                             .any(|(inc, closes)| *inc == name && *closes == top_name)
@@ -143,7 +177,11 @@ impl Document {
                     });
                     doc.append(&stack, id);
                     if !self_closing && !is_void(&name) {
-                        stack.push(id);
+                        if stack.len() < MAX_DEPTH {
+                            stack.push(id);
+                        } else {
+                            stats.depth_capped = true;
+                        }
                     }
                 }
                 Token::EndTag { name } => {
@@ -156,20 +194,23 @@ impl Document {
                 }
             }
         }
-        doc
+        (doc, stats)
     }
 
     fn push(&mut self, node: Node) -> NodeId {
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("document under 4Gi nodes"));
+        // parse_with_stats stops before the arena can outgrow u32.
+        let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(node);
         id
     }
 
     fn append(&mut self, stack: &[NodeId], id: NodeId) {
         match stack.last() {
+            // The stack holds element ids only; anything else would mean
+            // arena corruption, which parenting to the root survives.
             Some(&parent) => match &mut self.nodes[parent.index()] {
                 Node::Element { children, .. } => children.push(id),
-                _ => unreachable!("parent stack holds elements only"),
+                _ => self.roots.push(id),
             },
             None => self.roots.push(id),
         }
@@ -414,5 +455,32 @@ mod tests {
         let html = "<div>".repeat(5000) + "x" + &"</div>".repeat(5000);
         let doc = Document::parse(&html);
         assert_eq!(doc.elements_named("div").count(), 5000);
+    }
+
+    #[test]
+    fn deep_nesting_caps_depth_but_keeps_content() {
+        let html = "<div>".repeat(5000) + "payload" + &"</div>".repeat(5000);
+        let (doc, stats) = Document::parse_with_stats(&html);
+        assert!(stats.depth_capped);
+        assert_eq!(doc.elements_named("div").count(), 5000);
+        // The text survives and the realized tree depth is bounded.
+        let all_text: String = doc.walk().filter_map(|id| doc.node(id).as_text()).collect();
+        assert_eq!(all_text, "payload");
+        fn depth(doc: &Document, id: NodeId) -> usize {
+            1 + doc
+                .children(id)
+                .iter()
+                .map(|&c| depth(doc, c))
+                .max()
+                .unwrap_or(0)
+        }
+        let max_depth = doc.roots().iter().map(|&r| depth(&doc, r)).max().unwrap();
+        assert!(max_depth <= MAX_DEPTH + 1, "depth {max_depth} exceeds cap");
+    }
+
+    #[test]
+    fn shallow_documents_report_no_caps() {
+        let (_, stats) = Document::parse_with_stats("<div><p>fine</p></div>");
+        assert_eq!(stats, ParseStats::default());
     }
 }

@@ -93,70 +93,73 @@ impl Ctx {
 /// Script and style content is skipped entirely; comments never surface.
 /// Visible field values inside forms (submit-button labels, prefilled input
 /// text) are emitted as [`TextLocation::FormValue`].
+///
+/// The walk carries an explicit stack — not the call stack — so document
+/// depth (already capped by the parser) can never overflow it.
 pub fn located_text(doc: &Document) -> Vec<LocatedText> {
     let mut out = Vec::new();
-    for &root in doc.roots() {
-        visit(doc, root, Ctx::default(), &mut out);
-    }
-    out
-}
-
-fn visit(doc: &Document, id: NodeId, ctx: Ctx, out: &mut Vec<LocatedText>) {
-    match doc.node(id) {
-        Node::Text(t) => {
-            let t = t.trim();
-            if !t.is_empty() {
-                out.push(LocatedText {
-                    text: crate::dom::normalize_ws(t),
-                    location: ctx.location(),
-                });
+    let mut pending: Vec<(NodeId, Ctx)> = doc
+        .roots()
+        .iter()
+        .rev()
+        .map(|&r| (r, Ctx::default()))
+        .collect();
+    while let Some((id, ctx)) = pending.pop() {
+        match doc.node(id) {
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    out.push(LocatedText {
+                        text: crate::dom::normalize_ws(t),
+                        location: ctx.location(),
+                    });
+                }
             }
-        }
-        Node::Comment(_) => {}
-        Node::Element { name, .. } => {
-            let mut ctx = ctx;
-            match name.as_str() {
-                "script" | "style" | "noscript" => return,
-                "title" => ctx.in_title = true,
-                "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => ctx.in_heading = true,
-                "a" => ctx.in_anchor = true,
-                "form" => ctx.in_form = true,
-                "option" => ctx.in_option = true,
-                "input" if ctx.in_form => {
-                    // Visible value text of buttons and prefilled inputs.
-                    let ty = doc.attr(id, "type").map(str::to_ascii_lowercase);
-                    let visible = !matches!(ty.as_deref(), Some("hidden") | Some("password"));
-                    if visible {
-                        if let Some(v) = doc.attr(id, "value") {
-                            let v = v.trim();
-                            if !v.is_empty() {
+            Node::Comment(_) => {}
+            Node::Element { name, .. } => {
+                let mut ctx = ctx;
+                match name.as_str() {
+                    "script" | "style" | "noscript" => continue,
+                    "title" => ctx.in_title = true,
+                    "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => ctx.in_heading = true,
+                    "a" => ctx.in_anchor = true,
+                    "form" => ctx.in_form = true,
+                    "option" => ctx.in_option = true,
+                    "input" if ctx.in_form => {
+                        // Visible value text of buttons and prefilled inputs.
+                        let ty = doc.attr(id, "type").map(str::to_ascii_lowercase);
+                        let visible = !matches!(ty.as_deref(), Some("hidden") | Some("password"));
+                        if visible {
+                            if let Some(v) = doc.attr(id, "value") {
+                                let v = v.trim();
+                                if !v.is_empty() {
+                                    out.push(LocatedText {
+                                        text: crate::dom::normalize_ws(v),
+                                        location: TextLocation::FormValue,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    "img" => {
+                        // alt text is visible text in every location class.
+                        if let Some(alt) = doc.attr(id, "alt") {
+                            let alt = alt.trim();
+                            if !alt.is_empty() {
                                 out.push(LocatedText {
-                                    text: crate::dom::normalize_ws(v),
-                                    location: TextLocation::FormValue,
+                                    text: crate::dom::normalize_ws(alt),
+                                    location: ctx.location(),
                                 });
                             }
                         }
                     }
+                    _ => {}
                 }
-                "img" => {
-                    // alt text is visible text in every location class.
-                    if let Some(alt) = doc.attr(id, "alt") {
-                        let alt = alt.trim();
-                        if !alt.is_empty() {
-                            out.push(LocatedText {
-                                text: crate::dom::normalize_ws(alt),
-                                location: ctx.location(),
-                            });
-                        }
-                    }
-                }
-                _ => {}
-            }
-            for &child in doc.children(id) {
-                visit(doc, child, ctx, out);
+                pending.extend(doc.children(id).iter().rev().map(|&c| (c, ctx)));
             }
         }
     }
+    out
 }
 
 /// Convenience: all text of the given location classes joined with spaces.

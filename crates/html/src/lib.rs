@@ -45,12 +45,14 @@ pub mod entities;
 pub mod extract;
 pub mod form;
 pub mod labels;
+pub mod sanitize;
 pub mod tokenizer;
 
-pub use dom::{Document, Node, NodeId};
+pub use dom::{Document, Node, NodeId, ParseStats};
 pub use extract::{located_text, LocatedText, TextLocation};
 pub use form::{extract_forms, Form, FormField, FormFieldKind, FormMethod};
 pub use labels::{extract_labeled_fields, LabelSource, LabeledField};
+pub use sanitize::strip_control_chars;
 pub use tokenizer::{Attribute, Token, Tokenizer};
 
 /// Parse an HTML document into a DOM tree.

@@ -1,0 +1,69 @@
+//! Pre-parse input sanitation for hostile documents.
+//!
+//! Real crawls hand the parser whatever the socket produced: NUL bytes,
+//! stray C0/C1 control characters, backspace runs. None of it is
+//! renderable text, and some of it (NUL in particular) confuses naive
+//! downstream string handling. The ingestion layer strips it *before*
+//! tokenizing and records that it did so (see `cafc`'s ingestion report).
+
+use std::borrow::Cow;
+
+/// True for characters that carry no visible text and should never reach
+/// the tokenizer: C0 controls except `\t`/`\n`/`\r`, DEL, and the C1 block.
+fn is_disallowed_control(c: char) -> bool {
+    (c.is_control() && !matches!(c, '\t' | '\n' | '\r')) || ('\u{80}'..='\u{9f}').contains(&c)
+}
+
+/// Strip disallowed control characters, reporting whether any were found.
+///
+/// Clean input (the overwhelmingly common case) is borrowed, not copied.
+pub fn strip_control_chars(input: &str) -> (Cow<'_, str>, bool) {
+    if !input.chars().any(is_disallowed_control) {
+        return (Cow::Borrowed(input), false);
+    }
+    let cleaned: String = input
+        .chars()
+        .filter(|&c| !is_disallowed_control(c))
+        .collect();
+    (Cow::Owned(cleaned), true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_input_is_borrowed() {
+        let (out, stripped) = strip_control_chars("plain <b>text</b>\nwith\ttabs\r\n");
+        assert!(!stripped);
+        assert!(matches!(out, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn nul_and_c0_stripped() {
+        let (out, stripped) = strip_control_chars("a\u{0}b\u{1}c\u{8}d");
+        assert!(stripped);
+        assert_eq!(out, "abcd");
+    }
+
+    #[test]
+    fn c1_block_stripped() {
+        let (out, stripped) = strip_control_chars("x\u{85}y\u{9f}z");
+        assert!(stripped);
+        assert_eq!(out, "xyz");
+    }
+
+    #[test]
+    fn whitespace_controls_kept() {
+        let (out, stripped) = strip_control_chars("a\tb\nc\rd");
+        assert!(!stripped);
+        assert_eq!(out, "a\tb\nc\rd");
+    }
+
+    #[test]
+    fn all_control_input_becomes_empty() {
+        let (out, stripped) = strip_control_chars("\u{0}\u{1}\u{2}");
+        assert!(stripped);
+        assert_eq!(out, "");
+    }
+}

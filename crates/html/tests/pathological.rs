@@ -1,0 +1,122 @@
+//! Table-driven pathological-input tests for the HTML substrate: the
+//! entity decoder and tokenizer must absorb hostile fragments — truncated
+//! entities, out-of-range code points, CDATA-like junk, unterminated tags —
+//! without panicking and with documented passthrough behavior.
+
+use cafc_html::{located_text, parse, Token, Tokenizer};
+
+#[test]
+fn entity_decoding_pathological_table() {
+    // (input, expected decode output). Unknown and malformed entities pass
+    // through verbatim — the browser behavior that keeps `?a=1&b=2` intact.
+    let cases: &[(&str, &str)] = &[
+        // Unterminated at EOF (mid-entity cut, the TruncateMidEntity shape).
+        ("&amp", "&amp"),
+        ("&#12", "&#12"),
+        ("&#x1F4A", "&#x1F4A"),
+        ("&quo", "&quo"),
+        // Lone and bare ampersands.
+        ("&", "&"),
+        ("a & b", "a & b"),
+        ("&;", "&;"),
+        ("&&&", "&&&"),
+        // Numeric references beyond the Unicode range.
+        ("&#xFFFFFFFF;", "&#xFFFFFFFF;"),
+        ("&#x110000;", "&#x110000;"),
+        ("&#99999999;", "&#99999999;"),
+        // NUL and C1 controls map to the replacement character.
+        ("&#0;", "\u{fffd}"),
+        ("&#x85;", "\u{fffd}"),
+        // Unknown named entity passes through.
+        ("&bogus;", "&bogus;"),
+        // Over-long candidate (>32 chars) is not an entity.
+        (
+            "&aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa;",
+            "&aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa;",
+        ),
+        // Sanity: the happy path still decodes around the hostile ones.
+        ("&amp;&bogus;&lt;", "&&bogus;<"),
+    ];
+    for (input, expected) in cases {
+        assert_eq!(
+            cafc_html::entities::decode(input),
+            *expected,
+            "decode({input:?})"
+        );
+    }
+}
+
+#[test]
+fn tokenizer_survives_pathological_fragments() {
+    // None of these may panic; tokens must cover the input's visible text.
+    let cases: &[&str] = &[
+        "<",
+        "<!",
+        "</",
+        "</>",
+        "< >",
+        "<3 apples for <5 dollars",
+        "<input",                  // unterminated tag at EOF
+        "<input name=\"q",         // EOF inside a quoted value
+        "<a href=",                // EOF after '='
+        "<![CDATA[ junk ]]>",      // CDATA-like junk
+        "<!%$#@>",                 // bogus markup declaration
+        "<script>var a = '<div>'", // unterminated raw-text element
+        "<title>half a title",     // unterminated raw-text at EOF
+        "<p/><p////>",             // slash soup
+        "text &#x1F4A",            // mid-entity EOF inside text
+        "\u{0}\u{1}<p>\u{7f}</p>", // control chars around markup
+    ];
+    for input in cases {
+        let tokens = Tokenizer::run(input);
+        // No token may carry an empty text payload (the tokenizer's own
+        // contract), panic-free tokenization is the main assertion.
+        for t in &tokens {
+            if let Token::Text(s) = t {
+                assert!(!s.is_empty(), "empty text token for {input:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cdata_like_junk_does_not_leak_into_text() {
+    let doc = parse("<p>before</p><![CDATA[ junk ]]><p>after</p>");
+    let text: String = located_text(&doc)
+        .into_iter()
+        .map(|lt| lt.text)
+        .collect::<Vec<_>>()
+        .join(" ");
+    assert!(text.contains("before") && text.contains("after"));
+}
+
+#[test]
+fn parser_survives_pathological_documents() {
+    // End-to-end: parse + text extraction on the tokenizer table plus a few
+    // document-scale horrors.
+    let mut cases: Vec<String> = vec![
+        "<form><form><form><input name=a".to_owned(),
+        "</div></div></div>".to_owned(),
+        format!("<div title=\"{}\">deep breath</div>", "x".repeat(100_000)),
+        format!("{}payload", "<div>".repeat(2000)),
+        "&#xFFFFFFFF;".repeat(500),
+    ];
+    cases.push(String::new());
+    for html in &cases {
+        let doc = parse(html);
+        let _ = located_text(&doc); // must not panic
+    }
+}
+
+#[test]
+fn truncated_real_page_keeps_prefix_text() {
+    let page = "<html><title>Jobs</title><body><p>search postings</p><form><inp";
+    let doc = parse(page);
+    let all: String = located_text(&doc)
+        .into_iter()
+        .map(|lt| lt.text)
+        .collect::<Vec<_>>()
+        .join(" ");
+    assert!(all.contains("Jobs"));
+    assert!(all.contains("search postings"));
+}

@@ -58,6 +58,36 @@ impl Analyzer {
         }
     }
 
+    /// Like [`Analyzer::analyze_into`], but stop once `out` holds `budget`
+    /// terms. Returns `true` when the budget cut the analysis short —
+    /// entity bombs and megabyte attribute dumps yield bounded work instead
+    /// of unbounded dictionaries. A `budget` of `usize::MAX` never trims.
+    pub fn analyze_into_budget(
+        &self,
+        text: &str,
+        dict: &mut TermDict,
+        out: &mut Vec<TermId>,
+        budget: usize,
+    ) -> bool {
+        for token in tokenize_with(text, self.tokenize) {
+            if out.len() >= budget {
+                return true;
+            }
+            if self.remove_stopwords && is_stopword(&token) {
+                continue;
+            }
+            let term = if self.stem { stem(&token) } else { token };
+            if term.is_empty() {
+                continue;
+            }
+            if self.remove_stopwords && is_stopword(&term) {
+                continue;
+            }
+            out.push(dict.intern(&term));
+        }
+        false
+    }
+
     /// Analyze into plain strings (for debugging and golden tests).
     pub fn analyze_to_strings(&self, text: &str) -> Vec<String> {
         let mut dict = TermDict::new();
@@ -131,5 +161,33 @@ mod tests {
         let mut dict = TermDict::new();
         assert!(a.analyze("", &mut dict).is_empty());
         assert!(a.analyze("   !!!   ", &mut dict).is_empty());
+    }
+
+    #[test]
+    fn budget_trims_and_reports() {
+        let a = Analyzer::default();
+        let mut dict = TermDict::new();
+        let mut out = Vec::new();
+        let trimmed =
+            a.analyze_into_budget("cheap flights to sunny lisbon", &mut dict, &mut out, 2);
+        assert!(trimmed);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn budget_large_enough_matches_unbounded() {
+        let a = Analyzer::default();
+        let mut dict = TermDict::new();
+        let mut budgeted = Vec::new();
+        let trimmed = a.analyze_into_budget(
+            "cheap flights to denver",
+            &mut dict,
+            &mut budgeted,
+            usize::MAX,
+        );
+        assert!(!trimmed);
+        let mut dict2 = TermDict::new();
+        let plain = a.analyze("cheap flights to denver", &mut dict2);
+        assert_eq!(budgeted.len(), plain.len());
     }
 }

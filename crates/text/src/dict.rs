@@ -69,7 +69,7 @@ impl TermDict {
         self.terms
             .iter()
             .enumerate()
-            .map(|(i, t)| (TermId(u32::try_from(i).expect("id fits u32")), t.as_str()))
+            .map(|(i, t)| (TermId(i as u32), t.as_str())) // ids assigned as u32 in intern
     }
 }
 

@@ -31,7 +31,9 @@ pub fn stem(word: &str) -> String {
     s.step4();
     s.step5a();
     s.step5b();
-    String::from_utf8(s.b).expect("ASCII in, ASCII out")
+    // The stemmer only rewrites ASCII bytes, so this is lossless; lossy
+    // conversion just removes the panic path.
+    String::from_utf8_lossy(&s.b).into_owned()
 }
 
 struct Stemmer {

@@ -25,6 +25,11 @@ impl CountsBuilder {
 
     /// Add one occurrence of `term` with the given location weight.
     pub fn add(&mut self, term: TermId, loc_weight: f64) {
+        // A non-finite weight would poison every later sum for this term;
+        // drop it at the door (SparseVector::from_entries double-checks).
+        if !loc_weight.is_finite() {
+            return;
+        }
         *self.counts.entry(term).or_insert(0.0) += loc_weight;
     }
 

@@ -71,7 +71,7 @@ impl DocumentFrequencies {
             .iter()
             .enumerate()
             .filter(|&(_, &n)| n > 0)
-            .map(|(i, &n)| (TermId(u32::try_from(i).expect("term id fits u32")), n))
+            .map(|(i, &n)| (TermId(i as u32), n)) // indices come from u32 TermIds
     }
 }
 

@@ -123,7 +123,7 @@ impl WebGraph {
 
     /// Iterate all page ids.
     pub fn page_ids(&self) -> impl Iterator<Item = PageId> {
-        (0..self.pages.len()).map(|i| PageId(u32::try_from(i).expect("id fits u32")))
+        (0..self.pages.len()).map(|i| PageId(i as u32)) // ids assigned as u32 in intern
     }
 }
 

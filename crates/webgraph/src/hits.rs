@@ -36,7 +36,7 @@ impl HitsScores {
             .hub
             .iter()
             .enumerate()
-            .map(|(i, &s)| (PageId(u32::try_from(i).expect("id fits u32")), s))
+            .map(|(i, &s)| (PageId(i as u32), s)) // score vectors are indexed by u32 PageIds
             .collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         v.truncate(k);
@@ -76,13 +76,13 @@ pub fn hits(graph: &WebGraph, opts: &HitsOptions) -> HitsScores {
         // authority(p) = sum of hub scores of pages linking to p
         let mut new_auth = vec![0.0f64; n];
         for (i, a) in new_auth.iter_mut().enumerate() {
-            let id = PageId(u32::try_from(i).expect("id fits u32"));
+            let id = PageId(i as u32);
             *a = graph.in_links(id).iter().map(|q| hub[q.index()]).sum();
         }
         // hub(p) = sum of authority scores of pages p links to
         let mut new_hub = vec![0.0f64; n];
         for (i, h) in new_hub.iter_mut().enumerate() {
-            let id = PageId(u32::try_from(i).expect("id fits u32"));
+            let id = PageId(i as u32);
             *h = graph
                 .out_links(id)
                 .iter()

@@ -51,15 +51,34 @@ impl Url {
 
     /// Build a URL from parts (used by the synthetic-web generator).
     ///
-    /// # Panics
-    /// Panics if the parts do not form a parseable URL.
+    /// Parts are normalized the same way [`Url::parse`] would: scheme and
+    /// host lowercased, path given a leading `/`. Parts that could never
+    /// parse are coerced instead of panicking — a non-http(s) scheme
+    /// becomes `http`, whitespace is stripped from the host, and an empty
+    /// host becomes `invalid.local` (a reserved-TLD marker host).
     pub fn from_parts(scheme: &str, host: &str, path: &str) -> Url {
+        let scheme = scheme.to_ascii_lowercase();
+        let scheme = if scheme == "https" {
+            scheme
+        } else {
+            "http".to_owned()
+        };
+        let host: String = host
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        let host = if host.is_empty() {
+            "invalid.local".to_owned()
+        } else {
+            host
+        };
         let path = if path.starts_with('/') {
             path.to_owned()
         } else {
             format!("/{path}")
         };
-        Url::parse(&format!("{scheme}://{host}{path}")).expect("valid URL parts")
+        Url { scheme, host, path }
     }
 
     /// The scheme (`http` or `https`).

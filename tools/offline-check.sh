@@ -29,25 +29,33 @@ lib_packages=(
 )
 core_tests=(
   --test pipeline --test crawl_integration --test corpus_calibration
-  --test paper_shapes --test robustness
+  --test paper_shapes --test robustness --test torture
 )
+# cafc-html integration tests minus proptests.rs (needs the real proptest).
+html_tests=(--test edge_cases --test pathological)
+
+# The no-panic gate is static and costs milliseconds: run it in every mode.
+tools/panic-lint.sh
 
 case "$mode" in
   check)
     cargo check --offline "${config[@]}" "${lib_packages[@]}"
     cargo check --offline "${config[@]}" -p cafc-crawler -p cafc-cli --all-targets
+    cargo check --offline "${config[@]}" -p cafc-html "${html_tests[@]}"
     cargo check --offline "${config[@]}" -p cafc "${core_tests[@]}" --examples
     ;;
   test)
     cargo test --offline "${config[@]}" -p cafc-html -p cafc-text -p cafc-vsm \
       -p cafc-webgraph -p cafc-cluster -p cafc-eval -p cafc-corpus \
       -p cafc-classify -p cafc-explore --lib
+    cargo test --offline "${config[@]}" -p cafc-html "${html_tests[@]}"
     cargo test --offline "${config[@]}" -p cafc-crawler -p cafc-cli --all-targets
     cargo test --offline "${config[@]}" -p cafc --lib "${core_tests[@]}"
     ;;
   clippy)
     cargo clippy --offline "${config[@]}" "${lib_packages[@]}" -- -D warnings
     cargo clippy --offline "${config[@]}" -p cafc-crawler -p cafc-cli --all-targets -- -D warnings
+    cargo clippy --offline "${config[@]}" -p cafc-html "${html_tests[@]}" -- -D warnings
     cargo clippy --offline "${config[@]}" -p cafc "${core_tests[@]}" --examples -- -D warnings
     ;;
   *)

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# The no-panic gate: fail the build when new `unwrap()` / `panic!` /
+# `expect(` / `unreachable!` / `todo!` / `unimplemented!` sites appear in
+# library-crate source outside `#[cfg(test)]` code.
+#
+# Library crates feed the ingestion pipeline, which must survive arbitrary
+# input (see DESIGN.md §8); every potential panic site there is either
+# removed or explicitly allowlisted with a justification in
+# tools/panic-allowlist.txt. Test modules (everything from the first
+# `#[cfg(test)]` line to end-of-file, per repo convention) and comments are
+# exempt.
+#
+# Usage: tools/panic-lint.sh            # check, exit 1 on violations
+#        tools/panic-lint.sh --counts   # print current per-file counts
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST="tools/panic-allowlist.txt"
+PATTERN='\.unwrap\(\)|panic!|\.expect\(|unreachable!|todo!|unimplemented!'
+
+# Print the non-test, non-comment portion of a source file: stop at the
+# first `#[cfg(test)]` (test modules sit at the end of each file by repo
+# convention) and drop pure comment lines.
+lib_code() {
+  awk '/^[[:space:]]*#\[cfg\(test\)\]/ { exit } { print }' "$1" |
+    grep -vE '^[[:space:]]*//' || true
+}
+
+allowed_count() {
+  local file="$1"
+  if [[ -f "$ALLOWLIST" ]]; then
+    awk -v f="$file" '$1 == f { print $2; found = 1 } END { if (!found) print 0 }' "$ALLOWLIST"
+  else
+    echo 0
+  fi
+}
+
+mode="${1:-check}"
+status=0
+total=0
+
+for file in $(find crates -path '*/src/*' -name '*.rs' | sort); do
+  count=$(lib_code "$file" | grep -cE "$PATTERN" || true)
+  total=$((total + count))
+  if [[ "$mode" == "--counts" ]]; then
+    [[ "$count" -gt 0 ]] && echo "$count $file"
+    continue
+  fi
+  allowed=$(allowed_count "$file")
+  if [[ "$count" -gt "$allowed" ]]; then
+    echo "panic-lint: $file has $count panic site(s), allowlist permits $allowed:" >&2
+    lib_code "$file" | grep -nE "$PATTERN" | sed 's/^/    /' >&2
+    status=1
+  elif [[ "$count" -lt "$allowed" ]]; then
+    echo "panic-lint: note: $file has $count panic site(s) but allowlist permits $allowed" \
+         "— consider tightening $ALLOWLIST" >&2
+  fi
+done
+
+if [[ "$mode" == "--counts" ]]; then
+  echo "total: $total"
+  exit 0
+fi
+
+if [[ "$status" -ne 0 ]]; then
+  echo "panic-lint: FAILED — remove the panic site (typed error or documented" >&2
+  echo "saturating fallback; see DESIGN.md §8) or, if provably unreachable," >&2
+  echo "add a justified entry to $ALLOWLIST." >&2
+else
+  echo "panic-lint: OK"
+fi
+exit "$status"
