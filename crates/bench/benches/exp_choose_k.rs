@@ -5,7 +5,7 @@
 //! each clustering by mean silhouette (no labels used), and checks whether
 //! the silhouette-optimal `k` recovers the true domain count.
 
-use cafc::{cafc_ch, CafcChConfig, FeatureConfig, HubClusterOptions, KMeansOptions};
+use cafc::{cafc_ch, CafcChConfig, FeatureConfig};
 use cafc_bench::{print_header, quality, Bench};
 use cafc_cluster::mean_silhouette;
 use rand::rngs::StdRng;
@@ -34,12 +34,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for k in 2..=16 {
-        let config = CafcChConfig {
-            k,
-            hub: HubClusterOptions::default(),
-            kmeans: KMeansOptions::default(),
-            min_hub_quality: None,
-        };
+        let config = CafcChConfig::paper_default(k);
         let mut rng = StdRng::seed_from_u64(0xC0);
         let out = cafc_ch(&bench.web.graph, &bench.targets, &space, &config, &mut rng);
         // A degenerate partition (undefined silhouette) ranks below every

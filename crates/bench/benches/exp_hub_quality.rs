@@ -43,10 +43,7 @@ fn main() {
 
     // Content-coherence gate at several thresholds.
     for threshold in [0.05, 0.10, 0.15, 0.20] {
-        let cfg = CafcChConfig {
-            min_hub_quality: Some(threshold),
-            ..base_cfg.clone()
-        };
+        let cfg = base_cfg.clone().with_min_hub_quality(Some(threshold));
         let mut rng = StdRng::seed_from_u64(0x9B);
         let out = cafc_ch(&bench.web.graph, &bench.targets, &space, &cfg, &mut rng);
         let q = quality(&out.outcome.partition, &bench.labels);

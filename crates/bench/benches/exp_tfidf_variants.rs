@@ -34,11 +34,7 @@ fn main() {
             let corpus = FormPageCorpus::from_graph(
                 &bench.web.graph,
                 &bench.targets,
-                &ModelOptions {
-                    tf,
-                    idf,
-                    ..ModelOptions::default()
-                },
+                &ModelOptions::new().with_tf(tf).with_idf(idf),
             );
             let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
             let (q, _) = run_cafc_ch(&bench, &space, 8, 0x7F1D);

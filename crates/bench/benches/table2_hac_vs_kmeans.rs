@@ -5,10 +5,7 @@
 //! local merge decisions whose early mistakes persist through the
 //! agglomeration, even from high-quality hub seeds.
 
-use cafc::{
-    select_hub_clusters, CafcChConfig, FeatureConfig, HacOptions, HubClusterOptions, KMeansOptions,
-    Linkage,
-};
+use cafc::{select_hub_clusters, CafcChConfig, FeatureConfig, HacOptions, KMeansOptions, Linkage};
 use cafc_bench::{disjoint_seeds, print_header, print_row, quality, run_cafc_c_avg, Bench, K};
 use cafc_cluster::hac;
 
@@ -37,12 +34,7 @@ fn main() {
     rows.push(("CAFC-C HAC".into(), c_hac));
 
     // Shared hub seeds (Algorithm 3, min cardinality 8).
-    let config = CafcChConfig {
-        k: K,
-        hub: HubClusterOptions::default(),
-        kmeans: KMeansOptions::default(),
-        min_hub_quality: None,
-    };
+    let config = CafcChConfig::paper_default(K);
     let (seeds, _, _) = select_hub_clusters(&bench.web.graph, &bench.targets, &space, &config);
 
     // CAFC-CH (k-means from hub seeds).

@@ -9,13 +9,10 @@ fn main() {
     let bench = Bench::paper_scale();
     let space = bench.space(FeatureConfig::combined());
     for min_card in [7usize, 8, 9, 10] {
-        let config = CafcChConfig {
-            hub: HubClusterOptions {
-                min_cardinality: min_card,
-                ..Default::default()
-            },
-            ..CafcChConfig::paper_default(8)
-        };
+        let config = CafcChConfig::paper_default(8).with_hub(HubClusterOptions {
+            min_cardinality: min_card,
+            ..Default::default()
+        });
         let (seeds, _, _) = select_hub_clusters(&bench.web.graph, &bench.targets, &space, &config);
         println!("min_card {min_card}: {} seeds", seeds.len());
         for (i, seed) in seeds.iter().enumerate() {

@@ -56,10 +56,7 @@ impl Bench {
         let corpus_uniform = FormPageCorpus::from_graph(
             &web.graph,
             &targets,
-            &ModelOptions {
-                weights: LocationWeights::uniform(),
-                ..ModelOptions::default()
-            },
+            &ModelOptions::new().with_weights(LocationWeights::uniform()),
         );
         let corpus_anchors =
             FormPageCorpus::from_graph_with_anchors(&web.graph, &targets, &ModelOptions::default());
@@ -139,15 +136,10 @@ pub fn run_cafc_ch(
     min_cardinality: usize,
     seed: u64,
 ) -> (Quality, cafc::CafcChOutcome) {
-    let config = CafcChConfig {
-        k: K,
-        hub: HubClusterOptions {
-            min_cardinality,
-            ..HubClusterOptions::default()
-        },
-        kmeans: KMeansOptions::default(),
-        min_hub_quality: None,
-    };
+    let config = CafcChConfig::paper_default(K).with_hub(HubClusterOptions {
+        min_cardinality,
+        ..HubClusterOptions::default()
+    });
     let mut rng = StdRng::seed_from_u64(seed);
     let outcome = cafc_ch(&bench.web.graph, &bench.targets, space, &config, &mut rng);
     (quality(&outcome.outcome.partition, &bench.labels), outcome)

@@ -43,6 +43,10 @@ const VALUE_FLAGS: &[&str] = &[
     // torture
     "mutations",
     "mutations-per-page",
+    // execution layer
+    "threads",
+    // bench
+    "sizes",
 ];
 
 /// Known boolean switches (present or absent, no value).
@@ -128,6 +132,27 @@ impl Args {
         Ok(value)
     }
 
+    /// The `--threads` flag as an execution policy: absent means `Auto`,
+    /// `N ≥ 1` means that many worker threads. Zero and non-numeric values
+    /// are rejected — "no threads" cannot execute anything, and silently
+    /// mapping it to serial would mask the typo.
+    pub fn get_threads(&self) -> Result<cafc::ExecPolicy, String> {
+        match self.get("threads") {
+            None => Ok(cafc::ExecPolicy::Auto),
+            Some(v) => {
+                let threads: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads expects a number, got {v:?}"))?;
+                if threads == 0 {
+                    return Err(format!(
+                        "--threads expects a count of at least 1, got {threads}"
+                    ));
+                }
+                Ok(cafc::ExecPolicy::Parallel { threads })
+            }
+        }
+    }
+
     /// Boolean switch presence.
     pub fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
@@ -177,6 +202,23 @@ mod tests {
             .expect_err("typoed flag must not parse");
         assert!(err.contains("--algoritm"), "{err}");
         assert!(Args::parse(vec!["--frobnicate".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_validates() {
+        let a = parse(&[]);
+        assert_eq!(a.get_threads().expect("default"), cafc::ExecPolicy::Auto);
+        let a = parse(&["--threads", "4"]);
+        assert_eq!(
+            a.get_threads().expect("count"),
+            cafc::ExecPolicy::Parallel { threads: 4 }
+        );
+        let a = parse(&["--threads", "0"]);
+        let err = a.get_threads().expect_err("zero threads cannot execute");
+        assert!(err.contains("at least 1"), "{err}");
+        let a = parse(&["--threads", "plenty"]);
+        let err = a.get_threads().expect_err("non-numeric must not parse");
+        assert!(err.contains("expects a number"), "{err}");
     }
 
     #[test]

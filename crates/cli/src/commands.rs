@@ -2,11 +2,12 @@
 
 use crate::args::Args;
 use cafc::{
-    cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, HubClusterOptions,
-    IngestLimits, IngestReport, KMeansOptions, ModelOptions, Partition,
+    cafc_c_exec, cafc_ch_exec, CafcChConfig, ExecPolicy, FeatureConfig, FormPageCorpus,
+    FormPageSpace, HubClusterOptions, IngestLimits, IngestReport, KMeansOptions, ModelOptions,
+    Partition,
 };
 use cafc_cluster::{
-    bisecting_kmeans, choose_k, hac_from_singletons, kmeans, random_singleton_seeds, BisectOptions,
+    bisecting_kmeans_exec, choose_k, hac_exec, kmeans_exec, random_singleton_seeds, BisectOptions,
     HacOptions, Linkage,
 };
 use cafc_corpus::{
@@ -60,7 +61,7 @@ struct Prepared {
     corpus: FormPageCorpus,
 }
 
-fn prepare(input: &str) -> Result<Prepared, String> {
+fn prepare(input: &str, policy: ExecPolicy) -> Result<Prepared, String> {
     let web = load_web(Path::new(input)).map_err(|e| format!("loading {input}: {e}"))?;
     let targets = web.form_page_ids();
     if targets.is_empty() {
@@ -68,7 +69,8 @@ fn prepare(input: &str) -> Result<Prepared, String> {
             "{input} contains no form pages (manifest kind=\"form\")"
         ));
     }
-    let corpus = FormPageCorpus::from_graph(&web.graph, &targets, &ModelOptions::default());
+    let corpus =
+        FormPageCorpus::from_graph_exec(&web.graph, &targets, &ModelOptions::default(), policy);
     Ok(Prepared {
         web,
         targets,
@@ -85,7 +87,11 @@ fn feature_config(args: &Args) -> Result<FeatureConfig, String> {
     }
 }
 
-fn run_clustering(prepared: &Prepared, args: &Args) -> Result<Partition, String> {
+fn run_clustering(
+    prepared: &Prepared,
+    args: &Args,
+    policy: ExecPolicy,
+) -> Result<Partition, String> {
     let features = feature_config(args)?;
     let space = FormPageSpace::new(&prepared.corpus, features);
     let seed = args.get_u64("seed", 1)?;
@@ -97,7 +103,7 @@ fn run_clustering(prepared: &Prepared, args: &Args) -> Result<Partition, String>
         let (k, partition, scores) = choose_k(&space, 2..=16, |k| {
             let mut rng = StdRng::seed_from_u64(seed);
             let seeds = random_singleton_seeds(&space, k, &mut rng);
-            kmeans(&space, &seeds, &KMeansOptions::default()).partition
+            kmeans_exec(&space, &seeds, &KMeansOptions::default(), policy).partition
         })
         .ok_or("no valid k in 2..=16 for this corpus")?;
         println!("auto-k: chose k = {k} (silhouette sweep: {scores:?})");
@@ -114,21 +120,17 @@ fn run_clustering(prepared: &Prepared, args: &Args) -> Result<Partition, String>
     let mut rng = StdRng::seed_from_u64(seed);
     let partition = match algorithm {
         "cafc-ch" => {
-            let config = CafcChConfig {
-                k,
-                hub: HubClusterOptions {
-                    min_cardinality: args.get_usize("min-cardinality", 8)?,
-                    ..HubClusterOptions::default()
-                },
-                kmeans: KMeansOptions::default(),
-                min_hub_quality: None,
-            };
-            let out = cafc_ch(
+            let config = CafcChConfig::paper_default(k).with_hub(HubClusterOptions {
+                min_cardinality: args.get_usize("min-cardinality", 8)?,
+                ..HubClusterOptions::default()
+            });
+            let out = cafc_ch_exec(
                 &prepared.web.graph,
                 &prepared.targets,
                 &space,
                 &config,
                 &mut rng,
+                policy,
             );
             println!(
                 "CAFC-CH: {} hub seeds, {} padded, {} iterations",
@@ -136,24 +138,24 @@ fn run_clustering(prepared: &Prepared, args: &Args) -> Result<Partition, String>
             );
             out.outcome.partition
         }
-        "cafc-c" => {
-            let seeds = random_singleton_seeds(&space, k, &mut rng);
-            kmeans(&space, &seeds, &KMeansOptions::default()).partition
-        }
-        "hac" => hac_from_singletons(
+        "cafc-c" => cafc_c_exec(&space, k, &KMeansOptions::default(), &mut rng, policy).partition,
+        "hac" => hac_exec(
             &space,
+            &[],
             &HacOptions {
                 target_clusters: k,
                 linkage: Linkage::Average,
             },
+            policy,
         ),
-        "bisect" => bisecting_kmeans(
+        "bisect" => bisecting_kmeans_exec(
             &space,
             &BisectOptions {
                 target_clusters: k,
                 ..Default::default()
             },
             &mut rng,
+            policy,
         ),
         other => return Err(format!("unknown --algorithm {other:?}")),
     };
@@ -191,8 +193,9 @@ fn clusters_json(prepared: &Prepared, partition: &Partition) -> String {
 
 /// `cafc cluster`.
 pub fn cluster(args: &Args) -> Result<(), String> {
-    let prepared = prepare(args.require("input")?)?;
-    let partition = run_clustering(&prepared, args)?;
+    let policy = args.get_threads()?;
+    let prepared = prepare(args.require("input")?, policy)?;
+    let partition = run_clustering(&prepared, args, policy)?;
 
     let index = ClusterIndex::from_graph(
         &prepared.corpus,
@@ -248,8 +251,9 @@ pub fn search(args: &Args) -> Result<(), String> {
     if query.trim().is_empty() {
         return Err("search expects a query, e.g. `cafc search --input DIR cheap flights`".into());
     }
-    let prepared = prepare(args.require("input")?)?;
-    let partition = run_clustering(&prepared, args)?;
+    let policy = args.get_threads()?;
+    let prepared = prepare(args.require("input")?, policy)?;
+    let partition = run_clustering(&prepared, args, policy)?;
     let index = ClusterIndex::from_graph(
         &prepared.corpus,
         &partition,
@@ -282,7 +286,7 @@ pub fn search(args: &Args) -> Result<(), String> {
 /// `cafc eval` — score a clusters.json against manifest labels.
 pub fn eval(args: &Args) -> Result<(), String> {
     let input = args.require("input")?;
-    let prepared = prepare(input)?;
+    let prepared = prepare(input, args.get_threads()?)?;
     let clusters_path = args.require("clusters")?;
     let json = std::fs::read_to_string(clusters_path)
         .map_err(|e| format!("reading {clusters_path}: {e}"))?;
@@ -351,22 +355,21 @@ fn cluster_survivors(
     survivors: &[PageId],
     k: usize,
     seed: u64,
+    policy: ExecPolicy,
 ) -> Option<SurvivorQuality> {
     if survivors.len() < 2 {
         return None;
     }
     let k = k.clamp(1, survivors.len());
-    let corpus = FormPageCorpus::from_graph(&web.graph, survivors, &ModelOptions::default());
+    let corpus =
+        FormPageCorpus::from_graph_exec(&web.graph, survivors, &ModelOptions::default(), policy);
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(seed);
-    let config = CafcChConfig {
-        hub: HubClusterOptions {
-            min_cardinality: 4,
-            ..Default::default()
-        },
-        ..CafcChConfig::paper_default(k)
-    };
-    let result = cafc_ch(&web.graph, survivors, &space, &config, &mut rng);
+    let config = CafcChConfig::paper_default(k).with_hub(HubClusterOptions {
+        min_cardinality: 4,
+        ..Default::default()
+    });
+    let result = cafc_ch_exec(&web.graph, survivors, &space, &config, &mut rng, policy);
     let labels: Vec<&str> = survivors
         .iter()
         .map(|p| {
@@ -398,6 +401,7 @@ fn run_faulty(
 /// the surviving databases, and report how much quality degraded relative
 /// to a fault-free crawl of the same web.
 pub fn crawl(args: &Args) -> Result<(), String> {
+    let policy = args.get_threads()?;
     let corpus_seed = args.get_u64("corpus-seed", 99)?;
     let pages = args.get_usize("pages", 0)?;
     let corpus_cfg = if pages == 0 {
@@ -453,7 +457,8 @@ pub fn crawl(args: &Args) -> Result<(), String> {
         clean.visited.len(),
         clean.searchable_form_pages.len(),
     );
-    let clean_quality = cluster_survivors(&web, &clean.searchable_form_pages, k, fault.seed);
+    let clean_quality =
+        cluster_survivors(&web, &clean.searchable_form_pages, k, fault.seed, policy);
     if let Some(q) = &clean_quality {
         println!(
             "baseline quality:     entropy {:.3}  F {:.3}  ({} clusters)",
@@ -472,7 +477,7 @@ pub fn crawl(args: &Args) -> Result<(), String> {
             };
             let outcome = run_faulty(&web, &cfg, &resilient);
             let survivors = &outcome.pages.searchable_form_pages;
-            let quality = cluster_survivors(&web, survivors, k, fault.seed);
+            let quality = cluster_survivors(&web, survivors, k, fault.seed, policy);
             // Too few survivors to cluster leaves the metrics undefined;
             // say so explicitly rather than printing NaN columns.
             let (entropy, f_measure) = match &quality {
@@ -517,7 +522,7 @@ pub fn crawl(args: &Args) -> Result<(), String> {
     );
     match (
         clean_quality,
-        cluster_survivors(&web, survivors, k, fault.seed),
+        cluster_survivors(&web, survivors, k, fault.seed, policy),
     ) {
         (Some(clean_q), Some(faulty_q)) => {
             println!(
@@ -545,6 +550,7 @@ fn cluster_ingested(
     labels: &[&str],
     k: usize,
     seed: u64,
+    policy: ExecPolicy,
 ) -> Option<SurvivorQuality> {
     if corpus.len() < 2 {
         return None;
@@ -558,7 +564,7 @@ fn cluster_ingested(
     let space = FormPageSpace::new(corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(seed);
     let seeds = random_singleton_seeds(&space, k, &mut rng);
-    let outcome = kmeans(&space, &seeds, &KMeansOptions::default());
+    let outcome = kmeans_exec(&space, &seeds, &KMeansOptions::default(), policy);
     let clusters = outcome.partition.clusters();
     Some(SurvivorQuality {
         entropy: cafc_eval::entropy(clusters, &kept_labels, cafc_eval::EntropyBase::Two),
@@ -574,6 +580,7 @@ fn cluster_ingested(
 /// complete without a panic for any mutation mix — that is the contract
 /// under test.
 pub fn torture(args: &Args) -> Result<(), String> {
+    let policy = args.get_threads()?;
     let corpus_seed = args.get_u64("corpus-seed", 99)?;
     let seed = args.get_u64("seed", 7)?;
     let pages = args.get_usize("pages", 0)?;
@@ -612,9 +619,13 @@ pub fn torture(args: &Args) -> Result<(), String> {
     let limits = IngestLimits::default();
     let opts = ModelOptions::default();
     let (clean_corpus, clean_report) =
-        FormPageCorpus::from_html_ingest(htmls.iter().copied(), &opts, &limits);
-    let (torture_corpus, report) =
-        FormPageCorpus::from_html_ingest(mutated.iter().map(String::as_str), &opts, &limits);
+        FormPageCorpus::from_html_ingest_exec(htmls.iter().copied(), &opts, &limits, policy);
+    let (torture_corpus, report) = FormPageCorpus::from_html_ingest_exec(
+        mutated.iter().map(String::as_str),
+        &opts,
+        &limits,
+        policy,
+    );
 
     println!();
     println!("outcome        pages");
@@ -639,8 +650,8 @@ pub fn torture(args: &Args) -> Result<(), String> {
     }
 
     println!();
-    let clean_q = cluster_ingested(&clean_corpus, &clean_report, &labels, k, seed);
-    let torture_q = cluster_ingested(&torture_corpus, &report, &labels, k, seed);
+    let clean_q = cluster_ingested(&clean_corpus, &clean_report, &labels, k, seed, policy);
+    let torture_q = cluster_ingested(&torture_corpus, &report, &labels, k, seed, policy);
     match (clean_q, torture_q) {
         (Some(c), Some(t)) => {
             println!(
@@ -668,6 +679,83 @@ pub fn torture(args: &Args) -> Result<(), String> {
             torture_corpus.len()
         ),
         (None, Some(_)) => {}
+    }
+    Ok(())
+}
+
+/// One timed end-to-end run (model construction + CAFC-CH) under `policy`.
+fn timed_run(
+    web: &SyntheticWeb,
+    targets: &[PageId],
+    k: usize,
+    seed: u64,
+    policy: ExecPolicy,
+) -> (std::time::Duration, Partition) {
+    let start = std::time::Instant::now();
+    let corpus =
+        FormPageCorpus::from_graph_exec(&web.graph, targets, &ModelOptions::default(), policy);
+    let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = cafc_ch_exec(
+        &web.graph,
+        targets,
+        &space,
+        &CafcChConfig::paper_default(k),
+        &mut rng,
+        policy,
+    );
+    (start.elapsed(), out.outcome.partition)
+}
+
+/// `cafc bench` — serial vs parallel wall-clock for the full pipeline
+/// (vectorization + CAFC-CH) at several corpus sizes. The two runs must
+/// produce byte-identical partitions — the determinism contract of the
+/// execution layer — or the benchmark aborts.
+pub fn bench(args: &Args) -> Result<(), String> {
+    let seed = args.get_u64("seed", 3)?;
+    let k = args.get_usize("k", 8)?;
+    let parallel = args.get_threads()?;
+    let sizes: Vec<usize> = match args.get("sizes") {
+        None => vec![120, 240, 480, 960],
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("--sizes expects comma-separated numbers, got {s:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if sizes.is_empty() {
+        return Err("--sizes expects at least one corpus size".into());
+    }
+
+    let threads_label = match parallel {
+        ExecPolicy::Parallel { threads } => format!("{threads} thread(s)"),
+        _ => format!("auto ({} thread(s))", parallel.threads()),
+    };
+    println!("bench: serial vs parallel [{threads_label}], k = {k}, seed {seed}");
+    println!();
+    println!("  pages  serial_ms  parallel_ms  speedup  identical");
+    for &pages in &sizes {
+        let web = generate_web(&corpus_config(pages, seed));
+        let targets = web.form_page_ids();
+        let (serial_t, serial_p) = timed_run(&web, &targets, k, seed, ExecPolicy::Serial);
+        let (parallel_t, parallel_p) = timed_run(&web, &targets, k, seed, parallel);
+        let identical = serial_p == parallel_p;
+        println!(
+            "{:>7}  {:>9.1}  {:>11.1}  {:>6.2}x  {}",
+            targets.len(),
+            serial_t.as_secs_f64() * 1e3,
+            parallel_t.as_secs_f64() * 1e3,
+            serial_t.as_secs_f64() / parallel_t.as_secs_f64().max(1e-9),
+            if identical { "yes" } else { "NO" },
+        );
+        if !identical {
+            return Err(format!(
+                "policies diverged at {pages} pages — determinism contract violated, this is a bug"
+            ));
+        }
     }
     Ok(())
 }

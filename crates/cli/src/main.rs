@@ -7,7 +7,7 @@
 //!
 //! cafc cluster --input DIR [--k N | --auto-k] [--algorithm cafc-ch|cafc-c|hac|bisect]
 //!              [--features fc|pc|both] [--min-cardinality N] [--seed S]
-//!              [--out clusters.json] [--report FILE.html]
+//!              [--threads N] [--out clusters.json] [--report FILE.html]
 //!     Cluster the corpus in DIR; optionally write assignments and an HTML
 //!     directory report.
 //!
@@ -18,17 +18,25 @@
 //!     Score a clustering against the gold labels in the manifest.
 //!
 //! cafc crawl [--fault-rate R] [--max-retries N] [--breaker-threshold N]
-//!            [--seed S] [--sweep]
+//!            [--seed S] [--threads N] [--sweep]
 //!     Crawl a synthetic corpus under injected fetch faults, cluster the
 //!     surviving databases, and report quality degradation versus a
 //!     fault-free crawl.
 //!
 //! cafc torture [--pages N] [--corpus-seed S] [--seed S] [--k N]
-//!              [--mutations all|LIST] [--mutations-per-page N]
+//!              [--mutations all|LIST] [--mutations-per-page N] [--threads N]
 //!     Mutate a synthetic corpus with seeded adversarial HTML, ingest it
 //!     through the hardened pipeline, and report ok/degraded/quarantined
 //!     counts plus quality deltas versus the clean corpus.
+//!
+//! cafc bench [--sizes N,N,...] [--k N] [--seed S] [--threads N]
+//!     Time the full pipeline serial vs parallel at several corpus sizes,
+//!     verifying the two produce identical partitions.
 //! ```
+//!
+//! `--threads N` selects the execution policy for every command that
+//! clusters: `N ≥ 1` pins the worker-thread count, absent means
+//! auto-detect. Results are bit-identical regardless of the value.
 
 mod args;
 mod commands;
@@ -55,6 +63,7 @@ fn main() -> ExitCode {
         "eval" => commands::eval(&parsed),
         "crawl" => commands::crawl(&parsed),
         "torture" => commands::torture(&parsed),
+        "bench" => commands::bench(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -78,15 +87,19 @@ USAGE:
     cafc cluster  --input DIR [--k N | --auto-k]
                   [--algorithm cafc-ch|cafc-c|hac|bisect]
                   [--features fc|pc|both] [--min-cardinality N] [--seed S]
-                  [--out clusters.json] [--report FILE.html]
-    cafc search   --input DIR [--k N] [--limit N] QUERY...
+                  [--threads N] [--out clusters.json] [--report FILE.html]
+    cafc search   --input DIR [--k N] [--limit N] [--threads N] QUERY...
     cafc eval     --input DIR --clusters clusters.json
     cafc crawl    [--pages N] [--corpus-seed S] [--k N]
                   [--fault-rate R] [--permanent-rate R] [--truncate-rate R]
                   [--redirect-rate R] [--seed S] [--max-retries N]
                   [--breaker-threshold N] [--breaker-cooldown-ms MS]
-                  [--max-pages N] [--max-depth N] [--sweep]
+                  [--max-pages N] [--max-depth N] [--threads N] [--sweep]
     cafc torture  [--pages N] [--corpus-seed S] [--seed S] [--k N]
                   [--mutations all|truncate-mid-tag,entity-bomb,...]
-                  [--mutations-per-page N]"
+                  [--mutations-per-page N] [--threads N]
+    cafc bench    [--sizes N,N,...] [--k N] [--seed S] [--threads N]
+
+    --threads N pins the worker-thread count (absent: auto-detect).
+    Clustering results are bit-identical for every thread count."
 }

@@ -7,9 +7,10 @@
 //! k-means with random seeds, and a natural extra baseline next to the
 //! paper's Table 2.
 
-use crate::kmeans::{kmeans, KMeansOptions};
+use crate::kmeans::{kmeans_exec, KMeansOptions};
 use crate::partition::Partition;
 use crate::space::ClusterSpace;
+use cafc_exec::{par_reduce, ExecPolicy};
 use rand::seq::index::sample;
 use rand::Rng;
 
@@ -36,25 +37,60 @@ impl Default for BisectOptions {
 }
 
 /// Average similarity of members to their cluster centroid — the split
-/// quality criterion ("overall similarity" in \[31\]).
-fn cohesion<S: ClusterSpace>(space: &S, members: &[usize]) -> f64 {
+/// quality criterion ("overall similarity" in \[31\]). The sum is an
+/// indexed-chunk reduction so it is bit-identical across policies.
+fn cohesion<S>(space: &S, members: &[usize], policy: ExecPolicy) -> f64
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Sync,
+{
     if members.is_empty() {
         return 0.0;
     }
     let centroid = space.centroid(members);
-    members
-        .iter()
-        .map(|&m| space.similarity(&centroid, m))
-        .sum::<f64>()
-        / members.len() as f64
+    let sum = par_reduce(
+        policy,
+        members.len(),
+        cafc_exec::DEFAULT_CHUNK,
+        |range| {
+            range
+                .map(|i| space.similarity(&centroid, members[i]))
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0);
+    sum / members.len() as f64
 }
 
 /// Run bisecting k-means over all items of `space`.
-pub fn bisecting_kmeans<S: ClusterSpace, R: Rng>(
+pub fn bisecting_kmeans<S, R>(space: &S, opts: &BisectOptions, rng: &mut R) -> Partition
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+    R: Rng,
+{
+    bisecting_kmeans_exec(space, opts, rng, ExecPolicy::Serial)
+}
+
+/// Run bisecting k-means under an explicit execution policy.
+///
+/// Identical semantics (and, for a fixed RNG seed, bit-identical output)
+/// to [`bisecting_kmeans`], which delegates here with
+/// [`ExecPolicy::Serial`]: the inner 2-means runs and the cohesion scoring
+/// parallelize, while the RNG draws stay on the calling thread in a fixed
+/// order.
+pub fn bisecting_kmeans_exec<S, R>(
     space: &S,
     opts: &BisectOptions,
     rng: &mut R,
-) -> Partition {
+    policy: ExecPolicy,
+) -> Partition
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+    R: Rng,
+{
     let n = space.len();
     let mut clusters: Vec<Vec<usize>> = vec![(0..n).collect()];
     if n == 0 {
@@ -83,7 +119,7 @@ pub fn bisecting_kmeans<S: ClusterSpace, R: Rng>(
                 space,
                 items: &victim,
             };
-            let out = kmeans(&sub, &seeds, &opts.kmeans);
+            let out = kmeans_exec(&sub, &seeds, &opts.kmeans, policy);
             let halves = out.partition.clusters();
             let a: Vec<usize> = halves[0].iter().map(|&i| victim[i]).collect();
             let b: Vec<usize> = halves
@@ -93,8 +129,8 @@ pub fn bisecting_kmeans<S: ClusterSpace, R: Rng>(
             if a.is_empty() || b.is_empty() {
                 continue;
             }
-            let score = (cohesion(space, &a) * a.len() as f64
-                + cohesion(space, &b) * b.len() as f64)
+            let score = (cohesion(space, &a, policy) * a.len() as f64
+                + cohesion(space, &b, policy) * b.len() as f64)
                 / victim.len() as f64;
             if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
                 best = Some((score, a, b));
@@ -163,6 +199,26 @@ mod tests {
             vec![20.0],
             vec![20.1],
         ])
+    }
+
+    #[test]
+    fn exec_policies_agree_exactly() {
+        let space = blobs3();
+        let opts = BisectOptions {
+            target_clusters: 3,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        let baseline = bisecting_kmeans_exec(&space, &opts, &mut rng, ExecPolicy::Serial);
+        for policy in [
+            ExecPolicy::Parallel { threads: 1 },
+            ExecPolicy::Parallel { threads: 7 },
+            ExecPolicy::Auto,
+        ] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let p = bisecting_kmeans_exec(&space, &opts, &mut rng, policy);
+            assert_eq!(p, baseline, "{policy:?}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::partition::Partition;
 use crate::space::ClusterSpace;
+use cafc_exec::{par_map, ExecPolicy};
 
 /// Linkage criterion: how the distance between two clusters is derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +51,32 @@ impl Default for HacOptions {
 /// `initial` is the starting partition: pass one singleton per item for
 /// classic HAC, or hub clusters plus singletons for the seeded variant.
 /// Items absent from `initial` are added as singletons automatically.
-pub fn hac<S: ClusterSpace>(space: &S, initial: &[Vec<usize>], opts: &HacOptions) -> Partition {
+pub fn hac<S>(space: &S, initial: &[Vec<usize>], opts: &HacOptions) -> Partition
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
+    hac_exec(space, initial, opts, ExecPolicy::Serial)
+}
+
+/// Run HAC under an explicit execution policy.
+///
+/// Identical semantics (and bit-identical output) to [`hac`], which
+/// delegates here with [`ExecPolicy::Serial`]. The O(g²) pairwise distance
+/// matrix and the per-step closest-pair scans fan out by matrix row;
+/// per-row partial argmins are merged in row order, so ties resolve to the
+/// lexicographically smallest pair for every policy — exactly the serial
+/// scan order.
+pub fn hac_exec<S>(
+    space: &S,
+    initial: &[Vec<usize>],
+    opts: &HacOptions,
+    policy: ExecPolicy,
+) -> Partition
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
     let n = space.len();
     let mut groups: Vec<Vec<usize>> = initial.iter().filter(|g| !g.is_empty()).cloned().collect();
     // Add unassigned items as singletons.
@@ -70,31 +96,46 @@ pub fn hac<S: ClusterSpace>(space: &S, initial: &[Vec<usize>], opts: &HacOptions
     }
 
     match opts.linkage {
-        Linkage::Centroid => hac_centroid(space, groups, opts.target_clusters, n),
-        _ => hac_pairwise(space, groups, opts, n),
+        Linkage::Centroid => hac_centroid(space, groups, opts.target_clusters, n, policy),
+        _ => hac_pairwise(space, groups, opts, n, policy),
     }
 }
 
 /// Centroid linkage: merge the pair with the most similar centroids and
 /// recompute the merged centroid.
-fn hac_centroid<S: ClusterSpace>(
+fn hac_centroid<S>(
     space: &S,
     mut groups: Vec<Vec<usize>>,
     target: usize,
     n: usize,
-) -> Partition {
-    let mut centroids: Vec<S::Centroid> = groups.iter().map(|g| space.centroid(g)).collect();
+    policy: ExecPolicy,
+) -> Partition
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
+    let mut centroids: Vec<S::Centroid> =
+        par_map(policy, groups.len(), |g| space.centroid(&groups[g]));
     // `target` may be 0; a lone group cannot merge further.
     while groups.len() > target.max(1) {
-        let (mut bi, mut bj, mut best) = (0, 1, f64::NEG_INFINITY);
-        for i in 0..groups.len() {
+        // Per-row argmax over j > i (strict `>`: first maximum wins within a
+        // row), merged in row order — same winner as the serial double loop.
+        let row_best = par_map(policy, groups.len(), |i| {
+            let mut best = (f64::NEG_INFINITY, usize::MAX);
             for j in (i + 1)..groups.len() {
                 let sim = space.centroid_similarity(&centroids[i], &centroids[j]);
-                if sim > best {
-                    best = sim;
-                    bi = i;
-                    bj = j;
+                if sim > best.0 {
+                    best = (sim, j);
                 }
+            }
+            best
+        });
+        let (mut bi, mut bj, mut best) = (0, 1, f64::NEG_INFINITY);
+        for (i, &(sim, j)) in row_best.iter().enumerate() {
+            if j != usize::MAX && sim > best {
+                best = sim;
+                bi = i;
+                bj = j;
             }
         }
         let merged_members = {
@@ -113,18 +154,28 @@ fn hac_centroid<S: ClusterSpace>(
 
 /// Single/complete/average linkage over a pairwise distance matrix with
 /// Lance–Williams updates.
-fn hac_pairwise<S: ClusterSpace>(
+fn hac_pairwise<S>(
     space: &S,
     mut groups: Vec<Vec<usize>>,
     opts: &HacOptions,
     n: usize,
-) -> Partition {
+    policy: ExecPolicy,
+) -> Partition
+where
+    S: ClusterSpace + Sync,
+{
     let g = groups.len();
-    // dist[i][j] for i<j; initialized from linkage over item pairs.
+    // dist[i][j] for i<j; initialized from linkage over item pairs. Each
+    // row is one closure, so the matrix is identical for every policy.
+    let upper = par_map(policy, g, |i| {
+        ((i + 1)..g)
+            .map(|j| group_distance(space, &groups[i], &groups[j], opts.linkage))
+            .collect::<Vec<f64>>()
+    });
     let mut dist = vec![vec![0.0f64; g]; g];
-    for i in 0..g {
-        for j in (i + 1)..g {
-            let d = group_distance(space, &groups[i], &groups[j], opts.linkage);
+    for (i, row) in upper.into_iter().enumerate() {
+        for (off, d) in row.into_iter().enumerate() {
+            let j = i + 1 + off;
             dist[i][j] = d;
             dist[j][i] = d;
         }
@@ -134,21 +185,26 @@ fn hac_pairwise<S: ClusterSpace>(
     let mut remaining = g;
 
     while remaining > opts.target_clusters {
-        // Find the closest live pair.
-        let (mut bi, mut bj, mut best) = (usize::MAX, usize::MAX, f64::INFINITY);
-        for i in 0..g {
+        // Find the closest live pair: per-row argmin (strict `<`, first
+        // minimum wins), rows merged in index order — the serial scan order.
+        let row_best = par_map(policy, g, |i| {
             if !alive[i] {
-                continue;
+                return (f64::INFINITY, usize::MAX);
             }
+            let mut best = (f64::INFINITY, usize::MAX);
             for j in (i + 1)..g {
-                if !alive[j] {
-                    continue;
+                if alive[j] && dist[i][j] < best.0 {
+                    best = (dist[i][j], j);
                 }
-                if dist[i][j] < best {
-                    best = dist[i][j];
-                    bi = i;
-                    bj = j;
-                }
+            }
+            best
+        });
+        let (mut bi, mut bj, mut best) = (usize::MAX, usize::MAX, f64::INFINITY);
+        for (i, &(d, j)) in row_best.iter().enumerate() {
+            if j != usize::MAX && d < best {
+                best = d;
+                bi = i;
+                bj = j;
             }
         }
         if bi == usize::MAX {
@@ -214,7 +270,11 @@ fn group_distance<S: ClusterSpace>(space: &S, a: &[usize], b: &[usize], linkage:
 }
 
 /// Convenience: classic HAC from singletons.
-pub fn hac_from_singletons<S: ClusterSpace>(space: &S, opts: &HacOptions) -> Partition {
+pub fn hac_from_singletons<S>(space: &S, opts: &HacOptions) -> Partition
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
     hac(space, &[], opts)
 }
 
@@ -347,6 +407,34 @@ mod tests {
             hac_from_singletons(&space, &o),
             hac_from_singletons(&space, &o)
         );
+    }
+
+    #[test]
+    fn exec_policies_agree_exactly() {
+        let space = blobs();
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Centroid,
+        ] {
+            let o = HacOptions {
+                target_clusters: 2,
+                linkage,
+            };
+            let baseline = hac_exec(&space, &[], &o, ExecPolicy::Serial);
+            for policy in [
+                ExecPolicy::Parallel { threads: 1 },
+                ExecPolicy::Parallel { threads: 7 },
+                ExecPolicy::Auto,
+            ] {
+                assert_eq!(
+                    hac_exec(&space, &[], &o, policy),
+                    baseline,
+                    "{linkage:?} under {policy:?}"
+                );
+            }
+        }
     }
 
     #[test]

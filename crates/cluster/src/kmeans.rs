@@ -11,9 +11,15 @@
 
 use crate::partition::Partition;
 use crate::space::ClusterSpace;
+use cafc_exec::{par_map, ExecPolicy};
 
 /// K-means options.
+///
+/// Construct with [`KMeansOptions::default`] (the paper's configuration)
+/// plus the chainable `with_*` setters; the struct is `#[non_exhaustive]`
+/// so future fields are not breaking changes.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct KMeansOptions {
     /// Stop when the fraction of items that changed cluster in an iteration
     /// drops below this value (paper: 0.10).
@@ -29,6 +35,33 @@ impl Default for KMeansOptions {
             move_fraction_threshold: 0.10,
             max_iterations: 100,
         }
+    }
+}
+
+impl KMeansOptions {
+    /// The paper's configuration (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the move-fraction stopping threshold.
+    pub fn with_move_fraction_threshold(mut self, threshold: f64) -> Self {
+        self.move_fraction_threshold = threshold;
+        self
+    }
+
+    /// Set the hard iteration cap.
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Run to stability: a tiny move threshold and a generous iteration
+    /// cap, for tests and experiments that want full convergence.
+    pub fn strict() -> Self {
+        Self::default()
+            .with_move_fraction_threshold(1e-9)
+            .with_max_iterations(100)
     }
 }
 
@@ -53,11 +86,33 @@ pub struct KMeansOutcome {
 /// corpora routinely produce them — see DESIGN.md §8): empty seed clusters
 /// are dropped, and when no usable seed remains the result is a single
 /// cluster holding every item (empty for an empty space).
-pub fn kmeans<S: ClusterSpace>(
+pub fn kmeans<S>(space: &S, seeds: &[Vec<usize>], opts: &KMeansOptions) -> KMeansOutcome
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
+    kmeans_exec(space, seeds, opts, ExecPolicy::Serial)
+}
+
+/// Run k-means from the given seed clusters under an explicit execution
+/// policy.
+///
+/// Identical semantics to [`kmeans`] (which delegates here with
+/// [`ExecPolicy::Serial`]); the assignment step and the per-cluster
+/// centroid rebuild fan out across threads. Results are bit-identical for
+/// every policy: assignments are an order-preserving [`par_map`] and the
+/// centroid of each cluster is computed by one closure regardless of the
+/// thread count.
+pub fn kmeans_exec<S>(
     space: &S,
     seeds: &[Vec<usize>],
     opts: &KMeansOptions,
-) -> KMeansOutcome {
+    policy: ExecPolicy,
+) -> KMeansOutcome
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
     let n = space.len();
     let seeds: Vec<&Vec<usize>> = seeds.iter().filter(|s| !s.is_empty()).collect();
     if seeds.is_empty() {
@@ -83,10 +138,10 @@ pub fn kmeans<S: ClusterSpace>(
 
     while iterations < opts.max_iterations {
         iterations += 1;
-        let mut moved = 0usize;
-        for (item, assigned) in assignment.iter_mut().enumerate() {
-            // Deterministic argmax: ties (and non-finite similarities, which
-            // never compare greater) resolve to the lowest cluster index.
+        // Deterministic argmax per item: ties (and non-finite similarities,
+        // which never compare greater) resolve to the lowest cluster index.
+        // Order-preserving map -> identical assignments for every policy.
+        let best_of = par_map(policy, n, |item| {
             let mut best = 0usize;
             let mut best_sim = f64::NEG_INFINITY;
             for (c, centroid) in centroids.iter().enumerate() {
@@ -96,20 +151,30 @@ pub fn kmeans<S: ClusterSpace>(
                     best = c;
                 }
             }
+            best
+        });
+        let mut moved = 0usize;
+        for (assigned, best) in assignment.iter_mut().zip(best_of) {
             if *assigned != best {
                 moved += 1;
                 *assigned = best;
             }
         }
-        // Recompute centroids; a starved cluster keeps its previous centroid
-        // so it can re-acquire items later.
+        // Recompute centroids (one closure per cluster — the reduction over
+        // a cluster's members never splits, so its float accumulation order
+        // is fixed); a starved cluster keeps its previous centroid so it can
+        // re-acquire items later.
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
         for (item, &c) in assignment.iter().enumerate() {
             members[c].push(item);
         }
-        for (c, m) in members.iter().enumerate() {
-            if !m.is_empty() {
-                centroids[c] = space.centroid(m);
+        let rebuilt = par_map(policy, k, |c| {
+            let m = &members[c];
+            (!m.is_empty()).then(|| space.centroid(m))
+        });
+        for (c, rebuilt) in rebuilt.into_iter().enumerate() {
+            if let Some(centroid) = rebuilt {
+                centroids[c] = centroid;
             }
         }
         if n == 0 || (moved as f64) / (n as f64) < opts.move_fraction_threshold {
@@ -145,9 +210,21 @@ mod tests {
 
     fn strict() -> KMeansOptions {
         // move threshold tiny -> run to stability
-        KMeansOptions {
-            move_fraction_threshold: 1e-9,
-            max_iterations: 100,
+        KMeansOptions::strict()
+    }
+
+    #[test]
+    fn exec_policies_agree_exactly() {
+        let space = blobs();
+        let baseline = kmeans_exec(&space, &[vec![0], vec![3]], &strict(), ExecPolicy::Serial);
+        for policy in [
+            ExecPolicy::Parallel { threads: 1 },
+            ExecPolicy::Parallel { threads: 7 },
+            ExecPolicy::Auto,
+        ] {
+            let out = kmeans_exec(&space, &[vec![0], vec![3]], &strict(), policy);
+            assert_eq!(out.partition, baseline.partition, "{policy:?}");
+            assert_eq!(out.iterations, baseline.iterations, "{policy:?}");
         }
     }
 

@@ -28,9 +28,10 @@ pub mod seed;
 pub mod space;
 pub mod validity;
 
-pub use bisect::{bisecting_kmeans, BisectOptions};
-pub use hac::{hac, hac_from_singletons, HacOptions, Linkage};
-pub use kmeans::{kmeans, KMeansOptions, KMeansOutcome};
+pub use bisect::{bisecting_kmeans, bisecting_kmeans_exec, BisectOptions};
+pub use cafc_exec::ExecPolicy;
+pub use hac::{hac, hac_exec, hac_from_singletons, HacOptions, Linkage};
+pub use kmeans::{kmeans, kmeans_exec, KMeansOptions, KMeansOutcome};
 pub use partition::Partition;
 pub use seed::{greedy_distant_seeds, kmeanspp_seeds, random_singleton_seeds};
 pub use space::{ClusterSpace, DenseSpace};

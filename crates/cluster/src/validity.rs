@@ -199,10 +199,9 @@ mod tests {
             kmeans(
                 &space,
                 &seeds,
-                &KMeansOptions {
-                    move_fraction_threshold: 1e-9,
-                    max_iterations: 50,
-                },
+                &KMeansOptions::new()
+                    .with_move_fraction_threshold(1e-9)
+                    .with_max_iterations(50),
             )
             .partition
         })

@@ -37,7 +37,7 @@ proptest! {
         let k = 3.min(space.len());
         let mut rng = StdRng::seed_from_u64(rng_seed);
         let seeds = random_singleton_seeds(&space, k, &mut rng);
-        let opts = KMeansOptions { move_fraction_threshold: 1e-12, max_iterations: 500 };
+        let opts = KMeansOptions::new().with_move_fraction_threshold(1e-12).with_max_iterations(500);
         let out = kmeans(&space, &seeds, &opts);
         prop_assert!(out.iterations <= 500);
     }

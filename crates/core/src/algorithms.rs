@@ -2,9 +2,10 @@
 
 use crate::space::FormPageSpace;
 use cafc_cluster::{
-    greedy_distant_seeds, kmeans, random_singleton_seeds, ClusterSpace, KMeansOptions,
+    greedy_distant_seeds, kmeans_exec, random_singleton_seeds, ClusterSpace, KMeansOptions,
     KMeansOutcome,
 };
+use cafc_exec::{par_chunks, ExecPolicy, DEFAULT_CHUNK};
 use cafc_webgraph::{hub_clusters, HubClusterOptions, HubStats, PageId, WebGraph};
 use rand::Rng;
 
@@ -19,12 +20,32 @@ pub fn cafc_c<R: Rng>(
     kmeans_opts: &KMeansOptions,
     rng: &mut R,
 ) -> KMeansOutcome {
+    cafc_c_exec(space, k, kmeans_opts, rng, ExecPolicy::Serial)
+}
+
+/// Run CAFC-C under an explicit execution policy.
+///
+/// Bit-identical to [`cafc_c`] (which delegates here with
+/// [`ExecPolicy::Serial`]) for a fixed RNG seed: seeding draws stay on the
+/// calling thread and the k-means loop is deterministic per policy.
+pub fn cafc_c_exec<R: Rng>(
+    space: &FormPageSpace<'_>,
+    k: usize,
+    kmeans_opts: &KMeansOptions,
+    rng: &mut R,
+    policy: ExecPolicy,
+) -> KMeansOutcome {
     let seeds = random_singleton_seeds(space, k, rng);
-    kmeans(space, &seeds, kmeans_opts)
+    kmeans_exec(space, &seeds, kmeans_opts, policy)
 }
 
 /// CAFC-CH configuration.
+///
+/// Construct with [`CafcChConfig::default`] or
+/// [`CafcChConfig::paper_default`] plus the chainable `with_*` setters; the
+/// struct is `#[non_exhaustive]` so future knobs are not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CafcChConfig {
     /// Number of clusters `k`.
     pub k: usize,
@@ -39,6 +60,13 @@ pub struct CafcChConfig {
     pub min_hub_quality: Option<f64>,
 }
 
+impl Default for CafcChConfig {
+    /// The paper's headline configuration at its headline `k = 8`.
+    fn default() -> Self {
+        CafcChConfig::paper_default(8)
+    }
+}
+
 impl CafcChConfig {
     /// The paper's headline configuration: `k = 8`, hub cardinality ≥ 8.
     pub fn paper_default(k: usize) -> Self {
@@ -48,6 +76,30 @@ impl CafcChConfig {
             kmeans: KMeansOptions::default(),
             min_hub_quality: None,
         }
+    }
+
+    /// Set the number of clusters `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Set the hub-cluster construction options.
+    pub fn with_hub(mut self, hub: HubClusterOptions) -> Self {
+        self.hub = hub;
+        self
+    }
+
+    /// Set the k-means loop options.
+    pub fn with_kmeans(mut self, kmeans: KMeansOptions) -> Self {
+        self.kmeans = kmeans;
+        self
+    }
+
+    /// Set (or clear) the hub-quality gate.
+    pub fn with_min_hub_quality(mut self, min: Option<f64>) -> Self {
+        self.min_hub_quality = min;
+        self
     }
 }
 
@@ -80,8 +132,28 @@ pub fn cafc_ch<R: Rng>(
     config: &CafcChConfig,
     rng: &mut R,
 ) -> CafcChOutcome {
+    cafc_ch_exec(graph, targets, space, config, rng, ExecPolicy::Serial)
+}
+
+/// Run CAFC-CH under an explicit execution policy.
+///
+/// Bit-identical to [`cafc_ch`] (which delegates here with
+/// [`ExecPolicy::Serial`]) for a fixed RNG seed: the hub-quality gate and
+/// the k-means loop parallelize deterministically, and the seed-padding
+/// RNG draws stay on the calling thread in a fixed order.
+///
+/// # Panics
+/// Panics if `targets.len() != space.len()`.
+pub fn cafc_ch_exec<R: Rng>(
+    graph: &WebGraph,
+    targets: &[PageId],
+    space: &FormPageSpace<'_>,
+    config: &CafcChConfig,
+    rng: &mut R,
+    policy: ExecPolicy,
+) -> CafcChOutcome {
     let (mut seeds, hub_stats, quality_rejected) =
-        select_hub_clusters(graph, targets, space, config);
+        select_hub_clusters_exec(graph, targets, space, config, policy);
     let hub_seeds = seeds.len();
 
     // Degenerate webs can yield fewer than k hub clusters; pad with random
@@ -97,7 +169,7 @@ pub fn cafc_ch<R: Rng>(
         }
     }
 
-    let outcome = kmeans(space, &seeds, &config.kmeans);
+    let outcome = kmeans_exec(space, &seeds, &config.kmeans, policy);
     CafcChOutcome {
         outcome,
         hub_stats,
@@ -123,6 +195,22 @@ pub fn select_hub_clusters(
     space: &FormPageSpace<'_>,
     config: &CafcChConfig,
 ) -> (Vec<Vec<usize>>, HubStats, usize) {
+    select_hub_clusters_exec(graph, targets, space, config, ExecPolicy::Serial)
+}
+
+/// `SelectHubClusters` under an explicit execution policy; bit-identical to
+/// [`select_hub_clusters`] (which delegates here with
+/// [`ExecPolicy::Serial`]) for every policy.
+///
+/// # Panics
+/// Panics if `targets.len() != space.len()`.
+pub fn select_hub_clusters_exec(
+    graph: &WebGraph,
+    targets: &[PageId],
+    space: &FormPageSpace<'_>,
+    config: &CafcChConfig,
+    policy: ExecPolicy,
+) -> (Vec<Vec<usize>>, HubStats, usize) {
     assert_eq!(
         targets.len(),
         space.len(),
@@ -131,11 +219,17 @@ pub fn select_hub_clusters(
     let (clusters, hub_stats) = hub_clusters(graph, targets, &config.hub);
     let mut candidates: Vec<Vec<usize>> = clusters.into_iter().map(|c| c.members).collect();
 
-    // Optional quality gate (content coherence of each hub cluster).
+    // Optional quality gate (content coherence of each hub cluster). Each
+    // candidate's score is one closure; the retain order is the candidate
+    // order, so the surviving set is policy-independent.
     let mut quality_rejected = 0;
     if let Some(min_q) = config.min_hub_quality {
         let before = candidates.len();
-        candidates.retain(|members| hub_cluster_quality(space, members) >= min_q);
+        let scores = cafc_exec::par_map_slice(policy, &candidates, |_, members| {
+            hub_cluster_quality_exec(space, members, ExecPolicy::Serial)
+        });
+        let mut keep = scores.iter().map(|&q| q >= min_q);
+        candidates.retain(|_| keep.next().unwrap_or(false));
         quality_rejected = before - candidates.len();
     }
 
@@ -148,18 +242,39 @@ pub fn select_hub_clusters(
 /// Average pairwise content similarity within a candidate hub cluster
 /// (1.0 for singletons).
 pub fn hub_cluster_quality(space: &FormPageSpace<'_>, members: &[usize]) -> f64 {
+    hub_cluster_quality_exec(space, members, ExecPolicy::Serial)
+}
+
+/// Hub-cluster quality under an explicit execution policy.
+///
+/// Bit-identical to [`hub_cluster_quality`] (which delegates here with
+/// [`ExecPolicy::Serial`]) for every policy: the upper-triangle pair sum is
+/// accumulated per fixed row chunk and the partials are added in chunk
+/// order, so the float accumulation order never depends on thread count.
+pub fn hub_cluster_quality_exec(
+    space: &FormPageSpace<'_>,
+    members: &[usize],
+    policy: ExecPolicy,
+) -> f64 {
     if members.len() < 2 {
         return 1.0;
     }
-    let mut sum = 0.0;
-    let mut count = 0usize;
-    for (i, &a) in members.iter().enumerate() {
-        for &b in &members[i + 1..] {
-            sum += space.item_similarity(a, b);
-            count += 1;
+    let partials = par_chunks(policy, members.len(), DEFAULT_CHUNK, |rows| {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in rows {
+            let a = members[i];
+            for &b in &members[i + 1..] {
+                sum += space.item_similarity(a, b);
+                count += 1;
+            }
         }
-    }
-    sum / count as f64
+        (sum, count)
+    });
+    let (sum, count) = partials
+        .into_iter()
+        .fold((0.0, 0usize), |(s, c), (ps, pc)| (s + ps, c + pc));
+    sum / count.max(1) as f64
 }
 
 #[cfg(test)]
@@ -208,10 +323,7 @@ mod tests {
     }
 
     fn strict_kmeans() -> KMeansOptions {
-        KMeansOptions {
-            move_fraction_threshold: 1e-9,
-            max_iterations: 100,
-        }
+        KMeansOptions::strict()
     }
 
     #[test]
@@ -233,15 +345,12 @@ mod tests {
     fn cafc_ch_uses_hub_seeds() {
         let (g, targets, corpus) = fixture();
         let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
-        let config = CafcChConfig {
-            k: 2,
-            hub: HubClusterOptions {
+        let config = CafcChConfig::paper_default(2)
+            .with_hub(HubClusterOptions {
                 min_cardinality: 2,
                 ..Default::default()
-            },
-            kmeans: strict_kmeans(),
-            min_hub_quality: None,
-        };
+            })
+            .with_kmeans(strict_kmeans());
         let mut rng = StdRng::seed_from_u64(6);
         let out = cafc_ch(&g, &targets, &space, &config, &mut rng);
         assert_eq!(out.hub_seeds, 2);
@@ -261,15 +370,12 @@ mod tests {
         let (g, targets, corpus) = fixture();
         let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
         // min_cardinality 4 kills both 3-member hub clusters.
-        let config = CafcChConfig {
-            k: 2,
-            hub: HubClusterOptions {
+        let config = CafcChConfig::paper_default(2)
+            .with_hub(HubClusterOptions {
                 min_cardinality: 4,
                 ..Default::default()
-            },
-            kmeans: strict_kmeans(),
-            min_hub_quality: None,
-        };
+            })
+            .with_kmeans(strict_kmeans());
         let mut rng = StdRng::seed_from_u64(7);
         let out = cafc_ch(&g, &targets, &space, &config, &mut rng);
         assert_eq!(out.hub_seeds, 0);
@@ -287,15 +393,13 @@ mod tests {
         }
         let corpus = FormPageCorpus::from_graph(&g, &targets, &ModelOptions::default());
         let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
-        let config = CafcChConfig {
-            k: 2,
-            hub: HubClusterOptions {
+        let config = CafcChConfig::paper_default(2)
+            .with_hub(HubClusterOptions {
                 min_cardinality: 2,
                 ..Default::default()
-            },
-            kmeans: strict_kmeans(),
-            min_hub_quality: Some(0.5),
-        };
+            })
+            .with_kmeans(strict_kmeans())
+            .with_min_hub_quality(Some(0.5));
         let mut rng = StdRng::seed_from_u64(8);
         let out = cafc_ch(&g, &targets, &space, &config, &mut rng);
         assert!(
@@ -312,6 +416,37 @@ mod tests {
         let pure = hub_cluster_quality(&space, &[0, 1, 2]);
         let mixed = hub_cluster_quality(&space, &[0, 1, 3]);
         assert!(pure > mixed, "pure {pure} <= mixed {mixed}");
+    }
+
+    #[test]
+    fn exec_policies_agree_exactly() {
+        let (g, targets, corpus) = fixture();
+        let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+        let config = CafcChConfig::paper_default(2)
+            .with_hub(HubClusterOptions {
+                min_cardinality: 2,
+                ..Default::default()
+            })
+            .with_kmeans(strict_kmeans())
+            .with_min_hub_quality(Some(0.1));
+        let mut rng = StdRng::seed_from_u64(11);
+        let baseline = cafc_ch_exec(&g, &targets, &space, &config, &mut rng, ExecPolicy::Serial);
+        for policy in [
+            ExecPolicy::Parallel { threads: 1 },
+            ExecPolicy::Parallel { threads: 7 },
+            ExecPolicy::Auto,
+        ] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let out = cafc_ch_exec(&g, &targets, &space, &config, &mut rng, policy);
+            assert_eq!(
+                out.outcome.partition, baseline.outcome.partition,
+                "{policy:?}"
+            );
+            assert_eq!(out.hub_seeds, baseline.hub_seeds, "{policy:?}");
+            let q = hub_cluster_quality_exec(&space, &[0, 1, 2, 3], policy);
+            let q0 = hub_cluster_quality_exec(&space, &[0, 1, 2, 3], ExecPolicy::Serial);
+            assert_eq!(q.to_bits(), q0.to_bits(), "quality under {policy:?}");
+        }
     }
 
     #[test]

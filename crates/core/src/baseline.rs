@@ -187,10 +187,9 @@ mod tests {
         let out = kmeans(
             &space,
             &[vec![0], vec![2]],
-            &KMeansOptions {
-                move_fraction_threshold: 1e-9,
-                max_iterations: 50,
-            },
+            &KMeansOptions::new()
+                .with_move_fraction_threshold(1e-9)
+                .with_max_iterations(50),
         );
         let clusters = out.partition.clusters();
         assert_eq!(clusters[0], vec![0, 1]);

@@ -119,7 +119,12 @@ impl PageOutcome {
 }
 
 /// Structural limits applied during ingestion.
+///
+/// Construct with [`IngestLimits::default`] plus the chainable `with_*`
+/// setters; the struct is `#[non_exhaustive]` so future limits are not
+/// breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct IngestLimits {
     /// Documents larger than this are quarantined unparsed.
     pub hard_max_bytes: usize,
@@ -141,9 +146,34 @@ impl Default for IngestLimits {
     }
 }
 
+impl IngestLimits {
+    /// The default limits (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the hard size limit above which documents are quarantined.
+    pub fn with_hard_max_bytes(mut self, bytes: usize) -> Self {
+        self.hard_max_bytes = bytes;
+        self
+    }
+
+    /// Set the soft size limit above which documents are truncated.
+    pub fn with_soft_max_bytes(mut self, bytes: usize) -> Self {
+        self.soft_max_bytes = bytes;
+        self
+    }
+
+    /// Set the per-page analyzed-term budget.
+    pub fn with_max_terms(mut self, terms: usize) -> Self {
+        self.max_terms = terms;
+        self
+    }
+}
+
 /// The accounting record of one ingestion run: an outcome per input page,
 /// plus the mapping from corpus index to input index.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IngestReport {
     /// One outcome per input page, in input order.
     pub outcomes: Vec<PageOutcome>,

@@ -29,24 +29,26 @@
 //! ## Quickstart
 //!
 //! ```
-//! use cafc::{cafc_ch, CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, ModelOptions};
+//! use cafc::prelude::*;
 //! use cafc_corpus::{generate, CorpusConfig};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
 //!
 //! // A synthetic deep web (the offline stand-in for the paper's corpus).
 //! let web = generate(&CorpusConfig::small(7));
 //! let targets = web.form_page_ids();
 //!
-//! // Build the form-page model and cluster with CAFC-CH, k = 8.
-//! let corpus = FormPageCorpus::from_graph(&web.graph, &targets, &ModelOptions::default());
-//! let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
-//! let mut rng = StdRng::seed_from_u64(1);
-//! let result = cafc_ch(&web.graph, &targets, &space, &CafcChConfig::paper_default(8), &mut rng);
+//! // Model construction, CAFC-CH with k = 8, and parallel execution, all
+//! // behind one builder. Results are bit-identical for every ExecPolicy.
+//! let outcome = Pipeline::builder()
+//!     .algorithm(Algorithm::CafcCh(CafcChConfig::paper_default(8)))
+//!     .exec(ExecPolicy::Auto)
+//!     .seed(1)
+//!     .build()
+//!     .run_graph(&web.graph, &targets)
+//!     .expect("graph input satisfies CAFC-CH");
 //!
 //! // Evaluate against the generator's gold labels.
 //! let entropy = cafc_eval::entropy(
-//!     result.outcome.partition.clusters(),
+//!     outcome.partition.clusters(),
 //!     &web.labels(),
 //!     cafc_eval::EntropyBase::Two,
 //! );
@@ -61,18 +63,45 @@ pub mod baseline;
 pub mod incremental;
 pub mod ingest;
 pub mod model;
+pub mod pipeline;
 pub mod space;
 
+/// The deterministic execution layer ([`cafc_exec`]), re-exported: scoped
+/// thread pool, [`exec::ExecPolicy`], and the order-preserving `par_*`
+/// primitives the whole pipeline is built on.
+pub use cafc_exec as exec;
+
 pub use algorithms::{
-    cafc_c, cafc_ch, hub_cluster_quality, select_hub_clusters, CafcChConfig, CafcChOutcome,
+    cafc_c, cafc_c_exec, cafc_ch, cafc_ch_exec, hub_cluster_quality, hub_cluster_quality_exec,
+    select_hub_clusters, select_hub_clusters_exec, CafcChConfig, CafcChOutcome,
 };
 pub use assign::assign_to_clusters;
+pub use exec::ExecPolicy;
 pub use incremental::IncrementalClusters;
 pub use ingest::{DegradedReason, IngestError, IngestLimits, IngestReport, PageOutcome};
 pub use model::{FormPageCorpus, LocationWeights, ModelOptions};
+pub use pipeline::{
+    Algorithm, AlgorithmDetails, Pipeline, PipelineBuilder, PipelineError, PipelineOutcome,
+};
 pub use space::{FeatureConfig, FormPageSpace, MultiCentroid};
 
 // Re-export the pieces callers almost always need alongside the core API.
 pub use cafc_cluster::{HacOptions, KMeansOptions, Linkage, Partition};
 pub use cafc_vsm::{IdfScheme, TfScheme};
 pub use cafc_webgraph::{HubClusterOptions, HubStats};
+
+/// One-stop imports for the redesigned API surface.
+///
+/// `use cafc::prelude::*;` brings in the [`Pipeline`] builder, the
+/// [`Algorithm`] and [`ExecPolicy`] enums, every configuration type they
+/// consume, and the outcome types a run produces.
+pub mod prelude {
+    pub use crate::exec::ExecPolicy;
+    pub use crate::pipeline::{
+        Algorithm, AlgorithmDetails, Pipeline, PipelineBuilder, PipelineError, PipelineOutcome,
+    };
+    pub use crate::{
+        CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, IngestLimits, IngestReport,
+        KMeansOptions, Linkage, LocationWeights, ModelOptions, Partition,
+    };
+}

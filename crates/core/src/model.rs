@@ -9,10 +9,16 @@
 //! per feature space.
 
 use crate::ingest::{DegradedReason, IngestError, IngestLimits, IngestReport, PageOutcome};
+use cafc_exec::{par_chunks, par_map_slice, ExecPolicy};
 use cafc_html::{located_text, parse, strip_control_chars, Document, TextLocation};
-use cafc_text::{Analyzer, TermDict};
+use cafc_text::{Analyzer, TermDict, TermId};
 use cafc_vsm::{weigh, CountsBuilder, DocumentFrequencies, IdfScheme, SparseVector, TfScheme};
 use cafc_webgraph::{PageId, WebGraph};
+
+/// Pages per work unit when vectorization fans out. Fixed (never derived
+/// from the thread count) so chunk boundaries — and therefore term-id
+/// assignment order — are identical under every [`ExecPolicy`].
+const PAGE_CHUNK: usize = 16;
 
 /// The `LOC_i` factor of Equation 1: a multiplier per text location.
 ///
@@ -85,7 +91,12 @@ impl Default for LocationWeights {
 }
 
 /// Model construction options.
+///
+/// Construct with [`ModelOptions::default`] (the paper's configuration)
+/// plus the chainable `with_*` setters; the struct is `#[non_exhaustive]`
+/// so future knobs are not breaking changes.
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct ModelOptions {
     /// Location weighting (Equation 1's `LOC_i`).
     pub weights: LocationWeights,
@@ -95,6 +106,37 @@ pub struct ModelOptions {
     pub tf: TfScheme,
     /// IDF scheme (Equation 1 uses plain `log(N/n_i)`).
     pub idf: IdfScheme,
+}
+
+impl ModelOptions {
+    /// The paper's configuration (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the location weighting.
+    pub fn with_weights(mut self, weights: LocationWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Set the text analysis pipeline.
+    pub fn with_analyzer(mut self, analyzer: Analyzer) -> Self {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// Set the term-frequency scheme.
+    pub fn with_tf(mut self, tf: TfScheme) -> Self {
+        self.tf = tf;
+        self
+    }
+
+    /// Set the IDF scheme.
+    pub fn with_idf(mut self, idf: IdfScheme) -> Self {
+        self.idf = idf;
+        self
+    }
 }
 
 /// The vectorized corpus: per-page PC/FC (and optionally anchor) vectors
@@ -128,33 +170,37 @@ impl FormPageCorpus {
     where
         I: IntoIterator<Item = &'a str>,
     {
-        let mut dict = TermDict::new();
-        let mut pc_counts: Vec<CountsBuilder> = Vec::new();
-        let mut fc_counts: Vec<CountsBuilder> = Vec::new();
-        let mut term_buf: Vec<cafc_text::TermId> = Vec::new();
+        Self::from_html_exec(pages, opts, ExecPolicy::Serial)
+    }
 
-        for html in pages {
-            let doc = parse(html);
-            let mut pc = CountsBuilder::new();
-            let mut fc = CountsBuilder::new();
-            for lt in located_text(&doc) {
-                term_buf.clear();
-                opts.analyzer
-                    .analyze_into(&lt.text, &mut dict, &mut term_buf);
-                let w = opts.weights.weight(lt.location);
-                if lt.location.is_form() {
-                    // Form text belongs to both spaces: FC by definition,
-                    // and PC covers "all words within the HTML tags".
-                    fc.add_all(term_buf.iter().copied(), w);
-                    pc.add_all(term_buf.iter().copied(), w);
-                } else {
-                    pc.add_all(term_buf.iter().copied(), w);
-                }
+    /// Build the model from raw HTML documents under an explicit execution
+    /// policy.
+    ///
+    /// Bit-identical to [`FormPageCorpus::from_html`] (which delegates here
+    /// with [`ExecPolicy::Serial`]) for every policy: pages are vectorized
+    /// in fixed-size chunks against chunk-local term dictionaries, and the
+    /// chunks are re-based onto the shared dictionary in chunk order, which
+    /// reproduces the serial first-occurrence id assignment exactly.
+    pub fn from_html_exec<'a, I>(
+        pages: I,
+        opts: &ModelOptions,
+        policy: ExecPolicy,
+    ) -> FormPageCorpus
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let pages: Vec<&str> = pages.into_iter().collect();
+        let chunks = par_chunks(policy, pages.len(), PAGE_CHUNK, |range| {
+            let mut local = LocalVectors::default();
+            for &html in &pages[range] {
+                let (pc, fc) = vectorize_page(html, opts, &mut local.dict, &mut local.term_buf);
+                local.pc.push(pc);
+                local.fc.push(fc);
             }
-            pc_counts.push(pc);
-            fc_counts.push(fc);
-        }
-        Self::finish(dict, pc_counts, fc_counts, None, opts)
+            local
+        });
+        let (dict, pc_counts, fc_counts) = merge_local_vectors(chunks);
+        Self::finish(dict, pc_counts, fc_counts, None, opts, policy)
     }
 
     /// Build the model through the hardened ingestion layer (DESIGN.md §8):
@@ -172,108 +218,72 @@ impl FormPageCorpus {
     where
         I: IntoIterator<Item = &'a str>,
     {
+        Self::from_html_ingest_exec(pages, opts, limits, ExecPolicy::Serial)
+    }
+
+    /// Hardened ingestion under an explicit execution policy.
+    ///
+    /// Bit-identical to [`FormPageCorpus::from_html_ingest`] (which
+    /// delegates here with [`ExecPolicy::Serial`]) for every policy: page
+    /// outcomes are produced per fixed-size chunk and concatenated in chunk
+    /// order, so the outcome sequence, the quarantine order and the
+    /// `kept` mapping never depend on the thread count — and
+    /// `report.is_accounted()` always holds on return.
+    pub fn from_html_ingest_exec<'a, I>(
+        pages: I,
+        opts: &ModelOptions,
+        limits: &IngestLimits,
+        policy: ExecPolicy,
+    ) -> (FormPageCorpus, IngestReport)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let pages: Vec<&str> = pages.into_iter().collect();
+        let chunks = par_chunks(policy, pages.len(), PAGE_CHUNK, |range| {
+            let mut dict = TermDict::new();
+            let mut term_buf: Vec<TermId> = Vec::new();
+            let outcomes: Vec<_> = pages[range]
+                .iter()
+                .map(|&html| ingest_page(html, opts, limits, &mut dict, &mut term_buf))
+                .collect();
+            (dict, outcomes)
+        });
+
         let mut dict = TermDict::new();
         let mut pc_counts: Vec<CountsBuilder> = Vec::new();
         let mut fc_counts: Vec<CountsBuilder> = Vec::new();
-        let mut term_buf: Vec<cafc_text::TermId> = Vec::new();
         let mut report = IngestReport::default();
-
-        for (index, html) in pages.into_iter().enumerate() {
-            let mut reasons: Vec<DegradedReason> = Vec::new();
-
-            if html.len() > limits.hard_max_bytes {
-                report.outcomes.push(PageOutcome::Quarantined {
-                    error: IngestError::TooLarge {
-                        bytes: html.len(),
-                        limit: limits.hard_max_bytes,
-                    },
-                });
-                continue;
-            }
-            let html = if html.len() > limits.soft_max_bytes {
-                reasons.push(DegradedReason::InputTruncated);
-                // Truncate on a char boundary; mid-tag cuts are exactly what
-                // the tokenizer is built to absorb.
-                let mut cut = limits.soft_max_bytes;
-                while cut > 0 && !html.is_char_boundary(cut) {
-                    cut -= 1;
+        for (local_dict, outcomes) in chunks {
+            let map: Vec<TermId> = local_dict.iter().map(|(_, t)| dict.intern(t)).collect();
+            for (outcome, counts) in outcomes {
+                let index = report.outcomes.len();
+                if let Some((pc, fc)) = counts {
+                    report.kept.push(index);
+                    pc_counts.push(pc.remap(|id| map[id.index()]));
+                    fc_counts.push(fc.remap(|id| map[id.index()]));
                 }
-                &html[..cut]
-            } else {
-                html
-            };
-            let (html, stripped) = strip_control_chars(html);
-            if stripped {
-                reasons.push(DegradedReason::ControlCharsStripped);
-            }
-
-            let (doc, stats) = Document::parse_with_stats(&html);
-            if stats.depth_capped {
-                reasons.push(DegradedReason::DepthCapped);
-            }
-            if stats.nodes_capped {
-                reasons.push(DegradedReason::InputTruncated);
-            }
-
-            let mut pc = CountsBuilder::new();
-            let mut fc = CountsBuilder::new();
-            let mut terms_used = 0usize;
-            let mut budget_hit = false;
-            for lt in located_text(&doc) {
-                let budget = limits.max_terms.saturating_sub(terms_used);
-                if budget == 0 {
-                    budget_hit = true;
-                    break;
-                }
-                term_buf.clear();
-                budget_hit |=
-                    opts.analyzer
-                        .analyze_into_budget(&lt.text, &mut dict, &mut term_buf, budget);
-                terms_used += term_buf.len();
-                let w = opts.weights.weight(lt.location);
-                if lt.location.is_form() {
-                    fc.add_all(term_buf.iter().copied(), w);
-                    pc.add_all(term_buf.iter().copied(), w);
-                } else {
-                    pc.add_all(term_buf.iter().copied(), w);
-                }
-            }
-            if budget_hit {
-                reasons.push(DegradedReason::TermBudgetExceeded);
-            }
-
-            if pc.is_empty() {
-                report.outcomes.push(PageOutcome::Quarantined {
-                    error: IngestError::EmptyDocument,
-                });
-                continue;
-            }
-            if doc.title().is_none() {
-                reasons.push(DegradedReason::MissingTitle);
-            }
-            if fc.is_empty() {
-                reasons.push(DegradedReason::NoFormContent);
-            }
-
-            report.kept.push(index);
-            pc_counts.push(pc);
-            fc_counts.push(fc);
-            if reasons.is_empty() {
-                report.outcomes.push(PageOutcome::Ok);
-            } else {
-                reasons.sort_unstable();
-                reasons.dedup();
-                report.outcomes.push(PageOutcome::Degraded { reasons });
+                report.outcomes.push(outcome);
             }
         }
 
-        let corpus = Self::finish(dict, pc_counts, fc_counts, None, opts);
+        let corpus = Self::finish(dict, pc_counts, fc_counts, None, opts, policy);
         (corpus, report)
     }
 
     /// Build the model for `pages` stored in `graph`, without anchor text.
     pub fn from_graph(graph: &WebGraph, pages: &[PageId], opts: &ModelOptions) -> FormPageCorpus {
-        Self::from_graph_impl(graph, pages, opts, false)
+        Self::from_graph_impl(graph, pages, opts, false, ExecPolicy::Serial)
+    }
+
+    /// Graph construction under an explicit execution policy; bit-identical
+    /// to [`FormPageCorpus::from_graph`] for every policy.
+    pub fn from_graph_exec(
+        graph: &WebGraph,
+        pages: &[PageId],
+        opts: &ModelOptions,
+        policy: ExecPolicy,
+    ) -> FormPageCorpus {
+        Self::from_graph_impl(graph, pages, opts, false, policy)
     }
 
     /// Build the model plus the §6 anchor-text extension: for each target
@@ -284,7 +294,19 @@ impl FormPageCorpus {
         pages: &[PageId],
         opts: &ModelOptions,
     ) -> FormPageCorpus {
-        Self::from_graph_impl(graph, pages, opts, true)
+        Self::from_graph_impl(graph, pages, opts, true, ExecPolicy::Serial)
+    }
+
+    /// Graph-plus-anchors construction under an explicit execution policy;
+    /// bit-identical to [`FormPageCorpus::from_graph_with_anchors`] for
+    /// every policy.
+    pub fn from_graph_with_anchors_exec(
+        graph: &WebGraph,
+        pages: &[PageId],
+        opts: &ModelOptions,
+        policy: ExecPolicy,
+    ) -> FormPageCorpus {
+        Self::from_graph_impl(graph, pages, opts, true, policy)
     }
 
     fn from_graph_impl(
@@ -292,34 +314,24 @@ impl FormPageCorpus {
         pages: &[PageId],
         opts: &ModelOptions,
         with_anchors: bool,
+        policy: ExecPolicy,
     ) -> FormPageCorpus {
-        let mut dict = TermDict::new();
-        let mut pc_counts: Vec<CountsBuilder> = Vec::new();
-        let mut fc_counts: Vec<CountsBuilder> = Vec::new();
-        let mut term_buf: Vec<cafc_text::TermId> = Vec::new();
-
-        for &page in pages {
-            let html = graph.html(page).unwrap_or("");
-            let doc = parse(html);
-            let mut pc = CountsBuilder::new();
-            let mut fc = CountsBuilder::new();
-            for lt in located_text(&doc) {
-                term_buf.clear();
-                opts.analyzer
-                    .analyze_into(&lt.text, &mut dict, &mut term_buf);
-                let w = opts.weights.weight(lt.location);
-                if lt.location.is_form() {
-                    fc.add_all(term_buf.iter().copied(), w);
-                    pc.add_all(term_buf.iter().copied(), w);
-                } else {
-                    pc.add_all(term_buf.iter().copied(), w);
-                }
+        let chunks = par_chunks(policy, pages.len(), PAGE_CHUNK, |range| {
+            let mut local = LocalVectors::default();
+            for &page in &pages[range] {
+                let html = graph.html(page).unwrap_or("");
+                let (pc, fc) = vectorize_page(html, opts, &mut local.dict, &mut local.term_buf);
+                local.pc.push(pc);
+                local.fc.push(fc);
             }
-            pc_counts.push(pc);
-            fc_counts.push(fc);
-        }
+            local
+        });
+        let (mut dict, pc_counts, fc_counts) = merge_local_vectors(chunks);
 
+        // The anchor pass interns into the merged dictionary on the calling
+        // thread, after all page terms — exactly the serial interleaving.
         let anchor_counts = with_anchors.then(|| {
+            let mut term_buf: Vec<TermId> = Vec::new();
             let mut counts: Vec<CountsBuilder> =
                 (0..pages.len()).map(|_| CountsBuilder::new()).collect();
             // Parse each distinct linking page once; map its anchors to
@@ -359,7 +371,7 @@ impl FormPageCorpus {
             counts
         });
 
-        Self::finish(dict, pc_counts, fc_counts, anchor_counts, opts)
+        Self::finish(dict, pc_counts, fc_counts, anchor_counts, opts, policy)
     }
 
     /// Apply per-space IDF (Equation 1's `log(N/n_i)`) and freeze vectors.
@@ -369,6 +381,7 @@ impl FormPageCorpus {
         fc_counts: Vec<CountsBuilder>,
         anchor_counts: Option<Vec<CountsBuilder>>,
         opts: &ModelOptions,
+        policy: ExecPolicy,
     ) -> FormPageCorpus {
         let n = pc_counts.len();
         let mut pc_df = DocumentFrequencies::new();
@@ -379,24 +392,21 @@ impl FormPageCorpus {
         for c in &fc_counts {
             fc_df.add_document(c.term_ids());
         }
-        let pc = pc_counts
-            .iter()
-            .map(|c| weigh(c, &pc_df, opts.tf, opts.idf))
-            .collect();
-        let fc = fc_counts
-            .iter()
-            .map(|c| weigh(c, &fc_df, opts.tf, opts.idf))
-            .collect();
+        // Each page's Equation-1 weighting is one closure -> the same floats
+        // under every policy.
+        let pc = par_map_slice(policy, &pc_counts, |_, c| {
+            weigh(c, &pc_df, opts.tf, opts.idf)
+        });
+        let fc = par_map_slice(policy, &fc_counts, |_, c| {
+            weigh(c, &fc_df, opts.tf, opts.idf)
+        });
         let anchor = match anchor_counts {
             Some(counts) => {
                 let mut adf = DocumentFrequencies::new();
                 for c in &counts {
                     adf.add_document(c.term_ids());
                 }
-                counts
-                    .iter()
-                    .map(|c| weigh(c, &adf, opts.tf, opts.idf))
-                    .collect()
+                par_map_slice(policy, &counts, |_, c| weigh(c, &adf, opts.tf, opts.idf))
             }
             None => vec![SparseVector::empty(); n],
         };
@@ -407,6 +417,156 @@ impl FormPageCorpus {
             anchor,
         }
     }
+}
+
+/// One chunk's worth of page vectors, keyed by a chunk-local dictionary.
+#[derive(Default)]
+struct LocalVectors {
+    dict: TermDict,
+    term_buf: Vec<TermId>,
+    pc: Vec<CountsBuilder>,
+    fc: Vec<CountsBuilder>,
+}
+
+/// Re-base chunk-local term ids onto one shared dictionary, in chunk order.
+///
+/// Interning each chunk's terms in local-id order (= first-occurrence order
+/// within the chunk) reproduces the global first-occurrence order a serial
+/// pass would produce, so the merged dictionary and every remapped vector
+/// are identical to the single-dictionary construction.
+fn merge_local_vectors(
+    chunks: Vec<LocalVectors>,
+) -> (TermDict, Vec<CountsBuilder>, Vec<CountsBuilder>) {
+    let mut dict = TermDict::new();
+    let mut pc_counts = Vec::new();
+    let mut fc_counts = Vec::new();
+    for chunk in chunks {
+        let map: Vec<TermId> = chunk.dict.iter().map(|(_, t)| dict.intern(t)).collect();
+        pc_counts.extend(chunk.pc.into_iter().map(|c| c.remap(|id| map[id.index()])));
+        fc_counts.extend(chunk.fc.into_iter().map(|c| c.remap(|id| map[id.index()])));
+    }
+    (dict, pc_counts, fc_counts)
+}
+
+/// Vectorize one page into PC/FC count accumulators against `dict`.
+fn vectorize_page(
+    html: &str,
+    opts: &ModelOptions,
+    dict: &mut TermDict,
+    term_buf: &mut Vec<TermId>,
+) -> (CountsBuilder, CountsBuilder) {
+    let doc = parse(html);
+    let mut pc = CountsBuilder::new();
+    let mut fc = CountsBuilder::new();
+    for lt in located_text(&doc) {
+        term_buf.clear();
+        opts.analyzer.analyze_into(&lt.text, dict, term_buf);
+        let w = opts.weights.weight(lt.location);
+        if lt.location.is_form() {
+            // Form text belongs to both spaces: FC by definition, and PC
+            // covers "all words within the HTML tags".
+            fc.add_all(term_buf.iter().copied(), w);
+            pc.add_all(term_buf.iter().copied(), w);
+        } else {
+            pc.add_all(term_buf.iter().copied(), w);
+        }
+    }
+    (pc, fc)
+}
+
+/// Run one page through the hardened ingestion checks; `Some` counts mean
+/// the page is kept.
+fn ingest_page(
+    html: &str,
+    opts: &ModelOptions,
+    limits: &IngestLimits,
+    dict: &mut TermDict,
+    term_buf: &mut Vec<TermId>,
+) -> (PageOutcome, Option<(CountsBuilder, CountsBuilder)>) {
+    let mut reasons: Vec<DegradedReason> = Vec::new();
+
+    if html.len() > limits.hard_max_bytes {
+        let outcome = PageOutcome::Quarantined {
+            error: IngestError::TooLarge {
+                bytes: html.len(),
+                limit: limits.hard_max_bytes,
+            },
+        };
+        return (outcome, None);
+    }
+    let html = if html.len() > limits.soft_max_bytes {
+        reasons.push(DegradedReason::InputTruncated);
+        // Truncate on a char boundary; mid-tag cuts are exactly what the
+        // tokenizer is built to absorb.
+        let mut cut = limits.soft_max_bytes;
+        while cut > 0 && !html.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        &html[..cut]
+    } else {
+        html
+    };
+    let (html, stripped) = strip_control_chars(html);
+    if stripped {
+        reasons.push(DegradedReason::ControlCharsStripped);
+    }
+
+    let (doc, stats) = Document::parse_with_stats(&html);
+    if stats.depth_capped {
+        reasons.push(DegradedReason::DepthCapped);
+    }
+    if stats.nodes_capped {
+        reasons.push(DegradedReason::InputTruncated);
+    }
+
+    let mut pc = CountsBuilder::new();
+    let mut fc = CountsBuilder::new();
+    let mut terms_used = 0usize;
+    let mut budget_hit = false;
+    for lt in located_text(&doc) {
+        let budget = limits.max_terms.saturating_sub(terms_used);
+        if budget == 0 {
+            budget_hit = true;
+            break;
+        }
+        term_buf.clear();
+        budget_hit |= opts
+            .analyzer
+            .analyze_into_budget(&lt.text, dict, term_buf, budget);
+        terms_used += term_buf.len();
+        let w = opts.weights.weight(lt.location);
+        if lt.location.is_form() {
+            fc.add_all(term_buf.iter().copied(), w);
+            pc.add_all(term_buf.iter().copied(), w);
+        } else {
+            pc.add_all(term_buf.iter().copied(), w);
+        }
+    }
+    if budget_hit {
+        reasons.push(DegradedReason::TermBudgetExceeded);
+    }
+
+    if pc.is_empty() {
+        let outcome = PageOutcome::Quarantined {
+            error: IngestError::EmptyDocument,
+        };
+        return (outcome, None);
+    }
+    if doc.title().is_none() {
+        reasons.push(DegradedReason::MissingTitle);
+    }
+    if fc.is_empty() {
+        reasons.push(DegradedReason::NoFormContent);
+    }
+
+    let outcome = if reasons.is_empty() {
+        PageOutcome::Ok
+    } else {
+        reasons.sort_unstable();
+        reasons.dedup();
+        PageOutcome::Degraded { reasons }
+    };
+    (outcome, Some((pc, fc)))
 }
 
 #[cfg(test)]
@@ -488,10 +648,7 @@ mod tests {
     #[test]
     fn uniform_weights_remove_location_effect() {
         let pages = ["<title>flights</title>", "<p>flights</p>", "<p>other</p>"];
-        let o = ModelOptions {
-            weights: LocationWeights::uniform(),
-            ..opts()
-        };
+        let o = opts().with_weights(LocationWeights::uniform());
         let corpus = FormPageCorpus::from_html(pages.iter().copied(), &o);
         let flights = corpus.dict.get("flight").expect("interned");
         assert!((corpus.pc[0].get(flights) - corpus.pc[1].get(flights)).abs() < 1e-12);
@@ -508,10 +665,7 @@ mod tests {
         // One occurrence at weight 0.5 (option) + one at 1.0 (form text)
         // = 1.5x idf; with uniform weights it would be 2x idf.
         let differentiated = corpus.fc[0].get(texas);
-        let o = ModelOptions {
-            weights: LocationWeights::uniform(),
-            ..opts()
-        };
+        let o = opts().with_weights(LocationWeights::uniform());
         let uniform_corpus = FormPageCorpus::from_html(pages.iter().copied(), &o);
         let uniform = uniform_corpus.fc[0].get(texas);
         assert!(differentiated < uniform);
@@ -581,11 +735,10 @@ mod tests {
     #[test]
     fn ingest_quarantines_empty_and_oversized() {
         let big = "x".repeat(64);
-        let limits = IngestLimits {
-            hard_max_bytes: 32,
-            soft_max_bytes: 16,
-            max_terms: 1000,
-        };
+        let limits = IngestLimits::new()
+            .with_hard_max_bytes(32)
+            .with_soft_max_bytes(16)
+            .with_max_terms(1000);
         let pages = ["", "<!-- only a comment -->", big.as_str()];
         let (corpus, report) =
             FormPageCorpus::from_html_ingest(pages.iter().copied(), &opts(), &limits);
@@ -626,10 +779,7 @@ mod tests {
             "<title>t</title><form>a <input name=q></form><p>{}</p>",
             "word ".repeat(4000)
         );
-        let limits = IngestLimits {
-            soft_max_bytes: 256,
-            ..Default::default()
-        };
+        let limits = IngestLimits::new().with_soft_max_bytes(256);
         let pages = [body.as_str()];
         let (corpus, report) =
             FormPageCorpus::from_html_ingest(pages.iter().copied(), &opts(), &limits);
@@ -648,10 +798,7 @@ mod tests {
             "<title>t</title><form>q <input name=q></form><p>{}</p>",
             "flight ".repeat(64)
         );
-        let limits = IngestLimits {
-            max_terms: 8,
-            ..Default::default()
-        };
+        let limits = IngestLimits::new().with_max_terms(8);
         let pages = [body.as_str()];
         let (corpus, report) =
             FormPageCorpus::from_html_ingest(pages.iter().copied(), &opts(), &limits);
@@ -661,6 +808,47 @@ mod tests {
                 assert!(reasons.contains(&DegradedReason::TermBudgetExceeded))
             }
             other => panic!("expected degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exec_policies_build_identical_corpora() {
+        // More pages than one PAGE_CHUNK so the merge path actually runs
+        // across chunk boundaries, with shared and page-unique vocabulary.
+        let pages: Vec<String> = (0..40)
+            .map(|i| {
+                format!(
+                    "<title>Page {i}</title><p>shared travel words unique{i} tail{}</p>\
+                     <form>field{} <input name=q></form>",
+                    i % 7,
+                    i % 5
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+        let baseline = FormPageCorpus::from_html_ingest_exec(
+            refs.iter().copied(),
+            &opts(),
+            &IngestLimits::new(),
+            ExecPolicy::Serial,
+        );
+        for policy in [
+            ExecPolicy::Parallel { threads: 1 },
+            ExecPolicy::Parallel { threads: 7 },
+            ExecPolicy::Auto,
+        ] {
+            let (corpus, report) = FormPageCorpus::from_html_ingest_exec(
+                refs.iter().copied(),
+                &opts(),
+                &IngestLimits::new(),
+                policy,
+            );
+            assert_eq!(report, baseline.1, "{policy:?}");
+            assert_eq!(corpus.dict.len(), baseline.0.dict.len(), "{policy:?}");
+            for i in 0..corpus.len() {
+                assert_eq!(corpus.pc[i], baseline.0.pc[i], "pc[{i}] under {policy:?}");
+                assert_eq!(corpus.fc[i], baseline.0.fc[i], "fc[{i}] under {policy:?}");
+            }
         }
     }
 

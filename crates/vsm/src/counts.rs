@@ -59,6 +59,20 @@ impl CountsBuilder {
         self.counts.len()
     }
 
+    /// Rewrite every term id through `f`, merging counts when two ids map
+    /// to the same target. Used when documents are tokenized against a
+    /// chunk-local dictionary and later re-based onto the shared one.
+    pub fn remap<F>(self, f: F) -> CountsBuilder
+    where
+        F: Fn(TermId) -> TermId,
+    {
+        let mut counts = HashMap::with_capacity(self.counts.len());
+        for (term, weight) in self.counts {
+            *counts.entry(f(term)).or_insert(0.0) += weight;
+        }
+        CountsBuilder { counts }
+    }
+
     /// The raw weighted-TF vector (no IDF).
     pub fn tf(&self) -> SparseVector {
         SparseVector::from_entries(self.counts.iter().map(|(&t, &w)| (t, w)).collect())
@@ -125,6 +139,22 @@ mod tests {
         assert!(b.is_empty());
         assert!(b.tf().is_empty());
         assert!(b.tf_idf(&DocumentFrequencies::new()).is_empty());
+    }
+
+    #[test]
+    fn remap_rewrites_and_merges() {
+        let mut b = CountsBuilder::new();
+        b.add(t(0), 1.0);
+        b.add(t(1), 2.0);
+        b.add(t(2), 4.0);
+        // 0 and 2 collapse onto the same id; 1 moves.
+        let b = b.remap(|id| match id.0 {
+            0 | 2 => t(0),
+            _ => t(11),
+        });
+        assert_eq!(b.distinct_terms(), 2);
+        assert_eq!(b.tf().get(t(0)), 5.0);
+        assert_eq!(b.tf().get(t(11)), 2.0);
     }
 
     #[test]

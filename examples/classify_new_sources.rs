@@ -41,13 +41,10 @@ fn main() {
     // to cluster only the known pages we restrict afterwards (hub evidence
     // does not depend on the holdout split).
     let mut rng = StdRng::seed_from_u64(3);
-    let config = CafcChConfig {
-        hub: cafc::HubClusterOptions {
-            min_cardinality: 4,
-            ..Default::default()
-        },
-        ..CafcChConfig::paper_default(8)
-    };
+    let config = CafcChConfig::paper_default(8).with_hub(cafc::HubClusterOptions {
+        min_cardinality: 4,
+        ..Default::default()
+    });
     let full = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);
     let known_clusters: Vec<Vec<usize>> = full
         .outcome

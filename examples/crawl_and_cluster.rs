@@ -50,13 +50,10 @@ fn main() {
     let corpus = FormPageCorpus::from_graph(&web.graph, &targets, &ModelOptions::default());
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(1);
-    let config = CafcChConfig {
-        hub: cafc::HubClusterOptions {
-            min_cardinality: 4,
-            ..Default::default()
-        },
-        ..CafcChConfig::paper_default(8)
-    };
+    let config = CafcChConfig::paper_default(8).with_hub(cafc::HubClusterOptions {
+        min_cardinality: 4,
+        ..Default::default()
+    });
     let result = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);
 
     for (i, members) in result.outcome.partition.clusters().iter().enumerate() {

@@ -27,13 +27,10 @@ fn main() {
 
     // 3. CAFC-CH: hub clusters from shared backlinks seed k-means.
     let mut rng = StdRng::seed_from_u64(7);
-    let config = CafcChConfig {
-        hub: cafc::HubClusterOptions {
-            min_cardinality: 4,
-            ..Default::default()
-        },
-        ..CafcChConfig::paper_default(8)
-    };
+    let config = CafcChConfig::paper_default(8).with_hub(cafc::HubClusterOptions {
+        min_cardinality: 4,
+        ..Default::default()
+    });
     let result = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);
     println!(
         "clustered into {} clusters ({} hub seeds, {} padded, {} k-means iterations)",

@@ -65,13 +65,10 @@ fn crawled_pages_cluster_like_curated_ones() {
     let corpus = FormPageCorpus::from_graph(&web.graph, &targets, &ModelOptions::default());
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(22);
-    let config = CafcChConfig {
-        hub: cafc::HubClusterOptions {
-            min_cardinality: 4,
-            ..Default::default()
-        },
-        ..CafcChConfig::paper_default(8)
-    };
+    let config = CafcChConfig::paper_default(8).with_hub(cafc::HubClusterOptions {
+        min_cardinality: 4,
+        ..Default::default()
+    });
     let result = cafc_ch(&web.graph, &targets, &space, &config, &mut rng);
     let e = cafc_eval::entropy(
         result.outcome.partition.clusters(),

@@ -99,10 +99,8 @@ proptest! {
     #[test]
     fn loc_weight_monotone(pages in arb_corpus(), boost in 1.0f64..4.0) {
         let base = ModelOptions::default();
-        let boosted = ModelOptions {
-            weights: LocationWeights { title: base.weights.title * boost, ..base.weights },
-            ..base
-        };
+        let boosted = ModelOptions::new()
+            .with_weights(LocationWeights { title: base.weights.title * boost, ..base.weights });
         let a = FormPageCorpus::from_html(pages.iter().map(String::as_str), &base);
         let b = FormPageCorpus::from_html(pages.iter().map(String::as_str), &boosted);
         // Same dictionaries (same interning order), so ids are comparable.

@@ -59,10 +59,7 @@ fn run_ch(space: &FormPageSpace<'_>) -> (f64, f64) {
         &e.web.graph,
         &e.targets,
         space,
-        &CafcChConfig {
-            hub: HubClusterOptions::default(),
-            ..CafcChConfig::paper_default(8)
-        },
+        &CafcChConfig::paper_default(8).with_hub(HubClusterOptions::default()),
         &mut rng,
     );
     (
@@ -114,10 +111,7 @@ fn loc_weights_ablation_shape() {
     let uniform_corpus = FormPageCorpus::from_graph(
         &e.web.graph,
         &e.targets,
-        &ModelOptions {
-            weights: LocationWeights::uniform(),
-            ..ModelOptions::default()
-        },
+        &ModelOptions::new().with_weights(LocationWeights::uniform()),
     );
     let diff_space = FormPageSpace::new(&e.corpus, FeatureConfig::combined());
     let uni_space = FormPageSpace::new(&uniform_corpus, FeatureConfig::combined());

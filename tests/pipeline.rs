@@ -12,13 +12,10 @@ use rand::SeedableRng;
 
 fn small_config(seed: u64) -> CafcChConfig {
     let _ = seed;
-    CafcChConfig {
-        hub: HubClusterOptions {
-            min_cardinality: 4,
-            ..Default::default()
-        },
-        ..CafcChConfig::paper_default(8)
-    }
+    CafcChConfig::paper_default(8).with_hub(HubClusterOptions {
+        min_cardinality: 4,
+        ..Default::default()
+    })
 }
 
 #[test]

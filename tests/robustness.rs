@@ -91,15 +91,10 @@ fn cafc_ch_without_any_backlinks_pads_seeds() {
     let (g, targets) = pathological_graph();
     let corpus = FormPageCorpus::from_graph(&g, &targets, &ModelOptions::default());
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
-    let config = CafcChConfig {
-        k: 3,
-        hub: HubClusterOptions {
-            min_cardinality: 1,
-            ..Default::default()
-        },
-        kmeans: KMeansOptions::default(),
-        min_hub_quality: None,
-    };
+    let config = CafcChConfig::paper_default(3).with_hub(HubClusterOptions {
+        min_cardinality: 1,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(2);
     let out = cafc_ch(&g, &targets, &space, &config, &mut rng);
     assert_eq!(out.hub_seeds, 0, "no hubs exist in this graph");

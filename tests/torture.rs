@@ -111,11 +111,10 @@ fn clean_corpus_ingests_mostly_ok() {
 #[test]
 fn tight_limits_quarantine_rather_than_panic() {
     let pages = clean_pages(5);
-    let limits = IngestLimits {
-        hard_max_bytes: 512,
-        soft_max_bytes: 256,
-        max_terms: 16,
-    };
+    let limits = IngestLimits::new()
+        .with_hard_max_bytes(512)
+        .with_soft_max_bytes(256)
+        .with_max_terms(16);
     let (corpus, report) = FormPageCorpus::from_html_ingest(
         pages.iter().map(String::as_str),
         &ModelOptions::default(),

@@ -23,19 +23,20 @@ config=(
 # Targets that use proptest!/criterion macros can't compile against the
 # empty stubs: tests/model_props.rs, crates/*/tests/proptests.rs, bench.
 lib_packages=(
-  -p cafc-html -p cafc-text -p cafc-vsm -p cafc-webgraph -p cafc-cluster
-  -p cafc-eval -p cafc-corpus -p cafc-classify -p cafc-crawler
-  -p cafc-explore -p cafc -p cafc-cli
+  -p cafc-exec -p cafc-html -p cafc-text -p cafc-vsm -p cafc-webgraph
+  -p cafc-cluster -p cafc-eval -p cafc-corpus -p cafc-classify
+  -p cafc-crawler -p cafc-explore -p cafc -p cafc-cli
 )
 core_tests=(
   --test pipeline --test crawl_integration --test corpus_calibration
-  --test paper_shapes --test robustness --test torture
+  --test paper_shapes --test robustness --test torture --test determinism
 )
 # cafc-html integration tests minus proptests.rs (needs the real proptest).
 html_tests=(--test edge_cases --test pathological)
 
-# The no-panic gate is static and costs milliseconds: run it in every mode.
+# The static gates cost milliseconds: run them in every mode.
 tools/panic-lint.sh
+tools/config-lint.sh
 
 case "$mode" in
   check)
@@ -45,12 +46,18 @@ case "$mode" in
     cargo check --offline "${config[@]}" -p cafc "${core_tests[@]}" --examples
     ;;
   test)
-    cargo test --offline "${config[@]}" -p cafc-html -p cafc-text -p cafc-vsm \
-      -p cafc-webgraph -p cafc-cluster -p cafc-eval -p cafc-corpus \
+    cargo test --offline "${config[@]}" -p cafc-exec -p cafc-html -p cafc-text \
+      -p cafc-vsm -p cafc-webgraph -p cafc-cluster -p cafc-eval -p cafc-corpus \
       -p cafc-classify -p cafc-explore --lib
     cargo test --offline "${config[@]}" -p cafc-html "${html_tests[@]}"
     cargo test --offline "${config[@]}" -p cafc-crawler -p cafc-cli --all-targets
     cargo test --offline "${config[@]}" -p cafc --lib "${core_tests[@]}"
+    # The determinism suite re-runs under pinned worker counts: the
+    # CAFC_TEST_THREADS policy joins every sweep (see tests/determinism.rs).
+    for threads in 1 4; do
+      CAFC_TEST_THREADS="$threads" \
+        cargo test --offline "${config[@]}" -p cafc --test determinism
+    done
     ;;
   clippy)
     cargo clippy --offline "${config[@]}" "${lib_packages[@]}" -- -D warnings
