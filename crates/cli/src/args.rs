@@ -47,10 +47,12 @@ const VALUE_FLAGS: &[&str] = &[
     "threads",
     // bench
     "sizes",
+    // observability
+    "metrics",
 ];
 
 /// Known boolean switches (present or absent, no value).
-const SWITCH_FLAGS: &[&str] = &["auto-k", "sweep"];
+const SWITCH_FLAGS: &[&str] = &["auto-k", "sweep", "trace"];
 
 impl Args {
     /// Parse a raw argument list (without the program/subcommand names).

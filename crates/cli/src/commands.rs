@@ -2,12 +2,12 @@
 
 use crate::args::Args;
 use cafc::{
-    cafc_c_exec, cafc_ch_exec, CafcChConfig, ExecPolicy, FeatureConfig, FormPageCorpus,
-    FormPageSpace, HubClusterOptions, IngestLimits, IngestReport, KMeansOptions, ModelOptions,
+    cafc_c_obs, cafc_ch_obs, CafcChConfig, ExecPolicy, FeatureConfig, FormPageCorpus,
+    FormPageSpace, HubClusterOptions, IngestLimits, IngestReport, KMeansOptions, ModelOptions, Obs,
     Partition,
 };
 use cafc_cluster::{
-    bisecting_kmeans_exec, choose_k, hac_exec, kmeans_exec, random_singleton_seeds, BisectOptions,
+    bisecting_kmeans_obs, choose_k, hac_obs, kmeans_obs, random_singleton_seeds, BisectOptions,
     HacOptions, Linkage,
 };
 use cafc_corpus::{
@@ -15,7 +15,7 @@ use cafc_corpus::{
     Mutation, SyntheticWeb,
 };
 use cafc_crawler::{
-    crawl as crawl_bfs, crawl_resilient, BreakerConfig, ChaosFetcher, CrawlConfig, FaultConfig,
+    crawl as crawl_bfs, crawl_resilient_obs, BreakerConfig, ChaosFetcher, CrawlConfig, FaultConfig,
     ResilientConfig, ResilientCrawlOutcome, RetryPolicy,
 };
 use cafc_explore::{html_report, ClusterIndex};
@@ -23,6 +23,38 @@ use cafc_webgraph::PageId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
+
+/// Build the observability handle from `--metrics`/`--trace`: enabled (with
+/// the production monotonic clock) when either flag is present, otherwise
+/// the near-zero-cost disabled handle. The effective worker-thread count is
+/// recorded here — at the CLI boundary, never inside the library, so
+/// library snapshots stay policy-invariant.
+fn build_obs(args: &Args, policy: ExecPolicy) -> Obs {
+    if args.get("metrics").is_some() || args.has("trace") {
+        let obs = Obs::enabled();
+        obs.gauge("exec.threads", policy.threads() as f64);
+        obs
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Emit the collected metrics: the `--trace` span tree and metric lines to
+/// stderr, and/or the `--metrics PATH` JSON snapshot. No-op when disabled.
+fn emit_obs(args: &Args, obs: &Obs) -> Result<(), String> {
+    if !obs.is_enabled() {
+        return Ok(());
+    }
+    let snapshot = obs.snapshot();
+    if args.has("trace") {
+        eprint!("{}", snapshot.render_text());
+    }
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, snapshot.render_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
 
 /// Corpus sized from a `--pages` count, as both `generate` and `crawl`
 /// build it.
@@ -61,7 +93,7 @@ struct Prepared {
     corpus: FormPageCorpus,
 }
 
-fn prepare(input: &str, policy: ExecPolicy) -> Result<Prepared, String> {
+fn prepare(input: &str, policy: ExecPolicy, obs: &Obs) -> Result<Prepared, String> {
     let web = load_web(Path::new(input)).map_err(|e| format!("loading {input}: {e}"))?;
     let targets = web.form_page_ids();
     if targets.is_empty() {
@@ -70,7 +102,7 @@ fn prepare(input: &str, policy: ExecPolicy) -> Result<Prepared, String> {
         ));
     }
     let corpus =
-        FormPageCorpus::from_graph_exec(&web.graph, &targets, &ModelOptions::default(), policy);
+        FormPageCorpus::from_graph_obs(&web.graph, &targets, &ModelOptions::default(), policy, obs);
     Ok(Prepared {
         web,
         targets,
@@ -91,11 +123,13 @@ fn run_clustering(
     prepared: &Prepared,
     args: &Args,
     policy: ExecPolicy,
+    obs: &Obs,
 ) -> Result<Partition, String> {
     let features = feature_config(args)?;
     let space = FormPageSpace::new(&prepared.corpus, features);
     let seed = args.get_u64("seed", 1)?;
     let algorithm = args.get("algorithm").unwrap_or("cafc-ch");
+    let _cluster_span = obs.span("cluster");
 
     if args.has("auto-k") {
         // Sweep k with silhouette (CAFC-C inner loop; CAFC-CH would re-pick
@@ -103,7 +137,7 @@ fn run_clustering(
         let (k, partition, scores) = choose_k(&space, 2..=16, |k| {
             let mut rng = StdRng::seed_from_u64(seed);
             let seeds = random_singleton_seeds(&space, k, &mut rng);
-            kmeans_exec(&space, &seeds, &KMeansOptions::default(), policy).partition
+            kmeans_obs(&space, &seeds, &KMeansOptions::default(), policy, obs).partition
         })
         .ok_or("no valid k in 2..=16 for this corpus")?;
         println!("auto-k: chose k = {k} (silhouette sweep: {scores:?})");
@@ -124,13 +158,14 @@ fn run_clustering(
                 min_cardinality: args.get_usize("min-cardinality", 8)?,
                 ..HubClusterOptions::default()
             });
-            let out = cafc_ch_exec(
+            let out = cafc_ch_obs(
                 &prepared.web.graph,
                 &prepared.targets,
                 &space,
                 &config,
                 &mut rng,
                 policy,
+                obs,
             );
             println!(
                 "CAFC-CH: {} hub seeds, {} padded, {} iterations",
@@ -138,8 +173,10 @@ fn run_clustering(
             );
             out.outcome.partition
         }
-        "cafc-c" => cafc_c_exec(&space, k, &KMeansOptions::default(), &mut rng, policy).partition,
-        "hac" => hac_exec(
+        "cafc-c" => {
+            cafc_c_obs(&space, k, &KMeansOptions::default(), &mut rng, policy, obs).partition
+        }
+        "hac" => hac_obs(
             &space,
             &[],
             &HacOptions {
@@ -147,8 +184,9 @@ fn run_clustering(
                 linkage: Linkage::Average,
             },
             policy,
+            obs,
         ),
-        "bisect" => bisecting_kmeans_exec(
+        "bisect" => bisecting_kmeans_obs(
             &space,
             &BisectOptions {
                 target_clusters: k,
@@ -156,6 +194,7 @@ fn run_clustering(
             },
             &mut rng,
             policy,
+            obs,
         ),
         other => return Err(format!("unknown --algorithm {other:?}")),
     };
@@ -164,9 +203,12 @@ fn run_clustering(
 
 /// Serialize cluster assignments: `{"clusters": [[urls...], ...]}`.
 fn clusters_json(prepared: &Prepared, partition: &Partition) -> String {
+    // Empty clusters are dropped on write (and again on read in `eval`), so
+    // cluster positions agree between the two ends of the file.
     let clusters: Vec<serde_json::Value> = partition
         .clusters()
         .iter()
+        .filter(|members| !members.is_empty())
         .map(|members| {
             serde_json::Value::Array(
                 members
@@ -194,8 +236,9 @@ fn clusters_json(prepared: &Prepared, partition: &Partition) -> String {
 /// `cafc cluster`.
 pub fn cluster(args: &Args) -> Result<(), String> {
     let policy = args.get_threads()?;
-    let prepared = prepare(args.require("input")?, policy)?;
-    let partition = run_clustering(&prepared, args, policy)?;
+    let obs = build_obs(args, policy);
+    let prepared = prepare(args.require("input")?, policy, &obs)?;
+    let partition = run_clustering(&prepared, args, policy, &obs)?;
 
     let index = ClusterIndex::from_graph(
         &prepared.corpus,
@@ -232,6 +275,7 @@ pub fn cluster(args: &Args) -> Result<(), String> {
     if labels.iter().any(|l| l != "unknown") {
         print_quality(partition.clusters(), &labels);
     }
+    emit_obs(args, &obs)?;
     Ok(())
 }
 
@@ -252,8 +296,9 @@ pub fn search(args: &Args) -> Result<(), String> {
         return Err("search expects a query, e.g. `cafc search --input DIR cheap flights`".into());
     }
     let policy = args.get_threads()?;
-    let prepared = prepare(args.require("input")?, policy)?;
-    let partition = run_clustering(&prepared, args, policy)?;
+    let obs = Obs::disabled();
+    let prepared = prepare(args.require("input")?, policy, &obs)?;
+    let partition = run_clustering(&prepared, args, policy, &obs)?;
     let index = ClusterIndex::from_graph(
         &prepared.corpus,
         &partition,
@@ -286,7 +331,7 @@ pub fn search(args: &Args) -> Result<(), String> {
 /// `cafc eval` — score a clusters.json against manifest labels.
 pub fn eval(args: &Args) -> Result<(), String> {
     let input = args.require("input")?;
-    let prepared = prepare(input, args.get_threads()?)?;
+    let prepared = prepare(input, args.get_threads()?, &Obs::disabled())?;
     let clusters_path = args.require("clusters")?;
     let json = std::fs::read_to_string(clusters_path)
         .map_err(|e| format!("reading {clusters_path}: {e}"))?;
@@ -332,6 +377,13 @@ pub fn eval(args: &Args) -> Result<(), String> {
         eprintln!("warning: {skipped} URL(s) in {clusters_path} were not in the corpus");
     }
 
+    // Reject malformed clusterings (duplicate or impossible assignments)
+    // before any metric silently double-counts them, then normalize away
+    // empty clusters exactly as the writer does.
+    cafc_eval::validate_clusters(&clusters, prepared.targets.len())
+        .map_err(|e| format!("{clusters_path}: invalid clustering: {e}"))?;
+    let clusters = cafc_eval::drop_empty_clusters(clusters);
+
     let labels = prepared.web.form_page_labels();
     if labels.iter().all(|l| l == "unknown") {
         return Err("manifest has no gold labels to evaluate against".into());
@@ -356,20 +408,28 @@ fn cluster_survivors(
     k: usize,
     seed: u64,
     policy: ExecPolicy,
+    obs: &Obs,
 ) -> Option<SurvivorQuality> {
     if survivors.len() < 2 {
         return None;
     }
     let k = k.clamp(1, survivors.len());
-    let corpus =
-        FormPageCorpus::from_graph_exec(&web.graph, survivors, &ModelOptions::default(), policy);
+    let corpus = FormPageCorpus::from_graph_obs(
+        &web.graph,
+        survivors,
+        &ModelOptions::default(),
+        policy,
+        obs,
+    );
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(seed);
     let config = CafcChConfig::paper_default(k).with_hub(HubClusterOptions {
         min_cardinality: 4,
         ..Default::default()
     });
-    let result = cafc_ch_exec(&web.graph, survivors, &space, &config, &mut rng, policy);
+    let result = cafc_ch_obs(
+        &web.graph, survivors, &space, &config, &mut rng, policy, obs,
+    );
     let labels: Vec<&str> = survivors
         .iter()
         .map(|p| {
@@ -392,9 +452,10 @@ fn run_faulty(
     web: &SyntheticWeb,
     fault: &FaultConfig,
     config: &ResilientConfig,
+    obs: &Obs,
 ) -> ResilientCrawlOutcome {
     let mut fetcher = ChaosFetcher::over_graph(&web.graph, *fault);
-    crawl_resilient(&web.graph, &mut fetcher, web.portal, config)
+    crawl_resilient_obs(&web.graph, &mut fetcher, web.portal, config, obs)
 }
 
 /// `cafc crawl` — crawl a synthetic corpus under injected faults, cluster
@@ -402,6 +463,7 @@ fn run_faulty(
 /// to a fault-free crawl of the same web.
 pub fn crawl(args: &Args) -> Result<(), String> {
     let policy = args.get_threads()?;
+    let obs = build_obs(args, policy);
     let corpus_seed = args.get_u64("corpus-seed", 99)?;
     let pages = args.get_usize("pages", 0)?;
     let corpus_cfg = if pages == 0 {
@@ -457,8 +519,16 @@ pub fn crawl(args: &Args) -> Result<(), String> {
         clean.visited.len(),
         clean.searchable_form_pages.len(),
     );
-    let clean_quality =
-        cluster_survivors(&web, &clean.searchable_form_pages, k, fault.seed, policy);
+    // The baseline runs uninstrumented so the metrics describe only the
+    // faulty crawl being examined.
+    let clean_quality = cluster_survivors(
+        &web,
+        &clean.searchable_form_pages,
+        k,
+        fault.seed,
+        policy,
+        &Obs::disabled(),
+    );
     if let Some(q) = &clean_quality {
         println!(
             "baseline quality:     entropy {:.3}  F {:.3}  ({} clusters)",
@@ -475,9 +545,9 @@ pub fn crawl(args: &Args) -> Result<(), String> {
                 transient_rate: rate,
                 ..fault
             };
-            let outcome = run_faulty(&web, &cfg, &resilient);
+            let outcome = run_faulty(&web, &cfg, &resilient, &obs);
             let survivors = &outcome.pages.searchable_form_pages;
-            let quality = cluster_survivors(&web, survivors, k, fault.seed, policy);
+            let quality = cluster_survivors(&web, survivors, k, fault.seed, policy, &obs);
             // Too few survivors to cluster leaves the metrics undefined;
             // say so explicitly rather than printing NaN columns.
             let (entropy, f_measure) = match &quality {
@@ -502,11 +572,12 @@ pub fn crawl(args: &Args) -> Result<(), String> {
                 outcome.stats.abandoned,
             );
         }
+        emit_obs(args, &obs)?;
         return Ok(());
     }
 
     println!();
-    let outcome = run_faulty(&web, &fault, &resilient);
+    let outcome = run_faulty(&web, &fault, &resilient, &obs);
     let survivors = &outcome.pages.searchable_form_pages;
     println!("{}", outcome.stats);
     if !outcome.stats.is_accounted() {
@@ -522,7 +593,7 @@ pub fn crawl(args: &Args) -> Result<(), String> {
     );
     match (
         clean_quality,
-        cluster_survivors(&web, survivors, k, fault.seed, policy),
+        cluster_survivors(&web, survivors, k, fault.seed, policy, &obs),
     ) {
         (Some(clean_q), Some(faulty_q)) => {
             println!(
@@ -538,6 +609,7 @@ pub fn crawl(args: &Args) -> Result<(), String> {
         (_, None) => println!("too few survivors to cluster — no quality to report"),
         (None, Some(_)) => {}
     }
+    emit_obs(args, &obs)?;
     Ok(())
 }
 
@@ -551,6 +623,7 @@ fn cluster_ingested(
     k: usize,
     seed: u64,
     policy: ExecPolicy,
+    obs: &Obs,
 ) -> Option<SurvivorQuality> {
     if corpus.len() < 2 {
         return None;
@@ -564,7 +637,7 @@ fn cluster_ingested(
     let space = FormPageSpace::new(corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(seed);
     let seeds = random_singleton_seeds(&space, k, &mut rng);
-    let outcome = kmeans_exec(&space, &seeds, &KMeansOptions::default(), policy);
+    let outcome = kmeans_obs(&space, &seeds, &KMeansOptions::default(), policy, obs);
     let clusters = outcome.partition.clusters();
     Some(SurvivorQuality {
         entropy: cafc_eval::entropy(clusters, &kept_labels, cafc_eval::EntropyBase::Two),
@@ -581,6 +654,7 @@ fn cluster_ingested(
 /// under test.
 pub fn torture(args: &Args) -> Result<(), String> {
     let policy = args.get_threads()?;
+    let obs = build_obs(args, policy);
     let corpus_seed = args.get_u64("corpus-seed", 99)?;
     let seed = args.get_u64("seed", 7)?;
     let pages = args.get_usize("pages", 0)?;
@@ -618,13 +692,16 @@ pub fn torture(args: &Args) -> Result<(), String> {
 
     let limits = IngestLimits::default();
     let opts = ModelOptions::default();
+    // Only the mutated run is instrumented: the metrics describe the
+    // torture ingestion, not the clean baseline it is compared against.
     let (clean_corpus, clean_report) =
         FormPageCorpus::from_html_ingest_exec(htmls.iter().copied(), &opts, &limits, policy);
-    let (torture_corpus, report) = FormPageCorpus::from_html_ingest_exec(
+    let (torture_corpus, report) = FormPageCorpus::from_html_ingest_obs(
         mutated.iter().map(String::as_str),
         &opts,
         &limits,
         policy,
+        &obs,
     );
 
     println!();
@@ -650,8 +727,16 @@ pub fn torture(args: &Args) -> Result<(), String> {
     }
 
     println!();
-    let clean_q = cluster_ingested(&clean_corpus, &clean_report, &labels, k, seed, policy);
-    let torture_q = cluster_ingested(&torture_corpus, &report, &labels, k, seed, policy);
+    let clean_q = cluster_ingested(
+        &clean_corpus,
+        &clean_report,
+        &labels,
+        k,
+        seed,
+        policy,
+        &Obs::disabled(),
+    );
+    let torture_q = cluster_ingested(&torture_corpus, &report, &labels, k, seed, policy, &obs);
     match (clean_q, torture_q) {
         (Some(c), Some(t)) => {
             println!(
@@ -680,6 +765,7 @@ pub fn torture(args: &Args) -> Result<(), String> {
         ),
         (None, Some(_)) => {}
     }
+    emit_obs(args, &obs)?;
     Ok(())
 }
 
@@ -690,19 +776,21 @@ fn timed_run(
     k: usize,
     seed: u64,
     policy: ExecPolicy,
+    obs: &Obs,
 ) -> (std::time::Duration, Partition) {
     let start = std::time::Instant::now();
     let corpus =
-        FormPageCorpus::from_graph_exec(&web.graph, targets, &ModelOptions::default(), policy);
+        FormPageCorpus::from_graph_obs(&web.graph, targets, &ModelOptions::default(), policy, obs);
     let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
     let mut rng = StdRng::seed_from_u64(seed);
-    let out = cafc_ch_exec(
+    let out = cafc_ch_obs(
         &web.graph,
         targets,
         &space,
         &CafcChConfig::paper_default(k),
         &mut rng,
         policy,
+        obs,
     );
     (start.elapsed(), out.outcome.partition)
 }
@@ -715,6 +803,10 @@ pub fn bench(args: &Args) -> Result<(), String> {
     let seed = args.get_u64("seed", 3)?;
     let k = args.get_usize("k", 8)?;
     let parallel = args.get_threads()?;
+    // Only the parallel leg is instrumented: the serial leg is the timing
+    // baseline, and metrics like `corpus.vectorize.chunk_us` should
+    // describe the policy under examination.
+    let obs = build_obs(args, parallel);
     let sizes: Vec<usize> = match args.get("sizes") {
         None => vec![120, 240, 480, 960],
         Some(list) => list
@@ -740,8 +832,15 @@ pub fn bench(args: &Args) -> Result<(), String> {
     for &pages in &sizes {
         let web = generate_web(&corpus_config(pages, seed));
         let targets = web.form_page_ids();
-        let (serial_t, serial_p) = timed_run(&web, &targets, k, seed, ExecPolicy::Serial);
-        let (parallel_t, parallel_p) = timed_run(&web, &targets, k, seed, parallel);
+        let (serial_t, serial_p) = timed_run(
+            &web,
+            &targets,
+            k,
+            seed,
+            ExecPolicy::Serial,
+            &Obs::disabled(),
+        );
+        let (parallel_t, parallel_p) = timed_run(&web, &targets, k, seed, parallel, &obs);
         let identical = serial_p == parallel_p;
         println!(
             "{:>7}  {:>9.1}  {:>11.1}  {:>6.2}x  {}",
@@ -757,5 +856,6 @@ pub fn bench(args: &Args) -> Result<(), String> {
             ));
         }
     }
+    emit_obs(args, &obs)?;
     Ok(())
 }

@@ -8,6 +8,7 @@
 //! cafc cluster --input DIR [--k N | --auto-k] [--algorithm cafc-ch|cafc-c|hac|bisect]
 //!              [--features fc|pc|both] [--min-cardinality N] [--seed S]
 //!              [--threads N] [--out clusters.json] [--report FILE.html]
+//!              [--metrics FILE.json] [--trace]
 //!     Cluster the corpus in DIR; optionally write assignments and an HTML
 //!     directory report.
 //!
@@ -37,6 +38,11 @@
 //! `--threads N` selects the execution policy for every command that
 //! clusters: `N ≥ 1` pins the worker-thread count, absent means
 //! auto-detect. Results are bit-identical regardless of the value.
+//!
+//! `--metrics FILE.json` writes a JSON metrics snapshot of the run
+//! (counters, gauges, histograms, span timings) and `--trace` prints the
+//! span tree to stderr; both are available on `cluster`, `crawl`,
+//! `torture` and `bench`, and neither perturbs the clustering result.
 
 mod args;
 mod commands;
@@ -88,6 +94,7 @@ USAGE:
                   [--algorithm cafc-ch|cafc-c|hac|bisect]
                   [--features fc|pc|both] [--min-cardinality N] [--seed S]
                   [--threads N] [--out clusters.json] [--report FILE.html]
+                  [--metrics FILE.json] [--trace]
     cafc search   --input DIR [--k N] [--limit N] [--threads N] QUERY...
     cafc eval     --input DIR --clusters clusters.json
     cafc crawl    [--pages N] [--corpus-seed S] [--k N]
@@ -95,11 +102,16 @@ USAGE:
                   [--redirect-rate R] [--seed S] [--max-retries N]
                   [--breaker-threshold N] [--breaker-cooldown-ms MS]
                   [--max-pages N] [--max-depth N] [--threads N] [--sweep]
+                  [--metrics FILE.json] [--trace]
     cafc torture  [--pages N] [--corpus-seed S] [--seed S] [--k N]
                   [--mutations all|truncate-mid-tag,entity-bomb,...]
                   [--mutations-per-page N] [--threads N]
+                  [--metrics FILE.json] [--trace]
     cafc bench    [--sizes N,N,...] [--k N] [--seed S] [--threads N]
+                  [--metrics FILE.json] [--trace]
 
     --threads N pins the worker-thread count (absent: auto-detect).
-    Clustering results are bit-identical for every thread count."
+    Clustering results are bit-identical for every thread count.
+    --metrics FILE.json writes a JSON metrics snapshot; --trace prints
+    the span tree to stderr. Neither changes the clustering."
 }

@@ -7,10 +7,11 @@
 //! k-means with random seeds, and a natural extra baseline next to the
 //! paper's Table 2.
 
-use crate::kmeans::{kmeans_exec, KMeansOptions};
+use crate::kmeans::{kmeans_obs, KMeansOptions};
 use crate::partition::Partition;
 use crate::space::ClusterSpace;
 use cafc_exec::{par_reduce, ExecPolicy};
+use cafc_obs::Obs;
 use rand::seq::index::sample;
 use rand::Rng;
 
@@ -91,6 +92,31 @@ where
     S::Centroid: Send + Sync,
     R: Rng,
 {
+    bisecting_kmeans_obs(space, opts, rng, policy, &Obs::disabled())
+}
+
+/// Run bisecting k-means under an explicit execution policy with
+/// instrumentation.
+///
+/// Identical semantics (and, for a fixed RNG seed, bit-identical output)
+/// to [`bisecting_kmeans_exec`], which delegates here with
+/// [`Obs::disabled`]. Emits, when `obs` has a sink: counters
+/// `bisect.splits` / `bisect.trials` / `bisect.degenerate_splits`, a
+/// `bisect.split` span per bisection (orchestrating thread; the inner
+/// 2-means runs nest their `kmeans.*` spans underneath), and the inner
+/// runs' `kmeans.*` metrics.
+pub fn bisecting_kmeans_obs<S, R>(
+    space: &S,
+    opts: &BisectOptions,
+    rng: &mut R,
+    policy: ExecPolicy,
+    obs: &Obs,
+) -> Partition
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+    R: Rng,
+{
     let n = space.len();
     let mut clusters: Vec<Vec<usize>> = vec![(0..n).collect()];
     if n == 0 {
@@ -108,10 +134,13 @@ where
             break; // nothing splittable left
         };
         let victim = clusters.swap_remove(victim_idx);
+        let _split_span = obs.span("bisect.split");
+        obs.incr("bisect.splits");
 
         // Trial 2-means splits on the victim's members; keep the best.
         let mut best: Option<(f64, Vec<usize>, Vec<usize>)> = None;
         for _ in 0..opts.trials.max(1) {
+            obs.incr("bisect.trials");
             // Seeds are indices into the sub-space (0..victim.len()).
             let picks = sample(rng, victim.len(), 2.min(victim.len()));
             let seeds: Vec<Vec<usize>> = picks.into_iter().map(|i| vec![i]).collect();
@@ -119,7 +148,7 @@ where
                 space,
                 items: &victim,
             };
-            let out = kmeans_exec(&sub, &seeds, &opts.kmeans, policy);
+            let out = kmeans_obs(&sub, &seeds, &opts.kmeans, policy, obs);
             let halves = out.partition.clusters();
             let a: Vec<usize> = halves[0].iter().map(|&i| victim[i]).collect();
             let b: Vec<usize> = halves
@@ -143,6 +172,7 @@ where
             }
             None => {
                 // All trials degenerate (identical points): split arbitrarily.
+                obs.incr("bisect.degenerate_splits");
                 let mid = victim.len() / 2;
                 clusters.push(victim[..mid].to_vec());
                 clusters.push(victim[mid..].to_vec());

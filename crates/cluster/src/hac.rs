@@ -12,7 +12,8 @@
 
 use crate::partition::Partition;
 use crate::space::ClusterSpace;
-use cafc_exec::{par_map, ExecPolicy};
+use cafc_exec::{par_map, par_map_obs, ExecPolicy};
+use cafc_obs::Obs;
 
 /// Linkage criterion: how the distance between two clusters is derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,28 @@ where
     S: ClusterSpace + Sync,
     S::Centroid: Send + Sync,
 {
+    hac_obs(space, initial, opts, policy, &Obs::disabled())
+}
+
+/// Run HAC under an explicit execution policy with instrumentation.
+///
+/// Identical semantics (and bit-identical output) to [`hac_exec`], which
+/// delegates here with [`Obs::disabled`]. Emits, when `obs` has a sink:
+/// counter `hac.merges` (one per merge step), gauges `hac.initial_groups`
+/// / `hac.final_groups`, and a `hac.merge_scan` span aggregating the
+/// closest-pair scans (plus `hac.dissimilarity_matrix` for the pairwise
+/// linkages' O(g²) initialization).
+pub fn hac_obs<S>(
+    space: &S,
+    initial: &[Vec<usize>],
+    opts: &HacOptions,
+    policy: ExecPolicy,
+    obs: &Obs,
+) -> Partition
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
     let n = space.len();
     let mut groups: Vec<Vec<usize>> = initial.iter().filter(|g| !g.is_empty()).cloned().collect();
     // Add unassigned items as singletons.
@@ -91,14 +114,18 @@ where
             groups.push(vec![item]);
         }
     }
+    obs.gauge("hac.initial_groups", groups.len() as f64);
     if groups.len() <= opts.target_clusters {
+        obs.gauge("hac.final_groups", groups.len() as f64);
         return Partition::new(groups, n);
     }
 
-    match opts.linkage {
-        Linkage::Centroid => hac_centroid(space, groups, opts.target_clusters, n, policy),
-        _ => hac_pairwise(space, groups, opts, n, policy),
-    }
+    let partition = match opts.linkage {
+        Linkage::Centroid => hac_centroid(space, groups, opts.target_clusters, n, policy, obs),
+        _ => hac_pairwise(space, groups, opts, n, policy, obs),
+    };
+    obs.gauge("hac.final_groups", partition.num_clusters() as f64);
+    partition
 }
 
 /// Centroid linkage: merge the pair with the most similar centroids and
@@ -109,6 +136,7 @@ fn hac_centroid<S>(
     target: usize,
     n: usize,
     policy: ExecPolicy,
+    obs: &Obs,
 ) -> Partition
 where
     S: ClusterSpace + Sync,
@@ -118,6 +146,8 @@ where
         par_map(policy, groups.len(), |g| space.centroid(&groups[g]));
     // `target` may be 0; a lone group cannot merge further.
     while groups.len() > target.max(1) {
+        let _scan = obs.span("hac.merge_scan");
+        obs.incr("hac.merges");
         // Per-row argmax over j > i (strict `>`: first maximum wins within a
         // row), merged in row order — same winner as the serial double loop.
         let row_best = par_map(policy, groups.len(), |i| {
@@ -160,6 +190,7 @@ fn hac_pairwise<S>(
     opts: &HacOptions,
     n: usize,
     policy: ExecPolicy,
+    obs: &Obs,
 ) -> Partition
 where
     S: ClusterSpace + Sync,
@@ -167,11 +198,13 @@ where
     let g = groups.len();
     // dist[i][j] for i<j; initialized from linkage over item pairs. Each
     // row is one closure, so the matrix is identical for every policy.
-    let upper = par_map(policy, g, |i| {
+    let matrix_span = obs.span("hac.dissimilarity_matrix");
+    let upper = par_map_obs(policy, g, obs, "hac.dissimilarity_matrix", |i| {
         ((i + 1)..g)
             .map(|j| group_distance(space, &groups[i], &groups[j], opts.linkage))
             .collect::<Vec<f64>>()
     });
+    drop(matrix_span);
     let mut dist = vec![vec![0.0f64; g]; g];
     for (i, row) in upper.into_iter().enumerate() {
         for (off, d) in row.into_iter().enumerate() {
@@ -185,6 +218,7 @@ where
     let mut remaining = g;
 
     while remaining > opts.target_clusters {
+        let _scan = obs.span("hac.merge_scan");
         // Find the closest live pair: per-row argmin (strict `<`, first
         // minimum wins), rows merged in index order — the serial scan order.
         let row_best = par_map(policy, g, |i| {
@@ -236,6 +270,7 @@ where
         sizes[bi] += sizes[bj];
         alive[bj] = false;
         remaining -= 1;
+        obs.incr("hac.merges");
     }
     let final_groups: Vec<Vec<usize>> = groups
         .into_iter()

@@ -11,7 +11,8 @@
 
 use crate::partition::Partition;
 use crate::space::ClusterSpace;
-use cafc_exec::{par_map, ExecPolicy};
+use cafc_exec::{par_map_obs, ExecPolicy};
+use cafc_obs::{Obs, FRACTION_BUCKETS};
 
 /// K-means options.
 ///
@@ -72,7 +73,10 @@ pub struct KMeansOutcome {
     pub partition: Partition,
     /// Number of assignment iterations performed.
     pub iterations: usize,
-    /// Whether the move-fraction criterion was met (vs. the iteration cap).
+    /// Whether the move-fraction criterion was met on a non-empty input.
+    /// `false` when the loop stopped on the iteration cap **and** when
+    /// there were no items to converge on (`n == 0`) — an empty input never
+    /// satisfied the criterion, it just had nothing to do.
     pub converged: bool,
 }
 
@@ -113,6 +117,28 @@ where
     S: ClusterSpace + Sync,
     S::Centroid: Send + Sync,
 {
+    kmeans_obs(space, seeds, opts, policy, &Obs::disabled())
+}
+
+/// Run k-means under an explicit execution policy with instrumentation.
+///
+/// Identical semantics (and bit-identical output) to [`kmeans_exec`],
+/// which delegates here with [`Obs::disabled`]. Emits, when `obs` has a
+/// sink: spans `kmeans.assign` / `kmeans.update` (orchestrating thread,
+/// aggregated across iterations), counter `kmeans.iterations`, gauge
+/// `kmeans.converged` (0/1), and histogram `kmeans.moved_fraction` (one
+/// observation per iteration over [`FRACTION_BUCKETS`]).
+pub fn kmeans_obs<S>(
+    space: &S,
+    seeds: &[Vec<usize>],
+    opts: &KMeansOptions,
+    policy: ExecPolicy,
+    obs: &Obs,
+) -> KMeansOutcome
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
     let n = space.len();
     let seeds: Vec<&Vec<usize>> = seeds.iter().filter(|s| !s.is_empty()).collect();
     if seeds.is_empty() {
@@ -124,7 +150,9 @@ where
         return KMeansOutcome {
             partition: Partition::new(clusters, n),
             iterations: 0,
-            converged: true,
+            // The single-cluster fallback is trivially stable, but an empty
+            // input never met the criterion — there was nothing to cluster.
+            converged: n > 0,
         };
     }
     let k = seeds.len();
@@ -136,23 +164,29 @@ where
     let mut iterations = 0;
     let mut converged = false;
 
-    while iterations < opts.max_iterations {
+    // A cap of 0 would leave items unassigned (usize::MAX); always run at
+    // least one assignment pass.
+    while iterations < opts.max_iterations.max(1) {
         iterations += 1;
+        obs.incr("kmeans.iterations");
         // Deterministic argmax per item: ties (and non-finite similarities,
         // which never compare greater) resolve to the lowest cluster index.
         // Order-preserving map -> identical assignments for every policy.
-        let best_of = par_map(policy, n, |item| {
-            let mut best = 0usize;
-            let mut best_sim = f64::NEG_INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let sim = space.similarity(centroid, item);
-                if sim > best_sim {
-                    best_sim = sim;
-                    best = c;
+        let best_of = {
+            let _span = obs.span("kmeans.assign");
+            par_map_obs(policy, n, obs, "kmeans.assign", |item| {
+                let mut best = 0usize;
+                let mut best_sim = f64::NEG_INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let sim = space.similarity(centroid, item);
+                    if sim > best_sim {
+                        best_sim = sim;
+                        best = c;
+                    }
                 }
-            }
-            best
-        });
+                best
+            })
+        };
         let mut moved = 0usize;
         for (assigned, best) in assignment.iter_mut().zip(best_of) {
             if *assigned != best {
@@ -164,11 +198,12 @@ where
         // a cluster's members never splits, so its float accumulation order
         // is fixed); a starved cluster keeps its previous centroid so it can
         // re-acquire items later.
+        let update_span = obs.span("kmeans.update");
         let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
         for (item, &c) in assignment.iter().enumerate() {
             members[c].push(item);
         }
-        let rebuilt = par_map(policy, k, |c| {
+        let rebuilt = par_map_obs(policy, k, obs, "kmeans.update", |c| {
             let m = &members[c];
             (!m.is_empty()).then(|| space.centroid(m))
         });
@@ -177,12 +212,22 @@ where
                 centroids[c] = centroid;
             }
         }
-        if n == 0 || (moved as f64) / (n as f64) < opts.move_fraction_threshold {
+        drop(update_span);
+        if n == 0 {
+            // No items: nothing can converge, and no further iteration can
+            // change that. (Unreachable with valid seeds, which must index
+            // into the space, but degenerate inputs take this exit.)
+            break;
+        }
+        let moved_fraction = (moved as f64) / (n as f64);
+        obs.observe_in("kmeans.moved_fraction", &FRACTION_BUCKETS, moved_fraction);
+        if moved_fraction < opts.move_fraction_threshold {
             converged = true;
             break;
         }
     }
 
+    obs.gauge("kmeans.converged", if converged { 1.0 } else { 0.0 });
     let partition = Partition::from_assignments(&assignment, k);
     KMeansOutcome {
         partition,
@@ -328,7 +373,74 @@ mod tests {
     fn empty_space_yields_empty_partition() {
         let space = DenseSpace::new(Vec::new());
         let out = kmeans(&space, &[], &strict());
-        assert!(out.converged);
+        assert!(
+            !out.converged,
+            "an empty input never met the move criterion"
+        );
         assert!(out.partition.clusters().is_empty());
+    }
+
+    #[test]
+    fn iteration_cap_exit_reports_not_converged() {
+        let space = blobs();
+        // One pass assigns all 6 items (all "move" from unassigned), so the
+        // strict criterion cannot be met within a single iteration.
+        let opts = KMeansOptions::strict().with_max_iterations(1);
+        let out = kmeans(&space, &[vec![0], vec![3]], &opts);
+        assert_eq!(out.iterations, 1);
+        assert!(!out.converged, "cap exit must not claim convergence");
+        assert_eq!(out.partition.num_assigned(), 6);
+    }
+
+    #[test]
+    fn max_iterations_one_can_still_converge() {
+        let space = blobs();
+        // The default 10% threshold is also unreachable in one pass, but a
+        // threshold above 1.0 is satisfied by any pass.
+        let opts = KMeansOptions::new()
+            .with_move_fraction_threshold(1.1)
+            .with_max_iterations(1);
+        let out = kmeans(&space, &[vec![0], vec![3]], &opts);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn max_iterations_zero_is_clamped_to_one_pass() {
+        // A literal 0 cap must not leave items unassigned (or panic); it
+        // behaves like a cap of 1 and reports the cap exit.
+        let space = blobs();
+        let opts = KMeansOptions::strict().with_max_iterations(0);
+        let out = kmeans(&space, &[vec![0], vec![3]], &opts);
+        assert_eq!(out.iterations, 1);
+        assert!(!out.converged);
+        assert_eq!(out.partition.num_assigned(), 6);
+    }
+
+    #[test]
+    fn obs_instrumentation_does_not_perturb_results() {
+        let space = blobs();
+        let plain = kmeans_exec(&space, &[vec![0], vec![3]], &strict(), ExecPolicy::Serial);
+        let obs = cafc_obs::Obs::enabled();
+        let instrumented = kmeans_obs(
+            &space,
+            &[vec![0], vec![3]],
+            &strict(),
+            ExecPolicy::Serial,
+            &obs,
+        );
+        assert_eq!(instrumented.partition, plain.partition);
+        assert_eq!(instrumented.iterations, plain.iterations);
+        let snap = obs.snapshot();
+        let iters = snap
+            .counters
+            .iter()
+            .find(|(name, _)| name == "kmeans.iterations")
+            .map(|(_, v)| *v);
+        assert_eq!(iters, Some(plain.iterations as u64));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(name, _)| name == "kmeans.moved_fraction"));
     }
 }

@@ -28,10 +28,11 @@ pub mod seed;
 pub mod space;
 pub mod validity;
 
-pub use bisect::{bisecting_kmeans, bisecting_kmeans_exec, BisectOptions};
+pub use bisect::{bisecting_kmeans, bisecting_kmeans_exec, bisecting_kmeans_obs, BisectOptions};
 pub use cafc_exec::ExecPolicy;
-pub use hac::{hac, hac_exec, hac_from_singletons, HacOptions, Linkage};
-pub use kmeans::{kmeans, kmeans_exec, KMeansOptions, KMeansOutcome};
+pub use cafc_obs::Obs;
+pub use hac::{hac, hac_exec, hac_from_singletons, hac_obs, HacOptions, Linkage};
+pub use kmeans::{kmeans, kmeans_exec, kmeans_obs, KMeansOptions, KMeansOutcome};
 pub use partition::Partition;
 pub use seed::{greedy_distant_seeds, kmeanspp_seeds, random_singleton_seeds};
 pub use space::{ClusterSpace, DenseSpace};

@@ -2,10 +2,11 @@
 
 use crate::space::FormPageSpace;
 use cafc_cluster::{
-    greedy_distant_seeds, kmeans_exec, random_singleton_seeds, ClusterSpace, KMeansOptions,
+    greedy_distant_seeds, kmeans_obs, random_singleton_seeds, ClusterSpace, KMeansOptions,
     KMeansOutcome,
 };
 use cafc_exec::{par_chunks, ExecPolicy, DEFAULT_CHUNK};
+use cafc_obs::Obs;
 use cafc_webgraph::{hub_clusters, HubClusterOptions, HubStats, PageId, WebGraph};
 use rand::Rng;
 
@@ -35,8 +36,22 @@ pub fn cafc_c_exec<R: Rng>(
     rng: &mut R,
     policy: ExecPolicy,
 ) -> KMeansOutcome {
+    cafc_c_obs(space, k, kmeans_opts, rng, policy, &Obs::disabled())
+}
+
+/// Run CAFC-C with instrumentation: seeding plus the observed k-means loop
+/// ([`kmeans_obs`]). Bit-identical to [`cafc_c_exec`] for a fixed RNG seed
+/// whether or not a sink is installed.
+pub fn cafc_c_obs<R: Rng>(
+    space: &FormPageSpace<'_>,
+    k: usize,
+    kmeans_opts: &KMeansOptions,
+    rng: &mut R,
+    policy: ExecPolicy,
+    obs: &Obs,
+) -> KMeansOutcome {
     let seeds = random_singleton_seeds(space, k, rng);
-    kmeans_exec(space, &seeds, kmeans_opts, policy)
+    kmeans_obs(space, &seeds, kmeans_opts, policy, obs)
 }
 
 /// CAFC-CH configuration.
@@ -152,8 +167,27 @@ pub fn cafc_ch_exec<R: Rng>(
     rng: &mut R,
     policy: ExecPolicy,
 ) -> CafcChOutcome {
+    cafc_ch_obs(graph, targets, space, config, rng, policy, &Obs::disabled())
+}
+
+/// Run CAFC-CH with instrumentation: seed selection under the
+/// `seed.select_hub_clusters` span plus the observed k-means loop.
+/// Bit-identical to [`cafc_ch_exec`] for a fixed RNG seed whether or not a
+/// sink is installed.
+///
+/// # Panics
+/// Panics if `targets.len() != space.len()`.
+pub fn cafc_ch_obs<R: Rng>(
+    graph: &WebGraph,
+    targets: &[PageId],
+    space: &FormPageSpace<'_>,
+    config: &CafcChConfig,
+    rng: &mut R,
+    policy: ExecPolicy,
+    obs: &Obs,
+) -> CafcChOutcome {
     let (mut seeds, hub_stats, quality_rejected) =
-        select_hub_clusters_exec(graph, targets, space, config, policy);
+        select_hub_clusters_obs(graph, targets, space, config, policy, obs);
     let hub_seeds = seeds.len();
 
     // Degenerate webs can yield fewer than k hub clusters; pad with random
@@ -168,8 +202,10 @@ pub fn cafc_ch_exec<R: Rng>(
             padded_seeds += 1;
         }
     }
+    obs.add("seed.hub_seeds", hub_seeds as u64);
+    obs.add("seed.padded_seeds", padded_seeds as u64);
 
-    let outcome = kmeans_exec(space, &seeds, &config.kmeans, policy);
+    let outcome = kmeans_obs(space, &seeds, &config.kmeans, policy, obs);
     CafcChOutcome {
         outcome,
         hub_stats,
@@ -211,6 +247,25 @@ pub fn select_hub_clusters_exec(
     config: &CafcChConfig,
     policy: ExecPolicy,
 ) -> (Vec<Vec<usize>>, HubStats, usize) {
+    select_hub_clusters_obs(graph, targets, space, config, policy, &Obs::disabled())
+}
+
+/// `SelectHubClusters` with instrumentation: the whole step runs under a
+/// `seed.select_hub_clusters` span, and candidate/rejection counts land in
+/// `seed.hub_candidates` / `seed.quality_rejected`. Bit-identical to
+/// [`select_hub_clusters_exec`] whether or not a sink is installed.
+///
+/// # Panics
+/// Panics if `targets.len() != space.len()`.
+pub fn select_hub_clusters_obs(
+    graph: &WebGraph,
+    targets: &[PageId],
+    space: &FormPageSpace<'_>,
+    config: &CafcChConfig,
+    policy: ExecPolicy,
+    obs: &Obs,
+) -> (Vec<Vec<usize>>, HubStats, usize) {
+    let _span = obs.span("seed.select_hub_clusters");
     assert_eq!(
         targets.len(),
         space.len(),
@@ -218,6 +273,7 @@ pub fn select_hub_clusters_exec(
     );
     let (clusters, hub_stats) = hub_clusters(graph, targets, &config.hub);
     let mut candidates: Vec<Vec<usize>> = clusters.into_iter().map(|c| c.members).collect();
+    obs.add("seed.hub_candidates", candidates.len() as u64);
 
     // Optional quality gate (content coherence of each hub cluster). Each
     // candidate's score is one closure; the retain order is the candidate
@@ -232,6 +288,7 @@ pub fn select_hub_clusters_exec(
         candidates.retain(|_| keep.next().unwrap_or(false));
         quality_rejected = before - candidates.len();
     }
+    obs.add("seed.quality_rejected", quality_rejected as u64);
 
     // Greedy farthest-first selection of k seed clusters (Alg. 3, lines 3-7).
     let selected = greedy_distant_seeds(space, &candidates, config.k);

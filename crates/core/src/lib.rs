@@ -71,9 +71,15 @@ pub mod space;
 /// primitives the whole pipeline is built on.
 pub use cafc_exec as exec;
 
+/// The observability layer ([`cafc_obs`]), re-exported: the [`Obs`] handle
+/// threaded through every pipeline stage, plus its clocks, configuration
+/// and snapshot types.
+pub use cafc_obs as obs;
+
 pub use algorithms::{
-    cafc_c, cafc_c_exec, cafc_ch, cafc_ch_exec, hub_cluster_quality, hub_cluster_quality_exec,
-    select_hub_clusters, select_hub_clusters_exec, CafcChConfig, CafcChOutcome,
+    cafc_c, cafc_c_exec, cafc_c_obs, cafc_ch, cafc_ch_exec, cafc_ch_obs, hub_cluster_quality,
+    hub_cluster_quality_exec, select_hub_clusters, select_hub_clusters_exec,
+    select_hub_clusters_obs, CafcChConfig, CafcChOutcome,
 };
 pub use assign::assign_to_clusters;
 pub use exec::ExecPolicy;
@@ -87,6 +93,7 @@ pub use space::{FeatureConfig, FormPageSpace, MultiCentroid};
 
 // Re-export the pieces callers almost always need alongside the core API.
 pub use cafc_cluster::{HacOptions, KMeansOptions, Linkage, Partition};
+pub use cafc_obs::{ManualClock, MonotonicClock, Obs, ObsConfig, Snapshot};
 pub use cafc_vsm::{IdfScheme, TfScheme};
 pub use cafc_webgraph::{HubClusterOptions, HubStats};
 
@@ -102,6 +109,6 @@ pub mod prelude {
     };
     pub use crate::{
         CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, IngestLimits, IngestReport,
-        KMeansOptions, Linkage, LocationWeights, ModelOptions, Partition,
+        KMeansOptions, Linkage, LocationWeights, ModelOptions, Obs, Partition,
     };
 }

@@ -9,8 +9,9 @@
 //! per feature space.
 
 use crate::ingest::{DegradedReason, IngestError, IngestLimits, IngestReport, PageOutcome};
-use cafc_exec::{par_chunks, par_map_slice, ExecPolicy};
+use cafc_exec::{par_chunks_obs, par_map_slice, ExecPolicy};
 use cafc_html::{located_text, parse, strip_control_chars, Document, TextLocation};
+use cafc_obs::Obs;
 use cafc_text::{Analyzer, TermDict, TermId};
 use cafc_vsm::{weigh, CountsBuilder, DocumentFrequencies, IdfScheme, SparseVector, TfScheme};
 use cafc_webgraph::{PageId, WebGraph};
@@ -189,18 +190,43 @@ impl FormPageCorpus {
     where
         I: IntoIterator<Item = &'a str>,
     {
+        Self::from_html_obs(pages, opts, policy, &Obs::disabled())
+    }
+
+    /// [`FormPageCorpus::from_html_exec`] with instrumentation (which
+    /// delegates here with [`Obs::disabled`]): spans `corpus.vectorize` and
+    /// `corpus.tfidf`, per-chunk `corpus.vectorize.*` metrics, and gauges
+    /// `corpus.pages` / `corpus.terms`.
+    pub fn from_html_obs<'a, I>(
+        pages: I,
+        opts: &ModelOptions,
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> FormPageCorpus
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
         let pages: Vec<&str> = pages.into_iter().collect();
-        let chunks = par_chunks(policy, pages.len(), PAGE_CHUNK, |range| {
-            let mut local = LocalVectors::default();
-            for &html in &pages[range] {
-                let (pc, fc) = vectorize_page(html, opts, &mut local.dict, &mut local.term_buf);
-                local.pc.push(pc);
-                local.fc.push(fc);
-            }
-            local
-        });
+        let vectorize_span = obs.span("corpus.vectorize");
+        let chunks = par_chunks_obs(
+            policy,
+            pages.len(),
+            PAGE_CHUNK,
+            obs,
+            "corpus.vectorize",
+            |range| {
+                let mut local = LocalVectors::default();
+                for &html in &pages[range] {
+                    let (pc, fc) = vectorize_page(html, opts, &mut local.dict, &mut local.term_buf);
+                    local.pc.push(pc);
+                    local.fc.push(fc);
+                }
+                local
+            },
+        );
         let (dict, pc_counts, fc_counts) = merge_local_vectors(chunks);
-        Self::finish(dict, pc_counts, fc_counts, None, opts, policy)
+        drop(vectorize_span);
+        Self::finish(dict, pc_counts, fc_counts, None, opts, policy, obs)
     }
 
     /// Build the model through the hardened ingestion layer (DESIGN.md §8):
@@ -238,13 +264,36 @@ impl FormPageCorpus {
     where
         I: IntoIterator<Item = &'a str>,
     {
+        Self::from_html_ingest_obs(pages, opts, limits, policy, &Obs::disabled())
+    }
+
+    /// [`FormPageCorpus::from_html_ingest_exec`] with instrumentation
+    /// (which delegates here with [`Obs::disabled`]): an `ingest` span,
+    /// per-chunk `ingest.*` metrics, per-page `ingest.sanitize_us` /
+    /// `ingest.parse_us` / `ingest.analyze_us` histograms (recorded by
+    /// worker threads — safe, counters and histograms aggregate
+    /// commutatively), outcome counters `ingest.pages_total` /
+    /// `ingest.pages_ok` / `ingest.pages_degraded` /
+    /// `ingest.pages_quarantined`, and one `ingest.degraded.<label>`
+    /// counter per [`DegradedReason`] observed.
+    pub fn from_html_ingest_obs<'a, I>(
+        pages: I,
+        opts: &ModelOptions,
+        limits: &IngestLimits,
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> (FormPageCorpus, IngestReport)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
         let pages: Vec<&str> = pages.into_iter().collect();
-        let chunks = par_chunks(policy, pages.len(), PAGE_CHUNK, |range| {
+        let ingest_span = obs.span("ingest");
+        let chunks = par_chunks_obs(policy, pages.len(), PAGE_CHUNK, obs, "ingest", |range| {
             let mut dict = TermDict::new();
             let mut term_buf: Vec<TermId> = Vec::new();
             let outcomes: Vec<_> = pages[range]
                 .iter()
-                .map(|&html| ingest_page(html, opts, limits, &mut dict, &mut term_buf))
+                .map(|&html| ingest_page(html, opts, limits, &mut dict, &mut term_buf, obs))
                 .collect();
             (dict, outcomes)
         });
@@ -265,14 +314,31 @@ impl FormPageCorpus {
                 report.outcomes.push(outcome);
             }
         }
+        drop(ingest_span);
+        if obs.is_enabled() {
+            obs.add("ingest.pages_total", report.total() as u64);
+            obs.add("ingest.pages_ok", report.ok() as u64);
+            obs.add("ingest.pages_degraded", report.degraded() as u64);
+            obs.add("ingest.pages_quarantined", report.quarantined() as u64);
+            for (reason, count) in report.reason_counts() {
+                obs.add(&format!("ingest.degraded.{}", reason.label()), count as u64);
+            }
+        }
 
-        let corpus = Self::finish(dict, pc_counts, fc_counts, None, opts, policy);
+        let corpus = Self::finish(dict, pc_counts, fc_counts, None, opts, policy, obs);
         (corpus, report)
     }
 
     /// Build the model for `pages` stored in `graph`, without anchor text.
     pub fn from_graph(graph: &WebGraph, pages: &[PageId], opts: &ModelOptions) -> FormPageCorpus {
-        Self::from_graph_impl(graph, pages, opts, false, ExecPolicy::Serial)
+        Self::from_graph_impl(
+            graph,
+            pages,
+            opts,
+            false,
+            ExecPolicy::Serial,
+            &Obs::disabled(),
+        )
     }
 
     /// Graph construction under an explicit execution policy; bit-identical
@@ -283,7 +349,19 @@ impl FormPageCorpus {
         opts: &ModelOptions,
         policy: ExecPolicy,
     ) -> FormPageCorpus {
-        Self::from_graph_impl(graph, pages, opts, false, policy)
+        Self::from_graph_impl(graph, pages, opts, false, policy, &Obs::disabled())
+    }
+
+    /// [`FormPageCorpus::from_graph_exec`] with instrumentation — the
+    /// `corpus.*` spans and metrics of [`FormPageCorpus::from_html_obs`].
+    pub fn from_graph_obs(
+        graph: &WebGraph,
+        pages: &[PageId],
+        opts: &ModelOptions,
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> FormPageCorpus {
+        Self::from_graph_impl(graph, pages, opts, false, policy, obs)
     }
 
     /// Build the model plus the §6 anchor-text extension: for each target
@@ -294,7 +372,14 @@ impl FormPageCorpus {
         pages: &[PageId],
         opts: &ModelOptions,
     ) -> FormPageCorpus {
-        Self::from_graph_impl(graph, pages, opts, true, ExecPolicy::Serial)
+        Self::from_graph_impl(
+            graph,
+            pages,
+            opts,
+            true,
+            ExecPolicy::Serial,
+            &Obs::disabled(),
+        )
     }
 
     /// Graph-plus-anchors construction under an explicit execution policy;
@@ -306,7 +391,20 @@ impl FormPageCorpus {
         opts: &ModelOptions,
         policy: ExecPolicy,
     ) -> FormPageCorpus {
-        Self::from_graph_impl(graph, pages, opts, true, policy)
+        Self::from_graph_impl(graph, pages, opts, true, policy, &Obs::disabled())
+    }
+
+    /// [`FormPageCorpus::from_graph_with_anchors_exec`] with
+    /// instrumentation — additionally wraps the in-link anchor pass in a
+    /// `corpus.anchors` span.
+    pub fn from_graph_with_anchors_obs(
+        graph: &WebGraph,
+        pages: &[PageId],
+        opts: &ModelOptions,
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> FormPageCorpus {
+        Self::from_graph_impl(graph, pages, opts, true, policy, obs)
     }
 
     fn from_graph_impl(
@@ -315,21 +413,32 @@ impl FormPageCorpus {
         opts: &ModelOptions,
         with_anchors: bool,
         policy: ExecPolicy,
+        obs: &Obs,
     ) -> FormPageCorpus {
-        let chunks = par_chunks(policy, pages.len(), PAGE_CHUNK, |range| {
-            let mut local = LocalVectors::default();
-            for &page in &pages[range] {
-                let html = graph.html(page).unwrap_or("");
-                let (pc, fc) = vectorize_page(html, opts, &mut local.dict, &mut local.term_buf);
-                local.pc.push(pc);
-                local.fc.push(fc);
-            }
-            local
-        });
+        let vectorize_span = obs.span("corpus.vectorize");
+        let chunks = par_chunks_obs(
+            policy,
+            pages.len(),
+            PAGE_CHUNK,
+            obs,
+            "corpus.vectorize",
+            |range| {
+                let mut local = LocalVectors::default();
+                for &page in &pages[range] {
+                    let html = graph.html(page).unwrap_or("");
+                    let (pc, fc) = vectorize_page(html, opts, &mut local.dict, &mut local.term_buf);
+                    local.pc.push(pc);
+                    local.fc.push(fc);
+                }
+                local
+            },
+        );
         let (mut dict, pc_counts, fc_counts) = merge_local_vectors(chunks);
+        drop(vectorize_span);
 
         // The anchor pass interns into the merged dictionary on the calling
         // thread, after all page terms — exactly the serial interleaving.
+        let _anchor_span = with_anchors.then(|| obs.span("corpus.anchors"));
         let anchor_counts = with_anchors.then(|| {
             let mut term_buf: Vec<TermId> = Vec::new();
             let mut counts: Vec<CountsBuilder> =
@@ -370,11 +479,13 @@ impl FormPageCorpus {
             }
             counts
         });
+        drop(_anchor_span);
 
-        Self::finish(dict, pc_counts, fc_counts, anchor_counts, opts, policy)
+        Self::finish(dict, pc_counts, fc_counts, anchor_counts, opts, policy, obs)
     }
 
     /// Apply per-space IDF (Equation 1's `log(N/n_i)`) and freeze vectors.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         dict: TermDict,
         pc_counts: Vec<CountsBuilder>,
@@ -382,7 +493,9 @@ impl FormPageCorpus {
         anchor_counts: Option<Vec<CountsBuilder>>,
         opts: &ModelOptions,
         policy: ExecPolicy,
+        obs: &Obs,
     ) -> FormPageCorpus {
+        let _tfidf_span = obs.span("corpus.tfidf");
         let n = pc_counts.len();
         let mut pc_df = DocumentFrequencies::new();
         let mut fc_df = DocumentFrequencies::new();
@@ -410,6 +523,8 @@ impl FormPageCorpus {
             }
             None => vec![SparseVector::empty(); n],
         };
+        obs.gauge("corpus.pages", n as f64);
+        obs.gauge("corpus.terms", dict.len() as f64);
         FormPageCorpus {
             dict,
             pc,
@@ -476,12 +591,19 @@ fn vectorize_page(
 
 /// Run one page through the hardened ingestion checks; `Some` counts mean
 /// the page is kept.
+///
+/// Phase timings (`ingest.sanitize_us` / `ingest.parse_us` /
+/// `ingest.analyze_us`) are recorded per page into `obs` histograms —
+/// order-independent aggregates, so recording from parallel ingestion
+/// workers preserves snapshot determinism (under a logical clock every
+/// duration is 0).
 fn ingest_page(
     html: &str,
     opts: &ModelOptions,
     limits: &IngestLimits,
     dict: &mut TermDict,
     term_buf: &mut Vec<TermId>,
+    obs: &Obs,
 ) -> (PageOutcome, Option<(CountsBuilder, CountsBuilder)>) {
     let mut reasons: Vec<DegradedReason> = Vec::new();
 
@@ -494,6 +616,7 @@ fn ingest_page(
         };
         return (outcome, None);
     }
+    let sanitize_t0 = obs.start_timer();
     let html = if html.len() > limits.soft_max_bytes {
         reasons.push(DegradedReason::InputTruncated);
         // Truncate on a char boundary; mid-tag cuts are exactly what the
@@ -510,8 +633,11 @@ fn ingest_page(
     if stripped {
         reasons.push(DegradedReason::ControlCharsStripped);
     }
+    obs.observe_since("ingest.sanitize_us", sanitize_t0);
 
+    let parse_t0 = obs.start_timer();
     let (doc, stats) = Document::parse_with_stats(&html);
+    obs.observe_since("ingest.parse_us", parse_t0);
     if stats.depth_capped {
         reasons.push(DegradedReason::DepthCapped);
     }
@@ -519,6 +645,7 @@ fn ingest_page(
         reasons.push(DegradedReason::InputTruncated);
     }
 
+    let analyze_t0 = obs.start_timer();
     let mut pc = CountsBuilder::new();
     let mut fc = CountsBuilder::new();
     let mut terms_used = 0usize;
@@ -545,6 +672,7 @@ fn ingest_page(
     if budget_hit {
         reasons.push(DegradedReason::TermBudgetExceeded);
     }
+    obs.observe_since("ingest.analyze_us", analyze_t0);
 
     if pc.is_empty() {
         let outcome = PageOutcome::Quarantined {

@@ -24,14 +24,15 @@
 //! assert_eq!(outcome.partition.num_clusters(), 8);
 //! ```
 
-use crate::algorithms::{cafc_c_exec, cafc_ch_exec, CafcChConfig};
+use crate::algorithms::{cafc_c_obs, cafc_ch_obs, CafcChConfig};
 use crate::ingest::{IngestLimits, IngestReport};
 use crate::model::{FormPageCorpus, ModelOptions};
 use crate::space::{FeatureConfig, FormPageSpace};
 use cafc_cluster::{
-    bisecting_kmeans_exec, hac_exec, BisectOptions, HacOptions, KMeansOptions, Linkage, Partition,
+    bisecting_kmeans_obs, hac_obs, BisectOptions, HacOptions, KMeansOptions, Linkage, Partition,
 };
 use cafc_exec::ExecPolicy;
+use cafc_obs::Obs;
 use cafc_webgraph::{HubStats, PageId, WebGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -152,6 +153,7 @@ pub struct Pipeline {
     exec: ExecPolicy,
     seed: u64,
     anchors: bool,
+    obs: Obs,
 }
 
 impl Pipeline {
@@ -163,6 +165,12 @@ impl Pipeline {
     /// The configured execution policy.
     pub fn exec_policy(&self) -> ExecPolicy {
         self.exec
+    }
+
+    /// The observability handle this pipeline records into (disabled unless
+    /// the builder installed one via [`PipelineBuilder::obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Cluster raw HTML documents.
@@ -177,16 +185,22 @@ impl Pipeline {
         }
         let (corpus, ingest) = match &self.limits {
             Some(limits) => {
-                let (corpus, report) = FormPageCorpus::from_html_ingest_exec(
+                let (corpus, report) = FormPageCorpus::from_html_ingest_obs(
                     pages.iter().copied(),
                     &self.model,
                     limits,
                     self.exec,
+                    &self.obs,
                 );
                 (corpus, Some(report))
             }
             None => (
-                FormPageCorpus::from_html_exec(pages.iter().copied(), &self.model, self.exec),
+                FormPageCorpus::from_html_obs(
+                    pages.iter().copied(),
+                    &self.model,
+                    self.exec,
+                    &self.obs,
+                ),
                 None,
             ),
         };
@@ -207,9 +221,15 @@ impl Pipeline {
         targets: &[PageId],
     ) -> Result<PipelineOutcome, PipelineError> {
         let corpus = if self.anchors {
-            FormPageCorpus::from_graph_with_anchors_exec(graph, targets, &self.model, self.exec)
+            FormPageCorpus::from_graph_with_anchors_obs(
+                graph,
+                targets,
+                &self.model,
+                self.exec,
+                &self.obs,
+            )
         } else {
-            FormPageCorpus::from_graph_exec(graph, targets, &self.model, self.exec)
+            FormPageCorpus::from_graph_obs(graph, targets, &self.model, self.exec, &self.obs)
         };
         let (partition, details) = self.cluster(&corpus, Some((graph, targets)))?;
         Ok(PipelineOutcome {
@@ -227,9 +247,17 @@ impl Pipeline {
     ) -> Result<(Partition, AlgorithmDetails), PipelineError> {
         let space = FormPageSpace::new(corpus, self.features);
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let _cluster_span = self.obs.span("cluster");
         match &self.algorithm {
             Algorithm::CafcC { k } => {
-                let out = cafc_c_exec(&space, *k, &KMeansOptions::default(), &mut rng, self.exec);
+                let out = cafc_c_obs(
+                    &space,
+                    *k,
+                    &KMeansOptions::default(),
+                    &mut rng,
+                    self.exec,
+                    &self.obs,
+                );
                 Ok((
                     out.partition,
                     AlgorithmDetails::KMeans {
@@ -242,7 +270,9 @@ impl Pipeline {
                 let Some((graph, targets)) = graph else {
                     return Err(PipelineError::NeedsGraph);
                 };
-                let out = cafc_ch_exec(graph, targets, &space, config, &mut rng, self.exec);
+                let out = cafc_ch_obs(
+                    graph, targets, &space, config, &mut rng, self.exec, &self.obs,
+                );
                 Ok((
                     out.outcome.partition,
                     AlgorithmDetails::CafcCh {
@@ -261,7 +291,7 @@ impl Pipeline {
                     linkage: *linkage,
                 };
                 Ok((
-                    hac_exec(&space, &[], &opts, self.exec),
+                    hac_obs(&space, &[], &opts, self.exec, &self.obs),
                     AlgorithmDetails::Hac,
                 ))
             }
@@ -271,7 +301,7 @@ impl Pipeline {
                     trials: *trials,
                     kmeans: KMeansOptions::default(),
                 };
-                let p = bisecting_kmeans_exec(&space, &opts, &mut rng, self.exec);
+                let p = bisecting_kmeans_obs(&space, &opts, &mut rng, self.exec, &self.obs);
                 Ok((p, AlgorithmDetails::Bisect))
             }
         }
@@ -289,6 +319,7 @@ pub struct PipelineBuilder {
     exec: ExecPolicy,
     seed: u64,
     anchors: bool,
+    obs: Obs,
 }
 
 impl PipelineBuilder {
@@ -335,6 +366,14 @@ impl PipelineBuilder {
         self
     }
 
+    /// Install an observability handle; every stage of the run records
+    /// metrics and spans into it. Defaults to [`Obs::disabled`] (near-zero
+    /// cost). The clustering result is bit-identical either way.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Finalize the pipeline.
     pub fn build(self) -> Pipeline {
         Pipeline {
@@ -345,6 +384,7 @@ impl PipelineBuilder {
             exec: self.exec,
             seed: self.seed,
             anchors: self.anchors,
+            obs: self.obs,
         }
     }
 }

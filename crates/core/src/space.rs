@@ -78,15 +78,34 @@ impl<'a> FormPageSpace<'a> {
         self.config
     }
 
-    fn combine(&self, pc: f64, fc: f64, anchor: f64) -> f64 {
+    /// Equation 3: the weighted average of per-space cosines **over the
+    /// spaces that are actually enabled and populated**. `anchor` is `None`
+    /// when the anchor space carries no signal for the pair (both vectors
+    /// empty — e.g. a corpus built without in-link anchor text); a missing
+    /// space must drop out of both the numerator *and* the denominator,
+    /// otherwise an anchor-less corpus under [`FeatureConfig::WithAnchors`]
+    /// would have every similarity diluted by `(c1+c2)/(c1+c2+c3)`.
+    fn combine(&self, pc: f64, fc: f64, anchor: Option<f64>) -> f64 {
         match self.config {
             FeatureConfig::FcOnly => fc,
             FeatureConfig::PcOnly => pc,
             FeatureConfig::Combined { c1, c2 } => (c1 * pc + c2 * fc) / (c1 + c2),
-            FeatureConfig::WithAnchors { c1, c2, c3 } => {
-                (c1 * pc + c2 * fc + c3 * anchor) / (c1 + c2 + c3)
-            }
+            FeatureConfig::WithAnchors { c1, c2, c3 } => match anchor {
+                Some(anchor) => (c1 * pc + c2 * fc + c3 * anchor) / (c1 + c2 + c3),
+                None => (c1 * pc + c2 * fc) / (c1 + c2),
+            },
         }
+    }
+}
+
+/// The anchor-space cosine for [`FormPageSpace::combine`]: `None` when the
+/// space is silent for this pair (both vectors empty), so it cannot dilute
+/// the Equation 3 average.
+fn anchor_cosine(a: &SparseVector, b: &SparseVector) -> Option<f64> {
+    if a.is_empty() && b.is_empty() {
+        None
+    } else {
+        Some(a.cosine(b))
     }
 }
 
@@ -109,7 +128,7 @@ impl ClusterSpace for FormPageSpace<'_> {
         self.combine(
             centroid.pc.cosine(&self.corpus.pc[item]),
             centroid.fc.cosine(&self.corpus.fc[item]),
-            centroid.anchor.cosine(&self.corpus.anchor[item]),
+            anchor_cosine(&centroid.anchor, &self.corpus.anchor[item]),
         )
     }
 
@@ -117,7 +136,7 @@ impl ClusterSpace for FormPageSpace<'_> {
         self.combine(
             a.pc.cosine(&b.pc),
             a.fc.cosine(&b.fc),
-            a.anchor.cosine(&b.anchor),
+            anchor_cosine(&a.anchor, &b.anchor),
         )
     }
 
@@ -125,7 +144,7 @@ impl ClusterSpace for FormPageSpace<'_> {
         self.combine(
             self.corpus.pc[a].cosine(&self.corpus.pc[b]),
             self.corpus.fc[a].cosine(&self.corpus.fc[b]),
-            self.corpus.anchor[a].cosine(&self.corpus.anchor[b]),
+            anchor_cosine(&self.corpus.anchor[a], &self.corpus.anchor[b]),
         )
     }
 }
@@ -206,6 +225,71 @@ mod tests {
         let ca = space.centroid(&[0]);
         let cb = space.centroid(&[2]);
         assert!((space.centroid_similarity(&ca, &cb) - space.item_similarity(0, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_anchor_space_does_not_dilute_similarity() {
+        // `from_html` builds no anchor vectors, so WithAnchors over this
+        // corpus must degrade to exactly the two-space Equation 3 —
+        // anchor-off and anchor-empty give identical similarities.
+        let c = corpus();
+        let combined = FormPageSpace::new(&c, FeatureConfig::Combined { c1: 2.0, c2: 1.0 });
+        let with_anchors = FormPageSpace::new(
+            &c,
+            FeatureConfig::WithAnchors {
+                c1: 2.0,
+                c2: 1.0,
+                c3: 5.0,
+            },
+        );
+        for a in 0..3 {
+            for b in 0..3 {
+                let off = combined.item_similarity(a, b);
+                let empty = with_anchors.item_similarity(a, b);
+                assert_eq!(
+                    off.to_bits(),
+                    empty.to_bits(),
+                    "sim({a},{b}): anchor-off {off} != anchor-empty {empty}"
+                );
+            }
+        }
+        // Same for the centroid paths used by k-means/HAC.
+        let ca = with_anchors.centroid(&[0, 1]);
+        let cb = with_anchors.centroid(&[2]);
+        assert_eq!(
+            with_anchors.centroid_similarity(&ca, &cb).to_bits(),
+            combined.centroid_similarity(&ca, &cb).to_bits()
+        );
+        assert_eq!(
+            with_anchors.similarity(&ca, 2).to_bits(),
+            combined.similarity(&ca, 2).to_bits()
+        );
+    }
+
+    #[test]
+    fn populated_anchor_space_still_weighs_in() {
+        let c = corpus();
+        let space = FormPageSpace::new(
+            &c,
+            FeatureConfig::WithAnchors {
+                c1: 1.0,
+                c2: 1.0,
+                c3: 2.0,
+            },
+        );
+        // A present (even one-sided) anchor signal re-enters the average.
+        assert_eq!(space.combine(0.8, 0.4, Some(1.0)), (0.8 + 0.4 + 2.0) / 4.0);
+        assert_eq!(space.combine(0.8, 0.4, None), (0.8 + 0.4) / 2.0);
+    }
+
+    #[test]
+    fn anchor_cosine_is_none_only_when_both_sides_empty() {
+        let empty = SparseVector::default();
+        let full = SparseVector::from_entries(vec![(cafc_text::TermId(0), 1.0)]);
+        assert_eq!(anchor_cosine(&empty, &empty), None);
+        assert_eq!(anchor_cosine(&full, &empty), Some(0.0));
+        assert_eq!(anchor_cosine(&empty, &full), Some(0.0));
+        assert_eq!(anchor_cosine(&full, &full), Some(1.0));
     }
 
     #[test]

@@ -38,8 +38,15 @@ pub use stats::{AbandonReason, CrawlStats, DeadLetter};
 
 use cafc_classify::searchable_forms;
 use cafc_html::parse;
+use cafc_obs::Obs;
 use cafc_webgraph::{PageId, WebGraph};
 use std::collections::{HashMap, VecDeque};
+
+/// Histogram bucket upper bounds (simulated milliseconds) for the
+/// `crawl.backoff_wait_ms` metric.
+const BACKOFF_BUCKETS_MS: [f64; 8] = [
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0,
+];
 
 /// Simulated cost of a failed fetch attempt (a timeout or reset is not
 /// free), charged to the clock so failures also consume crawl time.
@@ -155,6 +162,23 @@ pub fn crawl_resilient<F: Fetcher>(
     seed: PageId,
     config: &ResilientConfig,
 ) -> ResilientCrawlOutcome {
+    crawl_resilient_obs(graph, fetcher, seed, config, &Obs::disabled())
+}
+
+/// [`crawl_resilient`] with instrumentation: the run executes under a
+/// `crawl` span, every backoff wait lands in the `crawl.backoff_wait_ms`
+/// histogram, and the final [`CrawlStats`] are mirrored into `crawl.*`
+/// counters (attempts, successes, retries, error classes, breaker events,
+/// parking, dead letters) plus a `crawl.sim_elapsed_ms` gauge. The crawl
+/// itself is bit-identical whether or not a sink is installed.
+pub fn crawl_resilient_obs<F: Fetcher>(
+    graph: &WebGraph,
+    fetcher: &mut F,
+    seed: PageId,
+    config: &ResilientConfig,
+    obs: &Obs,
+) -> ResilientCrawlOutcome {
+    let crawl_span = obs.span("crawl");
     let mut pages = CrawlResult {
         visited: Vec::new(),
         searchable_form_pages: Vec::new(),
@@ -249,7 +273,9 @@ pub fn crawl_resilient<F: Fetcher>(
                         }
                         stats.retries += 1;
                         let salt = u64::from(job.page.0) ^ (stats.attempts << 20);
-                        clock.advance(config.retry.backoff_delay_ms(attempt - 1, salt));
+                        let wait = config.retry.backoff_delay_ms(attempt - 1, salt);
+                        obs.observe_in("crawl.backoff_wait_ms", &BACKOFF_BUCKETS_MS, wait as f64);
+                        clock.advance(wait);
                     }
                     Err(_permanent) => {
                         stats.permanent_failures += 1;
@@ -343,6 +369,27 @@ pub fn crawl_resilient<F: Fetcher>(
     stats.sim_elapsed_ms = clock.now_ms();
     stats.breaker_trips = breakers.total_trips();
     stats.abandoned_hosts = breakers.open_hosts();
+    drop(crawl_span);
+    if obs.is_enabled() {
+        obs.add("crawl.attempts", stats.attempts);
+        obs.add("crawl.successes", stats.successes);
+        obs.add("crawl.retries", stats.retries);
+        obs.add("crawl.errors.transient", stats.transient_failures);
+        obs.add("crawl.errors.permanent", stats.permanent_failures);
+        obs.add("crawl.abandoned", stats.abandoned);
+        obs.add("crawl.breaker.trips", stats.breaker_trips);
+        obs.add("crawl.breaker.rejections", stats.breaker_rejections);
+        obs.add("crawl.parked", stats.parked);
+        obs.add("crawl.redirects_followed", stats.redirects_followed);
+        obs.add("crawl.truncated_pages", stats.truncated_pages);
+        obs.add("crawl.dead_letters", stats.dead_letter.len() as u64);
+        obs.add("crawl.pages_visited", pages.visited.len() as u64);
+        obs.add(
+            "crawl.searchable_form_pages",
+            pages.searchable_form_pages.len() as u64,
+        );
+        obs.gauge("crawl.sim_elapsed_ms", stats.sim_elapsed_ms as f64);
+    }
     ResilientCrawlOutcome { pages, stats }
 }
 
@@ -534,6 +581,35 @@ mod tests {
         );
         assert!(outcome.stats.retries > 0, "20% faults must trigger retries");
         assert!(outcome.stats.is_accounted(), "{}", outcome.stats);
+    }
+
+    #[test]
+    fn obs_instrumentation_does_not_perturb_crawl() {
+        let web = generate(&CorpusConfig::small(37));
+        let mut chaos = ChaosFetcher::over_graph(&web.graph, FaultConfig::transient(0.2, 5));
+        let plain = crawl_resilient(
+            &web.graph,
+            &mut chaos,
+            web.portal,
+            &ResilientConfig::default(),
+        );
+        let obs = Obs::with_clock(std::sync::Arc::new(cafc_obs::ManualClock::new()));
+        let mut chaos = ChaosFetcher::over_graph(&web.graph, FaultConfig::transient(0.2, 5));
+        let outcome = crawl_resilient_obs(
+            &web.graph,
+            &mut chaos,
+            web.portal,
+            &ResilientConfig::default(),
+            &obs,
+        );
+        assert_eq!(outcome.pages.visited, plain.pages.visited);
+        assert_eq!(outcome.stats.attempts, plain.stats.attempts);
+        let snap = obs.snapshot();
+        let json = snap.render_json();
+        assert!(json.contains("\"crawl.attempts\""), "{json}");
+        assert!(json.contains("\"crawl.retries\""), "{json}");
+        assert!(json.contains("\"crawl.backoff_wait_ms\""), "{json}");
+        assert!(json.contains("\"crawl.sim_elapsed_ms\""), "{json}");
     }
 
     #[test]

@@ -21,9 +21,11 @@
 pub mod agreement;
 pub mod confusion;
 pub mod metrics;
+pub mod validate;
 
 pub use agreement::{
     adjusted_rand_index, mutual_information, nmi, pairwise_scores, PairwiseScores,
 };
 pub use confusion::ConfusionMatrix;
 pub use metrics::{entropy, f_measure, f_measure_by_class, misclustered, purity, EntropyBase};
+pub use validate::{drop_empty_clusters, validate_clusters, PartitionError};

@@ -1,0 +1,187 @@
+//! Boundary validation for externally-supplied clusterings.
+//!
+//! The metric functions in this crate assume a *well-formed* clustering:
+//! every member index in range and no index in two clusters. They do not
+//! check — `entropy`/`f_measure` would silently double-count a duplicated
+//! index, and a file edited by hand (`clusters.json`) can easily violate
+//! both. Callers that ingest clusterings from outside the library (the CLI
+//! `eval` subcommand, notebooks, tests) should run
+//! [`validate_clusters`] first and surface the typed error.
+//!
+//! Empty clusters are *not* an error here: the writer and reader of
+//! `clusters.json` both drop them, and the metrics skip them, so they are
+//! normalized away rather than rejected.
+
+use std::fmt;
+
+/// A malformed clustering detected at the eval boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// An item index appears in more than one cluster (or twice in one).
+    DuplicateItem {
+        /// The offending item index.
+        item: usize,
+        /// Cluster (by position, empty clusters included) of the first
+        /// occurrence.
+        first_cluster: usize,
+        /// Cluster of the second occurrence.
+        second_cluster: usize,
+    },
+    /// An item index is out of range for the labelled corpus.
+    OutOfRange {
+        /// The offending item index.
+        item: usize,
+        /// Cluster (by position) containing it.
+        cluster: usize,
+        /// Number of labelled items; valid indices are `0..num_items`.
+        num_items: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::DuplicateItem {
+                item,
+                first_cluster,
+                second_cluster,
+            } => write!(
+                f,
+                "item {item} appears in cluster {first_cluster} and again in cluster \
+                 {second_cluster}; a clustering must assign each item once"
+            ),
+            PartitionError::OutOfRange {
+                item,
+                cluster,
+                num_items,
+            } => write!(
+                f,
+                "cluster {cluster} references item {item}, but only {num_items} items are \
+                 labelled (valid indices are 0..{num_items})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Check that `clusters` is a well-formed (partial) clustering of
+/// `num_items` items: every member index in `0..num_items` and no index
+/// assigned twice. Items missing from every cluster are fine (the metrics
+/// treat the clustering as covering only the listed items), as are empty
+/// clusters (the metrics skip them).
+pub fn validate_clusters(clusters: &[Vec<usize>], num_items: usize) -> Result<(), PartitionError> {
+    let mut owner: Vec<Option<usize>> = vec![None; num_items];
+    for (c, members) in clusters.iter().enumerate() {
+        for &item in members {
+            if item >= num_items {
+                return Err(PartitionError::OutOfRange {
+                    item,
+                    cluster: c,
+                    num_items,
+                });
+            }
+            match owner[item] {
+                Some(first_cluster) => {
+                    return Err(PartitionError::DuplicateItem {
+                        item,
+                        first_cluster,
+                        second_cluster: c,
+                    })
+                }
+                None => owner[item] = Some(c),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drop empty clusters, preserving the order of the rest — the
+/// normalization both the `clusters.json` writer and reader apply so that
+/// cluster positions agree between them.
+pub fn drop_empty_clusters(clusters: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    clusters.into_iter().filter(|c| !c.is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_passes() {
+        let clusters = vec![vec![0, 2], vec![1], vec![4]];
+        assert_eq!(validate_clusters(&clusters, 5), Ok(()));
+        // Partial coverage (item 3 unassigned) is fine.
+    }
+
+    #[test]
+    fn duplicate_across_clusters_rejected() {
+        let clusters = vec![vec![0, 1], vec![2, 1]];
+        assert_eq!(
+            validate_clusters(&clusters, 3),
+            Err(PartitionError::DuplicateItem {
+                item: 1,
+                first_cluster: 0,
+                second_cluster: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_within_one_cluster_rejected() {
+        let clusters = vec![vec![2, 2]];
+        assert_eq!(
+            validate_clusters(&clusters, 3),
+            Err(PartitionError::DuplicateItem {
+                item: 2,
+                first_cluster: 0,
+                second_cluster: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let clusters = vec![vec![0], vec![3]];
+        assert_eq!(
+            validate_clusters(&clusters, 3),
+            Err(PartitionError::OutOfRange {
+                item: 3,
+                cluster: 1,
+                num_items: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn empty_corpus_rejects_any_member() {
+        assert!(validate_clusters(&[vec![0]], 0).is_err());
+        assert_eq!(validate_clusters(&[vec![], vec![]], 0), Ok(()));
+    }
+
+    #[test]
+    fn empty_clusters_are_valid_and_droppable() {
+        let clusters = vec![vec![], vec![0], vec![], vec![1, 2]];
+        assert_eq!(validate_clusters(&clusters, 3), Ok(()));
+        assert_eq!(drop_empty_clusters(clusters), vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn errors_display_actionably() {
+        let dup = PartitionError::DuplicateItem {
+            item: 7,
+            first_cluster: 1,
+            second_cluster: 4,
+        }
+        .to_string();
+        assert!(dup.contains("item 7"), "{dup}");
+        assert!(dup.contains("cluster 1"), "{dup}");
+        let oor = PartitionError::OutOfRange {
+            item: 9,
+            cluster: 0,
+            num_items: 5,
+        }
+        .to_string();
+        assert!(oor.contains("0..5"), "{oor}");
+    }
+}

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+use cafc_obs::Obs;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -163,6 +164,62 @@ where
     par_map(policy, items.len(), |i| f(i, &items[i]))
 }
 
+/// [`par_chunks`] with per-chunk instrumentation under `label`:
+///
+/// * counter `{label}.chunks` — chunks dispatched (`⌈n / chunk_len⌉`);
+/// * counter `{label}.items` — items covered (`n`);
+/// * histogram `{label}.chunk_us` — per-chunk wall clock, observed by the
+///   worker that computed the chunk.
+///
+/// Chunk boundaries, merge order, and results are exactly those of
+/// [`par_chunks`]; instrumentation never influences scheduling. Chunk
+/// counts depend only on `n` and `chunk_len`, and under a logical clock
+/// every duration is 0, so snapshots stay byte-identical across policies.
+/// A disabled `obs` skips even the metric-name formatting.
+pub fn par_chunks_obs<A, F>(
+    policy: ExecPolicy,
+    n: usize,
+    chunk_len: usize,
+    obs: &Obs,
+    label: &str,
+    f: F,
+) -> Vec<A>
+where
+    A: Send,
+    F: Fn(Range<usize>) -> A + Sync,
+{
+    if !obs.is_enabled() {
+        return par_chunks(policy, n, chunk_len, f);
+    }
+    let chunk_len = chunk_len.max(1);
+    obs.add(&format!("{label}.chunks"), n.div_ceil(chunk_len) as u64);
+    obs.add(&format!("{label}.items"), n as u64);
+    let chunk_metric = format!("{label}.chunk_us");
+    par_chunks(policy, n, chunk_len, |range| {
+        let t0 = obs.start_timer();
+        let out = f(range);
+        obs.observe_since(&chunk_metric, t0);
+        out
+    })
+}
+
+/// [`par_map`] with per-chunk instrumentation under `label` — see
+/// [`par_chunks_obs`] for the metrics emitted.
+pub fn par_map_obs<R, F>(policy: ExecPolicy, n: usize, obs: &Obs, label: &str, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let chunks = par_chunks_obs(policy, n, DEFAULT_CHUNK, obs, label, |range| {
+        range.map(&f).collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
 /// Indexed-chunk reduction: compute a partial result per fixed chunk of
 /// `0..n`, then merge the partials **left to right in chunk order**.
 ///
@@ -288,5 +345,35 @@ mod tests {
     fn more_threads_than_chunks() {
         let out = par_map(ExecPolicy::Parallel { threads: 64 }, 5, |i| i);
         assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn obs_variants_match_uninstrumented_results() {
+        let expect: Vec<usize> = (0..500).map(|i| i * 3).collect();
+        for policy in POLICIES {
+            for obs in [Obs::disabled(), Obs::enabled()] {
+                assert_eq!(
+                    par_map_obs(policy, 500, &obs, "t", |i| i * 3),
+                    expect,
+                    "{policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn obs_chunk_metrics_are_policy_invariant() {
+        let run = |policy| {
+            let obs = Obs::with_clock(std::sync::Arc::new(cafc_obs::ManualClock::new()));
+            par_chunks_obs(policy, 10, 4, &obs, "stage", |r| r.len());
+            obs.snapshot().render_json()
+        };
+        let serial = run(ExecPolicy::Serial);
+        assert!(serial.contains("\"stage.chunks\": 3"), "{serial}");
+        assert!(serial.contains("\"stage.items\": 10"), "{serial}");
+        assert!(serial.contains("stage.chunk_us"), "{serial}");
+        for policy in POLICIES {
+            assert_eq!(run(policy), serial, "{policy:?}");
+        }
     }
 }

@@ -1,0 +1,329 @@
+//! Point-in-time registry snapshots and their exporters.
+//!
+//! Both renderers emit a **stable field order**: counters, gauges, and
+//! histograms sort by metric name (they come out of `BTreeMap`s), span
+//! trees render in creation order, and every struct field renders in a
+//! fixed position. Two runs that record the same values therefore render
+//! byte-identical output — the property the determinism suite asserts.
+
+/// A rendered-friendly copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; one extra trailing slot is the
+    /// `+Inf` overflow bucket.
+    pub bucket_counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// One node of the aggregated span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// How many times this span closed.
+    pub calls: u64,
+    /// Total time spent inside, nanoseconds (children included).
+    pub total_ns: u64,
+    /// Child spans, in creation order.
+    pub children: Vec<SpanSnapshot>,
+}
+
+/// A point-in-time copy of an [`Obs`](crate::Obs) registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Root spans, in creation order.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl Snapshot {
+    /// True when nothing was recorded (always true for a disabled handle).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Render as a JSON object with the fixed top-level keys `counters`,
+    /// `gauges`, `histograms`, and `spans` (all always present), stable
+    /// member order, and a trailing newline.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(": ");
+            out.push_str(&value.to_string());
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(": ");
+            out.push_str(&json_f64(*value));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(": {\"count\": ");
+            out.push_str(&h.count.to_string());
+            out.push_str(", \"sum\": ");
+            out.push_str(&json_f64(h.sum));
+            out.push_str(", \"buckets\": [");
+            for (b, &count) in h.bucket_counts.iter().enumerate() {
+                if b > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"le\": ");
+                match h.bounds.get(b) {
+                    Some(&bound) => out.push_str(&json_f64(bound)),
+                    None => out.push_str("\"+Inf\""),
+                }
+                out.push_str(", \"count\": ");
+                out.push_str(&count.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"spans\": [");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            json_span(&mut out, span, 2);
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Render as indented human-readable text: the span tree first, then
+    /// counters, gauges, and histograms, one per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("spans:\n");
+        if self.spans.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for span in &self.spans {
+            text_span(&mut out, span, 1);
+        }
+        out.push_str("counters:\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name} = {value}\n"));
+        }
+        out.push_str("gauges:\n");
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("  {name} = {}\n", json_f64(*value)));
+        }
+        out.push_str("histograms:\n");
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "  {name}: count={} sum={}",
+                h.count,
+                json_f64(h.sum)
+            ));
+            for (b, &count) in h.bucket_counts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                match h.bounds.get(b) {
+                    Some(&bound) => out.push_str(&format!(" le{}={count}", json_f64(bound))),
+                    None => out.push_str(&format!(" le+Inf={count}")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn json_span(out: &mut String, span: &SpanSnapshot, depth: usize) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    out.push_str("{\"name\": ");
+    json_string(out, &span.name);
+    out.push_str(&format!(
+        ", \"calls\": {}, \"total_ns\": {}, \"children\": [",
+        span.calls, span.total_ns
+    ));
+    for (i, child) in span.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        json_span(out, child, depth + 1);
+    }
+    if !span.children.is_empty() {
+        out.push('\n');
+        out.push_str(&pad);
+    }
+    out.push_str("]}");
+}
+
+fn text_span(out: &mut String, span: &SpanSnapshot, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let label = format!("{pad}{}", span.name);
+    out.push_str(&format!(
+        "{label:<40} calls={:<6} total={}\n",
+        span.calls,
+        fmt_ns(span.total_ns)
+    ));
+    for child in &span.children {
+        text_span(out, child, depth + 1);
+    }
+}
+
+/// Human duration: picks ns/µs/ms/s by magnitude. Pure function of the
+/// input, so logical-clock output stays byte-stable.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A finite f64 as a JSON number (Rust's shortest-roundtrip `Display`,
+/// which is deterministic); non-finite values render as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes, backslashes, and control
+/// characters escaped).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, ManualClock, Obs};
+    use std::sync::Arc;
+
+    fn sample() -> Snapshot {
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        {
+            let _root = obs.span("run");
+            let step = obs.span("step");
+            clock.advance_us(1500);
+            drop(step);
+        }
+        obs.incr("pages");
+        obs.add("pages", 2);
+        obs.gauge("threads", 4.0);
+        obs.observe_in("frac", &[0.5, 1.0], 0.25);
+        obs.snapshot()
+    }
+
+    #[test]
+    fn empty_snapshot_renders_all_top_level_keys() {
+        let json = Snapshot::default().render_json();
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(Snapshot::default().is_empty());
+    }
+
+    #[test]
+    fn json_is_stable_across_renders() {
+        let snap = sample();
+        assert_eq!(snap.render_json(), snap.render_json());
+        assert_eq!(snap.render_text(), snap.render_text());
+    }
+
+    #[test]
+    fn json_contains_recorded_values() {
+        let json = sample().render_json();
+        assert!(json.contains("\"pages\": 3"), "{json}");
+        assert!(json.contains("\"threads\": 4"), "{json}");
+        assert!(json.contains("\"total_ns\": 1500000"), "{json}");
+        assert!(json.contains("\"+Inf\""), "{json}");
+    }
+
+    #[test]
+    fn text_tree_indents_children() {
+        let text = sample().render_text();
+        assert!(text.contains("  run"), "{text}");
+        assert!(text.contains("    step"), "{text}");
+        assert!(text.contains("total=1.5ms"), "{text}");
+        assert!(text.contains("pages = 3"), "{text}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

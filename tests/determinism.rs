@@ -167,6 +167,50 @@ fn html_algorithms_identical_across_policies() {
     }
 }
 
+/// Observability is read-only: a pipeline with a metrics sink installed
+/// (as `cafc cluster --metrics` does) must produce a byte-identical
+/// partition to the same pipeline with no sink, under every policy.
+#[test]
+fn metrics_sink_does_not_perturb_clustering() {
+    let web = web();
+    let targets = web.form_page_ids();
+    let labels = web.labels();
+    let run = |policy: ExecPolicy, obs: cafc::Obs| {
+        Pipeline::builder()
+            .algorithm(Algorithm::CafcCh(CafcChConfig::paper_default(8).with_hub(
+                HubClusterOptions {
+                    min_cardinality: 4,
+                    ..Default::default()
+                },
+            )))
+            .exec(policy)
+            .seed(2)
+            .obs(obs)
+            .build()
+            .run_graph(&web.graph, &targets)
+            .expect("graph input satisfies CAFC-CH")
+    };
+    let silent = run(ExecPolicy::Serial, cafc::Obs::disabled());
+    let silent_q = quality_bits(&silent.partition, &labels);
+    for policy in policies() {
+        let obs = cafc::Obs::enabled();
+        let instrumented = run(policy, obs.clone());
+        assert_eq!(
+            instrumented.partition, silent.partition,
+            "metrics sink changed the partition under {policy:?}"
+        );
+        assert_eq!(
+            quality_bits(&instrumented.partition, &labels),
+            silent_q,
+            "metrics sink changed quality bits under {policy:?}"
+        );
+        assert!(
+            !obs.snapshot().is_empty(),
+            "instrumented run must actually record metrics"
+        );
+    }
+}
+
 /// The pipeline is a *wrapper*, not a reimplementation: with the same seed
 /// it must reproduce the legacy `cafc_c` free function exactly.
 #[test]

@@ -1,0 +1,188 @@
+//! Observability contract of the pipeline (DESIGN.md §11):
+//!
+//! 1. Installing a metrics sink must not perturb the clustering — the
+//!    partition is bit-identical with and without an [`Obs`] handle.
+//! 2. Under a logical clock ([`ManualClock`]), the rendered snapshot is
+//!    **byte-stable across execution policies**: the same seed produces
+//!    the same JSON under `Serial` and `Parallel { threads: 7 }`. Nothing
+//!    thread-schedule-dependent may leak into library-level metrics.
+//! 3. One instrumented run covers every pipeline stage: ingestion, corpus
+//!    construction, seeding and clustering all leave metrics behind.
+
+use cafc::prelude::*;
+use cafc::{CafcChConfig, HubClusterOptions, ManualClock, Obs};
+use cafc_corpus::{generate, mutate_page, page_rng, CorpusConfig, Mutation, SyntheticWeb};
+use std::sync::Arc;
+
+fn web() -> SyntheticWeb {
+    generate(&CorpusConfig::small(7))
+}
+
+/// An enabled handle on a logical clock that never ticks: every duration is
+/// exactly 0, so snapshots cannot depend on wall clock or thread schedule.
+fn logical_obs() -> Obs {
+    Obs::with_clock(Arc::new(ManualClock::new()))
+}
+
+fn graph_pipeline(policy: ExecPolicy, obs: Obs) -> Pipeline {
+    Pipeline::builder()
+        .algorithm(Algorithm::CafcCh(CafcChConfig::paper_default(8).with_hub(
+            HubClusterOptions {
+                min_cardinality: 4,
+                ..Default::default()
+            },
+        )))
+        .exec(policy)
+        .seed(2)
+        .obs(obs)
+        .build()
+}
+
+/// Same seed, same corpus, different `ExecPolicy` → byte-identical JSON.
+#[test]
+fn snapshot_json_identical_across_policies() {
+    let web = web();
+    let targets = web.form_page_ids();
+    let render = |policy: ExecPolicy| {
+        let obs = logical_obs();
+        graph_pipeline(policy, obs.clone())
+            .run_graph(&web.graph, &targets)
+            .expect("graph input satisfies CAFC-CH");
+        obs.snapshot().render_json()
+    };
+    let serial = render(ExecPolicy::Serial);
+    let mut policies = vec![
+        ExecPolicy::Parallel { threads: 1 },
+        ExecPolicy::Parallel { threads: 7 },
+    ];
+    if let Ok(v) = std::env::var("CAFC_TEST_THREADS") {
+        let threads: usize = v.parse().expect("CAFC_TEST_THREADS must be a count");
+        policies.push(ExecPolicy::Parallel { threads });
+    }
+    for policy in policies {
+        assert_eq!(
+            render(policy),
+            serial,
+            "metrics snapshot diverged under {policy:?}"
+        );
+    }
+}
+
+/// The text rendering is deterministic too (it feeds `--trace`).
+#[test]
+fn snapshot_text_identical_across_policies() {
+    let web = web();
+    let targets = web.form_page_ids();
+    let render = |policy: ExecPolicy| {
+        let obs = logical_obs();
+        graph_pipeline(policy, obs.clone())
+            .run_graph(&web.graph, &targets)
+            .expect("graph input satisfies CAFC-CH");
+        obs.snapshot().render_text()
+    };
+    assert_eq!(
+        render(ExecPolicy::Serial),
+        render(ExecPolicy::Parallel { threads: 7 })
+    );
+}
+
+/// A graph run covers corpus construction, hub seeding and the k-means
+/// loop; the snapshot must carry metrics from each stage, and the four
+/// top-level JSON keys must always be present.
+#[test]
+fn graph_snapshot_covers_all_stages() {
+    let web = web();
+    let targets = web.form_page_ids();
+    let obs = logical_obs();
+    let out = graph_pipeline(ExecPolicy::Serial, obs.clone())
+        .run_graph(&web.graph, &targets)
+        .expect("graph input satisfies CAFC-CH");
+    assert_eq!(out.partition.num_clusters(), 8);
+    let json = obs.snapshot().render_json();
+    for key in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "\"spans\"",
+        // corpus construction
+        "\"corpus.vectorize.items\"",
+        "\"corpus.pages\"",
+        "\"corpus.terms\"",
+        // seeding
+        "\"seed.hub_candidates\"",
+        "\"seed.hub_seeds\"",
+        // clustering
+        "\"kmeans.iterations\"",
+        "\"kmeans.moved_fraction\"",
+        "\"kmeans.converged\"",
+        // span tree
+        "\"seed.select_hub_clusters\"",
+        "\"kmeans.assign\"",
+        "\"corpus.tfidf\"",
+    ] {
+        assert!(json.contains(key), "snapshot missing {key}:\n{json}");
+    }
+}
+
+/// An HTML run through hardened ingestion records the per-page accounting.
+#[test]
+fn ingest_snapshot_covers_outcome_counters() {
+    let web = web();
+    let targets = web.form_page_ids();
+    let menu = Mutation::parse_list("all").expect("'all' names the full menu");
+    let mutated: Vec<String> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let html = web.graph.html(*p).unwrap_or("");
+            mutate_page(html, &menu, 2, &mut page_rng(5, i))
+        })
+        .collect();
+    let pages: Vec<&str> = mutated.iter().map(String::as_str).collect();
+
+    let obs = logical_obs();
+    let out = Pipeline::builder()
+        .algorithm(Algorithm::CafcC { k: 8 })
+        .ingest_limits(IngestLimits::new())
+        .exec(ExecPolicy::Serial)
+        .seed(3)
+        .obs(obs.clone())
+        .build()
+        .run_html(&pages)
+        .expect("CafcC accepts HTML input");
+    let report = out.ingest.expect("limits configured");
+    assert!(report.is_accounted());
+
+    let snap = obs.snapshot();
+    let json = snap.render_json();
+    for key in [
+        "\"ingest.pages_total\"",
+        "\"ingest.pages_ok\"",
+        "\"ingest.pages_degraded\"",
+        "\"ingest.pages_quarantined\"",
+        "\"ingest.sanitize_us\"",
+        "\"ingest.parse_us\"",
+        "\"ingest.analyze_us\"",
+    ] {
+        assert!(json.contains(key), "snapshot missing {key}:\n{json}");
+    }
+    // The counters must mirror the report exactly.
+    let total_line = format!("\"ingest.pages_total\": {}", report.total());
+    let ok_line = format!("\"ingest.pages_ok\": {}", report.ok());
+    assert!(json.contains(&total_line), "{json}");
+    assert!(json.contains(&ok_line), "{json}");
+}
+
+/// The disabled handle records nothing — its snapshot is empty even after
+/// a full pipeline run.
+#[test]
+fn disabled_obs_snapshot_stays_empty() {
+    let web = web();
+    let targets = web.form_page_ids();
+    let obs = Obs::disabled();
+    graph_pipeline(ExecPolicy::Serial, obs.clone())
+        .run_graph(&web.graph, &targets)
+        .expect("graph input satisfies CAFC-CH");
+    assert!(!obs.is_enabled());
+    assert!(obs.snapshot().is_empty());
+}

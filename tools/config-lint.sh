@@ -11,6 +11,7 @@
 #   ModelOptions  -> crates/core/src/model.rs
 #   CafcChConfig  -> crates/core/src/algorithms.rs
 #   IngestLimits  -> crates/core/src/ingest.rs
+#   ObsConfig     -> crates/obs/src/lib.rs
 #
 # Usage: tools/config-lint.sh
 set -euo pipefail
@@ -21,6 +22,7 @@ declare -A home=(
   [ModelOptions]="crates/core/src/model.rs"
   [CafcChConfig]="crates/core/src/algorithms.rs"
   [IngestLimits]="crates/core/src/ingest.rs"
+  [ObsConfig]="crates/obs/src/lib.rs"
 )
 
 status=0

@@ -23,13 +23,14 @@ config=(
 # Targets that use proptest!/criterion macros can't compile against the
 # empty stubs: tests/model_props.rs, crates/*/tests/proptests.rs, bench.
 lib_packages=(
-  -p cafc-exec -p cafc-html -p cafc-text -p cafc-vsm -p cafc-webgraph
-  -p cafc-cluster -p cafc-eval -p cafc-corpus -p cafc-classify
-  -p cafc-crawler -p cafc-explore -p cafc -p cafc-cli
+  -p cafc-exec -p cafc-obs -p cafc-html -p cafc-text -p cafc-vsm
+  -p cafc-webgraph -p cafc-cluster -p cafc-eval -p cafc-corpus
+  -p cafc-classify -p cafc-crawler -p cafc-explore -p cafc -p cafc-cli
 )
 core_tests=(
   --test pipeline --test crawl_integration --test corpus_calibration
   --test paper_shapes --test robustness --test torture --test determinism
+  --test observability
 )
 # cafc-html integration tests minus proptests.rs (needs the real proptest).
 html_tests=(--test edge_cases --test pathological)
@@ -46,9 +47,9 @@ case "$mode" in
     cargo check --offline "${config[@]}" -p cafc "${core_tests[@]}" --examples
     ;;
   test)
-    cargo test --offline "${config[@]}" -p cafc-exec -p cafc-html -p cafc-text \
-      -p cafc-vsm -p cafc-webgraph -p cafc-cluster -p cafc-eval -p cafc-corpus \
-      -p cafc-classify -p cafc-explore --lib
+    cargo test --offline "${config[@]}" -p cafc-exec -p cafc-obs -p cafc-html \
+      -p cafc-text -p cafc-vsm -p cafc-webgraph -p cafc-cluster -p cafc-eval \
+      -p cafc-corpus -p cafc-classify -p cafc-explore --lib
     cargo test --offline "${config[@]}" -p cafc-html "${html_tests[@]}"
     cargo test --offline "${config[@]}" -p cafc-crawler -p cafc-cli --all-targets
     cargo test --offline "${config[@]}" -p cafc --lib "${core_tests[@]}"
