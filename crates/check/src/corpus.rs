@@ -1,0 +1,219 @@
+//! Weighted domain generators: words, HTML form pages, corpora, web-graph
+//! edge lists, labelings and clusterings.
+//!
+//! These are plain-data generators (`String`s, index vectors, edge
+//! tuples) so this crate stays dependency-free; the consuming property
+//! suites feed them into `cafc`, `cafc-webgraph` or `cafc-eval` types.
+
+use crate::gen::{from_slice, one_of, option_of, pairs, usizes, vecs, weighted, Gen};
+
+const LETTERS: [char; 26] = [
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z',
+];
+
+/// A lowercase word of 3–9 letters (shrinks toward shorter, earlier
+/// letters).
+pub fn word() -> Gen<String> {
+    vecs(&from_slice(&LETTERS), 3, 9).map(|chars| chars.iter().collect())
+}
+
+/// `lo..=hi` words.
+pub fn words(lo: usize, hi: usize) -> Gen<Vec<String>> {
+    vecs(&word(), lo, hi)
+}
+
+/// One synthetic form page: optional `<title>`, body paragraph, a form
+/// with label words, a `<select>` with options and an `<input>`. The
+/// shape mirrors what the paper's form-page model extracts (PC vs FC vs
+/// title locations), weighted so most pages are complete but titleless,
+/// body-less and option-less variants appear regularly.
+pub fn html_page() -> Gen<String> {
+    let parts = pairs(
+        &pairs(&words(0, 11), &words(0, 6)),
+        &pairs(&words(0, 5), &option_of(&word())),
+    );
+    parts.map(|((body, form), (options, title))| render_page(body, form, options, title.as_deref()))
+}
+
+fn render_page(
+    body: &[String],
+    form: &[String],
+    options: &[String],
+    title: Option<&str>,
+) -> String {
+    let title = title
+        .map(|t| format!("<title>{t}</title>"))
+        .unwrap_or_default();
+    let opts: String = options
+        .iter()
+        .map(|o| format!("<option>{o}</option>"))
+        .collect();
+    format!(
+        "{title}<p>{}</p><form>{} <select name=s>{opts}</select><input name=q></form>",
+        body.join(" "),
+        form.join(" ")
+    )
+}
+
+/// A corpus of `lo..=hi` form pages, mostly well-formed with a weighted
+/// sprinkle of degenerate pages (formless, empty) so model invariants are
+/// exercised at the edges too.
+pub fn html_corpus(lo: usize, hi: usize) -> Gen<Vec<String>> {
+    let page = weighted(&[
+        (8, html_page()),
+        (1, words(1, 8).map(|w| format!("<p>{}</p>", w.join(" ")))),
+        (1, Gen::constant(String::new())),
+    ]);
+    vecs(&page, lo, hi)
+}
+
+/// A corpus of `lo..=hi` strictly well-formed form pages (no degenerate
+/// variants) — for suites that need every page to survive vectorization.
+pub fn clean_html_corpus(lo: usize, hi: usize) -> Gen<Vec<String>> {
+    vecs(&html_page(), lo, hi)
+}
+
+/// Arbitrary short text, including HTML-ish fragments and hostile
+/// characters — for totality properties (parsers must never panic).
+pub fn any_text(max_len: usize) -> Gen<String> {
+    let fragments: [&str; 12] = [
+        "a",
+        "/",
+        ".",
+        ":",
+        "<",
+        ">",
+        "&",
+        "#",
+        "http",
+        "é",
+        "\u{1F600}",
+        " ",
+    ];
+    let piece = one_of(&[word(), from_slice(&fragments).map(|s| (*s).to_owned())]);
+    vecs(&piece, 0, max_len).map(|ps| ps.concat())
+}
+
+/// A well-formed `http://host.tld/seg/...` URL string (0–3 path
+/// segments).
+pub fn url() -> Gen<String> {
+    let tld = from_slice(&["com", "org", "net"]).map(|s| (*s).to_owned());
+    let host = pairs(&word(), &tld).map(|(h, t)| format!("{h}.{t}"));
+    let path = vecs(&word(), 0, 3).map(|segs| {
+        if segs.is_empty() {
+            "/".to_owned()
+        } else {
+            segs.iter().fold(String::new(), |acc, s| acc + "/" + s)
+        }
+    });
+    pairs(&host, &path).map(|(h, p)| format!("http://{h}{p}"))
+}
+
+/// An edge list over `a_nodes` source and `b_nodes` target indices
+/// (`0..a_nodes` × `0..b_nodes`), up to `max_edges` edges. Shrinks by
+/// dropping edges and lowering indices.
+pub fn edge_list(a_nodes: usize, b_nodes: usize, max_edges: usize) -> Gen<Vec<(usize, usize)>> {
+    vecs(
+        &pairs(
+            &usizes(0, a_nodes.saturating_sub(1)),
+            &usizes(0, b_nodes.saturating_sub(1)),
+        ),
+        0,
+        max_edges,
+    )
+}
+
+/// A labeling of `n` items over `classes` classes.
+pub fn labels(n: usize, classes: usize) -> Gen<Vec<usize>> {
+    vecs(&usizes(0, classes.saturating_sub(1)), n, n)
+}
+
+/// A partition of `0..n` into at most `max_k` non-empty clusters, as
+/// member lists. Built from an assignment vector, so every item appears
+/// exactly once and shrinking merges items into lower-numbered clusters.
+pub fn clustering(n: usize, max_k: usize) -> Gen<Vec<Vec<usize>>> {
+    labels(n, max_k.max(1)).map(move |assignment| {
+        let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); max_k.max(1)];
+        for (item, &c) in assignment.iter().enumerate() {
+            clusters[c].push(item);
+        }
+        clusters.retain(|c| !c.is_empty());
+        clusters
+    })
+}
+
+/// Sparse-vector entries: term ids below `max_term`, finite weights in
+/// `[-5, 5]`, up to `max_nnz` entries (duplicate ids allowed — the
+/// consuming constructor merges them).
+pub fn sparse_entries(max_term: usize, max_nnz: usize) -> Gen<Vec<(usize, f64)>> {
+    vecs(
+        &pairs(
+            &usizes(0, max_term.saturating_sub(1)),
+            &crate::gen::f64s(-5.0, 5.0),
+        ),
+        0,
+        max_nnz,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Seed;
+
+    #[test]
+    fn pages_are_deterministic_and_form_shaped() {
+        let g = html_page();
+        let a = g.value(&mut Seed::new(5).rng());
+        let b = g.value(&mut Seed::new(5).rng());
+        assert_eq!(a, b);
+        assert!(a.contains("<form>") && a.contains("<input name=q>"), "{a}");
+    }
+
+    #[test]
+    fn corpus_sizes_respect_bounds() {
+        let g = html_corpus(2, 8);
+        let mut rng = Seed::new(1).rng();
+        for _ in 0..50 {
+            let pages = g.value(&mut rng);
+            assert!((2..=8).contains(&pages.len()));
+        }
+    }
+
+    #[test]
+    fn urls_parse_shape() {
+        let g = url();
+        let mut rng = Seed::new(3).rng();
+        for _ in 0..50 {
+            let u = g.value(&mut rng);
+            assert!(u.starts_with("http://"), "{u}");
+            assert!(u["http://".len()..].contains('/'), "{u}");
+        }
+    }
+
+    #[test]
+    fn clustering_partitions_every_item_exactly_once() {
+        let g = clustering(12, 4);
+        let mut rng = Seed::new(9).rng();
+        for _ in 0..50 {
+            let clusters = g.value(&mut rng);
+            let mut seen: Vec<usize> = clusters.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..12).collect::<Vec<_>>());
+            assert!(clusters.iter().all(|c| !c.is_empty()));
+            assert!(clusters.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn edge_lists_stay_in_range() {
+        let g = edge_list(6, 8, 40);
+        let mut rng = Seed::new(2).rng();
+        for _ in 0..50 {
+            for &(a, b) in &g.value(&mut rng) {
+                assert!(a < 6 && b < 8);
+            }
+        }
+    }
+}

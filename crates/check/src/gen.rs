@@ -1,0 +1,544 @@
+//! Generators with integrated shrinking.
+//!
+//! A [`Gen<T>`] produces not a bare value but a [`Shrink<T>`]: a lazy rose
+//! tree whose root is the generated value and whose children are
+//! progressively simpler candidates. Because shrinking is *integrated* —
+//! [`Gen::map`] and [`Gen::flat_map`] transport the tree through the
+//! transformation — shrunk candidates always satisfy the generator's own
+//! invariants (a vector generated with `vecs(elem, 2, 8)` never shrinks
+//! below two elements, a mapped value never un-maps).
+//!
+//! Candidate order encodes greed: every node lists its *most aggressive*
+//! simplification first (the range minimum, the largest chunk removal), so
+//! the greedy walk in [`crate::runner`] reaches a minimal counterexample
+//! in few property evaluations.
+
+use crate::rng::CheckRng;
+use std::rc::Rc;
+
+/// A generated value plus its lazily computed shrink candidates.
+pub struct Shrink<T> {
+    value: T,
+    children: Rc<dyn Fn() -> Vec<Shrink<T>>>,
+}
+
+impl<T: Clone> Clone for Shrink<T> {
+    fn clone(&self) -> Self {
+        Shrink {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Shrink<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shrink")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<T: Clone + 'static> Shrink<T> {
+    /// A value with no simpler candidates.
+    pub fn leaf(value: T) -> Shrink<T> {
+        Shrink {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value whose candidates are produced on demand by `children`.
+    pub fn node(value: T, children: impl Fn() -> Vec<Shrink<T>> + 'static) -> Shrink<T> {
+        Shrink {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// The generated value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Consume the tree, keeping the value.
+    pub fn into_value(self) -> T {
+        self.value
+    }
+
+    /// The shrink candidates, most aggressive first.
+    pub fn children(&self) -> Vec<Shrink<T>> {
+        (self.children)()
+    }
+
+    fn map_rc<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Shrink<U> {
+        let value = f(&self.value);
+        let src = self.clone();
+        Shrink::node(value, move || {
+            src.children()
+                .iter()
+                .map(|c| c.map_rc(Rc::clone(&f)))
+                .collect()
+        })
+    }
+}
+
+/// The shared sampling function behind a [`Gen`].
+type SampleFn<T> = Rc<dyn Fn(&mut CheckRng) -> Shrink<T>>;
+
+/// A continuation from an outer value to an inner generator (`flat_map`).
+type BindFn<T, U> = Rc<dyn Fn(&T) -> Gen<U>>;
+
+/// A seeded generator of [`Shrink`] trees. Cheap to clone (shared
+/// behaviour behind an `Rc`).
+pub struct Gen<T> {
+    sample: SampleFn<T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    /// Build a generator from a sampling function.
+    pub fn from_fn(f: impl Fn(&mut CheckRng) -> Shrink<T> + 'static) -> Gen<T> {
+        Gen { sample: Rc::new(f) }
+    }
+
+    /// Always produce `value`, with no shrinks.
+    pub fn constant(value: T) -> Gen<T> {
+        Gen::from_fn(move |_| Shrink::leaf(value.clone()))
+    }
+
+    /// Draw one tree.
+    pub fn sample(&self, rng: &mut CheckRng) -> Shrink<T> {
+        (self.sample)(rng)
+    }
+
+    /// Draw one bare value (no shrink tree) — for consumers that only
+    /// need data, like the seeded corpus builders.
+    pub fn value(&self, rng: &mut CheckRng) -> T {
+        self.sample(rng).into_value()
+    }
+
+    /// Transform generated values; shrinks transport through `f`.
+    pub fn map<U: Clone + 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Gen<U> {
+        let inner = self.clone();
+        let f: Rc<dyn Fn(&T) -> U> = Rc::new(f);
+        Gen::from_fn(move |rng| inner.sample(rng).map_rc(Rc::clone(&f)))
+    }
+
+    /// Generate a value, then generate again with a generator chosen from
+    /// it. Shrinking first simplifies the outer value (re-running the
+    /// inner generator from a captured RNG state, so inner draws replay)
+    /// and then the inner one.
+    pub fn flat_map<U: Clone + 'static>(&self, k: impl Fn(&T) -> Gen<U> + 'static) -> Gen<U> {
+        let outer = self.clone();
+        let k: BindFn<T, U> = Rc::new(k);
+        Gen::from_fn(move |rng| {
+            let first = outer.sample(rng);
+            let inner_rng = rng.split();
+            bind(first, Rc::clone(&k), inner_rng)
+        })
+    }
+
+    /// Keep only values satisfying `keep`; up to 100 rejected draws per
+    /// sample, after which the last draw is returned as-is (the property
+    /// must tolerate it). Prefer constructive generators over filters.
+    pub fn filter(&self, keep: impl Fn(&T) -> bool + 'static) -> Gen<T> {
+        let inner = self.clone();
+        Gen::from_fn(move |rng| {
+            let mut tree = inner.sample(rng);
+            for _ in 0..100 {
+                if keep(tree.value()) {
+                    break;
+                }
+                tree = inner.sample(rng);
+            }
+            tree
+        })
+    }
+}
+
+fn bind<T: Clone + 'static, U: Clone + 'static>(
+    outer: Shrink<T>,
+    k: BindFn<T, U>,
+    rng: CheckRng,
+) -> Shrink<U> {
+    let mut r = rng;
+    let inner = k(outer.value()).sample(&mut r);
+    let value = inner.value().clone();
+    Shrink::node(value, move || {
+        let mut out: Vec<Shrink<U>> = outer
+            .children()
+            .into_iter()
+            .map(|oc| bind(oc, Rc::clone(&k), rng))
+            .collect();
+        out.extend(inner.children());
+        out
+    })
+}
+
+/// Integers in `lo..=hi`, shrinking toward 0 when the range contains it,
+/// else toward the bound closest to 0.
+pub fn i64s(lo: i64, hi: i64) -> Gen<i64> {
+    let pivot = if lo <= 0 && 0 <= hi {
+        0
+    } else if lo > 0 {
+        lo
+    } else {
+        hi
+    };
+    Gen::from_fn(move |rng| int_tree(rng.range_i64(lo, hi), pivot))
+}
+
+/// Unsigned sizes in `lo..=hi`, shrinking toward `lo`.
+pub fn usizes(lo: usize, hi: usize) -> Gen<usize> {
+    Gen::from_fn(move |rng| {
+        int_tree(rng.range_usize(lo, hi) as i64, lo as i64).map_rc(Rc::new(|&v| v as usize))
+    })
+}
+
+fn int_tree(v: i64, pivot: i64) -> Shrink<i64> {
+    Shrink::node(v, move || {
+        let mut out = Vec::new();
+        let mut d = i128::from(v) - i128::from(pivot);
+        // Walk from the pivot toward v: pivot first (most aggressive),
+        // then ever-closer candidates, ending at v ∓ 1.
+        while d != 0 {
+            let cand = (i128::from(v) - d) as i64;
+            out.push(int_tree(cand, pivot));
+            d /= 2;
+        }
+        out
+    })
+}
+
+/// Floats in `[lo, hi]`, shrinking toward 0 when the interval contains
+/// it, else toward `lo`. Only finite values are generated.
+pub fn f64s(lo: f64, hi: f64) -> Gen<f64> {
+    let pivot = if lo <= 0.0 && 0.0 <= hi { 0.0 } else { lo };
+    Gen::from_fn(move |rng| {
+        let v = lo + (hi - lo) * rng.unit();
+        f64_tree(v, pivot)
+    })
+}
+
+fn f64_tree(v: f64, pivot: f64) -> Shrink<f64> {
+    Shrink::node(v, move || {
+        if v == pivot || !v.is_finite() {
+            return Vec::new();
+        }
+        let mut out = vec![f64_tree(pivot, pivot)];
+        // An integral candidate simplifies the printed witness a lot.
+        let t = v.trunc();
+        if t != v && t != pivot {
+            out.push(f64_tree(t, pivot));
+        }
+        let mid = pivot + (v - pivot) / 2.0;
+        if mid != v && mid != pivot && (v - pivot).abs() > 1e-9 {
+            out.push(f64_tree(mid, pivot));
+        }
+        out
+    })
+}
+
+/// Booleans, shrinking `true → false`.
+pub fn bools() -> Gen<bool> {
+    Gen::from_fn(|rng| {
+        if rng.chance(0.5) {
+            Shrink::node(true, || vec![Shrink::leaf(false)])
+        } else {
+            Shrink::leaf(false)
+        }
+    })
+}
+
+/// A uniformly chosen element of `items`, shrinking toward index 0.
+pub fn from_slice<T: Clone + 'static>(items: &[T]) -> Gen<T> {
+    let items: Rc<[T]> = items.into();
+    Gen::from_fn(move |rng| {
+        let i = rng.range_usize(0, items.len().saturating_sub(1));
+        slice_tree(Rc::clone(&items), i)
+    })
+}
+
+fn slice_tree<T: Clone + 'static>(items: Rc<[T]>, i: usize) -> Shrink<T> {
+    let value = match items.get(i) {
+        Some(v) => v.clone(),
+        None => return Shrink::node(items[0].clone(), Vec::new),
+    };
+    Shrink::node(value, move || {
+        let mut out = Vec::new();
+        let mut d = i;
+        while d != 0 {
+            out.push(slice_tree(Rc::clone(&items), i - d));
+            d /= 2;
+        }
+        out
+    })
+}
+
+/// One of the given generators, uniformly; shrinks stay inside the chosen
+/// alternative.
+pub fn one_of<T: Clone + 'static>(gens: &[Gen<T>]) -> Gen<T> {
+    weighted(&gens.iter().map(|g| (1, g.clone())).collect::<Vec<_>>())
+}
+
+/// One of the given generators, with integer weights; shrinks stay inside
+/// the chosen alternative. Zero total weight falls back to the first
+/// generator.
+pub fn weighted<T: Clone + 'static>(choices: &[(u32, Gen<T>)]) -> Gen<T> {
+    let choices: Rc<[(u32, Gen<T>)]> = choices.into();
+    Gen::from_fn(move |rng| {
+        let total: u64 = choices.iter().map(|&(w, _)| u64::from(w)).sum();
+        let mut roll = rng.below(total.max(1));
+        for (w, g) in choices.iter() {
+            let w = u64::from(*w);
+            if roll < w {
+                return g.sample(rng);
+            }
+            roll -= w;
+        }
+        match choices.first() {
+            Some((_, g)) => g.sample(rng),
+            None => Shrink::node(
+                // An empty choice list cannot produce a value; surfacing
+                // that as a generation-time invariant keeps Gen total.
+                unreachable_empty_weighted(),
+                Vec::new,
+            ),
+        }
+    })
+}
+
+fn unreachable_empty_weighted<T>() -> T {
+    // weighted() over an empty slice is a caller bug; there is no value to
+    // produce. Keep the failure loud but contained to the test process.
+    panic!("cafc-check: weighted()/one_of() called with no generators")
+}
+
+/// `None` or `Some(value)`, shrinking `Some → None` first, then inside
+/// the value.
+pub fn option_of<T: Clone + 'static>(elem: &Gen<T>) -> Gen<Option<T>> {
+    let elem = elem.clone();
+    Gen::from_fn(move |rng| {
+        if rng.chance(0.5) {
+            let tree = elem.sample(rng);
+            option_tree(tree)
+        } else {
+            Shrink::leaf(None)
+        }
+    })
+}
+
+fn option_tree<T: Clone + 'static>(tree: Shrink<T>) -> Shrink<Option<T>> {
+    let value = Some(tree.value().clone());
+    Shrink::node(value, move || {
+        let mut out = vec![Shrink::leaf(None)];
+        out.extend(tree.children().into_iter().map(option_tree));
+        out
+    })
+}
+
+/// A pair of independent draws; shrinks the left component first.
+pub fn pairs<A: Clone + 'static, B: Clone + 'static>(a: &Gen<A>, b: &Gen<B>) -> Gen<(A, B)> {
+    let (a, b) = (a.clone(), b.clone());
+    Gen::from_fn(move |rng| {
+        let ta = a.sample(rng);
+        let tb = b.sample(rng);
+        pair_tree(ta, tb)
+    })
+}
+
+fn pair_tree<A: Clone + 'static, B: Clone + 'static>(a: Shrink<A>, b: Shrink<B>) -> Shrink<(A, B)> {
+    let value = (a.value().clone(), b.value().clone());
+    Shrink::node(value, move || {
+        let mut out: Vec<Shrink<(A, B)>> = a
+            .children()
+            .into_iter()
+            .map(|ca| pair_tree(ca, b.clone()))
+            .collect();
+        out.extend(b.children().into_iter().map(|cb| pair_tree(a.clone(), cb)));
+        out
+    })
+}
+
+/// Vectors of `lo..=hi` elements. Shrinks by removing chunks (largest
+/// legal removal first, so the first candidate is already at `lo`
+/// elements), then by shrinking individual elements.
+pub fn vecs<T: Clone + 'static>(elem: &Gen<T>, lo: usize, hi: usize) -> Gen<Vec<T>> {
+    let elem = elem.clone();
+    Gen::from_fn(move |rng| {
+        let len = rng.range_usize(lo, hi);
+        let elems: Vec<Shrink<T>> = (0..len).map(|_| elem.sample(rng)).collect();
+        vec_tree(elems, lo)
+    })
+}
+
+fn vec_tree<T: Clone + 'static>(elems: Vec<Shrink<T>>, min_len: usize) -> Shrink<Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|e| e.value().clone()).collect();
+    Shrink::node(value, move || {
+        let n = elems.len();
+        let mut out = Vec::new();
+        // Chunk removals, biggest first: the first candidate drops all the
+        // way to min_len in one step.
+        let mut size = n.saturating_sub(min_len);
+        while size > 0 {
+            let mut start = 0;
+            while start + size <= n {
+                let mut rest = elems.clone();
+                rest.drain(start..start + size);
+                out.push(vec_tree(rest, min_len));
+                start += size;
+            }
+            size /= 2;
+        }
+        // Per-element shrinks.
+        for (i, e) in elems.iter().enumerate() {
+            for c in e.children() {
+                let mut rest = elems.clone();
+                rest[i] = c;
+                out.push(vec_tree(rest, min_len));
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Seed;
+
+    fn rng() -> CheckRng {
+        Seed::new(42).rng()
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = vecs(&i64s(-10, 10), 0, 8);
+        let a = g.value(&mut rng());
+        let b = g.value(&mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn int_ranges_hold_and_first_shrink_is_the_pivot() {
+        let g = i64s(5, 20);
+        let mut r = Seed::new(9).rng();
+        for _ in 0..200 {
+            let tree = g.sample(&mut r);
+            assert!((5..=20).contains(tree.value()));
+            if *tree.value() != 5 {
+                let kids = tree.children();
+                assert_eq!(*kids[0].value(), 5, "most aggressive candidate first");
+            }
+        }
+    }
+
+    #[test]
+    fn int_shrink_reaches_zero() {
+        let tree = int_tree(37, 0);
+        let mut cur = tree;
+        // Greedy descent along first children reaches the pivot.
+        while let Some(first) = cur.children().into_iter().next() {
+            cur = first;
+        }
+        assert_eq!(*cur.value(), 0);
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len_and_removes_chunks_first() {
+        let g = vecs(&i64s(0, 9), 2, 6);
+        let mut r = rng();
+        for _ in 0..50 {
+            let tree = g.sample(&mut r);
+            assert!((2..=6).contains(&tree.value().len()));
+            for child in tree.children() {
+                assert!(child.value().len() >= 2, "shrank below min_len");
+            }
+            if tree.value().len() > 2 {
+                let first = &tree.children()[0];
+                assert_eq!(first.value().len(), 2, "first removal jumps to min_len");
+            }
+        }
+    }
+
+    #[test]
+    fn map_transports_shrinks() {
+        let g = i64s(0, 100).map(|&v| v * 2);
+        let mut r = rng();
+        let tree = g.sample(&mut r);
+        assert_eq!(*tree.value() % 2, 0);
+        for child in tree.children() {
+            assert_eq!(*child.value() % 2, 0, "shrunk value escaped the map");
+        }
+    }
+
+    #[test]
+    fn flat_map_shrinks_outer_then_inner() {
+        // Length-prefixed vectors: every shrink candidate keeps the
+        // invariant len == first draw.
+        let g = usizes(1, 5).flat_map(|&n| vecs(&i64s(0, 9), n, n));
+        let mut r = rng();
+        for _ in 0..20 {
+            let tree = g.sample(&mut r);
+            let n = tree.value().len();
+            assert!((1..=5).contains(&n));
+            for child in tree.children() {
+                assert!(
+                    (1..=5).contains(&child.value().len()),
+                    "outer-shrunk vec has illegal len {}",
+                    child.value().len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn option_shrinks_to_none_first() {
+        let g = option_of(&i64s(1, 9));
+        let mut r = rng();
+        for _ in 0..30 {
+            let tree = g.sample(&mut r);
+            if tree.value().is_some() {
+                assert_eq!(*tree.children()[0].value(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn from_slice_shrinks_toward_first_element() {
+        let g = from_slice(&['a', 'b', 'c', 'd']);
+        let mut r = rng();
+        for _ in 0..30 {
+            let tree = g.sample(&mut r);
+            if *tree.value() != 'a' {
+                assert_eq!(*tree.children()[0].value(), 'a');
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let g = weighted(&[(0, Gen::constant(1u8)), (1, Gen::constant(2u8))]);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(g.value(&mut r), 2);
+        }
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let g = i64s(0, 100).filter(|&v| v % 2 == 0);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(g.value(&mut r) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! # cafc-check — offline property testing for the CAFC workspace
+//!
+//! A dependency-free, seeded property-testing engine in the spirit of
+//! QuickCheck/proptest, built because the real `proptest` crate cannot be
+//! fetched in offline environments (see `tools/offline-check.sh`): the
+//! paper's guarantees are *invariants* — cosine similarity is symmetric
+//! and bounded, F-measure lives in `[0, 1]`, ingestion accounting always
+//! balances — and invariants deserve generated inputs on every commit,
+//! not just hand-picked fixtures.
+//!
+//! ## The pieces
+//!
+//! * [`rng`] — the workspace's shared splittable PRNG ([`Seed`],
+//!   [`CheckRng`]): one `u64` pins the property engine, the adversarial
+//!   HTML mutator and the crawler's chaos schedule.
+//! * [`gen`] — [`Gen<T>`] combinators with *integrated shrinking*:
+//!   every generated value carries a lazy tree of simpler candidates that
+//!   survives `map`/`flat_map`, so shrunk counterexamples never violate
+//!   generator invariants.
+//! * [`runner`] — the [`check!`] runner: seeded cases, greedy shrinking
+//!   to a minimal counterexample, and a printed `CAFC_CHECK_SEED` that
+//!   replays any failure byte-for-byte.
+//! * [`diff`] — differential oracles ([`check_equiv`]): run two
+//!   implementations on the same generated input and shrink any
+//!   disagreement.
+//! * [`corpus`] — weighted HTML/page/graph/label generators shared by the
+//!   property suites across the workspace.
+//!
+//! ## Writing a property
+//!
+//! ```
+//! use cafc_check::{check, require, CheckConfig};
+//! use cafc_check::gen::{i64s, vecs};
+//!
+//! check!(CheckConfig::new(), vecs(&i64s(-9, 9), 0, 16), |v| {
+//!     let doubled: Vec<i64> = v.iter().map(|x| x * 2).collect();
+//!     require!(doubled.len() == v.len());
+//!     require!(doubled.iter().all(|x| x % 2 == 0), "odd after doubling");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! On failure the panic message ends with
+//! `replay: CAFC_CHECK_SEED=0x... (or <decimal>)`; running the same test
+//! with that variable set regenerates the identical case and shrink path.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod diff;
+pub mod gen;
+pub mod rng;
+pub mod runner;
+
+pub use diff::{check_equiv, check_equiv_result};
+pub use gen::{Gen, Shrink};
+pub use rng::{mix64, unit_hash, CheckRng, Seed, GOLDEN_GAMMA};
+pub use runner::{check_named, check_result, CaseResult, CheckConfig, Failure};
+
+/// Run a property: `check!(config, gen, |case| { ... Ok(()) })`, or
+/// `check!(gen, |case| ...)` with [`CheckConfig::new`]. The property
+/// closure receives `&T` and returns [`CaseResult`]; build failures with
+/// [`require!`] / [`require_eq!`]. Panics with a shrunk, replayable
+/// report on failure.
+#[macro_export]
+macro_rules! check {
+    ($config:expr, $gen:expr, $prop:expr $(,)?) => {
+        $crate::check_named(
+            concat!(module_path!(), " (", file!(), ":", line!(), ")"),
+            &$config,
+            &$gen,
+            $prop,
+        )
+    };
+    ($gen:expr, $prop:expr $(,)?) => {
+        $crate::check!($crate::CheckConfig::new(), $gen, $prop)
+    };
+}
+
+/// Inside a property body: fail the case unless the condition holds.
+/// `require!(cond)` or `require!(cond, "format {}", args)`.
+#[macro_export]
+macro_rules! require {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("requirement failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Inside a property body: fail the case unless both sides are equal,
+/// reporting both values.
+#[macro_export]
+macro_rules! require_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {}\n    left:  {:?}\n    right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Inside a property body: fail the case unless two floats are within
+/// `eps` of each other.
+#[macro_export]
+macro_rules! require_close {
+    ($left:expr, $right:expr, $eps:expr $(,)?) => {{
+        let (l, r, eps): (f64, f64, f64) = ($left, $right, $eps);
+        let diff = (l - r).abs();
+        // A NaN difference must fail the case, so the comparison cannot be
+        // a plain `diff > eps` (false for NaN).
+        if diff.is_nan() || diff > eps {
+            return Err(format!(
+                "{} !~ {} (|{l} - {r}| = {} > {eps})",
+                stringify!($left),
+                stringify!($right),
+                (l - r).abs()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{i64s, vecs};
+
+    fn cfg() -> CheckConfig {
+        CheckConfig::new()
+            .with_seed(7)
+            .with_cases(32)
+            .with_replay(None)
+    }
+
+    #[test]
+    fn check_macro_runs_properties() {
+        check!(cfg(), vecs(&i64s(0, 9), 0, 8), |v| {
+            require!(v.len() <= 8);
+            require_eq!(v.iter().filter(|&&x| (0..=9).contains(&x)).count(), v.len());
+            require_close!(v.len() as f64, v.len() as f64, 1e-12);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "CAFC_CHECK_SEED=")]
+    fn check_macro_panics_with_replay_recipe() {
+        check!(cfg(), i64s(0, 9), |_| Err("always".to_owned()));
+    }
+
+    #[test]
+    fn require_macros_produce_messages() {
+        fn body() -> CaseResult {
+            require!(1 + 1 == 3, "math broke: {}", 42);
+            Ok(())
+        }
+        assert_eq!(body().expect_err("fails"), "math broke: 42");
+        fn body_eq() -> CaseResult {
+            require_eq!(1 + 1, 3);
+            Ok(())
+        }
+        assert!(body_eq().expect_err("fails").contains("left:  2"));
+    }
+}

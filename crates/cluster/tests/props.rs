@@ -1,0 +1,139 @@
+//! `cafc-check` property suite for seed selection (Algorithm 3) and the
+//! k-means loop over generated dense spaces. Runs offline on every commit.
+
+use cafc_check::corpus::clustering;
+use cafc_check::gen::{f64s, pairs, usizes, vecs, Gen};
+use cafc_check::{check, require, require_eq, CheckConfig};
+use cafc_cluster::{greedy_distant_seeds, kmeans, ClusterSpace, DenseSpace, KMeansOptions};
+
+/// A selection problem: 2-D points, candidate seed clusters over them, and
+/// a requested seed count.
+type SelectionProblem = (Vec<Vec<f64>>, Vec<Vec<usize>>, usize);
+
+/// `n` 2-D points (n in 2..=10) plus candidate seed clusters over them and
+/// a requested seed count `k` in 2..=6.
+fn selection_problem() -> Gen<SelectionProblem> {
+    usizes(2, 10).flat_map(|&n| {
+        let points = vecs(&vecs(&f64s(-3.0, 3.0), 2, 2), n, n);
+        pairs(&pairs(&points, &clustering(n, 5)), &usizes(2, 6))
+            .map(|((points, candidates), k)| (points.clone(), candidates.clone(), *k))
+    })
+}
+
+/// Algorithm 3's selection half always returns `min(k, #candidates)`
+/// mutually distinct candidate indices — when enough candidates exist, it
+/// returns exactly `k` distinct hub clusters.
+#[test]
+fn greedy_selection_returns_k_distinct_candidates() {
+    check!(CheckConfig::new(), selection_problem(), |(
+        points,
+        candidates,
+        k,
+    )| {
+        let space = DenseSpace::new(points.clone());
+        let picked = greedy_distant_seeds(&space, candidates, *k);
+        require_eq!(picked.len(), (*k).min(candidates.len()));
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        require_eq!(sorted.len(), picked.len());
+        require!(
+            picked.iter().all(|&i| i < candidates.len()),
+            "index out of range: {picked:?}"
+        );
+        Ok(())
+    });
+}
+
+/// The greedy selection is deterministic: same space, same candidates,
+/// same `k` — same indices in the same order.
+#[test]
+fn greedy_selection_deterministic() {
+    check!(CheckConfig::new(), selection_problem(), |(
+        points,
+        candidates,
+        k,
+    )| {
+        let space = DenseSpace::new(points.clone());
+        require_eq!(
+            greedy_distant_seeds(&space, candidates, *k),
+            greedy_distant_seeds(&space, candidates, *k)
+        );
+        Ok(())
+    });
+}
+
+/// k-means from arbitrary generated seed clusters yields a valid full
+/// partition: every item in exactly one cluster, iteration count within the
+/// configured cap, no more clusters than seeds. (Starved clusters may end
+/// empty — that is allowed; losing or duplicating an item is not.)
+#[test]
+fn kmeans_yields_valid_partition() {
+    check!(CheckConfig::new(), selection_problem(), |(
+        points,
+        seeds,
+        _,
+    )| {
+        let n = points.len();
+        let space = DenseSpace::new(points.clone());
+        let opts = KMeansOptions::default();
+        let out = kmeans(&space, seeds, &opts);
+        let mut assigned: Vec<usize> = out.partition.clusters().iter().flatten().copied().collect();
+        assigned.sort_unstable();
+        require_eq!(assigned, (0..n).collect::<Vec<_>>());
+        require!(out.partition.num_clusters() <= seeds.len());
+        require!(
+            out.iterations <= opts.max_iterations.max(1),
+            "iterations {} above cap",
+            out.iterations
+        );
+        Ok(())
+    });
+}
+
+/// Degenerate seeds fall back instead of panicking: all-empty seed lists
+/// produce the single-cluster fallback holding every item.
+#[test]
+fn kmeans_degenerate_seeds_fall_back() {
+    let points = usizes(1, 8).flat_map(|&n| vecs(&vecs(&f64s(-3.0, 3.0), 2, 2), n, n));
+    check!(CheckConfig::new(), points, |points: &Vec<Vec<f64>>| {
+        let n = points.len();
+        let space = DenseSpace::new(points.clone());
+        let empty_seeds: Vec<Vec<usize>> = vec![Vec::new(), Vec::new()];
+        let out = kmeans(&space, &empty_seeds, &KMeansOptions::default());
+        require_eq!(out.partition.num_clusters(), 1);
+        require_eq!(out.partition.clusters()[0].len(), n);
+        Ok(())
+    });
+}
+
+/// Selection respects the space: the two seeds picked first are a pair at
+/// maximal centroid distance (sanity link between Algorithm 3 and the
+/// similarity space).
+#[test]
+fn greedy_selection_starts_with_a_farthest_pair() {
+    check!(CheckConfig::new(), selection_problem(), |(
+        points,
+        candidates,
+        k,
+    )| {
+        if candidates.len() <= *k {
+            return Ok(()); // all candidates returned; no selection ran
+        }
+        let space = DenseSpace::new(points.clone());
+        let picked = greedy_distant_seeds(&space, candidates, *k);
+        let centroids: Vec<Vec<f64>> = candidates.iter().map(|c| space.centroid(c)).collect();
+        let d = |i: usize, j: usize| 1.0 - space.centroid_similarity(&centroids[i], &centroids[j]);
+        let first = d(picked[0], picked[1]);
+        for i in 0..candidates.len() {
+            for j in (i + 1)..candidates.len() {
+                require!(
+                    d(i, j) <= first + 1e-9,
+                    "pair ({i},{j}) at {} beats the chosen pair at {first}",
+                    d(i, j)
+                );
+            }
+        }
+        Ok(())
+    });
+}

@@ -12,10 +12,12 @@
 //! byte-identical output ([`page_rng`]), so a torture run is a reproducible
 //! experiment, not a fuzzing session. All string surgery is UTF-8
 //! char-boundary safe.
+//!
+//! Randomness comes from the workspace-shared splittable PRNG
+//! ([`cafc_check::CheckRng`]), so a torture corpus, a property-test run
+//! and a chaos crawl can all hang off one root [`cafc_check::Seed`].
 
-use rand::rngs::SmallRng;
-use rand::seq::IndexedRandom;
-use rand::{Rng, SeedableRng};
+use cafc_check::{CheckRng, Seed};
 
 /// One adversarial transformation of an HTML document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,26 +99,26 @@ impl Mutation {
 /// The RNG for one page of a torture run. Each page gets an independent
 /// stream derived from `(seed, index)`, so mutating page 17 yields the
 /// same bytes whether the corpus holds 20 pages or 2000.
-pub fn page_rng(seed: u64, index: usize) -> SmallRng {
-    SmallRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+pub fn page_rng(seed: u64, index: usize) -> CheckRng {
+    Seed::new(seed).stream(index as u64)
 }
 
 /// Apply `count` mutations drawn (with replacement) from `menu` to `html`.
 /// Deterministic given the RNG state; an empty menu is the identity.
-pub fn mutate_page(html: &str, menu: &[Mutation], count: usize, rng: &mut SmallRng) -> String {
+pub fn mutate_page(html: &str, menu: &[Mutation], count: usize, rng: &mut CheckRng) -> String {
     let mut out = html.to_owned();
     if menu.is_empty() {
         return out;
     }
     for _ in 0..count {
-        let mutation = *menu.choose(rng).unwrap_or(&Mutation::DropCloseTags);
+        let mutation = *rng.pick(menu).unwrap_or(&Mutation::DropCloseTags);
         out = apply(&out, mutation, rng);
     }
     out
 }
 
 /// Apply a single mutation.
-pub fn apply(html: &str, mutation: Mutation, rng: &mut SmallRng) -> String {
+pub fn apply(html: &str, mutation: Mutation, rng: &mut CheckRng) -> String {
     match mutation {
         Mutation::TruncateMidTag => truncate_mid_tag(html, rng),
         Mutation::TruncateMidEntity => truncate_mid_entity(html, rng),
@@ -141,14 +143,14 @@ fn floor_boundary(s: &str, mut i: usize) -> usize {
 }
 
 /// A random char boundary in `s`, biased nowhere in particular.
-fn random_boundary(s: &str, rng: &mut SmallRng) -> usize {
+fn random_boundary(s: &str, rng: &mut CheckRng) -> usize {
     if s.is_empty() {
         return 0;
     }
-    floor_boundary(s, rng.random_range(0..=s.len()))
+    floor_boundary(s, rng.range_usize(0, s.len()))
 }
 
-fn truncate_mid_tag(html: &str, rng: &mut SmallRng) -> String {
+fn truncate_mid_tag(html: &str, rng: &mut CheckRng) -> String {
     // Cut just after some '<' so the document ends inside an open tag.
     let opens: Vec<usize> = html.match_indices('<').map(|(i, _)| i).collect();
     match opens.as_slice() {
@@ -157,32 +159,32 @@ fn truncate_mid_tag(html: &str, rng: &mut SmallRng) -> String {
             html[..cut].to_owned()
         }
         _ => {
-            let at = *opens.choose(rng).unwrap_or(&0);
-            let keep = rng.random_range(1..=8usize);
+            let at = rng.pick(&opens).copied().unwrap_or(0);
+            let keep = rng.range_usize(1, 8);
             let cut = floor_boundary(html, (at + keep).min(html.len()));
             html[..cut.max(at + 1)].to_owned()
         }
     }
 }
 
-fn truncate_mid_entity(html: &str, rng: &mut SmallRng) -> String {
+fn truncate_mid_entity(html: &str, rng: &mut CheckRng) -> String {
     const STUBS: [&str; 5] = ["&am", "&#12", "&#x1F4A", "&quo", "&"];
     // Keep at least the first half so there is still text to analyze.
     let lo = html.len() / 2;
-    let cut = floor_boundary(html, rng.random_range(lo..=html.len()));
+    let cut = floor_boundary(html, rng.range_usize(lo, html.len()));
     let mut out = html[..cut].to_owned();
-    out.push_str(STUBS.choose(rng).unwrap_or(&"&"));
+    out.push_str(rng.pick(&STUBS).unwrap_or(&"&"));
     out
 }
 
-fn drop_close_tags(html: &str, rng: &mut SmallRng) -> String {
+fn drop_close_tags(html: &str, rng: &mut CheckRng) -> String {
     let mut out = String::with_capacity(html.len());
     let mut rest = html;
     while let Some(start) = rest.find("</") {
         out.push_str(&rest[..start]);
         let tail = &rest[start..];
         let end = tail.find('>').map(|i| i + 1).unwrap_or(tail.len());
-        if rng.random_bool(0.5) {
+        if rng.chance(0.5) {
             out.push_str(&tail[..end]); // keep this closing tag
         }
         rest = &tail[end..];
@@ -191,10 +193,10 @@ fn drop_close_tags(html: &str, rng: &mut SmallRng) -> String {
     out
 }
 
-fn deep_nest(html: &str, rng: &mut SmallRng) -> String {
+fn deep_nest(html: &str, rng: &mut CheckRng) -> String {
     // Straddle the parser's depth cap (cafc_html::MAX_DEPTH = 512): some
     // runs stay under it, some blow past it.
-    let depth = rng.random_range(300..=1200usize);
+    let depth = rng.range_usize(300, 1200);
     let at = match html.find("<body") {
         Some(i) => html[i..].find('>').map(|j| i + j + 1).unwrap_or(0),
         None => 0,
@@ -211,7 +213,7 @@ fn deep_nest(html: &str, rng: &mut SmallRng) -> String {
     out
 }
 
-fn nest_forms(html: &str, rng: &mut SmallRng) -> String {
+fn nest_forms(html: &str, rng: &mut CheckRng) -> String {
     let Some(start) = html.find("<form") else {
         // No form to nest — graft on a dangling one instead.
         return format!("{html}<form action=\"/q\"><input name=\"q\">");
@@ -221,7 +223,7 @@ fn nest_forms(html: &str, rng: &mut SmallRng) -> String {
     };
     let close = start + close_rel;
     let block = &html[start..close + "</form>".len()];
-    let copies = rng.random_range(1..=3usize);
+    let copies = rng.range_usize(1, 3);
     let mut out = String::with_capacity(html.len() + block.len() * copies);
     out.push_str(&html[..close]);
     for _ in 0..copies {
@@ -231,27 +233,27 @@ fn nest_forms(html: &str, rng: &mut SmallRng) -> String {
     out
 }
 
-fn control_chars(html: &str, rng: &mut SmallRng) -> String {
+fn control_chars(html: &str, rng: &mut CheckRng) -> String {
     const CTRL: [char; 8] = [
         '\u{0}', '\u{1}', '\u{8}', '\u{b}', '\u{c}', '\u{e}', '\u{1f}', '\u{7f}',
     ];
     let mut out = html.to_owned();
-    for _ in 0..rng.random_range(4..=16usize) {
+    for _ in 0..rng.range_usize(4, 16) {
         let at = random_boundary(&out, rng);
-        out.insert(at, *CTRL.choose(rng).unwrap_or(&'\u{0}'));
+        out.insert(at, *rng.pick(&CTRL).unwrap_or(&'\u{0}'));
     }
     out
 }
 
-fn mega_attribute(html: &str, rng: &mut SmallRng) -> String {
+fn mega_attribute(html: &str, rng: &mut CheckRng) -> String {
     // 200 KB – 1.6 MB of attribute value: straddles the default 1 MiB soft
     // size limit, so some pages truncate and some merely bloat. Target a
     // random tag — when the bloat lands late in the page, truncation keeps
     // the content before it and the page survives degraded.
-    let size = rng.random_range(200_000..=1_600_000usize);
+    let size = rng.range_usize(200_000, 1_600_000);
     let value = "A".repeat(size);
     let closes: Vec<usize> = html.match_indices('>').map(|(i, _)| i).collect();
-    let Some(&insert_at) = closes.choose(rng) else {
+    let Some(&insert_at) = rng.pick(&closes) else {
         return format!("<div data-bloat=\"{value}\">{html}");
     };
     let mut out = String::with_capacity(html.len() + size + 16);
@@ -263,10 +265,10 @@ fn mega_attribute(html: &str, rng: &mut SmallRng) -> String {
     out
 }
 
-fn entity_bomb(html: &str, rng: &mut SmallRng) -> String {
+fn entity_bomb(html: &str, rng: &mut CheckRng) -> String {
     const BOMBS: [&str; 4] = ["&amp;", "&lt;", "&#x41;", "&bogus;"];
-    let reps = rng.random_range(2_000..=20_000usize);
-    let unit = *BOMBS.choose(rng).unwrap_or(&"&amp;");
+    let reps = rng.range_usize(2_000, 20_000);
+    let unit = *rng.pick(&BOMBS).unwrap_or(&"&amp;");
     let at = random_boundary(html, rng);
     let mut out = String::with_capacity(html.len() + unit.len() * reps);
     out.push_str(&html[..at]);

@@ -12,22 +12,11 @@
 use cafc_webgraph::{PageId, WebGraph};
 use std::collections::HashMap;
 
-/// One splitmix64 mixing step — the deterministic fault/jitter source.
-/// Self-contained so the crate stays free of RNG dependencies.
-#[inline]
-pub(crate) fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A hash in [0, 1) from a tuple of stream keys.
-#[inline]
-pub(crate) fn unit_hash(seed: u64, a: u64, b: u64, salt: u64) -> f64 {
-    let mixed = splitmix64(seed ^ splitmix64(a ^ splitmix64(b ^ splitmix64(salt))));
-    (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
+// The deterministic fault/jitter source: the workspace-shared splitmix64
+// step from `cafc-check`, bit-identical to the private copy this crate
+// carried before the PRNG unification — seeded fault schedules replay
+// unchanged.
+pub(crate) use cafc_check::{mix64 as splitmix64, Seed};
 
 /// Why a fetch failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,7 +203,7 @@ impl<'g, F: Fetcher> ChaosFetcher<'g, F> {
     }
 
     fn roll(&self, page: PageId, attempt: u64, salt: u64) -> f64 {
-        unit_hash(self.config.seed, u64::from(page.0), attempt, salt)
+        Seed::new(self.config.seed).unit(u64::from(page.0), attempt, salt)
     }
 }
 

@@ -1,0 +1,162 @@
+//! Table-driven edge cases for the evaluation metrics, asserting *exact*
+//! expected values (Equations 5–6 computed by hand), cross-checked at the
+//! end by a `cafc-check` property run over generated labelings.
+
+use cafc_check::corpus::labels as gen_labels;
+use cafc_check::gen::usizes;
+use cafc_check::{check, require_close, CheckConfig};
+use cafc_eval::{entropy, f_measure, f_measure_by_class, purity, EntropyBase};
+
+struct Case {
+    name: &'static str,
+    clusters: Vec<Vec<usize>>,
+    labels: Vec<&'static str>,
+    entropy_bits: f64,
+    f: f64,
+    purity: f64,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        // k = n: every item its own cluster. Each singleton is pure, so
+        // entropy 0 and purity 1; per cluster the best F pairs the
+        // singleton with its own class: R = 1/2, P = 1 -> F = 2/3.
+        Case {
+            name: "all-singletons (k = n)",
+            clusters: vec![vec![0], vec![1], vec![2], vec![3]],
+            labels: vec!["a", "a", "b", "b"],
+            entropy_bits: 0.0,
+            f: 2.0 / 3.0,
+            purity: 1.0,
+        },
+        // k = 1: one cluster holding a 50/50 class mix = exactly 1 bit.
+        // Best F per class: R = 1, P = 1/2 -> F = 2/3. Purity 1/2.
+        Case {
+            name: "one-cluster partition (k = 1), balanced",
+            clusters: vec![vec![0, 1, 2, 3]],
+            labels: vec!["a", "a", "b", "b"],
+            entropy_bits: 1.0,
+            f: 2.0 / 3.0,
+            purity: 0.5,
+        },
+        // k = 1 with a 3:1 skew: E = -(3/4)log2(3/4) - (1/4)log2(1/4);
+        // best F: class a with R = 1, P = 3/4 -> F = 6/7.
+        Case {
+            name: "one-cluster partition (k = 1), skewed 3:1",
+            clusters: vec![vec![0, 1, 2, 3]],
+            labels: vec!["a", "a", "a", "b"],
+            entropy_bits: 2.0 - 0.75 * 3f64.log2(),
+            f: 6.0 / 7.0,
+            purity: 0.75,
+        },
+        // The perfect partition: every metric at its extreme.
+        Case {
+            name: "perfect partition",
+            clusters: vec![vec![0, 1], vec![2, 3]],
+            labels: vec!["a", "a", "b", "b"],
+            entropy_bits: 0.0,
+            f: 1.0,
+            purity: 1.0,
+        },
+        // Maximally-confused partition: both clusters 50/50. Every
+        // (class, cluster) intersection has n_ij = 1, R = P = 1/2, so the
+        // best F anywhere is 1/2 — and the empty intersections that a
+        // naive F(i,j) = 2RP/(R+P) would turn into 0/0 contribute exactly
+        // 0, not NaN.
+        Case {
+            name: "maximally confused (empty intersections score 0)",
+            clusters: vec![vec![0, 2], vec![1, 3]],
+            labels: vec!["a", "a", "b", "b"],
+            entropy_bits: 1.0,
+            f: 0.5,
+            purity: 0.5,
+        },
+        // A class entirely absent from a cluster: cluster 0 contains no
+        // "c" items and cluster 1 contains no "a"/"b" items. All those
+        // empty intersections must silently score 0 while the rest make
+        // E = (4/6)·1 + (2/6)·0 = 2/3 bit.
+        Case {
+            name: "disjoint class support across clusters",
+            clusters: vec![vec![0, 1, 2, 3], vec![4, 5]],
+            labels: vec!["a", "a", "b", "b", "c", "c"],
+            entropy_bits: 2.0 / 3.0,
+            f: (4.0 / 6.0) * (2.0 / 3.0) + (2.0 / 6.0) * 1.0,
+            purity: 4.0 / 6.0,
+        },
+    ]
+}
+
+#[test]
+fn table_driven_exact_values() {
+    for case in cases() {
+        let e = entropy(&case.clusters, &case.labels, EntropyBase::Two);
+        assert!(
+            (e - case.entropy_bits).abs() < 1e-12,
+            "{}: entropy {e} != {}",
+            case.name,
+            case.entropy_bits
+        );
+        let f = f_measure(&case.clusters, &case.labels);
+        assert!(
+            (f - case.f).abs() < 1e-12,
+            "{}: F-measure {f} != {}",
+            case.name,
+            case.f
+        );
+        let p = purity(&case.clusters, &case.labels);
+        assert!(
+            (p - case.purity).abs() < 1e-12,
+            "{}: purity {p} != {}",
+            case.name,
+            case.purity
+        );
+        // Every value must be finite — the empty-intersection cases in the
+        // table would surface NaN here if F(i,j) mishandled n_ij = 0.
+        assert!(f_measure_by_class(&case.clusters, &case.labels).is_finite());
+    }
+}
+
+/// Cross-check of the table's two structural rows by a property run: for
+/// *any* labeling, all-singletons scores entropy 0 / purity 1, and the
+/// one-cluster partition scores the entropy of the label distribution and
+/// the F-measure `max_i 2·n_i / (n + n_i)` — both computed here from
+/// first principles as an independent oracle.
+#[test]
+fn k_extremes_match_closed_forms() {
+    let cases = usizes(1, 24).flat_map(|&n| gen_labels(n, 4));
+    check!(CheckConfig::new(), cases, |labels: &Vec<usize>| {
+        let n = labels.len();
+
+        // k = n: singletons.
+        let singletons: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        require_close!(entropy(&singletons, labels, EntropyBase::Two), 0.0, 1e-12);
+        require_close!(purity(&singletons, labels), 1.0, 1e-12);
+
+        // k = 1: one cluster. Class counts from first principles.
+        let one: Vec<Vec<usize>> = vec![(0..n).collect()];
+        let mut counts = [0usize; 4];
+        for &l in labels {
+            counts[l] += 1;
+        }
+        let expected_entropy: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n as f64;
+                -p * p.log2()
+            })
+            .sum();
+        require_close!(
+            entropy(&one, labels, EntropyBase::Two),
+            expected_entropy,
+            1e-12
+        );
+        let expected_f = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| 2.0 * c as f64 / (n + c) as f64)
+            .fold(0.0f64, f64::max);
+        require_close!(f_measure(&one, labels), expected_f, 1e-12);
+        Ok(())
+    });
+}

@@ -1,0 +1,167 @@
+//! `cafc-check` property suite for the evaluation metrics: bounds,
+//! invariances and extremal behaviour on generated clusterings. Runs
+//! offline on every commit (the proptest twin in `tests/proptests.rs`
+//! needs the real `proptest` crate and a populated registry).
+
+use cafc_check::corpus::{clustering, labels};
+use cafc_check::gen::{pairs, usizes, Gen};
+use cafc_check::{check, require, require_close, CheckConfig};
+use cafc_eval::{entropy, f_measure, f_measure_by_class, misclustered, purity, EntropyBase};
+
+/// Random clustering problem: a partition of `n` items (n in 2..=20) into
+/// at most 5 clusters, plus labels over at most 4 classes.
+fn problem() -> Gen<(Vec<Vec<usize>>, Vec<usize>)> {
+    usizes(2, 20).flat_map(|&n| pairs(&clustering(n, 5), &labels(n, 4)))
+}
+
+/// Entropy is non-negative, finite, and bounded by log2(#classes).
+#[test]
+fn entropy_bounds() {
+    check!(CheckConfig::new(), problem(), |(clusters, labels)| {
+        let e = entropy(clusters, labels, EntropyBase::Two);
+        require!(e.is_finite() && e >= 0.0, "entropy {e}");
+        let distinct = {
+            let mut l = labels.clone();
+            l.sort_unstable();
+            l.dedup();
+            l.len()
+        };
+        require!(
+            e <= (distinct.max(1) as f64).log2() + 1e-9,
+            "entropy {e} above log2({distinct})"
+        );
+        Ok(())
+    });
+}
+
+/// Both F-measure variants and purity stay within [0, 1].
+#[test]
+fn f_and_purity_bounds() {
+    check!(CheckConfig::new(), problem(), |(clusters, labels)| {
+        for v in [
+            f_measure(clusters, labels),
+            f_measure_by_class(clusters, labels),
+            purity(clusters, labels),
+        ] {
+            require!((0.0..=1.0 + 1e-12).contains(&v), "metric out of range: {v}");
+        }
+        Ok(())
+    });
+}
+
+/// Every metric is invariant under permutation of the cluster list — a
+/// clustering is a set of clusters, not a sequence.
+#[test]
+fn metrics_cluster_order_invariant() {
+    check!(CheckConfig::new(), problem(), |(clusters, labels)| {
+        let mut reversed = clusters.clone();
+        reversed.reverse();
+        require_close!(
+            entropy(clusters, labels, EntropyBase::Two),
+            entropy(&reversed, labels, EntropyBase::Two),
+            1e-12
+        );
+        require_close!(
+            f_measure(clusters, labels),
+            f_measure(&reversed, labels),
+            1e-12
+        );
+        require_close!(
+            f_measure_by_class(clusters, labels),
+            f_measure_by_class(&reversed, labels),
+            1e-12
+        );
+        require_close!(purity(clusters, labels), purity(&reversed, labels), 1e-12);
+        Ok(())
+    });
+}
+
+/// Every metric is invariant under an injective relabeling of the classes
+/// (the class *names* carry no information).
+#[test]
+fn metrics_relabel_invariant() {
+    check!(CheckConfig::new(), problem(), |(clusters, labels)| {
+        // An injective rename: usize -> String with a distinct prefix.
+        let renamed: Vec<String> = labels.iter().map(|l| format!("class-{l}")).collect();
+        require_close!(
+            entropy(clusters, labels, EntropyBase::Two),
+            entropy(clusters, &renamed, EntropyBase::Two),
+            1e-12
+        );
+        require_close!(
+            f_measure(clusters, labels),
+            f_measure(clusters, &renamed),
+            1e-12
+        );
+        require_close!(purity(clusters, labels), purity(clusters, &renamed), 1e-12);
+        Ok(())
+    });
+}
+
+/// A perfect clustering (one cluster per class, built straight from the
+/// labels) scores entropy 0, F-measure 1, purity 1, nothing misclustered.
+#[test]
+fn perfect_clustering_extremes() {
+    let cases = usizes(1, 20).flat_map(|&n| labels(n, 4));
+    check!(CheckConfig::new(), cases, |labels: &Vec<usize>| {
+        let classes: Vec<usize> = {
+            let mut l = labels.clone();
+            l.sort_unstable();
+            l.dedup();
+            l
+        };
+        let clusters: Vec<Vec<usize>> = classes
+            .iter()
+            .map(|c| {
+                labels
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| *l == c)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        require_close!(entropy(&clusters, labels, EntropyBase::Two), 0.0, 1e-12);
+        require_close!(f_measure(&clusters, labels), 1.0, 1e-12);
+        require_close!(f_measure_by_class(&clusters, labels), 1.0, 1e-12);
+        require_close!(purity(&clusters, labels), 1.0, 1e-12);
+        require!(misclustered(&clusters, labels).is_empty());
+        Ok(())
+    });
+}
+
+/// Purity and `misclustered` agree: purity == (n - |misclustered|) / n for
+/// any full partition.
+#[test]
+fn purity_counts_misclustered_complement() {
+    check!(CheckConfig::new(), problem(), |(clusters, labels)| {
+        let n: usize = clusters.iter().map(Vec::len).sum();
+        let wrong = misclustered(clusters, labels).len();
+        require_close!(
+            purity(clusters, labels),
+            (n - wrong) as f64 / n as f64,
+            1e-12
+        );
+        Ok(())
+    });
+}
+
+/// Entropy bases are proportional: nats = bits · ln 2, digits = bits ·
+/// log10 2.
+#[test]
+fn entropy_bases_proportional() {
+    check!(CheckConfig::new(), problem(), |(clusters, labels)| {
+        let bits = entropy(clusters, labels, EntropyBase::Two);
+        require_close!(
+            entropy(clusters, labels, EntropyBase::E),
+            bits * 2f64.ln(),
+            1e-9
+        );
+        require_close!(
+            entropy(clusters, labels, EntropyBase::Ten),
+            bits * 2f64.log10(),
+            1e-9
+        );
+        Ok(())
+    });
+}

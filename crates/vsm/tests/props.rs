@@ -1,0 +1,101 @@
+//! `cafc-check` property suite for the sparse vector-space math: cosine
+//! symmetry and range (Equation 2), norm and centroid identities on
+//! generated vectors (duplicate term ids, negative and zero weights
+//! included). Runs offline on every commit.
+
+use cafc_check::corpus::sparse_entries;
+use cafc_check::gen::{pairs, Gen};
+use cafc_check::{check, require, require_close, CheckConfig};
+use cafc_text::TermId;
+use cafc_vsm::SparseVector;
+
+fn vector() -> Gen<SparseVector> {
+    sparse_entries(32, 12).map(|entries| {
+        SparseVector::from_entries(
+            entries
+                .iter()
+                .map(|&(t, w)| (TermId(t as u32), w))
+                .collect(),
+        )
+    })
+}
+
+/// Cosine is exactly symmetric: the merge-join accumulates products in
+/// term-id order for both argument orders.
+#[test]
+fn cosine_symmetric() {
+    check!(CheckConfig::new(), pairs(&vector(), &vector()), |(a, b)| {
+        let lr = a.cosine(b);
+        let rl = b.cosine(a);
+        require!(lr == rl, "cosine asymmetric: {lr} != {rl}");
+        Ok(())
+    });
+}
+
+/// Cosine is clamped into [0, 1] and always finite — even with negative
+/// weights, empty vectors, or duplicate-id inputs.
+#[test]
+fn cosine_bounded() {
+    check!(CheckConfig::new(), pairs(&vector(), &vector()), |(a, b)| {
+        let c = a.cosine(b);
+        require!(c.is_finite(), "cosine not finite: {c}");
+        require!((0.0..=1.0).contains(&c), "cosine out of range: {c}");
+        Ok(())
+    });
+}
+
+/// A vector with positive norm is maximally similar to itself.
+#[test]
+fn self_cosine_is_one() {
+    check!(CheckConfig::new(), vector(), |v: &SparseVector| {
+        if v.norm() > 0.0 {
+            require_close!(v.cosine(v), 1.0, 1e-12);
+        } else {
+            require_close!(v.cosine(v), 0.0, 1e-12);
+        }
+        Ok(())
+    });
+}
+
+/// Norms are non-negative and finite, and scale linearly:
+/// `‖c·v‖ = |c|·‖v‖`.
+#[test]
+fn norm_nonnegative_and_homogeneous() {
+    check!(CheckConfig::new(), vector(), |v: &SparseVector| {
+        let n = v.norm();
+        require!(n.is_finite() && n >= 0.0, "norm {n}");
+        let scaled = v.scale(-2.5);
+        require_close!(scaled.norm(), 2.5 * n, 1e-9);
+        Ok(())
+    });
+}
+
+/// The centroid of a single vector is that vector.
+#[test]
+fn singleton_centroid_is_identity() {
+    check!(CheckConfig::new(), vector(), |v: &SparseVector| {
+        let c = SparseVector::centroid([v]);
+        require!(
+            c.entries().len() == v.entries().len(),
+            "centroid changed support: {} != {}",
+            c.entries().len(),
+            v.entries().len()
+        );
+        for (&(ct, cw), &(vt, vw)) in c.entries().iter().zip(v.entries()) {
+            require!(ct == vt, "term ids diverged");
+            require_close!(cw, vw, 1e-12);
+        }
+        Ok(())
+    });
+}
+
+/// Cosine against the zero/empty vector is zero, never NaN.
+#[test]
+fn empty_vector_cosine_is_zero() {
+    check!(CheckConfig::new(), vector(), |v: &SparseVector| {
+        let empty = SparseVector::empty();
+        require_close!(v.cosine(&empty), 0.0, 0.0);
+        require_close!(empty.cosine(v), 0.0, 0.0);
+        Ok(())
+    });
+}

@@ -23,6 +23,7 @@ declare -A home=(
   [CafcChConfig]="crates/core/src/algorithms.rs"
   [IngestLimits]="crates/core/src/ingest.rs"
   [ObsConfig]="crates/obs/src/lib.rs"
+  [CheckConfig]="crates/check/src/runner.rs"
 )
 
 status=0
