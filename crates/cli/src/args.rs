@@ -43,6 +43,13 @@ const VALUE_FLAGS: &[&str] = &[
     // torture
     "mutations",
     "mutations-per-page",
+    // fuzz
+    "budget-iters",
+    "budget-ms",
+    "corpus",
+    "regressions",
+    "replay",
+    "max-input-len",
     // execution layer
     "threads",
     // bench
@@ -52,7 +59,7 @@ const VALUE_FLAGS: &[&str] = &[
 ];
 
 /// Known boolean switches (present or absent, no value).
-const SWITCH_FLAGS: &[&str] = &["auto-k", "sweep", "trace"];
+const SWITCH_FLAGS: &[&str] = &["auto-k", "sweep", "trace", "write-seeds", "ab"];
 
 impl Args {
     /// Parse a raw argument list (without the program/subcommand names).
@@ -132,6 +139,41 @@ impl Args {
             return Err(format!("--{name} expects a rate in [0, 1], got {value}"));
         }
         Ok(value)
+    }
+
+    /// Parsed u64 flag that must be at least 1 (budgets, sizes). Zero and
+    /// non-numeric values are rejected with typed errors, the same
+    /// contract as `--threads`: a zero budget runs nothing, and silently
+    /// accepting it would mask the typo.
+    pub fn get_count_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                let count: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--{name} expects a number, got {v:?}"))?;
+                if count == 0 {
+                    return Err(format!("--{name} expects a count of at least 1, got 0"));
+                }
+                Ok(count)
+            }
+        }
+    }
+
+    /// [`Args::get_count_u64`] for `usize`-shaped flags.
+    pub fn get_count_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                let count: usize = v
+                    .parse()
+                    .map_err(|_| format!("--{name} expects a number, got {v:?}"))?;
+                if count == 0 {
+                    return Err(format!("--{name} expects a count of at least 1, got 0"));
+                }
+                Ok(count)
+            }
+        }
     }
 
     /// The `--threads` flag as an execution policy: absent means `Auto`,
@@ -221,6 +263,26 @@ mod tests {
         let a = parse(&["--threads", "plenty"]);
         let err = a.get_threads().expect_err("non-numeric must not parse");
         assert!(err.contains("expects a number"), "{err}");
+    }
+
+    #[test]
+    fn count_flags_validate() {
+        let a = parse(&[]);
+        assert_eq!(a.get_count_u64("budget-iters", 500).expect("default"), 500);
+        let a = parse(&["--budget-iters", "200"]);
+        assert_eq!(a.get_count_u64("budget-iters", 500).expect("count"), 200);
+        let a = parse(&["--budget-iters", "0"]);
+        let err = a
+            .get_count_u64("budget-iters", 500)
+            .expect_err("zero budget runs nothing");
+        assert!(err.contains("at least 1"), "{err}");
+        let a = parse(&["--budget-ms", "soon"]);
+        let err = a
+            .get_count_u64("budget-ms", 0)
+            .expect_err("non-numeric must not parse");
+        assert!(err.contains("expects a number"), "{err}");
+        let a = parse(&["--max-input-len", "0"]);
+        assert!(a.get_count_usize("max-input-len", 1).is_err());
     }
 
     #[test]

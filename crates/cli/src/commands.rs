@@ -859,3 +859,160 @@ pub fn bench(args: &Args) -> Result<(), String> {
     emit_obs(args, &obs)?;
     Ok(())
 }
+
+/// The number of distinct oracle failures in a replay/report, rendered
+/// for humans: one line per failing entry.
+fn render_fuzz_failures(failing: &[(String, Vec<cafc_fuzz::OracleFailure>)]) -> String {
+    failing
+        .iter()
+        .flat_map(|(name, failures)| {
+            failures
+                .iter()
+                .map(move |f| format!("  {name}: {} — {}", f.oracle.label(), f.detail))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+pub fn fuzz(args: &Args) -> Result<(), String> {
+    let seed = args.get_u64("seed", 0xCAFC)?;
+    let corpus_dir = args.get("corpus").unwrap_or("fuzz/corpus").to_owned();
+    let regressions_dir = args
+        .get("regressions")
+        .unwrap_or("fuzz/regressions")
+        .to_owned();
+
+    // Replay mode: re-execute a stored directory through the oracle
+    // battery and stop. An empty or missing directory is an error — a
+    // replay that silently checks nothing must not report green.
+    if let Some(dir) = args.get("replay") {
+        let entries = cafc_fuzz::load_dir(Path::new(dir))
+            .map_err(|e| format!("--replay {dir}: cannot read directory: {e}"))?;
+        if entries.is_empty() {
+            return Err(format!("--replay {dir}: no .html entries to replay"));
+        }
+        let failing = cafc_fuzz::replay(&entries, seed);
+        if failing.is_empty() {
+            println!(
+                "fuzz replay: {} entries from {dir}: all green",
+                entries.len()
+            );
+            return Ok(());
+        }
+        return Err(format!(
+            "fuzz replay: {} of {} entries failed:\n{}",
+            failing.len(),
+            entries.len(),
+            render_fuzz_failures(&failing),
+        ));
+    }
+
+    // Seed-writing mode: persist the built-in seed set (pathological table
+    // + base page + fixed-seed torture variants) to the corpus directory.
+    if args.has("write-seeds") {
+        let max_input_len = args.get_count_usize("max-input-len", 64 * 1024)?;
+        let seeds = cafc_fuzz::builtin_seeds();
+        let count = seeds.len();
+        for input in &seeds {
+            // Store exactly what the engine would execute under this cap.
+            let capped = cafc_fuzz::truncate_to(input, max_input_len);
+            cafc_fuzz::write_entry(Path::new(&corpus_dir), &capped)
+                .map_err(|e| format!("writing seed to {corpus_dir}: {e}"))?;
+        }
+        println!("fuzz: wrote {count} built-in seeds to {corpus_dir}");
+        return Ok(());
+    }
+
+    let budget_iters = args.get_count_u64("budget-iters", 500)?;
+    let budget_ms = match args.get("budget-ms") {
+        None => None,
+        Some(_) => Some(args.get_count_u64("budget-ms", 1)?),
+    };
+    let max_input_len = args.get_count_usize("max-input-len", 64 * 1024)?;
+    let cfg = cafc_fuzz::FuzzConfig::new()
+        .with_seed(seed)
+        .with_budget_iters(budget_iters)
+        .with_budget_ms(budget_ms)
+        .with_max_input_len(max_input_len);
+
+    // Stored corpus entries join the built-in seeds; a missing corpus
+    // directory just means "first run".
+    let extra: Vec<String> = match cafc_fuzz::load_dir(Path::new(&corpus_dir)) {
+        Ok(entries) => entries.into_iter().map(|(_, contents)| contents).collect(),
+        Err(_) => Vec::new(),
+    };
+
+    // A/B mode: the coverage-guidance ablation at the same budget.
+    if args.has("ab") {
+        let (guided, unguided) = cafc_fuzz::ab_compare(&cfg, extra);
+        println!(
+            "fuzz A/B: seed {seed}, {budget_iters} iterations\n\
+             guided:   {} unique edges, {} corpus entries ({} added), {} executions\n\
+             unguided: {} unique edges, {} corpus entries ({} added), {} executions",
+            guided.unique_edges,
+            guided.corpus_size,
+            guided.added.len(),
+            guided.executions,
+            unguided.unique_edges,
+            unguided.corpus_size,
+            unguided.added.len(),
+            unguided.executions,
+        );
+        return Ok(());
+    }
+
+    let report = cafc_fuzz::run(&cfg, extra);
+
+    // Persist coverage-novel inputs and minimized failures.
+    for input in &report.added {
+        cafc_fuzz::write_entry(Path::new(&corpus_dir), input)
+            .map_err(|e| format!("writing corpus entry to {corpus_dir}: {e}"))?;
+    }
+    for failure in &report.failures {
+        cafc_fuzz::write_regression(
+            Path::new(&regressions_dir),
+            &failure.minimized,
+            failure.oracle.label(),
+            &failure.detail,
+            seed,
+            failure.iteration.unwrap_or(0),
+        )
+        .map_err(|e| format!("writing regression to {regressions_dir}: {e}"))?;
+    }
+
+    // The deterministic run summary: a pure function of (seed, seeds,
+    // budget-iters) when no wall-clock budget is set.
+    println!(
+        "fuzz: seed {seed} iterations {} executions {} corpus {} added {} \
+         unique-edges {} coverage-hash {:016x} failures {}",
+        report.iterations,
+        report.executions,
+        report.corpus_size,
+        report.added.len(),
+        report.unique_edges,
+        report.coverage_hash,
+        report.failures.len(),
+    );
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        let failing: Vec<(String, Vec<cafc_fuzz::OracleFailure>)> = report
+            .failures
+            .iter()
+            .map(|f| {
+                (
+                    cafc_fuzz::entry_name(&f.minimized),
+                    vec![cafc_fuzz::OracleFailure {
+                        oracle: f.oracle,
+                        detail: f.detail.clone(),
+                    }],
+                )
+            })
+            .collect();
+        Err(format!(
+            "fuzz: {} oracle failure(s), minimized witnesses written to {regressions_dir}:\n{}",
+            report.failures.len(),
+            render_fuzz_failures(&failing),
+        ))
+    }
+}

@@ -30,6 +30,14 @@
 //!     through the hardened pipeline, and report ok/degraded/quarantined
 //!     counts plus quality deltas versus the clean corpus.
 //!
+//! cafc fuzz [--seed S] [--budget-iters N] [--budget-ms MS]
+//!           [--corpus DIR] [--regressions DIR] [--max-input-len BYTES]
+//!           [--replay DIR] [--write-seeds] [--ab]
+//!     Coverage-guided fuzzing of the HTML stack: mutate corpus inputs,
+//!     run the differential oracles on each, persist coverage-novel
+//!     inputs and minimized failures. `--replay DIR` re-executes a stored
+//!     directory; `--ab` compares guided vs unguided coverage.
+//!
 //! cafc bench [--sizes N,N,...] [--k N] [--seed S] [--threads N]
 //!     Time the full pipeline serial vs parallel at several corpus sizes,
 //!     verifying the two produce identical partitions.
@@ -69,6 +77,7 @@ fn main() -> ExitCode {
         "eval" => commands::eval(&parsed),
         "crawl" => commands::crawl(&parsed),
         "torture" => commands::torture(&parsed),
+        "fuzz" => commands::fuzz(&parsed),
         "bench" => commands::bench(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -107,6 +116,9 @@ USAGE:
                   [--mutations all|truncate-mid-tag,entity-bomb,...]
                   [--mutations-per-page N] [--threads N]
                   [--metrics FILE.json] [--trace]
+    cafc fuzz     [--seed S] [--budget-iters N] [--budget-ms MS]
+                  [--corpus DIR] [--regressions DIR] [--max-input-len BYTES]
+                  [--replay DIR] [--write-seeds] [--ab]
     cafc bench    [--sizes N,N,...] [--k N] [--seed S] [--threads N]
                   [--metrics FILE.json] [--trace]
 

@@ -1,0 +1,134 @@
+//! End-to-end tests of `cafc fuzz`: deterministic runs, seed writing,
+//! replay, flag validation — driving the compiled binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn cafc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cafc"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cafc-fuzz-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "command failed.\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    stdout
+}
+
+fn run_err(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        !out.status.success(),
+        "command unexpectedly succeeded.\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    stderr
+}
+
+/// One fuzz invocation against isolated corpus/regression directories.
+fn fuzz_args(dir: &Path, rest: &[&str]) -> Vec<String> {
+    let corpus = dir.join("corpus");
+    let regressions = dir.join("regressions");
+    let mut args = vec![
+        "fuzz".to_owned(),
+        "--corpus".to_owned(),
+        corpus.to_str().expect("utf8").to_owned(),
+        "--regressions".to_owned(),
+        regressions.to_str().expect("utf8").to_owned(),
+    ];
+    args.extend(rest.iter().map(|s| (*s).to_owned()));
+    args
+}
+
+#[test]
+fn fixed_seed_run_is_bit_deterministic() {
+    // Two runs with the same seed and budget against *separate* corpus
+    // directories (so the second run cannot see the first run's
+    // additions) must print the identical deterministic summary.
+    let dir_a = tmpdir("det-a");
+    let dir_b = tmpdir("det-b");
+    let out_a = run_ok(cafc().args(fuzz_args(&dir_a, &["--seed", "11", "--budget-iters", "40"])));
+    let out_b = run_ok(cafc().args(fuzz_args(&dir_b, &["--seed", "11", "--budget-iters", "40"])));
+    assert_eq!(out_a, out_b);
+    assert!(out_a.contains("coverage-hash"), "{out_a}");
+    assert!(out_a.contains("failures 0"), "{out_a}");
+
+    // And the corpus additions on disk are identical too.
+    let list = |dir: &Path| -> Vec<String> {
+        match std::fs::read_dir(dir.join("corpus")) {
+            Ok(entries) => {
+                let mut names: Vec<String> = entries
+                    .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+                    .collect();
+                names.sort();
+                names
+            }
+            Err(_) => Vec::new(),
+        }
+    };
+    assert_eq!(list(&dir_a), list(&dir_b));
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn write_seeds_then_replay_is_green() {
+    let dir = tmpdir("seeds");
+    let out = run_ok(cafc().args(fuzz_args(&dir, &["--write-seeds"])));
+    assert!(out.contains("built-in seeds"), "{out}");
+    let corpus = dir.join("corpus");
+    assert!(corpus.read_dir().expect("corpus dir").count() > 20);
+
+    let out = run_ok(cafc().args(["fuzz", "--replay", corpus.to_str().expect("utf8")]));
+    assert!(out.contains("all green"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_of_missing_or_empty_directory_errors() {
+    let dir = tmpdir("replay-missing");
+    let missing = dir.join("nope");
+    let err = run_err(cafc().args(["fuzz", "--replay", missing.to_str().expect("utf8")]));
+    assert!(err.contains("cannot read directory"), "{err}");
+
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).expect("mkdir");
+    let err = run_err(cafc().args(["fuzz", "--replay", empty.to_str().expect("utf8")]));
+    assert!(err.contains("no .html entries"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_flags_get_typed_errors() {
+    let err = run_err(cafc().args(["fuzz", "--budget-iters", "0"]));
+    assert!(err.contains("at least 1"), "{err}");
+    let err = run_err(cafc().args(["fuzz", "--budget-iters", "lots"]));
+    assert!(err.contains("expects a number"), "{err}");
+    let err = run_err(cafc().args(["fuzz", "--budget-ms", "0"]));
+    assert!(err.contains("at least 1"), "{err}");
+    let err = run_err(cafc().args(["fuzz", "--max-input-len", "zero"]));
+    assert!(err.contains("expects a number"), "{err}");
+}
+
+#[test]
+fn ab_mode_reports_both_legs() {
+    let dir = tmpdir("ab");
+    let out = run_ok(cafc().args(fuzz_args(
+        &dir,
+        &["--seed", "3", "--budget-iters", "30", "--ab"],
+    )));
+    assert!(out.contains("guided:"), "{out}");
+    assert!(out.contains("unguided:"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,130 @@
+//! Fuzzing-run configuration.
+
+/// Configuration for one deterministic fuzzing run.
+///
+/// Construct with [`FuzzConfig::new`] (or `default()`) and refine with the
+/// `with_*` setters; the struct is `#[non_exhaustive]` so fields can be
+/// added without breaking callers (the same builder convention as
+/// `CheckConfig` and `IngestLimits` — enforced by `tools/config-lint.sh`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FuzzConfig {
+    /// Root seed. Every random decision of the run derives from it, so the
+    /// same seed and iteration budget reproduce the run bit-for-bit.
+    pub seed: u64,
+    /// Number of mutate-execute iterations.
+    pub budget_iters: u64,
+    /// Optional wall-clock budget in milliseconds. This is the one
+    /// non-deterministic stop condition: a run cut short by time may cover
+    /// less, but every iteration it *did* run is still the same pure
+    /// function of (seed, iteration). Bit-determinism is only claimed for
+    /// runs bounded by `budget_iters` alone.
+    pub budget_ms: Option<u64>,
+    /// Mutated inputs are truncated (at a char boundary) to this many
+    /// bytes, keeping torture mutations like `MegaAttribute` from growing
+    /// the corpus without bound.
+    pub max_input_len: usize,
+    /// Maximum havoc operations applied per mutation.
+    pub max_havoc: u32,
+    /// When false, run the unguided ablation: parents are drawn uniformly
+    /// from the seed set and coverage novelty never feeds back into
+    /// scheduling. Used by the A/B harness.
+    pub guided: bool,
+    /// Step budget for shrinking a failing input.
+    pub max_shrink_steps: usize,
+}
+
+/// Default root seed, shared with `CheckConfig`'s convention.
+const DEFAULT_SEED: u64 = 0xCAFC;
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: DEFAULT_SEED,
+            budget_iters: 500,
+            budget_ms: None,
+            max_input_len: 64 * 1024,
+            max_havoc: 4,
+            guided: true,
+            max_shrink_steps: 4096,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The default configuration.
+    pub fn new() -> FuzzConfig {
+        FuzzConfig::default()
+    }
+
+    /// Set the root seed.
+    pub fn with_seed(mut self, seed: u64) -> FuzzConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the iteration budget.
+    pub fn with_budget_iters(mut self, iters: u64) -> FuzzConfig {
+        self.budget_iters = iters;
+        self
+    }
+
+    /// Set (or clear) the wall-clock budget.
+    pub fn with_budget_ms(mut self, ms: Option<u64>) -> FuzzConfig {
+        self.budget_ms = ms;
+        self
+    }
+
+    /// Set the mutated-input size cap.
+    pub fn with_max_input_len(mut self, bytes: usize) -> FuzzConfig {
+        self.max_input_len = bytes;
+        self
+    }
+
+    /// Set the per-mutation havoc-op cap.
+    pub fn with_max_havoc(mut self, ops: u32) -> FuzzConfig {
+        self.max_havoc = ops.max(1);
+        self
+    }
+
+    /// Enable or disable coverage guidance.
+    pub fn with_guided(mut self, guided: bool) -> FuzzConfig {
+        self.guided = guided;
+        self
+    }
+
+    /// Set the shrink step budget.
+    pub fn with_max_shrink_steps(mut self, steps: usize) -> FuzzConfig {
+        self.max_shrink_steps = steps;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = FuzzConfig::new()
+            .with_seed(7)
+            .with_budget_iters(10)
+            .with_budget_ms(Some(1000))
+            .with_max_input_len(1024)
+            .with_max_havoc(2)
+            .with_guided(false)
+            .with_max_shrink_steps(100);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.budget_iters, 10);
+        assert_eq!(cfg.budget_ms, Some(1000));
+        assert_eq!(cfg.max_input_len, 1024);
+        assert_eq!(cfg.max_havoc, 2);
+        assert!(!cfg.guided);
+        assert_eq!(cfg.max_shrink_steps, 100);
+    }
+
+    #[test]
+    fn havoc_floor_is_one() {
+        assert_eq!(FuzzConfig::new().with_max_havoc(0).max_havoc, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! On-disk persistence for the fuzzing corpus and regression witnesses.
+//!
+//! Corpus entries are content-addressed: the filename is the FNV-1a hash
+//! of the bytes (`{hash:016x}.html`), so re-running the fuzzer never
+//! duplicates an input and `git status` shows exactly the novel ones.
+//! Regressions pair the minimized witness with a `.recipe.txt` describing
+//! the oracle, the root seed and the iteration that produced it — enough
+//! to regenerate the failure from scratch with the same binary.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use cafc_html::coverage::fnv1a;
+
+/// Content hash used for corpus filenames.
+pub fn content_hash(input: &str) -> u64 {
+    fnv1a(input.as_bytes())
+}
+
+/// The corpus filename for `input`.
+pub fn entry_name(input: &str) -> String {
+    format!("{:016x}.html", content_hash(input))
+}
+
+/// Load every `.html` entry in `dir`, sorted by filename (hash order), so
+/// corpus loading is deterministic regardless of directory iteration
+/// order. A missing directory is an error — callers decide whether that
+/// means "create it" or "report it".
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("html") {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let contents = fs::read_to_string(&path)?;
+        entries.push((name, contents));
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Write `input` to `dir` under its content-hash name (creating `dir` if
+/// needed). Returns the path; writing an already-present entry is a no-op
+/// that still returns the path.
+pub fn write_entry(dir: &Path, input: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(entry_name(input));
+    if !path.exists() {
+        fs::write(&path, input)?;
+    }
+    Ok(path)
+}
+
+/// Write a minimized regression witness plus its replay recipe. The
+/// witness file *is* the regression (replay just re-executes it); the
+/// recipe records provenance for humans.
+pub fn write_regression(
+    dir: &Path,
+    minimized: &str,
+    oracle_label: &str,
+    detail: &str,
+    seed: u64,
+    iteration: u64,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let hash = content_hash(minimized);
+    let witness = dir.join(format!("{hash:016x}.html"));
+    fs::write(&witness, minimized)?;
+    let recipe = dir.join(format!("{hash:016x}.recipe.txt"));
+    let body = format!(
+        "oracle: {oracle_label}\ndetail: {detail}\nfound-by: cafc fuzz --seed {seed} --budget-iters {n}\nreplay: cafc fuzz --replay <this directory>\n",
+        n = iteration + 1,
+    );
+    fs::write(&recipe, body)?;
+    Ok(witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cafc-fuzz-io-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn entry_names_are_content_addressed() {
+        assert_eq!(entry_name("x"), entry_name("x"));
+        assert_ne!(entry_name("x"), entry_name("y"));
+        assert!(entry_name("x").ends_with(".html"));
+    }
+
+    #[test]
+    fn write_then_load_round_trips_sorted() {
+        let dir = tmpdir("roundtrip");
+        write_entry(&dir, "<p>b</p>").expect("write b");
+        write_entry(&dir, "<p>a</p>").expect("write a");
+        // Duplicate write is a no-op.
+        write_entry(&dir, "<p>a</p>").expect("rewrite a");
+        let entries = load_dir(&dir).expect("load");
+        assert_eq!(entries.len(), 2);
+        let mut names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        let sorted = {
+            let mut s = names.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(names, sorted);
+        names.dedup();
+        assert_eq!(names.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        assert!(load_dir(Path::new("/nonexistent/cafc-fuzz")).is_err());
+    }
+
+    #[test]
+    fn regression_writes_witness_and_recipe() {
+        let dir = tmpdir("regression");
+        let path = write_regression(&dir, "<!", "panic-freedom", "boom", 42, 7).expect("write");
+        assert!(path.exists());
+        let recipe = fs::read_to_string(path.with_extension("").with_extension("recipe.txt"))
+            .or_else(|_| {
+                fs::read_to_string(dir.join(format!("{:016x}.recipe.txt", content_hash("<!"))))
+            })
+            .expect("recipe");
+        assert!(recipe.contains("panic-freedom"));
+        assert!(recipe.contains("--seed 42"));
+        assert!(recipe.contains("--budget-iters 8"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,114 @@
+//! The mutation dictionary: syntactic atoms the havoc mutator splices in.
+//!
+//! The bulk of the dictionary is extracted from the parser's own state
+//! machine via [`cafc_html::syntax_dictionary`] — tag vocabulary, markup
+//! delimiters, attribute quoting forms, entity forms — so a random insert
+//! has a real chance of flipping the tokenizer into a different state
+//! instead of just perturbing character data. A few hostile extras
+//! (control characters, broken surrogate-ish escapes, nesting fragments)
+//! round it out.
+
+use cafc_check::CheckRng;
+
+/// Extra atoms not derivable from the grammar tables: hostile characters
+/// and fragments that historically break HTML parsers.
+const EXTRA_ATOMS: &[&str] = &[
+    "\u{0}",
+    "\u{1}",
+    "\u{7f}",
+    "\u{85}",
+    "\u{feff}",
+    "é",
+    "漢",
+    "💣",
+    "<![CDATA[",
+    "]]>",
+    "<!doctype",
+    "<script>",
+    "</script >",
+    "<p////>",
+    "=\"\"",
+    "a=b",
+    "&#x1F4A",
+    "--!>",
+];
+
+/// A stable, deduplicated list of mutation atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dictionary {
+    atoms: Vec<String>,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Dictionary::new()
+    }
+}
+
+impl Dictionary {
+    /// Build the dictionary from the parser grammar plus hostile extras.
+    /// Deterministic: the output depends only on the grammar tables.
+    pub fn new() -> Dictionary {
+        let mut atoms = cafc_html::syntax_dictionary();
+        atoms.extend(EXTRA_ATOMS.iter().map(|s| (*s).to_owned()));
+        atoms.sort();
+        atoms.dedup();
+        Dictionary { atoms }
+    }
+
+    /// The atoms, sorted and deduplicated.
+    pub fn atoms(&self) -> &[String] {
+        &self.atoms
+    }
+
+    /// Pick one atom deterministically from `rng`. The dictionary is never
+    /// empty (the grammar tables alone contribute dozens of atoms), but
+    /// degrade to `""` rather than panic if it ever were.
+    pub fn pick<'a>(&'a self, rng: &mut CheckRng) -> &'a str {
+        rng.pick(&self.atoms).map(String::as_str).unwrap_or("")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_is_stable() {
+        assert_eq!(Dictionary::new(), Dictionary::new());
+    }
+
+    #[test]
+    fn dictionary_is_sorted_and_deduped() {
+        let dict = Dictionary::new();
+        let mut sorted = dict.atoms().to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(dict.atoms(), sorted.as_slice());
+    }
+
+    #[test]
+    fn dictionary_covers_the_grammar() {
+        let dict = Dictionary::new();
+        let has = |s: &str| dict.atoms().iter().any(|a| a == s);
+        assert!(has("<!--"), "comment open");
+        assert!(has("</script>"), "raw-text close");
+        assert!(has("&amp;"), "named entity");
+        assert!(has("&#x"), "hex entity prefix");
+        assert!(has("<input>"), "void element");
+    }
+
+    #[test]
+    fn pick_is_deterministic() {
+        let dict = Dictionary::new();
+        let a: Vec<&str> = {
+            let mut rng = CheckRng::new(42);
+            (0..16).map(|_| dict.pick(&mut rng)).collect()
+        };
+        let b: Vec<&str> = {
+            let mut rng = CheckRng::new(42);
+            (0..16).map(|_| dict.pick(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,452 @@
+//! The coverage-guided fuzzing loop.
+//!
+//! A classic corpus-scheduler design scaled down to a deterministic,
+//! dependency-free setting: a corpus of interesting inputs, an
+//! energy-weighted parent selector, havoc/splice/dictionary mutators, and
+//! a global "virgin" coverage map that decides which mutants earn a
+//! corpus slot. Every random decision of iteration `i` flows from
+//! `Seed::new(cfg.seed).stream(i)`, so a run with a fixed iteration
+//! budget is a pure function of (seed, seeds, budget) — the property the
+//! determinism tests and the replayable recipes rely on.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use cafc_check::{CheckRng, Seed};
+use cafc_corpus::mutate::{apply, Mutation};
+use cafc_html::coverage::{fnv1a, CoverageMap, MAP_SIZE};
+
+use crate::config::FuzzConfig;
+use crate::corpus_io::content_hash;
+use crate::dict::Dictionary;
+use crate::oracles::{execute, floor_boundary, OracleKind};
+use crate::seeds::builtin_seeds;
+use crate::shrink::minimize;
+
+/// One scheduled corpus input.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The input bytes.
+    pub input: String,
+    /// Content hash (the on-disk name).
+    pub hash: u64,
+    /// Scheduling weight; higher = picked more often.
+    pub energy: u64,
+    /// Whether this entry was a seed (vs. found during the run).
+    pub is_seed: bool,
+}
+
+/// A minimized oracle violation found during a run.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The oracle that rejected the input.
+    pub oracle: OracleKind,
+    /// What the oracle observed (on the original input).
+    pub detail: String,
+    /// The input as found.
+    pub input: String,
+    /// The greedily minimized witness.
+    pub minimized: String,
+    /// The iteration that produced it; `None` for a failing seed.
+    pub iteration: Option<u64>,
+}
+
+/// The deterministic summary of one run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Mutate-execute iterations performed.
+    pub iterations: u64,
+    /// Oracle executions (seeds + non-duplicate mutants).
+    pub executions: u64,
+    /// Final corpus size (seeds + coverage-novel additions).
+    pub corpus_size: usize,
+    /// Coverage-novel inputs added during the loop, in discovery order.
+    pub added: Vec<String>,
+    /// Distinct coverage edges reached across the whole run.
+    pub unique_edges: usize,
+    /// Stable hash of the global coverage class map.
+    pub coverage_hash: u64,
+    /// Minimized failures, deduplicated by witness.
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Hostile single characters the havoc mutator sprinkles in.
+const HOSTILE_CHARS: &[char] = &[
+    '<', '>', '&', '"', '\'', '=', '/', '!', '-', ' ', '\u{0}', '\u{7f}',
+];
+
+/// The fuzzer state: corpus, global coverage, dedup set, counters.
+pub struct Fuzzer {
+    cfg: FuzzConfig,
+    dict: Dictionary,
+    entries: Vec<CorpusEntry>,
+    /// Per-bin maximum hit-count class observed across all executions.
+    virgin: Vec<u8>,
+    seen: BTreeSet<u64>,
+    executions: u64,
+    added: Vec<String>,
+    failures: Vec<FuzzFailure>,
+    failure_witnesses: BTreeSet<u64>,
+}
+
+impl Fuzzer {
+    /// A fuzzer with an empty corpus.
+    pub fn new(cfg: FuzzConfig) -> Fuzzer {
+        Fuzzer {
+            cfg,
+            dict: Dictionary::new(),
+            entries: Vec::new(),
+            virgin: vec![0; MAP_SIZE],
+            seen: BTreeSet::new(),
+            executions: 0,
+            added: Vec::new(),
+            failures: Vec::new(),
+            failure_witnesses: BTreeSet::new(),
+        }
+    }
+
+    /// Merge an execution's coverage into the global map; returns how many
+    /// bins rose to a new hit-count class (0 = nothing novel).
+    fn merge_coverage(&mut self, map: &CoverageMap) -> usize {
+        let mut novel = 0usize;
+        for (bin, &count) in map.bins().iter().enumerate() {
+            let class = CoverageMap::class_of(count);
+            if class > self.virgin[bin] {
+                self.virgin[bin] = class;
+                novel += 1;
+            }
+        }
+        novel
+    }
+
+    /// Execute one input: run oracles, merge coverage, record failures
+    /// (shrunk against the tripping oracle), and return the novelty count.
+    fn ingest_input(&mut self, input: &str, iteration: Option<u64>) -> usize {
+        let exec = execute(input, self.cfg.seed);
+        self.executions += 1;
+        let novel = self.merge_coverage(&exec.coverage);
+        let split_seed = self.cfg.seed;
+        let max_steps = self.cfg.max_shrink_steps;
+        let mut kinds_done: Vec<OracleKind> = Vec::new();
+        for failure in &exec.failures {
+            if kinds_done.contains(&failure.oracle) {
+                continue;
+            }
+            kinds_done.push(failure.oracle);
+            let kind = failure.oracle;
+            let minimized = minimize(
+                input,
+                |candidate| {
+                    execute(candidate, split_seed)
+                        .failures
+                        .iter()
+                        .any(|f| f.oracle == kind)
+                },
+                max_steps,
+            );
+            if self.failure_witnesses.insert(content_hash(&minimized)) {
+                self.failures.push(FuzzFailure {
+                    oracle: kind,
+                    detail: failure.detail.clone(),
+                    input: input.to_owned(),
+                    minimized,
+                    iteration,
+                });
+            }
+        }
+        novel
+    }
+
+    /// Add `input` to the corpus with energy derived from its novelty.
+    fn add_entry(&mut self, input: String, novel: usize, is_seed: bool) {
+        let hash = content_hash(&input);
+        self.entries.push(CorpusEntry {
+            input,
+            hash,
+            // Favor coverage-novel inputs: each newly-reached class adds
+            // weight, capped so no single entry dominates the schedule.
+            energy: 1 + (2 * novel as u64).min(31),
+            is_seed,
+        });
+    }
+
+    /// Feed the seed set (built-ins plus `extra`) through the oracles and
+    /// into the corpus. Duplicate and empty seeds are skipped.
+    pub fn load_seeds(&mut self, extra: Vec<String>) {
+        let mut all = builtin_seeds();
+        all.extend(extra);
+        for seed in all {
+            let seed = truncate_to(&seed, self.cfg.max_input_len);
+            if seed.is_empty() || !self.seen.insert(content_hash(&seed)) {
+                continue;
+            }
+            let novel = self.ingest_input(&seed, None);
+            self.add_entry(seed, novel, true);
+        }
+    }
+
+    /// Pick a parent index: energy-weighted when guided, uniform over the
+    /// seed entries when not (the unguided ablation never grows its
+    /// corpus, so "all entries" and "seed entries" coincide there).
+    fn select_parent(&self, rng: &mut CheckRng) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        if !self.cfg.guided {
+            return Some(rng.range_usize(0, self.entries.len() - 1));
+        }
+        let total: u64 = self.entries.iter().map(|e| e.energy).sum();
+        let mut ticket = rng.below(total.max(1));
+        for (i, entry) in self.entries.iter().enumerate() {
+            if ticket < entry.energy {
+                return Some(i);
+            }
+            ticket -= entry.energy;
+        }
+        Some(self.entries.len() - 1)
+    }
+
+    /// Apply 1..=max_havoc mutation operations to the parent.
+    fn mutate(&self, parent: usize, rng: &mut CheckRng) -> String {
+        let mut s = self.entries[parent].input.clone();
+        let ops = 1 + rng.below(u64::from(self.cfg.max_havoc));
+        for _ in 0..ops {
+            s = self.mutate_once(s, rng);
+        }
+        truncate_to(&s, self.cfg.max_input_len)
+    }
+
+    fn mutate_once(&self, s: String, rng: &mut CheckRng) -> String {
+        match rng.below(7) {
+            // Insert a dictionary atom at a char boundary.
+            0 => {
+                let at = floor_boundary(&s, rng.range_usize(0, s.len()));
+                let atom = self.dict.pick(rng);
+                let mut out = String::with_capacity(s.len() + atom.len());
+                out.push_str(&s[..at]);
+                out.push_str(atom);
+                out.push_str(&s[at..]);
+                out
+            }
+            // Delete a random range.
+            1 => {
+                if s.is_empty() {
+                    return s;
+                }
+                let a = floor_boundary(&s, rng.range_usize(0, s.len()));
+                let b = floor_boundary(&s, rng.range_usize(0, s.len()));
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let mut out = String::with_capacity(s.len());
+                out.push_str(&s[..lo]);
+                out.push_str(&s[hi..]);
+                out
+            }
+            // Duplicate a random range in place.
+            2 => {
+                if s.is_empty() {
+                    return s;
+                }
+                let a = floor_boundary(&s, rng.range_usize(0, s.len()));
+                let b = floor_boundary(&s, rng.range_usize(0, s.len()));
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let mut out = String::with_capacity(s.len() + (hi - lo));
+                out.push_str(&s[..hi]);
+                out.push_str(&s[lo..hi]);
+                out.push_str(&s[hi..]);
+                out
+            }
+            // Splice: our prefix + another entry's suffix.
+            3 => {
+                let other = &self.entries[rng.range_usize(0, self.entries.len() - 1)].input;
+                let cut_self = floor_boundary(&s, rng.range_usize(0, s.len()));
+                let cut_other = floor_boundary(other, rng.range_usize(0, other.len()));
+                let mut out = String::with_capacity(cut_self + other.len() - cut_other);
+                out.push_str(&s[..cut_self]);
+                out.push_str(&other[cut_other..]);
+                out
+            }
+            // One of the eight torture mutations.
+            4 => {
+                let menu = Mutation::ALL;
+                let mutation = menu[rng.range_usize(0, menu.len() - 1)];
+                apply(&s, mutation, rng)
+            }
+            // Overwrite one char with a hostile char.
+            5 => {
+                if s.is_empty() {
+                    return s;
+                }
+                let at = floor_boundary(&s, rng.range_usize(0, s.len().saturating_sub(1)));
+                let ch = HOSTILE_CHARS[rng.range_usize(0, HOSTILE_CHARS.len() - 1)];
+                let mut out = String::with_capacity(s.len());
+                out.push_str(&s[..at]);
+                out.push(ch);
+                let next = s[at..]
+                    .chars()
+                    .next()
+                    .map(char::len_utf8)
+                    .unwrap_or_default();
+                out.push_str(&s[at + next..]);
+                out
+            }
+            // Insert a hostile char.
+            _ => {
+                let at = floor_boundary(&s, rng.range_usize(0, s.len()));
+                let ch = HOSTILE_CHARS[rng.range_usize(0, HOSTILE_CHARS.len() - 1)];
+                let mut out = String::with_capacity(s.len() + ch.len_utf8());
+                out.push_str(&s[..at]);
+                out.push(ch);
+                out.push_str(&s[at..]);
+                out
+            }
+        }
+    }
+
+    /// Run the mutate-execute loop and produce the final report.
+    pub fn run(mut self) -> FuzzReport {
+        let deadline = self
+            .cfg
+            .budget_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        let mut iterations = 0u64;
+        for i in 0..self.cfg.budget_iters {
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+            iterations = i + 1;
+            let mut rng = Seed::new(self.cfg.seed).stream(i);
+            let Some(parent) = self.select_parent(&mut rng) else {
+                break;
+            };
+            let mutant = self.mutate(parent, &mut rng);
+            if mutant.is_empty() || !self.seen.insert(content_hash(&mutant)) {
+                continue;
+            }
+            let novel = self.ingest_input(&mutant, Some(i));
+            if novel > 0 && self.cfg.guided {
+                self.added.push(mutant.clone());
+                self.add_entry(mutant, novel, false);
+            }
+        }
+        FuzzReport {
+            seed: self.cfg.seed,
+            iterations,
+            executions: self.executions,
+            corpus_size: self.entries.len(),
+            added: self.added,
+            unique_edges: self.virgin.iter().filter(|&&c| c > 0).count(),
+            coverage_hash: fnv1a(&self.virgin),
+            failures: self.failures,
+        }
+    }
+
+    /// The current corpus (seeds plus additions).
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+}
+
+/// Truncate `s` to at most `max_len` bytes on a char boundary — the same
+/// cap the engine applies to every seed and mutant, exposed so callers
+/// persisting seed files (`cafc fuzz --write-seeds`) store exactly what
+/// the engine would execute.
+pub fn truncate_to(s: &str, max_len: usize) -> String {
+    s[..floor_boundary(s, max_len)].to_owned()
+}
+
+/// Run one full fuzzing session: built-in seeds plus `extra_seeds`, then
+/// the scheduled loop.
+pub fn run(cfg: &FuzzConfig, extra_seeds: Vec<String>) -> FuzzReport {
+    let mut fuzzer = Fuzzer::new(cfg.clone());
+    fuzzer.load_seeds(extra_seeds);
+    fuzzer.run()
+}
+
+/// The A/B harness: the same seed and iteration budget with coverage
+/// guidance on and off. Returns `(guided, unguided)` reports; the guided
+/// run reaching strictly more unique edges is the acceptance criterion
+/// recorded in EXPERIMENTS.md.
+pub fn ab_compare(cfg: &FuzzConfig, extra_seeds: Vec<String>) -> (FuzzReport, FuzzReport) {
+    let guided = run(&cfg.clone().with_guided(true), extra_seeds.clone());
+    let unguided = run(&cfg.clone().with_guided(false), extra_seeds);
+    (guided, unguided)
+}
+
+/// Re-execute stored inputs (corpus or regressions) against the oracle
+/// battery. Returns the entries that fail, with their failures.
+pub fn replay(
+    entries: &[(String, String)],
+    split_seed: u64,
+) -> Vec<(String, Vec<crate::oracles::OracleFailure>)> {
+    entries
+        .iter()
+        .filter_map(|(name, input)| {
+            let exec = execute(input, split_seed);
+            if exec.failed() {
+                Some((name.clone(), exec.failures))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FuzzConfig {
+        FuzzConfig::new()
+            .with_seed(0xF00D)
+            .with_budget_iters(60)
+            .with_max_input_len(4096)
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run(&small_cfg(), vec![]);
+        let b = run(&small_cfg(), vec![]);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.executions, b.executions);
+        assert_eq!(a.corpus_size, b.corpus_size);
+        assert_eq!(a.added, b.added);
+        assert_eq!(a.unique_edges, b.unique_edges);
+        assert_eq!(a.coverage_hash, b.coverage_hash);
+    }
+
+    #[test]
+    fn seeds_alone_reach_coverage() {
+        let report = run(&small_cfg().with_budget_iters(0), vec![]);
+        assert!(report.unique_edges > 20, "edges: {}", report.unique_edges);
+        assert!(report.corpus_size > 20);
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn extra_seeds_join_the_corpus() {
+        let base = run(&small_cfg().with_budget_iters(0), vec![]);
+        let extra = run(
+            &small_cfg().with_budget_iters(0),
+            vec!["<custom-tag attr=1>unique seed</custom-tag>".to_owned()],
+        );
+        assert_eq!(extra.corpus_size, base.corpus_size + 1);
+    }
+
+    #[test]
+    fn clean_run_reports_no_failures() {
+        let report = run(&small_cfg(), vec![]);
+        assert!(
+            report.failures.is_empty(),
+            "unexpected failures: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (f.oracle, &f.minimized))
+                .collect::<Vec<_>>()
+        );
+    }
+}

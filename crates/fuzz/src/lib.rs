@@ -1,0 +1,44 @@
+//! # cafc-fuzz
+//!
+//! Deterministic, dependency-free, coverage-guided fuzzing of the CAFC
+//! HTML stack — the offline equivalent of a libFuzzer harness, built on
+//! the pieces the workspace already has:
+//!
+//! * **coverage** comes from `cafc_html`'s instrumented tokenizer and
+//!   tree builder ([`cafc_html::coverage`]): state-transition edges hashed
+//!   into a fixed hit map, so "new behaviour" is a pure function of input;
+//! * **randomness** comes from `cafc_check`'s splittable [`cafc_check::CheckRng`] —
+//!   iteration `i` of a run seeds from `Seed::new(seed).stream(i)`, making
+//!   every run with a fixed iteration budget bit-reproducible;
+//! * **mutation** combines havoc operators, corpus splicing, a dictionary
+//!   extracted from the parser's own grammar tables, and the eight torture
+//!   mutations from `cafc_corpus::mutate`;
+//! * **oracles** go beyond panic-freedom: differential parse equality,
+//!   sanitize idempotence, tokenizer position invariants, chunked-parse
+//!   equivalence (the contract for the future streaming tokenizer), and
+//!   the ingestion accounting identity;
+//! * **failures** are greedily minimized with `cafc_check`'s shrink trees
+//!   and persisted as content-addressed regression witnesses.
+//!
+//! The `cafc fuzz` CLI subcommand drives [`engine::run`]; see DESIGN.md
+//! §13 for the full workflow.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod corpus_io;
+pub mod dict;
+pub mod engine;
+pub mod oracles;
+pub mod seeds;
+pub mod shrink;
+
+pub use config::FuzzConfig;
+pub use corpus_io::{content_hash, entry_name, load_dir, write_entry, write_regression};
+pub use dict::Dictionary;
+pub use engine::{
+    ab_compare, replay, run, truncate_to, CorpusEntry, FuzzFailure, FuzzReport, Fuzzer,
+};
+pub use oracles::{execute, Execution, OracleFailure, OracleKind};
+pub use seeds::builtin_seeds;
+pub use shrink::minimize;

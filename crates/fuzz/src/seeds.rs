@@ -1,0 +1,88 @@
+//! Built-in seed inputs for the fuzzing corpus.
+//!
+//! Three deterministic sources: the hostile fragments from
+//! `crates/html/tests/pathological.rs` (mirrored here so the fuzzer starts
+//! where the hand-written torture suite left off), a small well-formed
+//! form page (the "normal" ancestor most mutants descend from), and that
+//! page run through each of `cafc_corpus::mutate`'s eight torture
+//! mutations under a fixed seed.
+
+use cafc_corpus::mutate::{apply, page_rng, Mutation};
+
+/// Hostile fragments mirrored from the pathological test table.
+const PATHOLOGICAL: &[&str] = &[
+    "<",
+    "<!",
+    "</",
+    "</>",
+    "< >",
+    "<3 apples for <5 dollars",
+    "<input",
+    "<input name=\"q",
+    "<a href=",
+    "<![CDATA[ junk ]]>",
+    "<!%$#@>",
+    "<script>var a = '<div>'",
+    "<title>half a title",
+    "<p/><p////>",
+    "text &#x1F4A",
+    "\u{0}\u{1}<p>\u{7f}</p>",
+];
+
+/// A small well-formed form page exercising the constructs the CAFC
+/// pipeline cares about: title, form, labels, select/options, entities.
+const BASE_PAGE: &str = r#"<html><head><title>Used Car Search</title></head>
+<body><h1>Find &amp; Compare Cars</h1>
+<!-- navigation -->
+<form action="/search" method="get">
+  <label for="make">Make</label> <input type="text" name="make" id="make">
+  <select name="state"><option>Utah</option><option selected>Ohio</option></select>
+  <textarea name="notes">anything &lt;here&gt;</textarea>
+  <input type="hidden" name="sid" value="42">
+  <input type="submit" value="Go">
+</form>
+<p>Price range: $1&ndash;$9</p>
+<script>if (a < b) { go("</form>"); }</script>
+</body></html>
+"#;
+
+/// Fixed seed for the torture-mutated seed variants. Changing it changes
+/// the built-in seed set, so it is part of the fuzzer's versioned surface.
+pub const TORTURE_SEED: u64 = 0xCAFC;
+
+/// All built-in seeds, in stable order: pathological fragments, the base
+/// page, then one torture-mutated variant of the base page per mutation.
+pub fn builtin_seeds() -> Vec<String> {
+    let mut seeds: Vec<String> = PATHOLOGICAL.iter().map(|s| (*s).to_owned()).collect();
+    seeds.push(BASE_PAGE.to_owned());
+    for (i, &mutation) in Mutation::ALL.iter().enumerate() {
+        let mut rng = page_rng(TORTURE_SEED, i);
+        seeds.push(apply(BASE_PAGE, mutation, &mut rng));
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic() {
+        assert_eq!(builtin_seeds(), builtin_seeds());
+    }
+
+    #[test]
+    fn seed_count_is_table_plus_base_plus_mutations() {
+        assert_eq!(
+            builtin_seeds().len(),
+            PATHOLOGICAL.len() + 1 + Mutation::ALL.len()
+        );
+    }
+
+    #[test]
+    fn base_page_parses_with_a_form() {
+        let doc = cafc_html::parse(BASE_PAGE);
+        assert_eq!(cafc_html::extract_forms(&doc).len(), 1);
+        assert!(doc.title().is_some());
+    }
+}

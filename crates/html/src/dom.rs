@@ -8,6 +8,7 @@
 //! to traverse — important because the corpus pipeline parses hundreds of
 //! pages per experiment run.
 
+use crate::coverage::{Coverage, CoveragePoint};
 use crate::tokenizer::{Attribute, Token, Tokenizer};
 
 /// Index of a node in a [`Document`] arena.
@@ -58,7 +59,7 @@ impl Node {
 }
 
 /// Elements that never have children.
-const VOID_ELEMENTS: &[&str] = &[
+pub(crate) const VOID_ELEMENTS: &[&str] = &[
     "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
     "track", "wbr",
 ];
@@ -70,7 +71,7 @@ pub fn is_void(name: &str) -> bool {
 
 /// `(incoming, closes)` pairs: seeing `incoming` while `closes` is the open
 /// element implicitly closes it.
-const IMPLICIT_CLOSE: &[(&str, &str)] = &[
+pub(crate) const IMPLICIT_CLOSE: &[(&str, &str)] = &[
     ("li", "li"),
     ("option", "option"),
     ("optgroup", "option"),
@@ -113,7 +114,11 @@ pub struct ParseStats {
 }
 
 /// A parsed HTML document: an arena of nodes plus the top-level roots.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural (same arena contents and roots) — the fuzz
+/// oracles use it to compare parses of the same input along different
+/// paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Document {
     nodes: Vec<Node>,
     roots: Vec<NodeId>,
@@ -128,6 +133,14 @@ impl Document {
     /// Parse `html`, also reporting which structural caps were hit.
     /// Infallible on any byte sequence.
     pub fn parse_with_stats(html: &str) -> (Document, ParseStats) {
+        Document::parse_with_coverage(html, &Coverage::disabled())
+    }
+
+    /// Parse `html`, reporting tokenizer and tree-builder state transitions
+    /// to `cov`. With a disabled handle this is exactly
+    /// [`Document::parse_with_stats`]; coverage recording never changes the
+    /// parse result.
+    pub fn parse_with_coverage(html: &str, cov: &Coverage) -> (Document, ParseStats) {
         let mut doc = Document {
             nodes: Vec::new(),
             roots: Vec::new(),
@@ -135,18 +148,23 @@ impl Document {
         let mut stats = ParseStats::default();
         // Stack of open element node ids.
         let mut stack: Vec<NodeId> = Vec::new();
-        for token in Tokenizer::new(html) {
+        for token in Tokenizer::with_coverage(html, cov.clone()) {
             if doc.nodes.len() >= MAX_NODES {
+                cov.record(CoveragePoint::TreeNodesCapped);
                 stats.nodes_capped = true;
                 break;
             }
             match token {
-                Token::Doctype(_) => {}
+                Token::Doctype(_) => {
+                    cov.record(CoveragePoint::TreeDoctypeDropped);
+                }
                 Token::Comment(c) => {
+                    cov.record(CoveragePoint::TreeComment);
                     let id = doc.push(Node::Comment(c));
                     doc.append(&stack, id);
                 }
                 Token::Text(t) => {
+                    cov.record(CoveragePoint::TreeText);
                     let id = doc.push(Node::Text(t));
                     doc.append(&stack, id);
                 }
@@ -165,6 +183,7 @@ impl Document {
                             .iter()
                             .any(|(inc, closes)| *inc == name && *closes == top_name)
                         {
+                            cov.record(CoveragePoint::TreeImplicitClose);
                             stack.pop();
                         } else {
                             break;
@@ -175,13 +194,19 @@ impl Document {
                         attrs,
                         children: Vec::new(),
                     });
+                    if stack.is_empty() {
+                        cov.record(CoveragePoint::TreeRootAppend);
+                    }
                     doc.append(&stack, id);
                     if !self_closing && !is_void(&name) {
                         if stack.len() < MAX_DEPTH {
                             stack.push(id);
                         } else {
+                            cov.record(CoveragePoint::TreeDepthCapped);
                             stats.depth_capped = true;
                         }
+                    } else {
+                        cov.record(CoveragePoint::TreeVoid);
                     }
                 }
                 Token::EndTag { name } => {
@@ -189,7 +214,10 @@ impl Document {
                     if let Some(pos) = stack.iter().rposition(|&id| {
                         doc.nodes[id.index()].element_name() == Some(name.as_str())
                     }) {
+                        cov.record(CoveragePoint::TreeEndMatched);
                         stack.truncate(pos);
+                    } else {
+                        cov.record(CoveragePoint::TreeStrayEndDropped);
                     }
                 }
             }

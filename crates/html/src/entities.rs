@@ -8,7 +8,7 @@
 
 /// The named entities we decode. This is the set observed on real form
 /// pages; extending it is a one-line change per entity.
-const NAMED: &[(&str, &str)] = &[
+pub(crate) const NAMED: &[(&str, &str)] = &[
     ("amp", "&"),
     ("lt", "<"),
     ("gt", ">"),

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod dom;
 pub mod entities;
 pub mod extract;
@@ -48,6 +49,7 @@ pub mod labels;
 pub mod sanitize;
 pub mod tokenizer;
 
+pub use coverage::{Coverage, CoverageMap, CoveragePoint};
 pub use dom::{Document, Node, NodeId, ParseStats};
 pub use extract::{located_text, LocatedText, TextLocation};
 pub use form::{extract_forms, Form, FormField, FormFieldKind, FormMethod};
@@ -64,6 +66,80 @@ pub use tokenizer::{Attribute, Token, Tokenizer};
 /// automatically.
 pub fn parse(html: &str) -> Document {
     dom::Document::parse(html)
+}
+
+/// Parse an HTML document delivered in chunks.
+///
+/// Today this reassembles the chunks and parses the whole string — the
+/// *reference semantics* for incremental delivery. The planned streaming
+/// tokenizer (ROADMAP item 1) must preserve exactly this contract:
+/// `parse_chunked(chunks) == parse(chunks.concat())` for every split of
+/// every input. `cafc-fuzz` pins that equivalence over seeded split points
+/// ahead of the rewrite, so the rewrite inherits a ready-made oracle.
+pub fn parse_chunked<S: AsRef<str>>(chunks: &[S]) -> Document {
+    let total: usize = chunks.iter().map(|c| c.as_ref().len()).sum();
+    let mut whole = String::with_capacity(total);
+    for chunk in chunks {
+        whole.push_str(chunk.as_ref());
+    }
+    parse(&whole)
+}
+
+/// The syntactic atoms of this parser's grammar, for fuzzing dictionaries.
+///
+/// Extracted from the state machine itself: markup delimiters the
+/// tokenizer dispatches on, the raw-text and void element names, the
+/// implicit-close tag pairs, and entity forms (every named entity plus the
+/// numeric prefixes). Sorted and deduplicated, so the output is stable as
+/// long as the grammar is — a property the fuzz engine's dictionary tests
+/// pin.
+pub fn syntax_dictionary() -> Vec<String> {
+    let mut atoms: Vec<String> = Vec::new();
+    // Markup delimiters and quoting forms the tokenizer branches on.
+    for s in [
+        "<",
+        ">",
+        "</",
+        "/>",
+        "<!--",
+        "-->",
+        "<!",
+        "<?",
+        "<!DOCTYPE html>",
+        "=",
+        "=\"",
+        "='",
+        "\"",
+        "'",
+        "/",
+        " ",
+    ] {
+        atoms.push(s.to_owned());
+    }
+    // Element vocabulary: raw-text, void, and implicit-close names.
+    for name in tokenizer::RAW_TEXT_ELEMENTS {
+        atoms.push(format!("<{name}>"));
+        atoms.push(format!("</{name}>"));
+    }
+    for name in dom::VOID_ELEMENTS {
+        atoms.push(format!("<{name}>"));
+    }
+    for (incoming, closes) in dom::IMPLICIT_CLOSE {
+        atoms.push(format!("<{incoming}>"));
+        atoms.push(format!("<{closes}>"));
+    }
+    // Entity forms: numeric prefixes and every named entity.
+    for s in ["&", "&#", "&#x", "&#65;", "&#x41;", "&#0;", "&#x110000;"] {
+        atoms.push(s.to_owned());
+    }
+    for (name, _) in entities::NAMED {
+        atoms.push(format!("&{name};"));
+        // Missing-semicolon form: passes through undecoded, a distinct path.
+        atoms.push(format!("&{name}"));
+    }
+    atoms.sort();
+    atoms.dedup();
+    atoms
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! consumed verbatim until the matching end tag, so JavaScript containing
 //! `<` or `"</div>"` strings cannot corrupt the token stream.
 
+use crate::coverage::{Coverage, CoveragePoint};
 use crate::entities::decode;
 
 /// A single HTML attribute, with its value entity-decoded.
@@ -56,16 +57,30 @@ pub struct Tokenizer<'a> {
     pos: usize,
     /// When set, we are inside a raw-text element of this name.
     raw_text_until: Option<String>,
+    /// Coverage sink; disabled (a single branch per record) by default.
+    cov: Coverage,
 }
 
 impl<'a> Tokenizer<'a> {
     /// Create a tokenizer over `input`.
     pub fn new(input: &'a str) -> Self {
+        Tokenizer::with_coverage(input, Coverage::disabled())
+    }
+
+    /// Create a tokenizer that reports state transitions to `cov`.
+    pub fn with_coverage(input: &'a str, cov: Coverage) -> Self {
         Tokenizer {
             input,
             pos: 0,
             raw_text_until: None,
+            cov,
         }
+    }
+
+    /// Current byte offset into the input. Monotonically non-decreasing
+    /// and never past `input.len()` — an invariant the fuzz oracles pin.
+    pub fn pos(&self) -> usize {
+        self.pos
     }
 
     /// Tokenize the whole input into a vector.
@@ -89,6 +104,7 @@ impl<'a> Tokenizer<'a> {
         match lower.find(&needle) {
             Some(0) => {
                 // Immediately at the end tag: consume `</name ...>`.
+                self.cov.record(CoveragePoint::RawTextClose);
                 self.raw_text_until = None;
                 let after = &rest[needle.len()..];
                 let close = after.find('>').map(|i| i + 1).unwrap_or(after.len());
@@ -103,11 +119,13 @@ impl<'a> Tokenizer<'a> {
                 if text.is_empty() {
                     self.next_token()
                 } else {
+                    self.cov.record(CoveragePoint::Text);
                     Some(Token::Text(decode(text)))
                 }
             }
             None => {
                 // Unterminated raw text: everything remaining is content.
+                self.cov.record(CoveragePoint::RawTextUnterminated);
                 self.raw_text_until = None;
                 let text = rest;
                 self.bump(rest.len());
@@ -132,14 +150,21 @@ impl<'a> Tokenizer<'a> {
             if let Some(comment) = after_lt.strip_prefix("!--") {
                 // Comment: scan for -->
                 let (body, consumed) = match comment.find("-->") {
-                    Some(i) => (&comment[..i], 4 + i + 3),
-                    None => (comment, rest.len()),
+                    Some(i) => {
+                        self.cov.record(CoveragePoint::Comment);
+                        (&comment[..i], 4 + i + 3)
+                    }
+                    None => {
+                        self.cov.record(CoveragePoint::CommentUnterminated);
+                        (comment, rest.len())
+                    }
                 };
                 self.bump(consumed);
                 return Some(Token::Comment(body.to_owned()));
             }
             if after_lt.starts_with('!') || after_lt.starts_with('?') {
                 // Doctype / processing instruction: scan for '>'.
+                self.cov.record(CoveragePoint::Doctype);
                 let (body, consumed) = match after_lt.find('>') {
                     Some(i) => (&after_lt[1..i], 1 + i + 1),
                     None => (&after_lt[1..], rest.len()),
@@ -164,9 +189,13 @@ impl<'a> Tokenizer<'a> {
                             .map(|i| i + 1)
                             .unwrap_or(after_name.len());
                     self.bump(consumed);
+                    self.cov.record(CoveragePoint::EndTag);
+                    self.cov
+                        .record(CoveragePoint::TagName(CoveragePoint::tag_bucket(&name)));
                     return Some(Token::EndTag { name });
                 }
                 // `</` not followed by a letter: literal text.
+                self.cov.record(CoveragePoint::StrayEndTag);
                 self.bump(1);
                 return Some(Token::Text("<".to_owned()));
             }
@@ -178,10 +207,12 @@ impl<'a> Tokenizer<'a> {
                 return Some(self.scan_start_tag(after_lt));
             }
             // Stray '<': treat as text.
+            self.cov.record(CoveragePoint::StrayLt);
             self.bump(1);
             return Some(Token::Text("<".to_owned()));
         }
         // Character data until the next '<'.
+        self.cov.record(CoveragePoint::Text);
         let end = rest.find('<').unwrap_or(rest.len());
         let text = &rest[..end];
         self.bump(end);
@@ -193,6 +224,9 @@ impl<'a> Tokenizer<'a> {
     fn scan_start_tag(&mut self, after_lt: &str) -> Token {
         let (name_end, _) = tag_name_end(after_lt);
         let name = after_lt[..name_end].to_ascii_lowercase();
+        self.cov.record(CoveragePoint::StartTag);
+        self.cov
+            .record(CoveragePoint::TagName(CoveragePoint::tag_bucket(&name)));
         let mut s = &after_lt[name_end..];
         let mut attrs = Vec::new();
         let mut self_closing = false;
@@ -200,10 +234,12 @@ impl<'a> Tokenizer<'a> {
             s = s.trim_start();
             if s.is_empty() {
                 // Unterminated tag: consume everything.
+                self.cov.record(CoveragePoint::TagUnterminatedEof);
                 self.bump(self.rest().len());
                 break;
             }
             if let Some(r) = s.strip_prefix("/>") {
+                self.cov.record(CoveragePoint::SelfClosing);
                 self_closing = true;
                 let consumed = self.rest().len() - r.len();
                 self.bump(consumed);
@@ -216,6 +252,7 @@ impl<'a> Tokenizer<'a> {
             }
             if let Some(r) = s.strip_prefix('/') {
                 // Stray slash not followed by '>': skip it.
+                self.cov.record(CoveragePoint::StraySlash);
                 s = r;
                 continue;
             }
@@ -227,25 +264,33 @@ impl<'a> Tokenizer<'a> {
                 .unwrap_or(s.len());
             if name_len == 0 {
                 // Unexpected char (e.g. a quote); skip one char to make progress.
+                self.cov.record(CoveragePoint::TagJunkSkipped);
                 let mut it = s.chars();
                 it.next();
                 s = it.as_str();
                 continue;
             }
             let attr_name = s[..name_len].to_ascii_lowercase();
+            self.cov
+                .record(CoveragePoint::AttrName(CoveragePoint::attr_bucket(
+                    &attr_name,
+                )));
             s = s[name_len..].trim_start();
             let mut value = String::new();
             if let Some(r) = s.strip_prefix('=') {
                 let r = r.trim_start();
                 if let Some(q) = r.strip_prefix('"') {
+                    self.cov.record(CoveragePoint::AttrDoubleQuoted);
                     let end = q.find('"').unwrap_or(q.len());
                     value = decode(&q[..end]);
                     s = &q[(end + 1).min(q.len())..];
                 } else if let Some(q) = r.strip_prefix('\'') {
+                    self.cov.record(CoveragePoint::AttrSingleQuoted);
                     let end = q.find('\'').unwrap_or(q.len());
                     value = decode(&q[..end]);
                     s = &q[(end + 1).min(q.len())..];
                 } else {
+                    self.cov.record(CoveragePoint::AttrUnquoted);
                     let end = r
                         .char_indices()
                         .find(|(_, c)| c.is_whitespace() || *c == '>')
@@ -254,6 +299,8 @@ impl<'a> Tokenizer<'a> {
                     value = decode(&r[..end]);
                     s = &r[end..];
                 }
+            } else {
+                self.cov.record(CoveragePoint::AttrBare);
             }
             attrs.push(Attribute {
                 name: attr_name,
@@ -261,6 +308,7 @@ impl<'a> Tokenizer<'a> {
             });
         }
         if RAW_TEXT_ELEMENTS.contains(&name.as_str()) && !self_closing {
+            self.cov.record(CoveragePoint::RawTextEnter);
             self.raw_text_until = Some(name.clone());
         }
         Token::StartTag {

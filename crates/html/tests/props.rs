@@ -1,0 +1,132 @@
+//! `cafc-check` property suite for the HTML stack — the invariants the
+//! fuzzing oracles (crates/fuzz) check per-execution, pinned here as
+//! standing properties over generated pages and arbitrary hostile text.
+//! Runs offline on every commit; any counterexample the fuzzer finds
+//! lands in `fuzz/regressions/` and its root cause gets a fix plus a
+//! regression test here.
+
+use cafc_check::corpus::{any_text, html_page};
+use cafc_check::gen::{pairs, usizes, Gen};
+use cafc_check::{check, require, CheckConfig};
+use cafc_html::coverage::Coverage;
+use cafc_html::{parse, parse_chunked, strip_control_chars, Document, Tokenizer};
+
+/// Inputs that stress both markup structure and raw hostile bytes.
+fn hostile_input() -> Gen<String> {
+    let page = html_page();
+    let noise = any_text(200);
+    pairs(&page, &noise).map(|(p, n)| {
+        let mut s = String::with_capacity(p.len() + n.len());
+        s.push_str(p);
+        s.push_str(n);
+        s
+    })
+}
+
+/// `strip_control_chars` is idempotent: sanitizing a sanitized string is
+/// the identity and reports no change.
+#[test]
+fn sanitize_is_idempotent() {
+    check!(CheckConfig::new(), any_text(400), |s: &String| {
+        let once = strip_control_chars(s).0.into_owned();
+        let (twice, changed) = strip_control_chars(&once);
+        require!(!changed, "second sanitize pass reported a change on {s:?}");
+        require!(twice == once, "second sanitize pass altered {once:?}");
+        Ok(())
+    });
+}
+
+/// `parse`, `parse_with_stats` and `parse_with_coverage` build the same
+/// tree: stats and coverage recording never perturb the parse.
+#[test]
+fn parse_equals_parse_with_stats_and_coverage() {
+    check!(CheckConfig::new(), hostile_input(), |s: &String| {
+        let plain = parse(s);
+        let (with_stats, _) = Document::parse_with_stats(s);
+        require!(plain == with_stats, "parse != parse_with_stats on {s:?}");
+        let cov = Coverage::enabled();
+        let (instrumented, _) = Document::parse_with_coverage(s, &cov);
+        require!(
+            plain == instrumented,
+            "coverage recording changed the tree on {s:?}"
+        );
+        Ok(())
+    });
+}
+
+/// Chunked delivery is equivalent to whole delivery at every split point —
+/// the contract the future streaming tokenizer must preserve.
+#[test]
+fn chunked_parse_equals_whole_parse() {
+    let input_and_cut = pairs(&hostile_input(), &usizes(0, 1 << 16));
+    check!(CheckConfig::new(), input_and_cut, |(s, cut): &(
+        String,
+        usize
+    )| {
+        let mut at = cut % (s.len() + 1);
+        while at > 0 && !s.is_char_boundary(at) {
+            at -= 1;
+        }
+        let chunks = [&s[..at], &s[at..]];
+        require!(
+            parse_chunked(&chunks) == parse(s),
+            "split at byte {at} changed the parse of {s:?}"
+        );
+        Ok(())
+    });
+}
+
+/// The tokenizer's byte position is monotonically non-decreasing and
+/// never exceeds the input length.
+#[test]
+fn tokenizer_position_stays_in_bounds() {
+    check!(CheckConfig::new(), hostile_input(), |s: &String| {
+        let mut tok = Tokenizer::new(s);
+        let mut prev = tok.pos();
+        while tok.next().is_some() {
+            let pos = tok.pos();
+            require!(pos >= prev, "pos went backwards: {prev} -> {pos} on {s:?}");
+            require!(
+                pos <= s.len(),
+                "pos {pos} past input len {} on {s:?}",
+                s.len()
+            );
+            prev = pos;
+        }
+        Ok(())
+    });
+}
+
+/// Coverage is a pure function of input: two instrumented parses of the
+/// same string produce identical hit maps and bitmap hashes.
+#[test]
+fn coverage_is_deterministic_per_input() {
+    check!(CheckConfig::new(), hostile_input(), |s: &String| {
+        let run = |input: &str| {
+            let cov = Coverage::enabled();
+            let _ = Document::parse_with_coverage(input, &cov);
+            cov.snapshot().map(|m| (m.bitmap_hash(), m.edge_count()))
+        };
+        let a = run(s);
+        let b = run(s);
+        require!(a == b, "coverage differed across identical parses of {s:?}");
+        require!(a.is_some(), "enabled coverage produced no snapshot");
+        Ok(())
+    });
+}
+
+/// Parsing records *some* coverage for any non-empty input: the proxy
+/// cannot silently go dark (a regression here would disable guidance).
+#[test]
+fn nonempty_inputs_always_cover_something() {
+    check!(CheckConfig::new(), hostile_input(), |s: &String| {
+        if s.is_empty() {
+            return Ok(());
+        }
+        let cov = Coverage::enabled();
+        let _ = Document::parse_with_coverage(s, &cov);
+        let edges = cov.snapshot().map(|m| m.edge_count()).unwrap_or(0);
+        require!(edges > 0, "no coverage recorded for non-empty {s:?}");
+        Ok(())
+    });
+}

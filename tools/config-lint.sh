@@ -12,6 +12,7 @@
 #   CafcChConfig  -> crates/core/src/algorithms.rs
 #   IngestLimits  -> crates/core/src/ingest.rs
 #   ObsConfig     -> crates/obs/src/lib.rs
+#   FuzzConfig    -> crates/fuzz/src/config.rs
 #
 # Usage: tools/config-lint.sh
 set -euo pipefail
@@ -24,6 +25,7 @@ declare -A home=(
   [IngestLimits]="crates/core/src/ingest.rs"
   [ObsConfig]="crates/obs/src/lib.rs"
   [CheckConfig]="crates/check/src/runner.rs"
+  [FuzzConfig]="crates/fuzz/src/config.rs"
 )
 
 status=0

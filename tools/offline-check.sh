@@ -24,6 +24,7 @@ lib_packages=(
   -p cafc-check -p cafc-exec -p cafc-obs -p cafc-html -p cafc-text -p cafc-vsm
   -p cafc-webgraph -p cafc-cluster -p cafc-eval -p cafc-corpus
   -p cafc-classify -p cafc-crawler -p cafc-explore -p cafc -p cafc-cli
+  -p cafc-fuzz
 )
 core_tests=(
   --test pipeline --test crawl_integration --test corpus_calibration
@@ -31,7 +32,7 @@ core_tests=(
   --test observability --test model_props --test differential
 )
 # cafc-html integration tests minus proptests.rs (needs the real proptest).
-html_tests=(--test edge_cases --test pathological)
+html_tests=(--test edge_cases --test pathological --test props)
 # cafc-check property suites living in other crates: these run offline (the
 # proptest twins of the same invariants are feature-gated behind `networked`).
 check_suites=(
@@ -75,7 +76,7 @@ tools/config-lint.sh
 case "$mode" in
   check)
     cargo check --offline "${config[@]}" "${lib_packages[@]}"
-    cargo check --offline "${config[@]}" -p cafc-check -p cafc-crawler -p cafc-cli --all-targets
+    cargo check --offline "${config[@]}" -p cafc-check -p cafc-crawler -p cafc-cli -p cafc-fuzz --all-targets
     cargo check --offline "${config[@]}" -p cafc-html "${html_tests[@]}"
     for suite in "${check_suites[@]}"; do
       # shellcheck disable=SC2086 # intentional word-splitting into -p/--test args
@@ -89,7 +90,7 @@ case "$mode" in
       -p cafc-eval -p cafc-corpus -p cafc-classify -p cafc-explore --lib
     cargo test --offline "${config[@]}" -p cafc-check --all-targets
     cargo test --offline "${config[@]}" -p cafc-html "${html_tests[@]}"
-    cargo test --offline "${config[@]}" -p cafc-crawler -p cafc-cli --all-targets
+    cargo test --offline "${config[@]}" -p cafc-crawler -p cafc-cli -p cafc-fuzz --all-targets
     for suite in "${check_suites[@]}"; do
       # shellcheck disable=SC2086 # intentional word-splitting into -p/--test args
       cargo test --offline "${config[@]}" -p $suite
@@ -104,7 +105,7 @@ case "$mode" in
     ;;
   clippy)
     cargo clippy --offline "${config[@]}" "${lib_packages[@]}" -- -D warnings
-    cargo clippy --offline "${config[@]}" -p cafc-check -p cafc-crawler -p cafc-cli --all-targets -- -D warnings
+    cargo clippy --offline "${config[@]}" -p cafc-check -p cafc-crawler -p cafc-cli -p cafc-fuzz --all-targets -- -D warnings
     cargo clippy --offline "${config[@]}" -p cafc-html "${html_tests[@]}" -- -D warnings
     for suite in "${check_suites[@]}"; do
       # shellcheck disable=SC2086 # intentional word-splitting into -p/--test args
