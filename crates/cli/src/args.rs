@@ -7,6 +7,55 @@
 //! boolean switch that drops its value on the floor.
 
 use std::collections::HashMap;
+use std::fmt;
+
+/// A numeric-flag validation failure. Every accessor that parses a number
+/// routes through this type, so the flag name is always part of the
+/// message and tests can match on the failure kind instead of substrings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlagError {
+    /// The value did not parse as a number of the expected shape.
+    NotANumber {
+        /// Flag name, without the leading `--`.
+        flag: String,
+        /// The offending value, verbatim.
+        value: String,
+    },
+    /// A count flag (budgets, cadences, thread counts) was zero.
+    ZeroCount {
+        /// Flag name, without the leading `--`.
+        flag: String,
+    },
+    /// A probability flag fell outside `[0, 1]`.
+    RateOutOfRange {
+        /// Flag name, without the leading `--`.
+        flag: String,
+        /// The parsed, out-of-range value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FlagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlagError::NotANumber { flag, value } => {
+                write!(f, "--{flag} expects a number, got {value:?}")
+            }
+            FlagError::ZeroCount { flag } => {
+                write!(f, "--{flag} expects a count of at least 1, got 0")
+            }
+            FlagError::RateOutOfRange { flag, value } => {
+                write!(f, "--{flag} expects a rate in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl From<FlagError> for String {
+    fn from(e: FlagError) -> String {
+        e.to_string()
+    }
+}
 
 /// Parsed command-line arguments.
 #[derive(Debug, Default)]
@@ -50,6 +99,11 @@ const VALUE_FLAGS: &[&str] = &[
     "regressions",
     "replay",
     "max-input-len",
+    // checkpointing
+    "checkpoint-dir",
+    "checkpoint-every",
+    // crash-test
+    "points",
     // execution layer
     "threads",
     // bench
@@ -59,7 +113,7 @@ const VALUE_FLAGS: &[&str] = &[
 ];
 
 /// Known boolean switches (present or absent, no value).
-const SWITCH_FLAGS: &[&str] = &["auto-k", "sweep", "trace", "write-seeds", "ab"];
+const SWITCH_FLAGS: &[&str] = &["auto-k", "sweep", "trace", "write-seeds", "ab", "resume"];
 
 impl Args {
     /// Parse a raw argument list (without the program/subcommand names).
@@ -97,83 +151,73 @@ impl Args {
             .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
-    /// Parsed numeric flag with a default.
-    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+    /// The one numeric parse in the crate: absent flag means `default`,
+    /// anything unparseable is a [`FlagError::NotANumber`] carrying the
+    /// flag name. All `get_*` numeric accessors route through here.
+    fn parse_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, FlagError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+            Some(v) => v.parse().map_err(|_| FlagError::NotANumber {
+                flag: name.to_owned(),
+                value: v.to_owned(),
+            }),
         }
+    }
+
+    /// [`Args::parse_flag`] plus a zero check: an explicit `0` is a
+    /// [`FlagError::ZeroCount`] — a zero budget or cadence runs nothing,
+    /// and silently accepting it would mask the typo. (`T::default()` is
+    /// zero for every unsigned type this is instantiated with.)
+    fn parse_count<T>(&self, name: &str, default: T) -> Result<T, FlagError>
+    where
+        T: std::str::FromStr + PartialEq + Default,
+    {
+        let explicit = self.get(name).is_some();
+        let count = self.parse_flag(name, default)?;
+        if explicit && count == T::default() {
+            return Err(FlagError::ZeroCount {
+                flag: name.to_owned(),
+            });
+        }
+        Ok(count)
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        self.parse_flag(name, default).map_err(Into::into)
     }
 
     /// Parsed u64 flag with a default.
     pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
-        match self.get(name) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
-        }
+        self.parse_flag(name, default).map_err(Into::into)
     }
 
     /// Parsed u32 flag with a default.
     pub fn get_u32(&self, name: &str, default: u32) -> Result<u32, String> {
-        match self.get(name) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
-        }
+        self.parse_flag(name, default).map_err(Into::into)
     }
 
     /// Parsed probability flag (f64 in [0, 1]) with a default.
     pub fn get_rate(&self, name: &str, default: f64) -> Result<f64, String> {
-        let value = match self.get(name) {
-            None => return Ok(default),
-            Some(v) => v
-                .parse::<f64>()
-                .map_err(|_| format!("--{name} expects a number, got {v:?}"))?,
-        };
+        let value = self.parse_flag(name, default)?;
         if !(0.0..=1.0).contains(&value) {
-            return Err(format!("--{name} expects a rate in [0, 1], got {value}"));
+            return Err(FlagError::RateOutOfRange {
+                flag: name.to_owned(),
+                value,
+            }
+            .into());
         }
         Ok(value)
     }
 
-    /// Parsed u64 flag that must be at least 1 (budgets, sizes). Zero and
-    /// non-numeric values are rejected with typed errors, the same
-    /// contract as `--threads`: a zero budget runs nothing, and silently
-    /// accepting it would mask the typo.
+    /// Parsed u64 flag that must be at least 1 (budgets, sizes, cadences).
     pub fn get_count_u64(&self, name: &str, default: u64) -> Result<u64, String> {
-        match self.get(name) {
-            None => Ok(default),
-            Some(v) => {
-                let count: u64 = v
-                    .parse()
-                    .map_err(|_| format!("--{name} expects a number, got {v:?}"))?;
-                if count == 0 {
-                    return Err(format!("--{name} expects a count of at least 1, got 0"));
-                }
-                Ok(count)
-            }
-        }
+        self.parse_count(name, default).map_err(Into::into)
     }
 
     /// [`Args::get_count_u64`] for `usize`-shaped flags.
     pub fn get_count_usize(&self, name: &str, default: usize) -> Result<usize, String> {
-        match self.get(name) {
-            None => Ok(default),
-            Some(v) => {
-                let count: usize = v
-                    .parse()
-                    .map_err(|_| format!("--{name} expects a number, got {v:?}"))?;
-                if count == 0 {
-                    return Err(format!("--{name} expects a count of at least 1, got 0"));
-                }
-                Ok(count)
-            }
-        }
+        self.parse_count(name, default).map_err(Into::into)
     }
 
     /// The `--threads` flag as an execution policy: absent means `Auto`,
@@ -183,15 +227,8 @@ impl Args {
     pub fn get_threads(&self) -> Result<cafc::ExecPolicy, String> {
         match self.get("threads") {
             None => Ok(cafc::ExecPolicy::Auto),
-            Some(v) => {
-                let threads: usize = v
-                    .parse()
-                    .map_err(|_| format!("--threads expects a number, got {v:?}"))?;
-                if threads == 0 {
-                    return Err(format!(
-                        "--threads expects a count of at least 1, got {threads}"
-                    ));
-                }
+            Some(_) => {
+                let threads = self.parse_count("threads", 1)?;
                 Ok(cafc::ExecPolicy::Parallel { threads })
             }
         }
@@ -283,6 +320,44 @@ mod tests {
         assert!(err.contains("expects a number"), "{err}");
         let a = parse(&["--max-input-len", "0"]);
         assert!(a.get_count_usize("max-input-len", 1).is_err());
+    }
+
+    #[test]
+    fn flag_errors_are_typed_and_carry_the_flag_name() {
+        let a = parse(&["--checkpoint-every", "often"]);
+        assert_eq!(
+            a.parse_count::<u64>("checkpoint-every", 64)
+                .expect_err("non-numeric must not parse"),
+            FlagError::NotANumber {
+                flag: "checkpoint-every".to_owned(),
+                value: "often".to_owned(),
+            }
+        );
+        let a = parse(&["--checkpoint-every", "0"]);
+        assert_eq!(
+            a.parse_count::<u64>("checkpoint-every", 64)
+                .expect_err("zero cadence never checkpoints"),
+            FlagError::ZeroCount {
+                flag: "checkpoint-every".to_owned(),
+            }
+        );
+        // Every variant renders the flag name, so the user always learns
+        // which flag to fix.
+        for err in [
+            FlagError::NotANumber {
+                flag: "points".to_owned(),
+                value: "x".to_owned(),
+            },
+            FlagError::ZeroCount {
+                flag: "points".to_owned(),
+            },
+            FlagError::RateOutOfRange {
+                flag: "points".to_owned(),
+                value: 2.0,
+            },
+        ] {
+            assert!(String::from(err).contains("--points"));
+        }
     }
 
     #[test]

@@ -1,28 +1,30 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use crate::table::render_kv_table;
 use cafc::{
     cafc_c_obs, cafc_ch_obs, CafcChConfig, ExecPolicy, FeatureConfig, FormPageCorpus,
     FormPageSpace, HubClusterOptions, IngestLimits, IngestReport, KMeansOptions, ModelOptions, Obs,
     Partition,
 };
 use cafc_cluster::{
-    bisecting_kmeans_obs, choose_k, hac_obs, kmeans_obs, random_singleton_seeds, BisectOptions,
-    HacOptions, Linkage,
+    bisecting_kmeans_obs, choose_k, hac_obs, hac_resumable, kmeans_obs, kmeans_resumable,
+    random_singleton_seeds, BisectOptions, HacOptions, Linkage,
 };
 use cafc_corpus::{
     export_web, generate as generate_web, load_web, mutate_page, page_rng, CorpusConfig, LoadedWeb,
     Mutation, SyntheticWeb,
 };
 use cafc_crawler::{
-    crawl as crawl_bfs, crawl_resilient_obs, BreakerConfig, ChaosFetcher, CrawlConfig, FaultConfig,
-    ResilientConfig, ResilientCrawlOutcome, RetryPolicy,
+    crawl as crawl_bfs, crawl_resilient_obs, crawl_resumable, BreakerConfig, ChaosFetcher,
+    CrawlConfig, FaultConfig, ResilientConfig, ResilientCrawlOutcome, RetryPolicy,
 };
 use cafc_explore::{html_report, ClusterIndex};
+use cafc_store::{ChaosFs, FaultKind, FaultPlan, StdFs, Store, StoreConfig, StoreError};
 use cafc_webgraph::PageId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Build the observability handle from `--metrics`/`--trace`: enabled (with
 /// the production monotonic clock) when either flag is present, otherwise
@@ -54,6 +56,41 @@ fn emit_obs(args: &Args, obs: &Obs) -> Result<(), String> {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// The `--checkpoint-dir`/`--resume`/`--checkpoint-every` triple, parsed
+/// and validated as one unit: the latter two are meaningless without the
+/// first, and saying so beats silently ignoring them.
+struct CheckpointOpts {
+    dir: PathBuf,
+    resume: bool,
+    every: u64,
+}
+
+fn checkpoint_opts(args: &Args) -> Result<Option<CheckpointOpts>, String> {
+    let Some(dir) = args.get("checkpoint-dir") else {
+        if args.has("resume") {
+            return Err("--resume requires --checkpoint-dir".into());
+        }
+        if args.get("checkpoint-every").is_some() {
+            return Err("--checkpoint-every requires --checkpoint-dir".into());
+        }
+        return Ok(None);
+    };
+    Ok(Some(CheckpointOpts {
+        dir: PathBuf::from(dir),
+        resume: args.has("resume"),
+        every: args.get_count_u64("checkpoint-every", StoreConfig::new().checkpoint_every)?,
+    }))
+}
+
+fn open_store(opts: &CheckpointOpts, obs: &Obs) -> Result<Store, String> {
+    Store::open(
+        &opts.dir,
+        StoreConfig::new().with_checkpoint_every(opts.every),
+        obs.clone(),
+    )
+    .map_err(|e| format!("opening checkpoint dir {}: {e}", opts.dir.display()))
 }
 
 /// Corpus sized from a `--pages` count, as both `generate` and `crawl`
@@ -129,9 +166,17 @@ fn run_clustering(
     let space = FormPageSpace::new(&prepared.corpus, features);
     let seed = args.get_u64("seed", 1)?;
     let algorithm = args.get("algorithm").unwrap_or("cafc-ch");
+    let ckpt = checkpoint_opts(args)?;
     let _cluster_span = obs.span("cluster");
 
     if args.has("auto-k") {
+        if ckpt.is_some() {
+            return Err(
+                "--checkpoint-dir does not combine with --auto-k: the silhouette sweep \
+                 runs one clustering per candidate k over a single checkpoint stage"
+                    .into(),
+            );
+        }
         // Sweep k with silhouette (CAFC-C inner loop; CAFC-CH would re-pick
         // identical hub seeds for every k below the candidate count).
         let (k, partition, scores) = choose_k(&space, 2..=16, |k| {
@@ -150,6 +195,19 @@ fn run_clustering(
             "--k {k} out of range for {} pages",
             prepared.targets.len()
         ));
+    }
+    if let Some(opts) = &ckpt {
+        if !matches!(algorithm, "cafc-c" | "hac") {
+            return Err(format!(
+                "--checkpoint-dir supports --algorithm cafc-c and hac; {algorithm} does \
+                 not checkpoint"
+            ));
+        }
+        if opts.resume {
+            println!("resuming from checkpoint dir {}", opts.dir.display());
+        } else {
+            println!("checkpointing to {}", opts.dir.display());
+        }
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let partition = match algorithm {
@@ -173,19 +231,43 @@ fn run_clustering(
             );
             out.outcome.partition
         }
-        "cafc-c" => {
-            cafc_c_obs(&space, k, &KMeansOptions::default(), &mut rng, policy, obs).partition
-        }
-        "hac" => hac_obs(
-            &space,
-            &[],
-            &HacOptions {
+        "cafc-c" => match &ckpt {
+            None => {
+                cafc_c_obs(&space, k, &KMeansOptions::default(), &mut rng, policy, obs).partition
+            }
+            Some(opts) => {
+                // Exactly `cafc_c_obs` (random singleton seeds, then the
+                // paper's k-means) with the iteration loop journaled, so a
+                // resumed run is bit-identical to an uncheckpointed one.
+                let mut store = open_store(opts, obs)?;
+                let seeds = random_singleton_seeds(&space, k, &mut rng);
+                kmeans_resumable(
+                    &space,
+                    &seeds,
+                    &KMeansOptions::default(),
+                    policy,
+                    obs,
+                    &mut store,
+                    opts.resume,
+                )
+                .map_err(|e| format!("checkpointed k-means: {e}"))?
+                .partition
+            }
+        },
+        "hac" => {
+            let hac_opts = HacOptions {
                 target_clusters: k,
                 linkage: Linkage::Average,
-            },
-            policy,
-            obs,
-        ),
+            };
+            match &ckpt {
+                None => hac_obs(&space, &[], &hac_opts, policy, obs),
+                Some(opts) => {
+                    let mut store = open_store(opts, obs)?;
+                    hac_resumable(&space, &[], &hac_opts, policy, obs, &mut store, opts.resume)
+                        .map_err(|e| format!("checkpointed HAC: {e}"))?
+                }
+            }
+        }
         "bisect" => bisecting_kmeans_obs(
             &space,
             &BisectOptions {
@@ -503,6 +585,14 @@ pub fn crawl(args: &Args) -> Result<(), String> {
         ..ResilientConfig::default()
     };
     let k = args.get_usize("k", 8)?;
+    let ckpt = checkpoint_opts(args)?;
+    if ckpt.is_some() && args.has("sweep") {
+        return Err(
+            "--checkpoint-dir does not combine with --sweep: the sweep runs six crawls \
+             over a single checkpoint stage"
+                .into(),
+        );
+    }
 
     // The fault-free crawl of the same web is the baseline everything is
     // measured against.
@@ -537,8 +627,7 @@ pub fn crawl(args: &Args) -> Result<(), String> {
     }
 
     if args.has("sweep") {
-        println!();
-        println!("fault-rate  recovered  entropy  F-measure  attempts  retries  abandoned");
+        let mut rows = Vec::new();
         for step in 0..=5u32 {
             let rate = f64::from(step) / 10.0;
             let cfg = FaultConfig {
@@ -551,33 +640,69 @@ pub fn crawl(args: &Args) -> Result<(), String> {
             // Too few survivors to cluster leaves the metrics undefined;
             // say so explicitly rather than printing NaN columns.
             let (entropy, f_measure) = match &quality {
-                Some(q) => (
-                    format!("{:>7.3}", q.entropy),
-                    format!("{:>9.3}", q.f_measure),
-                ),
+                Some(q) => (format!("{:.3}", q.entropy), format!("{:.3}", q.f_measure)),
                 None => {
                     eprintln!(
                         "warning: fault rate {rate:.1}: {} survivor(s) — too few to \
                          cluster, metrics undefined",
                         survivors.len()
                     );
-                    ("      —".to_owned(), "        —".to_owned())
+                    ("—".to_owned(), "—".to_owned())
                 }
             };
-            println!(
-                "{rate:>10.1}  {:>8.1}%  {entropy}  {f_measure}  {:>8}  {:>7}  {:>9}",
-                100.0 * survivors.len() as f64 / baseline as f64,
-                outcome.stats.attempts,
-                outcome.stats.retries,
-                outcome.stats.abandoned,
-            );
+            rows.push(vec![
+                format!("{rate:.1}"),
+                format!("{:.1}%", 100.0 * survivors.len() as f64 / baseline as f64),
+                entropy,
+                f_measure,
+                outcome.stats.attempts.to_string(),
+                outcome.stats.retries.to_string(),
+                outcome.stats.abandoned.to_string(),
+            ]);
         }
+        println!();
+        print!(
+            "{}",
+            render_kv_table(
+                &[
+                    "fault-rate",
+                    "recovered",
+                    "entropy",
+                    "F-measure",
+                    "attempts",
+                    "retries",
+                    "abandoned",
+                ],
+                &rows,
+            )
+        );
         emit_obs(args, &obs)?;
         return Ok(());
     }
 
     println!();
-    let outcome = run_faulty(&web, &fault, &resilient, &obs);
+    let outcome = match &ckpt {
+        None => run_faulty(&web, &fault, &resilient, &obs),
+        Some(opts) => {
+            if opts.resume {
+                println!("resuming from checkpoint dir {}", opts.dir.display());
+            } else {
+                println!("checkpointing to {}", opts.dir.display());
+            }
+            let mut store = open_store(opts, &obs)?;
+            let mut fetcher = ChaosFetcher::over_graph(&web.graph, fault);
+            crawl_resumable(
+                &web.graph,
+                &mut fetcher,
+                web.portal,
+                &resilient,
+                &obs,
+                &mut store,
+                opts.resume,
+            )
+            .map_err(|e| format!("checkpointed crawl: {e}"))?
+        }
+    };
     let survivors = &outcome.pages.searchable_form_pages;
     println!("{}", outcome.stats);
     if !outcome.stats.is_accounted() {
@@ -705,11 +830,18 @@ pub fn torture(args: &Args) -> Result<(), String> {
     );
 
     println!();
-    println!("outcome        pages");
-    println!("ok           {:>7}", report.ok());
-    println!("degraded     {:>7}", report.degraded());
-    println!("quarantined  {:>7}", report.quarantined());
-    println!("total        {:>7}", report.total());
+    print!(
+        "{}",
+        render_kv_table(
+            &["outcome", "pages"],
+            &[
+                vec!["ok".to_owned(), report.ok().to_string()],
+                vec!["degraded".to_owned(), report.degraded().to_string()],
+                vec!["quarantined".to_owned(), report.quarantined().to_string()],
+                vec!["total".to_owned(), report.total().to_string()],
+            ],
+        )
+    );
     if !report.is_accounted() {
         return Err("ingest accounting identity violated — this is a bug".into());
     }
@@ -827,8 +959,7 @@ pub fn bench(args: &Args) -> Result<(), String> {
         _ => format!("auto ({} thread(s))", parallel.threads()),
     };
     println!("bench: serial vs parallel [{threads_label}], k = {k}, seed {seed}");
-    println!();
-    println!("  pages  serial_ms  parallel_ms  speedup  identical");
+    let mut rows = Vec::new();
     for &pages in &sizes {
         let web = generate_web(&corpus_config(pages, seed));
         let targets = web.form_page_ids();
@@ -842,20 +973,30 @@ pub fn bench(args: &Args) -> Result<(), String> {
         );
         let (parallel_t, parallel_p) = timed_run(&web, &targets, k, seed, parallel, &obs);
         let identical = serial_p == parallel_p;
-        println!(
-            "{:>7}  {:>9.1}  {:>11.1}  {:>6.2}x  {}",
-            targets.len(),
-            serial_t.as_secs_f64() * 1e3,
-            parallel_t.as_secs_f64() * 1e3,
-            serial_t.as_secs_f64() / parallel_t.as_secs_f64().max(1e-9),
-            if identical { "yes" } else { "NO" },
-        );
+        rows.push(vec![
+            targets.len().to_string(),
+            format!("{:.1}", serial_t.as_secs_f64() * 1e3),
+            format!("{:.1}", parallel_t.as_secs_f64() * 1e3),
+            format!(
+                "{:.2}x",
+                serial_t.as_secs_f64() / parallel_t.as_secs_f64().max(1e-9)
+            ),
+            (if identical { "yes" } else { "NO" }).to_owned(),
+        ]);
         if !identical {
             return Err(format!(
                 "policies diverged at {pages} pages — determinism contract violated, this is a bug"
             ));
         }
     }
+    println!();
+    print!(
+        "{}",
+        render_kv_table(
+            &["pages", "serial_ms", "parallel_ms", "speedup", "identical"],
+            &rows,
+        )
+    );
     emit_obs(args, &obs)?;
     Ok(())
 }
@@ -945,18 +1086,22 @@ pub fn fuzz(args: &Args) -> Result<(), String> {
     // A/B mode: the coverage-guidance ablation at the same budget.
     if args.has("ab") {
         let (guided, unguided) = cafc_fuzz::ab_compare(&cfg, extra);
-        println!(
-            "fuzz A/B: seed {seed}, {budget_iters} iterations\n\
-             guided:   {} unique edges, {} corpus entries ({} added), {} executions\n\
-             unguided: {} unique edges, {} corpus entries ({} added), {} executions",
-            guided.unique_edges,
-            guided.corpus_size,
-            guided.added.len(),
-            guided.executions,
-            unguided.unique_edges,
-            unguided.corpus_size,
-            unguided.added.len(),
-            unguided.executions,
+        println!("fuzz A/B: seed {seed}, {budget_iters} iterations");
+        let row = |label: &str, r: &cafc_fuzz::FuzzReport| {
+            vec![
+                label.to_owned(),
+                r.unique_edges.to_string(),
+                r.corpus_size.to_string(),
+                r.added.len().to_string(),
+                r.executions.to_string(),
+            ]
+        };
+        print!(
+            "{}",
+            render_kv_table(
+                &["mode", "unique-edges", "corpus", "added", "executions"],
+                &[row("guided:", &guided), row("unguided:", &unguided)],
+            )
         );
         return Ok(());
     }
@@ -1015,4 +1160,222 @@ pub fn fuzz(args: &Args) -> Result<(), String> {
             render_fuzz_failures(&failing),
         ))
     }
+}
+
+/// One pipeline stage under `crash-test`: runs the whole stage against
+/// the given store (fresh or resuming) and returns a digest of its
+/// complete outcome. Digests are `Debug` renderings of every output
+/// field, so "equal digests" means bit-identical results.
+type StageRun<'a> = Box<dyn Fn(&mut Store, bool) -> Result<String, StoreError> + 'a>;
+
+/// `cafc crash-test` — sweep every pipeline stage (crawl, ingest,
+/// k-means, HAC) against every injected I/O fault kind: run each stage
+/// with a fault planted at each of the first `--points` mutating store
+/// operations, then resume on the real filesystem and require the result
+/// to be bit-identical to an uninterrupted baseline. Error faults crash
+/// the run mid-flight; silent faults (short writes, bit flips) complete
+/// and leave corruption for the resume to detect and discard.
+pub fn crash_test(args: &Args) -> Result<(), String> {
+    let seed = args.get_u64("seed", 7)?;
+    let points = args.get_count_u64("points", 6)?;
+    let policy = args.get_threads()?;
+    let obs = build_obs(args, policy);
+
+    // Small deterministic inputs shared by every stage, all derived from
+    // `--seed` so a CI failure is replayable from the printed seed alone.
+    let web = generate_web(&CorpusConfig::small(seed));
+    let targets = web.form_page_ids();
+    let corpus = FormPageCorpus::from_graph_obs(
+        &web.graph,
+        &targets,
+        &ModelOptions::default(),
+        policy,
+        &Obs::disabled(),
+    );
+    let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+    let k = 6usize.clamp(1, targets.len());
+    let seeds = random_singleton_seeds(&space, k, &mut StdRng::seed_from_u64(seed));
+    let htmls: Vec<String> = targets
+        .iter()
+        .map(|p| web.graph.html(*p).unwrap_or("").to_owned())
+        .collect();
+    let fault_cfg = FaultConfig {
+        transient_rate: 0.2,
+        permanent_rate: 0.05,
+        truncate_rate: 0.05,
+        seed,
+        ..FaultConfig::default()
+    };
+    let crawl_cfg = ResilientConfig::default();
+    let kmeans_opts = KMeansOptions::default();
+    let hac_opts = HacOptions {
+        target_clusters: k,
+        linkage: Linkage::Average,
+    };
+    let ingest_opts = ModelOptions::default();
+    let limits = IngestLimits::default();
+
+    let stages: Vec<(&str, StageRun)> = vec![
+        (
+            "crawl",
+            Box::new(|store: &mut Store, resume: bool| {
+                let mut fetcher = ChaosFetcher::over_graph(&web.graph, fault_cfg);
+                crawl_resumable(
+                    &web.graph,
+                    &mut fetcher,
+                    web.portal,
+                    &crawl_cfg,
+                    &Obs::disabled(),
+                    store,
+                    resume,
+                )
+                .map(|o| format!("{o:?}"))
+            }),
+        ),
+        (
+            "ingest",
+            Box::new(|store: &mut Store, resume: bool| {
+                FormPageCorpus::from_html_ingest_resumable(
+                    htmls.iter().map(String::as_str),
+                    &ingest_opts,
+                    &limits,
+                    policy,
+                    &Obs::disabled(),
+                    store,
+                    resume,
+                )
+                .map(|(c, r)| {
+                    // TermDict's Debug renders a hash map (unstable order);
+                    // digest the id-order iterator and the vectors instead.
+                    let dict: Vec<(u32, &str)> =
+                        c.dict.iter().map(|(id, term)| (id.0, term)).collect();
+                    format!("{dict:?} {:?} {:?} {r:?}", c.pc, c.fc)
+                })
+            }),
+        ),
+        (
+            "kmeans",
+            Box::new(|store: &mut Store, resume: bool| {
+                kmeans_resumable(
+                    &space,
+                    &seeds,
+                    &kmeans_opts,
+                    policy,
+                    &Obs::disabled(),
+                    store,
+                    resume,
+                )
+                .map(|o| format!("{:?} {} {}", o.partition, o.iterations, o.converged))
+            }),
+        ),
+        (
+            "hac",
+            Box::new(|store: &mut Store, resume: bool| {
+                hac_resumable(
+                    &space,
+                    &[],
+                    &hac_opts,
+                    policy,
+                    &Obs::disabled(),
+                    store,
+                    resume,
+                )
+                .map(|p| format!("{p:?}"))
+            }),
+        ),
+    ];
+
+    // A deliberately small cadence so even these short runs cross several
+    // snapshot boundaries.
+    let store_cfg = StoreConfig::new().with_checkpoint_every(3);
+    let base = std::env::temp_dir().join(format!("cafc-crash-test-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    println!("crash-test: seed {seed}, {points} injection point(s) per stage × fault kind");
+    let mut rows = Vec::new();
+    let mut diverged = 0usize;
+    for (name, run) in &stages {
+        let dir = base.join(format!("{name}-baseline"));
+        let mut store =
+            Store::open(&dir, store_cfg, obs.clone()).map_err(|e| format!("{name}: {e}"))?;
+        let baseline = run(&mut store, false).map_err(|e| format!("{name} baseline: {e}"))?;
+        drop(store);
+
+        for kind in FaultKind::ALL {
+            let mut crashed = 0u64;
+            let mut completed = 0u64;
+            let mut mismatched = 0u64;
+            for p in 0..points {
+                let dir = base.join(format!("{name}-{}-{p}", kind.label()));
+                let _ = std::fs::remove_dir_all(&dir);
+                let chaos = ChaosFs::new(StdFs, FaultPlan::AtOp { op: p, kind });
+                // The faulted leg: either it completes (silent faults, or
+                // the fault landed past the last store op) — then its
+                // in-memory result must already match the baseline — or it
+                // "crashes" with a typed error mid-run.
+                match Store::open_with_vfs(Box::new(chaos), &dir, store_cfg, obs.clone()) {
+                    Ok(mut store) => match run(&mut store, false) {
+                        Ok(digest) => {
+                            completed += 1;
+                            if digest != baseline {
+                                mismatched += 1;
+                            }
+                        }
+                        Err(_crash) => crashed += 1,
+                    },
+                    Err(_crash) => crashed += 1,
+                }
+                // Recovery: reopen whatever survived on the real
+                // filesystem and resume. This must always succeed and must
+                // reproduce the uninterrupted result bit-identically.
+                let mut store = Store::open(&dir, store_cfg, obs.clone())
+                    .map_err(|e| format!("{name}/{}: reopen after crash: {e}", kind.label()))?;
+                match run(&mut store, true) {
+                    Ok(digest) if digest == baseline => {}
+                    Ok(_) => mismatched += 1,
+                    Err(e) => {
+                        return Err(format!(
+                            "{name}/{} point {p}: resume failed: {e}",
+                            kind.label()
+                        ))
+                    }
+                }
+            }
+            if mismatched > 0 {
+                diverged += 1;
+            }
+            rows.push(vec![
+                (*name).to_owned(),
+                kind.label().to_owned(),
+                points.to_string(),
+                crashed.to_string(),
+                completed.to_string(),
+                (if mismatched == 0 { "yes" } else { "NO" }).to_owned(),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_kv_table(
+            &[
+                "stage",
+                "fault",
+                "points",
+                "crashed",
+                "completed",
+                "identical"
+            ],
+            &rows,
+        )
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    emit_obs(args, &obs)?;
+    if diverged > 0 {
+        return Err(format!(
+            "crash-test: {diverged} stage/fault combination(s) diverged from the \
+             uninterrupted baseline (seed {seed})"
+        ));
+    }
+    println!("crash-test: every crash point recovered bit-identically");
+    Ok(())
 }

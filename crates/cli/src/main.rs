@@ -41,7 +41,19 @@
 //! cafc bench [--sizes N,N,...] [--k N] [--seed S] [--threads N]
 //!     Time the full pipeline serial vs parallel at several corpus sizes,
 //!     verifying the two produce identical partitions.
+//!
+//! cafc crash-test [--seed S] [--points N] [--threads N]
+//!     Sweep every pipeline stage against every injected I/O fault kind:
+//!     crash (or silently corrupt) the checkpoint store at each of the
+//!     first N mutating operations, resume, and require the result to be
+//!     bit-identical to an uninterrupted run.
 //! ```
+//!
+//! `cluster` (with `--algorithm cafc-c` or `hac`) and `crawl` (single
+//! run) accept `--checkpoint-dir DIR [--checkpoint-every N] [--resume]`:
+//! progress is checkpointed to DIR as the run advances, and `--resume`
+//! picks an interrupted run back up from whatever survived, producing
+//! bit-identical results to a run that was never interrupted.
 //!
 //! `--threads N` selects the execution policy for every command that
 //! clusters: `N ≥ 1` pins the worker-thread count, absent means
@@ -54,6 +66,7 @@
 
 mod args;
 mod commands;
+mod table;
 
 use std::process::ExitCode;
 
@@ -79,6 +92,7 @@ fn main() -> ExitCode {
         "torture" => commands::torture(&parsed),
         "fuzz" => commands::fuzz(&parsed),
         "bench" => commands::bench(&parsed),
+        "crash-test" => commands::crash_test(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -103,6 +117,7 @@ USAGE:
                   [--algorithm cafc-ch|cafc-c|hac|bisect]
                   [--features fc|pc|both] [--min-cardinality N] [--seed S]
                   [--threads N] [--out clusters.json] [--report FILE.html]
+                  [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                   [--metrics FILE.json] [--trace]
     cafc search   --input DIR [--k N] [--limit N] [--threads N] QUERY...
     cafc eval     --input DIR --clusters clusters.json
@@ -111,6 +126,7 @@ USAGE:
                   [--redirect-rate R] [--seed S] [--max-retries N]
                   [--breaker-threshold N] [--breaker-cooldown-ms MS]
                   [--max-pages N] [--max-depth N] [--threads N] [--sweep]
+                  [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                   [--metrics FILE.json] [--trace]
     cafc torture  [--pages N] [--corpus-seed S] [--seed S] [--k N]
                   [--mutations all|truncate-mid-tag,entity-bomb,...]
@@ -121,9 +137,13 @@ USAGE:
                   [--replay DIR] [--write-seeds] [--ab]
     cafc bench    [--sizes N,N,...] [--k N] [--seed S] [--threads N]
                   [--metrics FILE.json] [--trace]
+    cafc crash-test [--seed S] [--points N] [--threads N]
+                  [--metrics FILE.json] [--trace]
 
     --threads N pins the worker-thread count (absent: auto-detect).
     Clustering results are bit-identical for every thread count.
     --metrics FILE.json writes a JSON metrics snapshot; --trace prints
-    the span tree to stderr. Neither changes the clustering."
+    the span tree to stderr. Neither changes the clustering.
+    --checkpoint-dir DIR checkpoints progress; --resume continues an
+    interrupted run from DIR, bit-identically to an uninterrupted one."
 }

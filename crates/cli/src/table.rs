@@ -1,0 +1,94 @@
+//! Aligned plain-text tables for the CLI run summaries.
+//!
+//! One shared renderer instead of a per-command forest of `{:>7}` format
+//! strings: `crawl --sweep`, `torture`, `bench`, `fuzz --ab` and
+//! `crash-test` all print through here, so their summaries line up the
+//! same way and a column added to one cannot silently misalign another.
+
+/// Render `rows` under `headers` as an aligned table: the first column
+/// left-aligned (it names the row), every other column right-aligned
+/// (they hold numbers), each column as wide as its widest cell or header.
+/// Every line ends in a newline; short rows leave their missing cells
+/// blank.
+pub fn render_kv_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, width) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let pad = width.saturating_sub(cell.chars().count());
+            if i == 0 {
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+            } else {
+                line.push_str(&" ".repeat(pad));
+                line.push_str(cell);
+            }
+        }
+        while line.ends_with(' ') {
+            line.pop();
+        }
+        line.push('\n');
+        line
+    };
+
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    let mut out = render_row(&header_cells);
+    for row in rows {
+        out.push_str(&render_row(row));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_first_column_left_and_the_rest_right() {
+        let table = render_kv_table(
+            &["outcome", "pages"],
+            &[
+                vec!["ok".to_owned(), "1234".to_owned()],
+                vec!["quarantined".to_owned(), "7".to_owned()],
+            ],
+        );
+        assert_eq!(
+            table,
+            "outcome      pages\nok            1234\nquarantined      7\n"
+        );
+    }
+
+    #[test]
+    fn widths_grow_to_the_widest_cell_or_header() {
+        let table = render_kv_table(
+            &["k", "very-long-header"],
+            &[vec!["a-much-longer-label".to_owned(), "1".to_owned()]],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Right-aligned numeric column: the cell ends where the header ends.
+        assert!(lines[0].ends_with("very-long-header"));
+        assert!(lines[1].ends_with('1'));
+        assert!(lines[1].starts_with("a-much-longer-label"));
+        assert_eq!(lines[0].chars().count(), lines[1].chars().count());
+    }
+
+    #[test]
+    fn short_rows_render_blank_cells_without_trailing_spaces() {
+        let table = render_kv_table(&["stage", "fault", "runs"], &[vec!["kmeans".to_owned()]]);
+        for line in table.lines() {
+            assert!(!line.ends_with(' '), "trailing spaces in {line:?}");
+        }
+    }
+}

@@ -157,3 +157,167 @@ fn search_requires_query() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("query"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+fn run_err(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "command unexpectedly succeeded.\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Checkpoint a cafc-c run, resume it, and compare against a plain run:
+/// all three must print identical clusterings.
+#[test]
+fn checkpointed_cluster_resumes_bit_identically() {
+    let dir = tmpdir("ckpt-cluster");
+    let dir_s = dir.to_str().expect("utf8 temp path");
+    run_ok(cafc().args(["generate", "--out", dir_s, "--pages", "48", "--seed", "4"]));
+    let ck = dir.join("ck");
+    let ck_s = ck.to_str().expect("utf8");
+    let base = [
+        "cluster",
+        "--input",
+        dir_s,
+        "--algorithm",
+        "cafc-c",
+        "--k",
+        "6",
+    ];
+
+    let plain = run_ok(cafc().args(base));
+    let strip = |out: String| -> String {
+        out.lines()
+            .filter(|l| !l.contains("checkpoint"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let first =
+        run_ok(
+            cafc()
+                .args(base)
+                .args(["--checkpoint-dir", ck_s, "--checkpoint-every", "2"]),
+        );
+    assert!(first.contains("checkpointing to"), "{first}");
+    assert!(ck.join("kmeans.journal").exists(), "journal not written");
+    let resumed = run_ok(
+        cafc()
+            .args(base)
+            .args(["--checkpoint-dir", ck_s, "--resume"]),
+    );
+    assert!(resumed.contains("resuming from"), "{resumed}");
+    assert_eq!(strip(first), plain.trim_end());
+    assert_eq!(strip(resumed), plain.trim_end());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Same contract for the crawl: a checkpointed run and its resume print
+/// exactly what an uncheckpointed run prints.
+#[test]
+fn checkpointed_crawl_resumes_bit_identically() {
+    let dir = tmpdir("ckpt-crawl");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ck = dir.join("ck");
+    let ck_s = ck.to_str().expect("utf8");
+    let base = ["crawl", "--fault-rate", "0.3", "--seed", "11"];
+
+    let plain = run_ok(cafc().args(base));
+    let strip = |out: String| -> String {
+        out.lines()
+            .filter(|l| !l.contains("checkpoint"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let first = run_ok(cafc().args(base).args(["--checkpoint-dir", ck_s]));
+    let resumed = run_ok(
+        cafc()
+            .args(base)
+            .args(["--checkpoint-dir", ck_s, "--resume"]),
+    );
+    assert_eq!(strip(first), plain.trim_end());
+    assert_eq!(strip(resumed), plain.trim_end());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Numeric-flag validation: each subcommand rejects malformed values with
+/// the flag's own name in the message.
+#[test]
+fn numeric_flag_validation_names_the_flag() {
+    let dir = tmpdir("flagcheck");
+    let dir_s = dir.to_str().expect("utf8 temp path");
+    run_ok(cafc().args(["generate", "--out", dir_s, "--pages", "32", "--seed", "2"]));
+
+    for (args, needle) in [
+        (
+            vec!["cluster", "--input", dir_s, "--k", "several"],
+            "--k expects a number",
+        ),
+        (
+            vec![
+                "cluster",
+                "--input",
+                dir_s,
+                "--checkpoint-dir",
+                "x",
+                "--checkpoint-every",
+                "0",
+            ],
+            "--checkpoint-every expects a count of at least 1",
+        ),
+        (
+            vec!["cluster", "--input", dir_s, "--resume"],
+            "--resume requires --checkpoint-dir",
+        ),
+        (
+            vec!["crawl", "--fault-rate", "1.5"],
+            "--fault-rate expects a rate in [0, 1]",
+        ),
+        (
+            vec!["crawl", "--breaker-threshold", "high"],
+            "--breaker-threshold expects a number",
+        ),
+        (
+            vec!["torture", "--mutations-per-page", "lots"],
+            "--mutations-per-page expects a number",
+        ),
+        (
+            vec!["fuzz", "--budget-iters", "0"],
+            "--budget-iters expects a count of at least 1",
+        ),
+        (
+            vec!["bench", "--threads", "0"],
+            "--threads expects a count of at least 1",
+        ),
+        (
+            vec!["crash-test", "--points", "0"],
+            "--points expects a count of at least 1",
+        ),
+    ] {
+        let err = run_err(cafc().args(&args));
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A quick crash-test sweep: one injection point per stage × fault kind,
+/// ending in the recovered-bit-identically verdict.
+#[test]
+fn crash_test_sweep_reports_recovery() {
+    let out = run_ok(cafc().args(["crash-test", "--seed", "5", "--points", "1"]));
+    assert!(out.contains("stage"), "{out}");
+    for fault in [
+        "torn-write",
+        "short-write",
+        "no-space",
+        "sync-eio",
+        "bit-flip",
+    ] {
+        assert!(out.contains(fault), "{out}");
+    }
+    assert!(
+        out.contains("every crash point recovered bit-identically"),
+        "{out}"
+    );
+}

@@ -11,9 +11,11 @@
 //! the paper's 454-page corpus and our benchmark sweeps.
 
 use crate::partition::Partition;
+use crate::resume::HacCheckpointer;
 use crate::space::ClusterSpace;
 use cafc_exec::{par_map, par_map_obs, ExecPolicy};
 use cafc_obs::Obs;
+use cafc_store::StoreError;
 
 /// Linkage criterion: how the distance between two clusters is derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +102,30 @@ where
     S: ClusterSpace + Sync,
     S::Centroid: Send + Sync,
 {
+    match hac_driver(space, initial, opts, policy, obs, None) {
+        Ok(partition) => partition,
+        // Unreachable: the driver only fails through a checkpointer.
+        Err(_) => Partition::new(Vec::new(), space.len()),
+    }
+}
+
+/// The HAC loop proper, shared by the plain entry points (no checkpointer)
+/// and [`hac_resumable`](crate::hac_resumable): the checkpointer journals
+/// every merge decision and, on resume, replays journaled merges instead
+/// of rerunning the closest-pair scans. Replayed and live merges mutate
+/// the groups identically, so the final partition is bit-identical.
+pub(crate) fn hac_driver<S>(
+    space: &S,
+    initial: &[Vec<usize>],
+    opts: &HacOptions,
+    policy: ExecPolicy,
+    obs: &Obs,
+    ckpt: Option<&mut HacCheckpointer<'_>>,
+) -> Result<Partition, StoreError>
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
     let n = space.len();
     let mut groups: Vec<Vec<usize>> = initial.iter().filter(|g| !g.is_empty()).cloned().collect();
     // Add unassigned items as singletons.
@@ -117,19 +143,22 @@ where
     obs.gauge("hac.initial_groups", groups.len() as f64);
     if groups.len() <= opts.target_clusters {
         obs.gauge("hac.final_groups", groups.len() as f64);
-        return Partition::new(groups, n);
+        return Ok(Partition::new(groups, n));
     }
 
     let partition = match opts.linkage {
-        Linkage::Centroid => hac_centroid(space, groups, opts.target_clusters, n, policy, obs),
-        _ => hac_pairwise(space, groups, opts, n, policy, obs),
+        Linkage::Centroid => {
+            hac_centroid(space, groups, opts.target_clusters, n, policy, obs, ckpt)?
+        }
+        _ => hac_pairwise(space, groups, opts, n, policy, obs, ckpt)?,
     };
     obs.gauge("hac.final_groups", partition.num_clusters() as f64);
-    partition
+    Ok(partition)
 }
 
 /// Centroid linkage: merge the pair with the most similar centroids and
 /// recompute the merged centroid.
+#[allow(clippy::too_many_arguments)]
 fn hac_centroid<S>(
     space: &S,
     mut groups: Vec<Vec<usize>>,
@@ -137,37 +166,56 @@ fn hac_centroid<S>(
     n: usize,
     policy: ExecPolicy,
     obs: &Obs,
-) -> Partition
+    mut ckpt: Option<&mut HacCheckpointer<'_>>,
+) -> Result<Partition, StoreError>
 where
     S: ClusterSpace + Sync,
     S::Centroid: Send + Sync,
 {
     let mut centroids: Vec<S::Centroid> =
         par_map(policy, groups.len(), |g| space.centroid(&groups[g]));
+    let mut step: u64 = 0;
     // `target` may be 0; a lone group cannot merge further.
     while groups.len() > target.max(1) {
         let _scan = obs.span("hac.merge_scan");
         obs.incr("hac.merges");
-        // Per-row argmax over j > i (strict `>`: first maximum wins within a
-        // row), merged in row order — same winner as the serial double loop.
-        let row_best = par_map(policy, groups.len(), |i| {
-            let mut best = (f64::NEG_INFINITY, usize::MAX);
-            for j in (i + 1)..groups.len() {
-                let sim = space.centroid_similarity(&centroids[i], &centroids[j]);
-                if sim > best.0 {
-                    best = (sim, j);
+        // A journaled merge from an interrupted run replays directly,
+        // skipping the closest-pair scan.
+        let replayed = match ckpt.as_mut() {
+            Some(c) => c.replay_merge(step, |i, j| i < j && j < groups.len())?,
+            None => None,
+        };
+        let (bi, bj) = match replayed {
+            Some(pair) => pair,
+            None => {
+                // Per-row argmax over j > i (strict `>`: first maximum wins
+                // within a row), merged in row order — same winner as the
+                // serial double loop.
+                let row_best = par_map(policy, groups.len(), |i| {
+                    let mut best = (f64::NEG_INFINITY, usize::MAX);
+                    for j in (i + 1)..groups.len() {
+                        let sim = space.centroid_similarity(&centroids[i], &centroids[j]);
+                        if sim > best.0 {
+                            best = (sim, j);
+                        }
+                    }
+                    best
+                });
+                let (mut bi, mut bj, mut best) = (0, 1, f64::NEG_INFINITY);
+                for (i, &(sim, j)) in row_best.iter().enumerate() {
+                    if j != usize::MAX && sim > best {
+                        best = sim;
+                        bi = i;
+                        bj = j;
+                    }
                 }
+                if let Some(c) = ckpt.as_mut() {
+                    c.record_merge(step, bi, bj)?;
+                }
+                (bi, bj)
             }
-            best
-        });
-        let (mut bi, mut bj, mut best) = (0, 1, f64::NEG_INFINITY);
-        for (i, &(sim, j)) in row_best.iter().enumerate() {
-            if j != usize::MAX && sim > best {
-                best = sim;
-                bi = i;
-                bj = j;
-            }
-        }
+        };
+        step += 1;
         let merged_members = {
             let mut m = groups[bi].clone();
             m.extend_from_slice(&groups[bj]);
@@ -179,11 +227,15 @@ where
         groups[bi] = merged_members;
         centroids[bi] = space.centroid(&groups[bi]);
     }
-    Partition::new(groups, n)
+    if let Some(c) = ckpt.as_mut() {
+        c.finish(step)?;
+    }
+    Ok(Partition::new(groups, n))
 }
 
 /// Single/complete/average linkage over a pairwise distance matrix with
 /// Lance–Williams updates.
+#[allow(clippy::too_many_arguments)]
 fn hac_pairwise<S>(
     space: &S,
     mut groups: Vec<Vec<usize>>,
@@ -191,7 +243,8 @@ fn hac_pairwise<S>(
     n: usize,
     policy: ExecPolicy,
     obs: &Obs,
-) -> Partition
+    mut ckpt: Option<&mut HacCheckpointer<'_>>,
+) -> Result<Partition, StoreError>
 where
     S: ClusterSpace + Sync,
 {
@@ -217,33 +270,51 @@ where
     let mut sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
     let mut remaining = g;
 
+    let mut step: u64 = 0;
     while remaining > opts.target_clusters {
         let _scan = obs.span("hac.merge_scan");
-        // Find the closest live pair: per-row argmin (strict `<`, first
-        // minimum wins), rows merged in index order — the serial scan order.
-        let row_best = par_map(policy, g, |i| {
-            if !alive[i] {
-                return (f64::INFINITY, usize::MAX);
-            }
-            let mut best = (f64::INFINITY, usize::MAX);
-            for j in (i + 1)..g {
-                if alive[j] && dist[i][j] < best.0 {
-                    best = (dist[i][j], j);
+        // A journaled merge from an interrupted run replays directly,
+        // skipping the closest-pair scan.
+        let replayed = match ckpt.as_mut() {
+            Some(c) => c.replay_merge(step, |i, j| i < j && j < g && alive[i] && alive[j])?,
+            None => None,
+        };
+        let (bi, bj) = match replayed {
+            Some(pair) => pair,
+            None => {
+                // Find the closest live pair: per-row argmin (strict `<`,
+                // first minimum wins), rows merged in index order — the
+                // serial scan order.
+                let row_best = par_map(policy, g, |i| {
+                    if !alive[i] {
+                        return (f64::INFINITY, usize::MAX);
+                    }
+                    let mut best = (f64::INFINITY, usize::MAX);
+                    for j in (i + 1)..g {
+                        if alive[j] && dist[i][j] < best.0 {
+                            best = (dist[i][j], j);
+                        }
+                    }
+                    best
+                });
+                let (mut bi, mut bj, mut best) = (usize::MAX, usize::MAX, f64::INFINITY);
+                for (i, &(d, j)) in row_best.iter().enumerate() {
+                    if j != usize::MAX && d < best {
+                        best = d;
+                        bi = i;
+                        bj = j;
+                    }
                 }
+                if bi == usize::MAX {
+                    break; // fewer than two live groups (target_clusters of 0)
+                }
+                if let Some(c) = ckpt.as_mut() {
+                    c.record_merge(step, bi, bj)?;
+                }
+                (bi, bj)
             }
-            best
-        });
-        let (mut bi, mut bj, mut best) = (usize::MAX, usize::MAX, f64::INFINITY);
-        for (i, &(d, j)) in row_best.iter().enumerate() {
-            if j != usize::MAX && d < best {
-                best = d;
-                bi = i;
-                bj = j;
-            }
-        }
-        if bi == usize::MAX {
-            break; // fewer than two live groups (target_clusters of 0)
-        }
+        };
+        step += 1;
         // Merge bj into bi, updating distances by Lance–Williams.
         for k in 0..g {
             if !alive[k] || k == bi || k == bj {
@@ -272,13 +343,16 @@ where
         remaining -= 1;
         obs.incr("hac.merges");
     }
+    if let Some(c) = ckpt.as_mut() {
+        c.finish(step)?;
+    }
     let final_groups: Vec<Vec<usize>> = groups
         .into_iter()
         .zip(alive)
         .filter(|(_, a)| *a)
         .map(|(g, _)| g)
         .collect();
-    Partition::new(final_groups, n)
+    Ok(Partition::new(final_groups, n))
 }
 
 /// Initial inter-group distance under a pairwise linkage.

@@ -10,9 +10,11 @@
 //!   across clusters").
 
 use crate::partition::Partition;
+use crate::resume::KMeansCheckpointer;
 use crate::space::ClusterSpace;
 use cafc_exec::{par_map_obs, ExecPolicy};
 use cafc_obs::{Obs, FRACTION_BUCKETS};
+use cafc_store::StoreError;
 
 /// K-means options.
 ///
@@ -139,6 +141,35 @@ where
     S: ClusterSpace + Sync,
     S::Centroid: Send + Sync,
 {
+    match kmeans_driver(space, seeds, opts, policy, obs, None) {
+        Ok(outcome) => outcome,
+        // Unreachable: the driver only fails through a checkpointer.
+        Err(_) => KMeansOutcome {
+            partition: Partition::new(Vec::new(), space.len()),
+            iterations: 0,
+            converged: false,
+        },
+    }
+}
+
+/// The k-means loop proper, shared by the plain entry points (no
+/// checkpointer) and [`kmeans_resumable`](crate::kmeans_resumable): the
+/// checkpointer journals every iteration's assignment vector and, on
+/// resume, replays journaled iterations instead of recomputing the
+/// O(n·k) similarity pass. Centroids are rebuilt from the assignments
+/// either way, so replayed and live iterations are bit-identical.
+pub(crate) fn kmeans_driver<S>(
+    space: &S,
+    seeds: &[Vec<usize>],
+    opts: &KMeansOptions,
+    policy: ExecPolicy,
+    obs: &Obs,
+    mut ckpt: Option<&mut KMeansCheckpointer<'_>>,
+) -> Result<KMeansOutcome, StoreError>
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
     let n = space.len();
     let seeds: Vec<&Vec<usize>> = seeds.iter().filter(|s| !s.is_empty()).collect();
     if seeds.is_empty() {
@@ -147,13 +178,13 @@ where
         } else {
             vec![(0..n).collect()]
         };
-        return KMeansOutcome {
+        return Ok(KMeansOutcome {
             partition: Partition::new(clusters, n),
             iterations: 0,
             // The single-cluster fallback is trivially stable, but an empty
             // input never met the criterion — there was nothing to cluster.
             converged: n > 0,
-        };
+        });
     }
     let k = seeds.len();
     let mut centroids: Vec<S::Centroid> = seeds.iter().map(|s| space.centroid(s)).collect();
@@ -169,23 +200,38 @@ where
     while iterations < opts.max_iterations.max(1) {
         iterations += 1;
         obs.incr("kmeans.iterations");
+        // A journaled iteration from an interrupted run replays its
+        // recorded assignments, skipping the O(n·k) similarity pass.
+        let replayed = match ckpt.as_mut() {
+            Some(c) => c.replay_iteration(iterations - 1, n, k)?,
+            None => None,
+        };
         // Deterministic argmax per item: ties (and non-finite similarities,
         // which never compare greater) resolve to the lowest cluster index.
         // Order-preserving map -> identical assignments for every policy.
-        let best_of = {
-            let _span = obs.span("kmeans.assign");
-            par_map_obs(policy, n, obs, "kmeans.assign", |item| {
-                let mut best = 0usize;
-                let mut best_sim = f64::NEG_INFINITY;
-                for (c, centroid) in centroids.iter().enumerate() {
-                    let sim = space.similarity(centroid, item);
-                    if sim > best_sim {
-                        best_sim = sim;
-                        best = c;
-                    }
+        let best_of = match replayed {
+            Some(assignments) => assignments,
+            None => {
+                let best_of = {
+                    let _span = obs.span("kmeans.assign");
+                    par_map_obs(policy, n, obs, "kmeans.assign", |item| {
+                        let mut best = 0usize;
+                        let mut best_sim = f64::NEG_INFINITY;
+                        for (c, centroid) in centroids.iter().enumerate() {
+                            let sim = space.similarity(centroid, item);
+                            if sim > best_sim {
+                                best_sim = sim;
+                                best = c;
+                            }
+                        }
+                        best
+                    })
+                };
+                if let Some(c) = ckpt.as_mut() {
+                    c.record_iteration(iterations - 1, &best_of)?;
                 }
-                best
-            })
+                best_of
+            }
         };
         let mut moved = 0usize;
         for (assigned, best) in assignment.iter_mut().zip(best_of) {
@@ -227,13 +273,16 @@ where
         }
     }
 
+    if let Some(c) = ckpt.as_mut() {
+        c.finish(iterations)?;
+    }
     obs.gauge("kmeans.converged", if converged { 1.0 } else { 0.0 });
     let partition = Partition::from_assignments(&assignment, k);
-    KMeansOutcome {
+    Ok(KMeansOutcome {
         partition,
         iterations,
         converged,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ pub mod bisect;
 pub mod hac;
 pub mod kmeans;
 pub mod partition;
+pub mod resume;
 pub mod seed;
 pub mod space;
 pub mod validity;
@@ -34,6 +35,7 @@ pub use cafc_obs::Obs;
 pub use hac::{hac, hac_exec, hac_from_singletons, hac_obs, HacOptions, Linkage};
 pub use kmeans::{kmeans, kmeans_exec, kmeans_obs, KMeansOptions, KMeansOutcome};
 pub use partition::Partition;
+pub use resume::{hac_resumable, kmeans_resumable};
 pub use seed::{greedy_distant_seeds, kmeanspp_seeds, random_singleton_seeds};
 pub use space::{ClusterSpace, DenseSpace};
 pub use validity::{choose_k, mean_silhouette, silhouette_of};

@@ -64,6 +64,7 @@ pub mod incremental;
 pub mod ingest;
 pub mod model;
 pub mod pipeline;
+pub mod resume;
 pub mod space;
 
 /// The deterministic execution layer ([`cafc_exec`]), re-exported: scoped

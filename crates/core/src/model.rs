@@ -19,7 +19,9 @@ use cafc_webgraph::{PageId, WebGraph};
 /// Pages per work unit when vectorization fans out. Fixed (never derived
 /// from the thread count) so chunk boundaries — and therefore term-id
 /// assignment order — are identical under every [`ExecPolicy`].
-const PAGE_CHUNK: usize = 16;
+/// Checkpoint batches (resume.rs) are rounded up to a multiple of this so
+/// a resumed run reproduces the same chunk boundaries.
+pub(crate) const PAGE_CHUNK: usize = 16;
 
 /// The `LOC_i` factor of Equation 1: a multiplier per text location.
 ///
@@ -486,7 +488,7 @@ impl FormPageCorpus {
 
     /// Apply per-space IDF (Equation 1's `log(N/n_i)`) and freeze vectors.
     #[allow(clippy::too_many_arguments)]
-    fn finish(
+    pub(crate) fn finish(
         dict: TermDict,
         pc_counts: Vec<CountsBuilder>,
         fc_counts: Vec<CountsBuilder>,
@@ -597,7 +599,7 @@ fn vectorize_page(
 /// order-independent aggregates, so recording from parallel ingestion
 /// workers preserves snapshot determinism (under a logical clock every
 /// duration is 0).
-fn ingest_page(
+pub(crate) fn ingest_page(
     html: &str,
     opts: &ModelOptions,
     limits: &IngestLimits,

@@ -151,6 +151,45 @@ impl CircuitBreaker {
     pub fn trips(&self) -> u64 {
         self.trips
     }
+
+    /// Export the full mutable state for checkpointing.
+    pub fn export(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state,
+            consecutive_failures: self.consecutive_failures,
+            probe_successes: self.probe_successes,
+            open_until_ms: self.open_until_ms,
+            trips: self.trips,
+        }
+    }
+
+    /// Rebuild a breaker from a [`BreakerSnapshot`] under the given tuning.
+    pub fn from_snapshot(config: BreakerConfig, snap: &BreakerSnapshot) -> Self {
+        CircuitBreaker {
+            config,
+            state: snap.state,
+            consecutive_failures: snap.consecutive_failures,
+            probe_successes: snap.probe_successes,
+            open_until_ms: snap.open_until_ms,
+            trips: snap.trips,
+        }
+    }
+}
+
+/// A checkpointable copy of one breaker's mutable state (the tuning lives
+/// in [`BreakerConfig`] and is re-supplied at restore time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// Current state-machine position.
+    pub state: BreakerState,
+    /// Consecutive transient failures counted while closed.
+    pub consecutive_failures: u32,
+    /// Successful probes counted while half-open.
+    pub probe_successes: u32,
+    /// When an open breaker becomes probeable.
+    pub open_until_ms: u64,
+    /// Lifetime trip count.
+    pub trips: u64,
 }
 
 /// The breakers for every host seen by a crawl.
@@ -197,6 +236,35 @@ impl HostBreakers {
             .collect();
         hosts.sort();
         hosts
+    }
+
+    /// Export every host's breaker state, sorted by host for determinism.
+    pub fn export(&self) -> Vec<(String, BreakerSnapshot)> {
+        let mut snaps: Vec<(String, BreakerSnapshot)> = self
+            .by_host
+            .iter()
+            .map(|(h, b)| (h.clone(), b.export()))
+            .collect();
+        snaps.sort_by(|a, b| a.0.cmp(&b.0));
+        snaps
+    }
+
+    /// Restore the set from [`HostBreakers::export`] output, replacing any
+    /// existing breakers.
+    pub fn import(&mut self, snaps: &[(String, BreakerSnapshot)]) {
+        self.by_host = snaps
+            .iter()
+            .map(|(h, s)| (h.clone(), CircuitBreaker::from_snapshot(self.config, s)))
+            .collect();
+    }
+
+    /// Overwrite (or create) one host's breaker from a snapshot — journal
+    /// replay restores the single breaker a dead-lettered job touched.
+    pub fn import_host(&mut self, host: &str, snap: &BreakerSnapshot) {
+        self.by_host.insert(
+            host.to_owned(),
+            CircuitBreaker::from_snapshot(self.config, snap),
+        );
     }
 }
 
@@ -269,6 +337,29 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.reopen_at_ms(), Some(3_000));
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn export_import_round_trips_mid_cooldown() {
+        let mut hosts = HostBreakers::new(config());
+        for t in 0..3 {
+            hosts.breaker("bad.com").record_failure(t);
+        }
+        hosts.breaker("ok.com").record_failure(10);
+        let snaps = hosts.export();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].0, "bad.com", "export is host-sorted");
+
+        let mut restored = HostBreakers::new(config());
+        restored.import(&snaps);
+        // The restored open breaker rejects and reopens exactly like the
+        // original would.
+        assert!(!restored.breaker("bad.com").allow(500));
+        assert!(restored.breaker("bad.com").allow(1_500));
+        assert_eq!(restored.breaker("bad.com").trips(), 1);
+        // The closed breaker kept its consecutive-failure count.
+        assert!(!restored.breaker("ok.com").record_failure(11));
+        assert!(restored.breaker("ok.com").record_failure(12), "3rd trips");
     }
 
     #[test]

@@ -76,6 +76,19 @@ pub struct FetchResponse {
 pub trait Fetcher {
     /// Fetch `page`, returning its HTML or a classified error.
     fn fetch(&mut self, page: PageId) -> Result<FetchResponse, FetchError>;
+
+    /// Export whatever per-page attempt state the fetcher carries, as
+    /// `(page id, attempts)` sorted by page id. Stateless fetchers (the
+    /// default) export nothing. Checkpointing uses this so a resumed
+    /// [`ChaosFetcher`] rolls the same per-attempt dice it would have
+    /// rolled in an uninterrupted run.
+    fn export_attempts(&self) -> Vec<(u32, u64)> {
+        Vec::new()
+    }
+
+    /// Restore state previously produced by
+    /// [`Fetcher::export_attempts`]. A no-op for stateless fetchers.
+    fn restore_attempts(&mut self, _attempts: &[(u32, u64)]) {}
 }
 
 /// The ideal fetcher: reads straight from the in-memory [`WebGraph`] with
@@ -271,6 +284,16 @@ impl<F: Fetcher> Fetcher for ChaosFetcher<'_, F> {
 
         Ok(response)
     }
+
+    fn export_attempts(&self) -> Vec<(u32, u64)> {
+        let mut attempts: Vec<(u32, u64)> = self.attempts.iter().map(|(p, &n)| (p.0, n)).collect();
+        attempts.sort_unstable();
+        attempts
+    }
+
+    fn restore_attempts(&mut self, attempts: &[(u32, u64)]) {
+        self.attempts = attempts.iter().map(|&(p, n)| (PageId(p), n)).collect();
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +420,33 @@ mod tests {
         let resp = chaos.fetch(root).expect("fetch succeeds");
         assert!(!resp.redirected);
         assert_eq!(resp.page, root);
+    }
+
+    #[test]
+    fn restored_attempt_state_replays_the_fault_schedule() {
+        let (g, root, f) = two_page_site();
+        let config = FaultConfig {
+            transient_rate: 0.5,
+            truncate_rate: 0.3,
+            seed: 21,
+            ..Default::default()
+        };
+        // Uninterrupted run: 12 fetches.
+        let mut baseline = ChaosFetcher::over_graph(&g, config);
+        let full: Vec<_> = (0..12)
+            .map(|i| baseline.fetch(if i % 2 == 0 { root } else { f }))
+            .collect();
+        // Interrupted run: 5 fetches, export, rebuild, restore, continue.
+        let mut first = ChaosFetcher::over_graph(&g, config);
+        let mut resumed_results: Vec<_> = (0..5)
+            .map(|i| first.fetch(if i % 2 == 0 { root } else { f }))
+            .collect();
+        let exported = first.export_attempts();
+        drop(first);
+        let mut second = ChaosFetcher::over_graph(&g, config);
+        second.restore_attempts(&exported);
+        resumed_results.extend((5..12).map(|i| second.fetch(if i % 2 == 0 { root } else { f })));
+        assert_eq!(full, resumed_results);
     }
 
     #[test]

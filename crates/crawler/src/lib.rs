@@ -28,11 +28,14 @@
 
 mod breaker;
 mod fetch;
+mod resume;
 mod retry;
 mod stats;
 
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, HostBreakers};
+pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker, HostBreakers};
 pub use fetch::{ChaosFetcher, FaultConfig, FetchError, FetchResponse, Fetcher, GraphFetcher};
+pub use resume::crawl_resumable;
+pub(crate) use resume::CrawlCheckpointer;
 pub use retry::{RetryPolicy, SimClock};
 pub use stats::{AbandonReason, CrawlStats, DeadLetter};
 
@@ -144,10 +147,52 @@ pub fn crawl(graph: &WebGraph, seed: PageId, config: &CrawlConfig) -> CrawlResul
 }
 
 /// A queued unit of crawl work.
-#[derive(Debug, Clone, Copy)]
-struct Job {
-    page: PageId,
-    depth: usize,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Job {
+    pub(crate) page: PageId,
+    pub(crate) depth: usize,
+}
+
+/// The complete mutable state of a resilient crawl — everything that must
+/// survive a crash for the crawl to resume bit-identically (the fetcher's
+/// own state travels separately via [`Fetcher::export_attempts`]).
+pub(crate) struct CrawlState {
+    pub(crate) pages: CrawlResult,
+    pub(crate) stats: CrawlStats,
+    pub(crate) clock: SimClock,
+    pub(crate) breakers: HostBreakers,
+    pub(crate) seen: Vec<bool>,
+    pub(crate) park_counts: HashMap<PageId, u32>,
+    pub(crate) parked: Vec<Job>,
+    pub(crate) queue: VecDeque<Job>,
+}
+
+impl CrawlState {
+    /// The state a fresh crawl starts from: the seed queued at depth 0.
+    pub(crate) fn initial(graph: &WebGraph, seed: PageId, config: &ResilientConfig) -> CrawlState {
+        let mut seen = vec![false; graph.len()];
+        let mut queue = VecDeque::new();
+        seen[seed.index()] = true;
+        queue.push_back(Job {
+            page: seed,
+            depth: 0,
+        });
+        CrawlState {
+            pages: CrawlResult {
+                visited: Vec::new(),
+                searchable_form_pages: Vec::new(),
+                rejected_form_pages: Vec::new(),
+                dead_links: 0,
+            },
+            stats: CrawlStats::default(),
+            clock: SimClock::new(),
+            breakers: HostBreakers::new(config.breaker),
+            seen,
+            park_counts: HashMap::new(),
+            parked: Vec::new(),
+            queue,
+        }
+    }
 }
 
 /// Breadth-first crawl from `seed` through an arbitrary [`Fetcher`], with
@@ -178,173 +223,241 @@ pub fn crawl_resilient_obs<F: Fetcher>(
     config: &ResilientConfig,
     obs: &Obs,
 ) -> ResilientCrawlOutcome {
+    let state = CrawlState::initial(graph, seed, config);
+    match crawl_driver(graph, fetcher, config, obs, state, None) {
+        Ok(outcome) => outcome,
+        // Unreachable: with no checkpointer the driver performs no store
+        // I/O and therefore cannot fail. Degrade to an empty outcome
+        // rather than panicking.
+        Err(_) => ResilientCrawlOutcome {
+            pages: CrawlResult {
+                visited: Vec::new(),
+                searchable_form_pages: Vec::new(),
+                rejected_form_pages: Vec::new(),
+                dead_links: 0,
+            },
+            stats: CrawlStats::default(),
+        },
+    }
+}
+
+/// The crawl loop proper, shared by the plain entry points (no
+/// checkpointer) and [`crawl_resumable`] (checkpointer journals dead
+/// letters, snapshots at the configured cadence, and replays journaled
+/// jobs instead of re-fetching them).
+pub(crate) fn crawl_driver<F: Fetcher>(
+    graph: &WebGraph,
+    fetcher: &mut F,
+    config: &ResilientConfig,
+    obs: &Obs,
+    state: CrawlState,
+    mut ckpt: Option<&mut CrawlCheckpointer<'_>>,
+) -> Result<ResilientCrawlOutcome, cafc_store::StoreError> {
     let crawl_span = obs.span("crawl");
-    let mut pages = CrawlResult {
-        visited: Vec::new(),
-        searchable_form_pages: Vec::new(),
-        rejected_form_pages: Vec::new(),
-        dead_links: 0,
-    };
-    let mut stats = CrawlStats::default();
-    let mut clock = SimClock::new();
-    let mut breakers = HostBreakers::new(config.breaker);
-    let mut seen = vec![false; graph.len()];
-    let mut park_counts: HashMap<PageId, u32> = HashMap::new();
-    let mut parked: Vec<Job> = Vec::new();
-    let mut queue: VecDeque<Job> = VecDeque::new();
-    seen[seed.index()] = true;
-    queue.push_back(Job {
-        page: seed,
-        depth: 0,
-    });
+    let CrawlState {
+        mut pages,
+        mut stats,
+        mut clock,
+        mut breakers,
+        mut seen,
+        mut park_counts,
+        mut parked,
+        mut queue,
+    } = state;
 
     // Park `job` to wait out an open breaker, or dead-letter it once its
     // parking budget is spent. Returns true when parked.
-    let mut park_or_abandon =
-        |job: Job, attempts: u32, parked: &mut Vec<Job>, stats: &mut CrawlStats| -> bool {
-            let count = park_counts.entry(job.page).or_insert(0);
-            if *count >= config.max_parks {
-                stats.dead_letter.push(DeadLetter {
-                    url: graph.url(job.page).clone(),
-                    reason: AbandonReason::HostCircuitOpen,
-                    attempts,
-                });
-                false
-            } else {
-                *count += 1;
-                stats.parked += 1;
-                parked.push(job);
-                true
-            }
-        };
+    let park_or_abandon = |job: Job,
+                           attempts: u32,
+                           park_counts: &mut HashMap<PageId, u32>,
+                           parked: &mut Vec<Job>,
+                           stats: &mut CrawlStats|
+     -> bool {
+        let count = park_counts.entry(job.page).or_insert(0);
+        if *count >= config.max_parks {
+            stats.dead_letter.push(DeadLetter {
+                url: graph.url(job.page).clone(),
+                reason: AbandonReason::HostCircuitOpen,
+                attempts,
+            });
+            false
+        } else {
+            *count += 1;
+            stats.parked += 1;
+            parked.push(job);
+            true
+        }
+    };
 
     'crawl: loop {
         while let Some(job) = queue.pop_front() {
             if pages.visited.len() >= config.crawl.max_pages {
                 break 'crawl;
             }
-            let host = graph.url(job.page).host().to_owned();
 
-            if !breakers.breaker(&host).allow(clock.now_ms()) {
-                // No attempt is made, so nothing enters the accounting
-                // identity; the page waits for the breaker or dies.
-                stats.breaker_rejections += 1;
-                park_or_abandon(job, 0, &mut parked, &mut stats);
-                continue;
+            // A journaled dead-letter job from the interrupted run: apply
+            // its recorded effects instead of re-fetching — permanently
+            // failed pages are never re-attempted across a resume.
+            if let Some(c) = ckpt.as_mut() {
+                if c.replay_job(&job, graph, fetcher, &mut stats, &mut clock, &mut breakers)? {
+                    continue;
+                }
             }
 
-            // Fetch with inline backoff-retries. Each attempt is classified
-            // exactly once: success, retry (followed up), or abandoned.
-            let mut attempt: u32 = 0;
-            let response = loop {
-                stats.attempts += 1;
-                attempt += 1;
-                match fetcher.fetch(job.page) {
-                    Ok(resp) => {
-                        clock.advance(resp.latency_ms);
-                        breakers.breaker(&host).record_success();
-                        stats.successes += 1;
-                        break Some(resp);
-                    }
-                    Err(err) if err.is_transient() => {
-                        stats.transient_failures += 1;
-                        clock.advance(FAILED_FETCH_COST_MS);
-                        if breakers.breaker(&host).record_failure(clock.now_ms()) {
-                            stats.breaker_trips += 1;
+            'job: {
+                let host = graph.url(job.page).host().to_owned();
+
+                if !breakers.breaker(&host).allow(clock.now_ms()) {
+                    // No attempt is made, so nothing enters the accounting
+                    // identity; the page waits for the breaker or dies.
+                    stats.breaker_rejections += 1;
+                    park_or_abandon(job, 0, &mut park_counts, &mut parked, &mut stats);
+                    break 'job;
+                }
+
+                // Fetch with inline backoff-retries. Each attempt is
+                // classified exactly once: success, retry (followed up),
+                // or abandoned.
+                let mut attempt: u32 = 0;
+                let response = loop {
+                    stats.attempts += 1;
+                    attempt += 1;
+                    match fetcher.fetch(job.page) {
+                        Ok(resp) => {
+                            clock.advance(resp.latency_ms);
+                            breakers.breaker(&host).record_success();
+                            stats.successes += 1;
+                            break Some(resp);
                         }
-                        if breakers.breaker(&host).state() == BreakerState::Open {
-                            // The host just got shut off; this page waits
-                            // for the cooldown rather than burning retries.
-                            if park_or_abandon(job, attempt, &mut parked, &mut stats) {
-                                stats.retries += 1;
-                            } else {
-                                stats.abandoned += 1;
+                        Err(err) if err.is_transient() => {
+                            stats.transient_failures += 1;
+                            clock.advance(FAILED_FETCH_COST_MS);
+                            if breakers.breaker(&host).record_failure(clock.now_ms()) {
+                                stats.breaker_trips += 1;
                             }
-                            break None;
+                            if breakers.breaker(&host).state() == BreakerState::Open {
+                                // The host just got shut off; this page
+                                // waits for the cooldown rather than
+                                // burning retries.
+                                if park_or_abandon(
+                                    job,
+                                    attempt,
+                                    &mut park_counts,
+                                    &mut parked,
+                                    &mut stats,
+                                ) {
+                                    stats.retries += 1;
+                                } else {
+                                    stats.abandoned += 1;
+                                }
+                                break None;
+                            }
+                            if attempt > config.retry.max_retries {
+                                stats.abandoned += 1;
+                                stats.dead_letter.push(DeadLetter {
+                                    url: graph.url(job.page).clone(),
+                                    reason: AbandonReason::RetriesExhausted,
+                                    attempts: attempt,
+                                });
+                                break None;
+                            }
+                            stats.retries += 1;
+                            let salt = u64::from(job.page.0) ^ (stats.attempts << 20);
+                            let wait = config.retry.backoff_delay_ms(attempt - 1, salt);
+                            obs.observe_in(
+                                "crawl.backoff_wait_ms",
+                                &BACKOFF_BUCKETS_MS,
+                                wait as f64,
+                            );
+                            clock.advance(wait);
                         }
-                        if attempt > config.retry.max_retries {
+                        Err(_permanent) => {
+                            stats.permanent_failures += 1;
+                            clock.advance(FAILED_FETCH_COST_MS);
                             stats.abandoned += 1;
                             stats.dead_letter.push(DeadLetter {
                                 url: graph.url(job.page).clone(),
-                                reason: AbandonReason::RetriesExhausted,
+                                reason: AbandonReason::Permanent,
                                 attempts: attempt,
                             });
                             break None;
                         }
-                        stats.retries += 1;
-                        let salt = u64::from(job.page.0) ^ (stats.attempts << 20);
-                        let wait = config.retry.backoff_delay_ms(attempt - 1, salt);
-                        obs.observe_in("crawl.backoff_wait_ms", &BACKOFF_BUCKETS_MS, wait as f64);
-                        clock.advance(wait);
                     }
-                    Err(_permanent) => {
-                        stats.permanent_failures += 1;
-                        clock.advance(FAILED_FETCH_COST_MS);
-                        stats.abandoned += 1;
-                        stats.dead_letter.push(DeadLetter {
-                            url: graph.url(job.page).clone(),
-                            reason: AbandonReason::Permanent,
-                            attempts: attempt,
-                        });
-                        break None;
-                    }
-                }
-            };
-            let Some(response) = response else { continue };
-
-            // Redirects land on another page: visit it instead (once).
-            let landed = response.page;
-            if response.redirected {
-                stats.redirects_followed += 1;
-                if landed != job.page {
-                    if seen[landed.index()] {
-                        continue;
-                    }
-                    seen[landed.index()] = true;
-                }
-            }
-            if response.truncated {
-                stats.truncated_pages += 1;
-            }
-
-            pages.visited.push(landed);
-            let doc = parse(&response.html);
-
-            // Classify the page's forms.
-            let all_forms = cafc_html::extract_forms(&doc);
-            if !all_forms.is_empty() {
-                let searchable = searchable_forms(&doc);
-                if !searchable.is_empty() {
-                    pages.searchable_form_pages.push(landed);
-                } else {
-                    pages.rejected_form_pages.push(landed);
-                }
-            }
-
-            if job.depth >= config.crawl.max_depth {
-                continue;
-            }
-            // Extract and resolve links against the *landed* page's URL.
-            let base = graph.url(landed);
-            for node in doc.elements_named("a") {
-                let Some(href) = doc.attr(node, "href") else {
-                    continue;
                 };
-                let Some(url) = base.resolve(href) else {
-                    continue;
-                };
-                match graph.page_id(&url) {
-                    Some(target) => {
-                        if !seen[target.index()] {
-                            seen[target.index()] = true;
-                            queue.push_back(Job {
-                                page: target,
-                                depth: job.depth + 1,
-                            });
+                let Some(response) = response else { break 'job };
+
+                // Redirects land on another page: visit it instead (once).
+                let landed = response.page;
+                if response.redirected {
+                    stats.redirects_followed += 1;
+                    if landed != job.page {
+                        if seen[landed.index()] {
+                            break 'job;
                         }
+                        seen[landed.index()] = true;
                     }
-                    None => pages.dead_links += 1,
                 }
+                if response.truncated {
+                    stats.truncated_pages += 1;
+                }
+
+                pages.visited.push(landed);
+                let doc = parse(&response.html);
+
+                // Classify the page's forms.
+                let all_forms = cafc_html::extract_forms(&doc);
+                if !all_forms.is_empty() {
+                    let searchable = searchable_forms(&doc);
+                    if !searchable.is_empty() {
+                        pages.searchable_form_pages.push(landed);
+                    } else {
+                        pages.rejected_form_pages.push(landed);
+                    }
+                }
+
+                if job.depth >= config.crawl.max_depth {
+                    break 'job;
+                }
+                // Extract and resolve links against the *landed* page's URL.
+                let base = graph.url(landed);
+                for node in doc.elements_named("a") {
+                    let Some(href) = doc.attr(node, "href") else {
+                        continue;
+                    };
+                    let Some(url) = base.resolve(href) else {
+                        continue;
+                    };
+                    match graph.page_id(&url) {
+                        Some(target) => {
+                            if !seen[target.index()] {
+                                seen[target.index()] = true;
+                                queue.push_back(Job {
+                                    page: target,
+                                    depth: job.depth + 1,
+                                });
+                            }
+                        }
+                        None => pages.dead_links += 1,
+                    }
+                }
+            }
+
+            // Job complete (however it ended): journal any dead letter it
+            // produced and snapshot at the configured cadence.
+            if let Some(c) = ckpt.as_mut() {
+                c.after_job(
+                    &job,
+                    graph,
+                    fetcher,
+                    &pages,
+                    &stats,
+                    &clock,
+                    &breakers,
+                    &seen,
+                    &park_counts,
+                    &parked,
+                    &queue,
+                )?;
             }
         }
 
@@ -364,6 +477,24 @@ pub fn crawl_resilient_obs<F: Fetcher>(
         for job in parked.drain(..) {
             queue.push_back(job);
         }
+    }
+
+    // The crawl is complete: verify no journaled work went unconsumed
+    // (leftovers mean the journal describes a different run) and persist a
+    // final snapshot so a `--resume` of a finished crawl replays nothing.
+    if let Some(c) = ckpt.as_mut() {
+        c.finish(
+            graph,
+            fetcher,
+            &pages,
+            &stats,
+            &clock,
+            &breakers,
+            &seen,
+            &park_counts,
+            &parked,
+            &queue,
+        )?;
     }
 
     stats.sim_elapsed_ms = clock.now_ms();
@@ -390,7 +521,7 @@ pub fn crawl_resilient_obs<F: Fetcher>(
         );
         obs.gauge("crawl.sim_elapsed_ms", stats.sim_elapsed_ms as f64);
     }
-    ResilientCrawlOutcome { pages, stats }
+    Ok(ResilientCrawlOutcome { pages, stats })
 }
 
 #[cfg(test)]

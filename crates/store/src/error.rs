@@ -1,0 +1,114 @@
+//! The typed failure surface of the store.
+//!
+//! Every fallible store operation returns a [`StoreError`]; the pipeline
+//! drivers propagate it instead of panicking (the library-wide panic sweep
+//! covers this crate too). The variants mirror what a crash-prone
+//! filesystem can actually do to us: plain I/O failures, out-of-space,
+//! fsync refusal, and corruption discovered by checksum validation — plus
+//! the logical errors a resumed run can hit when the on-disk state does
+//! not match the work being resumed.
+
+use std::fmt;
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying I/O operation failed (or an injected torn write).
+    Io {
+        /// The operation that failed (`read`, `write`, `append`, ...).
+        op: &'static str,
+        /// The path it was applied to.
+        path: String,
+        /// OS or injector detail.
+        detail: String,
+    },
+    /// The device reported no space (ENOSPC) — nothing was written.
+    NoSpace {
+        /// The path being written.
+        path: String,
+    },
+    /// `fsync` failed (EIO); the data may or may not be durable.
+    SyncFailed {
+        /// The path being synced.
+        path: String,
+    },
+    /// A snapshot, journal frame or manifest failed checksum or structural
+    /// validation.
+    Corrupt {
+        /// The file that failed validation.
+        path: String,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// A snapshot was written by an unsupported format version.
+    VersionMismatch {
+        /// The file carrying the version.
+        path: String,
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A snapshot belongs to a different stage than the one resuming.
+    StageMismatch {
+        /// The file carrying the stage name.
+        path: String,
+        /// The stage the caller asked for.
+        expected: String,
+        /// The stage recorded in the file.
+        found: String,
+    },
+    /// The checkpointed run was configured differently from the resuming
+    /// one (different corpus, seeds or options) — resuming would splice
+    /// incompatible state.
+    FingerprintMismatch {
+        /// The stage whose fingerprint diverged.
+        stage: String,
+    },
+    /// Journal replay diverged from the live recomputation — the journal
+    /// describes different work than the resumed run is doing.
+    ReplayDiverged {
+        /// The stage being replayed.
+        stage: String,
+        /// What diverged.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, detail } => {
+                write!(f, "store {op} failed on {path}: {detail}")
+            }
+            StoreError::NoSpace { path } => write!(f, "no space left writing {path}"),
+            StoreError::SyncFailed { path } => write!(f, "fsync failed on {path}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt store file {path}: {detail}")
+            }
+            StoreError::VersionMismatch {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{path} has snapshot format v{found}, this build supports v{supported}"
+            ),
+            StoreError::StageMismatch {
+                path,
+                expected,
+                found,
+            } => write!(f, "{path} holds stage {found:?}, expected {expected:?}"),
+            StoreError::FingerprintMismatch { stage } => write!(
+                f,
+                "checkpointed {stage} run was configured differently — refusing to resume \
+                 (delete the checkpoint directory or rerun without --resume)"
+            ),
+            StoreError::ReplayDiverged { stage, detail } => {
+                write!(f, "{stage} journal replay diverged: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

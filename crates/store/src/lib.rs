@@ -1,0 +1,31 @@
+//! `cafc-store` — durable state for the CAFC pipeline.
+//!
+//! The clustering pipeline's long-running stages (crawl, ingest, k-means,
+//! HAC) checkpoint their progress through this crate so an interrupted run
+//! can resume instead of restarting: atomic checksummed snapshots capture
+//! full stage state at a configurable cadence, and an append-only
+//! CRC-framed journal records incremental progress between snapshots.
+//!
+//! Everything is dependency-free and deterministic. All I/O flows through
+//! the [`Vfs`] trait; production uses [`StdFs`], tests and the
+//! `cafc crash-test` sweep use [`ChaosFs`], which injects torn writes,
+//! silent short writes, ENOSPC, EIO-on-fsync and bit-flip corruption on a
+//! seeded, replayable schedule. The recovery contract — pinned by the
+//! crash-recovery test matrix — is that a crash at *any* injected fault
+//! point followed by `--resume` produces bit-identical results to an
+//! uninterrupted run, or fails with a typed [`StoreError`]; it never
+//! panics and never silently produces different output.
+
+#![warn(missing_docs)]
+
+mod codec;
+mod config;
+mod error;
+mod store;
+mod vfs;
+
+pub use codec::{crc32, fnv1a64, ByteReader, ByteWriter};
+pub use config::StoreConfig;
+pub use error::StoreError;
+pub use store::{JournalRecord, Snapshot, Store, SNAPSHOT_VERSION};
+pub use vfs::{ChaosControl, ChaosFs, FaultKind, FaultPlan, StdFs, Vfs};

@@ -73,6 +73,26 @@ impl CountsBuilder {
         CountsBuilder { counts }
     }
 
+    /// Lossless dump of the accumulated `(term, weight)` entries, sorted by
+    /// term id. Unlike [`CountsBuilder::tf`] this keeps zero-weight entries
+    /// (a term whose weights summed to 0.0 still contributes to document
+    /// frequency), so `from_entries(b.entries())` reproduces `b` exactly —
+    /// the checkpoint/resume path depends on that round trip for
+    /// bit-identical IDF on resume.
+    pub fn entries(&self) -> Vec<(TermId, f64)> {
+        let mut entries: Vec<(TermId, f64)> = self.counts.iter().map(|(&t, &w)| (t, w)).collect();
+        entries.sort_by_key(|&(t, _)| t);
+        entries
+    }
+
+    /// Rebuild a builder from [`CountsBuilder::entries`] output. Weights
+    /// are restored verbatim (they were finite when admitted by `add`).
+    pub fn from_entries(entries: &[(TermId, f64)]) -> CountsBuilder {
+        CountsBuilder {
+            counts: entries.iter().copied().collect(),
+        }
+    }
+
     /// The raw weighted-TF vector (no IDF).
     pub fn tf(&self) -> SparseVector {
         SparseVector::from_entries(self.counts.iter().map(|(&t, &w)| (t, w)).collect())
@@ -155,6 +175,24 @@ mod tests {
         assert_eq!(b.distinct_terms(), 2);
         assert_eq!(b.tf().get(t(0)), 5.0);
         assert_eq!(b.tf().get(t(11)), 2.0);
+    }
+
+    #[test]
+    fn entries_round_trip_losslessly() {
+        let mut b = CountsBuilder::new();
+        b.add(t(9), 2.5);
+        b.add(t(1), 1.0);
+        b.add(t(4), -1.0);
+        b.add(t(4), 1.0); // sums to exactly 0.0 — must survive the round trip
+        let entries = b.entries();
+        assert_eq!(
+            entries.iter().map(|&(t, _)| t.0).collect::<Vec<_>>(),
+            vec![1, 4, 9],
+            "entries are sorted by term id"
+        );
+        let restored = CountsBuilder::from_entries(&entries);
+        assert_eq!(restored.entries(), entries);
+        assert_eq!(restored.distinct_terms(), 3, "zero-weight entry kept");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 #   IngestLimits  -> crates/core/src/ingest.rs
 #   ObsConfig     -> crates/obs/src/lib.rs
 #   FuzzConfig    -> crates/fuzz/src/config.rs
+#   StoreConfig   -> crates/store/src/config.rs
 #
 # Usage: tools/config-lint.sh
 set -euo pipefail
@@ -26,6 +27,7 @@ declare -A home=(
   [ObsConfig]="crates/obs/src/lib.rs"
   [CheckConfig]="crates/check/src/runner.rs"
   [FuzzConfig]="crates/fuzz/src/config.rs"
+  [StoreConfig]="crates/store/src/config.rs"
 )
 
 status=0
@@ -35,7 +37,7 @@ for ty in "${!home[@]}"; do
   # return-type positions (`-> Type {`). Comment lines are exempt.
   hits=$(grep -rn --include='*.rs' -E "${ty}[[:space:]]*\{" crates tests examples 2>/dev/null |
     grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' |
-    grep -vE "(struct|impl|enum|trait)[[:space:]]+${ty}|->[[:space:]]*${ty}[[:space:]]*\{" |
+    grep -vE "(struct|impl|enum|trait)[[:space:]]+${ty}|->[[:space:]]*&?${ty}[[:space:]]*\{" |
     grep -v "^${home[$ty]}:" || true)
   if [[ -n "$hits" ]]; then
     echo "config-lint: ${ty} struct literal outside ${home[$ty]}:" >&2

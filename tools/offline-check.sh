@@ -24,12 +24,13 @@ lib_packages=(
   -p cafc-check -p cafc-exec -p cafc-obs -p cafc-html -p cafc-text -p cafc-vsm
   -p cafc-webgraph -p cafc-cluster -p cafc-eval -p cafc-corpus
   -p cafc-classify -p cafc-crawler -p cafc-explore -p cafc -p cafc-cli
-  -p cafc-fuzz
+  -p cafc-fuzz -p cafc-store
 )
 core_tests=(
   --test pipeline --test crawl_integration --test corpus_calibration
   --test paper_shapes --test robustness --test torture --test determinism
   --test observability --test model_props --test differential
+  --test crash_recovery
 )
 # cafc-html integration tests minus proptests.rs (needs the real proptest).
 html_tests=(--test edge_cases --test pathological --test props)
@@ -87,7 +88,8 @@ case "$mode" in
   test)
     cargo test --offline "${config[@]}" -p cafc-check -p cafc-exec -p cafc-obs \
       -p cafc-html -p cafc-text -p cafc-vsm -p cafc-webgraph -p cafc-cluster \
-      -p cafc-eval -p cafc-corpus -p cafc-classify -p cafc-explore --lib
+      -p cafc-eval -p cafc-corpus -p cafc-classify -p cafc-explore \
+      -p cafc-store --lib
     cargo test --offline "${config[@]}" -p cafc-check --all-targets
     cargo test --offline "${config[@]}" -p cafc-html "${html_tests[@]}"
     cargo test --offline "${config[@]}" -p cafc-crawler -p cafc-cli -p cafc-fuzz --all-targets
