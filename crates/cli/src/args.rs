@@ -33,6 +33,14 @@ pub enum FlagError {
         /// The parsed, out-of-range value.
         value: f64,
     },
+    /// A magnitude flag (offered load, throughput) was zero, negative or
+    /// non-finite.
+    NotPositive {
+        /// Flag name, without the leading `--`.
+        flag: String,
+        /// The parsed, non-positive value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for FlagError {
@@ -46,6 +54,9 @@ impl fmt::Display for FlagError {
             }
             FlagError::RateOutOfRange { flag, value } => {
                 write!(f, "--{flag} expects a rate in [0, 1], got {value}")
+            }
+            FlagError::NotPositive { flag, value } => {
+                write!(f, "--{flag} expects a positive number, got {value}")
             }
         }
     }
@@ -108,12 +119,31 @@ const VALUE_FLAGS: &[&str] = &[
     "threads",
     // bench
     "sizes",
+    // serve / loadgen / search
+    "port",
+    "rate",
+    "duration-ms",
+    "budget",
+    "workers",
+    "backlog",
+    "vocab",
+    "rank",
+    "json",
+    "digest",
     // observability
     "metrics",
 ];
 
 /// Known boolean switches (present or absent, no value).
-const SWITCH_FLAGS: &[&str] = &["auto-k", "sweep", "trace", "write-seeds", "ab", "resume"];
+const SWITCH_FLAGS: &[&str] = &[
+    "auto-k",
+    "sweep",
+    "trace",
+    "write-seeds",
+    "ab",
+    "resume",
+    "no-routing",
+];
 
 impl Args {
     /// Parse a raw argument list (without the program/subcommand names).
@@ -202,6 +232,27 @@ impl Args {
         let value = self.parse_flag(name, default)?;
         if !(0.0..=1.0).contains(&value) {
             return Err(FlagError::RateOutOfRange {
+                flag: name.to_owned(),
+                value,
+            }
+            .into());
+        }
+        Ok(value)
+    }
+
+    /// Parsed port number (u16) with a default; out-of-range values fail
+    /// as [`FlagError::NotANumber`] with the flag name attached.
+    pub fn get_u16(&self, name: &str, default: u16) -> Result<u16, String> {
+        self.parse_flag(name, default).map_err(Into::into)
+    }
+
+    /// Parsed strictly-positive f64 flag (offered load and the like);
+    /// zero, negative and non-finite values are a
+    /// [`FlagError::NotPositive`] carrying the flag name.
+    pub fn get_positive_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        let value: f64 = self.parse_flag(name, default)?;
+        if !(value.is_finite() && value > 0.0) {
+            return Err(FlagError::NotPositive {
                 flag: name.to_owned(),
                 value,
             }
@@ -358,6 +409,38 @@ mod tests {
         ] {
             assert!(String::from(err).contains("--points"));
         }
+    }
+
+    #[test]
+    fn serve_and_loadgen_flags_validate() {
+        // --port must fit u16 and carry the flag name on failure.
+        let a = parse(&["--port", "8080"]);
+        assert_eq!(a.get_u16("port", 7700).expect("port"), 8080);
+        let a = parse(&["--port", "70000"]);
+        let err = a.get_u16("port", 7700).expect_err("u16 overflow");
+        assert!(err.contains("--port"), "{err}");
+        // --rate is an offered load: any positive float, not a [0,1]
+        // probability.
+        let a = parse(&["--rate", "350.5"]);
+        assert_eq!(a.get_positive_f64("rate", 200.0).expect("rate"), 350.5);
+        for bad in ["0", "-3", "inf", "much"] {
+            let a = parse(&["--rate", bad]);
+            let err = a
+                .get_positive_f64("rate", 200.0)
+                .expect_err("non-positive rate");
+            assert!(err.contains("--rate"), "{bad}: {err}");
+        }
+        // --duration-ms and --budget are counts: zero is rejected with the
+        // flag name attached.
+        let a = parse(&["--duration-ms", "0"]);
+        let err = a.get_count_u64("duration-ms", 1000).expect_err("zero run");
+        assert!(err.contains("--duration-ms"), "{err}");
+        let a = parse(&["--budget", "512"]);
+        assert_eq!(a.get_count_usize("budget", 1).expect("budget"), 512);
+        let a = parse(&["--budget", "many"]);
+        let err = a.get_count_usize("budget", 1).expect_err("non-numeric");
+        assert!(err.contains("--budget"), "{err}");
+        assert!(parse(&["--no-routing"]).has("no-routing"));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::table::render_kv_table;
 use cafc::{
     cafc_c_obs, cafc_ch_obs, CafcChConfig, ExecPolicy, FeatureConfig, FormPageCorpus,
     FormPageSpace, HubClusterOptions, IngestLimits, IngestReport, KMeansOptions, ModelOptions, Obs,
-    Partition,
+    Partition, SearchAlgorithm, SearchConfig, SearchIndex, SearchPipeline,
 };
 use cafc_cluster::{
     bisecting_kmeans_obs, choose_k, hac_obs, hac_resumable, kmeans_obs, kmeans_resumable,
@@ -20,6 +20,7 @@ use cafc_crawler::{
     CrawlConfig, FaultConfig, ResilientConfig, ResilientCrawlOutcome, RetryPolicy,
 };
 use cafc_explore::{html_report, ClusterIndex};
+use cafc_serve::{loadgen, LoadgenConfig, ServeOptions, Server};
 use cafc_store::{ChaosFs, FaultKind, FaultPlan, StdFs, Store, StoreConfig, StoreError};
 use cafc_webgraph::PageId;
 use rand::rngs::StdRng;
@@ -371,16 +372,59 @@ fn print_quality(clusters: &[Vec<usize>], labels: &[String]) {
     );
 }
 
-/// `cafc search`.
+/// The `--rank`/`--no-routing`/`--budget`/`--limit` quadruple as a
+/// [`SearchConfig`] — shared by `search`, `serve` and `loadgen` so the
+/// three commands expose identical retrieval knobs.
+fn search_config(args: &Args) -> Result<SearchConfig, String> {
+    let algorithm = match args.get("rank").unwrap_or("bm25") {
+        "bm25" => SearchAlgorithm::Bm25,
+        "tfidf" => SearchAlgorithm::TfIdf,
+        "fused" => SearchAlgorithm::Fused,
+        other => return Err(format!("--rank expects bm25|tfidf|fused, got {other:?}")),
+    };
+    let mut config = SearchConfig::new()
+        .with_algorithm(algorithm)
+        .with_routing(!args.has("no-routing"))
+        .with_k(args.get_count_usize("limit", 10)?);
+    if args.get("budget").is_some() {
+        config = config.with_budget(Some(args.get_count_usize("budget", 1)?));
+    }
+    Ok(config)
+}
+
+/// Cluster the corpus and stand up a query-ready [`SearchIndex`] — the
+/// shared front half of `search`, `serve` and `loadgen`. Returns the
+/// prepared corpus alongside so callers can resolve doc ids to entries.
+fn build_search_index(
+    args: &Args,
+    policy: ExecPolicy,
+    obs: &Obs,
+) -> Result<(Prepared, Partition, SearchIndex), String> {
+    // Validate retrieval flags before paying for corpus load + clustering.
+    let config = search_config(args)?;
+    let prepared = prepare(args.require("input")?, policy, obs)?;
+    let partition = run_clustering(&prepared, args, policy, obs)?;
+    let index = SearchPipeline::builder()
+        .config(config)
+        .exec(policy)
+        .obs(obs.clone())
+        .build()
+        .index(&prepared.corpus, Some(&partition));
+    Ok((prepared, partition, index))
+}
+
+/// `cafc search` — now a thin wrapper over [`cafc::SearchPipeline`]: the
+/// cluster-level matches still come from the explorer's directory view,
+/// but page ranking goes through the inverted index (BM25 by default;
+/// `--rank tfidf` reproduces the original cosine ranking).
 pub fn search(args: &Args) -> Result<(), String> {
     let query = args.positional().join(" ");
     if query.trim().is_empty() {
         return Err("search expects a query, e.g. `cafc search --input DIR cheap flights`".into());
     }
     let policy = args.get_threads()?;
-    let obs = Obs::disabled();
-    let prepared = prepare(args.require("input")?, policy, &obs)?;
-    let partition = run_clustering(&prepared, args, policy, &obs)?;
+    let obs = build_obs(args, policy);
+    let (prepared, partition, search_index) = build_search_index(args, policy, &obs)?;
     let index = ClusterIndex::from_graph(
         &prepared.corpus,
         &partition,
@@ -399,14 +443,108 @@ pub fn search(args: &Args) -> Result<(), String> {
             summary.entries.len()
         );
     }
-    let limit = args.get_usize("limit", 5)?;
-    println!("databases matching {query:?}:");
-    for hit in index.search_pages(&query, limit) {
-        let entry = hit.item.and_then(|i| index.entry(i));
-        if let Some(entry) = entry {
+    let outcome = search_index.search(&query);
+    println!(
+        "databases matching {query:?} ({} ranking; scanned {} postings in {} of {} clusters):",
+        args.get("rank").unwrap_or("bm25"),
+        outcome.stats.postings_scanned,
+        outcome.stats.clusters_visited,
+        search_index.num_clusters(),
+    );
+    for hit in &outcome.hits {
+        if let Some(entry) = index.entry(hit.doc) {
             println!("  {:.3}  {}  {}", hit.score, entry.title, entry.url);
         }
     }
+    emit_obs(args, &obs)?;
+    Ok(())
+}
+
+/// `cafc serve` — cluster, index, and answer queries over HTTP until a
+/// `/shutdown` request arrives.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let policy = args.get_threads()?;
+    // The daemon always records metrics: /metrics is part of its API.
+    let obs = Obs::enabled();
+    obs.gauge("exec.threads", policy.threads() as f64);
+    let port = args.get_u16("port", 7700)?;
+    let options = ServeOptions::new()
+        .with_workers(args.get_count_usize("workers", 4)?)
+        .with_backlog(args.get_count_usize("backlog", 64)?);
+    let (_, _, index) = build_search_index(args, policy, &obs)?;
+    let server = Server::bind(&format!("127.0.0.1:{port}"), index, obs, options)
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    println!(
+        "serving on http://{}/ — GET /search?q=…&k=…, /metrics, /healthz; /shutdown to stop",
+        server.addr()
+    );
+    let accepted = server.run().map_err(|e| format!("serving: {e}"))?;
+    println!("served {accepted} connections");
+    Ok(())
+}
+
+/// `cafc loadgen` — replay a seeded open-loop query stream against the
+/// index and report throughput, tail latency and routed-vs-full quality.
+pub fn loadgen(args: &Args) -> Result<(), String> {
+    let policy = args.get_threads()?;
+    let obs = build_obs(args, policy);
+    // Validate every loadgen flag before paying for corpus + clustering.
+    let retrieval = search_config(args)?;
+    let config = LoadgenConfig::new()
+        .with_seed(args.get_u64("seed", 1)?)
+        .with_rate(args.get_positive_f64("rate", 200.0)?)
+        .with_duration_ms(args.get_count_u64("duration-ms", 1_000)?)
+        .with_k(args.get_count_usize("limit", 10)?)
+        .with_vocab(args.get_count_usize("vocab", 256)?)
+        .with_workers(args.get_count_usize("workers", 4)?);
+    let prepared = prepare(args.require("input")?, policy, &obs)?;
+    let partition = run_clustering(&prepared, args, policy, &obs)?;
+    let build_start = std::time::Instant::now();
+    let index = SearchPipeline::builder()
+        .config(retrieval)
+        .exec(policy)
+        .obs(obs.clone())
+        .build()
+        .index(&prepared.corpus, Some(&partition));
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let report = loadgen::run(&index, &config, &obs, build_ms);
+
+    println!(
+        "loadgen: {} queries at {} qps offered ({:.0} achieved) over {} ms",
+        report.queries, report.offered_qps, report.achieved_qps, config.duration_ms
+    );
+    println!(
+        "latency: p50 {:.0} µs  p99 {:.0} µs  p999 {:.0} µs",
+        report.p50_us, report.p99_us, report.p999_us
+    );
+    println!(
+        "quality: recall@10 {:.4} vs brute force; {} routed postings vs {} full ({:.1}% scanned)",
+        report.recall_at_10,
+        report.routed_postings,
+        report.full_postings,
+        if report.full_postings > 0 {
+            100.0 * report.routed_postings as f64 / report.full_postings as f64
+        } else {
+            100.0
+        }
+    );
+    println!(
+        "index: {} docs, {} postings, built in {:.1} ms ({:.0} pages/sec)",
+        report.index_docs, report.index_postings, report.index_build_ms, report.pages_per_sec
+    );
+    println!(
+        "stream {:016x}  results {:016x}  (seed {})",
+        report.stream_hash, report.results_hash, report.seed
+    );
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.render_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.get("digest") {
+        std::fs::write(path, report.render_digest()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    emit_obs(args, &obs)?;
     Ok(())
 }
 

@@ -12,8 +12,27 @@
 //!     Cluster the corpus in DIR; optionally write assignments and an HTML
 //!     directory report.
 //!
-//! cafc search --input DIR [--k N] [--limit N] QUERY...
-//!     Cluster then search: rank clusters and databases against QUERY.
+//! cafc search --input DIR [--k N] [--limit N] [--rank bm25|tfidf|fused]
+//!             [--no-routing] [--budget N] QUERY...
+//!     Cluster then search: rank clusters and databases against QUERY
+//!     through the inverted index (BM25 by default; `--rank tfidf` is the
+//!     original cosine ranking, `fused` reciprocal-rank-fuses both).
+//!
+//! cafc serve --input DIR [--port P] [--workers N] [--backlog N]
+//!            [--rank ...] [--no-routing] [--budget N] [--limit N]
+//!     Cluster, build the inverted index, and answer queries over HTTP:
+//!     GET /search?q=…&k=… (JSON), /metrics (cafc-obs snapshot),
+//!     /healthz, /shutdown. --port 0 binds an ephemeral port.
+//!
+//! cafc loadgen --input DIR [--seed S] [--rate QPS] [--duration-ms MS]
+//!              [--vocab N] [--workers N] [--json FILE] [--digest FILE]
+//!              [--rank ...] [--no-routing] [--budget N] [--limit N]
+//!     Replay a seeded open-loop Zipf query stream against the index:
+//!     QPS and p50/p99/p999 latency, recall@10 of routed vs brute-force
+//!     retrieval, postings scanned on both sides, and FNV digests of the
+//!     stream and result sets (byte-identical for equal seeds). --json
+//!     writes the BENCH_<n>.json schema; --digest writes only the
+//!     seed-determined fields.
 //!
 //! cafc eval --input DIR --clusters clusters.json
 //!     Score a clustering against the gold labels in the manifest.
@@ -93,6 +112,8 @@ fn main() -> ExitCode {
         "fuzz" => commands::fuzz(&parsed),
         "bench" => commands::bench(&parsed),
         "crash-test" => commands::crash_test(&parsed),
+        "serve" => commands::serve(&parsed),
+        "loadgen" => commands::loadgen(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -119,7 +140,17 @@ USAGE:
                   [--threads N] [--out clusters.json] [--report FILE.html]
                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                   [--metrics FILE.json] [--trace]
-    cafc search   --input DIR [--k N] [--limit N] [--threads N] QUERY...
+    cafc search   --input DIR [--k N] [--limit N] [--threads N]
+                  [--rank bm25|tfidf|fused] [--no-routing] [--budget N]
+                  QUERY...
+    cafc serve    --input DIR [--port P] [--workers N] [--backlog N]
+                  [--rank bm25|tfidf|fused] [--no-routing] [--budget N]
+                  [--limit N] [--k N] [--threads N]
+    cafc loadgen  --input DIR [--seed S] [--rate QPS] [--duration-ms MS]
+                  [--vocab N] [--workers N] [--json FILE] [--digest FILE]
+                  [--rank bm25|tfidf|fused] [--no-routing] [--budget N]
+                  [--limit N] [--k N] [--threads N]
+                  [--metrics FILE.json] [--trace]
     cafc eval     --input DIR --clusters clusters.json
     cafc crawl    [--pages N] [--corpus-seed S] [--k N]
                   [--fault-rate R] [--permanent-rate R] [--truncate-rate R]

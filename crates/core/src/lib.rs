@@ -65,6 +65,7 @@ pub mod ingest;
 pub mod model;
 pub mod pipeline;
 pub mod resume;
+pub mod search;
 pub mod space;
 
 /// The deterministic execution layer ([`cafc_exec`]), re-exported: scoped
@@ -90,10 +91,15 @@ pub use model::{FormPageCorpus, LocationWeights, ModelOptions};
 pub use pipeline::{
     Algorithm, AlgorithmDetails, Pipeline, PipelineBuilder, PipelineError, PipelineOutcome,
 };
+pub use search::{
+    SearchAlgorithm, SearchConfig, SearchIndex, SearchOutcome, SearchPipeline,
+    SearchPipelineBuilder,
+};
 pub use space::{FeatureConfig, FormPageSpace, MultiCentroid};
 
 // Re-export the pieces callers almost always need alongside the core API.
 pub use cafc_cluster::{HacOptions, KMeansOptions, Linkage, Partition};
+pub use cafc_index::{Bm25Params, Hit, InvertedIndex, ScanStats};
 pub use cafc_obs::{ManualClock, MonotonicClock, Obs, ObsConfig, Snapshot};
 pub use cafc_vsm::{IdfScheme, TfScheme};
 pub use cafc_webgraph::{HubClusterOptions, HubStats};
@@ -107,6 +113,10 @@ pub mod prelude {
     pub use crate::exec::ExecPolicy;
     pub use crate::pipeline::{
         Algorithm, AlgorithmDetails, Pipeline, PipelineBuilder, PipelineError, PipelineOutcome,
+    };
+    pub use crate::search::{
+        SearchAlgorithm, SearchConfig, SearchIndex, SearchOutcome, SearchPipeline,
+        SearchPipelineBuilder,
     };
     pub use crate::{
         CafcChConfig, FeatureConfig, FormPageCorpus, FormPageSpace, IngestLimits, IngestReport,

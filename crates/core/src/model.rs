@@ -150,6 +150,12 @@ pub struct FormPageCorpus {
     pub dict: TermDict,
     /// Page-content vectors, one per page.
     pub pc: Vec<SparseVector>,
+    /// Raw location-weighted page-content term frequencies (Equation 1's
+    /// `LOC_i · TF_i`, before IDF), one per page. The TF-IDF weighting in
+    /// `pc` drops terms whose idf is 0, so BM25 indexing — which needs the
+    /// raw frequencies and its own collection statistics — reads this
+    /// space instead.
+    pub pc_tf: Vec<SparseVector>,
     /// Form-content vectors, one per page.
     pub fc: Vec<SparseVector>,
     /// In-link anchor-text vectors (empty vectors unless built from a graph
@@ -512,6 +518,7 @@ impl FormPageCorpus {
         let pc = par_map_slice(policy, &pc_counts, |_, c| {
             weigh(c, &pc_df, opts.tf, opts.idf)
         });
+        let pc_tf = par_map_slice(policy, &pc_counts, |_, c| c.tf());
         let fc = par_map_slice(policy, &fc_counts, |_, c| {
             weigh(c, &fc_df, opts.tf, opts.idf)
         });
@@ -530,6 +537,7 @@ impl FormPageCorpus {
         FormPageCorpus {
             dict,
             pc,
+            pc_tf,
             fc,
             anchor,
         }
@@ -743,6 +751,23 @@ mod tests {
             corpus.pc[0].get(departure) > 0.0,
             "PC must cover form text too"
         );
+    }
+
+    #[test]
+    fn raw_tf_keeps_what_tfidf_drops() {
+        // "privacy" on every page -> idf 0 -> absent from pc, but its raw
+        // location-weighted frequency survives in pc_tf for BM25.
+        let pages = [
+            "<p>privacy flights flights</p><form><input name=a></form>",
+            "<p>privacy jobs</p><form><input name=b></form>",
+        ];
+        let corpus = FormPageCorpus::from_html(pages.iter().copied(), &opts());
+        assert_eq!(corpus.pc_tf.len(), corpus.len());
+        let privacy = corpus.dict.get("privaci").expect("interned");
+        assert_eq!(corpus.pc[0].get(privacy), 0.0, "idf-0 term dropped from pc");
+        assert_eq!(corpus.pc_tf[0].get(privacy), 1.0, "raw tf retained");
+        let flights = corpus.dict.get("flight").expect("interned");
+        assert_eq!(corpus.pc_tf[0].get(flights), 2.0, "two body occurrences");
     }
 
     #[test]
@@ -977,6 +1002,10 @@ mod tests {
             assert_eq!(corpus.dict.len(), baseline.0.dict.len(), "{policy:?}");
             for i in 0..corpus.len() {
                 assert_eq!(corpus.pc[i], baseline.0.pc[i], "pc[{i}] under {policy:?}");
+                assert_eq!(
+                    corpus.pc_tf[i], baseline.0.pc_tf[i],
+                    "pc_tf[{i}] under {policy:?}"
+                );
                 assert_eq!(corpus.fc[i], baseline.0.fc[i], "fc[{i}] under {policy:?}");
             }
         }

@@ -1,0 +1,85 @@
+//! Reciprocal-rank fusion of multiple rankings.
+//!
+//! BM25 and TF-IDF cosine scores live on incomparable scales; RRF
+//! (Cormack, Clarke & Büttcher, SIGIR 2009) fuses them through ranks
+//! alone: `score(d) = Σ_rankings 1/(C + rank_r(d))` with the conventional
+//! `C = 60`, summing only over rankings that contain `d`. Rank positions
+//! are 1-based; fused ties break by document id ascending, so fusion is
+//! as deterministic as its inputs.
+
+use crate::postings::Hit;
+use std::collections::HashMap;
+
+/// The conventional RRF smoothing constant.
+pub const RRF_C: f64 = 60.0;
+
+/// Fuse rankings by reciprocal rank; returns the top `k` fused hits,
+/// scored `Σ 1/(RRF_C + rank)`, sorted (fused score descending, doc id
+/// ascending).
+///
+/// Each input ranking contributes by position only — its scores are
+/// ignored — so callers can fuse rankings from different scoring spaces
+/// directly. Summation per document happens in ranking-list order
+/// (deterministic), and every fused score is finite because ranks are
+/// at least 1.
+pub fn rrf_fuse(rankings: &[&[Hit]], k: usize) -> Vec<Hit> {
+    let mut fused: HashMap<usize, f64> = HashMap::new();
+    for ranking in rankings {
+        for (rank0, hit) in ranking.iter().enumerate() {
+            *fused.entry(hit.doc).or_insert(0.0) += 1.0 / (RRF_C + (rank0 + 1) as f64);
+        }
+    }
+    let mut hits: Vec<Hit> = fused
+        .into_iter()
+        .map(|(doc, score)| Hit { doc, score })
+        .collect();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(docs: &[usize]) -> Vec<Hit> {
+        docs.iter()
+            .enumerate()
+            .map(|(i, &doc)| Hit {
+                doc,
+                score: 100.0 - i as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agreement_wins() {
+        let a = hits(&[1, 2, 3]);
+        let b = hits(&[2, 1, 4]);
+        let fused = rrf_fuse(&[&a, &b], 10);
+        // Docs 1 and 2 appear top-2 in both rankings and tie exactly
+        // (1/61 + 1/62 each); the tie breaks by doc id.
+        assert_eq!(fused[0].doc, 1);
+        assert_eq!(fused[1].doc, 2);
+        assert_eq!(fused[0].score, fused[1].score);
+        assert!(fused.iter().any(|h| h.doc == 3));
+        assert!(fused.iter().any(|h| h.doc == 4));
+    }
+
+    #[test]
+    fn single_ranking_preserves_order() {
+        let a = hits(&[7, 3, 9]);
+        let fused = rrf_fuse(&[&a], 10);
+        assert_eq!(
+            fused.iter().map(|h| h.doc).collect::<Vec<_>>(),
+            vec![7, 3, 9]
+        );
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let a = hits(&[1, 2, 3, 4, 5]);
+        assert_eq!(rrf_fuse(&[&a], 2).len(), 2);
+        assert!(rrf_fuse(&[], 5).is_empty());
+    }
+}

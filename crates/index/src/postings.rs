@@ -1,0 +1,569 @@
+//! The cluster-sharded inverted index.
+//!
+//! Postings are sharded by cluster — each shard maps term → postings for
+//! the documents assigned to that cluster — so cluster-routed retrieval
+//! can skip whole shards. Collection statistics (document frequency,
+//! document length, `avgdl`) are **global**: a document's BM25 score does
+//! not depend on which shards a query visits, only *whether* its shard is
+//! visited. Routed retrieval therefore returns a subset of the full-scan
+//! ranking, never differently-scored documents.
+
+use crate::bm25::{bm25_idf, Bm25Params};
+use cafc_exec::{par_chunks_obs, par_reduce, ExecPolicy};
+use cafc_obs::Obs;
+use cafc_text::TermId;
+use cafc_vsm::SparseVector;
+use std::collections::{BTreeMap, HashMap};
+
+/// Documents per work unit during index construction. Fixed (never derived
+/// from the thread count) so chunk boundaries — and therefore posting
+/// append order — are identical under every [`ExecPolicy`].
+const DOC_CHUNK: usize = 64;
+
+/// One posting: a document and the term's location-weighted frequency in
+/// it. Only strictly positive frequencies are indexed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// Document id (index into the corpus).
+    pub doc: u32,
+    /// Location-weighted term frequency (Equation 1's `Σ LOC`), `> 0`.
+    pub tf: f64,
+}
+
+/// One ranked result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Document id.
+    pub doc: usize,
+    /// Score under whatever ranking produced the hit.
+    pub score: f64,
+}
+
+/// What a retrieval pass actually touched — the currency of the
+/// routed-vs-full comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Postings visited across all shards scanned.
+    pub postings_scanned: usize,
+    /// Distinct documents that accumulated a score.
+    pub docs_scored: usize,
+    /// Shards (clusters) visited before the budget ran out.
+    pub clusters_visited: usize,
+}
+
+/// Per-cluster postings: parallel sorted arrays, `terms[i]` owns
+/// `postings[i]`.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    terms: Vec<TermId>,
+    postings: Vec<Vec<Posting>>,
+}
+
+impl Shard {
+    fn get(&self, term: TermId) -> Option<&[Posting]> {
+        self.terms
+            .binary_search(&term)
+            .ok()
+            .map(|i| self.postings[i].as_slice())
+    }
+}
+
+/// The inverted index: cluster-sharded postings plus global collection
+/// statistics. Build with [`InvertedIndex::build`].
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    shards: Vec<Shard>,
+    /// Global document frequency, indexed by term id.
+    df: Vec<u32>,
+    /// Global document length (total indexed tf mass), indexed by doc id.
+    doc_len: Vec<f64>,
+    /// Mean document length (0.0 for an empty collection).
+    avgdl: f64,
+}
+
+impl InvertedIndex {
+    /// Build an index over `docs_tf` (raw location-weighted TF vectors,
+    /// aligned with corpus items) sharded by `clusters` (disjoint member
+    /// lists; documents not covered by any cluster land in one trailing
+    /// shard). Pass a single cluster containing every document for an
+    /// unsharded index.
+    ///
+    /// Bit-identical under every `policy`: documents are accumulated in
+    /// fixed-size chunks and the chunk-local postings are concatenated in
+    /// chunk order, which reproduces the serial doc-ascending posting
+    /// order exactly. Instrumentation (when `obs` is enabled): per-chunk
+    /// `index.build.*` metrics plus gauges `index.shards`, `index.terms`
+    /// and `index.postings`.
+    pub fn build(
+        docs_tf: &[SparseVector],
+        clusters: &[Vec<usize>],
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> InvertedIndex {
+        let n = docs_tf.len();
+        let mut doc_shard: Vec<u32> = vec![u32::MAX; n];
+        for (ci, members) in clusters.iter().enumerate() {
+            for &m in members {
+                if m < n {
+                    doc_shard[m] = ci as u32;
+                }
+            }
+        }
+        let overflow = clusters.len() as u32;
+        let mut num_shards = clusters.len();
+        if doc_shard.contains(&u32::MAX) {
+            num_shards += 1;
+            for s in &mut doc_shard {
+                if *s == u32::MAX {
+                    *s = overflow;
+                }
+            }
+        }
+
+        // Chunked accumulation: each chunk builds (shard, term) → postings
+        // for its documents in ascending doc order; merging chunks in
+        // order keeps every postings list ascending by doc id.
+        type Local = (BTreeMap<(u32, TermId), Vec<Posting>>, Vec<f64>);
+        let chunks: Vec<Local> =
+            par_chunks_obs(policy, n, DOC_CHUNK, obs, "index.build", |range| {
+                let mut local: BTreeMap<(u32, TermId), Vec<Posting>> = BTreeMap::new();
+                let mut lens = Vec::with_capacity(range.len());
+                for doc in range {
+                    let shard = doc_shard[doc];
+                    let mut len = 0.0;
+                    for &(term, tf) in docs_tf[doc].entries() {
+                        if tf > 0.0 {
+                            len += tf;
+                            local.entry((shard, term)).or_default().push(Posting {
+                                doc: doc as u32,
+                                tf,
+                            });
+                        }
+                    }
+                    lens.push(len);
+                }
+                (local, lens)
+            });
+
+        let mut maps: Vec<BTreeMap<TermId, Vec<Posting>>> = vec![BTreeMap::new(); num_shards];
+        let mut doc_len = Vec::with_capacity(n);
+        for (local, lens) in chunks {
+            for ((shard, term), posts) in local {
+                maps[shard as usize].entry(term).or_default().extend(posts);
+            }
+            doc_len.extend(lens);
+        }
+
+        let mut df: Vec<u32> = Vec::new();
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut total_postings = 0usize;
+        for map in maps {
+            let mut terms = Vec::with_capacity(map.len());
+            let mut postings = Vec::with_capacity(map.len());
+            for (term, posts) in map {
+                if df.len() <= term.index() {
+                    df.resize(term.index() + 1, 0);
+                }
+                df[term.index()] += posts.len() as u32;
+                total_postings += posts.len();
+                terms.push(term);
+                postings.push(posts);
+            }
+            shards.push(Shard { terms, postings });
+        }
+
+        // Fixed-chunk reduction -> the same float sum under every policy.
+        let total_len = par_reduce(
+            policy,
+            n,
+            DOC_CHUNK,
+            |range| range.map(|d| doc_len[d]).sum::<f64>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0);
+        let avgdl = if n > 0 { total_len / n as f64 } else { 0.0 };
+
+        obs.gauge("index.shards", num_shards as f64);
+        obs.gauge("index.terms", df.iter().filter(|&&d| d > 0).count() as f64);
+        obs.gauge("index.postings", total_postings as f64);
+        InvertedIndex {
+            shards,
+            df,
+            doc_len,
+            avgdl,
+        }
+    }
+
+    /// Number of documents in the collection.
+    pub fn num_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Number of shards (clusters, plus a trailing overflow shard when the
+    /// cluster lists did not cover every document).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total postings stored across all shards.
+    pub fn num_postings(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.postings.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Global document frequency of a term.
+    pub fn df(&self, term: TermId) -> u32 {
+        self.df.get(term.index()).copied().unwrap_or(0)
+    }
+
+    /// Global document length (indexed tf mass) of a document.
+    pub fn doc_len(&self, doc: usize) -> f64 {
+        self.doc_len.get(doc).copied().unwrap_or(0.0)
+    }
+
+    /// Mean document length (0.0 for an empty collection).
+    pub fn avgdl(&self) -> f64 {
+        self.avgdl
+    }
+
+    /// The trivial visit order: every shard, in shard order. A full scan.
+    pub fn full_order(&self) -> Vec<usize> {
+        (0..self.shards.len()).collect()
+    }
+
+    /// Sorted, deduplicated copy of a query's term ids — the canonical
+    /// term order every scoring path accumulates in.
+    fn normalize(query: &[TermId]) -> Vec<TermId> {
+        let mut q = query.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        q
+    }
+
+    /// Term-at-a-time BM25 over the shards in `order`, stopping early once
+    /// `budget` postings have been scanned (the shard in progress is
+    /// always finished, so a budget never truncates a cluster's ranking
+    /// mid-way). Returns the top `k` hits sorted by (score descending,
+    /// doc id ascending) and the scan accounting.
+    ///
+    /// Scores use global statistics, so a document scores identically
+    /// whether it is reached by a routed or a full scan, and identically
+    /// to the doc-at-a-time reference ([`InvertedIndex::scan_bm25`]).
+    pub fn search_bm25(
+        &self,
+        query: &[TermId],
+        k: usize,
+        order: &[usize],
+        budget: Option<usize>,
+        params: &Bm25Params,
+    ) -> (Vec<Hit>, ScanStats) {
+        let query = Self::normalize(query);
+        let idf: Vec<f64> = query
+            .iter()
+            .map(|&t| bm25_idf(self.num_docs(), self.df(t)))
+            .collect();
+        let mut stats = ScanStats::default();
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for &si in order {
+            if budget.is_some_and(|b| stats.postings_scanned >= b) {
+                break;
+            }
+            let Some(shard) = self.shards.get(si) else {
+                continue;
+            };
+            stats.clusters_visited += 1;
+            // Outer loop over terms in ascending order: each document
+            // accumulates its term contributions in that fixed order, the
+            // same order the doc-at-a-time reference uses.
+            for (&term, &idf) in query.iter().zip(&idf) {
+                let Some(postings) = shard.get(term) else {
+                    continue;
+                };
+                stats.postings_scanned += postings.len();
+                for p in postings {
+                    let s = params.score_term(p.tf, idf, self.doc_len(p.doc as usize), self.avgdl);
+                    *acc.entry(p.doc).or_insert(0.0) += s;
+                }
+            }
+        }
+        stats.docs_scored = acc.len();
+        (top_k(acc, k), stats)
+    }
+
+    /// Doc-at-a-time BM25 reference: scan every document's raw TF vector
+    /// directly, using this index's global statistics. The differential
+    /// oracle for [`InvertedIndex::search_bm25`] — same scores, same
+    /// order, reached without touching the postings lists.
+    pub fn scan_bm25(
+        &self,
+        docs_tf: &[SparseVector],
+        query: &[TermId],
+        k: usize,
+        params: &Bm25Params,
+    ) -> (Vec<Hit>, ScanStats) {
+        let query = Self::normalize(query);
+        let idf: Vec<f64> = query
+            .iter()
+            .map(|&t| bm25_idf(self.num_docs(), self.df(t)))
+            .collect();
+        let mut stats = ScanStats {
+            clusters_visited: self.num_shards(),
+            ..ScanStats::default()
+        };
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for (doc, vector) in docs_tf.iter().enumerate() {
+            let mut score = 0.0;
+            let mut matched = false;
+            for (&term, &idf) in query.iter().zip(&idf) {
+                let tf = vector.get(term);
+                if tf > 0.0 {
+                    stats.postings_scanned += 1;
+                    matched = true;
+                    score += params.score_term(tf, idf, self.doc_len(doc), self.avgdl);
+                }
+            }
+            if matched {
+                acc.insert(doc as u32, score);
+            }
+        }
+        stats.docs_scored = acc.len();
+        (top_k(acc, k), stats)
+    }
+
+    /// Candidate discovery through the postings in `order` under the same
+    /// budget semantics as [`InvertedIndex::search_bm25`]: every document
+    /// holding at least one query term in a visited shard, ascending by
+    /// doc id. The TF-IDF retrieval path scores these candidates against
+    /// the cosine space; routing and budgeting cost exactly what they cost
+    /// the BM25 path.
+    pub fn candidates(
+        &self,
+        query: &[TermId],
+        order: &[usize],
+        budget: Option<usize>,
+    ) -> (Vec<usize>, ScanStats) {
+        let query = Self::normalize(query);
+        let mut stats = ScanStats::default();
+        let mut docs: Vec<usize> = Vec::new();
+        for &si in order {
+            if budget.is_some_and(|b| stats.postings_scanned >= b) {
+                break;
+            }
+            let Some(shard) = self.shards.get(si) else {
+                continue;
+            };
+            stats.clusters_visited += 1;
+            for &term in &query {
+                let Some(postings) = shard.get(term) else {
+                    continue;
+                };
+                stats.postings_scanned += postings.len();
+                docs.extend(postings.iter().map(|p| p.doc as usize));
+            }
+        }
+        docs.sort_unstable();
+        docs.dedup();
+        stats.docs_scored = docs.len();
+        (docs, stats)
+    }
+}
+
+/// Collect the accumulator into hits sorted by (score descending, doc id
+/// ascending) — a total order, so the result is deterministic regardless
+/// of hash-map iteration order — truncated to `k`.
+fn top_k(acc: HashMap<u32, f64>, k: usize) -> Vec<Hit> {
+    let mut hits: Vec<Hit> = acc
+        .into_iter()
+        .map(|(doc, score)| Hit {
+            doc: doc as usize,
+            score,
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafc_text::TermId;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    fn vector(entries: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_entries(entries.iter().map(|&(i, w)| (t(i), w)).collect())
+    }
+
+    /// Two "flight" docs (terms 0, 1) and two "job" docs (terms 2, 3);
+    /// term 4 appears everywhere.
+    fn docs() -> Vec<SparseVector> {
+        vec![
+            vector(&[(0, 2.0), (1, 1.0), (4, 1.0)]),
+            vector(&[(0, 1.0), (1, 3.0), (4, 1.0)]),
+            vector(&[(2, 2.0), (3, 1.0), (4, 1.0)]),
+            vector(&[(2, 1.0), (3, 2.0), (4, 1.0)]),
+        ]
+    }
+
+    fn clusters() -> Vec<Vec<usize>> {
+        vec![vec![0, 1], vec![2, 3]]
+    }
+
+    fn build(docs: &[SparseVector], clusters: &[Vec<usize>]) -> InvertedIndex {
+        InvertedIndex::build(docs, clusters, ExecPolicy::Serial, &Obs::disabled())
+    }
+
+    #[test]
+    fn build_collects_global_stats() {
+        let docs = docs();
+        let index = build(&docs, &clusters());
+        assert_eq!(index.num_docs(), 4);
+        assert_eq!(index.num_shards(), 2);
+        assert_eq!(index.df(t(0)), 2);
+        assert_eq!(index.df(t(4)), 4);
+        assert_eq!(index.df(t(9)), 0);
+        assert_eq!(index.doc_len(0), 4.0);
+        assert_eq!(index.avgdl(), 4.25);
+        assert_eq!(index.num_postings(), 12);
+    }
+
+    #[test]
+    fn uncovered_docs_land_in_overflow_shard() {
+        let docs = docs();
+        let index = build(&docs, &[vec![0, 1]]);
+        assert_eq!(index.num_shards(), 2, "overflow shard appended");
+        let (hits, _) =
+            index.search_bm25(&[t(2)], 10, &index.full_order(), None, &Bm25Params::new());
+        assert_eq!(hits.len(), 2, "overflow docs remain searchable");
+    }
+
+    #[test]
+    fn postings_search_matches_scan_bitwise() {
+        let docs = docs();
+        let index = build(&docs, &clusters());
+        let params = Bm25Params::new();
+        for query in [
+            vec![t(0)],
+            vec![t(0), t(1)],
+            vec![t(4), t(2)],
+            vec![t(1), t(0), t(1)], // duplicates normalize away
+            vec![t(7)],             // unknown term
+        ] {
+            let (indexed, _) = index.search_bm25(&query, 10, &index.full_order(), None, &params);
+            let (scanned, _) = index.scan_bm25(&docs, &query, 10, &params);
+            assert_eq!(indexed, scanned, "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn routed_scan_touches_fewer_postings() {
+        let docs = docs();
+        let index = build(&docs, &clusters());
+        let params = Bm25Params::new();
+        // Query for flight vocabulary, routed to shard 0 only via budget.
+        let (routed, routed_stats) = index.search_bm25(&[t(0), t(4)], 2, &[0, 1], Some(1), &params);
+        let (full, full_stats) =
+            index.search_bm25(&[t(0), t(4)], 2, &index.full_order(), None, &params);
+        assert!(routed_stats.postings_scanned < full_stats.postings_scanned);
+        assert_eq!(routed_stats.clusters_visited, 1);
+        assert_eq!(routed, full, "the right cluster held the full top-2");
+        // Scores are global: every routed hit appears in the full ranking
+        // with the identical score.
+        for hit in &routed {
+            assert!(full.contains(hit));
+        }
+    }
+
+    #[test]
+    fn budget_finishes_current_shard() {
+        let docs = docs();
+        let index = build(&docs, &clusters());
+        let (_, stats) = index.search_bm25(
+            &[t(4)],
+            10,
+            &[0, 1],
+            Some(1), // exhausted inside shard 0, but shard 0 completes
+            &Bm25Params::new(),
+        );
+        assert_eq!(stats.clusters_visited, 1);
+        assert_eq!(stats.postings_scanned, 2, "shard 0's postings all scanned");
+    }
+
+    #[test]
+    fn candidates_ascend_and_dedup() {
+        let docs = docs();
+        let index = build(&docs, &clusters());
+        let (cands, stats) = index.candidates(&[t(0), t(4)], &index.full_order(), None);
+        assert_eq!(cands, vec![0, 1, 2, 3]);
+        assert_eq!(stats.docs_scored, 4);
+        let (cands, _) = index.candidates(&[t(0)], &[1], None);
+        assert!(cands.is_empty(), "shard 1 has no postings for term 0");
+    }
+
+    #[test]
+    fn ties_break_by_doc_id() {
+        let docs = vec![
+            vector(&[(0, 1.0)]),
+            vector(&[(0, 1.0)]),
+            vector(&[(1, 1.0)]),
+        ];
+        let index = build(&docs, &[vec![0, 1, 2]]);
+        let (hits, _) =
+            index.search_bm25(&[t(0)], 10, &index.full_order(), None, &Bm25Params::new());
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].score, hits[1].score);
+        assert_eq!((hits[0].doc, hits[1].doc), (0, 1));
+    }
+
+    #[test]
+    fn exec_policies_build_identical_indexes() {
+        // Enough docs to cross DOC_CHUNK boundaries.
+        let docs: Vec<SparseVector> = (0..200)
+            .map(|i| {
+                vector(&[
+                    (i % 17, 1.0 + f64::from(i % 3)),
+                    (i % 5 + 20, 0.5),
+                    (40, 1.0),
+                ])
+            })
+            .collect();
+        let clusters: Vec<Vec<usize>> = (0..4)
+            .map(|c| (0..docs.len()).filter(|d| d % 4 == c).collect())
+            .collect();
+        let baseline = build(&docs, &clusters);
+        for policy in [
+            ExecPolicy::Parallel { threads: 3 },
+            ExecPolicy::Parallel { threads: 8 },
+            ExecPolicy::Auto,
+        ] {
+            let index = InvertedIndex::build(&docs, &clusters, policy, &Obs::disabled());
+            assert_eq!(index.df, baseline.df, "{policy:?}");
+            assert_eq!(index.doc_len, baseline.doc_len, "{policy:?}");
+            assert_eq!(
+                index.avgdl.to_bits(),
+                baseline.avgdl.to_bits(),
+                "{policy:?}"
+            );
+            for (a, b) in index.shards.iter().zip(&baseline.shards) {
+                assert_eq!(a.terms, b.terms, "{policy:?}");
+                assert_eq!(a.postings, b.postings, "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_collection_is_searchable() {
+        let index = build(&[], &[]);
+        assert_eq!(index.num_docs(), 0);
+        assert_eq!(index.avgdl(), 0.0);
+        let (hits, stats) =
+            index.search_bm25(&[t(0)], 5, &index.full_order(), None, &Bm25Params::new());
+        assert!(hits.is_empty());
+        assert_eq!(stats, ScanStats::default());
+    }
+}

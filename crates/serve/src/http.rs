@@ -1,0 +1,236 @@
+//! Minimal HTTP/1.1 plumbing for the serving layer.
+//!
+//! Just enough protocol to answer `GET` requests on a loopback socket with
+//! zero dependencies: a bounded request-line/header parser, percent
+//! decoding for query strings, and a response writer that always sends
+//! `Content-Length` and `Connection: close` (one request per connection —
+//! the server's concurrency comes from its worker pool, not keep-alive).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Upper bound on any single request line or header line. Longer input is
+/// rejected as malformed rather than buffered without bound.
+const MAX_LINE: usize = 8 * 1024;
+
+/// Upper bound on header count per request.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, decoded path, and decoded query parameters in
+/// arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, percent-decoded (`/search`).
+    pub path: String,
+    /// Query parameters as decoded `(key, value)` pairs, in order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The byte stream was not a well-formed HTTP/1.1 request.
+    Malformed(&'static str),
+    /// The socket failed mid-read.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one line (up to CRLF or LF), bounded by [`MAX_LINE`].
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    line.push(byte[0]);
+                }
+                if line.len() > MAX_LINE {
+                    return Err(HttpError::Malformed("line too long"));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8 line"))
+}
+
+/// Parse one request from the stream: request line plus headers (headers
+/// are consumed and discarded — nothing in the API needs them yet).
+pub fn parse_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_string();
+    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+    if !parts
+        .next()
+        .is_some_and(|version| version.starts_with("HTTP/"))
+    {
+        return Err(HttpError::Malformed("missing HTTP version"));
+    }
+    for _ in 0..MAX_HEADERS {
+        if read_line(&mut reader)?.is_empty() {
+            let (raw_path, raw_query) = match target.split_once('?') {
+                Some((p, q)) => (p, q),
+                None => (target, ""),
+            };
+            return Ok(Request {
+                method,
+                path: percent_decode(raw_path),
+                query: parse_query(raw_query),
+            });
+        }
+    }
+    Err(HttpError::Malformed("too many headers"))
+}
+
+/// Split a raw query string into decoded `(key, value)` pairs.
+pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect()
+}
+
+/// Decode `%XX` escapes and `+`-as-space. Invalid escapes pass through
+/// literally instead of failing the whole request.
+pub fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(byte: Option<&u8>) -> Option<u8> {
+    match byte {
+        Some(b @ b'0'..=b'9') => Some(b - b'0'),
+        Some(b @ b'a'..=b'f') => Some(b - b'a' + 10),
+        Some(b @ b'A'..=b'F') => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Write a complete response and flush. `Connection: close` always — the
+/// caller drops the stream afterwards.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_escapes_plus_and_garbage() {
+        assert_eq!(percent_decode("cheap+flights"), "cheap flights");
+        assert_eq!(percent_decode("a%20b%2Fc"), "a b/c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode(""), "");
+    }
+
+    #[test]
+    fn query_strings_split_into_ordered_pairs() {
+        let q = parse_query("q=cheap+flights&k=5&flag");
+        assert_eq!(
+            q,
+            vec![
+                ("q".to_string(), "cheap flights".to_string()),
+                ("k".to_string(), "5".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn param_returns_first_match() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/search".into(),
+            query: parse_query("q=a&q=b"),
+        };
+        assert_eq!(req.param("q"), Some("a"));
+        assert_eq!(req.param("missing"), None);
+    }
+}

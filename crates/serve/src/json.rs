@@ -1,0 +1,108 @@
+//! Hand-rolled JSON emission (this workspace runs with stub `serde`).
+//!
+//! Only what the serving layer needs: string escaping, a stable float
+//! format, and a renderer for search results shared by the HTTP endpoint
+//! and the load generator. Key order is fixed by construction, so two
+//! renders of the same data are byte-identical — the CI smoke job diffs
+//! them directly.
+
+use cafc::SearchOutcome;
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float rendered so the document stays valid JSON: finite values use
+/// Rust's shortest round-trip `Display`, non-finite values become `null`.
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render one query's outcome as the `/search` response document.
+pub fn render_outcome(query: &str, k: usize, outcome: &SearchOutcome) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"query\":\"");
+    out.push_str(&escape(query));
+    out.push_str(&format!("\",\"k\":{k},\"hits\":["));
+    for (i, hit) in outcome.hits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"doc\":{},\"score\":{}}}",
+            hit.doc,
+            number(hit.score)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"stats\":{{\"postings_scanned\":{},\"docs_scored\":{},\"clusters_visited\":{}}}}}",
+        outcome.stats.postings_scanned, outcome.stats.docs_scored, outcome.stats.clusters_visited
+    ));
+    out
+}
+
+/// Render an error response body.
+pub fn render_error(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", escape(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafc::Hit;
+
+    #[test]
+    fn escaping_covers_quotes_controls_and_unicode() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("héllo"), "héllo");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_becomes_null() {
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn outcome_renders_with_fixed_key_order() {
+        let outcome = SearchOutcome::new(
+            vec![Hit { doc: 2, score: 0.5 }],
+            cafc::ScanStats {
+                postings_scanned: 7,
+                docs_scored: 1,
+                clusters_visited: 2,
+            },
+        );
+        let json = render_outcome("cheap \"flights\"", 5, &outcome);
+        assert_eq!(
+            json,
+            "{\"query\":\"cheap \\\"flights\\\"\",\"k\":5,\
+             \"hits\":[{\"doc\":2,\"score\":0.5}],\
+             \"stats\":{\"postings_scanned\":7,\"docs_scored\":1,\"clusters_visited\":2}}"
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! The `cafc serve` daemon: a std-only HTTP/1.1 endpoint over a
+//! [`SearchIndex`].
+//!
+//! ## Endpoints
+//!
+//! * `GET /search?q=…&k=…` — answer a query; JSON hits + scan stats.
+//! * `GET /metrics` — the cafc-obs snapshot as JSON.
+//! * `GET /healthz` — liveness probe.
+//! * `POST /shutdown` — drain and stop (also accepted as `GET` so the CI
+//!   smoke job can use any HTTP client).
+//!
+//! ## Concurrency model
+//!
+//! One acceptor thread hands connections to a bounded pool of
+//! `std::thread` workers through a `sync_channel`. When the queue is full
+//! the acceptor answers `503` inline instead of queueing without bound —
+//! under overload the server sheds load, it does not fall over. Every
+//! response closes its connection; parallelism comes from the pool, not
+//! keep-alive.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use cafc::{Obs, SearchIndex};
+
+use crate::http::{parse_request, write_response, HttpError, Request};
+use crate::json;
+
+/// Worker-pool sizing for the daemon.
+///
+/// Construct with [`ServeOptions::new`] plus the chainable `with_*`
+/// setters; `#[non_exhaustive]` so future knobs are not breaking changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServeOptions {
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Connections the acceptor may queue ahead of the workers before it
+    /// starts shedding load with `503`s.
+    pub backlog: usize,
+}
+
+impl Default for ServeOptions {
+    /// Four workers, a backlog of 64.
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            backlog: 64,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The default options (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker-thread count (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the accept queue depth (minimum 1).
+    pub fn with_backlog(mut self, backlog: usize) -> Self {
+        self.backlog = backlog.max(1);
+        self
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until a
+/// shutdown request arrives.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    index: Arc<SearchIndex>,
+    obs: Obs,
+    options: ServeOptions,
+    stop: Arc<AtomicBool>,
+}
+
+/// A remote control for a running [`Server`]: lets another thread stop it.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to stop: sets the flag and pokes the acceptor with a
+    /// throwaway connection so its blocking `accept` returns.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The poke may fail if the server is already gone; that is fine.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(
+        addr: &str,
+        index: SearchIndex,
+        obs: Obs,
+        options: ServeOptions,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            index: Arc::new(index),
+            obs,
+            options,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for stopping the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Serve until shutdown. Returns the number of connections accepted.
+    pub fn run(self) -> io::Result<u64> {
+        let (tx, rx) = sync_channel::<TcpStream>(self.options.backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.options.workers);
+        for _ in 0..self.options.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let index = Arc::clone(&self.index);
+            let obs = self.obs.clone();
+            let handle = self.handle();
+            workers.push(thread::spawn(move || {
+                worker_loop(&rx, &index, &obs, &handle)
+            }));
+        }
+
+        let mut accepted = 0u64;
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            accepted += 1;
+            self.obs.incr("serve.accepted");
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    self.obs.incr("serve.rejected");
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &json::render_error("overloaded: worker queue full"),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(accepted)
+    }
+}
+
+/// Drain connections from the shared queue until the channel closes.
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    index: &SearchIndex,
+    obs: &Obs,
+    handle: &ServerHandle,
+) {
+    loop {
+        let conn = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
+        let Ok(mut stream) = conn else { break };
+        handle_connection(&mut stream, index, obs, handle);
+    }
+}
+
+/// Parse and answer a single request.
+fn handle_connection(
+    stream: &mut TcpStream,
+    index: &SearchIndex,
+    obs: &Obs,
+    handle: &ServerHandle,
+) {
+    let timer = obs.start_timer();
+    let request = match parse_request(stream) {
+        Ok(request) => request,
+        Err(HttpError::Malformed(why)) => {
+            obs.incr("serve.bad_request");
+            let _ = write_response(stream, 400, "application/json", &json::render_error(why));
+            return;
+        }
+        Err(HttpError::Io(_)) => {
+            // Includes the shutdown poke (connect-then-drop). Nothing to
+            // answer.
+            return;
+        }
+    };
+    obs.incr("serve.requests");
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = write_response(stream, 200, "text/plain", "ok\n");
+        }
+        ("GET", "/search") => answer_search(stream, &request, index, obs),
+        ("GET", "/metrics") => {
+            let body = obs.snapshot().render_json();
+            let _ = write_response(stream, 200, "application/json", &body);
+        }
+        ("GET" | "POST", "/shutdown") => {
+            let _ = write_response(stream, 200, "application/json", "{\"stopping\":true}");
+            handle.shutdown();
+        }
+        (_, "/healthz" | "/search" | "/metrics") => {
+            let _ = write_response(
+                stream,
+                405,
+                "application/json",
+                &json::render_error("method not allowed"),
+            );
+        }
+        _ => {
+            obs.incr("serve.not_found");
+            let _ = write_response(
+                stream,
+                404,
+                "application/json",
+                &json::render_error("no such endpoint"),
+            );
+        }
+    }
+    obs.observe_since("serve.request_us", timer);
+}
+
+/// `GET /search?q=…&k=…`.
+fn answer_search(stream: &mut TcpStream, request: &Request, index: &SearchIndex, obs: &Obs) {
+    let Some(query) = request.param("q") else {
+        obs.incr("serve.bad_request");
+        let _ = write_response(
+            stream,
+            400,
+            "application/json",
+            &json::render_error("missing required parameter q"),
+        );
+        return;
+    };
+    let k = match request.param("k") {
+        None => index.config().k,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if k > 0 => k,
+            _ => {
+                obs.incr("serve.bad_request");
+                let _ = write_response(
+                    stream,
+                    400,
+                    "application/json",
+                    &json::render_error("parameter k must be a positive integer"),
+                );
+                return;
+            }
+        },
+    };
+    let outcome = index.search_k(query, k);
+    let body = json::render_outcome(query, k, &outcome);
+    let _ = write_response(stream, 200, "application/json", &body);
+}

@@ -1,0 +1,128 @@
+//! End-to-end test of the HTTP daemon over real loopback TCP: bind an
+//! ephemeral port, drive it with a hand-rolled client, shut it down.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cafc::{FormPageCorpus, ModelOptions, Obs, Partition, SearchConfig, SearchPipeline};
+use cafc_serve::{ServeOptions, Server};
+
+fn build_index() -> cafc::SearchIndex {
+    let pages: Vec<String> = (0..8)
+        .map(|i| {
+            let topic = if i % 2 == 0 {
+                "airfare travel flights airline"
+            } else {
+                "careers employment salary resume"
+            };
+            format!("<p>{topic} database page{i}</p><form><input name=f{i}></form>")
+        })
+        .collect();
+    let corpus =
+        FormPageCorpus::from_html(pages.iter().map(|p| p.as_str()), &ModelOptions::default());
+    let partition = Partition::new(
+        vec![
+            (0..8).filter(|i| i % 2 == 0).collect(),
+            (0..8).filter(|i| i % 2 == 1).collect(),
+        ],
+        8,
+    );
+    SearchPipeline::builder()
+        .config(SearchConfig::new().with_k(5))
+        .build()
+        .index(&corpus, Some(&partition))
+}
+
+/// Issue one request and return `(status, body)`.
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn server_answers_search_metrics_health_and_shuts_down() {
+    let obs = Obs::enabled();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        build_index(),
+        obs.clone(),
+        ServeOptions::new().with_workers(2).with_backlog(8),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    let runner = std::thread::spawn(move || server.run().expect("server run"));
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    let (status, body) = get(addr, "/search?q=airfare+travel&k=3");
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.starts_with("{\"query\":\"airfare travel\",\"k\":3,\"hits\":["));
+    assert!(body.contains("\"doc\":"), "no hits in {body}");
+    assert!(body.contains("\"postings_scanned\""), "no stats in {body}");
+
+    // Identical requests produce byte-identical responses.
+    let again = get(addr, "/search?q=airfare+travel&k=3");
+    assert_eq!(again, (200, body));
+
+    let (status, body) = get(addr, "/search?q=zzzznothing");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"hits\":[]"), "expected empty hits: {body}");
+
+    let (status, body) = get(addr, "/search?k=3");
+    assert_eq!(status, 400);
+    assert!(body.contains("missing required parameter q"));
+
+    let (status, body) = get(addr, "/search?q=a&k=zero");
+    assert_eq!(status, 400);
+    assert!(body.contains("positive integer"));
+
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"counters\""), "metrics body: {body}");
+    assert!(body.contains("serve.requests"), "metrics body: {body}");
+
+    let (status, body) = get(addr, "/shutdown");
+    assert_eq!(status, 200);
+    assert!(body.contains("stopping"));
+    let accepted = runner.join().expect("server thread");
+    assert!(accepted >= 9, "accepted {accepted} connections");
+
+    let snapshot = obs.snapshot().render_text();
+    assert!(snapshot.contains("serve.requests"), "snapshot: {snapshot}");
+}
+
+#[test]
+fn handle_shutdown_stops_an_idle_server() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        build_index(),
+        Obs::disabled(),
+        ServeOptions::new().with_workers(1),
+    )
+    .expect("bind");
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run().expect("run"));
+    handle.shutdown();
+    runner.join().expect("join");
+}

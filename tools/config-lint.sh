@@ -14,6 +14,10 @@
 #   ObsConfig     -> crates/obs/src/lib.rs
 #   FuzzConfig    -> crates/fuzz/src/config.rs
 #   StoreConfig   -> crates/store/src/config.rs
+#   SearchConfig  -> crates/core/src/search.rs
+#   Bm25Params    -> crates/index/src/bm25.rs
+#   ServeOptions  -> crates/serve/src/server.rs
+#   LoadgenConfig -> crates/serve/src/loadgen.rs
 #
 # Usage: tools/config-lint.sh
 set -euo pipefail
@@ -28,6 +32,10 @@ declare -A home=(
   [CheckConfig]="crates/check/src/runner.rs"
   [FuzzConfig]="crates/fuzz/src/config.rs"
   [StoreConfig]="crates/store/src/config.rs"
+  [SearchConfig]="crates/core/src/search.rs"
+  [Bm25Params]="crates/index/src/bm25.rs"
+  [ServeOptions]="crates/serve/src/server.rs"
+  [LoadgenConfig]="crates/serve/src/loadgen.rs"
 )
 
 status=0

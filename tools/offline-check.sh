@@ -24,13 +24,13 @@ lib_packages=(
   -p cafc-check -p cafc-exec -p cafc-obs -p cafc-html -p cafc-text -p cafc-vsm
   -p cafc-webgraph -p cafc-cluster -p cafc-eval -p cafc-corpus
   -p cafc-classify -p cafc-crawler -p cafc-explore -p cafc -p cafc-cli
-  -p cafc-fuzz -p cafc-store
+  -p cafc-fuzz -p cafc-store -p cafc-index -p cafc-serve
 )
 core_tests=(
   --test pipeline --test crawl_integration --test corpus_calibration
   --test paper_shapes --test robustness --test torture --test determinism
   --test observability --test model_props --test differential
-  --test crash_recovery
+  --test crash_recovery --test retrieval
 )
 # cafc-html integration tests minus proptests.rs (needs the real proptest).
 html_tests=(--test edge_cases --test pathological --test props)
@@ -41,6 +41,7 @@ check_suites=(
   "cafc-vsm --test props"
   "cafc-cluster --test props"
   "cafc-eval --test props --test metric_edges"
+  "cafc-index --test props"
 )
 
 # Targets that genuinely require the real (registry) proptest/criterion and
@@ -77,7 +78,7 @@ tools/config-lint.sh
 case "$mode" in
   check)
     cargo check --offline "${config[@]}" "${lib_packages[@]}"
-    cargo check --offline "${config[@]}" -p cafc-check -p cafc-crawler -p cafc-cli -p cafc-fuzz --all-targets
+    cargo check --offline "${config[@]}" -p cafc-check -p cafc-crawler -p cafc-cli -p cafc-fuzz -p cafc-serve --all-targets
     cargo check --offline "${config[@]}" -p cafc-html "${html_tests[@]}"
     for suite in "${check_suites[@]}"; do
       # shellcheck disable=SC2086 # intentional word-splitting into -p/--test args
@@ -89,10 +90,10 @@ case "$mode" in
     cargo test --offline "${config[@]}" -p cafc-check -p cafc-exec -p cafc-obs \
       -p cafc-html -p cafc-text -p cafc-vsm -p cafc-webgraph -p cafc-cluster \
       -p cafc-eval -p cafc-corpus -p cafc-classify -p cafc-explore \
-      -p cafc-store --lib
+      -p cafc-store -p cafc-index -p cafc-serve --lib
     cargo test --offline "${config[@]}" -p cafc-check --all-targets
     cargo test --offline "${config[@]}" -p cafc-html "${html_tests[@]}"
-    cargo test --offline "${config[@]}" -p cafc-crawler -p cafc-cli -p cafc-fuzz --all-targets
+    cargo test --offline "${config[@]}" -p cafc-crawler -p cafc-cli -p cafc-fuzz -p cafc-serve --all-targets
     for suite in "${check_suites[@]}"; do
       # shellcheck disable=SC2086 # intentional word-splitting into -p/--test args
       cargo test --offline "${config[@]}" -p $suite
@@ -107,7 +108,7 @@ case "$mode" in
     ;;
   clippy)
     cargo clippy --offline "${config[@]}" "${lib_packages[@]}" -- -D warnings
-    cargo clippy --offline "${config[@]}" -p cafc-check -p cafc-crawler -p cafc-cli -p cafc-fuzz --all-targets -- -D warnings
+    cargo clippy --offline "${config[@]}" -p cafc-check -p cafc-crawler -p cafc-cli -p cafc-fuzz -p cafc-serve --all-targets -- -D warnings
     cargo clippy --offline "${config[@]}" -p cafc-html "${html_tests[@]}" -- -D warnings
     for suite in "${check_suites[@]}"; do
       # shellcheck disable=SC2086 # intentional word-splitting into -p/--test args
