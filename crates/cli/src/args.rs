@@ -119,6 +119,14 @@ const VALUE_FLAGS: &[&str] = &[
     "threads",
     // bench
     "sizes",
+    // daemon
+    "warmup",
+    "refresh-every",
+    "repair-every",
+    "drift-threshold",
+    "chunk-bytes",
+    "assignments",
+    "interval-ms",
     // serve / loadgen / search
     "port",
     "rate",

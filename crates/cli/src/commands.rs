@@ -5,7 +5,8 @@ use crate::table::render_kv_table;
 use cafc::{
     cafc_c_obs, cafc_ch_obs, CafcChConfig, ExecPolicy, FeatureConfig, FormPageCorpus,
     FormPageSpace, HubClusterOptions, IngestLimits, IngestReport, KMeansOptions, ModelOptions, Obs,
-    Partition, SearchAlgorithm, SearchConfig, SearchIndex, SearchPipeline,
+    Partition, SearchAlgorithm, SearchConfig, SearchIndex, SearchPipeline, StreamConfig,
+    StreamCorpus,
 };
 use cafc_cluster::{
     bisecting_kmeans_obs, choose_k, hac_obs, hac_resumable, kmeans_obs, kmeans_resumable,
@@ -20,7 +21,7 @@ use cafc_crawler::{
     CrawlConfig, FaultConfig, ResilientConfig, ResilientCrawlOutcome, RetryPolicy,
 };
 use cafc_explore::{html_report, ClusterIndex};
-use cafc_serve::{loadgen, LoadgenConfig, ServeOptions, Server};
+use cafc_serve::{loadgen, LoadgenConfig, ServeOptions, Server, SharedIndex};
 use cafc_store::{ChaosFs, FaultKind, FaultPlan, StdFs, Store, StoreConfig, StoreError};
 use cafc_webgraph::PageId;
 use rand::rngs::StdRng;
@@ -479,6 +480,181 @@ pub fn serve(args: &Args) -> Result<(), String> {
         server.addr()
     );
     let accepted = server.run().map_err(|e| format!("serving: {e}"))?;
+    println!("served {accepted} connections");
+    Ok(())
+}
+
+/// Split `html` into ~`size`-byte pieces on char boundaries — the shape of
+/// a page arriving from a socket, which is exactly what the streaming
+/// parser absorbs (cuts mid-tag and mid-entity included).
+fn chunk_html(html: &str, size: usize) -> Vec<&str> {
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    while start < html.len() {
+        let mut end = (start + size).min(html.len());
+        while end < html.len() && !html.is_char_boundary(end) {
+            end += 1;
+        }
+        chunks.push(&html[start..end]);
+        start = end;
+    }
+    chunks
+}
+
+/// `cafc daemon` — the full streaming loop: synthesize a seeded crawl,
+/// warm-start clusters on its first pages, then stream the remainder
+/// through incremental parsing and nearest-centroid assignment while
+/// answering queries over HTTP from a hot-swapped index. The assignment
+/// log is a pure function of `(seed, flags)`: two same-seed runs write
+/// byte-identical files.
+pub fn daemon(args: &Args) -> Result<(), String> {
+    let policy = args.get_threads()?;
+    // The daemon always records metrics: /metrics is part of its API.
+    let obs = Obs::enabled();
+    obs.gauge("exec.threads", policy.threads() as f64);
+    let retrieval = search_config(args)?;
+    let features = feature_config(args)?;
+    let port = args.get_u16("port", 7700)?;
+    let pages = args.get_usize("pages", 128)?;
+    let seed = args.get_u64("seed", 3)?;
+    let k = args.get_usize("k", 6)?;
+    let warmup = args.get_count_usize("warmup", 32)?;
+    let refresh_every = args.get_count_usize("refresh-every", 16)?;
+    let repair_every = args.get_count_usize("repair-every", 32)?;
+    let drift_threshold = args.get_positive_f64("drift-threshold", 0.25)?;
+    let chunk_bytes = args.get_count_usize("chunk-bytes", 256)?;
+    let interval_ms = args.get_u64("interval-ms", 0)?;
+    let options = ServeOptions::new()
+        .with_workers(args.get_count_usize("workers", 4)?)
+        .with_backlog(args.get_count_usize("backlog", 64)?);
+
+    // The synthetic crawl: every form page's HTML, in generation order.
+    let web = generate_web(&corpus_config(pages, seed));
+    let form_pages: Vec<(String, String)> = web
+        .form_pages
+        .iter()
+        .map(|record| {
+            (
+                web.graph.url(record.page).to_string(),
+                web.graph.html(record.page).unwrap_or_default().to_string(),
+            )
+        })
+        .collect();
+    let warmup = warmup.min(form_pages.len());
+    if k == 0 || k > warmup {
+        return Err(format!(
+            "--k {k} out of range for a warm-up of {warmup} pages"
+        ));
+    }
+
+    // Warm start: batch-build and cluster the first pages conventionally,
+    // so streaming begins against meaningful centroids.
+    let model_opts = ModelOptions::default();
+    let corpus = FormPageCorpus::from_html_exec(
+        form_pages[..warmup].iter().map(|(_, html)| html.as_str()),
+        &model_opts,
+        policy,
+    );
+    let partition = {
+        let space = FormPageSpace::new(&corpus, features);
+        let mut rng = StdRng::seed_from_u64(seed);
+        cafc_c_obs(&space, k, &KMeansOptions::default(), &mut rng, policy, &obs).partition
+    };
+    let stream_config = StreamConfig::new()
+        .with_feature(features)
+        .with_opts(model_opts)
+        .with_repair_interval(repair_every)
+        .with_drift_threshold(drift_threshold)
+        .with_policy(policy);
+    let mut stream = StreamCorpus::new(corpus, &partition, stream_config, obs.clone());
+
+    let pipeline = SearchPipeline::builder()
+        .config(retrieval)
+        .exec(policy)
+        .obs(obs.clone())
+        .build();
+    let shared = SharedIndex::new(pipeline.index(stream.corpus(), Some(&stream.partition())));
+    let server = Server::bind_shared(
+        &format!("127.0.0.1:{port}"),
+        shared.clone(),
+        obs.clone(),
+        options,
+    )
+    .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    println!(
+        "serving on http://{}/ — GET /search?q=…&k=…, /metrics, /healthz; /shutdown to stop",
+        server.addr()
+    );
+    println!(
+        "streaming {} pages after a {warmup}-page warm-up (seed {seed})",
+        form_pages.len() - warmup
+    );
+    let runner = std::thread::spawn(move || server.run());
+
+    // Stream the rest of the crawl. The HTTP workers answer from the last
+    // published snapshot throughout; every refresh boundary swaps in an
+    // index that includes the pages streamed since the previous one.
+    let mut log = format!(
+        "# cafc daemon seed={seed} pages={pages} warmup={warmup} k={k} \
+         repair={repair_every} refresh={refresh_every}\n"
+    );
+    let mut pending = 0usize;
+    let mut refreshes = 0u64;
+    for (url, html) in &form_pages[warmup..] {
+        let arrival = stream.ingest_chunks(chunk_html(html, chunk_bytes));
+        let status = match &arrival.outcome {
+            cafc::PageOutcome::Ok => "ok",
+            cafc::PageOutcome::Degraded { .. } => "degraded",
+            cafc::PageOutcome::Quarantined { .. } => "quarantined",
+        };
+        let cluster = arrival
+            .cluster
+            .map_or_else(|| "-".to_string(), |c| c.to_string());
+        log.push_str(&format!(
+            "{}\t{url}\t{status}\t{cluster}\n",
+            stream.streamed()
+        ));
+        if let (Some(drift), Some(moved)) = (arrival.drift, arrival.moved) {
+            log.push_str(&format!(
+                "#repair\tdrift={drift:.6}\tmoved={moved}\treclustered={}\n",
+                arrival.reclustered
+            ));
+        }
+        if arrival.page.is_some() {
+            pending += 1;
+        }
+        if pending >= refresh_every {
+            shared.replace(pipeline.index(stream.corpus(), Some(&stream.partition())));
+            obs.incr("stream.index_refreshes");
+            refreshes += 1;
+            pending = 0;
+            log.push_str(&format!("#refresh\tcorpus={}\n", stream.corpus().len()));
+        }
+        if interval_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    }
+    if pending > 0 {
+        shared.replace(pipeline.index(stream.corpus(), Some(&stream.partition())));
+        obs.incr("stream.index_refreshes");
+        refreshes += 1;
+        log.push_str(&format!("#refresh\tcorpus={}\n", stream.corpus().len()));
+    }
+    if let Some(path) = args.get("assignments") {
+        std::fs::write(path, &log).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    println!(
+        "streamed {} pages ({} kept in {} clusters, {refreshes} index refreshes); \
+         serving until /shutdown",
+        stream.streamed(),
+        stream.corpus().len(),
+        stream.partition().num_clusters(),
+    );
+    let accepted = runner
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("serving: {e}"))?;
     println!("served {accepted} connections");
     Ok(())
 }

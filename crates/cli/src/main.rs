@@ -24,6 +24,19 @@
 //!     GET /search?q=…&k=… (JSON), /metrics (cafc-obs snapshot),
 //!     /healthz, /shutdown. --port 0 binds an ephemeral port.
 //!
+//! cafc daemon [--pages N] [--seed S] [--warmup N] [--k N] [--port P]
+//!             [--repair-every N] [--refresh-every N] [--drift-threshold T]
+//!             [--chunk-bytes N] [--interval-ms MS] [--assignments FILE]
+//!             [--workers N] [--backlog N] [--rank ...] [--threads N]
+//!     Streaming mode: synthesize a seeded crawl, warm-start clusters on
+//!     the first `--warmup` pages, then stream the rest through the
+//!     incremental parser and nearest-centroid assignment while serving
+//!     queries — the index hot-swaps every `--refresh-every` kept pages,
+//!     so new sources appear in /search without a restart. A repair pass
+//!     (mini-batch reassignment + drift check, re-clustering past the
+//!     threshold) runs every `--repair-every` arrivals. `--assignments`
+//!     writes the per-page log; same seed, byte-identical file.
+//!
 //! cafc loadgen --input DIR [--seed S] [--rate QPS] [--duration-ms MS]
 //!              [--vocab N] [--workers N] [--json FILE] [--digest FILE]
 //!              [--rank ...] [--no-routing] [--budget N] [--limit N]
@@ -113,6 +126,7 @@ fn main() -> ExitCode {
         "bench" => commands::bench(&parsed),
         "crash-test" => commands::crash_test(&parsed),
         "serve" => commands::serve(&parsed),
+        "daemon" => commands::daemon(&parsed),
         "loadgen" => commands::loadgen(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -146,6 +160,12 @@ USAGE:
     cafc serve    --input DIR [--port P] [--workers N] [--backlog N]
                   [--rank bm25|tfidf|fused] [--no-routing] [--budget N]
                   [--limit N] [--k N] [--threads N]
+    cafc daemon   [--pages N] [--seed S] [--warmup N] [--k N] [--port P]
+                  [--repair-every N] [--refresh-every N]
+                  [--drift-threshold T] [--chunk-bytes N] [--interval-ms MS]
+                  [--assignments FILE] [--workers N] [--backlog N]
+                  [--rank bm25|tfidf|fused] [--no-routing] [--budget N]
+                  [--limit N] [--threads N]
     cafc loadgen  --input DIR [--seed S] [--rate QPS] [--duration-ms MS]
                   [--vocab N] [--workers N] [--json FILE] [--digest FILE]
                   [--rank bm25|tfidf|fused] [--no-routing] [--budget N]

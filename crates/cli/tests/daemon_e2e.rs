@@ -1,0 +1,143 @@
+//! End-to-end tests of `cafc daemon`: stream a seeded synthetic crawl
+//! through incremental ingestion while the HTTP surface is live, and check
+//! that same-seed runs write byte-identical assignment logs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn cafc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cafc"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cafc-daemon-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// One HTTP request against the daemon; returns `(status, body)`.
+fn get(addr: &str, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Run one daemon round: spawn, wait for the stream to finish, optionally
+/// exercise the HTTP surface, shut down. Returns the assignment log.
+fn daemon_round(assignments: &Path, exercise: bool) -> String {
+    let mut child = cafc()
+        .args([
+            "daemon",
+            "--pages",
+            "48",
+            "--seed",
+            "5",
+            "--warmup",
+            "16",
+            "--k",
+            "4",
+            "--port",
+            "0",
+            "--repair-every",
+            "8",
+            "--refresh-every",
+            "8",
+            "--assignments",
+            assignments.to_str().expect("utf8 temp path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut addr = None;
+    // The daemon prints the bound address first and a "streamed …" summary
+    // once the whole crawl has been ingested; it keeps serving after that.
+    loop {
+        let line = lines
+            .next()
+            .expect("daemon prints before exiting")
+            .expect("utf8 stdout");
+        if let Some(rest) = line.split("http://").nth(1) {
+            addr = Some(
+                rest.split('/')
+                    .next()
+                    .expect("authority after scheme")
+                    .to_string(),
+            );
+        }
+        if line.starts_with("streamed ") {
+            assert!(
+                line.contains("48 kept"),
+                "every synthetic page should be kept: {line}"
+            );
+            break;
+        }
+    }
+    let addr = addr.expect("daemon printed its address");
+
+    if exercise {
+        let (status, body) = get(&addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        // Streamed pages are searchable: the post-warm-up corpus is live.
+        let (status, body) = get(&addr, "/search?q=cheap+flights&k=5");
+        assert_eq!(status, 200, "body: {body}");
+        assert!(body.contains("\"hits\":["), "{body}");
+
+        let (status, body) = get(&addr, "/metrics");
+        assert_eq!(status, 200);
+        for counter in [
+            "stream.pages_assigned",
+            "stream.repairs",
+            "stream.index_refreshes",
+        ] {
+            assert!(body.contains(counter), "missing {counter} in {body}");
+        }
+        assert!(body.contains("stream.drift"), "{body}");
+    }
+
+    let (status, _) = get(&addr, "/shutdown");
+    assert_eq!(status, 200);
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(out.status.success(), "daemon exit: {:?}", out.status);
+    std::fs::read_to_string(assignments).expect("assignment log written")
+}
+
+#[test]
+fn daemon_streams_serves_and_replays_identically() {
+    let dir = tmpdir("replay");
+
+    let log_a = daemon_round(&dir.join("assign-a.log"), true);
+    assert!(log_a.starts_with("# cafc daemon seed=5"), "{log_a}");
+    let page_lines = log_a.lines().filter(|l| !l.starts_with('#')).count();
+    assert_eq!(page_lines, 32, "one line per streamed page:\n{log_a}");
+    assert!(log_a.contains("#repair\tdrift="), "{log_a}");
+    assert!(log_a.contains("#refresh\tcorpus="), "{log_a}");
+    assert!(log_a.contains("\tok\t"), "{log_a}");
+
+    // Same seed, second process: the log must agree byte-for-byte.
+    let log_b = daemon_round(&dir.join("assign-b.log"), false);
+    assert_eq!(log_a, log_b, "same-seed daemon runs diverged");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

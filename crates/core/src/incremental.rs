@@ -81,6 +81,37 @@ impl IncrementalClusters {
         items.iter().map(|&i| (i, self.assign(space, i))).collect()
     }
 
+    /// Move `item` from cluster `from` to cluster `to` without touching
+    /// centroids. The repair pass in [`crate::stream`] applies a batch of
+    /// moves and then refreshes every affected centroid exactly once via
+    /// [`IncrementalClusters::refresh_centroids`]; refreshing per move
+    /// would make the outcome depend on move order twice over.
+    ///
+    /// A no-op when `item` is not currently in `from`.
+    pub fn move_item(&mut self, item: usize, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        if let Some(pos) = self.members[from].iter().position(|&m| m == item) {
+            self.members[from].remove(pos);
+            self.members[to].push(item);
+        }
+    }
+
+    /// Recompute the centroids of the listed clusters from their current
+    /// members. Clusters emptied by moves get a default (zero) centroid,
+    /// matching the empty-cluster convention of
+    /// [`IncrementalClusters::from_partition`].
+    pub fn refresh_centroids(&mut self, space: &FormPageSpace<'_>, clusters: &[usize]) {
+        for &ci in clusters {
+            self.centroids[ci] = if self.members[ci].is_empty() {
+                MultiCentroid::default()
+            } else {
+                space.centroid(&self.members[ci])
+            };
+        }
+    }
+
     /// Mean centroid drift since construction: `1 − sim(initial, current)`
     /// averaged over non-empty clusters. 0.0 means nothing moved; values
     /// near 1.0 mean the clustering has effectively been replaced and a
@@ -181,6 +212,40 @@ mod tests {
         let p = inc.to_partition(8);
         assert_eq!(p.num_assigned(), 6);
         assert_eq!(p.num_clusters(), 2);
+    }
+
+    #[test]
+    fn move_item_defers_centroid_refresh() {
+        let corpus = fixture();
+        let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+        let partition = Partition::new(vec![vec![0, 1], vec![2, 3]], 8);
+        let mut inc = IncrementalClusters::from_partition(&space, &partition);
+        inc.move_item(1, 0, 1);
+        assert_eq!(inc.members()[0], vec![0]);
+        assert_eq!(inc.members()[1], vec![2, 3, 1]);
+        // Centroids are stale until refreshed, so drift is still zero.
+        assert_eq!(inc.drift(&space), 0.0);
+        inc.refresh_centroids(&space, &[0, 1]);
+        assert!(inc.drift(&space) > 0.0, "refresh must recompute centroids");
+        // Moving an item that is not in `from` is a no-op.
+        inc.move_item(7, 0, 1);
+        assert_eq!(inc.members()[0], vec![0]);
+        assert_eq!(inc.members()[1], vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn refresh_zeroes_an_emptied_cluster() {
+        let corpus = fixture();
+        let space = FormPageSpace::new(&corpus, FeatureConfig::combined());
+        let partition = Partition::new(vec![vec![0], vec![2, 3]], 8);
+        let mut inc = IncrementalClusters::from_partition(&space, &partition);
+        inc.move_item(0, 0, 1);
+        inc.refresh_centroids(&space, &[0, 1]);
+        // The emptied cluster is back to the default centroid and never
+        // attracts assignments.
+        for item in 4..8 {
+            assert_eq!(inc.assign(&space, item), 1);
+        }
     }
 
     #[test]

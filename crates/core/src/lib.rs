@@ -67,6 +67,7 @@ pub mod pipeline;
 pub mod resume;
 pub mod search;
 pub mod space;
+pub mod stream;
 
 /// The deterministic execution layer ([`cafc_exec`]), re-exported: scoped
 /// thread pool, [`exec::ExecPolicy`], and the order-preserving `par_*`
@@ -96,6 +97,7 @@ pub use search::{
     SearchPipelineBuilder,
 };
 pub use space::{FeatureConfig, FormPageSpace, MultiCentroid};
+pub use stream::{Arrival, StreamConfig, StreamCorpus};
 
 // Re-export the pieces callers almost always need alongside the core API.
 pub use cafc_cluster::{HacOptions, KMeansOptions, Linkage, Partition};

@@ -10,7 +10,7 @@
 
 use crate::ingest::{DegradedReason, IngestError, IngestLimits, IngestReport, PageOutcome};
 use cafc_exec::{par_chunks_obs, par_map_slice, ExecPolicy};
-use cafc_html::{located_text, parse, strip_control_chars, Document, TextLocation};
+use cafc_html::{located_text, parse, strip_control_chars, Document, ParseStats, TextLocation};
 use cafc_obs::Obs;
 use cafc_text::{Analyzer, TermDict, TermId};
 use cafc_vsm::{weigh, CountsBuilder, DocumentFrequencies, IdfScheme, SparseVector, TfScheme};
@@ -161,6 +161,14 @@ pub struct FormPageCorpus {
     /// In-link anchor-text vectors (empty vectors unless built from a graph
     /// with [`FormPageCorpus::from_graph_with_anchors`]).
     pub anchor: Vec<SparseVector>,
+    /// Page-content collection statistics the `pc` weights were computed
+    /// from. The streaming layer (`StreamCorpus`) keeps weighing late
+    /// arrivals against these, updated per arrival, so streamed vectors
+    /// live on the same scale as the batch-built ones.
+    pub pc_df: DocumentFrequencies,
+    /// Form-content collection statistics behind `fc`, kept for the same
+    /// reason as `pc_df`.
+    pub fc_df: DocumentFrequencies,
 }
 
 impl FormPageCorpus {
@@ -540,6 +548,8 @@ impl FormPageCorpus {
             pc_tf,
             fc,
             anchor,
+            pc_df,
+            fc_df,
         }
     }
 }
@@ -648,6 +658,26 @@ pub(crate) fn ingest_page(
     let parse_t0 = obs.start_timer();
     let (doc, stats) = Document::parse_with_stats(&html);
     obs.observe_since("ingest.parse_us", parse_t0);
+
+    ingest_document(&doc, stats, reasons, opts, limits, dict, term_buf, obs)
+}
+
+/// The post-parse half of [`ingest_page`]: budgeted analysis plus the
+/// outcome taxonomy, over a document however it was parsed. The streaming
+/// layer enters here with a [`StreamingParser`](cafc_html::StreamingParser)
+/// output; `ingest_page` enters with a whole-input parse. `reasons` carries
+/// whatever degradations the caller's sanitize/parse phases already found.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ingest_document(
+    doc: &Document,
+    stats: ParseStats,
+    mut reasons: Vec<DegradedReason>,
+    opts: &ModelOptions,
+    limits: &IngestLimits,
+    dict: &mut TermDict,
+    term_buf: &mut Vec<TermId>,
+    obs: &Obs,
+) -> (PageOutcome, Option<(CountsBuilder, CountsBuilder)>) {
     if stats.depth_capped {
         reasons.push(DegradedReason::DepthCapped);
     }
@@ -660,7 +690,7 @@ pub(crate) fn ingest_page(
     let mut fc = CountsBuilder::new();
     let mut terms_used = 0usize;
     let mut budget_hit = false;
-    for lt in located_text(&doc) {
+    for lt in located_text(doc) {
         let budget = limits.max_terms.saturating_sub(terms_used);
         if budget == 0 {
             budget_hit = true;

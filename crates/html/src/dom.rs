@@ -141,88 +141,14 @@ impl Document {
     /// [`Document::parse_with_stats`]; coverage recording never changes the
     /// parse result.
     pub fn parse_with_coverage(html: &str, cov: &Coverage) -> (Document, ParseStats) {
-        let mut doc = Document {
-            nodes: Vec::new(),
-            roots: Vec::new(),
-        };
-        let mut stats = ParseStats::default();
-        // Stack of open element node ids.
-        let mut stack: Vec<NodeId> = Vec::new();
+        let mut builder = TreeBuilder::new(cov.clone());
         for token in Tokenizer::with_coverage(html, cov.clone()) {
-            if doc.nodes.len() >= MAX_NODES {
-                cov.record(CoveragePoint::TreeNodesCapped);
-                stats.nodes_capped = true;
+            builder.feed(token);
+            if builder.nodes_capped() {
                 break;
             }
-            match token {
-                Token::Doctype(_) => {
-                    cov.record(CoveragePoint::TreeDoctypeDropped);
-                }
-                Token::Comment(c) => {
-                    cov.record(CoveragePoint::TreeComment);
-                    let id = doc.push(Node::Comment(c));
-                    doc.append(&stack, id);
-                }
-                Token::Text(t) => {
-                    cov.record(CoveragePoint::TreeText);
-                    let id = doc.push(Node::Text(t));
-                    doc.append(&stack, id);
-                }
-                Token::StartTag {
-                    name,
-                    attrs,
-                    self_closing,
-                } => {
-                    // Implicit closes (e.g. <option> closes an open <option>).
-                    while let Some(&top) = stack.last() {
-                        // The stack only ever holds element ids.
-                        let Some(top_name) = doc.nodes[top.index()].element_name() else {
-                            break;
-                        };
-                        if IMPLICIT_CLOSE
-                            .iter()
-                            .any(|(inc, closes)| *inc == name && *closes == top_name)
-                        {
-                            cov.record(CoveragePoint::TreeImplicitClose);
-                            stack.pop();
-                        } else {
-                            break;
-                        }
-                    }
-                    let id = doc.push(Node::Element {
-                        name: name.clone(),
-                        attrs,
-                        children: Vec::new(),
-                    });
-                    if stack.is_empty() {
-                        cov.record(CoveragePoint::TreeRootAppend);
-                    }
-                    doc.append(&stack, id);
-                    if !self_closing && !is_void(&name) {
-                        if stack.len() < MAX_DEPTH {
-                            stack.push(id);
-                        } else {
-                            cov.record(CoveragePoint::TreeDepthCapped);
-                            stats.depth_capped = true;
-                        }
-                    } else {
-                        cov.record(CoveragePoint::TreeVoid);
-                    }
-                }
-                Token::EndTag { name } => {
-                    // Find the matching open element; ignore stray end tags.
-                    if let Some(pos) = stack.iter().rposition(|&id| {
-                        doc.nodes[id.index()].element_name() == Some(name.as_str())
-                    }) {
-                        cov.record(CoveragePoint::TreeEndMatched);
-                        stack.truncate(pos);
-                    } else {
-                        cov.record(CoveragePoint::TreeStrayEndDropped);
-                    }
-                }
-            }
         }
-        (doc, stats)
+        builder.finish()
     }
 
     fn push(&mut self, node: Node) -> NodeId {
@@ -317,6 +243,123 @@ impl Document {
             .next()
             .map(|id| self.text_content(id))
             .filter(|t| !t.is_empty())
+    }
+}
+
+/// Incremental tree construction: the body of the old `parse_with_coverage`
+/// loop, factored so tokens can be fed one at a time by the streaming
+/// parser. Whole-document parsing and `StreamingParser` share this exact
+/// code path, which is what makes `parse_chunked(chunks) ==
+/// parse(chunks.concat())` a structural property instead of a test hope.
+pub(crate) struct TreeBuilder {
+    doc: Document,
+    stats: ParseStats,
+    /// Stack of open element node ids.
+    stack: Vec<NodeId>,
+    cov: Coverage,
+}
+
+impl TreeBuilder {
+    /// An empty builder reporting tree transitions to `cov`.
+    pub(crate) fn new(cov: Coverage) -> TreeBuilder {
+        TreeBuilder {
+            doc: Document {
+                nodes: Vec::new(),
+                roots: Vec::new(),
+            },
+            stats: ParseStats::default(),
+            stack: Vec::new(),
+            cov,
+        }
+    }
+
+    /// Whether the node arena hit its cap; further tokens are dropped.
+    pub(crate) fn nodes_capped(&self) -> bool {
+        self.stats.nodes_capped
+    }
+
+    /// Apply one token to the tree under construction.
+    pub(crate) fn feed(&mut self, token: Token) {
+        if self.stats.nodes_capped {
+            return;
+        }
+        if self.doc.nodes.len() >= MAX_NODES {
+            self.cov.record(CoveragePoint::TreeNodesCapped);
+            self.stats.nodes_capped = true;
+            return;
+        }
+        match token {
+            Token::Doctype(_) => {
+                self.cov.record(CoveragePoint::TreeDoctypeDropped);
+            }
+            Token::Comment(c) => {
+                self.cov.record(CoveragePoint::TreeComment);
+                let id = self.doc.push(Node::Comment(c));
+                self.doc.append(&self.stack, id);
+            }
+            Token::Text(t) => {
+                self.cov.record(CoveragePoint::TreeText);
+                let id = self.doc.push(Node::Text(t));
+                self.doc.append(&self.stack, id);
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                // Implicit closes (e.g. <option> closes an open <option>).
+                while let Some(&top) = self.stack.last() {
+                    // The stack only ever holds element ids.
+                    let Some(top_name) = self.doc.nodes[top.index()].element_name() else {
+                        break;
+                    };
+                    if IMPLICIT_CLOSE
+                        .iter()
+                        .any(|(inc, closes)| *inc == name && *closes == top_name)
+                    {
+                        self.cov.record(CoveragePoint::TreeImplicitClose);
+                        self.stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let id = self.doc.push(Node::Element {
+                    name: name.clone(),
+                    attrs,
+                    children: Vec::new(),
+                });
+                if self.stack.is_empty() {
+                    self.cov.record(CoveragePoint::TreeRootAppend);
+                }
+                self.doc.append(&self.stack, id);
+                if !self_closing && !is_void(&name) {
+                    if self.stack.len() < MAX_DEPTH {
+                        self.stack.push(id);
+                    } else {
+                        self.cov.record(CoveragePoint::TreeDepthCapped);
+                        self.stats.depth_capped = true;
+                    }
+                } else {
+                    self.cov.record(CoveragePoint::TreeVoid);
+                }
+            }
+            Token::EndTag { name } => {
+                // Find the matching open element; ignore stray end tags.
+                if let Some(pos) = self.stack.iter().rposition(|&id| {
+                    self.doc.nodes[id.index()].element_name() == Some(name.as_str())
+                }) {
+                    self.cov.record(CoveragePoint::TreeEndMatched);
+                    self.stack.truncate(pos);
+                } else {
+                    self.cov.record(CoveragePoint::TreeStrayEndDropped);
+                }
+            }
+        }
+    }
+
+    /// The finished document and the caps hit while building it.
+    pub(crate) fn finish(self) -> (Document, ParseStats) {
+        (self.doc, self.stats)
     }
 }
 

@@ -47,6 +47,7 @@ pub mod extract;
 pub mod form;
 pub mod labels;
 pub mod sanitize;
+pub mod stream;
 pub mod tokenizer;
 
 pub use coverage::{Coverage, CoverageMap, CoveragePoint};
@@ -55,6 +56,7 @@ pub use extract::{located_text, LocatedText, TextLocation};
 pub use form::{extract_forms, Form, FormField, FormFieldKind, FormMethod};
 pub use labels::{extract_labeled_fields, LabelSource, LabeledField};
 pub use sanitize::strip_control_chars;
+pub use stream::StreamingParser;
 pub use tokenizer::{Attribute, Token, Tokenizer};
 
 /// Parse an HTML document into a DOM tree.
@@ -70,19 +72,19 @@ pub fn parse(html: &str) -> Document {
 
 /// Parse an HTML document delivered in chunks.
 ///
-/// Today this reassembles the chunks and parses the whole string — the
-/// *reference semantics* for incremental delivery. The planned streaming
-/// tokenizer (ROADMAP item 1) must preserve exactly this contract:
+/// A thin wrapper over [`StreamingParser`]: each chunk is pushed as it
+/// arrives and only the unconsumed tail (partial tags, entities, raw-text
+/// runs) is buffered between pushes — the input is never reassembled. The
+/// contract pinned by the `cafc-fuzz` chunked≡whole oracle since PR 6
+/// still holds, now over the real incremental implementation:
 /// `parse_chunked(chunks) == parse(chunks.concat())` for every split of
-/// every input. `cafc-fuzz` pins that equivalence over seeded split points
-/// ahead of the rewrite, so the rewrite inherits a ready-made oracle.
+/// every input.
 pub fn parse_chunked<S: AsRef<str>>(chunks: &[S]) -> Document {
-    let total: usize = chunks.iter().map(|c| c.as_ref().len()).sum();
-    let mut whole = String::with_capacity(total);
+    let mut parser = StreamingParser::new();
     for chunk in chunks {
-        whole.push_str(chunk.as_ref());
+        parser.push_chunk(chunk.as_ref());
     }
-    parse(&whole)
+    parser.finish()
 }
 
 /// The syntactic atoms of this parser's grammar, for fuzzing dictionaries.

@@ -55,8 +55,11 @@ pub(crate) const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style", "textarea", "
 pub struct Tokenizer<'a> {
     input: &'a str,
     pos: usize,
-    /// When set, we are inside a raw-text element of this name.
-    raw_text_until: Option<String>,
+    /// When set, we are inside a raw-text element of this name. The
+    /// streaming parser snapshots and restores this field across chunk
+    /// boundaries, so a `<script>` opened in one chunk keeps raw-text
+    /// semantics in the next.
+    pub(crate) raw_text_until: Option<String>,
     /// Coverage sink; disabled (a single branch per record) by default.
     cov: Coverage,
 }
@@ -92,7 +95,7 @@ impl<'a> Tokenizer<'a> {
         &self.input[self.pos..]
     }
 
-    fn bump(&mut self, n: usize) {
+    pub(crate) fn bump(&mut self, n: usize) {
         self.pos = (self.pos + n).min(self.input.len());
     }
 
@@ -138,7 +141,7 @@ impl<'a> Tokenizer<'a> {
         }
     }
 
-    fn next_token(&mut self) -> Option<Token> {
+    pub(crate) fn next_token(&mut self) -> Option<Token> {
         if let Some(name) = self.raw_text_until.clone() {
             return self.next_raw_text(&name);
         }

@@ -9,7 +9,7 @@ use cafc_check::corpus::{any_text, html_page};
 use cafc_check::gen::{pairs, usizes, Gen};
 use cafc_check::{check, require, CheckConfig};
 use cafc_html::coverage::Coverage;
-use cafc_html::{parse, parse_chunked, strip_control_chars, Document, Tokenizer};
+use cafc_html::{parse, parse_chunked, strip_control_chars, Document, StreamingParser, Tokenizer};
 
 /// Inputs that stress both markup structure and raw hostile bytes.
 fn hostile_input() -> Gen<String> {
@@ -54,8 +54,10 @@ fn parse_equals_parse_with_stats_and_coverage() {
     });
 }
 
-/// Chunked delivery is equivalent to whole delivery at every split point —
-/// the contract the future streaming tokenizer must preserve.
+/// Chunked delivery is equivalent to whole delivery at every split point.
+/// `parse_chunked` is a thin wrapper over the real incremental
+/// [`StreamingParser`], so this pins the resumable tokenizer itself, not a
+/// concatenate-then-parse shim.
 #[test]
 fn chunked_parse_equals_whole_parse() {
     let input_and_cut = pairs(&hostile_input(), &usizes(0, 1 << 16));
@@ -71,6 +73,38 @@ fn chunked_parse_equals_whole_parse() {
         require!(
             parse_chunked(&chunks) == parse(s),
             "split at byte {at} changed the parse of {s:?}"
+        );
+        Ok(())
+    });
+}
+
+/// The streaming parser is chunking-invariant under arbitrary deliveries:
+/// feed the same input as pseudo-random byte-sized pieces — cuts inside
+/// tags, entities, and multi-byte UTF-8 sequences included — and the tree
+/// is bit-identical to the one-shot parse.
+#[test]
+fn streaming_parse_survives_random_chunk_splits() {
+    let input_and_seed = pairs(&hostile_input(), &usizes(0, 1 << 16));
+    check!(CheckConfig::new(), input_and_seed, |(s, seed): &(
+        String,
+        usize
+    )| {
+        let mut parser = StreamingParser::new();
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let mut state = *seed as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        while pos < bytes.len() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let step = 1 + (state >> 33) as usize % 7;
+            let end = (pos + step).min(bytes.len());
+            parser.push_bytes(&bytes[pos..end]);
+            pos = end;
+        }
+        require!(
+            parser.finish() == parse(s),
+            "random chunking (seed {seed}) changed the parse of {s:?}"
         );
         Ok(())
     });

@@ -20,7 +20,8 @@ const MAX_HEADERS: usize = 64;
 /// arrival order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    /// Request method, normalized to uppercase (`GET`, `POST`, …) so the
+    /// server's dispatch does not depend on client casing.
     pub method: String,
     /// Path component of the target, percent-decoded (`/search`).
     pub path: String,
@@ -62,24 +63,36 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Read one line (up to CRLF or LF), bounded by [`MAX_LINE`].
+/// Read one line terminated by CRLF (or a lenient bare LF), bounded by
+/// [`MAX_LINE`].
+///
+/// A carriage return is only meaningful as part of the CRLF terminator: a
+/// bare CR inside the line is rejected rather than silently stripped, and
+/// EOF before any terminator means the request was truncated mid-line —
+/// also malformed, not an empty-ish line.
 fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
-            Ok(0) => break,
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
+            Ok(0) => return Err(HttpError::Malformed("connection closed mid-line")),
+            Ok(_) => match byte[0] {
+                b'\n' => break,
+                b'\r' => {
+                    let mut next = [0u8; 1];
+                    match reader.read(&mut next) {
+                        Ok(1) if next[0] == b'\n' => break,
+                        Ok(_) => return Err(HttpError::Malformed("bare CR outside CRLF")),
+                        Err(e) => return Err(HttpError::Io(e)),
+                    }
                 }
-                if byte[0] != b'\r' {
-                    line.push(byte[0]);
+                b => {
+                    line.push(b);
+                    if line.len() > MAX_LINE {
+                        return Err(HttpError::Malformed("line too long"));
+                    }
                 }
-                if line.len() > MAX_LINE {
-                    return Err(HttpError::Malformed("line too long"));
-                }
-            }
+            },
             Err(e) => return Err(HttpError::Io(e)),
         }
     }
@@ -95,7 +108,7 @@ pub fn parse_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let method = parts
         .next()
         .ok_or(HttpError::Malformed("empty request line"))?
-        .to_string();
+        .to_ascii_uppercase();
     let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
     if !parts
         .next()
@@ -103,7 +116,10 @@ pub fn parse_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     {
         return Err(HttpError::Malformed("missing HTTP version"));
     }
-    for _ in 0..MAX_HEADERS {
+    // The bound counts actual headers: the terminating blank line is not a
+    // header, so a request with exactly MAX_HEADERS of them is accepted.
+    let mut headers = 0usize;
+    loop {
         if read_line(&mut reader)?.is_empty() {
             let (raw_path, raw_query) = match target.split_once('?') {
                 Some((p, q)) => (p, q),
@@ -111,12 +127,15 @@ pub fn parse_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             };
             return Ok(Request {
                 method,
-                path: percent_decode(raw_path),
+                path: percent_decode_path(raw_path),
                 query: parse_query(raw_query),
             });
         }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers"));
+        }
     }
-    Err(HttpError::Malformed("too many headers"))
 }
 
 /// Split a raw query string into decoded `(key, value)` pairs.
@@ -130,15 +149,27 @@ pub fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Decode `%XX` escapes and `+`-as-space. Invalid escapes pass through
-/// literally instead of failing the whole request.
+/// Decode `%XX` escapes and `+`-as-space, the form-urlencoded convention
+/// for query keys and values. Invalid escapes pass through literally
+/// instead of failing the whole request.
 pub fn percent_decode(raw: &str) -> String {
+    decode_escapes(raw, true)
+}
+
+/// Decode `%XX` escapes in a path component. `+`-as-space is a query-string
+/// convention only: in a path, `+` is a literal plus sign, so `/a+b` and
+/// `/a%20b` name different resources.
+pub fn percent_decode_path(raw: &str) -> String {
+    decode_escapes(raw, false)
+}
+
+fn decode_escapes(raw: &str, plus_as_space: bool) -> String {
     let bytes = raw.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'+' => {
+            b'+' if plus_as_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -207,6 +238,14 @@ mod tests {
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
         assert_eq!(percent_decode(""), "");
+    }
+
+    #[test]
+    fn path_decoding_keeps_plus_literal() {
+        assert_eq!(percent_decode_path("/a+b"), "/a+b");
+        assert_eq!(percent_decode_path("/a%20b"), "/a b");
+        assert_eq!(percent_decode_path("/a%2Bb"), "/a+b");
+        assert_eq!(percent_decode_path("/100%"), "/100%");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! * [`Server`] — an HTTP/1.1 daemon over a [`cafc::SearchIndex`]
 //!   (`GET /search`, `/metrics`, `/healthz`, `/shutdown`), one acceptor
 //!   feeding a bounded pool of `std::thread` workers; overload is shed
-//!   with `503`s instead of unbounded queueing.
+//!   with `503`s instead of unbounded queueing. Serve a [`SharedIndex`]
+//!   via [`Server::bind_shared`] and another thread can hot-swap rebuilt
+//!   indexes under live traffic — the `cafc daemon` streaming mode.
 //! * [`loadgen`] — a seeded open-loop generator: Zipf query mix drawn
 //!   from the corpus's own vocabulary, Poisson arrivals at a configured
 //!   rate, exact p50/p99/p999 latency plus cafc-obs histograms, and
@@ -28,4 +30,4 @@ pub mod loadgen;
 pub mod server;
 
 pub use loadgen::{Fnv, LoadgenConfig, LoadgenReport, QueryMix};
-pub use server::{ServeOptions, Server, ServerHandle};
+pub use server::{ServeOptions, Server, ServerHandle, SharedIndex};

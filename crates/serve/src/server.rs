@@ -22,7 +22,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 
 use cafc::{Obs, SearchIndex};
@@ -73,12 +73,52 @@ impl ServeOptions {
     }
 }
 
+/// A hot-swappable handle on the served [`SearchIndex`].
+///
+/// The daemon's ingest loop publishes a freshly built index with
+/// [`SharedIndex::replace`] while HTTP workers keep answering queries:
+/// each request grabs the current snapshot (an `Arc` clone under a brief
+/// read lock) and serves the whole response from it, so a swap mid-request
+/// never mixes two index generations in one answer.
+#[derive(Clone)]
+pub struct SharedIndex {
+    inner: Arc<RwLock<Arc<SearchIndex>>>,
+}
+
+impl SharedIndex {
+    /// Wrap an index for sharing.
+    pub fn new(index: SearchIndex) -> SharedIndex {
+        SharedIndex {
+            inner: Arc::new(RwLock::new(Arc::new(index))),
+        }
+    }
+
+    /// The current index snapshot.
+    pub fn get(&self) -> Arc<SearchIndex> {
+        let guard = match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Arc::clone(&guard)
+    }
+
+    /// Atomically publish a new index. In-flight requests finish on the
+    /// snapshot they already hold; subsequent requests see the new one.
+    pub fn replace(&self, index: SearchIndex) {
+        let mut guard = match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *guard = Arc::new(index);
+    }
+}
+
 /// A bound, not-yet-running server. [`Server::run`] blocks until a
 /// shutdown request arrives.
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
-    index: Arc<SearchIndex>,
+    index: SharedIndex,
     obs: Obs,
     options: ServeOptions,
     stop: Arc<AtomicBool>,
@@ -107,10 +147,22 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over a
+    /// fixed index.
     pub fn bind(
         addr: &str,
         index: SearchIndex,
+        obs: Obs,
+        options: ServeOptions,
+    ) -> io::Result<Server> {
+        Self::bind_shared(addr, SharedIndex::new(index), obs, options)
+    }
+
+    /// Bind over a [`SharedIndex`], so another thread can keep publishing
+    /// rebuilt indexes while the server runs — the `cafc daemon` mode.
+    pub fn bind_shared(
+        addr: &str,
+        index: SharedIndex,
         obs: Obs,
         options: ServeOptions,
     ) -> io::Result<Server> {
@@ -119,7 +171,7 @@ impl Server {
         Ok(Server {
             listener,
             addr,
-            index: Arc::new(index),
+            index,
             obs,
             options,
             stop: Arc::new(AtomicBool::new(false)),
@@ -146,7 +198,7 @@ impl Server {
         let mut workers = Vec::with_capacity(self.options.workers);
         for _ in 0..self.options.workers.max(1) {
             let rx = Arc::clone(&rx);
-            let index = Arc::clone(&self.index);
+            let index = self.index.clone();
             let obs = self.obs.clone();
             let handle = self.handle();
             workers.push(thread::spawn(move || {
@@ -187,7 +239,7 @@ impl Server {
 /// Drain connections from the shared queue until the channel closes.
 fn worker_loop(
     rx: &Mutex<Receiver<TcpStream>>,
-    index: &SearchIndex,
+    index: &SharedIndex,
     obs: &Obs,
     handle: &ServerHandle,
 ) {
@@ -197,7 +249,10 @@ fn worker_loop(
             Err(poisoned) => poisoned.into_inner().recv(),
         };
         let Ok(mut stream) = conn else { break };
-        handle_connection(&mut stream, index, obs, handle);
+        // One snapshot per request: a swap mid-request cannot mix two
+        // index generations in a single response.
+        let snapshot = index.get();
+        handle_connection(&mut stream, &snapshot, obs, handle);
     }
 }
 
@@ -250,7 +305,7 @@ fn handle_connection(
                 stream,
                 404,
                 "application/json",
-                &json::render_error("no such endpoint"),
+                &json::render_error(&format!("no such endpoint: {}", request.path)),
             );
         }
     }

@@ -36,6 +36,7 @@ declare -A home=(
   [Bm25Params]="crates/index/src/bm25.rs"
   [ServeOptions]="crates/serve/src/server.rs"
   [LoadgenConfig]="crates/serve/src/loadgen.rs"
+  [StreamConfig]="crates/core/src/stream.rs"
 )
 
 status=0
