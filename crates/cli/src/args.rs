@@ -119,6 +119,9 @@ const VALUE_FLAGS: &[&str] = &[
     "threads",
     // bench
     "sizes",
+    "shard-pages",
+    "hac-sample",
+    "max-corpus-bytes",
     // daemon
     "warmup",
     "refresh-every",

@@ -3,18 +3,18 @@
 use crate::args::Args;
 use crate::table::render_kv_table;
 use cafc::{
-    cafc_c_obs, cafc_ch_obs, CafcChConfig, ExecPolicy, FeatureConfig, FormPageCorpus,
-    FormPageSpace, HubClusterOptions, IngestLimits, IngestReport, KMeansOptions, ModelOptions, Obs,
-    Partition, SearchAlgorithm, SearchConfig, SearchIndex, SearchPipeline, StreamConfig,
-    StreamCorpus,
+    cafc_c_obs, cafc_ch_obs, run_bench as cafc_run_bench, BenchConfig, CafcChConfig, ExecPolicy,
+    FeatureConfig, FormPageCorpus, FormPageSpace, HubClusterOptions, IngestLimits, IngestReport,
+    KMeansOptions, ModelOptions, Obs, Partition, SearchAlgorithm, SearchConfig, SearchIndex,
+    SearchPipeline, StreamConfig, StreamCorpus,
 };
 use cafc_cluster::{
     bisecting_kmeans_obs, choose_k, hac_obs, hac_resumable, kmeans_obs, kmeans_resumable,
     random_singleton_seeds, BisectOptions, HacOptions, Linkage,
 };
 use cafc_corpus::{
-    export_web, generate as generate_web, load_web, mutate_page, page_rng, CorpusConfig, LoadedWeb,
-    Mutation, SyntheticWeb,
+    export_web, generate as generate_web, generate_shard, load_web, mutate_page, page_rng,
+    CorpusConfig, LoadedWeb, Mutation, ShardedCorpusConfig, SyntheticWeb,
 };
 use cafc_crawler::{
     crawl as crawl_bfs, crawl_resilient_obs, crawl_resumable, BreakerConfig, ChaosFetcher,
@@ -1241,11 +1241,78 @@ fn timed_run(
     (start.elapsed(), out.outcome.partition)
 }
 
-/// `cafc bench` — serial vs parallel wall-clock for the full pipeline
-/// (vectorization + CAFC-CH) at several corpus sizes. The two runs must
-/// produce byte-identical partitions — the determinism contract of the
-/// execution layer — or the benchmark aborts.
+/// The `--json`/`--digest` batch-bench mode: one seeded sharded-corpus →
+/// k-means run through `cafc::run_bench`, reported as the `BENCH_<n>.json`
+/// stable schema (full report) and/or the seed-determined digest the CI
+/// smoke job diffs.
+fn bench_batch(args: &Args) -> Result<(), String> {
+    let pages = args.get_usize("pages", 1_000)?;
+    let shard_pages = args.get_count_usize("shard-pages", 1_024)?;
+    let seed = args.get_u64("seed", 0)?;
+    let k = args.get_usize("k", 8)?;
+    let hac_sample = args.get_usize("hac-sample", 200)?;
+    let max_corpus_bytes = args.get_usize("max-corpus-bytes", usize::MAX)?;
+    let policy = args.get_threads()?;
+    let config = BenchConfig::new()
+        .with_pages(pages)
+        .with_shard_pages(shard_pages)
+        .with_seed(seed)
+        .with_k(k)
+        .with_hac_sample(hac_sample)
+        .with_max_corpus_bytes(max_corpus_bytes)
+        .with_threads(policy.threads());
+    let corpus_cfg = ShardedCorpusConfig::new()
+        .with_total_form_pages(pages)
+        .with_shard_pages(shard_pages)
+        .with_seed(seed);
+    let num_shards = corpus_cfg.num_shards();
+    let report = cafc_run_bench(&config, |s| {
+        if s >= num_shards {
+            None
+        } else {
+            Some(generate_shard(&corpus_cfg, s))
+        }
+    });
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.render_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.get("digest") {
+        std::fs::write(path, report.render_digest()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    println!(
+        "batch bench: {} pages, seed {seed}, k {k}, {} thread(s) — {:.1} ms total",
+        report.pages, report.threads, report.total_wall_ms
+    );
+    for s in &report.stages {
+        println!(
+            "  {:<10} {:>10.1} ms  {:>12.0} pages/s  ({} items)",
+            s.name, s.wall_ms, s.pages_per_sec, s.items
+        );
+    }
+    println!(
+        "  kept {} / degraded {} / quarantined {}; {} terms; assignment {:016x}",
+        report.pages_ok,
+        report.pages_degraded,
+        report.pages_quarantined,
+        report.dict_terms,
+        report.assignment_hash
+    );
+    Ok(())
+}
+
+/// `cafc bench` — two modes. With `--json`/`--digest`: one seeded
+/// sharded-corpus batch run (gen → ingest → vectorize → sparse k-means →
+/// HAC-on-sample) written as the stable `BENCH_<n>.json` schema. Without:
+/// serial vs parallel wall-clock for the full pipeline (vectorization +
+/// CAFC-CH) at several corpus sizes. The policies must produce
+/// byte-identical partitions — the determinism contract of the execution
+/// layer — or the benchmark aborts.
 pub fn bench(args: &Args) -> Result<(), String> {
+    if args.get("json").is_some() || args.get("digest").is_some() {
+        return bench_batch(args);
+    }
     let seed = args.get_u64("seed", 3)?;
     let k = args.get_usize("k", 8)?;
     let parallel = args.get_threads()?;

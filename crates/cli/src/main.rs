@@ -71,8 +71,14 @@
 //!     directory; `--ab` compares guided vs unguided coverage.
 //!
 //! cafc bench [--sizes N,N,...] [--k N] [--seed S] [--threads N]
+//!           [--json FILE] [--digest FILE] [--pages N] [--shard-pages N]
+//!           [--hac-sample N] [--max-corpus-bytes N]
 //!     Time the full pipeline serial vs parallel at several corpus sizes,
-//!     verifying the two produce identical partitions.
+//!     verifying the two produce identical partitions. With `--json` or
+//!     `--digest`: one seeded sharded-corpus batch run (gen → ingest →
+//!     vectorize → sparse k-means → HAC-on-sample) written in the stable
+//!     `BENCH_<n>.json` schema; the digest contains only seed-determined
+//!     fields and is byte-identical across thread counts and machines.
 //!
 //! cafc crash-test [--seed S] [--points N] [--threads N]
 //!     Sweep every pipeline stage against every injected I/O fault kind:
@@ -187,6 +193,8 @@ USAGE:
                   [--corpus DIR] [--regressions DIR] [--max-input-len BYTES]
                   [--replay DIR] [--write-seeds] [--ab]
     cafc bench    [--sizes N,N,...] [--k N] [--seed S] [--threads N]
+                  [--json FILE] [--digest FILE] [--pages N]
+                  [--shard-pages N] [--hac-sample N] [--max-corpus-bytes N]
                   [--metrics FILE.json] [--trace]
     cafc crash-test [--seed S] [--points N] [--threads N]
                   [--metrics FILE.json] [--trace]

@@ -152,6 +152,35 @@ where
     }
 }
 
+/// The dense reference assignment: every item scores against every
+/// centroid, deterministic argmax (initial best 0, strict `>`, so ties and
+/// non-finite similarities resolve to the lowest cluster index). The
+/// sparse kernel (`sparse.rs`) reproduces these exact assignments while
+/// skipping zero-overlap pairs.
+pub(crate) fn dense_assign<S>(
+    space: &S,
+    centroids: &[S::Centroid],
+    policy: ExecPolicy,
+    obs: &Obs,
+) -> Vec<usize>
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+{
+    par_map_obs(policy, space.len(), obs, "kmeans.assign", |item| {
+        let mut best = 0usize;
+        let mut best_sim = f64::NEG_INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let sim = space.similarity(centroid, item);
+            if sim > best_sim {
+                best_sim = sim;
+                best = c;
+            }
+        }
+        best
+    })
+}
+
 /// The k-means loop proper, shared by the plain entry points (no
 /// checkpointer) and [`kmeans_resumable`](crate::kmeans_resumable): the
 /// checkpointer journals every iteration's assignment vector and, on
@@ -164,11 +193,35 @@ pub(crate) fn kmeans_driver<S>(
     opts: &KMeansOptions,
     policy: ExecPolicy,
     obs: &Obs,
-    mut ckpt: Option<&mut KMeansCheckpointer<'_>>,
+    ckpt: Option<&mut KMeansCheckpointer<'_>>,
 ) -> Result<KMeansOutcome, StoreError>
 where
     S: ClusterSpace + Sync,
     S::Centroid: Send + Sync,
+{
+    kmeans_driver_with(space, seeds, opts, policy, obs, ckpt, &dense_assign)
+}
+
+/// [`kmeans_driver`] generic over the assignment step: `assign` maps the
+/// current centroids to one cluster index per item. Every strategy must
+/// reproduce the dense reference assignments bit-for-bit (the sparse
+/// kernel's contract — see `sparse.rs`); the loop around it (move
+/// counting, centroid rebuild, stopping rule, checkpoint journaling) is
+/// shared so strategies can never diverge on anything but the O(n·k)
+/// similarity pass they optimize.
+pub(crate) fn kmeans_driver_with<S, A>(
+    space: &S,
+    seeds: &[Vec<usize>],
+    opts: &KMeansOptions,
+    policy: ExecPolicy,
+    obs: &Obs,
+    mut ckpt: Option<&mut KMeansCheckpointer<'_>>,
+    assign: &A,
+) -> Result<KMeansOutcome, StoreError>
+where
+    S: ClusterSpace + Sync,
+    S::Centroid: Send + Sync,
+    A: Fn(&S, &[S::Centroid], ExecPolicy, &Obs) -> Vec<usize>,
 {
     let n = space.len();
     let seeds: Vec<&Vec<usize>> = seeds.iter().filter(|s| !s.is_empty()).collect();
@@ -214,18 +267,7 @@ where
             None => {
                 let best_of = {
                     let _span = obs.span("kmeans.assign");
-                    par_map_obs(policy, n, obs, "kmeans.assign", |item| {
-                        let mut best = 0usize;
-                        let mut best_sim = f64::NEG_INFINITY;
-                        for (c, centroid) in centroids.iter().enumerate() {
-                            let sim = space.similarity(centroid, item);
-                            if sim > best_sim {
-                                best_sim = sim;
-                                best = c;
-                            }
-                        }
-                        best
-                    })
+                    assign(space, &centroids, policy, obs)
                 };
                 if let Some(c) = ckpt.as_mut() {
                     c.record_iteration(iterations - 1, &best_of)?;

@@ -137,3 +137,188 @@ fn greedy_selection_starts_with_a_farthest_pair() {
         Ok(())
     });
 }
+
+// ---------------------------------------------------------------------
+// Scaling kernels (the 10^5–10^6-page PR): sparse assignment and
+// mini-batch k-means against their exact-reference counterparts.
+// ---------------------------------------------------------------------
+
+use cafc_cluster::{
+    kmeans_minibatch, kmeans_sparse, kmeans_sparse_exec, ExecPolicy, MiniBatchOptions,
+    SparseClusterSpace,
+};
+
+/// A term-set space: each item is a set of `u64` term keys, an item's
+/// vector is the indicator over its terms, and similarity is cosine. The
+/// key contract property holds exactly: disjoint supports ⇒ dot = 0 ⇒
+/// similarity exactly `0.0`.
+struct TermSets {
+    docs: Vec<Vec<u64>>, // each sorted + deduped
+}
+
+impl ClusterSpace for TermSets {
+    type Centroid = Vec<(u64, f64)>; // sorted by term, non-zero weights
+
+    fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    fn centroid(&self, members: &[usize]) -> Self::Centroid {
+        let mut acc: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for &m in members {
+            for &t in &self.docs[m] {
+                *acc.entry(t).or_insert(0.0) += 1.0;
+            }
+        }
+        let n = members.len().max(1) as f64;
+        acc.into_iter().map(|(t, w)| (t, w / n)).collect()
+    }
+
+    fn similarity(&self, centroid: &Self::Centroid, item: usize) -> f64 {
+        let doc = &self.docs[item];
+        let dot: f64 = centroid
+            .iter()
+            .filter(|(t, _)| doc.binary_search(t).is_ok())
+            .map(|&(_, w)| w)
+            .sum();
+        let nc: f64 = centroid.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        let nd = (doc.len() as f64).sqrt();
+        if nc == 0.0 || nd == 0.0 {
+            0.0
+        } else {
+            (dot / (nc * nd)).clamp(0.0, 1.0)
+        }
+    }
+
+    fn centroid_similarity(&self, a: &Self::Centroid, b: &Self::Centroid) -> f64 {
+        let mut dot = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let na: f64 = a.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl SparseClusterSpace for TermSets {
+    fn for_each_item_term(&self, item: usize, f: &mut dyn FnMut(u64)) {
+        for &t in &self.docs[item] {
+            f(t);
+        }
+    }
+
+    fn for_each_centroid_term(&self, centroid: &Self::Centroid, f: &mut dyn FnMut(u64)) {
+        for &(t, _) in centroid {
+            f(t);
+        }
+    }
+}
+
+/// Documents as term sets, plus seed clusters over them.
+type SparseProblem = (Vec<Vec<u64>>, Vec<Vec<usize>>);
+
+/// A sparse clustering problem: documents as small term sets — including
+/// empty documents and documents isolated onto a private term range (zero
+/// overlap with everything else) — plus seed clusters over them.
+fn sparse_problem() -> Gen<SparseProblem> {
+    usizes(2, 9).flat_map(|&n| {
+        // Per doc: a term set in 0..12, possibly empty, and an isolation
+        // flag that moves the doc onto a disjoint private range.
+        let doc = pairs(&vecs(&usizes(0, 11), 0, 4), &cafc_check::gen::bools());
+        pairs(&vecs(&doc, n, n), &clustering(n, 4)).map(|(docs, seeds)| {
+            let docs: Vec<Vec<u64>> = docs
+                .iter()
+                .enumerate()
+                .map(|(i, (terms, isolated))| {
+                    let offset = if *isolated { 1_000 + 100 * i as u64 } else { 0 };
+                    let mut v: Vec<u64> = terms.iter().map(|&t| t as u64 + offset).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            (docs, seeds.clone())
+        })
+    })
+}
+
+/// The sparse kernel is a pure optimization: over any sparse corpus —
+/// zero-overlap and empty documents included — `kmeans_sparse` is
+/// bit-identical to dense `kmeans` from the same seeds, and invariant
+/// across execution policies.
+#[test]
+fn sparse_assignment_matches_dense_reference() {
+    check!(CheckConfig::new(), sparse_problem(), |(docs, seeds)| {
+        let space = TermSets { docs: docs.clone() };
+        let opts = KMeansOptions::default();
+        let dense = kmeans(&space, seeds, &opts);
+        let sparse = kmeans_sparse(&space, seeds, &opts);
+        require_eq!(dense.partition.clusters(), sparse.partition.clusters());
+        require_eq!(dense.iterations, sparse.iterations);
+        require_eq!(dense.converged, sparse.converged);
+        let parallel =
+            kmeans_sparse_exec(&space, seeds, &opts, ExecPolicy::Parallel { threads: 3 });
+        require_eq!(sparse.partition.clusters(), parallel.partition.clusters());
+        Ok(())
+    });
+}
+
+/// Mini-batch with `batch_size >= n` degenerates to full-batch k-means
+/// exactly — every iteration scores every item, so the outcome must be
+/// bit-identical whatever the seed of the batch sampler.
+#[test]
+fn minibatch_full_batch_is_exact_kmeans() {
+    let problem = pairs(&selection_problem(), &usizes(0, u64::MAX as usize >> 1));
+    check!(CheckConfig::new(), problem, |(
+        (points, seeds, _),
+        mb_seed,
+    )| {
+        let n = points.len();
+        let space = DenseSpace::new(points.clone());
+        let opts = KMeansOptions::default();
+        let full = kmeans(&space, seeds, &opts);
+        let mb = MiniBatchOptions::new()
+            .with_batch_size(n)
+            .with_seed(*mb_seed as u64);
+        let mini = kmeans_minibatch(&space, seeds, &opts, &mb);
+        require_eq!(full.partition.clusters(), mini.partition.clusters());
+        require_eq!(full.iterations, mini.iterations);
+        require_eq!(full.converged, mini.converged);
+        Ok(())
+    });
+}
+
+/// Small mini-batches still produce a valid full partition: every item in
+/// exactly one cluster, no more clusters than seeds.
+#[test]
+fn minibatch_small_batches_keep_partition_valid() {
+    check!(CheckConfig::new(), selection_problem(), |(
+        points,
+        seeds,
+        _,
+    )| {
+        let n = points.len();
+        let space = DenseSpace::new(points.clone());
+        let mb = MiniBatchOptions::new().with_batch_size(2).with_seed(5);
+        let out = kmeans_minibatch(&space, seeds, &KMeansOptions::default(), &mb);
+        let mut assigned: Vec<usize> = out.partition.clusters().iter().flatten().copied().collect();
+        assigned.sort_unstable();
+        require_eq!(assigned, (0..n).collect::<Vec<_>>());
+        require!(out.partition.num_clusters() <= seeds.len().max(1));
+        Ok(())
+    });
+}

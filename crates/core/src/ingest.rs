@@ -37,6 +37,16 @@ pub enum IngestError {
     /// empty document vectorizes to zero everywhere and would only add
     /// degenerate points to the cluster space.
     EmptyDocument,
+    /// Keeping this page's vectors would push the corpus past its
+    /// configured memory budget ([`IngestLimits::max_corpus_bytes`]). The
+    /// page is excluded so a 10^6-page build degrades predictably — later
+    /// pages quarantined, accounting intact — instead of OOMing.
+    BudgetExhausted {
+        /// Estimated bytes this page's kept vectors would have added.
+        needed: usize,
+        /// The configured corpus budget that was exhausted.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -46,6 +56,13 @@ impl fmt::Display for IngestError {
                 write!(f, "document of {bytes} bytes exceeds hard limit {limit}")
             }
             IngestError::EmptyDocument => write!(f, "no analyzable text"),
+            IngestError::BudgetExhausted { needed, budget } => {
+                write!(
+                    f,
+                    "corpus memory budget exhausted: page needs {needed} bytes \
+                     against budget {budget}"
+                )
+            }
         }
     }
 }
@@ -134,6 +151,22 @@ pub struct IngestLimits {
     /// Maximum analyzed terms per page across all text runs; the rest of
     /// the page is ignored and the page marked degraded.
     pub max_terms: usize,
+    /// Pages per ingestion work unit (shard). Fixed up front — never
+    /// derived from the thread count — so chunk boundaries are identical
+    /// under every execution policy; and because the shard merge re-bases
+    /// term ids in input order, the built corpus is bit-identical under
+    /// **any** value of this knob (the shard-merge invariance contract,
+    /// DESIGN.md §17). Larger shards amortize per-chunk overhead at
+    /// 10^5–10^6 pages; clamped to ≥ 1 at use sites.
+    pub shard_pages: usize,
+    /// Memory budget in bytes for the kept per-page vector entries
+    /// (estimated at 16 bytes per distinct PC/FC term; the shared term
+    /// dictionary is excluded — it is needed either way for term-id
+    /// stability). Pages whose vectors would exceed the budget are
+    /// quarantined with [`IngestError::BudgetExhausted`], in input order,
+    /// so an oversized build degrades predictably instead of OOMing.
+    /// Default: unlimited.
+    pub max_corpus_bytes: usize,
 }
 
 impl Default for IngestLimits {
@@ -142,6 +175,8 @@ impl Default for IngestLimits {
             hard_max_bytes: 16 * 1024 * 1024,
             soft_max_bytes: 1024 * 1024,
             max_terms: 200_000,
+            shard_pages: 16,
+            max_corpus_bytes: usize::MAX,
         }
     }
 }
@@ -167,6 +202,19 @@ impl IngestLimits {
     /// Set the per-page analyzed-term budget.
     pub fn with_max_terms(mut self, terms: usize) -> Self {
         self.max_terms = terms;
+        self
+    }
+
+    /// Set the pages-per-shard work-unit size (output-invariant; a pure
+    /// throughput knob).
+    pub fn with_shard_pages(mut self, pages: usize) -> Self {
+        self.shard_pages = pages;
+        self
+    }
+
+    /// Set the corpus memory budget in bytes.
+    pub fn with_max_corpus_bytes(mut self, bytes: usize) -> Self {
+        self.max_corpus_bytes = bytes;
         self
     }
 }
@@ -296,6 +344,22 @@ mod tests {
         };
         assert!(e.to_string().contains("100"));
         assert!(IngestError::EmptyDocument.to_string().contains("text"));
+        let b = IngestError::BudgetExhausted {
+            needed: 320,
+            budget: 64,
+        };
+        assert!(b.to_string().contains("320"));
+        assert!(b.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn limits_defaults_and_setters() {
+        let limits = IngestLimits::new();
+        assert_eq!(limits.shard_pages, 16);
+        assert_eq!(limits.max_corpus_bytes, usize::MAX);
+        let limits = limits.with_shard_pages(1024).with_max_corpus_bytes(1 << 20);
+        assert_eq!(limits.shard_pages, 1024);
+        assert_eq!(limits.max_corpus_bytes, 1 << 20);
     }
 
     #[test]

@@ -60,6 +60,7 @@
 pub mod algorithms;
 pub mod assign;
 pub mod baseline;
+pub mod bench;
 pub mod incremental;
 pub mod ingest;
 pub mod model;
@@ -85,6 +86,7 @@ pub use algorithms::{
     select_hub_clusters_obs, CafcChConfig, CafcChOutcome,
 };
 pub use assign::assign_to_clusters;
+pub use bench::{run_bench, BenchConfig, BenchReport, BenchStage};
 pub use exec::ExecPolicy;
 pub use incremental::IncrementalClusters;
 pub use ingest::{DegradedReason, IngestError, IngestLimits, IngestReport, PageOutcome};

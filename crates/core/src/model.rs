@@ -304,45 +304,97 @@ impl FormPageCorpus {
     {
         let pages: Vec<&str> = pages.into_iter().collect();
         let ingest_span = obs.span("ingest");
-        let chunks = par_chunks_obs(policy, pages.len(), PAGE_CHUNK, obs, "ingest", |range| {
-            let mut dict = TermDict::new();
-            let mut term_buf: Vec<TermId> = Vec::new();
-            let outcomes: Vec<_> = pages[range]
-                .iter()
-                .map(|&html| ingest_page(html, opts, limits, &mut dict, &mut term_buf, obs))
-                .collect();
-            (dict, outcomes)
-        });
+        let mut merge = IngestMerge::new(limits);
+        ingest_shard(&pages, opts, limits, policy, obs, &mut merge);
+        drop(ingest_span);
+        emit_ingest_metrics(&merge.report, obs);
+        let corpus = Self::finish(
+            merge.dict,
+            merge.pc_counts,
+            merge.fc_counts,
+            None,
+            opts,
+            policy,
+            obs,
+        );
+        (corpus, merge.report)
+    }
 
-        let mut dict = TermDict::new();
-        let mut pc_counts: Vec<CountsBuilder> = Vec::new();
-        let mut fc_counts: Vec<CountsBuilder> = Vec::new();
-        let mut report = IngestReport::default();
-        for (local_dict, outcomes) in chunks {
-            let map: Vec<TermId> = local_dict.iter().map(|(_, t)| dict.intern(t)).collect();
-            for (outcome, counts) in outcomes {
-                let index = report.outcomes.len();
-                if let Some((pc, fc)) = counts {
-                    report.kept.push(index);
-                    pc_counts.push(pc.remap(|id| map[id.index()]));
-                    fc_counts.push(fc.remap(|id| map[id.index()]));
-                }
-                report.outcomes.push(outcome);
-            }
+    /// Build the model through hardened ingestion from pre-cut shards of
+    /// pages, merged in shard order.
+    ///
+    /// This is the 10^5–10^6-page entry point (ROADMAP item 3): shards are
+    /// consumed one at a time from the iterator, so a generator-backed
+    /// caller (`cafc bench`, the sharded synthetic corpus) never holds more
+    /// than one shard of raw HTML in memory while the accumulated state
+    /// grows only with the *kept* corpus — which
+    /// [`IngestLimits::max_corpus_bytes`] bounds.
+    ///
+    /// **Shard-merge invariance:** per-page outcomes are pure functions of
+    /// the page, and the merge re-bases chunk-local term ids onto the
+    /// shared dictionary in input order — reproducing the global
+    /// first-occurrence term-id order of a serial single-batch pass. The
+    /// corpus and report are therefore bit-identical to
+    /// [`FormPageCorpus::from_html_ingest`] over the concatenated pages,
+    /// for **any** partition of the input into shards and any
+    /// [`IngestLimits::shard_pages`] value (pinned by `tests/scale.rs` and
+    /// the cafc-check properties).
+    pub fn from_shards<I>(
+        shards: I,
+        opts: &ModelOptions,
+        limits: &IngestLimits,
+    ) -> (FormPageCorpus, IngestReport)
+    where
+        I: IntoIterator<Item = Vec<String>>,
+    {
+        Self::from_shards_exec(shards, opts, limits, ExecPolicy::Serial)
+    }
+
+    /// [`FormPageCorpus::from_shards`] under an explicit execution policy;
+    /// bit-identical for every policy.
+    pub fn from_shards_exec<I>(
+        shards: I,
+        opts: &ModelOptions,
+        limits: &IngestLimits,
+        policy: ExecPolicy,
+    ) -> (FormPageCorpus, IngestReport)
+    where
+        I: IntoIterator<Item = Vec<String>>,
+    {
+        Self::from_shards_obs(shards, opts, limits, policy, &Obs::disabled())
+    }
+
+    /// [`FormPageCorpus::from_shards_exec`] with instrumentation — the
+    /// `ingest` span and `ingest.*` metrics of
+    /// [`FormPageCorpus::from_html_ingest_obs`].
+    pub fn from_shards_obs<I>(
+        shards: I,
+        opts: &ModelOptions,
+        limits: &IngestLimits,
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> (FormPageCorpus, IngestReport)
+    where
+        I: IntoIterator<Item = Vec<String>>,
+    {
+        let ingest_span = obs.span("ingest");
+        let mut merge = IngestMerge::new(limits);
+        for shard in shards {
+            let refs: Vec<&str> = shard.iter().map(String::as_str).collect();
+            ingest_shard(&refs, opts, limits, policy, obs, &mut merge);
         }
         drop(ingest_span);
-        if obs.is_enabled() {
-            obs.add("ingest.pages_total", report.total() as u64);
-            obs.add("ingest.pages_ok", report.ok() as u64);
-            obs.add("ingest.pages_degraded", report.degraded() as u64);
-            obs.add("ingest.pages_quarantined", report.quarantined() as u64);
-            for (reason, count) in report.reason_counts() {
-                obs.add(&format!("ingest.degraded.{}", reason.label()), count as u64);
-            }
-        }
-
-        let corpus = Self::finish(dict, pc_counts, fc_counts, None, opts, policy, obs);
-        (corpus, report)
+        emit_ingest_metrics(&merge.report, obs);
+        let corpus = Self::finish(
+            merge.dict,
+            merge.pc_counts,
+            merge.fc_counts,
+            None,
+            opts,
+            policy,
+            obs,
+        );
+        (corpus, merge.report)
     }
 
     /// Build the model for `pages` stored in `graph`, without anchor text.
@@ -581,6 +633,146 @@ fn merge_local_vectors(
         fc_counts.extend(chunk.fc.into_iter().map(|c| c.remap(|id| map[id.index()])));
     }
     (dict, pc_counts, fc_counts)
+}
+
+/// Estimated bytes per kept vector entry: one `(TermId, f64)` pair, the
+/// same figure `SparseVector::heap_bytes` reports. A function of the
+/// distinct-term count alone, so budget accounting is deterministic.
+pub(crate) const VECTOR_ENTRY_BYTES: usize = 16;
+
+/// Accumulates per-chunk ingestion output into the shared dictionary,
+/// counts and report, enforcing [`IngestLimits::max_corpus_bytes`] at the
+/// merge — which runs serially in input order under every policy, so
+/// budget decisions are execution- and shard-size-invariant.
+///
+/// Shared by the single-batch path ([`FormPageCorpus::from_html_ingest`]),
+/// the sharded path ([`FormPageCorpus::from_shards`]) and the resumable
+/// path (resume.rs), so they can never diverge on accounting.
+pub(crate) struct IngestMerge {
+    pub(crate) dict: TermDict,
+    pub(crate) pc_counts: Vec<CountsBuilder>,
+    pub(crate) fc_counts: Vec<CountsBuilder>,
+    pub(crate) report: IngestReport,
+    /// Estimated bytes of kept vector entries so far.
+    pub(crate) used_bytes: usize,
+    max_corpus_bytes: usize,
+}
+
+impl IngestMerge {
+    pub(crate) fn new(limits: &IngestLimits) -> IngestMerge {
+        IngestMerge {
+            dict: TermDict::new(),
+            pc_counts: Vec::new(),
+            fc_counts: Vec::new(),
+            report: IngestReport::default(),
+            used_bytes: 0,
+            max_corpus_bytes: limits.max_corpus_bytes,
+        }
+    }
+
+    /// Rebuild from previously accumulated state (the resume path):
+    /// `used_bytes` is recomputed from the kept counts, so a resumed run
+    /// makes the same budget decisions as an uninterrupted one.
+    pub(crate) fn from_parts(
+        dict: TermDict,
+        pc_counts: Vec<CountsBuilder>,
+        fc_counts: Vec<CountsBuilder>,
+        report: IngestReport,
+        limits: &IngestLimits,
+    ) -> IngestMerge {
+        let used_bytes = pc_counts
+            .iter()
+            .zip(&fc_counts)
+            .map(|(pc, fc)| (pc.distinct_terms() + fc.distinct_terms()) * VECTOR_ENTRY_BYTES)
+            .sum();
+        IngestMerge {
+            dict,
+            pc_counts,
+            fc_counts,
+            report,
+            used_bytes,
+            max_corpus_bytes: limits.max_corpus_bytes,
+        }
+    }
+
+    /// Merge one chunk's local dictionary and outcomes, in input order.
+    ///
+    /// A kept page whose estimated vector footprint would push
+    /// `used_bytes` past the budget is quarantined here with
+    /// [`IngestError::BudgetExhausted`] (its terms stay in the dictionary
+    /// — interning already happened chunk-wide, and dictionary order must
+    /// not depend on budget decisions).
+    pub(crate) fn absorb(
+        &mut self,
+        local_dict: TermDict,
+        outcomes: Vec<(PageOutcome, Option<(CountsBuilder, CountsBuilder)>)>,
+    ) {
+        let map: Vec<TermId> = local_dict
+            .iter()
+            .map(|(_, t)| self.dict.intern(t))
+            .collect();
+        for (outcome, counts) in outcomes {
+            let index = self.report.outcomes.len();
+            match counts {
+                Some((pc, fc)) => {
+                    let needed = (pc.distinct_terms() + fc.distinct_terms()) * VECTOR_ENTRY_BYTES;
+                    if self.used_bytes.saturating_add(needed) > self.max_corpus_bytes {
+                        self.report.outcomes.push(PageOutcome::Quarantined {
+                            error: IngestError::BudgetExhausted {
+                                needed,
+                                budget: self.max_corpus_bytes,
+                            },
+                        });
+                    } else {
+                        self.used_bytes += needed;
+                        self.report.kept.push(index);
+                        self.pc_counts.push(pc.remap(|id| map[id.index()]));
+                        self.fc_counts.push(fc.remap(|id| map[id.index()]));
+                        self.report.outcomes.push(outcome);
+                    }
+                }
+                None => self.report.outcomes.push(outcome),
+            }
+        }
+    }
+}
+
+/// Ingest one contiguous run of pages — chunked by
+/// [`IngestLimits::shard_pages`] on the exec layer — into `merge`.
+pub(crate) fn ingest_shard(
+    pages: &[&str],
+    opts: &ModelOptions,
+    limits: &IngestLimits,
+    policy: ExecPolicy,
+    obs: &Obs,
+    merge: &mut IngestMerge,
+) {
+    let chunk_len = limits.shard_pages.max(1);
+    let chunks = par_chunks_obs(policy, pages.len(), chunk_len, obs, "ingest", |range| {
+        let mut dict = TermDict::new();
+        let mut term_buf: Vec<TermId> = Vec::new();
+        let outcomes: Vec<_> = pages[range]
+            .iter()
+            .map(|&html| ingest_page(html, opts, limits, &mut dict, &mut term_buf, obs))
+            .collect();
+        (dict, outcomes)
+    });
+    for (local_dict, outcomes) in chunks {
+        merge.absorb(local_dict, outcomes);
+    }
+}
+
+/// Emit the standard `ingest.*` outcome counters for a finished report.
+pub(crate) fn emit_ingest_metrics(report: &IngestReport, obs: &Obs) {
+    if obs.is_enabled() {
+        obs.add("ingest.pages_total", report.total() as u64);
+        obs.add("ingest.pages_ok", report.ok() as u64);
+        obs.add("ingest.pages_degraded", report.degraded() as u64);
+        obs.add("ingest.pages_quarantined", report.quarantined() as u64);
+        for (reason, count) in report.reason_counts() {
+            obs.add(&format!("ingest.degraded.{}", reason.label()), count as u64);
+        }
+    }
 }
 
 /// Vectorize one page into PC/FC count accumulators against `dict`.
@@ -1039,6 +1231,152 @@ mod tests {
                 assert_eq!(corpus.fc[i], baseline.0.fc[i], "fc[{i}] under {policy:?}");
             }
         }
+    }
+
+    #[test]
+    fn corpus_budget_quarantines_later_pages() {
+        let pages: Vec<String> = (0..6)
+            .map(|i| format!("<title>t{i}</title><p>travel word{i}</p><form>f{i} <input></form>"))
+            .collect();
+        let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+        // Establish the per-page cost, then budget for exactly two pages.
+        let (_, unbounded) =
+            FormPageCorpus::from_html_ingest(refs.iter().copied(), &opts(), &IngestLimits::new());
+        assert_eq!(unbounded.kept.len(), 6);
+        // A zero budget quarantines everything and reports each page's
+        // exact cost in the error, so the test needs no knowledge of the
+        // analyzer's term counts.
+        let (_, zero) = FormPageCorpus::from_html_ingest(
+            refs.iter().copied(),
+            &opts(),
+            &IngestLimits::new().with_max_corpus_bytes(0),
+        );
+        let costs: Vec<usize> = zero
+            .outcomes
+            .iter()
+            .map(|o| match o {
+                PageOutcome::Quarantined {
+                    error: IngestError::BudgetExhausted { needed, .. },
+                } => *needed,
+                other => panic!("zero budget must quarantine, got {other:?}"),
+            })
+            .collect();
+        assert!(costs.iter().all(|&c| c > 0));
+        let limits = IngestLimits::new().with_max_corpus_bytes(costs[0] + costs[1]);
+        let (corpus, report) =
+            FormPageCorpus::from_html_ingest(refs.iter().copied(), &opts(), &limits);
+        assert_eq!(corpus.len(), 2, "budget for two pages keeps two pages");
+        assert_eq!(report.kept, vec![0, 1]);
+        assert_eq!(report.quarantined(), 4);
+        assert!(report.is_accounted());
+        for outcome in &report.outcomes[2..] {
+            assert!(
+                matches!(
+                    outcome,
+                    PageOutcome::Quarantined {
+                        error: IngestError::BudgetExhausted { .. }
+                    }
+                ),
+                "over-budget page must carry the budget error, got {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_decisions_survive_exec_policy_and_shard_size() {
+        let pages: Vec<String> = (0..20)
+            .map(|i| {
+                format!(
+                    "<title>t{i}</title><p>shared unique{i}</p><form>f{} <input></form>",
+                    i % 3
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+        let base_limits = IngestLimits::new().with_max_corpus_bytes(1200);
+        let baseline =
+            FormPageCorpus::from_html_ingest(refs.iter().copied(), &opts(), &base_limits);
+        assert!(baseline.1.quarantined() > 0, "budget must actually bind");
+        assert!(!baseline.1.kept.is_empty());
+        for shard_pages in [1, 3, 16, 100] {
+            for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { threads: 5 }] {
+                let limits = base_limits.with_shard_pages(shard_pages);
+                let (corpus, report) = FormPageCorpus::from_html_ingest_exec(
+                    refs.iter().copied(),
+                    &opts(),
+                    &limits,
+                    policy,
+                );
+                assert_eq!(report, baseline.1, "shard_pages={shard_pages} {policy:?}");
+                assert_eq!(corpus.dict.len(), baseline.0.dict.len());
+                assert_eq!(
+                    corpus.pc, baseline.0.pc,
+                    "shard_pages={shard_pages} {policy:?}"
+                );
+                assert_eq!(
+                    corpus.fc, baseline.0.fc,
+                    "shard_pages={shard_pages} {policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_shards_matches_single_batch_for_any_partition() {
+        let pages: Vec<String> = (0..23)
+            .map(|i| {
+                format!(
+                    "<title>Page {i}</title><p>shared travel unique{i} tail{}</p>\
+                     <form>field{} <input name=q></form>",
+                    i % 7,
+                    i % 5
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = pages.iter().map(String::as_str).collect();
+        let limits = IngestLimits::new();
+        let baseline = FormPageCorpus::from_html_ingest(refs.iter().copied(), &opts(), &limits);
+        // Partitions including empty and singleton shards (satellite edge
+        // cases): every one must reproduce the single-batch build exactly.
+        let partitions: Vec<Vec<Vec<String>>> = vec![
+            vec![pages.clone()],
+            pages.iter().map(|p| vec![p.clone()]).collect(),
+            vec![
+                pages[..5].to_vec(),
+                Vec::new(),
+                pages[5..6].to_vec(),
+                pages[6..].to_vec(),
+                Vec::new(),
+            ],
+        ];
+        for (which, shards) in partitions.into_iter().enumerate() {
+            for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { threads: 4 }] {
+                let (corpus, report) =
+                    FormPageCorpus::from_shards_exec(shards.clone(), &opts(), &limits, policy);
+                assert_eq!(report, baseline.1, "partition {which} {policy:?}");
+                assert_eq!(corpus.dict.len(), baseline.0.dict.len());
+                for i in 0..corpus.len() {
+                    assert_eq!(corpus.pc[i], baseline.0.pc[i], "partition {which} pc[{i}]");
+                    assert_eq!(corpus.fc[i], baseline.0.fc[i], "partition {which} fc[{i}]");
+                    assert_eq!(
+                        corpus.pc_tf[i], baseline.0.pc_tf[i],
+                        "partition {which} pc_tf[{i}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_shards_of_only_empty_shards_is_empty() {
+        let (corpus, report) = FormPageCorpus::from_shards(
+            vec![Vec::new(), Vec::new()],
+            &opts(),
+            &IngestLimits::new(),
+        );
+        assert!(corpus.is_empty());
+        assert_eq!(report.total(), 0);
+        assert!(report.is_accounted());
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! [`StoreError::FingerprintMismatch`], never a silently wrong corpus.
 
 use crate::ingest::{DegradedReason, IngestError, IngestLimits, IngestReport, PageOutcome};
-use crate::model::{ingest_page, FormPageCorpus, ModelOptions, PAGE_CHUNK};
+use crate::model::{
+    emit_ingest_metrics, ingest_page, FormPageCorpus, IngestMerge, ModelOptions, PAGE_CHUNK,
+};
 use cafc_exec::{par_chunks_obs, ExecPolicy};
 use cafc_obs::Obs;
 use cafc_store::{fnv1a64, ByteReader, ByteWriter, Store, StoreError};
@@ -93,6 +95,11 @@ fn put_outcome(w: &mut ByteWriter, outcome: &PageOutcome) {
                     w.put_usize(*limit);
                 }
                 IngestError::EmptyDocument => w.put_u8(1),
+                IngestError::BudgetExhausted { needed, budget } => {
+                    w.put_u8(2);
+                    w.put_usize(*needed);
+                    w.put_usize(*budget);
+                }
             }
         }
     }
@@ -125,6 +132,10 @@ fn get_outcome(r: &mut ByteReader<'_>, path: &str) -> Result<PageOutcome, StoreE
                     limit: r.get_usize()?,
                 },
                 1 => IngestError::EmptyDocument,
+                2 => IngestError::BudgetExhausted {
+                    needed: r.get_usize()?,
+                    budget: r.get_usize()?,
+                },
                 other => return Err(corrupt(format!("unknown ingest-error code {other}"))),
             };
             Ok(PageOutcome::Quarantined { error })
@@ -133,26 +144,26 @@ fn get_outcome(r: &mut ByteReader<'_>, path: &str) -> Result<PageOutcome, StoreE
     }
 }
 
-fn encode_state(state: &IngestState, fingerprint: u64) -> Vec<u8> {
+fn encode_state(merge: &IngestMerge, pages_done: usize, fingerprint: u64) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(fingerprint);
-    w.put_usize(state.pages_done);
-    w.put_usize(state.dict.len());
-    for (_, term) in state.dict.iter() {
+    w.put_usize(pages_done);
+    w.put_usize(merge.dict.len());
+    for (_, term) in merge.dict.iter() {
         w.put_str(term);
     }
-    for counts in [&state.pc_counts, &state.fc_counts] {
+    for counts in [&merge.pc_counts, &merge.fc_counts] {
         w.put_usize(counts.len());
         for c in counts.iter() {
             put_counts(&mut w, c);
         }
     }
-    w.put_usize(state.report.outcomes.len());
-    for outcome in &state.report.outcomes {
+    w.put_usize(merge.report.outcomes.len());
+    for outcome in &merge.report.outcomes {
         put_outcome(&mut w, outcome);
     }
-    w.put_usize(state.report.kept.len());
-    for &k in &state.report.kept {
+    w.put_usize(merge.report.kept.len());
+    for &k in &merge.report.kept {
         w.put_usize(k);
     }
     w.into_bytes()
@@ -221,6 +232,11 @@ fn run_fingerprint(pages: &[&str], opts: &ModelOptions, limits: &IngestLimits) -
     w.put_usize(limits.hard_max_bytes);
     w.put_usize(limits.soft_max_bytes);
     w.put_usize(limits.max_terms);
+    // The corpus budget changes which pages are kept, so it is part of the
+    // run's identity. `shard_pages` deliberately is not: the built corpus
+    // is bit-identical under any shard size (DESIGN.md §17), so resuming
+    // under a different one is safe.
+    w.put_usize(limits.max_corpus_bytes);
     fnv1a64(&w.into_bytes())
 }
 
@@ -256,7 +272,7 @@ impl FormPageCorpus {
         // identical chunking -> identical term-id assignment order.
         let batch = every.div_ceil(PAGE_CHUNK).max(1).saturating_mul(PAGE_CHUNK);
 
-        let mut state = if resume {
+        let state = if resume {
             match store.load_snapshot(STAGE)? {
                 Some(snap) => {
                     let state = decode_state(&snap.payload, fingerprint)?;
@@ -289,9 +305,21 @@ impl FormPageCorpus {
         };
 
         let ingest_span = obs.span("ingest");
-        while state.pages_done < pages.len() {
-            let end = (state.pages_done + batch).min(pages.len());
-            let offset = state.pages_done;
+        // The shared merge enforces the corpus budget exactly like the
+        // non-resumable paths; `used_bytes` is recomputed from the kept
+        // counts, so a resumed run repeats the budget decisions of an
+        // uninterrupted one.
+        let mut pages_done = state.pages_done;
+        let mut merge = IngestMerge::from_parts(
+            state.dict,
+            state.pc_counts,
+            state.fc_counts,
+            state.report,
+            limits,
+        );
+        while pages_done < pages.len() {
+            let end = (pages_done + batch).min(pages.len());
+            let offset = pages_done;
             let chunks = par_chunks_obs(policy, end - offset, PAGE_CHUNK, obs, "ingest", |range| {
                 let mut dict = TermDict::new();
                 let mut term_buf: Vec<TermId> = Vec::new();
@@ -302,56 +330,33 @@ impl FormPageCorpus {
                 (dict, outcomes)
             });
             for (local_dict, outcomes) in chunks {
-                let map: Vec<TermId> = local_dict
-                    .iter()
-                    .map(|(_, t)| state.dict.intern(t))
-                    .collect();
-                for (outcome, counts) in outcomes {
-                    let index = state.report.outcomes.len();
-                    if let Some((pc, fc)) = counts {
-                        state.report.kept.push(index);
-                        state.pc_counts.push(pc.remap(|id| map[id.index()]));
-                        state.fc_counts.push(fc.remap(|id| map[id.index()]));
-                    }
-                    state.report.outcomes.push(outcome);
-                }
+                merge.absorb(local_dict, outcomes);
             }
-            state.pages_done = end;
+            pages_done = end;
             store.snapshot(
                 STAGE,
-                state.pages_done as u64,
-                &encode_state(&state, fingerprint),
+                pages_done as u64,
+                &encode_state(&merge, pages_done, fingerprint),
             )?;
             let mut audit = ByteWriter::new();
-            audit.put_usize(state.pages_done);
-            audit.put_usize(state.report.kept.len());
-            audit.put_usize(state.report.quarantined());
+            audit.put_usize(pages_done);
+            audit.put_usize(merge.report.kept.len());
+            audit.put_usize(merge.report.quarantined());
             store.journal_append(STAGE, KIND_BATCH, &audit.into_bytes())?;
         }
         drop(ingest_span);
 
-        if obs.is_enabled() {
-            obs.add("ingest.pages_total", state.report.total() as u64);
-            obs.add("ingest.pages_ok", state.report.ok() as u64);
-            obs.add("ingest.pages_degraded", state.report.degraded() as u64);
-            obs.add(
-                "ingest.pages_quarantined",
-                state.report.quarantined() as u64,
-            );
-            for (reason, count) in state.report.reason_counts() {
-                obs.add(&format!("ingest.degraded.{}", reason.label()), count as u64);
-            }
-        }
+        emit_ingest_metrics(&merge.report, obs);
         let corpus = Self::finish(
-            state.dict,
-            state.pc_counts,
-            state.fc_counts,
+            merge.dict,
+            merge.pc_counts,
+            merge.fc_counts,
             None,
             opts,
             policy,
             obs,
         );
-        Ok((corpus, state.report))
+        Ok((corpus, merge.report))
     }
 }
 

@@ -32,6 +32,7 @@ pub mod export;
 pub mod formgen;
 pub mod mutate;
 pub mod pagegen;
+pub mod shard;
 pub mod stats;
 pub mod text_gen;
 pub mod web;
@@ -40,5 +41,8 @@ pub use domain::{Domain, GENERIC_TERMS};
 pub use export::{export_web, load_web, LoadedWeb, ManifestPage};
 pub use formgen::{LabelStyle, NonSearchableKind};
 pub use mutate::{mutate_page, page_rng, Mutation};
+pub use shard::{
+    generate_page, generate_shard, generate_sharded, generate_sharded_exec, ShardedCorpusConfig,
+};
 pub use stats::{count_terms, table1, PageTermCounts, Table1Row};
 pub use web::{generate, CorpusConfig, FormPageRecord, SyntheticWeb};

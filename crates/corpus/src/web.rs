@@ -121,9 +121,11 @@ impl SyntheticWeb {
     }
 }
 
-/// Form-size classes of Table 1.
+/// Form-size classes of Table 1. Shared with the sharded generator
+/// (`crate::shard`), which reuses the same class mix and budgets so its
+/// pages are statistically indistinguishable from `generate`'s.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SizeClass {
+pub(crate) enum SizeClass {
     Tiny,   // < 10 form terms
     Small,  // [10, 50)
     Medium, // [50, 100)
@@ -132,7 +134,7 @@ enum SizeClass {
 }
 
 impl SizeClass {
-    fn sample<R: Rng>(rng: &mut R) -> SizeClass {
+    pub(crate) fn sample<R: Rng>(rng: &mut R) -> SizeClass {
         // Multi-attribute class mix; singles are Tiny by construction.
         match rng.random_range(0..100) {
             0..=7 => SizeClass::Tiny,
@@ -143,7 +145,7 @@ impl SizeClass {
         }
     }
 
-    fn form_budget<R: Rng>(self, rng: &mut R) -> usize {
+    pub(crate) fn form_budget<R: Rng>(self, rng: &mut R) -> usize {
         match self {
             SizeClass::Tiny => rng.random_range(4..9),
             SizeClass::Small => rng.random_range(14..46),
@@ -155,7 +157,7 @@ impl SizeClass {
 
     /// Page-content budget: Table 1's anticorrelation. Mid-row targets are
     /// the paper's measured averages (131 / 76 / 83).
-    fn page_budget<R: Rng>(self, rng: &mut R) -> usize {
+    pub(crate) fn page_budget<R: Rng>(self, rng: &mut R) -> usize {
         match self {
             SizeClass::Tiny => rng.random_range(210..380),
             SizeClass::Small => rng.random_range(95..170),

@@ -154,6 +154,14 @@ impl SparseVector {
         }
     }
 
+    /// Estimated heap footprint of this vector in bytes: one
+    /// `(TermId, f64)` entry per non-zero term. Deterministic (a function
+    /// of `nnz` alone, not of allocator capacity), so memory-budget
+    /// accounting built on it is reproducible across runs and policies.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(TermId, f64)>()
+    }
+
     /// The `k` highest-weighted terms, descending by weight (ties by id).
     pub fn top_terms(&self, k: usize) -> Vec<(TermId, f64)> {
         let mut v = self.entries.clone();
@@ -294,5 +302,16 @@ mod tests {
     fn scale_by_zero_is_empty() {
         let v = vec_of(&[(1, 1.0)]);
         assert!(v.scale(0.0).is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_tracks_nnz_only() {
+        assert_eq!(SparseVector::empty().heap_bytes(), 0);
+        let v = vec_of(&[(1, 1.0), (2, 2.0), (9, 0.5)]);
+        assert_eq!(v.heap_bytes(), 3 * std::mem::size_of::<(TermId, f64)>());
+        // Construction path must not change the estimate: merged duplicates
+        // and dropped zeros count once and zero times respectively.
+        let merged = vec_of(&[(1, 1.0), (1, 2.0), (2, 0.0)]);
+        assert_eq!(merged.heap_bytes(), std::mem::size_of::<(TermId, f64)>());
     }
 }

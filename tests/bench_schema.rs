@@ -1,0 +1,220 @@
+//! Schema regression tests for the committed `BENCH_<n>.json` trajectory.
+//!
+//! The bench files are a contract: every later PR gets held to their
+//! numbers, so their schemas only ever gain fields — never lose or rename
+//! them. This suite parses the committed artifacts with a deliberately
+//! small validator (the workspace's `serde_json` is a stub) and pins:
+//!
+//! * `BENCH_8.json` — PR 8's loadgen schema (flat object, loadgen keys);
+//! * `BENCH_10.json` — this PR's batch schema (digest + stages);
+//! * digest determinism — two same-config `run_bench` calls render
+//!   byte-identical digests, the property the CI `bench-smoke` job diffs
+//!   end to end through the CLI.
+
+use cafc::{run_bench, BenchConfig};
+use cafc_corpus::{generate_shard, ShardedCorpusConfig};
+
+/// Read a committed repo-root artifact.
+fn committed(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
+    std::fs::read_to_string(format!("{path}{name}"))
+        .unwrap_or_else(|e| panic!("cannot read committed {name}: {e}"))
+}
+
+/// The JSON value kinds the validator distinguishes.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Kind {
+    /// An unsigned integer literal.
+    Uint,
+    /// Any number literal (integer or float).
+    Number,
+    /// A quoted 16-hex-digit hash.
+    Hash,
+    /// A bare `true`/`false`.
+    Bool,
+    /// A quoted string.
+    Str,
+}
+
+/// Assert `"key": <value>` appears in `json` with a value of `kind`.
+/// Scans textually — enough for a fixed-schema document we render
+/// ourselves, with no nested reuse of key names across kinds.
+fn require_key(json: &str, key: &str, kind: Kind) {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("missing key {key:?}"));
+    let value = json[at + needle.len()..].trim_start();
+    let ok = match kind {
+        Kind::Uint => value.chars().next().is_some_and(|c| c.is_ascii_digit()),
+        Kind::Number => value
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '-'),
+        Kind::Hash => {
+            value.starts_with('"')
+                && value.len() > 17
+                && value[1..17].chars().all(|c| c.is_ascii_hexdigit())
+                && value[17..].starts_with('"')
+        }
+        Kind::Bool => value.starts_with("true") || value.starts_with("false"),
+        Kind::Str => value.starts_with('"'),
+    };
+    assert!(
+        ok,
+        "key {key:?} has wrong shape for {kind:?}: {:?}…",
+        &value[..value.len().min(24)]
+    );
+}
+
+/// Braces and brackets balance — the artifact is at least well-formed.
+fn require_balanced(json: &str) {
+    let (mut brace, mut bracket, mut in_str) = (0i64, 0i64, false);
+    let mut prev = '\0';
+    for c in json.chars() {
+        if in_str {
+            if c == '"' && prev != '\\' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' => brace += 1,
+                '}' => brace -= 1,
+                '[' => bracket += 1,
+                ']' => bracket -= 1,
+                _ => {}
+            }
+            assert!(brace >= 0 && bracket >= 0, "close before open");
+        }
+        prev = if prev == '\\' && c == '\\' { '\0' } else { c };
+    }
+    assert_eq!(brace, 0, "unbalanced braces");
+    assert_eq!(bracket, 0, "unbalanced brackets");
+    assert!(!in_str, "unterminated string");
+}
+
+#[test]
+fn bench_8_keeps_the_loadgen_schema() {
+    let json = committed("BENCH_8.json");
+    require_balanced(&json);
+    assert!(json.contains("\"bench\": \"loadgen\""), "bench tag changed");
+    for (key, kind) in [
+        ("seed", Kind::Uint),
+        ("queries", Kind::Uint),
+        ("offered_qps", Kind::Number),
+        ("achieved_qps", Kind::Number),
+        ("p50_us", Kind::Number),
+        ("p99_us", Kind::Number),
+        ("p999_us", Kind::Number),
+        ("stream_hash", Kind::Hash),
+        ("results_hash", Kind::Hash),
+        ("recall_at_10", Kind::Number),
+        ("routed_postings", Kind::Uint),
+        ("full_postings", Kind::Uint),
+        ("index_docs", Kind::Uint),
+        ("index_postings", Kind::Uint),
+        ("index_build_ms", Kind::Number),
+        ("pages_per_sec", Kind::Number),
+    ] {
+        require_key(&json, key, kind);
+    }
+}
+
+#[test]
+fn bench_10_keeps_the_batch_schema() {
+    let json = committed("BENCH_10.json");
+    require_balanced(&json);
+    assert!(json.contains("\"bench\": \"batch\""), "bench tag changed");
+    for (key, kind) in [
+        ("pages", Kind::Uint),
+        ("shard_pages", Kind::Uint),
+        ("seed", Kind::Uint),
+        ("k", Kind::Uint),
+        ("hac_sample", Kind::Uint),
+        ("pages_ok", Kind::Uint),
+        ("pages_degraded", Kind::Uint),
+        ("pages_quarantined", Kind::Uint),
+        ("dict_terms", Kind::Uint),
+        ("corpus_bytes", Kind::Uint),
+        ("kmeans_iterations", Kind::Uint),
+        ("kmeans_converged", Kind::Bool),
+        ("kmeans_clusters", Kind::Uint),
+        ("assignment_hash", Kind::Hash),
+        ("cluster_sizes_hash", Kind::Hash),
+        ("hac_hash", Kind::Hash),
+        ("threads", Kind::Uint),
+        ("peak_rss_kb", Kind::Uint),
+        ("total_wall_ms", Kind::Number),
+        ("digest", Kind::Str), // object value — the `{` fails Str, so:
+    ]
+    .into_iter()
+    .filter(|(k, _)| *k != "digest")
+    {
+        require_key(&json, key, kind);
+    }
+    assert!(json.contains("\"digest\": {"), "digest object missing");
+    // One stage entry per batch leg, in pipeline order.
+    let order = ["gen", "ingest", "vectorize", "kmeans", "hac_sample"];
+    let mut last = 0;
+    for stage in order {
+        let needle = format!("\"stage\": \"{stage}\"");
+        let at = json
+            .find(&needle)
+            .unwrap_or_else(|| panic!("no {stage} stage"));
+        assert!(at > last, "stage {stage} out of order");
+        last = at;
+    }
+    for key in ["items", "wall_ms", "pages_per_sec"] {
+        assert!(
+            json.matches(&format!("\"{key}\":")).count() >= order.len(),
+            "stage field {key} missing from some stages"
+        );
+    }
+    // The committed artifact is the accepted 10^5 run.
+    require_key(&json, "pages", Kind::Uint);
+    assert!(
+        json.contains("\"pages\": 100000"),
+        "BENCH_10 must be the 10^5 run"
+    );
+}
+
+/// Two same-config runs render byte-identical digests, and the digest
+/// lines embedded in the full `--json` document match the standalone
+/// digest — what the CI `bench-smoke` job diffs through the CLI.
+#[test]
+fn same_seed_runs_render_identical_digests() {
+    let corpus = ShardedCorpusConfig::new()
+        .with_total_form_pages(120)
+        .with_shard_pages(32)
+        .with_seed(21);
+    let num_shards = corpus.num_shards();
+    let config = BenchConfig::new()
+        .with_pages(120)
+        .with_shard_pages(32)
+        .with_seed(21)
+        .with_k(4)
+        .with_hac_sample(30);
+    let source = |cfg: ShardedCorpusConfig| {
+        move |s: usize| {
+            if s >= num_shards {
+                None
+            } else {
+                Some(generate_shard(&cfg, s))
+            }
+        }
+    };
+    let a = run_bench(&config, source(corpus.clone()));
+    let b = run_bench(&config.clone().with_threads(4), source(corpus));
+    assert_eq!(
+        a.render_digest(),
+        b.render_digest(),
+        "same-seed digests must be byte-identical across thread counts"
+    );
+    for line in a.render_digest().lines().filter(|l| l.starts_with("  \"")) {
+        assert!(
+            a.render_json().contains(line.trim()),
+            "digest line {line:?} missing from the full report"
+        );
+    }
+}

@@ -297,3 +297,35 @@ mod networked {
         }
     }
 }
+
+/// Shard-merge term-id order invariance: building from pre-cut shards —
+/// any chunking of the page list, any `shard_pages` work-unit size —
+/// reproduces the single-batch dictionary (same term-id ↔ term mapping in
+/// first-occurrence order) and bit-identical vectors and report.
+#[test]
+fn shard_merge_term_order_invariant() {
+    use cafc::IngestLimits;
+    use cafc_check::gen::usizes;
+    let problem = pairs(&corpus_gen(), &pairs(&usizes(1, 4), &usizes(1, 3)));
+    check!(CheckConfig::new(), problem, |(pages, (cut, unit))| {
+        let opts = ModelOptions::default();
+        let limits = IngestLimits::new().with_shard_pages(*unit);
+        let (base, base_report) =
+            FormPageCorpus::from_html_ingest(pages.iter().map(String::as_str), &opts, &limits);
+        let shards: Vec<Vec<String>> = pages.chunks(*cut).map(<[String]>::to_vec).collect();
+        let (sharded, report) = FormPageCorpus::from_shards(shards, &opts, &limits);
+        require_eq!(base.dict.len(), sharded.dict.len());
+        for ((ta, sa), (tb, sb)) in base.dict.iter().zip(sharded.dict.iter()) {
+            require_eq!(ta, tb);
+            require_eq!(sa, sb);
+        }
+        require_eq!(base.len(), sharded.len());
+        for i in 0..base.len() {
+            require_eq!(base.pc[i].entries(), sharded.pc[i].entries());
+            require_eq!(base.fc[i].entries(), sharded.fc[i].entries());
+        }
+        require_eq!(base_report.outcomes, report.outcomes);
+        require_eq!(base_report.kept, report.kept);
+        Ok(())
+    });
+}

@@ -18,6 +18,9 @@
 #   Bm25Params    -> crates/index/src/bm25.rs
 #   ServeOptions  -> crates/serve/src/server.rs
 #   LoadgenConfig -> crates/serve/src/loadgen.rs
+#   MiniBatchOptions    -> crates/cluster/src/minibatch.rs
+#   BenchConfig         -> crates/core/src/bench.rs
+#   ShardedCorpusConfig -> crates/corpus/src/shard.rs
 #
 # Usage: tools/config-lint.sh
 set -euo pipefail
@@ -37,6 +40,9 @@ declare -A home=(
   [ServeOptions]="crates/serve/src/server.rs"
   [LoadgenConfig]="crates/serve/src/loadgen.rs"
   [StreamConfig]="crates/core/src/stream.rs"
+  [MiniBatchOptions]="crates/cluster/src/minibatch.rs"
+  [BenchConfig]="crates/core/src/bench.rs"
+  [ShardedCorpusConfig]="crates/corpus/src/shard.rs"
 )
 
 status=0

@@ -30,7 +30,7 @@ core_tests=(
   --test pipeline --test crawl_integration --test corpus_calibration
   --test paper_shapes --test robustness --test torture --test determinism
   --test observability --test model_props --test differential
-  --test crash_recovery --test retrieval
+  --test crash_recovery --test retrieval --test scale --test bench_schema
 )
 # cafc-html integration tests minus proptests.rs (needs the real proptest).
 html_tests=(--test edge_cases --test pathological --test props)
